@@ -1,0 +1,171 @@
+//! Introspection sources: the "performance awareness" half of APEX.
+//!
+//! APEX "can provide introspection from timers, counters, node- or
+//! machine-wide resource utilization data, energy consumption, and system
+//! health, all accessed in real-time". This module is the pluggable
+//! source side: a [`Monitor`] yields named samples on demand, and
+//! [`sample_monitors`] folds them into the APEX counter store (from which
+//! policies read). The power simulator's RAPL counter and any OS/health
+//! source implement the same trait.
+
+use crate::Apex;
+
+/// A source of named introspection samples (energy counters, utilisation,
+/// temperatures, …).
+pub trait Monitor: Send + Sync {
+    /// Stable name prefix for this monitor's counters.
+    fn name(&self) -> &str;
+
+    /// Current readings as `(counter, value)` pairs.
+    fn sample(&self) -> Vec<(String, f64)>;
+}
+
+/// Sample every monitor once into `apex`'s counter store. Call this from a
+/// periodic policy or between phases; each reading lands in the counter
+/// named `"<monitor>/<counter>"`.
+pub fn sample_monitors(apex: &Apex, monitors: &[&dyn Monitor]) {
+    for m in monitors {
+        for (counter, value) in m.sample() {
+            apex.record_counter(&format!("{}/{}", m.name(), counter), value);
+        }
+    }
+}
+
+/// A monitor over a shared `f64` cell — the adapter used by backends that
+/// already track a scalar (e.g. accumulated joules) and by tests.
+pub struct GaugeMonitor {
+    name: String,
+    counter: String,
+    value: std::sync::Arc<parking_lot::Mutex<f64>>,
+}
+
+impl GaugeMonitor {
+    pub fn new(
+        name: impl Into<String>,
+        counter: impl Into<String>,
+    ) -> (Self, std::sync::Arc<parking_lot::Mutex<f64>>) {
+        let cell = std::sync::Arc::new(parking_lot::Mutex::new(0.0));
+        (
+            GaugeMonitor {
+                name: name.into(),
+                counter: counter.into(),
+                value: std::sync::Arc::clone(&cell),
+            },
+            cell,
+        )
+    }
+}
+
+impl Monitor for GaugeMonitor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn sample(&self) -> Vec<(String, f64)> {
+        vec![(self.counter.clone(), *self.value.lock())]
+    }
+}
+
+/// Host process introspection: wall-clock uptime and (on Linux) resident
+/// set size — the "system health" flavour of APEX sources.
+pub struct ProcessMonitor {
+    started: std::time::Instant,
+}
+
+impl Default for ProcessMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProcessMonitor {
+    pub fn new() -> Self {
+        ProcessMonitor { started: std::time::Instant::now() }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn rss_bytes() -> Option<f64> {
+        let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+        let pages: f64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+        Some(pages * 4096.0)
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn rss_bytes() -> Option<f64> {
+        None
+    }
+}
+
+impl Monitor for ProcessMonitor {
+    fn name(&self) -> &str {
+        "process"
+    }
+
+    fn sample(&self) -> Vec<(String, f64)> {
+        let mut out = vec![("uptime_s".to_string(), self.started.elapsed().as_secs_f64())];
+        if let Some(rss) = Self::rss_bytes() {
+            out.push(("rss_bytes".to_string(), rss));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_monitor_reflects_the_cell() {
+        let apex = Apex::new();
+        let (gauge, cell) = GaugeMonitor::new("rapl", "energy_j");
+        *cell.lock() = 12.5;
+        sample_monitors(&apex, &[&gauge]);
+        *cell.lock() = 20.0;
+        sample_monitors(&apex, &[&gauge]);
+        let c = apex.counter("rapl/energy_j").unwrap();
+        assert_eq!(c.count, 2);
+        assert_eq!(c.last, 20.0);
+        assert_eq!(c.max, 20.0);
+        assert_eq!(c.min, 12.5);
+    }
+
+    #[test]
+    fn process_monitor_reports_uptime() {
+        let apex = Apex::new();
+        let pm = ProcessMonitor::new();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        sample_monitors(&apex, &[&pm]);
+        let up = apex.counter("process/uptime_s").unwrap();
+        assert!(up.last >= 0.005);
+        #[cfg(target_os = "linux")]
+        {
+            let rss = apex.counter("process/rss_bytes").unwrap();
+            assert!(rss.last > 0.0);
+        }
+    }
+
+    #[test]
+    fn periodic_policy_can_drive_sampling() {
+        use crate::{PolicyTrigger};
+        use std::sync::Arc;
+        // The APEX idiom: a periodic policy samples the monitors.
+        let apex = Arc::new(Apex::new());
+        let (gauge, cell) = GaugeMonitor::new("rapl", "energy_j");
+        let gauge = Arc::new(gauge);
+        {
+            let apex2 = Arc::clone(&apex);
+            let gauge = Arc::clone(&gauge);
+            apex.register_policy("sampler", PolicyTrigger::Periodic(2), move |_| {
+                sample_monitors(&apex2, &[gauge.as_ref()]);
+            });
+        }
+        let t = apex.task("loop");
+        for i in 0..6 {
+            *cell.lock() = i as f64;
+            apex.sample(t, 0.01); // two engine events per sample()
+        }
+        // 6 samples → 12 events → periodic fires 6 times.
+        let c = apex.counter("rapl/energy_j").unwrap();
+        assert_eq!(c.count, 6);
+    }
+}

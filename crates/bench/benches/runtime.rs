@@ -1,0 +1,73 @@
+//! Microbenchmarks of the work-sharing runtime: fork/join broadcast cost,
+//! schedule dispatch overhead, and end-to-end loop throughput. These are
+//! the live-path analogues of the dispatch costs the simulator charges.
+
+use arcs_omprt::{Runtime, Schedule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn fork_join(c: &mut Criterion) {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let rt = Runtime::new(host.max(2));
+    let region = rt.register_region("bench/forkjoin");
+    let mut g = c.benchmark_group("fork_join");
+    let mut teams = vec![1usize, 2, host.max(2)];
+    teams.dedup();
+    for team in teams {
+        rt.set_num_threads(team);
+        g.bench_with_input(BenchmarkId::from_parameter(team), &team, |b, _| {
+            b.iter(|| {
+                rt.parallel_for(region, 0..black_box(1), |i| {
+                    black_box(i);
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn schedule_dispatch(c: &mut Criterion) {
+    let rt = Runtime::new(2);
+    let region = rt.register_region("bench/dispatch");
+    rt.set_num_threads(2);
+    let n = 4096;
+    let mut g = c.benchmark_group("schedule_dispatch_4096_iters");
+    for (name, sched) in [
+        ("static_block", Schedule::static_block()),
+        ("static_16", Schedule::static_chunked(16)),
+        ("dynamic_1", Schedule::dynamic(1)),
+        ("dynamic_16", Schedule::dynamic(16)),
+        ("guided_1", Schedule::guided(1)),
+    ] {
+        rt.set_schedule(sched);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                rt.parallel_for(region, 0..n, |i| {
+                    black_box(i);
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn reduction_throughput(c: &mut Criterion) {
+    let rt = Runtime::new(2);
+    let region = rt.register_region("bench/reduce");
+    let data: Vec<f64> = (0..65_536).map(|i| i as f64).collect();
+    c.bench_function("parallel_reduce_64k_sum", |b| {
+        b.iter(|| {
+            let (s, _) = rt.parallel_reduce(
+                region,
+                0..data.len(),
+                0.0f64,
+                |a, i| a + black_box(data[i]),
+                |a, b| a + b,
+            );
+            black_box(s)
+        });
+    });
+}
+
+criterion_group!(benches, fork_join, schedule_dispatch, reduction_throughput);
+criterion_main!(benches);

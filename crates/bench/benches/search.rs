@@ -1,0 +1,43 @@
+//! Search-engine benchmarks: cost to converge on the ARCS configuration
+//! space (the ablation table reports *measurement counts*; these report
+//! CPU cost of the search machinery itself).
+
+use arcs::ConfigSpace;
+use arcs_harmony::{Session, StrategyKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bowl(p: &[usize]) -> f64 {
+    (p[0] as f64 - 3.0).powi(2) + (p[1] as f64 - 1.0).powi(2) + (p[2] as f64 - 5.0).powi(2)
+}
+
+fn drive(strategy: StrategyKind) -> usize {
+    let space = ConfigSpace::crill().to_search_space();
+    let start = vec![6, 3, 8];
+    let mut s = Session::new(space, strategy, start);
+    let mut real = 0;
+    for _ in 0..2000 {
+        if s.converged() {
+            break;
+        }
+        let p = s.next_point();
+        if s.awaiting_report() {
+            real += 1;
+            s.report(bowl(&p));
+        }
+    }
+    real
+}
+
+fn search_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search_to_convergence_252pt_space");
+    g.bench_function("exhaustive", |b| b.iter(|| black_box(drive(StrategyKind::exhaustive()))));
+    g.bench_function("nelder_mead", |b| b.iter(|| black_box(drive(StrategyKind::nelder_mead()))));
+    g.bench_function("parallel_rank_order", |b| {
+        b.iter(|| black_box(drive(StrategyKind::parallel_rank_order())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, search_convergence);
+criterion_main!(benches);

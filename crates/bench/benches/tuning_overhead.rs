@@ -1,0 +1,51 @@
+//! ARCS's own bookkeeping overhead on the live path: the cost the policy
+//! adds to every region invocation (the analogue of the paper's §III-C
+//! "APEX instrumentation overhead", measured for *this* implementation).
+
+use arcs::{ConfigSpace, RegionTuner, TunerOptions};
+use arcs_apex::{Apex, PolicyTrigger};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn tuner_begin_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("per_invocation_bookkeeping");
+    g.bench_function("tuner_begin_end_converged", |b| {
+        let mut tuner = RegionTuner::new(TunerOptions::online(ConfigSpace::crill()));
+        // Converge first so we measure the steady-state cost.
+        for _ in 0..500 {
+            let d = tuner.begin("r");
+            tuner.end("r", 1.0 + d.config.threads as f64 * 1e-3);
+            if tuner.converged() {
+                break;
+            }
+        }
+        assert!(tuner.converged());
+        b.iter(|| {
+            let d = tuner.begin(black_box("r"));
+            tuner.end("r", 1.0);
+            black_box(d)
+        });
+    });
+
+    g.bench_function("apex_timer_sample", |b| {
+        let apex = Apex::new();
+        apex.register_policy("noop", PolicyTrigger::OnTimerStop, |_| {});
+        let task = apex.task("r");
+        b.iter(|| {
+            apex.sample(black_box(task), 0.001);
+        });
+    });
+
+    g.bench_function("apex_start_stop_wallclock", |b| {
+        let apex = Apex::new();
+        let task = apex.task("r");
+        b.iter(|| {
+            apex.start(task);
+            black_box(apex.stop(task))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, tuner_begin_end);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablations beyond the paper's evaluation:
+//! 1. selective tuning (the paper's future work) on LULESH/Crill;
+//! 2. search-strategy comparison (exhaustive vs Nelder-Mead vs PRO):
+//!    configurations measured to converge and the regret of the result.
+use arcs::{runs, ConfigSpace, RegionTuner, SimExecutor, TunerOptions, TuningMode};
+use arcs_bench::{f3, preamble, print_table, region_oracle};
+use arcs_harmony::{NmOptions, ProOptions};
+use arcs_kernels::{model, Class};
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "Ablations",
+        "future work §VII: 'enable selective tuning for OpenMP regions to avoid \
+         overheads on the smaller regions' — implemented and measured here",
+    );
+    let m = Machine::crill();
+
+    // --- 1. Selective tuning on LULESH (the Crill problem case). --------
+    let wl = model::lulesh(45);
+    let base = runs::default_run(&m, 115.0, &wl);
+    let naive = runs::online_run(&m, 115.0, &wl);
+    let space = ConfigSpace::for_machine(&m);
+    // Threshold: 4x the config-change overhead.
+    let mut tuner = RegionTuner::new(
+        TunerOptions::online(space.clone()).with_min_region_time(4.0 * m.config_change_s),
+    );
+    let selective = SimExecutor::new(m.clone(), 115.0).run_tuned(&wl, &mut tuner);
+    print_table(
+        "Selective tuning, LULESH mesh 45 on Crill at TDP (time ratio vs default)",
+        &["Strategy", "time ratio", "skipped regions"],
+        &[
+            vec!["ARCS-Online (tune everything)".into(), f3(naive.time_s / base.time_s), "0".into()],
+            vec![
+                "ARCS-Online + selective".into(),
+                f3(selective.time_s / base.time_s),
+                tuner.stats().skipped_regions.to_string(),
+            ],
+        ],
+    );
+
+    // --- 2. Search strategies on two objectives: an easy one (SP x_solve,
+    // where a quarter of the grid is near-optimal) and a needle (LULESH
+    // FBHourglass, whose optimum is one specific dynamic chunk size).
+    for (wl, region_name, cap) in [
+        (model::sp(Class::B), "sp/x_solve", 85.0),
+        (model::lulesh(45), "lulesh/CalcFBHourglassForceForElems", 115.0),
+    ] {
+    let (oracle_cfg, oracle) = region_oracle(&m, cap, &wl, region_name);
+    let mut rows = Vec::new();
+    for (name, mode) in [
+        ("exhaustive", TuningMode::OfflineTrain),
+        ("nelder-mead", TuningMode::Online(NmOptions::default())),
+        ("parallel-rank-order", TuningMode::OnlinePro(ProOptions::default())),
+        // Random baseline at the budget NM typically needs.
+        ("random-20", TuningMode::OnlineRandom { seed: 0xA5C5, max_evals: 20 }),
+    ] {
+        let mut exec = SimExecutor::new(m.clone(), cap);
+        let model = wl.step.iter().find(|r| r.name == region_name).unwrap().clone();
+        let mut tuner = RegionTuner::new(TunerOptions {
+            space: space.clone(),
+            mode,
+            min_region_time_s: 0.0,
+        });
+        let mut measurements = 0u64;
+        for _ in 0..1000 {
+            let d = tuner.begin(region_name);
+            let rep = exec.simulate(&model, d.config.as_sim());
+            measurements += 1;
+            tuner.end(region_name, rep.time_s);
+            if tuner.converged() {
+                break;
+            }
+        }
+        let best = tuner.best_configs()[region_name];
+        let best_rep = exec.simulate(&model, best.as_sim());
+        rows.push(vec![
+            name.to_string(),
+            measurements.to_string(),
+            best.to_string(),
+            f3(best_rep.time_s / oracle.time_s),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Search strategies on {region_name} @{cap:.0}W (oracle: [{}], {:.4}s)",
+            oracle_cfg, oracle.time_s
+        ),
+        &["Strategy", "invocations", "found config", "regret (time/oracle)"],
+        &rows,
+    );
+    }
+}

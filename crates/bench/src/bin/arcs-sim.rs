@@ -1,0 +1,240 @@
+//! `arcs-sim` — command-line driver for the simulated experiments.
+//!
+//! ```text
+//! arcs-sim <app> [options]
+//!   <app>                bt | sp | lulesh
+//!   --class S|W|A|B|C    NPB class (bt/sp; default B)
+//!   --mesh N             LULESH edge elements (default 45)
+//!   --machine crill|minotaur   (default crill)
+//!   --machine-file PATH  load a custom machine JSON (see Machine::to_json)
+//!   --cap WATTS          package power cap (default TDP)
+//!   --strategy default|online|offline|offline-pro   (default offline)
+//!   --timesteps N        override the workload's step count
+//!   --selective SECONDS  enable selective tuning with this threshold
+//!   --save-history PATH  write the trained history file (offline only)
+//!   --load-history PATH  replay a previously saved history
+//!   --json               emit the full AppRunReport as JSON
+//! ```
+//!
+//! Examples:
+//! ```sh
+//! cargo run --release -p arcs-bench --bin arcs-sim -- sp --class B --cap 85
+//! cargo run --release -p arcs-bench --bin arcs-sim -- lulesh --mesh 45 \
+//!     --strategy online --selective 0.03 --json
+//! ```
+
+use arcs::{runs, ConfigSpace, OmpConfig, RegionTuner, SimExecutor, TunerOptions, TuningMode};
+use arcs_harmony::{History, NmOptions, ProOptions};
+use arcs_kernels::{model, Class};
+use arcs_powersim::{Machine, WorkloadDescriptor};
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    app: String,
+    class: Class,
+    mesh: usize,
+    machine: Machine,
+    cap: Option<f64>,
+    strategy: String,
+    timesteps: Option<usize>,
+    selective: Option<f64>,
+    save_history: Option<PathBuf>,
+    load_history: Option<PathBuf>,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: arcs-sim <bt|sp|lulesh> [--class S|W|A|B|C] [--mesh N] \
+         [--machine crill|minotaur] [--machine-file PATH] [--cap WATTS] \
+         [--strategy default|online|offline|offline-pro] [--timesteps N] \
+         [--selective SECONDS] [--save-history PATH] [--load-history PATH] [--json]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let Some(app) = argv.next() else { usage() };
+    if !["bt", "sp", "lulesh"].contains(&app.as_str()) {
+        usage();
+    }
+    let mut args = Args {
+        app,
+        class: Class::B,
+        mesh: 45,
+        machine: Machine::crill(),
+        cap: None,
+        strategy: "offline".into(),
+        timesteps: None,
+        selective: None,
+        save_history: None,
+        load_history: None,
+        json: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> String {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--class" => {
+                args.class = match value("--class").as_str() {
+                    "S" => Class::S,
+                    "W" => Class::W,
+                    "A" => Class::A,
+                    "B" => Class::B,
+                    "C" => Class::C,
+                    other => {
+                        eprintln!("unknown class {other}");
+                        usage()
+                    }
+                }
+            }
+            "--mesh" => args.mesh = value("--mesh").parse().unwrap_or_else(|_| usage()),
+            "--machine" => {
+                args.machine = match value("--machine").as_str() {
+                    "crill" => Machine::crill(),
+                    "minotaur" => Machine::minotaur(),
+                    other => {
+                        eprintln!("unknown machine {other}");
+                        usage()
+                    }
+                }
+            }
+            "--machine-file" => {
+                let path = value("--machine-file");
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    exit(1)
+                });
+                args.machine = Machine::from_json(&text).unwrap_or_else(|e| {
+                    eprintln!("invalid machine file {path}: {e}");
+                    exit(1)
+                });
+            }
+            "--cap" => args.cap = Some(value("--cap").parse().unwrap_or_else(|_| usage())),
+            "--strategy" => args.strategy = value("--strategy"),
+            "--timesteps" => {
+                args.timesteps = Some(value("--timesteps").parse().unwrap_or_else(|_| usage()))
+            }
+            "--selective" => {
+                args.selective = Some(value("--selective").parse().unwrap_or_else(|_| usage()))
+            }
+            "--save-history" => args.save_history = Some(value("--save-history").into()),
+            "--load-history" => args.load_history = Some(value("--load-history").into()),
+            "--json" => args.json = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn workload(args: &Args) -> WorkloadDescriptor {
+    let mut wl = match args.app.as_str() {
+        "bt" => model::bt(args.class),
+        "sp" => model::sp(args.class),
+        _ => model::lulesh(args.mesh),
+    };
+    if let Some(t) = args.timesteps {
+        wl.timesteps = t;
+    }
+    wl
+}
+
+fn main() {
+    let args = parse_args();
+    let wl = workload(&args);
+    let cap = args.cap.unwrap_or(args.machine.power.tdp_w);
+    let m = &args.machine;
+    let space = ConfigSpace::for_machine(m);
+    let context = format!("{}.{}.{:.0}W", wl.name, m.name, cap);
+
+    let base = runs::default_run(m, cap, &wl);
+    let (report, history): (arcs::AppRunReport, Option<History<OmpConfig>>) =
+        match args.strategy.as_str() {
+            "default" => (base.clone(), None),
+            "online" | "offline-pro" => {
+                let mode = if args.strategy == "online" {
+                    TuningMode::Online(NmOptions::default())
+                } else {
+                    TuningMode::OnlinePro(ProOptions::default())
+                };
+                let mut options = TunerOptions { space, mode, min_region_time_s: 0.0 };
+                if let Some(t) = args.selective {
+                    options = options.with_min_region_time(t);
+                }
+                let mut tuner = RegionTuner::new(options);
+                let mut rep = SimExecutor::new(m.clone(), cap).run_tuned(&wl, &mut tuner);
+                rep.strategy = format!("arcs-{}", args.strategy);
+                (rep, Some(tuner.export_history(&context)))
+            }
+            "offline" => {
+                let history = match &args.load_history {
+                    Some(path) => History::load(path).unwrap_or_else(|e| {
+                        eprintln!("cannot load history {path:?}: {e}");
+                        exit(1)
+                    }),
+                    None => {
+                        let mut options = TunerOptions::offline_train(space.clone());
+                        if let Some(t) = args.selective {
+                            options = options.with_min_region_time(t);
+                        }
+                        SimExecutor::new(m.clone(), cap).train_offline(&wl, options, &context)
+                    }
+                };
+                let mut tuner =
+                    RegionTuner::new(TunerOptions::offline_replay(space, history.clone()));
+                let mut rep = SimExecutor::new(m.clone(), cap).run_tuned(&wl, &mut tuner);
+                rep.strategy = "arcs-offline".into();
+                (rep, Some(history))
+            }
+            other => {
+                eprintln!("unknown strategy {other}");
+                usage()
+            }
+        };
+
+    if let (Some(path), Some(h)) = (&args.save_history, &history) {
+        if let Err(e) = h.save(path) {
+            eprintln!("cannot save history: {e}");
+            exit(1);
+        }
+        eprintln!("history saved to {path:?}");
+    }
+
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serialises"));
+        return;
+    }
+
+    println!("{} on {} at {:.0}W — strategy {}", wl.name, m.name, cap, report.strategy);
+    println!(
+        "time   {:>10.2}s   (default {:.2}s, ratio {:.3})",
+        report.time_s,
+        base.time_s,
+        report.time_s / base.time_s
+    );
+    println!(
+        "energy {:>10.0}J   (default {:.0}J, ratio {:.3})",
+        report.energy_j,
+        base.energy_j,
+        report.energy_j / base.energy_j
+    );
+    println!(
+        "overheads: config-change {:.2}s, instrumentation {:.2}s",
+        report.config_change_overhead_s, report.instrumentation_overhead_s
+    );
+    if let Some(h) = &history {
+        println!("configurations:");
+        for (region, entry) in &h.entries {
+            println!("  {:40} [{}]", region, entry.config);
+        }
+    }
+}

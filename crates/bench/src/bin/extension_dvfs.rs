@@ -1,0 +1,72 @@
+//! Extension experiment (paper future work §VII): per-region DVFS as a
+//! fourth knob. For each SP region at each power cap we tune with three
+//! objectives and report what the frequency axis buys on top of ARCS.
+use arcs::dvfs::{tune_region, DvfsSpace, Objective};
+use arcs::OmpConfig;
+use arcs_bench::{power_label, preamble, print_table, POWER_LEVELS};
+use arcs_harmony::StrategyKind;
+use arcs_kernels::{model, Class};
+use arcs_powersim::{simulate_region_at_freq, Machine};
+
+fn main() {
+    preamble(
+        "Extension: per-region DVFS",
+        "§VII future work — 'we plan to include this [DVFS] policy'. \
+         Memory-bound regions clock down below the cap at little time cost",
+    );
+    let m = Machine::crill();
+    let wl = model::sp(Class::B);
+    let space = DvfsSpace::for_machine(&m, 4);
+
+    let mut rows = Vec::new();
+    for &cap in &POWER_LEVELS {
+        let mut t_time = 0.0;
+        let mut e_time = 0.0;
+        let mut t_energy = 0.0;
+        let mut e_energy = 0.0;
+        let mut t_def = 0.0;
+        let mut e_def = 0.0;
+        let mut clamped = 0usize;
+        for region in &wl.step {
+            let def = simulate_region_at_freq(
+                &m,
+                cap,
+                region,
+                OmpConfig::default_for(&m).as_sim(),
+                None,
+            );
+            t_def += def.time_s;
+            e_def += def.energy_j;
+            let by_time =
+                tune_region(&m, cap, region, &space, Objective::Time, StrategyKind::exhaustive());
+            t_time += by_time.report.time_s;
+            e_time += by_time.report.energy_j;
+            let by_energy = tune_region(
+                &m,
+                cap,
+                region,
+                &space,
+                Objective::Energy,
+                StrategyKind::exhaustive(),
+            );
+            t_energy += by_energy.report.time_s;
+            e_energy += by_energy.report.energy_j;
+            if by_energy.config.freq_ghz.is_some() {
+                clamped += 1;
+            }
+        }
+        rows.push(vec![
+            power_label(cap),
+            format!("{:.3}", t_time / t_def),
+            format!("{:.3}", e_time / e_def),
+            format!("{:.3}", t_energy / t_def),
+            format!("{:.3}", e_energy / e_def),
+            format!("{clamped}/{}", wl.step.len()),
+        ]);
+    }
+    print_table(
+        "SP.B per-step totals, normalised to default (time-objective = base ARCS + freq axis)",
+        &["Power", "time (obj=time)", "energy (obj=time)", "time (obj=energy)", "energy (obj=energy)", "regions clamped"],
+        &rows,
+    );
+}

@@ -1,0 +1,54 @@
+//! Extension experiment: ARCS on the rest of the NAS suite personalities.
+//!
+//! §II: "We also experimented with OpenMP regions from other NAS Parallel
+//! benchmark applications. We observed that a significant number of the
+//! OpenMP regions showed similar behavior." CG (irregular, memory-bound)
+//! and EP (perfectly balanced, compute-only) bracket the behaviour space:
+//! CG should show SP-like headroom; EP is the negative control where a
+//! correct tuner must do (almost) no harm.
+use arcs::{ConfigSpace, RegionTuner, SimExecutor, TunerOptions};
+use arcs_bench::{compare_at, f3, power_label, preamble, print_table, POWER_LEVELS};
+use arcs_kernels::{model, Class};
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "Extension: CG and EP",
+        "beyond the paper's three apps — the suite's extremes: irregular \
+         CG (tiny regions: overhead pathology), embarrassingly-parallel EP \
+         (no headroom: the negative control), and multigrid MG (one region \
+         at many scales: coarse levels are pure overhead under ARCS)",
+    );
+    let m = Machine::crill();
+    for (name, wl) in [
+        ("cg.B", model::cg(Class::B)),
+        ("ep.B", model::ep(Class::B)),
+        ("mg.B", model::mg(Class::B)),
+    ] {
+        let mut rows = Vec::new();
+        for &cap in &POWER_LEVELS {
+            let pt = compare_at(&m, cap, &wl);
+            // Selective tuning: regions cheaper than 4× the reconfiguration
+            // cost are left alone (the paper's future-work fix; for CG's
+            // 5 ms regions this is the only sane policy).
+            let space = ConfigSpace::for_machine(&m);
+            let mut tuner = RegionTuner::new(
+                TunerOptions::online(space).with_min_region_time(4.0 * m.config_change_s),
+            );
+            let selective = SimExecutor::new(m.clone(), cap).run_tuned(&wl, &mut tuner);
+            rows.push(vec![
+                power_label(cap),
+                format!("{:.1}s", pt.default.time_s),
+                f3(pt.online_time_ratio()),
+                f3(pt.offline_time_ratio()),
+                f3(selective.time_s / pt.default.time_s),
+                f3(pt.offline_energy_ratio()),
+            ]);
+        }
+        print_table(
+            &format!("{name} normalised to default"),
+            &["Power", "default time", "online t", "offline t", "online+selective t", "offline E"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig. 1: execution time of the BT x_solve region under five runtime
+//! configurations at each power level (region time for the whole run).
+use arcs::OmpConfig;
+use arcs_bench::{power_label, preamble, print_table, region_at, region_oracle, POWER_LEVELS};
+use arcs_kernels::{model, Class};
+use arcs_omprt::Schedule;
+use arcs_powersim::{Machine, SimConfig};
+
+fn main() {
+    preamble(
+        "Fig. 1",
+        "BT x_solve: optimal config differs from default at every power level; \
+         optimal at 70W ~ beats default at TDP",
+    );
+    let m = Machine::crill();
+    let wl = model::bt(Class::B);
+    let region = "bt/x_solve";
+    let calls = wl.timesteps as f64;
+
+    let named: [(&str, SimConfig); 4] = [
+        ("24,guided,1", SimConfig { threads: 24, schedule: Schedule::guided(1) }),
+        ("32,dynamic,1", SimConfig { threads: 32, schedule: Schedule::dynamic(1) }),
+        ("32,guided,1", SimConfig { threads: 32, schedule: Schedule::guided(1) }),
+        ("32,static,default (DEFAULT)", OmpConfig::default_for(&m).as_sim()),
+    ];
+
+    let mut rows = Vec::new();
+    for &cap in &POWER_LEVELS {
+        let (best_cfg, best) = region_oracle(&m, cap, &wl, region);
+        let mut row = vec![power_label(cap), format!("{:.2}s [{}]", best.time_s * calls, best_cfg)];
+        for (_, cfg) in &named {
+            let rep = region_at(&m, cap, &wl, region, *cfg);
+            row.push(format!("{:.2}s", rep.time_s * calls));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["Power", "Best configuration"];
+    headers.extend(named.iter().map(|(n, _)| *n));
+    print_table("BT x_solve total region time per run", &headers, &rows);
+
+    // The headline cross-power comparison.
+    let (best70_cfg, best70) = region_oracle(&m, 70.0, &wl, region);
+    let def_tdp = region_at(&m, 115.0, &wl, region, OmpConfig::default_for(&m).as_sim());
+    println!(
+        "\noptimal@70W [{}] = {:.2}s vs default@TDP = {:.2}s  ({:+.1}%)",
+        best70_cfg,
+        best70.time_s * calls,
+        def_tdp.time_s * calls,
+        (best70.time_s / def_tdp.time_s - 1.0) * 100.0
+    );
+}

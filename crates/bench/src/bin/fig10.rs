@@ -1,0 +1,27 @@
+//! Fig. 10: LULESH CalcFBHourglassForceForElems feature comparison.
+use arcs_bench::{f3, feature_comparison, preamble, print_table};
+use arcs_kernels::model;
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "Fig. 10",
+        "CalcFBHourglassForceForElems: the ARCS config (paper: 4,guided,32) \
+         drives OMP_BARRIER to ~zero and improves L1/L3 miss rates",
+    );
+    let m = Machine::crill();
+    let wl = model::lulesh(45);
+    let rows = feature_comparison(&m, 115.0, &wl, &["lulesh/CalcFBHourglassForceForElems"]);
+    let r = &rows[0];
+    print_table(
+        "Normalised features (default = 1.000)",
+        &["Feature", "ARCS-Offline"],
+        &[
+            vec!["OMP_BARRIER".into(), f3(r.barrier)],
+            vec!["L1 cache miss".into(), f3(r.l1)],
+            vec!["L2 cache miss".into(), f3(r.l2)],
+            vec!["L3 cache miss".into(), f3(r.l3)],
+        ],
+    );
+    println!("\nchosen config: [{}]", r.config);
+}

@@ -1,0 +1,38 @@
+//! Fig. 3: SP region feature comparison, default vs ARCS-Offline at TDP.
+use arcs_bench::{f3, feature_comparison, preamble, print_table};
+use arcs_kernels::{model, Class};
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "Fig. 3",
+        "SP regions: ARCS cuts OMP_BARRIER by >50% (up to >80% in z_solve) and \
+         improves L1/L2/L3 miss rates, the largest gains in L3",
+    );
+    let m = Machine::crill();
+    let wl = model::sp(Class::B);
+    let rows = feature_comparison(
+        &m,
+        115.0,
+        &wl,
+        &["sp/compute_rhs", "sp/x_solve", "sp/y_solve", "sp/z_solve"],
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.region.trim_start_matches("sp/").to_string(),
+                r.config.to_string(),
+                f3(r.l1),
+                f3(r.l2),
+                f3(r.l3),
+                f3(r.barrier),
+            ]
+        })
+        .collect();
+    print_table(
+        "Normalised features (default = 1.000; smaller is better)",
+        &["Region", "ARCS config", "L1 miss", "L2 miss", "L3 miss", "OMP_BARRIER"],
+        &table,
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig. 4: SP class B application time and package energy across the five
+//! power levels, normalised to the default configuration.
+use arcs_bench::{f3, power_label, power_sweep, preamble, print_table};
+use arcs_kernels::{model, Class};
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "Fig. 4",
+        "SP.B: ARCS beats default by 26-40% in time at every power level; \
+         energy improves up to ~40%",
+    );
+    let m = Machine::crill();
+    let wl = model::sp(Class::B);
+    let sweep = power_sweep(&m, &wl);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|p| {
+            vec![
+                power_label(p.cap_w),
+                format!("{:.1}s", p.default.time_s),
+                f3(p.online_time_ratio()),
+                f3(p.offline_time_ratio()),
+                format!("{:.0}J", p.default.energy_j),
+                f3(p.online_energy_ratio()),
+                f3(p.offline_energy_ratio()),
+            ]
+        })
+        .collect();
+    print_table(
+        "SP.B normalised to default (smaller is better)",
+        &["Power", "default time", "online t", "offline t", "default energy", "online E", "offline E"],
+        &rows,
+    );
+}

@@ -1,0 +1,45 @@
+//! Fig. 5: SP class C execution time and energy at TDP (workload scaling).
+use arcs_bench::{compare_at, f3, preamble, print_table};
+use arcs_kernels::{model, Class};
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "Fig. 5",
+        "SP class C at TDP: time improves up to ~40%, energy up to ~42%; the \
+         chosen configurations differ from class B (workload-dependence)",
+    );
+    let m = Machine::crill();
+    let wl = model::sp(Class::C);
+    let pt = compare_at(&m, 115.0, &wl);
+    print_table(
+        "SP.C at TDP, normalised to default",
+        &["Criterion", "default", "ARCS-Online", "ARCS-Offline"],
+        &[
+            vec![
+                "Execution time".into(),
+                "1.000".into(),
+                f3(pt.online_time_ratio()),
+                f3(pt.offline_time_ratio()),
+            ],
+            vec![
+                "Package energy".into(),
+                "1.000".into(),
+                f3(pt.online_energy_ratio()),
+                f3(pt.offline_energy_ratio()),
+            ],
+        ],
+    );
+    // Workload-dependence of the chosen configurations (paper §V-A).
+    let hb = arcs_bench::offline_history(&m, 115.0, &model::sp(Class::B));
+    let hc = arcs_bench::offline_history(&m, 115.0, &wl);
+    println!("\nConfigs B vs C (workload-dependence):");
+    for r in ["sp/compute_rhs", "sp/x_solve", "sp/y_solve", "sp/z_solve"] {
+        println!(
+            "  {:16} B: [{}]   C: [{}]",
+            r.trim_start_matches("sp/"),
+            hb.get(r).unwrap().config,
+            hc.get(r).unwrap().config
+        );
+    }
+}

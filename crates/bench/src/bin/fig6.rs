@@ -1,0 +1,27 @@
+//! Fig. 6: BT compute_rhs feature comparison, default vs ARCS-Offline.
+use arcs_bench::{f3, feature_comparison, preamble, print_table};
+use arcs_kernels::{model, Class};
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "Fig. 6",
+        "BT compute_rhs (the only BT region with headroom): ~80% OMP_BARRIER \
+         improvement and better L3 behaviour with the ARCS config",
+    );
+    let m = Machine::crill();
+    let wl = model::bt(Class::B);
+    let rows = feature_comparison(&m, 115.0, &wl, &["bt/compute_rhs"]);
+    let r = &rows[0];
+    print_table(
+        "Normalised features for compute_rhs (default = 1.000)",
+        &["Feature", "ARCS-Offline"],
+        &[
+            vec!["OMP_BARRIER".into(), f3(r.barrier)],
+            vec!["L1 cache miss".into(), f3(r.l1)],
+            vec!["L2 cache miss".into(), f3(r.l2)],
+            vec!["L3 cache miss".into(), f3(r.l3)],
+        ],
+    );
+    println!("\nchosen config: [{}]", r.config);
+}

@@ -1,0 +1,34 @@
+//! Fig. 7: BT class B application time and energy across power levels.
+use arcs_bench::{f3, power_label, power_sweep, preamble, print_table};
+use arcs_kernels::{model, Class};
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "Fig. 7",
+        "BT.B: improvements are small at every power level (best ~3% offline); \
+         ARCS-Online is sometimes WORSE than default (overhead offsets gains)",
+    );
+    let m = Machine::crill();
+    let wl = model::bt(Class::B);
+    let sweep = power_sweep(&m, &wl);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|p| {
+            vec![
+                power_label(p.cap_w),
+                format!("{:.1}s", p.default.time_s),
+                f3(p.online_time_ratio()),
+                f3(p.offline_time_ratio()),
+                format!("{:.0}J", p.default.energy_j),
+                f3(p.online_energy_ratio()),
+                f3(p.offline_energy_ratio()),
+            ]
+        })
+        .collect();
+    print_table(
+        "BT.B normalised to default (smaller is better)",
+        &["Power", "default time", "online t", "offline t", "default energy", "online E", "offline E"],
+        &rows,
+    );
+}

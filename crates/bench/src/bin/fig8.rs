@@ -1,0 +1,47 @@
+//! Fig. 8: LULESH (mesh 45) — time and energy on Crill across power levels,
+//! and execution time on Minotaur at TDP.
+use arcs_bench::{f3, power_label, power_sweep, preamble, print_table, compare_at};
+use arcs_kernels::model;
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "Fig. 8",
+        "LULESH on Crill: Offline wins slightly at 55W and TDP, loses in between; \
+         Online loses everywhere; energy improves at all levels (max ~26%). \
+         On Minotaur: Offline ~+14%, Online small gain",
+    );
+    let crill = Machine::crill();
+    let wl = model::lulesh(45);
+    let sweep = power_sweep(&crill, &wl);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|p| {
+            vec![
+                power_label(p.cap_w),
+                format!("{:.1}s", p.default.time_s),
+                f3(p.online_time_ratio()),
+                f3(p.offline_time_ratio()),
+                f3(p.online_energy_ratio()),
+                f3(p.offline_energy_ratio()),
+            ]
+        })
+        .collect();
+    print_table(
+        "(a,b) LULESH mesh 45 on Crill, normalised to default",
+        &["Power", "default time", "online t", "offline t", "online E", "offline E"],
+        &rows,
+    );
+
+    let minotaur = Machine::minotaur();
+    let pt = compare_at(&minotaur, minotaur.power.tdp_w, &wl);
+    print_table(
+        "(c) LULESH mesh 45 on Minotaur (TDP), normalised to default",
+        &["Strategy", "time ratio"],
+        &[
+            vec!["default".into(), "1.000".into()],
+            vec!["ARCS-Online".into(), f3(pt.online_time_ratio())],
+            vec!["ARCS-Offline".into(), f3(pt.offline_time_ratio())],
+        ],
+    );
+}

@@ -1,0 +1,42 @@
+//! Fig. 9: OMPT event breakdown for the top LULESH regions (default config,
+//! TDP): OpenMP_IMPLICIT_TASK vs OpenMP_LOOP vs OpenMP_BARRIER.
+use arcs::runs;
+use arcs_bench::{preamble, print_table};
+use arcs_kernels::model;
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "Fig. 9",
+        "LULESH top regions: EvalEOSForElems has the largest inclusive time but \
+         spends most of it in OMP_BARRIER; Kinematics/MonotonicQ are near \
+         perfectly balanced; per-call times of EvalEOS/CalcPressure are tiny",
+    );
+    let m = Machine::crill();
+    let wl = model::lulesh(45);
+    let rep = runs::default_run(&m, 115.0, &wl);
+    let mut regions: Vec<_> = rep.per_region.iter().collect();
+    // Inclusive time = per-thread busy + barrier (the IMPLICIT_TASK sum).
+    regions.sort_by(|a, b| {
+        (b.1.busy_s + b.1.barrier_s).partial_cmp(&(a.1.busy_s + a.1.barrier_s)).unwrap()
+    });
+    let rows: Vec<Vec<String>> = regions
+        .iter()
+        .take(5)
+        .map(|(name, s)| {
+            vec![
+                name.trim_start_matches("lulesh/").to_string(),
+                format!("{:.1}s", s.busy_s + s.barrier_s),
+                format!("{:.1}s", s.busy_s),
+                format!("{:.1}s", s.barrier_s),
+                format!("{:.1}%", 100.0 * s.barrier_s / (s.busy_s + s.barrier_s)),
+                format!("{:.4}s", s.mean_time_s()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Top 5 LULESH regions by inclusive (IMPLICIT_TASK) time",
+        &["Region", "IMPLICIT_TASK", "LOOP", "BARRIER", "barrier %", "time/call"],
+        &rows,
+    );
+}

@@ -1,0 +1,55 @@
+//! §III-C: overhead characterisation — configuration-change,
+//! instrumentation, and search overheads.
+use arcs::{runs, OmpConfig, SimExecutor};
+use arcs_bench::{preamble, print_table};
+use arcs_kernels::{model, Class};
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "§III-C overheads",
+        "config change ≈ 8 ms/region call on Crill; search overhead up to ~10% \
+         of total execution time; overheads dominate tiny LULESH regions",
+    );
+    let m = Machine::crill();
+    println!("\nconfiguration-change overhead: {:.4}s per region invocation", m.config_change_s);
+    println!("instrumentation overhead:      {:.4}s per region invocation", m.instrumentation_s);
+
+    let mut rows = Vec::new();
+    for (name, wl) in [
+        ("bt.B", model::bt(Class::B)),
+        ("sp.B", model::sp(Class::B)),
+        ("lulesh.45", model::lulesh(45)),
+    ] {
+        let base = runs::default_run(&m, 115.0, &wl);
+        let online = runs::online_run(&m, 115.0, &wl);
+        // Search overhead: extra region time spent on sub-optimal configs,
+        // relative to replaying the final configs for the whole run.
+        let (offline, history) = runs::offline_run(&m, 115.0, &wl);
+        let final_cfgs = history.clone();
+        let mut exec = SimExecutor::new(m.clone(), 115.0);
+        let replay = exec.run_fixed(
+            &wl,
+            &|r| final_cfgs.get(r).map(|e| e.config).unwrap_or_else(|| OmpConfig::default_for(&m)),
+            "oracle-replay",
+        );
+        let search_overhead =
+            (online.time_s - online.total_overhead_s() - replay.time_s).max(0.0);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}s", base.time_s),
+            format!("{:.2}s ({:.1}%)", online.config_change_overhead_s,
+                100.0 * online.config_change_overhead_s / online.time_s),
+            format!("{:.2}s ({:.1}%)", online.instrumentation_overhead_s,
+                100.0 * online.instrumentation_overhead_s / online.time_s),
+            format!("{:.2}s ({:.1}%)", search_overhead, 100.0 * search_overhead / online.time_s),
+            format!("{:.2}s ({:.1}%)", offline.config_change_overhead_s,
+                100.0 * offline.config_change_overhead_s / offline.time_s),
+        ]);
+    }
+    print_table(
+        "Overheads by application (ARCS-Online unless noted)",
+        &["App", "default time", "config-change", "instrumentation", "search", "offline cfg-change"],
+        &rows,
+    );
+}

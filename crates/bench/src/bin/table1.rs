@@ -1,0 +1,57 @@
+//! Table I: the ARCS search parameter sets per machine.
+use arcs::{ChunkChoice, ConfigSpace, ScheduleChoice, ThreadChoice};
+use arcs_bench::{preamble, print_table};
+
+fn fmt_threads(space: &ConfigSpace) -> String {
+    space
+        .threads
+        .iter()
+        .map(|t| match t {
+            ThreadChoice::Count(n) => n.to_string(),
+            ThreadChoice::Default => "default".into(),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn main() {
+    preamble(
+        "Table I",
+        "set of ARCS search parameters for OpenMP parallel regions",
+    );
+    let crill = ConfigSpace::crill();
+    let minotaur = ConfigSpace::minotaur();
+    let schedules = crill
+        .schedules
+        .iter()
+        .map(|s| match s {
+            ScheduleChoice::Kind(k) => k.name().to_string(),
+            ScheduleChoice::Default => "default".into(),
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let chunks = crill
+        .chunks
+        .iter()
+        .map(|c| match c {
+            ChunkChoice::Size(n) => n.to_string(),
+            ChunkChoice::Default => "default".into(),
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    print_table(
+        "Set of ARCS search parameters",
+        &["Parameter", "Set of values"],
+        &[
+            vec!["Number of threads (Crill)".into(), fmt_threads(&crill)],
+            vec!["Number of threads (Minotaur)".into(), fmt_threads(&minotaur)],
+            vec!["Schedule Type".into(), schedules],
+            vec!["Chunk Size".into(), chunks],
+        ],
+    );
+    println!(
+        "\nsearch-space sizes: Crill {} points/region, Minotaur {} points/region",
+        crill.size(),
+        minotaur.size()
+    );
+}

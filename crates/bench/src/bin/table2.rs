@@ -1,0 +1,31 @@
+//! Table II: optimal configuration chosen by ARCS-Offline for SP regions.
+use arcs_bench::{offline_history, preamble, print_table};
+use arcs_kernels::{model, Class};
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "Table II",
+        "optimal configs for SP regions at TDP, e.g. compute_rhs: 16,guided,8; \
+         x_solve: 16,guided,1; y_solve: 8,static,default; z_solve: 4,static,32",
+    );
+    let m = Machine::crill();
+    let wl = model::sp(Class::B);
+    let history = offline_history(&m, 115.0, &wl);
+    let rows: Vec<Vec<String>> = ["sp/compute_rhs", "sp/x_solve", "sp/y_solve", "sp/z_solve"]
+        .iter()
+        .map(|&r| {
+            let e = history.get(r).expect("trained region");
+            vec![
+                r.trim_start_matches("sp/").to_string(),
+                e.config.to_string(),
+                format!("{:.4}s", e.value),
+            ]
+        })
+        .collect();
+    print_table(
+        "Optimal configuration chosen by ARCS-Offline (SP class B, TDP)",
+        &["Region", "Optimal (threads, schedule, chunk)", "Region time/call"],
+        &rows,
+    );
+}

@@ -1,0 +1,30 @@
+//! §V cross-architecture results: SP and BT on the POWER8 (Minotaur) model.
+use arcs_bench::{compare_at, f3, preamble, print_table};
+use arcs_kernels::{model, Class};
+use arcs_powersim::Machine;
+
+fn main() {
+    preamble(
+        "§V cross-architecture (Minotaur, POWER8)",
+        "SP.B: ~37% execution-time improvement vs default; BT.B: only Offline \
+         achieves ~8%; evaluation is time-only (no capping privilege)",
+    );
+    let m = Machine::minotaur();
+    let tdp = m.power.tdp_w;
+    let mut rows = Vec::new();
+    for (name, wl) in [("sp.B", model::sp(Class::B)), ("bt.B", model::bt(Class::B))] {
+        let pt = compare_at(&m, tdp, &wl);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}s", pt.default.time_s),
+            f3(pt.online_time_ratio()),
+            f3(pt.offline_time_ratio()),
+            format!("{:+.1}%", (1.0 - pt.offline_time_ratio()) * 100.0),
+        ]);
+    }
+    print_table(
+        "Minotaur at TDP, normalised to default",
+        &["App", "default time", "online t", "offline t", "offline gain"],
+        &rows,
+    );
+}

@@ -1,0 +1,242 @@
+//! OpenMP runtime configurations and the ARCS search space (Table I).
+//!
+//! A configuration is the paper's triple: **number of threads**,
+//! **scheduling policy**, **chunk size**. The search space is the reduced
+//! grid of Table I; "default" entries map to the runtime defaults (all
+//! hardware threads / `static` / block chunking).
+//!
+//! Garbled-source note: the paper's Table I lost the characters `0` and
+//! `1` in transcription. The values below reconstruct it under that
+//! pattern: Crill threads {2,4,8,**16**,24,32,default}, Minotaur threads
+//! {**20,40,80,120,160**,default}, chunks {**1**,8,**16**,32,64,**128**,
+//! 256,**512**,default} — flagged in EXPERIMENTS.md.
+
+use arcs_harmony::{Param, Point, SearchSpace};
+use arcs_omprt::{Schedule, ScheduleKind};
+use arcs_powersim::{Machine, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One concrete runtime configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OmpConfig {
+    pub threads: usize,
+    pub schedule: Schedule,
+}
+
+impl OmpConfig {
+    /// The paper's baseline: "maximum number of available threads, static
+    /// scheduling, and chunk sizes calculated dynamically by dividing total
+    /// number of loop iterations by number of threads".
+    pub fn default_for(machine: &Machine) -> Self {
+        OmpConfig { threads: machine.hw_threads(), schedule: Schedule::static_block() }
+    }
+
+    pub fn as_sim(&self) -> SimConfig {
+        SimConfig { threads: self.threads, schedule: self.schedule }
+    }
+}
+
+impl fmt::Display for OmpConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}, {}", self.threads, self.schedule)
+    }
+}
+
+/// A thread-count choice: explicit or the runtime default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadChoice {
+    Count(usize),
+    Default,
+}
+
+/// A schedule-kind choice, `Default` meaning the implementation default
+/// (`static` block partition, chunk entry ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleChoice {
+    Kind(ScheduleKind),
+    Default,
+}
+
+/// A chunk-size choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChunkChoice {
+    Size(usize),
+    Default,
+}
+
+/// The discrete grid ARCS searches per region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    pub threads: Vec<ThreadChoice>,
+    pub schedules: Vec<ScheduleChoice>,
+    pub chunks: Vec<ChunkChoice>,
+    /// What `ThreadChoice::Default` resolves to (the machine's hardware
+    /// thread count).
+    pub default_threads: usize,
+}
+
+impl ConfigSpace {
+    /// Table I row for the Sandy Bridge machine.
+    pub fn crill() -> Self {
+        Self::with_threads(&[2, 4, 8, 16, 24, 32], 32)
+    }
+
+    /// Table I row for the POWER8 machine.
+    pub fn minotaur() -> Self {
+        Self::with_threads(&[20, 40, 80, 120, 160], 160)
+    }
+
+    /// The appropriate Table I row for a machine model.
+    pub fn for_machine(machine: &Machine) -> Self {
+        match machine.name.as_str() {
+            "crill" => Self::crill(),
+            "minotaur" => Self::minotaur(),
+            _ => {
+                // Generic fallback: powers of two up to the HW thread count.
+                let max = machine.hw_threads();
+                let mut t = Vec::new();
+                let mut v = 2;
+                while v < max {
+                    t.push(v);
+                    v *= 2;
+                }
+                t.push(max);
+                Self::with_threads(&t, max)
+            }
+        }
+    }
+
+    fn with_threads(counts: &[usize], default_threads: usize) -> Self {
+        let mut threads: Vec<ThreadChoice> =
+            counts.iter().map(|&c| ThreadChoice::Count(c)).collect();
+        threads.push(ThreadChoice::Default);
+        ConfigSpace {
+            threads,
+            schedules: vec![
+                ScheduleChoice::Kind(ScheduleKind::Dynamic),
+                ScheduleChoice::Kind(ScheduleKind::Static),
+                ScheduleChoice::Kind(ScheduleKind::Guided),
+                ScheduleChoice::Default,
+            ],
+            chunks: vec![
+                ChunkChoice::Size(1),
+                ChunkChoice::Size(8),
+                ChunkChoice::Size(16),
+                ChunkChoice::Size(32),
+                ChunkChoice::Size(64),
+                ChunkChoice::Size(128),
+                ChunkChoice::Size(256),
+                ChunkChoice::Size(512),
+                ChunkChoice::Default,
+            ],
+            default_threads,
+        }
+    }
+
+    /// The Harmony search space: one parameter per knob.
+    pub fn to_search_space(&self) -> SearchSpace {
+        SearchSpace::new(vec![
+            Param::new("threads", self.threads.len()),
+            Param::new("schedule", self.schedules.len()),
+            Param::new("chunk", self.chunks.len()),
+        ])
+    }
+
+    /// Total number of grid points.
+    pub fn size(&self) -> usize {
+        self.threads.len() * self.schedules.len() * self.chunks.len()
+    }
+
+    /// Decode a Harmony grid point into a concrete configuration.
+    pub fn decode(&self, point: &[usize]) -> OmpConfig {
+        assert_eq!(point.len(), 3, "ARCS points are (threads, schedule, chunk)");
+        let threads = match self.threads[point[0]] {
+            ThreadChoice::Count(n) => n,
+            ThreadChoice::Default => self.default_threads,
+        };
+        let chunk = match self.chunks[point[2]] {
+            ChunkChoice::Size(c) => Some(c),
+            ChunkChoice::Default => None,
+        };
+        let schedule = match self.schedules[point[1]] {
+            ScheduleChoice::Kind(kind) => Schedule::new(kind, chunk),
+            // The implementation-default schedule ignores the chunk knob.
+            ScheduleChoice::Default => Schedule::runtime_default(),
+        };
+        OmpConfig { threads, schedule }
+    }
+
+    /// The grid point encoding the paper's default configuration
+    /// (default threads / default schedule / default chunk) — the start
+    /// point for simplex searches.
+    pub fn default_point(&self) -> Point {
+        vec![self.threads.len() - 1, self.schedules.len() - 1, self.chunks.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_sizes() {
+        let c = ConfigSpace::crill();
+        assert_eq!(c.threads.len(), 7);
+        assert_eq!(c.schedules.len(), 4);
+        assert_eq!(c.chunks.len(), 9);
+        assert_eq!(c.size(), 252);
+        assert_eq!(ConfigSpace::minotaur().threads.len(), 6);
+    }
+
+    #[test]
+    fn decode_explicit_point() {
+        let c = ConfigSpace::crill();
+        // threads=8 (idx 2), guided (idx 2), chunk=32 (idx 3)
+        let cfg = c.decode(&[2, 2, 3]);
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.schedule, Schedule::guided(32));
+    }
+
+    #[test]
+    fn decode_default_point_is_paper_baseline() {
+        let c = ConfigSpace::crill();
+        let cfg = c.decode(&c.default_point());
+        let m = Machine::crill();
+        assert_eq!(cfg, OmpConfig::default_for(&m));
+        assert_eq!(cfg.threads, 32);
+        assert_eq!(cfg.schedule, Schedule::static_block());
+    }
+
+    #[test]
+    fn default_schedule_ignores_chunk() {
+        let c = ConfigSpace::crill();
+        let a = c.decode(&[0, 3, 0]);
+        let b = c.decode(&[0, 3, 7]);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.schedule, Schedule::runtime_default());
+    }
+
+    #[test]
+    fn every_grid_point_decodes(){
+        let c = ConfigSpace::crill();
+        let space = c.to_search_space();
+        assert_eq!(space.size(), c.size());
+        for p in space.iter_points() {
+            let cfg = c.decode(&p);
+            assert!(cfg.threads >= 2 && cfg.threads <= 32);
+        }
+    }
+
+    #[test]
+    fn for_machine_dispatch() {
+        assert_eq!(ConfigSpace::for_machine(&Machine::crill()), ConfigSpace::crill());
+        assert_eq!(ConfigSpace::for_machine(&Machine::minotaur()), ConfigSpace::minotaur());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let cfg = OmpConfig { threads: 16, schedule: Schedule::guided(8) };
+        assert_eq!(cfg.to_string(), "16, guided,8");
+    }
+}

@@ -1,0 +1,58 @@
+//! # arcs — Adaptive Runtime Configuration Selection
+//!
+//! Reproduction of *"ARCS: Adaptive Runtime Configuration Selection for
+//! Power-Constrained OpenMP Applications"* (Shahneous Bari et al., IEEE
+//! CLUSTER 2016): a framework that automatically selects, per parallel
+//! region, the best **number of threads**, **scheduling policy** and
+//! **chunk size** for a given package power cap.
+//!
+//! Two strategies, as in the paper:
+//!
+//! * **ARCS-Offline** — an exhaustive training execution per power
+//!   cap/workload saves the best configuration per region to a history
+//!   file; the measured execution replays it
+//!   ([`executor::runs::offline_run`]).
+//! * **ARCS-Online** — Nelder–Mead search converges within the same run
+//!   ([`executor::runs::online_run`]).
+//!
+//! Two backends:
+//!
+//! * [`live::ArcsLive`] attaches to a real [`arcs_omprt::Runtime`] through
+//!   the OMPT-like tool interface and APEX policies — the paper's Fig. 2
+//!   wiring, adapting real executions;
+//! * [`executor::SimExecutor`] drives the deterministic power-capped
+//!   machine simulator (`arcs-powersim`), which is where the paper's
+//!   power-sweep experiments run (RAPL capping is simulated; see
+//!   DESIGN.md).
+//!
+//! ## Quickstart (simulator)
+//! ```
+//! use arcs::executor::runs;
+//! use arcs_powersim::Machine;
+//! use arcs_kernels::{model, Class};
+//!
+//! let machine = Machine::crill();
+//! let mut workload = model::sp(Class::B);
+//! workload.timesteps = 10;
+//!
+//! let base = runs::default_run(&machine, 85.0, &workload);
+//! let (tuned, history) = runs::offline_run(&machine, 85.0, &workload);
+//! assert!(tuned.time_s < base.time_s);
+//! assert_eq!(history.len(), 5); // one best config per SP region
+//! ```
+
+pub mod config;
+pub mod dvfs;
+pub mod executor;
+pub mod live;
+pub mod profiler;
+pub mod report;
+pub mod tuner;
+
+pub use config::{ChunkChoice, ConfigSpace, OmpConfig, ScheduleChoice, ThreadChoice};
+pub use executor::{runs, SimExecutor};
+pub use dvfs::{DvfsConfig, DvfsOutcome, DvfsSpace, Objective};
+pub use live::ArcsLive;
+pub use profiler::{OmptProfiler, RegionProfile};
+pub use report::{AppRunReport, RegionSummary};
+pub use tuner::{RegionTuner, TunerDecision, TunerOptions, TunerStats, TuningMode};

@@ -1,0 +1,205 @@
+//! Live ARCS: the full Fig. 2 wiring on the real runtime.
+//!
+//! ```text
+//! Application ──► omprt Runtime ──events──► OMPT adapter ──► APEX timers
+//!                      ▲                                        │
+//!                      └── set_num_threads / set_schedule ◄── policy ──► Harmony sessions
+//! ```
+//!
+//! An [`ArcsLive`] instance registers an OMPT tool that starts/stops an
+//! APEX timer around every parallel region, and an APEX *policy* that, on
+//! timer start, asks the per-region Harmony session for the next
+//! configuration and applies it through the runtime's control knobs —
+//! which works on the *current* invocation because `arcs-omprt` fires
+//! `parallel_begin` before reading its ICVs, just like the paper's
+//! modified OpenMP runtime. On timer stop the policy reports the measured
+//! duration back to the session.
+
+use crate::tuner::{RegionTuner, TunerOptions};
+use arcs_apex::{Apex, PolicyEventKind, PolicyTrigger};
+use arcs_omprt::{RegionId, RegionRecord, Runtime, Tool};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The OMPT adapter: translates runtime events into APEX timer calls.
+struct OmptAdapter {
+    rt: Arc<Runtime>,
+    apex: Arc<Apex>,
+}
+
+impl Tool for OmptAdapter {
+    fn parallel_begin(&self, region: RegionId) {
+        let task = self.apex.task(&self.rt.region_name(region));
+        self.apex.start(task);
+    }
+
+    fn parallel_end(&self, region: RegionId, _record: &RegionRecord) {
+        let task = self.apex.task(&self.rt.region_name(region));
+        let _ = self.apex.stop(task);
+    }
+}
+
+/// Handle to a live ARCS attachment.
+pub struct ArcsLive {
+    apex: Arc<Apex>,
+    tuner: Arc<Mutex<RegionTuner>>,
+}
+
+impl ArcsLive {
+    /// Attach ARCS to a runtime: registers the OMPT adapter and the tuning
+    /// policy. From this point every `parallel_for` on `rt` is measured
+    /// and adaptively reconfigured.
+    pub fn attach(rt: Arc<Runtime>, options: TunerOptions) -> ArcsLive {
+        let apex = Arc::new(Apex::new());
+        let tuner = Arc::new(Mutex::new(RegionTuner::new(options)));
+
+        rt.tools().register(Arc::new(OmptAdapter { rt: Arc::clone(&rt), apex: Arc::clone(&apex) }));
+
+        // Policy: on timer start, select and apply the next configuration.
+        {
+            let tuner = Arc::clone(&tuner);
+            let rt = Arc::clone(&rt);
+            apex.register_policy("arcs-select", PolicyTrigger::OnTimerStart, move |ev| {
+                let decision = tuner.lock().begin(&ev.task_name);
+                rt.set_num_threads(decision.config.threads);
+                rt.set_schedule(decision.config.schedule);
+            });
+        }
+        // Policy: on timer stop, report the measurement.
+        {
+            let tuner = Arc::clone(&tuner);
+            apex.register_policy("arcs-report", PolicyTrigger::OnTimerStop, move |ev| {
+                if let PolicyEventKind::TimerStop { duration_s } = ev.kind {
+                    tuner.lock().end(&ev.task_name, duration_s);
+                }
+            });
+        }
+
+        ArcsLive { apex, tuner }
+    }
+
+    /// The APEX instance collecting profiles (for analysis/reporting).
+    pub fn apex(&self) -> &Arc<Apex> {
+        &self.apex
+    }
+
+    /// Has every encountered region converged?
+    pub fn converged(&self) -> bool {
+        self.tuner.lock().converged()
+    }
+
+    /// Best configuration per region found so far.
+    pub fn best_configs(&self) -> std::collections::HashMap<String, crate::config::OmpConfig> {
+        self.tuner.lock().best_configs()
+    }
+
+    /// Export the history file ("save the best parameters found").
+    pub fn export_history(&self, context: &str) -> arcs_harmony::History<crate::config::OmpConfig> {
+        self.tuner.lock().export_history(context)
+    }
+
+    /// Tuner bookkeeping counters.
+    pub fn stats(&self) -> crate::tuner::TunerStats {
+        self.tuner.lock().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigSpace;
+    use arcs_harmony::NmOptions;
+    use crate::tuner::TuningMode;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn small_space(default_threads: usize) -> ConfigSpace {
+        // A reduced space so live searches converge in few invocations.
+        use crate::config::{ChunkChoice, ScheduleChoice, ThreadChoice};
+        use arcs_omprt::ScheduleKind;
+        ConfigSpace {
+            threads: vec![ThreadChoice::Count(1), ThreadChoice::Count(2), ThreadChoice::Default],
+            schedules: vec![
+                ScheduleChoice::Kind(ScheduleKind::Dynamic),
+                ScheduleChoice::Kind(ScheduleKind::Static),
+                ScheduleChoice::Default,
+            ],
+            chunks: vec![ChunkChoice::Size(1), ChunkChoice::Size(16), ChunkChoice::Default],
+            default_threads,
+        }
+    }
+
+    #[test]
+    fn live_tuning_drives_configs_through_the_runtime() {
+        let rt = Arc::new(Runtime::new(4));
+        let options = TunerOptions {
+            space: small_space(4),
+            mode: TuningMode::Online(NmOptions {
+                max_evals: 30,
+                ..NmOptions::default()
+            }),
+            min_region_time_s: 0.0,
+        };
+        let live = ArcsLive::attach(Arc::clone(&rt), options);
+
+        let region = rt.register_region("live/loop");
+        let work = AtomicUsize::new(0);
+        for _ in 0..40 {
+            rt.parallel_for(region, 0..256, |i| {
+                // A few microseconds of work per iteration.
+                let mut acc = i as u64;
+                for _ in 0..200 {
+                    acc = acc.wrapping_mul(0x9E3779B9).rotate_left(7);
+                }
+                work.fetch_add((acc & 1) as usize, Ordering::Relaxed);
+            });
+        }
+
+        let stats = live.stats();
+        assert_eq!(stats.invocations, 40);
+        assert!(stats.config_changes > 1, "search must try multiple configs");
+        // APEX saw every invocation.
+        let task = live.apex().task("live/loop");
+        assert_eq!(live.apex().profile(task).unwrap().count, 40);
+        // A best configuration exists and is valid.
+        let best = live.best_configs()["live/loop"];
+        assert!(best.threads >= 1 && best.threads <= 4);
+    }
+
+    #[test]
+    fn live_history_export_roundtrips() {
+        let rt = Arc::new(Runtime::new(2));
+        let options = TunerOptions {
+            space: small_space(2),
+            mode: TuningMode::Online(NmOptions { max_evals: 10, ..NmOptions::default() }),
+            min_region_time_s: 0.0,
+        };
+        let live = ArcsLive::attach(Arc::clone(&rt), options);
+        let region = rt.register_region("live/export");
+        for _ in 0..12 {
+            rt.parallel_for(region, 0..64, |_| {});
+        }
+        let h = live.export_history("test-ctx");
+        assert_eq!(h.context, "test-ctx");
+        assert!(h.get("live/export").is_some());
+    }
+
+    #[test]
+    fn replay_mode_applies_saved_config_live() {
+        use arcs_harmony::History;
+        use arcs_omprt::Schedule;
+        let rt = Arc::new(Runtime::new(4));
+        let mut h = History::new("ctx");
+        let saved = crate::config::OmpConfig { threads: 2, schedule: Schedule::dynamic(16) };
+        h.insert("live/replay", saved, 0.1, 9);
+        let options = TunerOptions {
+            space: small_space(4),
+            mode: TuningMode::OfflineReplay(h),
+            min_region_time_s: 0.0,
+        };
+        let _live = ArcsLive::attach(Arc::clone(&rt), options);
+        let region = rt.register_region("live/replay");
+        let rec = rt.parallel_for(region, 0..64, |_| {});
+        assert_eq!(rec.threads, 2);
+        assert_eq!(rec.schedule, Schedule::dynamic(16));
+    }
+}

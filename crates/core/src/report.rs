@@ -1,0 +1,137 @@
+//! Run reports: what an application execution measured.
+
+use crate::config::OmpConfig;
+use crate::tuner::TunerStats;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-region aggregate over a whole application run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSummary {
+    pub invocations: u64,
+    /// Total wall time spent in the region (fork to join), seconds.
+    pub total_time_s: f64,
+    /// Total per-thread loop-body time (OMPT `OpenMP_LOOP`).
+    pub busy_s: f64,
+    /// Total per-thread barrier wait (OMPT `OpenMP_BARRIER`).
+    pub barrier_s: f64,
+    /// Invocation-weighted mean cache miss rates.
+    pub l1_miss_rate: f64,
+    pub l2_miss_rate: f64,
+    pub l3_miss_rate: f64,
+    /// The configuration in effect for the final invocation.
+    pub final_config: Option<OmpConfig>,
+}
+
+impl Default for RegionSummary {
+    fn default() -> Self {
+        RegionSummary {
+            invocations: 0,
+            total_time_s: 0.0,
+            busy_s: 0.0,
+            barrier_s: 0.0,
+            l1_miss_rate: 0.0,
+            l2_miss_rate: 0.0,
+            l3_miss_rate: 0.0,
+            final_config: None,
+        }
+    }
+}
+
+impl RegionSummary {
+    /// Mean region duration per invocation.
+    pub fn mean_time_s(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.total_time_s / self.invocations as f64
+        }
+    }
+}
+
+/// Whole-application run report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRunReport {
+    pub app: String,
+    pub machine: String,
+    pub power_cap_w: f64,
+    pub strategy: String,
+    /// End-to-end wall time including all overheads, seconds.
+    pub time_s: f64,
+    /// Package energy (all sockets), joules.
+    pub energy_j: f64,
+    /// Time spent changing configurations (`omp_set_*` calls).
+    pub config_change_overhead_s: f64,
+    /// Time spent in measurement instrumentation (OMPT + APEX).
+    pub instrumentation_overhead_s: f64,
+    pub per_region: BTreeMap<String, RegionSummary>,
+    pub tuner: Option<TunerStats>,
+}
+
+impl AppRunReport {
+    /// Average package power over the run.
+    pub fn avg_power_w(&self) -> f64 {
+        if self.time_s > 0.0 {
+            self.energy_j / self.time_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Search overhead estimate: total time minus what the run would have
+    /// taken at the final (converged) configurations — only meaningful for
+    /// online strategies; computed by the caller where needed.
+    pub fn total_overhead_s(&self) -> f64 {
+        self.config_change_overhead_s + self.instrumentation_overhead_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_time_handles_zero_invocations() {
+        let r = RegionSummary::default();
+        assert_eq!(r.mean_time_s(), 0.0);
+    }
+
+    #[test]
+    fn avg_power() {
+        let rep = AppRunReport {
+            app: "x".into(),
+            machine: "crill".into(),
+            power_cap_w: 85.0,
+            strategy: "default".into(),
+            time_s: 10.0,
+            energy_j: 800.0,
+            config_change_overhead_s: 0.0,
+            instrumentation_overhead_s: 0.0,
+            per_region: BTreeMap::new(),
+            tuner: None,
+        };
+        assert_eq!(rep.avg_power_w(), 80.0);
+    }
+
+    #[test]
+    fn report_serialises() {
+        let mut per_region = BTreeMap::new();
+        per_region.insert("r".to_string(), RegionSummary::default());
+        let rep = AppRunReport {
+            app: "sp.B".into(),
+            machine: "crill".into(),
+            power_cap_w: 55.0,
+            strategy: "arcs-offline".into(),
+            time_s: 1.0,
+            energy_j: 2.0,
+            config_change_overhead_s: 0.1,
+            instrumentation_overhead_s: 0.05,
+            per_region,
+            tuner: None,
+        };
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: AppRunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(rep, back);
+        assert!((back.total_overhead_s() - 0.15).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,452 @@
+//! The per-region tuning brain.
+//!
+//! [`RegionTuner`] is backend-agnostic: both the live runtime adapter and
+//! the simulator executor drive it through the same two calls —
+//! [`begin`](RegionTuner::begin) when a region is about to fork (returns
+//! the configuration to apply and whether that is a change), and
+//! [`end`](RegionTuner::end) when the region's duration is known.
+//!
+//! Per the paper (§III-B): a tuning session is created lazily the first
+//! time a region is encountered; while un-converged, each invocation runs
+//! the next configuration the search requests; after convergence the
+//! converged values are used. In replay mode (ARCS-Offline's measured
+//! run), configurations come from the history file and no search happens.
+//!
+//! The *selective tuning* extension from the paper's future work ("enable
+//! selective tuning for OpenMP regions to avoid overheads on the smaller
+//! regions") is implemented as [`TunerOptions::min_region_time_s`]:
+//! regions whose observed mean duration falls below the threshold are
+//! pinned to the default configuration and excluded from tuning (and from
+//! the per-invocation configuration-change overhead).
+
+use crate::config::{ConfigSpace, OmpConfig};
+use arcs_harmony::{History, NmOptions, ProOptions, Session, StrategyKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a tuner chooses configurations.
+#[derive(Debug, Clone)]
+pub enum TuningMode {
+    /// Exhaustive sweep per region (the ARCS-Offline *training* run).
+    OfflineTrain,
+    /// Replay the best configurations saved by a training run (the
+    /// ARCS-Offline *measured* run).
+    OfflineReplay(History<OmpConfig>),
+    /// Nelder–Mead search within the run (ARCS-Online).
+    Online(NmOptions),
+    /// Parallel Rank Order search within the run.
+    OnlinePro(ProOptions),
+    /// Uniform random sampling within the run (ablation baseline).
+    OnlineRandom { seed: u64, max_evals: usize },
+}
+
+/// Tuner construction options.
+#[derive(Debug, Clone)]
+pub struct TunerOptions {
+    pub space: ConfigSpace,
+    pub mode: TuningMode,
+    /// Selective-tuning threshold (seconds of mean region time). 0 tunes
+    /// everything — the paper's evaluated behaviour.
+    pub min_region_time_s: f64,
+}
+
+impl TunerOptions {
+    pub fn online(space: ConfigSpace) -> Self {
+        TunerOptions { space, mode: TuningMode::Online(NmOptions::default()), min_region_time_s: 0.0 }
+    }
+
+    pub fn offline_train(space: ConfigSpace) -> Self {
+        TunerOptions { space, mode: TuningMode::OfflineTrain, min_region_time_s: 0.0 }
+    }
+
+    pub fn offline_replay(space: ConfigSpace, history: History<OmpConfig>) -> Self {
+        TunerOptions { space, mode: TuningMode::OfflineReplay(history), min_region_time_s: 0.0 }
+    }
+
+    pub fn with_min_region_time(mut self, seconds: f64) -> Self {
+        self.min_region_time_s = seconds;
+        self
+    }
+}
+
+/// What `begin` tells the caller to do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunerDecision {
+    pub config: OmpConfig,
+    /// Whether the configuration differs from the previously applied one.
+    pub changed: bool,
+    /// Whether ARCS actively manages this region. When true, the policy
+    /// calls `omp_set_num_threads`/`omp_set_schedule` at *every* region
+    /// entry (§III-C: the configuration-change overhead "is present in
+    /// both Online and Offline strategies"). Regions excluded by selective
+    /// tuning run untouched and pay nothing.
+    pub tuned: bool,
+}
+
+/// Aggregate overhead/bookkeeping counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TunerStats {
+    pub invocations: u64,
+    pub config_changes: u64,
+    pub regions: u64,
+    pub skipped_regions: u64,
+}
+
+struct RegionState {
+    session: Option<Session>,
+    /// Configuration pinned by replay/selective-skip (None while searching).
+    pinned: Option<OmpConfig>,
+    applied: Option<OmpConfig>,
+    awaiting: bool,
+    invocations: u64,
+    total_time_s: f64,
+    skipped: bool,
+}
+
+/// Per-region adaptive configuration selection.
+pub struct RegionTuner {
+    options: TunerOptions,
+    regions: HashMap<String, RegionState>,
+    /// The configuration currently held by the runtime's global ICVs.
+    /// `omp_set_num_threads`/`omp_set_schedule` are process-global, so a
+    /// region whose configuration differs from the *previously executed*
+    /// region's pays the change cost on every entry — which is how the
+    /// paper's per-region-invocation overhead arises (§III-C).
+    last_applied: Option<OmpConfig>,
+    stats: TunerStats,
+}
+
+impl RegionTuner {
+    pub fn new(options: TunerOptions) -> Self {
+        RegionTuner {
+            options,
+            regions: HashMap::new(),
+            last_applied: None,
+            stats: TunerStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> TunerStats {
+        self.stats
+    }
+
+    pub fn space(&self) -> &ConfigSpace {
+        &self.options.space
+    }
+
+    fn default_config(&self) -> OmpConfig {
+        self.options.space.decode(&self.options.space.default_point())
+    }
+
+    /// Called at region fork. Returns the configuration to apply.
+    pub fn begin(&mut self, region: &str) -> TunerDecision {
+        self.stats.invocations += 1;
+        let default_cfg = self.default_config();
+        let threshold = self.options.min_region_time_s;
+
+        if !self.regions.contains_key(region) {
+            self.stats.regions += 1;
+            let state = self.new_region_state(region);
+            self.regions.insert(region.to_owned(), state);
+        }
+        let state = self.regions.get_mut(region).expect("just inserted");
+
+        // Selective tuning: once a region has a few samples and its mean
+        // time is below the threshold, pin it to the default configuration.
+        if !state.skipped
+            && threshold > 0.0
+            && state.invocations >= 3
+            && state.total_time_s / state.invocations as f64 + 1e-12 < threshold
+        {
+            state.skipped = true;
+            state.session = None;
+            state.pinned = Some(default_cfg);
+            self.stats.skipped_regions += 1;
+        }
+
+        let config = if let Some(pinned) = state.pinned {
+            pinned
+        } else if let Some(session) = &mut state.session {
+            let point = session.next_point();
+            state.awaiting = session.awaiting_report();
+            self.options.space.decode(&point)
+        } else {
+            default_cfg
+        };
+
+        state.applied = Some(config);
+        let tuned = !state.skipped;
+        // Compare against the *global* runtime state, not this region's
+        // last configuration: the ICVs are process-wide.
+        let changed = tuned && self.last_applied != Some(config);
+        if changed {
+            self.stats.config_changes += 1;
+        }
+        if tuned {
+            self.last_applied = Some(config);
+        }
+        TunerDecision { config, changed, tuned }
+    }
+
+    /// Called at region join with the measured duration.
+    pub fn end(&mut self, region: &str, duration_s: f64) {
+        let Some(state) = self.regions.get_mut(region) else {
+            return;
+        };
+        state.invocations += 1;
+        state.total_time_s += duration_s;
+        if state.awaiting {
+            if let Some(session) = &mut state.session {
+                session.report(duration_s);
+            }
+            state.awaiting = false;
+        }
+    }
+
+    fn new_region_state(&self, region: &str) -> RegionState {
+        let space = &self.options.space;
+        match &self.options.mode {
+            TuningMode::OfflineReplay(history) => {
+                // "The saved values can be used instead of repeating the
+                // search process." Unknown regions fall back to default.
+                let pinned = history
+                    .get(region)
+                    .map(|e| e.config)
+                    .unwrap_or_else(|| self.default_config());
+                RegionState {
+                    session: None,
+                    pinned: Some(pinned),
+                    applied: None,
+                    awaiting: false,
+                    invocations: 0,
+                    total_time_s: 0.0,
+                    skipped: false,
+                }
+            }
+            mode => {
+                let strategy = match mode {
+                    TuningMode::OfflineTrain => StrategyKind::exhaustive(),
+                    TuningMode::Online(opts) => StrategyKind::NelderMead(*opts),
+                    TuningMode::OnlinePro(opts) => StrategyKind::ParallelRankOrder(*opts),
+                    TuningMode::OnlineRandom { seed, max_evals } => {
+                        StrategyKind::random(*seed, *max_evals)
+                    }
+                    TuningMode::OfflineReplay(_) => unreachable!(),
+                };
+                let session =
+                    Session::new(space.to_search_space(), strategy, space.default_point());
+                RegionState {
+                    session: Some(session),
+                    pinned: None,
+                    applied: None,
+                    awaiting: false,
+                    invocations: 0,
+                    total_time_s: 0.0,
+                    skipped: false,
+                }
+            }
+        }
+    }
+
+    /// Are all (non-pinned) sessions converged? False until at least one
+    /// region has been encountered (so callers can loop on `!converged()`
+    /// from a cold start).
+    pub fn converged(&self) -> bool {
+        !self.regions.is_empty()
+            && self.regions.values().all(|s| match &s.session {
+                Some(session) => session.converged(),
+                None => true,
+            })
+    }
+
+    /// Has `region` converged (or is it pinned)?
+    pub fn region_converged(&self, region: &str) -> bool {
+        self.regions
+            .get(region)
+            .map(|s| s.session.as_ref().is_none_or(|sess| sess.converged()))
+            .unwrap_or(false)
+    }
+
+    /// Best configuration found (or pinned) per region.
+    pub fn best_configs(&self) -> HashMap<String, OmpConfig> {
+        self.regions
+            .iter()
+            .map(|(name, st)| {
+                let cfg = st
+                    .pinned
+                    .or_else(|| {
+                        st.session
+                            .as_ref()
+                            .map(|s| self.options.space.decode(&s.best_point()))
+                    })
+                    .unwrap_or_else(|| self.default_config());
+                (name.clone(), cfg)
+            })
+            .collect()
+    }
+
+    /// Export the per-region best configurations as a history file (the
+    /// paper: "when the program completes, the policy saves the best
+    /// parameters found during the search").
+    pub fn export_history(&self, context: impl Into<String>) -> History<OmpConfig> {
+        let mut h = History::new(context);
+        for (name, st) in &self.regions {
+            if let Some(session) = &st.session {
+                if let Some((point, value)) = session.best() {
+                    h.insert(
+                        name.clone(),
+                        self.options.space.decode(&point),
+                        value,
+                        session.evaluations(),
+                    );
+                }
+            } else if let Some(pinned) = st.pinned {
+                h.insert(name.clone(), pinned, f64::NAN, 0);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcs_omprt::Schedule;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::crill()
+    }
+
+    /// Synthetic objective: best at 16 threads + guided; default is slow.
+    fn measure(cfg: &OmpConfig) -> f64 {
+        let t_penalty = ((cfg.threads as f64).log2() - 4.0).abs() * 0.1;
+        let s_penalty = match cfg.schedule.kind {
+            arcs_omprt::ScheduleKind::Guided => 0.0,
+            arcs_omprt::ScheduleKind::Dynamic => 0.05,
+            arcs_omprt::ScheduleKind::Static => 0.15,
+        };
+        1.0 + t_penalty + s_penalty
+    }
+
+    fn drive(tuner: &mut RegionTuner, region: &str, n: usize) {
+        for _ in 0..n {
+            let d = tuner.begin(region);
+            tuner.end(region, measure(&d.config));
+        }
+    }
+
+    #[test]
+    fn offline_train_finds_the_optimum() {
+        let mut tuner = RegionTuner::new(TunerOptions::offline_train(space()));
+        drive(&mut tuner, "r", 300); // 252 configs + slack
+        assert!(tuner.converged());
+        let best = tuner.best_configs()["r"];
+        assert_eq!(best.threads, 16);
+        assert_eq!(best.schedule.kind, arcs_omprt::ScheduleKind::Guided);
+    }
+
+    #[test]
+    fn online_converges_with_far_fewer_measurements() {
+        let mut tuner = RegionTuner::new(TunerOptions::online(space()));
+        let mut measured = 0;
+        loop {
+            let d = tuner.begin("r");
+            measured += 1;
+            tuner.end("r", measure(&d.config));
+            if tuner.converged() || measured >= 252 {
+                break;
+            }
+        }
+        assert!(tuner.converged(), "online should converge in < 252 runs");
+        let best = tuner.best_configs()["r"];
+        // Near-optimal: within one thread step and a non-static schedule.
+        assert!(measure(&best) < measure(&OmpConfig::default_for(&arcs_powersim::Machine::crill())));
+    }
+
+    #[test]
+    fn replay_pins_saved_configs_without_searching() {
+        let mut h = History::new("test");
+        let saved = OmpConfig { threads: 8, schedule: Schedule::dynamic(16) };
+        h.insert("r", saved, 0.5, 252);
+        let mut tuner = RegionTuner::new(TunerOptions::offline_replay(space(), h));
+        for _ in 0..10 {
+            let d = tuner.begin("r");
+            assert_eq!(d.config, saved);
+            tuner.end("r", 0.5);
+        }
+        // Only the first invocation is a configuration change: the global
+        // ICVs already hold the replayed value afterwards.
+        assert_eq!(tuner.stats().config_changes, 1);
+        assert!(tuner.converged());
+    }
+
+    #[test]
+    fn replay_of_unknown_region_uses_default() {
+        let h = History::new("empty");
+        let mut tuner = RegionTuner::new(TunerOptions::offline_replay(space(), h));
+        let d = tuner.begin("mystery");
+        assert_eq!(d.config, OmpConfig::default_for(&arcs_powersim::Machine::crill()));
+    }
+
+    #[test]
+    fn config_changes_counted_only_on_change() {
+        let mut tuner = RegionTuner::new(TunerOptions::offline_train(space()));
+        // During an exhaustive sweep nearly every invocation changes config.
+        drive(&mut tuner, "r", 20);
+        let st = tuner.stats();
+        assert!(st.config_changes > 15);
+        assert_eq!(st.invocations, 20);
+    }
+
+    #[test]
+    fn selective_tuning_skips_tiny_regions() {
+        let opts = TunerOptions::online(space()).with_min_region_time(0.05);
+        let mut tuner = RegionTuner::new(opts);
+        for _ in 0..20 {
+            let _ = tuner.begin("tiny");
+            tuner.end("tiny", 0.001); // far below the threshold
+        }
+        assert_eq!(tuner.stats().skipped_regions, 1);
+        // After skipping, the config is pinned to default: no more changes.
+        let before = tuner.stats().config_changes;
+        for _ in 0..10 {
+            let d = tuner.begin("tiny");
+            assert_eq!(d.config, tuner.best_configs()["tiny"]);
+            tuner.end("tiny", 0.001);
+        }
+        assert_eq!(tuner.stats().config_changes, before);
+    }
+
+    #[test]
+    fn big_regions_survive_selective_tuning() {
+        let opts = TunerOptions::online(space()).with_min_region_time(0.05);
+        let mut tuner = RegionTuner::new(opts);
+        for _ in 0..30 {
+            let d = tuner.begin("big");
+            tuner.end("big", measure(&d.config)); // ~1s, above threshold
+        }
+        assert_eq!(tuner.stats().skipped_regions, 0);
+    }
+
+    #[test]
+    fn history_roundtrip_through_json() {
+        let mut tuner = RegionTuner::new(TunerOptions::offline_train(space()));
+        drive(&mut tuner, "a", 300);
+        drive(&mut tuner, "b", 300);
+        let h = tuner.export_history("app.B.crill.115W");
+        assert_eq!(h.len(), 2);
+        let json = h.to_json();
+        let back: History<OmpConfig> = History::from_json(&json).unwrap();
+        assert_eq!(h, back);
+        assert_eq!(back.context, "app.B.crill.115W");
+    }
+
+    #[test]
+    fn multiple_regions_tune_independently() {
+        let mut tuner = RegionTuner::new(TunerOptions::offline_train(space()));
+        drive(&mut tuner, "a", 10);
+        drive(&mut tuner, "b", 10);
+        assert_eq!(tuner.stats().regions, 2);
+        assert!(!tuner.converged());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the ARCS core: configuration decoding, the tuner
+//! protocol under arbitrary measurement sequences, and history export.
+
+use arcs::{ConfigSpace, OmpConfig, RegionTuner, TunerOptions, TuningMode};
+use arcs_harmony::{History, NmOptions, ProOptions};
+use proptest::prelude::*;
+
+fn spaces() -> [ConfigSpace; 2] {
+    [ConfigSpace::crill(), ConfigSpace::minotaur()]
+}
+
+proptest! {
+    /// Every grid point decodes to a well-formed configuration, and the
+    /// decode is injective enough: thread counts come from the table,
+    /// chunk honours the schedule's "default" semantics.
+    #[test]
+    fn every_point_decodes_validly(rank_frac in 0.0f64..1.0) {
+        for space in spaces() {
+            let grid = space.to_search_space();
+            let rank = ((grid.size() - 1) as f64 * rank_frac) as usize;
+            let p = grid.unrank(rank);
+            let cfg = space.decode(&p);
+            prop_assert!(cfg.threads >= 1);
+            prop_assert!(cfg.threads <= space.default_threads);
+            if let Some(c) = cfg.schedule.chunk {
+                prop_assert!((1..=512).contains(&c));
+            }
+        }
+    }
+
+    /// The tuner's ask/report protocol never panics, converges, and its
+    /// stats add up — for any strategy and any (finite, positive)
+    /// measurement stream.
+    #[test]
+    fn tuner_protocol_is_robust(
+        seed in any::<u64>(),
+        strategy_pick in 0usize..3,
+        noise in 0.0f64..0.5,
+    ) {
+        let space = ConfigSpace::crill();
+        let mode = match strategy_pick {
+            0 => TuningMode::OfflineTrain,
+            1 => TuningMode::Online(NmOptions::default()),
+            _ => TuningMode::OnlinePro(ProOptions::default()),
+        };
+        let mut tuner = RegionTuner::new(TunerOptions {
+            space: space.clone(),
+            mode,
+            min_region_time_s: 0.0,
+        });
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut invocations = 0u64;
+        for _ in 0..600 {
+            let d = tuner.begin("prop/region");
+            prop_assert!(d.config.threads >= 1);
+            invocations += 1;
+            // Objective: prefers 8 threads, plus multiplicative noise.
+            let base = 1.0 + ((d.config.threads as f64).log2() - 3.0).abs() * 0.2;
+            tuner.end("prop/region", base * (1.0 + noise * (rnd() - 0.5)));
+            if tuner.converged() {
+                break;
+            }
+        }
+        let stats = tuner.stats();
+        prop_assert_eq!(stats.invocations, invocations);
+        prop_assert!(stats.config_changes <= stats.invocations);
+        prop_assert_eq!(stats.regions, 1);
+        // A best configuration is always available and valid.
+        let best = tuner.best_configs()["prop/region"];
+        prop_assert!(best.threads >= 1 && best.threads <= 32);
+    }
+
+    /// Replay mode applies exactly the stored configuration for known
+    /// regions and the default for unknown ones, forever.
+    #[test]
+    fn replay_is_faithful(
+        threads_idx in 0usize..7,
+        sched_idx in 0usize..4,
+        chunk_idx in 0usize..9,
+        n_invocations in 1usize..50,
+    ) {
+        let space = ConfigSpace::crill();
+        let saved = space.decode(&[threads_idx, sched_idx, chunk_idx]);
+        let mut h = History::new("prop");
+        h.insert("known", saved, 1.0, 252);
+        let mut tuner =
+            RegionTuner::new(TunerOptions::offline_replay(space.clone(), h));
+        let default = space.decode(&space.default_point());
+        for _ in 0..n_invocations {
+            let k = tuner.begin("known");
+            prop_assert_eq!(k.config, saved);
+            tuner.end("known", 1.0);
+            let u = tuner.begin("unknown");
+            prop_assert_eq!(u.config, default);
+            tuner.end("unknown", 1.0);
+        }
+        prop_assert!(tuner.converged());
+    }
+
+    /// Selective tuning: a region under the threshold is eventually
+    /// skipped and pinned; a region above it never is.
+    #[test]
+    fn selective_threshold_splits_regions(
+        threshold in 0.01f64..1.0,
+        tiny_scale in 0.01f64..0.9,
+        big_scale in 1.1f64..10.0,
+    ) {
+        let space = ConfigSpace::crill();
+        let opts = TunerOptions::online(space).with_min_region_time(threshold);
+        let mut tuner = RegionTuner::new(opts);
+        for _ in 0..30 {
+            let _ = tuner.begin("tiny");
+            tuner.end("tiny", threshold * tiny_scale);
+            let _ = tuner.begin("big");
+            tuner.end("big", threshold * big_scale);
+        }
+        prop_assert_eq!(tuner.stats().skipped_regions, 1);
+        let d = tuner.begin("tiny");
+        prop_assert!(!d.tuned);
+        let d = tuner.begin("big");
+        prop_assert!(d.tuned);
+    }
+
+    /// Exported histories always decode back to configurations inside the
+    /// search space.
+    #[test]
+    fn exported_history_configs_are_in_space(seed in any::<u64>()) {
+        let space = ConfigSpace::crill();
+        let mut tuner = RegionTuner::new(TunerOptions {
+            space: space.clone(),
+            mode: TuningMode::Online(NmOptions { max_evals: 40, ..NmOptions::default() }),
+            min_region_time_s: 0.0,
+        });
+        let mut s = seed | 1;
+        for _ in 0..80 {
+            let d = tuner.begin("r");
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let noise = (s >> 40) as f64 / (1u64 << 24) as f64;
+            tuner.end("r", 1.0 + 0.1 * noise + d.config.threads as f64 * 0.01);
+        }
+        let h = tuner.export_history("prop-ctx");
+        let entry = h.get("r").expect("region exported");
+        let valid_threads = [2, 4, 8, 16, 24, 32];
+        prop_assert!(valid_threads.contains(&entry.config.threads));
+        let _roundtrip: History<OmpConfig> =
+            History::from_json(&h.to_json()).unwrap();
+    }
+}

@@ -1,0 +1,138 @@
+//! Persistent best-configuration store.
+//!
+//! The paper: *"When the program completes, the policy saves the best
+//! parameters found during the search. When the same program is run again
+//! in the same configuration in the future, the saved values can be used
+//! instead of repeating the search process."* This is that file. Entries
+//! are keyed by region name and carry an arbitrary serialisable
+//! configuration payload plus the measured objective.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One stored tuning result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entry<T> {
+    /// The winning configuration.
+    pub config: T,
+    /// Objective value (execution time in seconds, for ARCS) it achieved.
+    pub value: f64,
+    /// How many evaluations the search spent.
+    pub evaluations: usize,
+}
+
+/// Best configurations per region, serialisable to JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct History<T> {
+    /// Free-form tag identifying the run context (application, workload
+    /// size, power cap, architecture) — replays are only valid "in the same
+    /// configuration", per the paper.
+    pub context: String,
+    pub entries: BTreeMap<String, Entry<T>>,
+}
+
+impl<T> History<T> {
+    pub fn new(context: impl Into<String>) -> Self {
+        History { context: context.into(), entries: BTreeMap::new() }
+    }
+
+    pub fn insert(&mut self, region: impl Into<String>, config: T, value: f64, evaluations: usize) {
+        self.entries.insert(region.into(), Entry { config, value, evaluations });
+    }
+
+    pub fn get(&self, region: &str) -> Option<&Entry<T>> {
+        self.entries.get(region)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<T: Serialize> History<T> {
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("history serialisation cannot fail")
+    }
+
+    /// Write to `path`, creating parent directories as needed.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_json())
+    }
+}
+
+impl<T: DeserializeOwned> History<T> {
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Cfg {
+        threads: usize,
+        schedule: String,
+    }
+
+    fn sample() -> History<Cfg> {
+        let mut h = History::new("sp.B.crill.85W");
+        h.insert("x_solve", Cfg { threads: 16, schedule: "guided,1".into() }, 0.41, 150);
+        h.insert("compute_rhs", Cfg { threads: 16, schedule: "guided,8".into() }, 0.92, 150);
+        h
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let h = sample();
+        let back: History<Cfg> = History::from_json(&h.to_json()).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("arcs-harmony-test");
+        let path = dir.join("nested/history.json");
+        let h = sample();
+        h.save(&path).unwrap();
+        let back: History<Cfg> = History::load(&path).unwrap();
+        assert_eq!(h, back);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lookup_by_region() {
+        let h = sample();
+        assert_eq!(h.get("x_solve").unwrap().config.threads, 16);
+        assert!(h.get("nope").is_none());
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error() {
+        let dir = std::env::temp_dir().join("arcs-harmony-corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        fs::write(&path, "{ not json").unwrap();
+        assert!(History::<Cfg>::load(&path).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

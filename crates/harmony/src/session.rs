@@ -1,0 +1,262 @@
+//! Tuning sessions: the client-facing ask/tell loop.
+//!
+//! ARCS creates one [`Session`] per parallel region (lazily, on the first
+//! `parallel_begin` for that region). The session wraps a search strategy
+//! and adds the practical machinery Active Harmony clients rely on:
+//!
+//! * **Result caching** — continuous strategies frequently re-propose a grid
+//!   point that was already measured; with caching enabled (the default for
+//!   deterministic backends) the cached value is fed back to the strategy
+//!   without burning a region invocation.
+//! * **Post-convergence behaviour** — once converged, `next_point` returns
+//!   the best configuration forever (the paper: "if tuning has converged,
+//!   \[set\] the converged values").
+
+use crate::space::{Point, SearchSpace};
+use crate::strategies::{
+    Exhaustive, NelderMead, NmOptions, ParallelRankOrder, ProOptions, RandomSearch, Search,
+};
+use std::collections::HashMap;
+
+/// Which search algorithm a session runs.
+#[derive(Debug, Clone)]
+pub enum StrategyKind {
+    /// Full sweep (ARCS-Offline training), averaging `repeats` samples per
+    /// configuration.
+    Exhaustive { repeats: usize },
+    /// Nelder–Mead simplex (ARCS-Online).
+    NelderMead(NmOptions),
+    /// Parallel Rank Order.
+    ParallelRankOrder(ProOptions),
+    /// Uniform random sampling (the ablation baseline): `seed`,
+    /// `max_evals`.
+    Random { seed: u64, max_evals: usize },
+}
+
+impl StrategyKind {
+    pub fn exhaustive() -> Self {
+        StrategyKind::Exhaustive { repeats: 1 }
+    }
+
+    pub fn nelder_mead() -> Self {
+        StrategyKind::NelderMead(NmOptions::default())
+    }
+
+    pub fn parallel_rank_order() -> Self {
+        StrategyKind::ParallelRankOrder(ProOptions::default())
+    }
+
+    pub fn random(seed: u64, max_evals: usize) -> Self {
+        StrategyKind::Random { seed, max_evals }
+    }
+}
+
+/// A tuning session for one tunable entity (one parallel region, in ARCS).
+pub struct Session {
+    space: SearchSpace,
+    search: Box<dyn Search>,
+    cache: Option<HashMap<usize, f64>>,
+    pending: Option<Point>,
+    fallback: Point,
+}
+
+impl Session {
+    /// Create a session. `start` seeds simplex strategies (ARCS uses the
+    /// default configuration) and serves as the fallback point if the
+    /// search converges without any measurement.
+    pub fn new(space: SearchSpace, strategy: StrategyKind, start: Point) -> Self {
+        assert!(space.contains(&start), "start point outside the space");
+        let search: Box<dyn Search> = match &strategy {
+            StrategyKind::Exhaustive { repeats } => {
+                Box::new(Exhaustive::with_repeats(space.clone(), *repeats))
+            }
+            StrategyKind::NelderMead(opts) => {
+                Box::new(NelderMead::new(space.clone(), &start, *opts))
+            }
+            StrategyKind::ParallelRankOrder(opts) => {
+                Box::new(ParallelRankOrder::new(space.clone(), &start, *opts))
+            }
+            StrategyKind::Random { seed, max_evals } => {
+                Box::new(RandomSearch::new(space.clone(), *seed, *max_evals))
+            }
+        };
+        // Exhaustive sweeps re-measure nothing, and repeated measurements
+        // are how it averages noise; caching would defeat `repeats`.
+        let cache = match strategy {
+            StrategyKind::Exhaustive { .. } => None,
+            _ => Some(HashMap::new()),
+        };
+        Session { space, search, cache, pending: None, fallback: start }
+    }
+
+    /// Disable result caching (use when measurements are noisy and repeated
+    /// evaluation is informative).
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// The configuration to use for the next invocation. Before convergence
+    /// this drives the search; after convergence it is the best point found.
+    pub fn next_point(&mut self) -> Point {
+        if let Some(p) = &self.pending {
+            return p.clone();
+        }
+        loop {
+            match self.search.ask() {
+                None => return self.best_point(),
+                Some(p) => {
+                    if let Some(cache) = &self.cache {
+                        if let Some(&v) = cache.get(&self.space.rank(&p)) {
+                            // Known point: replay the cached measurement and
+                            // let the strategy advance without a real run.
+                            self.search.tell(v);
+                            continue;
+                        }
+                    }
+                    self.pending = Some(p.clone());
+                    return p;
+                }
+            }
+        }
+    }
+
+    /// Report the measurement for the point most recently returned by
+    /// [`Session::next_point`] while un-converged. Calls after convergence
+    /// (when no point is pending) are ignored — the region keeps running
+    /// with the converged configuration and ARCS keeps timing it.
+    pub fn report(&mut self, value: f64) {
+        let Some(p) = self.pending.take() else {
+            return;
+        };
+        if let Some(cache) = &mut self.cache {
+            cache.insert(self.space.rank(&p), value);
+        }
+        self.search.tell(value);
+    }
+
+    /// Is a measurement currently outstanding?
+    pub fn awaiting_report(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    pub fn converged(&self) -> bool {
+        self.pending.is_none() && self.search.converged()
+    }
+
+    /// Best point observed, or the start point if nothing was measured.
+    pub fn best_point(&self) -> Point {
+        self.search
+            .best()
+            .map(|(p, _)| p.clone())
+            .unwrap_or_else(|| self.fallback.clone())
+    }
+
+    /// Best (point, value) observed.
+    pub fn best(&self) -> Option<(Point, f64)> {
+        self.search.best().map(|(p, v)| (p.clone(), v))
+    }
+
+    /// Number of `tell`s the strategy has processed (cached replays count).
+    pub fn evaluations(&self) -> usize {
+        self.search.evaluations()
+    }
+
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![Param::new("a", 6), Param::new("b", 6)])
+    }
+
+    fn objective(p: &[usize]) -> f64 {
+        (p[0] as f64 - 2.0).powi(2) + (p[1] as f64 - 4.0).powi(2)
+    }
+
+    fn drive(mut s: Session, budget: usize) -> (Session, usize) {
+        let mut real_runs = 0;
+        for _ in 0..budget {
+            if s.converged() {
+                break;
+            }
+            let p = s.next_point();
+            if s.awaiting_report() {
+                real_runs += 1;
+                s.report(objective(&p));
+            }
+        }
+        (s, real_runs)
+    }
+
+    #[test]
+    fn exhaustive_session_finds_optimum() {
+        let (s, runs) = drive(
+            Session::new(space(), StrategyKind::exhaustive(), vec![5, 0]),
+            1000,
+        );
+        assert!(s.converged());
+        assert_eq!(runs, 36);
+        assert_eq!(s.best_point(), vec![2, 4]);
+    }
+
+    #[test]
+    fn nm_session_converges_with_cache() {
+        let (s, runs) = drive(
+            Session::new(space(), StrategyKind::nelder_mead(), vec![5, 0]),
+            1000,
+        );
+        assert!(s.converged());
+        // Caching means real runs ≤ strategy evaluations.
+        assert!(runs <= s.evaluations());
+        let best = s.best_point();
+        assert!(objective(&best) <= 2.0, "best={best:?}");
+    }
+
+    #[test]
+    fn pro_session_converges() {
+        let (s, _) = drive(
+            Session::new(space(), StrategyKind::parallel_rank_order(), vec![0, 0]),
+            1000,
+        );
+        assert!(s.converged());
+        let best = s.best_point();
+        assert!(objective(&best) <= 4.0, "best={best:?}");
+    }
+
+    #[test]
+    fn converged_session_replays_best_forever() {
+        let (mut s, _) = drive(
+            Session::new(space(), StrategyKind::exhaustive(), vec![0, 0]),
+            1000,
+        );
+        let best = s.best_point();
+        for _ in 0..5 {
+            assert_eq!(s.next_point(), best);
+            assert!(!s.awaiting_report());
+            s.report(123.0); // ignored
+        }
+        assert_eq!(s.best_point(), best);
+    }
+
+    #[test]
+    fn next_point_is_stable_until_report() {
+        let mut s = Session::new(space(), StrategyKind::nelder_mead(), vec![0, 0]);
+        let a = s.next_point();
+        let b = s.next_point();
+        assert_eq!(a, b);
+        s.report(1.0);
+    }
+
+    #[test]
+    fn fallback_point_used_when_unmeasured() {
+        let s = Session::new(space(), StrategyKind::exhaustive(), vec![3, 3]);
+        assert_eq!(s.best_point(), vec![3, 3]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Discrete search spaces.
+//!
+//! Active Harmony tunes over *enumerated* parameter domains: each parameter
+//! has an ordered list of admissible values (e.g. thread counts
+//! `{2,4,8,16,24,32}`). Search algorithms here work on the *index grid*: a
+//! [`Point`] is one index per parameter. Continuous algorithms (Nelder–Mead,
+//! PRO) relax indices to reals in `[0, levels-1]` and round to the nearest
+//! grid point, which is exactly how Active Harmony handles enumerated
+//! domains. The mapping from indices back to meaningful values (thread
+//! counts, schedules, chunks) lives with the caller.
+
+use serde::{Deserialize, Serialize};
+
+/// One tunable parameter: a name and the number of admissible levels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Param {
+    pub name: String,
+    pub levels: usize,
+}
+
+impl Param {
+    pub fn new(name: impl Into<String>, levels: usize) -> Self {
+        assert!(levels >= 1, "a parameter needs at least one level");
+        Param { name: name.into(), levels }
+    }
+}
+
+/// A point in the index grid: `point[i] < params[i].levels`.
+pub type Point = Vec<usize>;
+
+/// The Cartesian product of parameter domains.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    params: Vec<Param>,
+}
+
+impl SearchSpace {
+    pub fn new(params: Vec<Param>) -> Self {
+        assert!(!params.is_empty(), "search space needs at least one parameter");
+        SearchSpace { params }
+    }
+
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Total number of grid points.
+    pub fn size(&self) -> usize {
+        self.params.iter().map(|p| p.levels).product()
+    }
+
+    /// Is `point` inside the grid?
+    pub fn contains(&self, point: &[usize]) -> bool {
+        point.len() == self.dim()
+            && point.iter().zip(&self.params).all(|(&i, p)| i < p.levels)
+    }
+
+    /// Decode a flat rank in `[0, size)` into a point (row-major order:
+    /// the last parameter varies fastest).
+    pub fn unrank(&self, mut rank: usize) -> Point {
+        assert!(rank < self.size(), "rank out of range");
+        let mut point = vec![0; self.dim()];
+        for (i, p) in self.params.iter().enumerate().rev() {
+            point[i] = rank % p.levels;
+            rank /= p.levels;
+        }
+        point
+    }
+
+    /// Inverse of [`SearchSpace::unrank`].
+    pub fn rank(&self, point: &[usize]) -> usize {
+        debug_assert!(self.contains(point));
+        let mut rank = 0;
+        for (i, p) in self.params.iter().enumerate() {
+            rank = rank * p.levels + point[i];
+        }
+        rank
+    }
+
+    /// Iterate every grid point in rank order.
+    pub fn iter_points(&self) -> impl Iterator<Item = Point> + '_ {
+        (0..self.size()).map(|r| self.unrank(r))
+    }
+
+    /// Round a continuous relaxation to the nearest grid point, clamping to
+    /// the domain.
+    pub fn round(&self, x: &[f64]) -> Point {
+        debug_assert_eq!(x.len(), self.dim());
+        x.iter()
+            .zip(&self.params)
+            .map(|(&v, p)| {
+                let hi = (p.levels - 1) as f64;
+                (v.clamp(0.0, hi) + 0.5).floor() as usize
+            })
+            .collect()
+    }
+
+    /// Clamp a continuous vector into the relaxed domain `[0, levels-1]^d`.
+    pub fn clamp(&self, x: &mut [f64]) {
+        for (v, p) in x.iter_mut().zip(&self.params) {
+            *v = v.clamp(0.0, (p.levels - 1) as f64);
+        }
+    }
+
+    /// The continuous-domain upper bound per dimension.
+    pub fn upper(&self) -> Vec<f64> {
+        self.params.iter().map(|p| (p.levels - 1) as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![
+            Param::new("threads", 7),
+            Param::new("schedule", 4),
+            Param::new("chunk", 9),
+        ])
+    }
+
+    #[test]
+    fn size_is_product() {
+        assert_eq!(space().size(), 7 * 4 * 9);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        let s = space();
+        for r in 0..s.size() {
+            let p = s.unrank(r);
+            assert!(s.contains(&p));
+            assert_eq!(s.rank(&p), r);
+        }
+    }
+
+    #[test]
+    fn iter_visits_all_points_once() {
+        let s = space();
+        let pts: Vec<Point> = s.iter_points().collect();
+        assert_eq!(pts.len(), s.size());
+        let mut ranks: Vec<usize> = pts.iter().map(|p| s.rank(p)).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..s.size()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn round_clamps_and_rounds() {
+        let s = space();
+        assert_eq!(s.round(&[-3.0, 1.4, 100.0]), vec![0, 1, 8]);
+        assert_eq!(s.round(&[2.5, 2.51, 2.49]), vec![3, 3, 2]);
+    }
+
+    #[test]
+    fn contains_rejects_bad_points() {
+        let s = space();
+        assert!(!s.contains(&[7, 0, 0]));
+        assert!(!s.contains(&[0, 0]));
+        assert!(s.contains(&[6, 3, 8]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_level_param_rejected() {
+        Param::new("bad", 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Exhaustive grid sweep.
+//!
+//! The strategy behind **ARCS-Offline**: during the training execution every
+//! configuration in the (manually reduced) search space is measured; the
+//! best one is stored and replayed by later executions. Supports averaging
+//! over repeated measurements to tolerate live-run noise.
+
+use super::Search;
+use crate::space::{Point, SearchSpace};
+
+pub struct Exhaustive {
+    space: SearchSpace,
+    next_rank: usize,
+    repeats: usize,
+    rep_done: usize,
+    acc: f64,
+    pending: Option<Point>,
+    best: Option<(Point, f64)>,
+    evals: usize,
+}
+
+impl Exhaustive {
+    /// Sweep every point once.
+    pub fn new(space: SearchSpace) -> Self {
+        Self::with_repeats(space, 1)
+    }
+
+    /// Sweep every point, averaging `repeats` measurements per point.
+    pub fn with_repeats(space: SearchSpace, repeats: usize) -> Self {
+        assert!(repeats >= 1);
+        Exhaustive {
+            space,
+            next_rank: 0,
+            repeats,
+            rep_done: 0,
+            acc: 0.0,
+            pending: None,
+            best: None,
+            evals: 0,
+        }
+    }
+}
+
+impl Search for Exhaustive {
+    fn ask(&mut self) -> Option<Point> {
+        if let Some(p) = &self.pending {
+            return Some(p.clone());
+        }
+        if self.next_rank >= self.space.size() {
+            return None;
+        }
+        let p = self.space.unrank(self.next_rank);
+        self.pending = Some(p.clone());
+        Some(p)
+    }
+
+    fn tell(&mut self, value: f64) {
+        let point = self.pending.take().expect("tell without pending ask");
+        self.evals += 1;
+        self.acc += value;
+        self.rep_done += 1;
+        if self.rep_done < self.repeats {
+            // Ask for the same point again.
+            self.pending = Some(point);
+            return;
+        }
+        let mean = self.acc / self.repeats as f64;
+        self.acc = 0.0;
+        self.rep_done = 0;
+        self.next_rank += 1;
+        if self.best.as_ref().is_none_or(|(_, b)| mean < *b) {
+            self.best = Some((point, mean));
+        }
+    }
+
+    fn best(&self) -> Option<(&Point, f64)> {
+        self.best.as_ref().map(|(p, v)| (p, *v))
+    }
+
+    fn converged(&self) -> bool {
+        self.pending.is_none() && self.next_rank >= self.space.size()
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![Param::new("a", 4), Param::new("b", 5)])
+    }
+
+    /// Convex-ish objective with minimum at (3, 1).
+    fn f(p: &[usize]) -> f64 {
+        let a = p[0] as f64 - 3.0;
+        let b = p[1] as f64 - 1.0;
+        a * a + b * b
+    }
+
+    #[test]
+    fn finds_global_minimum() {
+        let mut s = Exhaustive::new(space());
+        while let Some(p) = s.ask() {
+            let v = f(&p);
+            s.tell(v);
+        }
+        assert!(s.converged());
+        assert_eq!(s.evaluations(), 20);
+        let (best, val) = s.best().unwrap();
+        assert_eq!(best, &vec![3, 1]);
+        assert_eq!(val, 0.0);
+    }
+
+    #[test]
+    fn repeats_average_noise() {
+        let mut s = Exhaustive::with_repeats(space(), 3);
+        let mut call = 0usize;
+        while let Some(p) = s.ask() {
+            // Deterministic "noise" that averages to zero over 3 repeats.
+            let noise = [-0.4, 0.0, 0.4][call % 3];
+            call += 1;
+            s.tell(f(&p) + noise);
+        }
+        assert_eq!(s.evaluations(), 60);
+        let (best, val) = s.best().unwrap();
+        assert_eq!(best, &vec![3, 1]);
+        assert!(val.abs() < 1e-9);
+    }
+
+    #[test]
+    fn ask_is_idempotent_until_tell() {
+        let mut s = Exhaustive::new(space());
+        let a = s.ask().unwrap();
+        let b = s.ask().unwrap();
+        assert_eq!(a, b);
+        s.tell(1.0);
+        let c = s.ask().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "tell without pending ask")]
+    fn tell_without_ask_panics() {
+        let mut s = Exhaustive::new(space());
+        s.tell(1.0);
+    }
+}

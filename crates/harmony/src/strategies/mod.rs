@@ -1,0 +1,42 @@
+//! Search strategy implementations.
+//!
+//! All strategies speak the same *ask/tell* protocol: `ask` yields the next
+//! grid point to measure (or `None` once converged); `tell` reports the
+//! objective value (smaller is better — ARCS minimises region execution
+//! time) for the most recently asked point. The protocol is sequential
+//! because a tuning session measures one region invocation at a time.
+
+mod exhaustive;
+mod nelder_mead;
+mod pro;
+mod random;
+
+pub use exhaustive::Exhaustive;
+pub use nelder_mead::{NelderMead, NmOptions};
+pub use pro::{ParallelRankOrder, ProOptions};
+pub use random::RandomSearch;
+
+use crate::space::Point;
+
+/// Sequential ask/tell minimiser over a discrete grid.
+pub trait Search: Send {
+    /// Next point to evaluate. Returns `None` once the strategy has
+    /// converged. Calling `ask` again without an intervening `tell` returns
+    /// the same pending point.
+    fn ask(&mut self) -> Option<Point>;
+
+    /// Report the objective value for the last point returned by `ask`.
+    ///
+    /// # Panics
+    /// Panics if no point is pending.
+    fn tell(&mut self, value: f64);
+
+    /// Best (point, value) observed so far.
+    fn best(&self) -> Option<(&Point, f64)>;
+
+    /// Has the strategy finished searching?
+    fn converged(&self) -> bool;
+
+    /// Number of `tell`s processed.
+    fn evaluations(&self) -> usize;
+}

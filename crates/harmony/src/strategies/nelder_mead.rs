@@ -1,0 +1,462 @@
+//! Nelder–Mead simplex search on the index-grid relaxation.
+//!
+//! The strategy behind **ARCS-Online**. The discrete grid is relaxed to the
+//! box `[0, levels-1]^d`; the classic Nelder–Mead moves (reflection,
+//! expansion, outside/inside contraction, shrink) run in the relaxed space,
+//! and every proposal is rounded to the nearest grid point for measurement —
+//! the approach Active Harmony takes for enumerated domains.
+//!
+//! Because a tuning session measures one region invocation at a time, the
+//! algorithm is written as an ask/tell state machine: each `ask` emits the
+//! single point the classic algorithm would evaluate next, and `tell`
+//! advances the simplex.
+
+use super::Search;
+use crate::space::{Point, SearchSpace};
+
+/// Nelder–Mead coefficients and termination settings.
+#[derive(Debug, Clone, Copy)]
+pub struct NmOptions {
+    /// Reflection coefficient (α > 0).
+    pub alpha: f64,
+    /// Expansion coefficient (γ > 1).
+    pub gamma: f64,
+    /// Contraction coefficient (0 < ρ ≤ 0.5).
+    pub rho: f64,
+    /// Shrink coefficient (0 < σ < 1).
+    pub sigma: f64,
+    /// Stop when the simplex diameter (L∞) drops below this many grid steps.
+    pub xtol: f64,
+    /// Hard cap on evaluations.
+    pub max_evals: usize,
+    /// Stop after this many consecutive evaluations without improving the
+    /// incumbent best.
+    pub stall_limit: usize,
+    /// When the simplex collapses (`xtol`), restart it around the incumbent
+    /// best with halved steps this many times before declaring convergence.
+    /// This is the standard "oriented restart" remedy for premature
+    /// collapse on clamped/rounded domains.
+    pub max_restarts: usize,
+}
+
+impl Default for NmOptions {
+    fn default() -> Self {
+        NmOptions {
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+            xtol: 0.9,
+            max_evals: 120,
+            stall_limit: 25,
+            max_restarts: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Vertex {
+    x: Vec<f64>,
+    f: f64,
+}
+
+#[derive(Debug)]
+enum Role {
+    /// Filling the initial simplex, vertex index.
+    Init(usize),
+    Reflect {
+        centroid: Vec<f64>,
+    },
+    Expand {
+        xr: Vec<f64>,
+        fr: f64,
+    },
+    ContractOutside {
+        xr: Vec<f64>,
+        fr: f64,
+    },
+    ContractInside,
+    /// Re-evaluating shrunken vertex `idx` (1..=dim).
+    Shrink(usize),
+}
+
+struct Pending {
+    x: Vec<f64>,
+    role: Role,
+}
+
+pub struct NelderMead {
+    space: SearchSpace,
+    opts: NmOptions,
+    simplex: Vec<Vertex>,
+    proto: Vec<Vec<f64>>,
+    pending: Option<Pending>,
+    init_next: usize,
+    evals: usize,
+    stall: usize,
+    restarts: usize,
+    /// Per-dimension step used to build the (re)start simplex.
+    step_scale: f64,
+    done: bool,
+    best: Option<(Point, f64)>,
+}
+
+/// Build a start simplex: `x0` plus one vertex per dimension, stepped by
+/// `scale × (domain / 2)` (at least one grid cell) away from the nearer edge.
+fn proto_simplex(space: &SearchSpace, x0: &[f64], scale: f64) -> Vec<Vec<f64>> {
+    let upper = space.upper();
+    let mut proto = vec![x0.to_vec()];
+    for j in 0..space.dim() {
+        let mut v = x0.to_vec();
+        if upper[j] > 0.0 {
+            let step = (upper[j] / 2.0 * scale).max(1.0);
+            v[j] = if x0[j] + step <= upper[j] { x0[j] + step } else { x0[j] - step };
+            v[j] = v[j].clamp(0.0, upper[j]);
+        }
+        proto.push(v);
+    }
+    proto
+}
+
+impl NelderMead {
+    /// Start a search from `start` (typically the default configuration).
+    pub fn new(space: SearchSpace, start: &[usize], opts: NmOptions) -> Self {
+        assert!(space.contains(start), "start point outside the space");
+        let x0: Vec<f64> = start.iter().map(|&i| i as f64).collect();
+        let proto = proto_simplex(&space, &x0, 1.0);
+        NelderMead {
+            space,
+            opts,
+            simplex: Vec::new(),
+            proto,
+            pending: None,
+            init_next: 0,
+            evals: 0,
+            stall: 0,
+            restarts: 0,
+            step_scale: 1.0,
+            done: false,
+            best: None,
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.space.dim()
+    }
+
+    fn record_best(&mut self, point: Point, value: f64) {
+        if self.best.as_ref().is_none_or(|(_, b)| value < *b) {
+            self.best = Some((point, value));
+            self.stall = 0;
+        } else {
+            self.stall += 1;
+        }
+    }
+
+    fn sort_simplex(&mut self) {
+        self.simplex
+            .sort_by(|a, b| a.f.partial_cmp(&b.f).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    fn diameter(&self) -> f64 {
+        let best = &self.simplex[0].x;
+        self.simplex[1..]
+            .iter()
+            .map(|v| {
+                v.x.iter()
+                    .zip(best)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    fn check_termination(&mut self) {
+        if self.evals >= self.opts.max_evals || self.stall >= self.opts.stall_limit {
+            self.done = true;
+            return;
+        }
+        if self.simplex.len() == self.dim() + 1 && self.diameter() < self.opts.xtol {
+            if self.restarts < self.opts.max_restarts {
+                // Oriented restart: new simplex around the incumbent best
+                // with halved steps.
+                self.restarts += 1;
+                self.step_scale *= 0.5;
+                let x0 = self
+                    .best
+                    .as_ref()
+                    .map(|(p, _)| p.iter().map(|&i| i as f64).collect::<Vec<f64>>())
+                    .unwrap_or_else(|| self.simplex[0].x.clone());
+                self.proto = proto_simplex(&self.space, &x0, self.step_scale);
+                self.simplex.clear();
+                self.init_next = 0;
+            } else {
+                self.done = true;
+            }
+        }
+    }
+
+    /// Centroid of all vertices except the worst (assumes sorted simplex).
+    fn centroid(&self) -> Vec<f64> {
+        let n = self.simplex.len() - 1;
+        let mut c = vec![0.0; self.dim()];
+        for v in &self.simplex[..n] {
+            for (ci, xi) in c.iter_mut().zip(&v.x) {
+                *ci += xi;
+            }
+        }
+        for ci in &mut c {
+            *ci /= n as f64;
+        }
+        c
+    }
+
+    fn propose(&self, centroid: &[f64], coeff: f64) -> Vec<f64> {
+        // x = centroid + coeff * (centroid - worst)
+        let worst = &self.simplex.last().unwrap().x;
+        let mut x: Vec<f64> = centroid
+            .iter()
+            .zip(worst)
+            .map(|(c, w)| c + coeff * (c - w))
+            .collect();
+        self.space.clamp(&mut x);
+        x
+    }
+
+    fn begin_iteration(&mut self) {
+        self.sort_simplex();
+        self.check_termination();
+        if self.done || self.init_next < self.proto.len() {
+            // Terminated, or an oriented restart re-entered the init phase.
+            return;
+        }
+        let centroid = self.centroid();
+        let xr = self.propose(&centroid, self.opts.alpha);
+        self.pending = Some(Pending { x: xr, role: Role::Reflect { centroid } });
+    }
+
+    fn begin_shrink(&mut self) {
+        // Shrink every non-best vertex toward the best, then re-evaluate
+        // them one at a time (roles Shrink(1..=dim)).
+        let best = self.simplex[0].x.clone();
+        for v in &mut self.simplex[1..] {
+            for (xi, bi) in v.x.iter_mut().zip(&best) {
+                *xi = bi + self.opts.sigma * (*xi - *bi);
+            }
+            v.f = f64::NAN;
+        }
+        let x = self.simplex[1].x.clone();
+        self.pending = Some(Pending { x, role: Role::Shrink(1) });
+    }
+}
+
+impl Search for NelderMead {
+    fn ask(&mut self) -> Option<Point> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if let Some(p) = &self.pending {
+                return Some(self.space.round(&p.x));
+            }
+            if self.init_next < self.proto.len() {
+                let x = self.proto[self.init_next].clone();
+                self.pending = Some(Pending { x, role: Role::Init(self.init_next) });
+                continue;
+            }
+            self.begin_iteration();
+            // begin_iteration either terminated, produced a pending point,
+            // or triggered an oriented restart (init phase re-entered);
+            // loop to handle all three.
+        }
+    }
+
+    fn tell(&mut self, value: f64) {
+        let Pending { x, role } = self.pending.take().expect("tell without pending ask");
+        self.evals += 1;
+        self.record_best(self.space.round(&x), value);
+
+        match role {
+            Role::Init(i) => {
+                debug_assert_eq!(i, self.simplex.len());
+                self.simplex.push(Vertex { x, f: value });
+                self.init_next += 1;
+                if self.init_next >= self.proto.len() {
+                    // Simplex complete; next ask starts iterating.
+                    self.sort_simplex();
+                }
+            }
+            Role::Reflect { centroid } => {
+                let f_best = self.simplex[0].f;
+                let n = self.simplex.len();
+                let f_second_worst = self.simplex[n - 2].f;
+                let f_worst = self.simplex[n - 1].f;
+                if value < f_best {
+                    // Try expanding further along the same direction.
+                    let xe = self.propose(&centroid, self.opts.alpha * self.opts.gamma);
+                    self.pending =
+                        Some(Pending { x: xe, role: Role::Expand { xr: x, fr: value } });
+                } else if value < f_second_worst {
+                    *self.simplex.last_mut().unwrap() = Vertex { x, f: value };
+                } else if value < f_worst {
+                    // Outside contraction: between centroid and reflection.
+                    let xc = self.propose(&centroid, self.opts.alpha * self.opts.rho);
+                    self.pending = Some(Pending {
+                        x: xc,
+                        role: Role::ContractOutside { xr: x, fr: value },
+                    });
+                } else {
+                    // Inside contraction: between centroid and worst.
+                    let xc = self.propose(&centroid, -self.opts.rho);
+                    self.pending = Some(Pending { x: xc, role: Role::ContractInside });
+                }
+            }
+            Role::Expand { xr, fr } => {
+                let v = if value < fr { Vertex { x, f: value } } else { Vertex { x: xr, f: fr } };
+                *self.simplex.last_mut().unwrap() = v;
+            }
+            Role::ContractOutside { xr, fr } => {
+                if value <= fr {
+                    *self.simplex.last_mut().unwrap() = Vertex { x, f: value };
+                } else {
+                    self.simplex
+                        .last_mut()
+                        .map(|w| *w = Vertex { x: xr, f: fr })
+                        .unwrap();
+                    self.begin_shrink();
+                }
+            }
+            Role::ContractInside => {
+                let f_worst = self.simplex.last().unwrap().f;
+                if value < f_worst {
+                    *self.simplex.last_mut().unwrap() = Vertex { x, f: value };
+                } else {
+                    self.begin_shrink();
+                }
+            }
+            Role::Shrink(idx) => {
+                self.simplex[idx].f = value;
+                debug_assert_eq!(self.space.round(&self.simplex[idx].x), self.space.round(&x));
+                if idx + 1 < self.simplex.len() {
+                    let xn = self.simplex[idx + 1].x.clone();
+                    self.pending = Some(Pending { x: xn, role: Role::Shrink(idx + 1) });
+                }
+            }
+        }
+
+        // The evaluation budget and stall limit are hard caps enforced on
+        // every path, even mid-move (the simplex state is simply abandoned).
+        if self.evals >= self.opts.max_evals || self.stall >= self.opts.stall_limit {
+            self.done = true;
+            self.pending = None;
+        }
+    }
+
+    fn best(&self) -> Option<(&Point, f64)> {
+        self.best.as_ref().map(|(p, v)| (p, *v))
+    }
+
+    fn converged(&self) -> bool {
+        self.done
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![Param::new("a", 17), Param::new("b", 17), Param::new("c", 9)])
+    }
+
+    fn run<F: FnMut(&[usize]) -> f64>(mut nm: NelderMead, mut f: F) -> (Point, f64, usize) {
+        while let Some(p) = nm.ask() {
+            let v = f(&p);
+            nm.tell(v);
+        }
+        let (p, v) = nm.best().unwrap();
+        (p.clone(), v, nm.evaluations())
+    }
+
+    #[test]
+    fn minimises_convex_bowl() {
+        let s = space();
+        let nm = NelderMead::new(s, &[16, 0, 8], NmOptions::default());
+        let (best, val, evals) = run(nm, |p| {
+            let a = p[0] as f64 - 5.0;
+            let b = p[1] as f64 - 9.0;
+            let c = p[2] as f64 - 2.0;
+            a * a + b * b + c * c
+        });
+        // NM on a rounded grid should land at or adjacent to the optimum.
+        assert!(val <= 3.0, "best={best:?} val={val} evals={evals}");
+        assert!(evals <= NmOptions::default().max_evals);
+    }
+
+    #[test]
+    fn far_fewer_evaluations_than_exhaustive() {
+        let s = space();
+        let total = s.size();
+        let nm = NelderMead::new(s, &[0, 0, 0], NmOptions::default());
+        let (_, _, evals) = run(nm, |p| (p[0] as f64 - 8.0).powi(2) + p[1] as f64 + p[2] as f64);
+        assert!(evals < total / 4, "evals={evals} space={total}");
+    }
+
+    #[test]
+    fn stays_inside_domain() {
+        let s = space();
+        let mut nm = NelderMead::new(s.clone(), &[16, 16, 8], NmOptions::default());
+        while let Some(p) = nm.ask() {
+            assert!(s.contains(&p), "proposed out-of-domain point {p:?}");
+            nm.tell(p.iter().map(|&i| i as f64).sum());
+        }
+    }
+
+    #[test]
+    fn handles_single_level_params() {
+        let s = SearchSpace::new(vec![Param::new("fixed", 1), Param::new("free", 21)]);
+        let nm = NelderMead::new(s, &[0, 20], NmOptions::default());
+        let (best, val, _) = run(nm, |p| (p[1] as f64 - 4.0).abs());
+        assert_eq!(best[0], 0);
+        // From f=16 at the start point NM must get close to the optimum;
+        // exact convergence is not guaranteed on a rounded 1-D slice.
+        assert!(val <= 2.0, "best={best:?} val={val}");
+    }
+
+    #[test]
+    fn respects_max_evals() {
+        let s = space();
+        let opts = NmOptions { max_evals: 10, ..NmOptions::default() };
+        let nm = NelderMead::new(s, &[0, 0, 0], opts);
+        let (_, _, evals) = run(nm, |p| p[0] as f64);
+        assert!(evals <= 10);
+    }
+
+    #[test]
+    fn stall_limit_terminates_flat_objective() {
+        let s = space();
+        let opts = NmOptions { stall_limit: 8, max_evals: 1000, ..NmOptions::default() };
+        let nm = NelderMead::new(s, &[8, 8, 4], opts);
+        let (_, _, evals) = run(nm, |_| 42.0);
+        assert!(evals < 1000, "flat objective should stall out, took {evals}");
+    }
+
+    #[test]
+    fn survives_noisy_objective() {
+        let s = space();
+        let nm = NelderMead::new(s, &[16, 16, 0], NmOptions::default());
+        let mut i = 0u64;
+        let (best, _, _) = run(nm, |p| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((i >> 33) as f64 / (1u64 << 31) as f64) * 0.3;
+            (p[0] as f64 - 3.0).powi(2) + (p[1] as f64 - 3.0).powi(2) + noise
+        });
+        // With 30% noise we still expect to land in the neighbourhood.
+        assert!(best[0] <= 8 && best[1] <= 8, "best={best:?}");
+    }
+}

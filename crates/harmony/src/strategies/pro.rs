@@ -1,0 +1,395 @@
+//! Parallel Rank Order (PRO) search.
+//!
+//! Active Harmony's flagship algorithm: a simplex method designed so that
+//! every round proposes a *batch* of trial points (one reflection per
+//! non-best vertex through the best vertex). On a parallel tuning system
+//! the batch is measured concurrently; our sessions measure one region
+//! invocation at a time, so the batch is drained sequentially — the rank
+//! order logic is unchanged.
+//!
+//! Per round:
+//! 1. reflect every non-best vertex through the best vertex;
+//! 2. any reflection that improves its original vertex is accepted; a
+//!    reflection that beats the *simplex best* chains an expansion trial;
+//! 3. if no reflection was accepted, shrink all non-best vertices toward
+//!    the best and re-measure them.
+//!
+//! Terminates on simplex collapse (diameter below `xtol`), evaluation
+//! budget, or stall.
+
+use super::Search;
+use crate::space::{Point, SearchSpace};
+
+#[derive(Debug, Clone, Copy)]
+pub struct ProOptions {
+    /// Number of simplex vertices (`>= dim + 1`; 0 = auto `dim + 1`).
+    pub simplex_size: usize,
+    /// Expansion step multiplier applied on a best-beating reflection.
+    pub expand: f64,
+    /// Shrink factor toward the best vertex.
+    pub shrink: f64,
+    /// Stop when the simplex L∞ diameter drops below this many grid steps.
+    pub xtol: f64,
+    pub max_evals: usize,
+    pub stall_limit: usize,
+    /// On simplex collapse, rebuild around the incumbent best (with
+    /// shrinking steps) this many times before declaring convergence.
+    pub max_reseeds: usize,
+}
+
+impl Default for ProOptions {
+    fn default() -> Self {
+        ProOptions {
+            simplex_size: 0,
+            expand: 2.0,
+            shrink: 0.5,
+            xtol: 0.9,
+            max_evals: 150,
+            stall_limit: 30,
+            max_reseeds: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Vertex {
+    x: Vec<f64>,
+    f: f64,
+}
+
+#[derive(Debug)]
+enum Role {
+    Init(usize),
+    Reflect(usize),
+    Expand { idx: usize },
+    ShrinkEval(usize),
+}
+
+struct Pending {
+    x: Vec<f64>,
+    role: Role,
+}
+
+pub struct ParallelRankOrder {
+    space: SearchSpace,
+    opts: ProOptions,
+    size: usize,
+    proto_points: Vec<Vec<f64>>,
+    vertices: Vec<Vertex>,
+    pending: Option<Pending>,
+    /// Vertices still to reflect this round (indices into `vertices`).
+    queue: Vec<usize>,
+    /// Did any trial this round improve its vertex?
+    round_improved: bool,
+    shrink_queue: Vec<usize>,
+    init_next: usize,
+    evals: usize,
+    stall: usize,
+    reseeds: usize,
+    done: bool,
+    best: Option<(Point, f64)>,
+}
+
+/// `x0` plus one vertex per dimension, stepped `scale × domain/2` (at least
+/// one grid cell) away from the nearer edge.
+fn axis_simplex(space: &SearchSpace, x0: &[f64], scale: f64) -> Vec<Vec<f64>> {
+    let upper = space.upper();
+    let mut out = vec![x0.to_vec()];
+    for j in 0..space.dim() {
+        let mut v = x0.to_vec();
+        if upper[j] > 0.0 {
+            let step = (upper[j] / 2.0 * scale).max(1.0);
+            v[j] = if x0[j] + step <= upper[j] { x0[j] + step } else { x0[j] - step };
+            v[j] = v[j].clamp(0.0, upper[j]);
+        }
+        out.push(v);
+    }
+    out
+}
+
+impl ParallelRankOrder {
+    pub fn new(space: SearchSpace, start: &[usize], opts: ProOptions) -> Self {
+        assert!(space.contains(start), "start point outside the space");
+        let size = if opts.simplex_size == 0 {
+            space.dim() + 1
+        } else {
+            opts.simplex_size.max(space.dim() + 1)
+        };
+        // Initial simplex: the start point, one axis-stepped vertex per
+        // dimension (affine independence, like Nelder–Mead), and any extra
+        // vertices spread across the grid at evenly spaced ranks.
+        let x0: Vec<f64> = start.iter().map(|&i| i as f64).collect();
+        let mut proto_points = axis_simplex(&space, &x0, 1.0);
+        let total = space.size();
+        let extra = size - proto_points.len().min(size);
+        for k in 1..=extra {
+            let rank = (k * total) / (extra + 1);
+            let p = space.unrank(rank.min(total - 1));
+            proto_points.push(p.iter().map(|&i| i as f64).collect());
+        }
+        proto_points.truncate(size);
+        let size = proto_points.len();
+        ParallelRankOrder {
+            space,
+            opts,
+            size,
+            proto_points,
+            vertices: Vec::new(),
+            pending: None,
+            queue: Vec::new(),
+            round_improved: false,
+            shrink_queue: Vec::new(),
+            init_next: 0,
+            evals: 0,
+            stall: 0,
+            reseeds: 0,
+            done: false,
+            best: None,
+        }
+    }
+
+    fn best_idx(&self) -> usize {
+        let mut bi = 0;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if v.f < self.vertices[bi].f {
+                bi = i;
+            }
+        }
+        bi
+    }
+
+    fn diameter(&self) -> f64 {
+        let b = &self.vertices[self.best_idx()].x;
+        self.vertices
+            .iter()
+            .map(|v| v.x.iter().zip(b).map(|(a, c)| (a - c).abs()).fold(0.0, f64::max))
+            .fold(0.0, f64::max)
+    }
+
+    fn record_best(&mut self, point: Point, value: f64) {
+        if self.best.as_ref().is_none_or(|(_, b)| value < *b) {
+            self.best = Some((point, value));
+            self.stall = 0;
+        } else {
+            self.stall += 1;
+        }
+    }
+
+    fn reflect_through_best(&self, idx: usize, coeff: f64) -> Vec<f64> {
+        let b = &self.vertices[self.best_idx()].x;
+        let v = &self.vertices[idx].x;
+        let mut x: Vec<f64> = b.iter().zip(v).map(|(bi, vi)| bi + coeff * (bi - vi)).collect();
+        self.space.clamp(&mut x);
+        x
+    }
+
+    fn start_round(&mut self) {
+        if self.evals >= self.opts.max_evals || self.stall >= self.opts.stall_limit {
+            self.done = true;
+            return;
+        }
+        if self.diameter() < self.opts.xtol {
+            if self.reseeds < self.opts.max_reseeds {
+                self.reseeds += 1;
+                self.reseed();
+                return;
+            }
+            self.done = true;
+            return;
+        }
+        let bi = self.best_idx();
+        self.queue = (0..self.vertices.len()).filter(|&i| i != bi).collect();
+        self.round_improved = false;
+        self.next_trial();
+    }
+
+    fn next_trial(&mut self) {
+        if let Some(idx) = self.queue.pop() {
+            let x = self.reflect_through_best(idx, 1.0);
+            self.pending = Some(Pending { x, role: Role::Reflect(idx) });
+        } else if !self.round_improved {
+            // No reflection helped: shrink everyone toward the best.
+            let bi = self.best_idx();
+            let best = self.vertices[bi].x.clone();
+            self.shrink_queue.clear();
+            for i in 0..self.vertices.len() {
+                if i == bi {
+                    continue;
+                }
+                for (xi, b) in self.vertices[i].x.iter_mut().zip(&best) {
+                    *xi = b + self.opts.shrink * (*xi - *b);
+                }
+                self.shrink_queue.push(i);
+            }
+            self.next_shrink_eval();
+        } else {
+            self.start_round();
+        }
+    }
+
+    fn next_shrink_eval(&mut self) {
+        if let Some(idx) = self.shrink_queue.pop() {
+            let x = self.vertices[idx].x.clone();
+            self.pending = Some(Pending { x, role: Role::ShrinkEval(idx) });
+        } else {
+            self.start_round();
+        }
+    }
+
+    fn proto(&self, i: usize) -> Vec<f64> {
+        self.proto_points[i].clone()
+    }
+
+    /// Rebuild the simplex around the incumbent best with shrinking axis
+    /// steps, re-measuring the fresh vertices. Escapes degenerate-subspace
+    /// collapse (reflections can never leave an affine subspace the whole
+    /// simplex lies in).
+    fn reseed(&mut self) {
+        let scale = 0.5f64.powi(self.reseeds as i32);
+        let x0 = self
+            .best
+            .as_ref()
+            .map(|(p, _)| p.iter().map(|&i| i as f64).collect::<Vec<f64>>())
+            .unwrap_or_else(|| self.vertices[self.best_idx()].x.clone());
+        let fresh = axis_simplex(&self.space, &x0, scale);
+        self.shrink_queue.clear();
+        for (i, x) in fresh.into_iter().enumerate().take(self.vertices.len()) {
+            self.vertices[i] = Vertex { x, f: f64::INFINITY };
+            self.shrink_queue.push(i);
+        }
+        self.next_shrink_eval();
+    }
+}
+
+impl Search for ParallelRankOrder {
+    fn ask(&mut self) -> Option<Point> {
+        if self.done {
+            return None;
+        }
+        if let Some(p) = &self.pending {
+            return Some(self.space.round(&p.x));
+        }
+        if self.init_next < self.size {
+            let x = self.proto(self.init_next);
+            self.pending = Some(Pending { x, role: Role::Init(self.init_next) });
+            return self.pending.as_ref().map(|p| self.space.round(&p.x));
+        }
+        self.start_round();
+        if self.done {
+            return None;
+        }
+        self.pending.as_ref().map(|p| self.space.round(&p.x))
+    }
+
+    fn tell(&mut self, value: f64) {
+        let Pending { x, role } = self.pending.take().expect("tell without pending ask");
+        self.evals += 1;
+        self.record_best(self.space.round(&x), value);
+
+        match role {
+            Role::Init(i) => {
+                debug_assert_eq!(i, self.vertices.len());
+                self.vertices.push(Vertex { x, f: value });
+                self.init_next += 1;
+            }
+            Role::Reflect(idx) => {
+                let beat_best = value < self.vertices[self.best_idx()].f;
+                if value < self.vertices[idx].f {
+                    self.round_improved = true;
+                    self.vertices[idx] = Vertex { x, f: value };
+                    if beat_best {
+                        // Chase the descent direction with an expansion.
+                        let xe = self.reflect_through_best(idx, self.opts.expand);
+                        self.pending = Some(Pending { x: xe, role: Role::Expand { idx } });
+                        return;
+                    }
+                }
+                self.next_trial();
+            }
+            Role::Expand { idx } => {
+                if value < self.vertices[idx].f {
+                    self.vertices[idx] = Vertex { x, f: value };
+                }
+                self.next_trial();
+            }
+            Role::ShrinkEval(idx) => {
+                self.vertices[idx].f = value;
+                self.next_shrink_eval();
+            }
+        }
+
+        if self.evals >= self.opts.max_evals || self.stall >= self.opts.stall_limit {
+            self.done = true;
+        }
+    }
+
+    fn best(&self) -> Option<(&Point, f64)> {
+        self.best.as_ref().map(|(p, v)| (p, *v))
+    }
+
+    fn converged(&self) -> bool {
+        self.done
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![Param::new("a", 13), Param::new("b", 13)])
+    }
+
+    fn run<F: FnMut(&[usize]) -> f64>(
+        mut s: ParallelRankOrder,
+        mut f: F,
+    ) -> (Point, f64, usize) {
+        while let Some(p) = s.ask() {
+            let v = f(&p);
+            s.tell(v);
+        }
+        let (p, v) = s.best().unwrap();
+        (p.clone(), v, s.evaluations())
+    }
+
+    #[test]
+    fn minimises_convex_bowl() {
+        let s = ParallelRankOrder::new(space(), &[12, 12], ProOptions::default());
+        let (best, val, _) = run(s, |p| {
+            (p[0] as f64 - 4.0).powi(2) + (p[1] as f64 - 7.0).powi(2)
+        });
+        assert!(val <= 2.0, "best={best:?} val={val}");
+    }
+
+    #[test]
+    fn cheaper_than_exhaustive() {
+        let sp = space();
+        let total = sp.size();
+        let s = ParallelRankOrder::new(sp, &[0, 0], ProOptions::default());
+        let (_, _, evals) = run(s, |p| p[0] as f64 + p[1] as f64);
+        assert!(evals < total, "evals={evals} total={total}");
+    }
+
+    #[test]
+    fn stays_inside_domain() {
+        let sp = space();
+        let mut s = ParallelRankOrder::new(sp.clone(), &[6, 6], ProOptions::default());
+        while let Some(p) = s.ask() {
+            assert!(sp.contains(&p));
+            s.tell((p[0] * 13 + p[1]) as f64);
+        }
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let opts = ProOptions { max_evals: 12, ..ProOptions::default() };
+        let s = ParallelRankOrder::new(space(), &[0, 0], opts);
+        let (_, _, evals) = run(s, |p| p[0] as f64);
+        assert!(evals <= 12);
+    }
+}

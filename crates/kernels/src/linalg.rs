@@ -1,0 +1,424 @@
+//! Dense 5×5 block operations for the BT solver.
+//!
+//! BT's x/y/z sweeps solve block-tridiagonal systems whose blocks are 5×5
+//! Jacobians. These are the exact primitive operations the NPB BT kernel
+//! spends its time in: 5×5 matrix–matrix multiply, matrix–vector multiply,
+//! and in-place 5×5 inversion (`binvcrhs`-style Gaussian elimination with
+//! partial pivoting).
+
+use crate::grid::NCOMP;
+
+pub type Mat5 = [[f64; NCOMP]; NCOMP];
+pub type Vec5 = [f64; NCOMP];
+
+pub const ZERO_MAT: Mat5 = [[0.0; NCOMP]; NCOMP];
+
+pub fn identity() -> Mat5 {
+    let mut m = ZERO_MAT;
+    for (d, row) in m.iter_mut().enumerate() {
+        row[d] = 1.0;
+    }
+    m
+}
+
+/// `c = a · b`
+pub fn matmul(a: &Mat5, b: &Mat5) -> Mat5 {
+    let mut c = ZERO_MAT;
+    for i in 0..NCOMP {
+        for k in 0..NCOMP {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..NCOMP {
+                c[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    c
+}
+
+/// `y = a · x`
+pub fn matvec(a: &Mat5, x: &Vec5) -> Vec5 {
+    let mut y = [0.0; NCOMP];
+    for i in 0..NCOMP {
+        let mut s = 0.0;
+        for j in 0..NCOMP {
+            s += a[i][j] * x[j];
+        }
+        y[i] = s;
+    }
+    y
+}
+
+/// `a -= b`
+pub fn matsub(a: &mut Mat5, b: &Mat5) {
+    for i in 0..NCOMP {
+        for j in 0..NCOMP {
+            a[i][j] -= b[i][j];
+        }
+    }
+}
+
+/// `x -= y`
+pub fn vecsub(x: &mut Vec5, y: &Vec5) {
+    for i in 0..NCOMP {
+        x[i] -= y[i];
+    }
+}
+
+/// Invert a 5×5 matrix in place via Gauss–Jordan with partial pivoting.
+/// Returns `None` for (numerically) singular input.
+pub fn invert(a: &Mat5) -> Option<Mat5> {
+    let mut m = *a;
+    let mut inv = identity();
+    for col in 0..NCOMP {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..NCOMP {
+            if m[r][col].abs() > m[piv][col].abs() {
+                piv = r;
+            }
+        }
+        if m[piv][col].abs() < 1e-300 {
+            return None;
+        }
+        m.swap(col, piv);
+        inv.swap(col, piv);
+        let d = m[col][col];
+        for j in 0..NCOMP {
+            m[col][j] /= d;
+            inv[col][j] /= d;
+        }
+        for r in 0..NCOMP {
+            if r == col {
+                continue;
+            }
+            let f = m[r][col];
+            if f == 0.0 {
+                continue;
+            }
+            for j in 0..NCOMP {
+                m[r][j] -= f * m[col][j];
+                inv[r][j] -= f * inv[col][j];
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Solve a block-tridiagonal system in place (block Thomas algorithm):
+/// `A_i x_{i-1} + B_i x_i + C_i x_{i+1} = r_i`, `i = 0..n`, with
+/// `A_0 = C_{n-1} = 0`. On return `r` holds the solution. This is the
+/// `x_solve`/`y_solve`/`z_solve` inner line solve of BT.
+///
+/// Returns `false` if a diagonal block became singular.
+pub fn block_tridiag_solve(
+    a: &mut [Mat5],
+    b: &mut [Mat5],
+    c: &mut [Mat5],
+    r: &mut [Vec5],
+) -> bool {
+    let n = r.len();
+    debug_assert!(a.len() == n && b.len() == n && c.len() == n);
+    if n == 0 {
+        return true;
+    }
+    // Forward elimination.
+    for i in 0..n {
+        if i > 0 {
+            // b_i -= a_i · c'_{i-1};  r_i -= a_i · r'_{i-1}
+            let ac = matmul(&a[i], &c[i - 1]);
+            matsub(&mut b[i], &ac);
+            let ar = matvec(&a[i], &r[i - 1]);
+            vecsub(&mut r[i], &ar);
+        }
+        let Some(binv) = invert(&b[i]) else {
+            return false;
+        };
+        // c'_i = b_i⁻¹ c_i;  r'_i = b_i⁻¹ r_i
+        c[i] = matmul(&binv, &c[i]);
+        r[i] = matvec(&binv, &r[i]);
+    }
+    // Back substitution: x_i = r'_i − c'_i x_{i+1}
+    for i in (0..n - 1).rev() {
+        let cx = matvec(&c[i], &r[i + 1]);
+        vecsub(&mut r[i], &cx);
+    }
+    true
+}
+
+/// Solve a scalar pentadiagonal system in place:
+/// `e_i x_{i-2} + a_i x_{i-1} + b_i x_i + c_i x_{i+1} + f_i x_{i+2} = r_i`
+/// (bands zero outside the domain). On return `r` holds the solution.
+/// This is SP's `x_solve`/`y_solve`/`z_solve` line solve.
+#[allow(clippy::too_many_arguments)]
+pub fn penta_solve(
+    e: &mut [f64],
+    a: &mut [f64],
+    b: &mut [f64],
+    c: &mut [f64],
+    f: &mut [f64],
+    r: &mut [f64],
+) -> bool {
+    let n = r.len();
+    debug_assert!(
+        e.len() == n && a.len() == n && b.len() == n && c.len() == n && f.len() == n
+    );
+    if n == 0 {
+        return true;
+    }
+    // Forward elimination (banded LU without pivoting — the SP systems are
+    // diagonally dominant). The second sub-diagonal must be eliminated
+    // *before* the first: row i−2 is already fully reduced, so its pivot
+    // row is (b, c, f)[i−2].
+    for i in 0..n {
+        if i >= 2 {
+            let m = e[i] / b[i - 2];
+            if !m.is_finite() {
+                return false;
+            }
+            a[i] -= m * c[i - 2];
+            b[i] -= m * f[i - 2];
+            r[i] -= m * r[i - 2];
+        }
+        if i >= 1 {
+            let m = a[i] / b[i - 1];
+            if !m.is_finite() {
+                return false;
+            }
+            b[i] -= m * c[i - 1];
+            c[i] -= m * f[i - 1];
+            r[i] -= m * r[i - 1];
+        }
+        if b[i].abs() < 1e-300 {
+            return false;
+        }
+    }
+    // Back substitution.
+    r[n - 1] /= b[n - 1];
+    if n >= 2 {
+        r[n - 2] = (r[n - 2] - c[n - 2] * r[n - 1]) / b[n - 2];
+    }
+    for i in (0..n.saturating_sub(2)).rev() {
+        r[i] = (r[i] - c[i] * r[i + 1] - f[i] * r[i + 2]) / b[i];
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng_mat(seed: &mut u64) -> Mat5 {
+        let mut m = ZERO_MAT;
+        for row in m.iter_mut() {
+            for v in row.iter_mut() {
+                *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *v = ((*seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn invert_recovers_identity() {
+        let mut seed = 7u64;
+        for _ in 0..20 {
+            let mut m = rng_mat(&mut seed);
+            // Diagonal dominance guarantees invertibility.
+            for (d, row) in m.iter_mut().enumerate() {
+                row[d] += 4.0;
+            }
+            let inv = invert(&m).unwrap();
+            let prod = matmul(&m, &inv);
+            let id = identity();
+            for i in 0..NCOMP {
+                for j in 0..NCOMP {
+                    assert!((prod[i][j] - id[i][j]).abs() < 1e-10, "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invert_rejects_singular() {
+        let mut m = ZERO_MAT;
+        m[0][0] = 1.0; // rank 1
+        assert!(invert(&m).is_none());
+    }
+
+    #[test]
+    fn block_tridiag_matches_direct_multiply() {
+        // Build a random diagonally dominant block-tridiag system with a
+        // known solution and check the solver recovers it.
+        let n = 12;
+        let mut seed = 99u64;
+        let mut a: Vec<Mat5> = (0..n).map(|_| rng_mat(&mut seed)).collect();
+        let mut b: Vec<Mat5> = (0..n)
+            .map(|_| {
+                let mut m = rng_mat(&mut seed);
+                for (d, row) in m.iter_mut().enumerate() {
+                    row[d] += 6.0;
+                }
+                m
+            })
+            .collect();
+        let mut c: Vec<Mat5> = (0..n).map(|_| rng_mat(&mut seed)).collect();
+        a[0] = ZERO_MAT;
+        c[n - 1] = ZERO_MAT;
+        let x_true: Vec<Vec5> = (0..n)
+            .map(|i| {
+                let mut v = [0.0; NCOMP];
+                for (m, vm) in v.iter_mut().enumerate() {
+                    *vm = (i * NCOMP + m) as f64 * 0.1 - 1.0;
+                }
+                v
+            })
+            .collect();
+        // r_i = A x_{i-1} + B x_i + C x_{i+1}
+        let mut r: Vec<Vec5> = (0..n)
+            .map(|i| {
+                let mut acc = matvec(&b[i], &x_true[i]);
+                if i > 0 {
+                    let t = matvec(&a[i], &x_true[i - 1]);
+                    for (av, tv) in acc.iter_mut().zip(&t) {
+                        *av += tv;
+                    }
+                }
+                if i + 1 < n {
+                    let t = matvec(&c[i], &x_true[i + 1]);
+                    for (av, tv) in acc.iter_mut().zip(&t) {
+                        *av += tv;
+                    }
+                }
+                acc
+            })
+            .collect();
+        assert!(block_tridiag_solve(&mut a, &mut b, &mut c, &mut r));
+        for i in 0..n {
+            for m in 0..NCOMP {
+                assert!(
+                    (r[i][m] - x_true[i][m]).abs() < 1e-8,
+                    "x[{i}][{m}] = {} vs {}",
+                    r[i][m],
+                    x_true[i][m]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_tridiag_handles_single_block() {
+        let mut a = vec![ZERO_MAT];
+        let mut b = vec![{
+            let mut m = identity();
+            m[0][0] = 2.0;
+            m
+        }];
+        let mut c = vec![ZERO_MAT];
+        let mut r = vec![[2.0, 1.0, 1.0, 1.0, 1.0]];
+        assert!(block_tridiag_solve(&mut a, &mut b, &mut c, &mut r));
+        assert!((r[0][0] - 1.0).abs() < 1e-12);
+        assert!((r[0][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penta_solve_full_bands_against_direct_multiply() {
+        let n = 15;
+        let mut seed = 3u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut e: Vec<f64> = (0..n).map(|_| rnd() * 0.5).collect();
+        let mut a: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let mut b: Vec<f64> = (0..n).map(|_| rnd() + 6.0).collect();
+        let mut c: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let mut f: Vec<f64> = (0..n).map(|_| rnd() * 0.5).collect();
+        e[0] = 0.0;
+        e[1] = 0.0;
+        a[0] = 0.0;
+        c[n - 1] = 0.0;
+        f[n - 1] = 0.0;
+        f[n - 2] = 0.0;
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.73).cos()).collect();
+        let mut r = vec![0.0; n];
+        for i in 0..n {
+            r[i] = b[i] * x_true[i];
+            if i >= 2 {
+                r[i] += e[i] * x_true[i - 2];
+            }
+            if i >= 1 {
+                r[i] += a[i] * x_true[i - 1];
+            }
+            if i + 1 < n {
+                r[i] += c[i] * x_true[i + 1];
+            }
+            if i + 2 < n {
+                r[i] += f[i] * x_true[i + 2];
+            }
+        }
+        assert!(penta_solve(&mut e, &mut a, &mut b, &mut c, &mut f, &mut r));
+        for i in 0..n {
+            assert!((r[i] - x_true[i]).abs() < 1e-9, "x[{i}] = {} vs {}", r[i], x_true[i]);
+        }
+    }
+
+    #[test]
+    fn penta_solve_degenerate_sizes() {
+        // n = 1
+        let mut r = vec![6.0];
+        assert!(penta_solve(
+            &mut [0.0],
+            &mut [0.0],
+            &mut [2.0],
+            &mut [0.0],
+            &mut [0.0],
+            &mut r
+        ));
+        assert!((r[0] - 3.0).abs() < 1e-12);
+        // n = 2
+        let mut r = vec![3.0, 5.0];
+        assert!(penta_solve(
+            &mut [0.0, 0.0],
+            &mut [0.0, 1.0],
+            &mut [3.0, 4.0],
+            &mut [0.0, 0.0],
+            &mut [0.0, 0.0],
+            &mut r
+        ));
+        assert!((r[0] - 1.0).abs() < 1e-12);
+        assert!((r[1] - 1.0).abs() < 1e-12);
+        // n = 0 is a no-op.
+        assert!(penta_solve(&mut [], &mut [], &mut [], &mut [], &mut [], &mut []));
+    }
+
+    #[test]
+    fn penta_solve_tridiagonal_case() {
+        // With e = f = 0 the pentadiagonal solver must behave like Thomas.
+        let n = 10;
+        let mut e = vec![0.0; n];
+        let mut f = vec![0.0; n];
+        let mut a = vec![-1.0; n];
+        let mut b = vec![4.0; n];
+        let mut c = vec![-1.0; n];
+        a[0] = 0.0;
+        c[n - 1] = 0.0;
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut r = vec![0.0; n];
+        for i in 0..n {
+            r[i] = b[i] * x_true[i];
+            if i > 0 {
+                r[i] += a[i] * x_true[i - 1];
+            }
+            if i + 1 < n {
+                r[i] += c[i] * x_true[i + 1];
+            }
+        }
+        assert!(penta_solve(&mut e, &mut a, &mut b, &mut c, &mut f, &mut r));
+        for i in 0..n {
+            assert!((r[i] - x_true[i]).abs() < 1e-10, "x[{i}]");
+        }
+    }
+}

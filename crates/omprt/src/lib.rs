@@ -1,0 +1,57 @@
+//! # arcs-omprt — an OpenMP-like work-sharing runtime with a tools interface
+//!
+//! This crate is the substrate standing in for the paper's modified
+//! Intel/LLVM OpenMP runtime with OMPT support. It provides:
+//!
+//! * a persistent worker [`pool`](pool::Pool) (fork/join is a broadcast, not
+//!   a spawn);
+//! * [`parallel_for`](Runtime::parallel_for) /
+//!   [`parallel_for_chunks`](Runtime::parallel_for_chunks) /
+//!   [`parallel_reduce`](Runtime::parallel_reduce) work-sharing constructs
+//!   with OpenMP 4.0 `static` / `dynamic` / `guided` schedules and chunk
+//!   sizes;
+//! * the runtime control knobs ARCS turns between region invocations:
+//!   [`Runtime::set_num_threads`] and [`Runtime::set_schedule`];
+//! * an [OMPT-like tool interface](ompt) emitting `parallel_begin`,
+//!   `parallel_end` and per-thread `implicit_task` events with complete
+//!   [measurement records](stats::RegionRecord) (loop time, barrier time,
+//!   chunk counts);
+//! * [`SyncSlice`] for the disjoint-index shared writes
+//!   OpenMP loop bodies rely on.
+//!
+//! ## Quick example
+//! ```
+//! use arcs_omprt::{Runtime, Schedule};
+//!
+//! let rt = Runtime::new(4);
+//! let region = rt.register_region("axpy");
+//! rt.set_num_threads(4);
+//! rt.set_schedule(Schedule::guided(8));
+//!
+//! let x = vec![1.0f64; 1024];
+//! let mut y = vec![2.0f64; 1024];
+//! {
+//!     let yv = arcs_omprt::SyncSlice::new(&mut y);
+//!     let record = rt.parallel_for_chunks(region, 0..x.len(), |c| unsafe {
+//!         for i in c {
+//!             *yv.get_mut(i) += 3.0 * x[i];
+//!         }
+//!     });
+//!     assert_eq!(record.iterations, 1024);
+//! }
+//! assert!(y.iter().all(|&v| v == 5.0));
+//! ```
+
+pub mod ompt;
+pub mod pool;
+pub mod region;
+pub mod schedule;
+pub mod stats;
+pub mod util;
+
+pub use ompt::{Tool, ToolRegistry};
+pub use pool::Pool;
+pub use region::{RegionId, Runtime};
+pub use schedule::{Chunk, Dispenser, Schedule, ScheduleKind};
+pub use stats::{RegionRecord, ThreadStats};
+pub use util::SyncSlice;

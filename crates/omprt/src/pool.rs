@@ -1,0 +1,274 @@
+//! Persistent worker-thread pool.
+//!
+//! OpenMP runtimes keep a team of worker threads alive across parallel
+//! regions so that `omp_set_num_threads` is cheap and fork/join overhead is
+//! a broadcast, not a `pthread_create`. This pool does the same: `max_threads
+//! - 1` workers are spawned once; the thread that calls [`Pool::run`] acts as
+//! thread 0 (the OpenMP *master*), and each region wakes only the first
+//! `n - 1` workers.
+//!
+//! The job closure is borrowed for the duration of the region. Workers never
+//! touch it after the completion latch releases the caller, which is what
+//! makes the lifetime transmute in [`Pool::run`] sound (same technique as
+//! `std::thread::scope`).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the region body: `fn(thread_num)`.
+type JobRef = *const (dyn Fn(usize) + Sync);
+
+struct EpochState {
+    epoch: u64,
+    /// Borrowed job pointer, only valid while `pending > 0` or the caller is
+    /// still inside `run`.
+    job: Option<JobRef>,
+    nthreads: usize,
+    shutdown: bool,
+}
+
+// SAFETY: the JobRef inside is only dereferenced while the owning `run` call
+// is blocked on the completion latch, so the pointee outlives every access.
+unsafe impl Send for EpochState {}
+
+struct Shared {
+    state: Mutex<EpochState>,
+    wake: Condvar,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+}
+
+/// A fixed-capacity team of worker threads.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    max_threads: usize,
+}
+
+impl Pool {
+    /// Create a pool able to run regions with up to `max_threads` threads
+    /// (including the caller). `max_threads` must be at least 1.
+    pub fn new(max_threads: usize) -> Self {
+        assert!(max_threads >= 1, "a team needs at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(EpochState {
+                epoch: 0,
+                job: None,
+                nthreads: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..max_threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("omprt-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool { shared, workers, max_threads }
+    }
+
+    /// Maximum team size this pool supports.
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// Execute `job(thread_num)` on `nthreads` threads (thread 0 is the
+    /// caller) and return once every thread has finished.
+    ///
+    /// # Panics
+    /// Panics if `nthreads` is 0 or exceeds [`Pool::max_threads`]. A panic
+    /// inside `job` on a worker thread aborts the process (the latch would
+    /// otherwise deadlock); a panic on the caller's thread propagates after
+    /// the workers finish.
+    pub fn run<F>(&self, nthreads: usize, job: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        assert!(nthreads >= 1, "team size must be at least 1");
+        assert!(
+            nthreads <= self.max_threads,
+            "team size {nthreads} exceeds pool capacity {}",
+            self.max_threads
+        );
+        if nthreads == 1 {
+            job(0);
+            return;
+        }
+
+        let job_ref: *const (dyn Fn(usize) + Sync + '_) = &job;
+        // SAFETY: we erase the borrow lifetime to store the pointer in the
+        // shared slot. Workers only dereference it between the epoch bump
+        // below and their decrement of the completion latch; `run` does not
+        // return until the latch reaches zero, so `job` outlives every use.
+        let job_ref: JobRef = unsafe { std::mem::transmute(job_ref) };
+
+        {
+            let mut done = self.shared.done.lock();
+            *done = nthreads - 1;
+        }
+        {
+            let mut st = self.shared.state.lock();
+            st.epoch += 1;
+            st.job = Some(job_ref);
+            st.nthreads = nthreads;
+            self.shared.wake.notify_all();
+        }
+
+        // The caller is thread 0 of the team.
+        job(0);
+
+        let mut done = self.shared.done.lock();
+        while *done != 0 {
+            self.shared.done_cv.wait(&mut done);
+        }
+        // Clear the dangling pointer eagerly (not required for soundness,
+        // but keeps the idle state clean for debuggers).
+        self.shared.state.lock().job = None;
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.wake.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(tid: usize, shared: Arc<Shared>) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job;
+        {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    if tid < st.nthreads {
+                        break;
+                    }
+                    // Not part of this team; acknowledge the epoch and keep
+                    // sleeping.
+                }
+                shared.wake.wait(&mut st);
+            }
+            job = st.job.expect("woken for an epoch with no job");
+        }
+
+        // SAFETY: see the transmute comment in `run`; the caller is blocked
+        // on the latch until we decrement it below.
+        let body = unsafe { &*job };
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(tid)));
+
+        {
+            let mut done = shared.done.lock();
+            *done -= 1;
+            if *done == 0 {
+                shared.done_cv.notify_one();
+            }
+        }
+
+        if panicked.is_err() {
+            // A worker panic cannot be propagated to the caller without
+            // poisoning the whole team; fail loudly like libgomp does.
+            eprintln!("omprt: worker thread {tid} panicked inside a parallel region; aborting");
+            std::process::abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_thread_exactly_once() {
+        let pool = Pool::new(4);
+        let hits = [const { AtomicUsize::new(0) }; 4];
+        pool.run(4, |t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn smaller_teams_leave_extra_workers_idle() {
+        let pool = Pool::new(8);
+        let count = AtomicUsize::new(0);
+        let max_tid = AtomicUsize::new(0);
+        pool.run(3, |t| {
+            count.fetch_add(1, Ordering::Relaxed);
+            max_tid.fetch_max(t, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+        assert_eq!(max_tid.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn single_thread_team_runs_inline() {
+        let pool = Pool::new(2);
+        let caller = std::thread::current().id();
+        let hits = AtomicUsize::new(0);
+        pool.run(1, |t| {
+            assert_eq!(t, 0);
+            // nthreads == 1 must run inline on the calling thread.
+            assert_eq!(std::thread::current().id(), caller);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn consecutive_regions_reuse_workers() {
+        let pool = Pool::new(4);
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run(4, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn varying_team_sizes_between_regions() {
+        let pool = Pool::new(8);
+        for n in [1usize, 8, 2, 7, 3, 1, 8] {
+            let count = AtomicUsize::new(0);
+            pool.run(n, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), n, "team size {n}");
+        }
+    }
+
+    #[test]
+    fn job_borrows_stack_data() {
+        let pool = Pool::new(4);
+        let data: Vec<usize> = (0..1000).collect();
+        let sum = AtomicUsize::new(0);
+        pool.run(4, |t| {
+            let part: usize = data.iter().skip(t).step_by(4).sum();
+            sum.fetch_add(part, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+    }
+}

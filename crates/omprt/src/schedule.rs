@@ -1,0 +1,430 @@
+//! Loop scheduling policies and chunk arithmetic.
+//!
+//! This module implements the three OpenMP work-sharing schedules the ARCS
+//! paper tunes — `static`, `dynamic` and `guided` — with an optional chunk
+//! parameter, following the OpenMP 4.0 semantics:
+//!
+//! * **static** without a chunk: the iteration space is divided into at most
+//!   one contiguous block per thread (block partition, sizes differing by at
+//!   most one). With a chunk `c`: chunks of `c` iterations are assigned to
+//!   threads round-robin in thread order.
+//! * **dynamic**: chunks of `c` iterations (default 1) are handed to threads
+//!   on demand from a shared counter.
+//! * **guided**: each grab takes `max(c, ceil(remaining / nthreads))`
+//!   iterations (default minimum chunk 1), so chunk sizes decrease
+//!   exponentially towards the minimum.
+//!
+//! The same arithmetic is reused by the `arcs-powersim` simulator so that the
+//! simulated machine dispatches *exactly* the chunk sequence the live runtime
+//! would.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The scheduling policy family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// Compile-time block/round-robin assignment; zero dispatch cost.
+    Static,
+    /// On-demand chunk grab from a shared counter.
+    Dynamic,
+    /// On-demand grab with exponentially decreasing chunk sizes.
+    Guided,
+}
+
+impl ScheduleKind {
+    /// All policy families, in the order the paper's Table I lists them.
+    pub const ALL: [ScheduleKind; 3] =
+        [ScheduleKind::Dynamic, ScheduleKind::Static, ScheduleKind::Guided];
+
+    /// Lower-case OpenMP spelling (`OMP_SCHEDULE` style).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleKind::Static => "static",
+            ScheduleKind::Dynamic => "dynamic",
+            ScheduleKind::Guided => "guided",
+        }
+    }
+}
+
+impl fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete schedule clause: policy plus optional chunk parameter.
+///
+/// `chunk == None` selects the runtime default for the policy: block
+/// partition for `static`, `1` for `dynamic`, minimum `1` for `guided`.
+/// This mirrors the paper's "default" chunk entry in the search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Schedule {
+    pub kind: ScheduleKind,
+    pub chunk: Option<usize>,
+}
+
+impl Schedule {
+    pub const fn new(kind: ScheduleKind, chunk: Option<usize>) -> Self {
+        Schedule { kind, chunk }
+    }
+
+    /// The OpenMP default schedule: `static` with the block partition.
+    pub const fn runtime_default() -> Self {
+        Schedule { kind: ScheduleKind::Static, chunk: None }
+    }
+
+    pub const fn static_block() -> Self {
+        Schedule { kind: ScheduleKind::Static, chunk: None }
+    }
+
+    pub const fn static_chunked(chunk: usize) -> Self {
+        Schedule { kind: ScheduleKind::Static, chunk: Some(chunk) }
+    }
+
+    pub const fn dynamic(chunk: usize) -> Self {
+        Schedule { kind: ScheduleKind::Dynamic, chunk: Some(chunk) }
+    }
+
+    pub const fn guided(chunk: usize) -> Self {
+        Schedule { kind: ScheduleKind::Guided, chunk: Some(chunk) }
+    }
+
+    /// Effective minimum chunk for on-demand policies.
+    pub fn min_chunk(&self) -> usize {
+        self.chunk.unwrap_or(1).max(1)
+    }
+
+    /// Does dispatching a chunk require shared-state synchronisation?
+    ///
+    /// `static` is computed locally per thread; `dynamic` and `guided` pay an
+    /// atomic fetch per chunk. The power simulator charges the corresponding
+    /// dispatch cost.
+    pub fn has_dispatch_cost(&self) -> bool {
+        !matches!(self.kind, ScheduleKind::Static)
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.chunk {
+            Some(c) => write!(f, "{},{}", self.kind, c),
+            None => write!(f, "{},default", self.kind),
+        }
+    }
+}
+
+/// A half-open iteration sub-range `[start, end)` assigned as one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Chunk {
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Static assignment: for thread `tid` of `nthreads`, the list of chunks it
+/// executes, in execution order. Pure function of the inputs.
+pub fn static_chunks_for_thread(
+    len: usize,
+    nthreads: usize,
+    chunk: Option<usize>,
+    tid: usize,
+) -> Vec<Chunk> {
+    assert!(nthreads > 0, "nthreads must be positive");
+    assert!(tid < nthreads, "thread id out of range");
+    if len == 0 {
+        return Vec::new();
+    }
+    match chunk {
+        None => {
+            // Block partition: the first `rem` threads get `base + 1`
+            // iterations, matching `schedule(static)` in every mainstream
+            // OpenMP runtime.
+            let base = len / nthreads;
+            let rem = len % nthreads;
+            let (start, size) = if tid < rem {
+                (tid * (base + 1), base + 1)
+            } else {
+                (rem * (base + 1) + (tid - rem) * base, base)
+            };
+            if size == 0 {
+                Vec::new()
+            } else {
+                vec![Chunk { start, end: start + size }]
+            }
+        }
+        Some(c) => {
+            let c = c.max(1);
+            // Round-robin chunks: thread t owns chunks t, t+nthreads, ...
+            let mut out = Vec::new();
+            let mut idx = tid;
+            loop {
+                let start = idx * c;
+                if start >= len {
+                    break;
+                }
+                let end = (start + c).min(len);
+                out.push(Chunk { start, end });
+                idx += nthreads;
+            }
+            out
+        }
+    }
+}
+
+/// The chunk-size sequence an on-demand (`dynamic`/`guided`) schedule
+/// dispenses, in dispatch order, independent of which thread grabs each
+/// chunk. Used by the simulator.
+pub fn on_demand_chunk_sizes(len: usize, nthreads: usize, schedule: Schedule) -> Vec<usize> {
+    assert!(nthreads > 0);
+    let mut out = Vec::new();
+    let mut remaining = len;
+    let min = schedule.min_chunk();
+    while remaining > 0 {
+        let take = match schedule.kind {
+            ScheduleKind::Dynamic => min.min(remaining),
+            ScheduleKind::Guided => {
+                let prop = remaining.div_ceil(nthreads);
+                prop.max(min).min(remaining)
+            }
+            ScheduleKind::Static => {
+                unreachable!("static schedules are not on-demand")
+            }
+        };
+        out.push(take);
+        remaining -= take;
+    }
+    out
+}
+
+/// Total number of chunks the schedule produces for a loop of `len`
+/// iterations on `nthreads` threads. This is the number of dispatch events
+/// (and, for dynamic/guided, atomic operations) the loop incurs.
+pub fn chunk_count(len: usize, nthreads: usize, schedule: Schedule) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    match schedule.kind {
+        ScheduleKind::Static => match schedule.chunk {
+            None => nthreads.min(len),
+            Some(c) => len.div_ceil(c.max(1)),
+        },
+        _ => on_demand_chunk_sizes(len, nthreads, schedule).len(),
+    }
+}
+
+/// Thread-safe on-demand chunk dispenser used by the live runtime.
+///
+/// `dynamic` uses a single fetch-add. `guided` uses a CAS loop because the
+/// grab size depends on the remaining count; this matches libgomp's
+/// implementation strategy.
+pub struct Dispenser {
+    next: AtomicUsize,
+    len: usize,
+    nthreads: usize,
+    schedule: Schedule,
+}
+
+impl Dispenser {
+    pub fn new(len: usize, nthreads: usize, schedule: Schedule) -> Self {
+        debug_assert!(schedule.has_dispatch_cost());
+        Dispenser { next: AtomicUsize::new(0), len, nthreads: nthreads.max(1), schedule }
+    }
+
+    /// Grab the next chunk, or `None` when the iteration space is exhausted.
+    pub fn next_chunk(&self) -> Option<Chunk> {
+        let min = self.schedule.min_chunk();
+        match self.schedule.kind {
+            ScheduleKind::Dynamic => {
+                let start = self.next.fetch_add(min, Ordering::Relaxed);
+                if start >= self.len {
+                    None
+                } else {
+                    Some(Chunk { start, end: (start + min).min(self.len) })
+                }
+            }
+            ScheduleKind::Guided => {
+                let mut cur = self.next.load(Ordering::Relaxed);
+                loop {
+                    if cur >= self.len {
+                        return None;
+                    }
+                    let remaining = self.len - cur;
+                    let take = remaining.div_ceil(self.nthreads).max(min).min(remaining);
+                    match self.next.compare_exchange_weak(
+                        cur,
+                        cur + take,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return Some(Chunk { start: cur, end: cur + take }),
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+            ScheduleKind::Static => unreachable!("static schedules use static_chunks_for_thread"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_static(len: usize, nthreads: usize, chunk: Option<usize>) -> Vec<usize> {
+        let mut seen = Vec::new();
+        for tid in 0..nthreads {
+            for ch in static_chunks_for_thread(len, nthreads, chunk, tid) {
+                seen.extend(ch.start..ch.end);
+            }
+        }
+        seen.sort_unstable();
+        seen
+    }
+
+    #[test]
+    fn static_block_partitions_exactly() {
+        for &(len, nt) in &[(0, 4), (1, 4), (7, 3), (100, 8), (8, 8), (5, 8), (33, 32)] {
+            let seen = collect_static(len, nt, None);
+            assert_eq!(seen, (0..len).collect::<Vec<_>>(), "len={len} nt={nt}");
+        }
+    }
+
+    #[test]
+    fn static_block_sizes_differ_by_at_most_one() {
+        let sizes: Vec<usize> = (0..8)
+            .map(|t| {
+                static_chunks_for_thread(100, 8, None, t)
+                    .iter()
+                    .map(Chunk::len)
+                    .sum()
+            })
+            .collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn static_chunked_round_robin() {
+        // len 10, chunk 3, 2 threads: chunks [0,3) [3,6) [6,9) [9,10)
+        // thread 0 gets chunks 0 and 2; thread 1 gets chunks 1 and 3.
+        let t0 = static_chunks_for_thread(10, 2, Some(3), 0);
+        let t1 = static_chunks_for_thread(10, 2, Some(3), 1);
+        assert_eq!(t0, vec![Chunk { start: 0, end: 3 }, Chunk { start: 6, end: 9 }]);
+        assert_eq!(t1, vec![Chunk { start: 3, end: 6 }, Chunk { start: 9, end: 10 }]);
+    }
+
+    #[test]
+    fn static_chunked_covers_exactly() {
+        for &(len, nt, c) in &[(100, 8, 7), (10, 2, 3), (5, 8, 2), (64, 4, 64), (64, 4, 1)] {
+            let seen = collect_static(len, nt, Some(c));
+            assert_eq!(seen, (0..len).collect::<Vec<_>>(), "len={len} nt={nt} c={c}");
+        }
+    }
+
+    #[test]
+    fn dynamic_sizes_are_constant() {
+        let sizes = on_demand_chunk_sizes(100, 4, Schedule::dynamic(8));
+        assert_eq!(sizes.len(), 13);
+        assert!(sizes[..12].iter().all(|&s| s == 8));
+        assert_eq!(sizes[12], 4);
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn guided_sizes_decrease_to_minimum() {
+        let sizes = on_demand_chunk_sizes(1000, 4, Schedule::guided(16));
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "guided sizes must be non-increasing: {sizes:?}");
+        }
+        // Every chunk except possibly the last respects the minimum.
+        for &s in &sizes[..sizes.len() - 1] {
+            assert!(s >= 16);
+        }
+        // First chunk is remaining/nthreads = 250.
+        assert_eq!(sizes[0], 250);
+    }
+
+    #[test]
+    fn guided_default_min_is_one() {
+        let sizes = on_demand_chunk_sizes(10, 4, Schedule::new(ScheduleKind::Guided, None));
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert_eq!(sizes[0], 3); // ceil(10/4)
+    }
+
+    #[test]
+    fn dispenser_dynamic_covers_exactly_once() {
+        let d = Dispenser::new(101, 4, Schedule::dynamic(7));
+        let mut seen = [false; 101];
+        while let Some(ch) = d.next_chunk() {
+            for (i, s) in seen.iter_mut().enumerate().take(ch.end).skip(ch.start) {
+                assert!(!*s, "iteration {i} dispensed twice");
+                *s = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn dispenser_guided_matches_sequence() {
+        let sched = Schedule::guided(4);
+        let d = Dispenser::new(500, 8, sched);
+        let mut sizes = Vec::new();
+        while let Some(ch) = d.next_chunk() {
+            sizes.push(ch.len());
+        }
+        assert_eq!(sizes, on_demand_chunk_sizes(500, 8, sched));
+    }
+
+    #[test]
+    fn dispenser_is_safe_under_contention() {
+        use std::sync::Arc;
+        let d = Arc::new(Dispenser::new(100_000, 8, Schedule::guided(1)));
+        let counters: Vec<_> = (0..8)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    let mut total = 0usize;
+                    while let Some(ch) = d.next_chunk() {
+                        total += ch.len();
+                    }
+                    total
+                })
+            })
+            .collect();
+        let total: usize = counters.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100_000);
+    }
+
+    #[test]
+    fn chunk_count_matches_reality() {
+        assert_eq!(chunk_count(100, 8, Schedule::static_block()), 8);
+        assert_eq!(chunk_count(5, 8, Schedule::static_block()), 5);
+        assert_eq!(chunk_count(100, 8, Schedule::static_chunked(7)), 15);
+        assert_eq!(chunk_count(100, 4, Schedule::dynamic(8)), 13);
+        assert_eq!(
+            chunk_count(1000, 4, Schedule::guided(16)),
+            on_demand_chunk_sizes(1000, 4, Schedule::guided(16)).len()
+        );
+        assert_eq!(chunk_count(0, 4, Schedule::dynamic(1)), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Schedule::guided(8).to_string(), "guided,8");
+        assert_eq!(Schedule::runtime_default().to_string(), "static,default");
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-invocation measurement records.
+//!
+//! Every parallel region execution produces a [`RegionRecord`]: the live
+//! equivalent of what the paper collects through OMPT + TAU (implicit-task
+//! time, loop time, barrier time, chunk counts). The ARCS policy consumes
+//! the wall duration; the analysis figures consume the per-thread breakdown.
+
+use crate::region::RegionId;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// What one thread did during one region invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadStats {
+    /// Time spent executing loop body iterations (OMPT `OpenMP_LOOP`).
+    pub busy: Duration,
+    /// Time spent waiting at the implicit end-of-region barrier
+    /// (OMPT `OpenMP_BARRIER`): the gap between this thread finishing its
+    /// share and the slowest thread finishing.
+    pub barrier_wait: Duration,
+    /// Number of chunks this thread dispatched.
+    pub chunks: u32,
+    /// Number of iterations this thread executed.
+    pub iterations: usize,
+}
+
+/// Measurement record for one parallel-region invocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionRecord {
+    pub region: RegionId,
+    /// Team size used for this invocation.
+    pub threads: usize,
+    pub schedule: Schedule,
+    /// Total iterations in the work-shared loop.
+    pub iterations: usize,
+    /// Wall-clock duration of the region, fork to join
+    /// (OMPT `OpenMP_IMPLICIT_TASK` of the master).
+    pub duration: Duration,
+    pub per_thread: Vec<ThreadStats>,
+}
+
+impl RegionRecord {
+    /// Sum of per-thread barrier waits — the paper's `OMP_BARRIER` metric.
+    pub fn total_barrier_wait(&self) -> Duration {
+        self.per_thread.iter().map(|t| t.barrier_wait).sum()
+    }
+
+    /// Sum of per-thread busy time — the paper's `OpenMP_LOOP` metric.
+    pub fn total_busy(&self) -> Duration {
+        self.per_thread.iter().map(|t| t.busy).sum()
+    }
+
+    /// Total chunks dispatched across the team.
+    pub fn total_chunks(&self) -> u64 {
+        self.per_thread.iter().map(|t| u64::from(t.chunks)).sum()
+    }
+
+    /// Load imbalance in [0, 1): `1 - mean(busy) / max(busy)`.
+    /// 0 means perfectly balanced. Returns 0 for degenerate regions.
+    pub fn imbalance(&self) -> f64 {
+        let busys: Vec<f64> = self.per_thread.iter().map(|t| t.busy.as_secs_f64()).collect();
+        let max = busys.iter().cloned().fold(0.0, f64::max);
+        if max <= 0.0 || busys.is_empty() {
+            return 0.0;
+        }
+        let mean = busys.iter().sum::<f64>() / busys.len() as f64;
+        1.0 - mean / max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionId;
+
+    fn rec(busys_ms: &[u64]) -> RegionRecord {
+        let max = *busys_ms.iter().max().unwrap();
+        RegionRecord {
+            region: RegionId(0),
+            threads: busys_ms.len(),
+            schedule: Schedule::runtime_default(),
+            iterations: 100,
+            duration: Duration::from_millis(max),
+            per_thread: busys_ms
+                .iter()
+                .map(|&b| ThreadStats {
+                    busy: Duration::from_millis(b),
+                    barrier_wait: Duration::from_millis(max - b),
+                    chunks: 1,
+                    iterations: 25,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn imbalance_zero_when_balanced() {
+        assert_eq!(rec(&[10, 10, 10, 10]).imbalance(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_grows_with_skew() {
+        let balanced = rec(&[10, 10, 10, 10]).imbalance();
+        let skewed = rec(&[10, 10, 10, 40]).imbalance();
+        let very_skewed = rec(&[1, 1, 1, 40]).imbalance();
+        assert!(balanced < skewed && skewed < very_skewed);
+        assert!(very_skewed < 1.0);
+    }
+
+    #[test]
+    fn barrier_wait_accumulates() {
+        let r = rec(&[10, 20, 30, 40]);
+        assert_eq!(r.total_barrier_wait(), Duration::from_millis(30 + 20 + 10));
+        assert_eq!(r.total_busy(), Duration::from_millis(100));
+        assert_eq!(r.total_chunks(), 4);
+    }
+
+    #[test]
+    fn degenerate_record_has_zero_imbalance() {
+        let r = rec(&[0, 0]);
+        assert_eq!(r.imbalance(), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Shared-memory helpers for region bodies.
+//!
+//! OpenMP loop bodies routinely write disjoint elements of a shared array
+//! from different threads. Rust's borrow rules cannot express "disjoint by
+//! loop index" directly, so kernels use [`SyncSlice`]: a `Sync` wrapper over
+//! a mutable slice with unsafe element access whose contract is exactly the
+//! OpenMP one — *no two threads touch the same index during a region*.
+
+use std::marker::PhantomData;
+
+/// A raw view over `&mut [T]` shareable across a parallel region.
+///
+/// # Safety contract
+/// Callers must ensure that within one parallel region no element is
+/// accessed by more than one thread (the standard work-sharing guarantee:
+/// disjoint chunks ⇒ disjoint indices). Violating this is a data race.
+pub struct SyncSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is gated by `unsafe` methods whose contract forbids
+// aliasing writes; the raw pointer itself is safe to send/share.
+unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
+unsafe impl<T: Send> Send for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SyncSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable access to element `i`.
+    ///
+    /// # Safety
+    /// `i < len`, and no other thread accesses `i` during this region.
+    // The &self → &mut T shape is the entire point of this type: the
+    // aliasing discipline is delegated to the work-sharing contract.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len, "SyncSlice index {i} out of bounds {}", self.len);
+        &mut *self.ptr.add(i)
+    }
+
+    /// Shared read of element `i`.
+    ///
+    /// # Safety
+    /// `i < len`, and no thread writes `i` concurrently.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> &T {
+        debug_assert!(i < self.len);
+        &*self.ptr.add(i)
+    }
+
+    /// Mutable sub-slice `[start, end)`.
+    ///
+    /// # Safety
+    /// Range in bounds and disjoint from every other thread's accesses
+    /// during this region.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn slice_mut(&self, start: usize, end: usize) -> &mut [T] {
+        debug_assert!(start <= end && end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Runtime;
+    use crate::schedule::Schedule;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let rt = Runtime::new(4);
+        let region = rt.register_region("write");
+        let mut data = vec![0usize; 1000];
+        {
+            let view = SyncSlice::new(&mut data);
+            rt.set_schedule(Schedule::dynamic(16));
+            rt.parallel_for(region, 0..view.len(), |i| unsafe {
+                *view.get_mut(i) = i * 2;
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn chunked_subslice_writes() {
+        let rt = Runtime::new(4);
+        let region = rt.register_region("subslice");
+        let mut data = vec![0u32; 256];
+        {
+            let view = SyncSlice::new(&mut data);
+            rt.set_schedule(Schedule::static_chunked(32));
+            rt.parallel_for_chunks(region, 0..256, |c| unsafe {
+                for (off, v) in view.slice_mut(c.start, c.end).iter_mut().enumerate() {
+                    *v = (c.start + off) as u32;
+                }
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v as usize == i));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests: the scheduling arithmetic is the foundation everything
+//! else (live runtime *and* simulator) shares, so its invariants get the
+//! heaviest randomised coverage.
+
+use arcs_omprt::schedule::{
+    chunk_count, on_demand_chunk_sizes, static_chunks_for_thread, Dispenser, Schedule,
+    ScheduleKind,
+};
+use proptest::prelude::*;
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    (
+        prop_oneof![
+            Just(ScheduleKind::Static),
+            Just(ScheduleKind::Dynamic),
+            Just(ScheduleKind::Guided)
+        ],
+        prop_oneof![Just(None), (1usize..600).prop_map(Some)],
+    )
+        .prop_map(|(kind, chunk)| Schedule::new(kind, chunk))
+}
+
+proptest! {
+    /// Every schedule covers every iteration exactly once.
+    #[test]
+    fn static_schedules_partition_exactly(
+        len in 0usize..5000,
+        nthreads in 1usize..64,
+        chunk in prop_oneof![Just(None), (1usize..600).prop_map(Some)],
+    ) {
+        let mut seen = vec![0u8; len];
+        for t in 0..nthreads {
+            for ch in static_chunks_for_thread(len, nthreads, chunk, t) {
+                prop_assert!(ch.start < ch.end && ch.end <= len);
+                for s in &mut seen[ch.start..ch.end] {
+                    *s += 1;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// On-demand chunk sequences partition the range and match chunk_count.
+    #[test]
+    fn on_demand_sizes_partition(
+        len in 0usize..5000,
+        nthreads in 1usize..64,
+        kind in prop_oneof![Just(ScheduleKind::Dynamic), Just(ScheduleKind::Guided)],
+        chunk in prop_oneof![Just(None), (1usize..600).prop_map(Some)],
+    ) {
+        let sched = Schedule::new(kind, chunk);
+        let sizes = on_demand_chunk_sizes(len, nthreads, sched);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), len);
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+        prop_assert_eq!(sizes.len(), chunk_count(len, nthreads, sched));
+    }
+
+    /// Guided chunks never increase and respect the minimum except possibly
+    /// for the final remainder chunk.
+    #[test]
+    fn guided_chunks_decrease(
+        len in 1usize..5000,
+        nthreads in 1usize..64,
+        min in 1usize..64,
+    ) {
+        let sizes = on_demand_chunk_sizes(len, nthreads, Schedule::guided(min));
+        for w in sizes.windows(2) {
+            prop_assert!(w[0] >= w[1], "sizes must be non-increasing: {:?}", sizes);
+        }
+        for &s in &sizes[..sizes.len().saturating_sub(1)] {
+            prop_assert!(s >= min);
+        }
+    }
+
+    /// The concurrent dispenser hands out the same multiset of chunks as
+    /// the pure sequence (single-threaded drain).
+    #[test]
+    fn dispenser_matches_pure_sequence(
+        len in 0usize..3000,
+        nthreads in 1usize..32,
+        kind in prop_oneof![Just(ScheduleKind::Dynamic), Just(ScheduleKind::Guided)],
+        chunk in 1usize..100,
+    ) {
+        let sched = Schedule::new(kind, Some(chunk));
+        let d = Dispenser::new(len, nthreads, sched);
+        let mut sizes = Vec::new();
+        let mut next_expected = 0;
+        while let Some(ch) = d.next_chunk() {
+            prop_assert_eq!(ch.start, next_expected, "chunks must be contiguous");
+            next_expected = ch.end;
+            sizes.push(ch.len());
+        }
+        prop_assert_eq!(next_expected, len);
+        prop_assert_eq!(sizes, on_demand_chunk_sizes(len, nthreads, sched));
+    }
+
+    /// chunk_count is positive iff the range is non-empty, and no schedule
+    /// produces more chunks than iterations.
+    #[test]
+    fn chunk_count_bounds(
+        len in 0usize..5000,
+        nthreads in 1usize..64,
+        sched in arb_schedule(),
+    ) {
+        let c = chunk_count(len, nthreads, sched);
+        if len == 0 {
+            prop_assert_eq!(c, 0);
+        } else {
+            prop_assert!(c >= 1 && c <= len);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Full-stack coverage: parallel_for touches every index exactly once
+    /// under arbitrary configurations on the real pool.
+    #[test]
+    fn parallel_for_covers_exactly_once(
+        len in 0usize..800,
+        team in 1usize..5,
+        sched in arb_schedule(),
+    ) {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        let rt = arcs_omprt::Runtime::new(4);
+        rt.set_num_threads(team);
+        rt.set_schedule(sched);
+        let region = rt.register_region("prop/coverage");
+        let hits: Vec<AtomicU8> = (0..len).map(|_| AtomicU8::new(0)).collect();
+        rt.parallel_for(region, 0..len, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,283 @@
+//! Analytic three-level cache model.
+//!
+//! Estimates per-level miss rates and the resulting memory stall time for
+//! one region invocation under a given configuration. The model is
+//! deliberately simple — a handful of effects with clear directionality —
+//! because ARCS only needs the *relative* response of cache behaviour to
+//! its three knobs. Captured effects, each grounded in the paper's §V
+//! analysis:
+//!
+//! * **Stride class** sets baseline L1 behaviour (unit-stride streaming vs
+//!   the long-stride `rhsz` stencil) and how much miss latency prefetching
+//!   hides.
+//! * **Temporal reuse** hits in a level only if the region's *hot working
+//!   buffer* (solver lines, stencil planes) fits what that level offers a
+//!   thread — and SMT siblings split the private L1/L2.
+//! * **Chunk size in bytes**: chunks pay cold lines at their boundaries
+//!   and must be long enough (in bytes) for reuse to materialise. A
+//!   "small" chunk of plane-sized iterations is still megabytes — chunking
+//!   barely moves NPB outer loops but demolishes element-sized loops.
+//! * **Shared L3**: the socket's *coverage* of the footprint (static block
+//!   partitions keep each socket on its own part; scattered on-demand
+//!   chunks make every socket stream everything), per-thread streaming
+//!   claims, and SMT thrash shrink the effective capacity.
+
+use crate::machine::Machine;
+use crate::workload::MemoryProfile;
+use arcs_omprt::schedule::{chunk_count, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// Cache behaviour estimate for one (region, configuration) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// L1 misses per memory access.
+    pub l1_miss_rate: f64,
+    /// L2 misses per memory access (subset of L1 misses).
+    pub l2_miss_rate: f64,
+    /// L3 misses per memory access (subset of L2 misses).
+    pub l3_miss_rate: f64,
+    /// Average exposed memory stall per access, ns (latency × exposure).
+    pub stall_ns_per_access: f64,
+    /// Extra energy per access from L3/DRAM traffic, nanojoules.
+    pub energy_nj_per_access: f64,
+}
+
+/// Soft capacity fit: 1 when `need ≪ have`, → 0 as `need ≫ have`.
+fn fit(need_bytes: f64, have_bytes: f64) -> f64 {
+    if have_bytes <= 0.0 {
+        return 0.0;
+    }
+    1.0 / (1.0 + need_bytes / have_bytes)
+}
+
+/// Estimate cache behaviour for a region with memory profile `mem` and
+/// `iterations` iterations, run by `threads` threads under `schedule`.
+pub fn analyze(
+    machine: &Machine,
+    mem: &MemoryProfile,
+    iterations: usize,
+    threads: usize,
+    schedule: Schedule,
+) -> CacheReport {
+    let threads = threads.max(1);
+    let iters = iterations.max(1);
+    let n_chunks = chunk_count(iters, threads, schedule).max(1);
+    let avg_chunk = iters as f64 / n_chunks as f64;
+    let chunks_per_thread = (n_chunks as f64 / threads as f64).max(1.0);
+
+    // SMT occupancy: siblings split private caches and L1 bandwidth.
+    let smt_k = (0..threads)
+        .map(|t| machine.threads_on_core_of(t, threads))
+        .max()
+        .unwrap_or(1) as f64;
+
+    // Chunking, measured in *bytes*.
+    let bytes_per_iter = (mem.footprint_bytes / iters as f64).max(1.0);
+    let chunk_bytes = avg_chunk * bytes_per_iter;
+    let line = machine.caches.line_bytes as f64;
+    // Cold boundary lines amortised over the chunk.
+    let cold = 1.0 + (2.0 * line) / chunk_bytes.max(line);
+    // Reuse needs a long-enough chunk (half-saturation at 16 KiB).
+    let sat = chunk_bytes / (chunk_bytes + 16.0 * 1024.0);
+
+    // --- L1 --------------------------------------------------------------
+    let l1_eff = machine.caches.l1_kib as f64 * 1024.0 / smt_k;
+    let l2_eff = machine.caches.l2_kib as f64 * 1024.0 / smt_k;
+    let base = mem.stride.l1_miss_base();
+    // SMT siblings evict each other's hot data; the penalty grows with
+    // occupancy but sub-linearly (siblings share some working data and
+    // capacity partitioning is not strict).
+    let reuse = mem.temporal_reuse / (1.0 + 0.6 * (smt_k - 1.0));
+    let p1 = reuse * sat * fit(mem.hot_bytes_per_thread, l1_eff);
+    let l1 = (base * cold * (1.0 - p1)).clamp(0.0, 1.0);
+
+    // --- L2 --------------------------------------------------------------
+    let stride_floor = match mem.stride {
+        crate::workload::StrideClass::Unit => 0.05,
+        crate::workload::StrideClass::Medium => 0.12,
+        crate::workload::StrideClass::Long => 0.30,
+    };
+    let p2 = reuse * sat * fit(0.3 * mem.hot_bytes_per_thread, l2_eff);
+    let r2 = (1.0 - p2).clamp(stride_floor, 1.0);
+    let l2 = (l1 * r2).clamp(0.0, 1.0);
+
+    // --- L3 (shared per socket) -------------------------------------------
+    let per_socket = machine.active_cores_per_socket(threads);
+    let sockets_used = per_socket.iter().filter(|&&c| c > 0).count().max(1);
+    let threads_per_socket = (threads as f64 / sockets_used as f64).ceil();
+    // Coverage: fraction of the footprint this socket's threads touch.
+    // One contiguous block per thread ⇒ exactly its share; `c` scattered
+    // chunks per thread ⇒ 1 − (1 − share)^c (rapidly saturating to 1).
+    let share = (threads_per_socket / threads as f64).min(1.0);
+    let coverage = 1.0 - (1.0 - share).powf(chunks_per_thread);
+    let socket_ws = mem.footprint_bytes * coverage;
+    // Concurrent streams claim L3 for their buffers; SMT doubles pressure.
+    let l3_bytes = machine.caches.l3_mib as f64 * 1024.0 * 1024.0;
+    let stream_claim = (machine.caches.stream_claim_kib * 1024.0
+        * (threads_per_socket - 1.0).max(0.0))
+    .min(machine.caches.claim_cap_frac * l3_bytes);
+    let l3_eff = l3_bytes - stream_claim;
+    let x3 = socket_ws / l3_eff * (1.0 + machine.caches.smt_thrash * (smt_k - 1.0));
+    let cap3 = if x3 <= 1.0 { 0.02 } else { (1.0 - 1.0 / x3).max(0.02) };
+    // Shared-buffer reuse in L3 (socket-wide hot set).
+    let p3 = reuse * sat * fit(mem.hot_bytes_per_thread * threads_per_socket, l3_eff);
+    let r3 = (cap3 * (1.0 - p3)).clamp(0.02, 1.0);
+    let l3 = (l2 * r3).clamp(0.0, 1.0);
+
+    // --- Latency and energy ------------------------------------------------
+    let exposure = mem.stride.latency_exposure();
+    let c = &machine.caches;
+    let stall = exposure
+        * ((l1 - l2) * c.lat_l2_ns + (l2 - l3) * c.lat_l3_ns + l3 * c.lat_mem_ns);
+    let energy = (l2 - l3) * machine.power.e_l3_nj + l3 * machine.power.e_mem_nj;
+
+    CacheReport {
+        l1_miss_rate: l1,
+        l2_miss_rate: l2,
+        l3_miss_rate: l3,
+        stall_ns_per_access: stall,
+        energy_nj_per_access: energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::StrideClass;
+
+    fn mem(stride: StrideClass, footprint_mb: f64, reuse: f64) -> MemoryProfile {
+        MemoryProfile {
+            footprint_bytes: footprint_mb * 1024.0 * 1024.0,
+            accesses_per_iter: 20.0,
+            stride,
+            temporal_reuse: reuse,
+            hot_bytes_per_thread: 32.0 * 1024.0,
+        }
+    }
+
+    fn crill() -> Machine {
+        Machine::crill()
+    }
+
+    #[test]
+    fn rates_are_properly_nested_and_bounded() {
+        let m = crill();
+        for stride in [StrideClass::Unit, StrideClass::Medium, StrideClass::Long] {
+            for threads in [1, 2, 8, 16, 32] {
+                for sched in [
+                    Schedule::static_block(),
+                    Schedule::dynamic(1),
+                    Schedule::guided(8),
+                    Schedule::static_chunked(64),
+                ] {
+                    let r = analyze(&m, &mem(stride, 400.0, 0.4), 10_000, threads, sched);
+                    assert!(r.l1_miss_rate >= r.l2_miss_rate, "{stride:?} {threads} {sched}");
+                    assert!(r.l2_miss_rate >= r.l3_miss_rate);
+                    assert!(r.l3_miss_rate >= 0.0);
+                    assert!(r.l1_miss_rate <= 1.0);
+                    assert!(r.stall_ns_per_access >= 0.0);
+                    assert!(r.energy_nj_per_access >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_strides_miss_more_than_unit() {
+        let m = crill();
+        let unit = analyze(&m, &mem(StrideClass::Unit, 400.0, 0.3), 10_000, 16, Schedule::static_block());
+        let long = analyze(&m, &mem(StrideClass::Long, 400.0, 0.3), 10_000, 16, Schedule::static_block());
+        assert!(long.l1_miss_rate > unit.l1_miss_rate);
+        assert!(long.stall_ns_per_access > unit.stall_ns_per_access);
+    }
+
+    #[test]
+    fn tiny_chunks_hurt_fine_grained_loops() {
+        // Element-sized iterations (~100 B each): chunk = 1 iteration is
+        // far below the reuse saturation scale.
+        let m = crill();
+        let w = MemoryProfile {
+            footprint_bytes: 10e6,
+            accesses_per_iter: 12.0,
+            stride: StrideClass::Unit,
+            temporal_reuse: 0.6,
+            hot_bytes_per_thread: 8.0 * 1024.0,
+        };
+        let big = analyze(&m, &w, 100_000, 8, Schedule::static_block());
+        let tiny = analyze(&m, &w, 100_000, 8, Schedule::dynamic(1));
+        assert!(
+            tiny.l1_miss_rate > big.l1_miss_rate * 1.5,
+            "tiny={} big={}",
+            tiny.l1_miss_rate,
+            big.l1_miss_rate
+        );
+    }
+
+    #[test]
+    fn plane_sized_iterations_are_chunk_insensitive() {
+        // NPB outer loops: one iteration is a megabyte-scale plane; even
+        // chunk=1 keeps locality.
+        let m = crill();
+        let w = mem(StrideClass::Medium, 100.0, 0.5); // 1 MB per iteration
+        let big = analyze(&m, &w, 100, 16, Schedule::static_block());
+        let small = analyze(&m, &w, 100, 16, Schedule::guided(1));
+        let rel = (small.l1_miss_rate - big.l1_miss_rate) / big.l1_miss_rate;
+        assert!(rel.abs() < 0.25, "plane chunks should barely move L1: {rel}");
+    }
+
+    #[test]
+    fn scattered_chunks_blow_up_socket_working_set() {
+        let m = crill();
+        let w = mem(StrideClass::Medium, 36.0, 0.2); // 36 MiB vs 20 MiB L3
+        let blockwise = analyze(&m, &w, 100_000, 16, Schedule::static_block());
+        let scattered = analyze(&m, &w, 100_000, 16, Schedule::dynamic(4));
+        assert!(
+            scattered.l3_miss_rate > blockwise.l3_miss_rate,
+            "scattered={} blockwise={}",
+            scattered.l3_miss_rate,
+            blockwise.l3_miss_rate
+        );
+    }
+
+    #[test]
+    fn smt_oversubscription_hurts_private_caches() {
+        let m = crill();
+        let w = mem(StrideClass::Medium, 200.0, 0.5);
+        let no_smt = analyze(&m, &w, 50_000, 16, Schedule::static_block());
+        let smt2 = analyze(&m, &w, 50_000, 32, Schedule::static_block());
+        assert!(smt2.l1_miss_rate > no_smt.l1_miss_rate);
+        assert!(smt2.l2_miss_rate > no_smt.l2_miss_rate);
+        assert!(smt2.l3_miss_rate > no_smt.l3_miss_rate);
+    }
+
+    #[test]
+    fn small_footprint_fits_in_l3() {
+        let m = crill();
+        let w = mem(StrideClass::Unit, 4.0, 0.5);
+        let r = analyze(&m, &w, 10_000, 16, Schedule::static_block());
+        assert!(r.l3_miss_rate < 0.03, "l3={}", r.l3_miss_rate);
+    }
+
+    #[test]
+    fn single_thread_is_well_defined() {
+        let m = crill();
+        let r = analyze(&m, &mem(StrideClass::Unit, 50.0, 0.5), 100, 1, Schedule::static_block());
+        assert!(r.l1_miss_rate > 0.0 && r.l1_miss_rate <= 1.0);
+    }
+
+    #[test]
+    fn fewer_threads_improve_l3_for_big_footprints() {
+        // The SP story: dropping from 32 SMT threads to 16 leaves more L3
+        // per stream and halves SMT thrash.
+        let m = crill();
+        let w = mem(StrideClass::Medium, 64.0, 0.35);
+        let t32 = analyze(&m, &w, 100, 32, Schedule::static_block());
+        let t16 = analyze(&m, &w, 100, 16, Schedule::static_block());
+        assert!(
+            t16.l3_miss_rate < t32.l3_miss_rate * 0.8,
+            "t16={} t32={}",
+            t16.l3_miss_rate,
+            t32.l3_miss_rate
+        );
+    }
+}

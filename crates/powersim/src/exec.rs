@@ -1,0 +1,506 @@
+//! Deterministic simulation of parallel-region execution.
+//!
+//! [`simulate_region`] reproduces, for one region invocation under one
+//! configuration and power cap, what the live runtime would measure:
+//! per-thread busy and barrier-wait times, total duration, chunk dispatch
+//! counts — plus what only the simulated machine can report portably:
+//! package energy and cache miss rates.
+//!
+//! The execution model:
+//!
+//! 1. the package power cap fixes the core frequency (see
+//!    [`Machine::frequency_under_cap`]);
+//! 2. each iteration costs `cycles_per_iter × weight_i / (f × smt_eff)`
+//!    compute time plus a frequency-independent memory-stall time from the
+//!    cache model;
+//! 3. chunks are produced by the *same* schedule arithmetic as the live
+//!    runtime (`arcs-omprt::schedule`); static chunks go to their owning
+//!    thread, on-demand chunks to the earliest-finishing thread (greedy
+//!    list scheduling — exactly what a work queue does);
+//! 4. per-chunk dispatch costs: bookkeeping for static, an atomic
+//!    grab (plus contention) for dynamic/guided;
+//! 5. the region ends at a tree barrier after the slowest thread; energy
+//!    integrates busy/idle core power over the region plus per-miss
+//!    L3/DRAM energy.
+
+use crate::cache::{analyze, CacheReport};
+use crate::machine::Machine;
+use crate::workload::RegionModel;
+use arcs_omprt::schedule::{
+    on_demand_chunk_sizes, static_chunks_for_thread, Schedule,
+};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The tunable configuration, in simulator form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SimConfig {
+    pub threads: usize,
+    pub schedule: Schedule,
+}
+
+/// Everything measured for one simulated region invocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Wall-clock duration of the invocation, fork to join (seconds).
+    pub time_s: f64,
+    /// Package energy over the invocation (joules, both sockets).
+    pub energy_j: f64,
+    /// Effective core frequency under the cap (GHz).
+    pub f_ghz: f64,
+    pub cache: CacheReport,
+    pub per_thread_busy_s: Vec<f64>,
+    /// Barrier wait: gap between a thread finishing and the join.
+    pub per_thread_wait_s: Vec<f64>,
+    pub chunks_dispatched: u64,
+    pub threads: usize,
+    pub schedule: Schedule,
+}
+
+impl SimReport {
+    /// Total time threads spent in the end-of-region barrier — the paper's
+    /// `OMP_BARRIER` metric.
+    pub fn barrier_total_s(&self) -> f64 {
+        self.per_thread_wait_s.iter().sum()
+    }
+
+    /// Total busy (loop body) time — the `OpenMP_LOOP` metric.
+    pub fn busy_total_s(&self) -> f64 {
+        self.per_thread_busy_s.iter().sum()
+    }
+
+    /// Load imbalance in [0, 1): `1 − mean(busy)/max(busy)`.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.per_thread_busy_s.iter().cloned().fold(0.0, f64::max);
+        if max <= 0.0 {
+            return 0.0;
+        }
+        let mean =
+            self.per_thread_busy_s.iter().sum::<f64>() / self.per_thread_busy_s.len() as f64;
+        1.0 - mean / max
+    }
+
+    pub fn avg_power_w(&self) -> f64 {
+        if self.time_s > 0.0 {
+            self.energy_j / self.time_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Finish times of threads sharing one core under SMT, given each thread's
+/// solo-speed work (ns). While `m` siblings are active each runs at
+/// `eff(m)`; when one finishes the survivors speed up. Returns finish times
+/// in the same order as `solo_ns`.
+fn smt_overlap_finish_times(solo_ns: &[f64], smt: &crate::machine::SmtModel) -> Vec<f64> {
+    let k = solo_ns.len();
+    if k <= 1 {
+        return solo_ns.to_vec();
+    }
+    // Sort by remaining work; retire the smallest first.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| solo_ns[a].partial_cmp(&solo_ns[b]).unwrap());
+    let mut finishes = vec![0.0; k];
+    let mut clock = 0.0;
+    let mut done_work = 0.0; // work each surviving thread has retired
+    let mut active = k;
+    for &idx in &order {
+        let rate = smt.efficiency(active);
+        let dt = (solo_ns[idx] - done_work) / rate;
+        clock += dt.max(0.0);
+        done_work = solo_ns[idx];
+        finishes[idx] = clock;
+        active -= 1;
+    }
+    finishes
+}
+
+/// Simulate one invocation of `region` with `cfg` under a per-package power
+/// cap of `cap_w` watts.
+pub fn simulate_region(
+    machine: &Machine,
+    cap_w: f64,
+    region: &RegionModel,
+    cfg: SimConfig,
+) -> SimReport {
+    simulate_region_at_freq(machine, cap_w, region, cfg, None)
+}
+
+/// [`simulate_region`] with an additional per-region DVFS limit: the cores
+/// run at `min(frequency_under_cap, freq_limit_ghz)`. This is the paper's
+/// future-work extension ("we plan to include this \[DVFS\] policy") — for
+/// memory-bound regions a lower frequency costs little time and saves
+/// energy below the cap.
+pub fn simulate_region_at_freq(
+    machine: &Machine,
+    cap_w: f64,
+    region: &RegionModel,
+    cfg: SimConfig,
+    freq_limit_ghz: Option<f64>,
+) -> SimReport {
+    let threads = cfg.threads.clamp(1, machine.hw_threads());
+    let schedule = cfg.schedule;
+    let n = region.iterations;
+
+    // Frequency: the busiest socket constrains the whole team (threads
+    // synchronise at the barrier, so the slower socket sets the pace; both
+    // sockets run the same cap).
+    let active = machine.active_cores_per_socket(threads);
+    let max_active = active.iter().copied().max().unwrap_or(0);
+    let mut f_ghz = machine.frequency_under_cap(cap_w, max_active);
+    if let Some(limit) = freq_limit_ghz {
+        f_ghz = f_ghz.min(limit).max(machine.f_min_ghz);
+    }
+
+    let cache = analyze(machine, &region.memory, n, threads, schedule);
+
+    // Cost of iteration i at solo speed (SMT sharing applied later):
+    //   weight_i × cycles / f  +  stall (f-independent).
+    let weights = region.weights();
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &w in &weights {
+        prefix.push(prefix.last().unwrap() + w);
+    }
+    let cycle_ns_per_weight = region.cycles_per_iter / f_ghz; // ns per unit weight
+    // Uncore DVFS: a capped package slows its L3/memory path along with
+    // the cores, inflating miss latencies.
+    let uncore_factor = 1.0
+        + machine.caches.uncore_slowdown * (machine.f_base_ghz / f_ghz - 1.0).max(0.0);
+    let stall_ns_per_iter =
+        region.memory.accesses_per_iter * cache.stall_ns_per_access * uncore_factor;
+
+    let weight_sum = |a: usize, b: usize| -> f64 { prefix[b] - prefix[a] };
+
+    let fork_ns = machine.fork_base_ns + threads as f64 * machine.fork_per_thread_ns;
+    let mut busy_ns = vec![0.0f64; threads];
+    let mut chunks_per_thread = vec![0u64; threads];
+
+    match schedule.kind {
+        arcs_omprt::ScheduleKind::Static => {
+            // Per-thread work at solo speed; SMT sharing is applied after
+            // the match via sibling overlap (a sibling that finishes early
+            // returns its core's resources to the survivor — this is what
+            // lets 32 hyper-threads absorb part of the 102-iterations-on-
+            // 32-threads granularity imbalance on real hardware).
+            for (t, (work, count)) in
+                busy_ns.iter_mut().zip(&mut chunks_per_thread).enumerate()
+            {
+                for ch in static_chunks_for_thread(n, threads, schedule.chunk, t) {
+                    *count += 1;
+                    *work += machine.chunk_setup_ns
+                        + weight_sum(ch.start, ch.end) * cycle_ns_per_weight
+                        + ch.len() as f64 * stall_ns_per_iter;
+                }
+            }
+        }
+        _ => {
+            // Greedy list scheduling: each chunk (in dispatch order) goes to
+            // the thread that becomes free first — what the shared-counter
+            // dispensers do in real time. Assignment runs on solo-speed
+            // clocks; SMT sharing is applied afterwards via the same
+            // sibling-overlap model as the static path.
+            let sizes = on_demand_chunk_sizes(n, threads, schedule);
+            let dispatch_ns = machine.dispatch_ns
+                + machine.dispatch_contention_ns * (threads as f64).ln().max(0.0);
+            let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+                (0..threads).map(|t| Reverse((0u64, t))).collect();
+            let mut start = 0usize;
+            for &sz in &sizes {
+                let Reverse((clock_fp, t)) = heap.pop().expect("team is non-empty");
+                let end = start + sz;
+                let cost = dispatch_ns
+                    + weight_sum(start, end) * cycle_ns_per_weight
+                    + sz as f64 * stall_ns_per_iter;
+                start = end;
+                chunks_per_thread[t] += 1;
+                // Femtosecond integer clocks keep the heap strict-weak.
+                let clock_fp = clock_fp + (cost * 1e6) as u64;
+                heap.push(Reverse((clock_fp, t)));
+            }
+            for Reverse((clock_fp, t)) in heap.into_vec() {
+                busy_ns[t] = clock_fp as f64 * 1e-6;
+            }
+        }
+    }
+
+    // SMT sharing: siblings on one core progress at eff(k) and speed up as
+    // each finishes. Both paths above stored solo-speed work.
+    {
+        let mut core_members: std::collections::HashMap<(usize, usize), Vec<usize>> =
+            std::collections::HashMap::new();
+        for t in 0..threads {
+            let p = machine.place(t, threads);
+            core_members.entry((p.socket, p.core)).or_default().push(t);
+        }
+        for members in core_members.values() {
+            let finishes = smt_overlap_finish_times(
+                &members.iter().map(|&t| busy_ns[t]).collect::<Vec<_>>(),
+                &machine.smt,
+            );
+            for (&t, &f) in members.iter().zip(&finishes) {
+                busy_ns[t] = f;
+            }
+        }
+    }
+
+    // DRAM bandwidth floor: if the region's L3 miss traffic exceeds what
+    // the memory controllers sustain, every thread stretches uniformly
+    // (they are all queueing on the same channels). This is what makes
+    // low thread counts competitive for streaming regions: fewer threads
+    // at the same (saturated) bandwidth lose nothing, and configurations
+    // that *reduce traffic* win outright.
+    let sockets_used = active.iter().filter(|&&c| c > 0).count().max(1);
+    let dram_bytes = n as f64
+        * region.memory.accesses_per_iter
+        * cache.l3_miss_rate
+        * machine.caches.line_bytes as f64;
+    let bw_floor_ns =
+        dram_bytes / (machine.caches.dram_bw_gbs * sockets_used as f64); // GB/s ⇒ B/ns
+    let max_busy_raw = busy_ns.iter().cloned().fold(0.0, f64::max);
+    if bw_floor_ns > max_busy_raw && max_busy_raw > 0.0 {
+        let stretch = bw_floor_ns / max_busy_raw;
+        for b in &mut busy_ns {
+            *b *= stretch;
+        }
+    }
+
+    let max_busy_ns = busy_ns.iter().cloned().fold(0.0, f64::max);
+    let barrier_ns = machine.barrier_ns * (threads as f64).log2().max(1.0);
+    // Structural master-only section inside the region: the master stays
+    // busy, everyone else waits (reported as barrier time below).
+    let critical_ns = region.critical_s * 1e9;
+    let parallel_ns = fork_ns + max_busy_ns + critical_ns + barrier_ns;
+    let time_s = region.serial_s + parallel_ns * 1e-9;
+
+    // --- Energy -----------------------------------------------------------
+    // Core-level busy time: a core is busy while any of its threads is.
+    let total_cores = machine.total_cores();
+    let mut core_busy_ns = vec![0.0f64; total_cores];
+    for (t, &b) in busy_ns.iter().enumerate() {
+        let p = machine.place(t, threads);
+        let idx = p.socket * machine.cores_per_socket + p.core;
+        core_busy_ns[idx] = core_busy_ns[idx].max(b);
+    }
+    let p_core = machine.power.c0 + machine.power.c1 * f_ghz.powi(3);
+    let p_core_base =
+        machine.power.c0 + machine.power.c1 * machine.f_base_ghz.powi(3);
+    let region_ns = time_s * 1e9;
+    let mut energy_j = 0.0;
+    // Uncore and DRAM background: both packages, for the whole region
+    // (DRAM power is outside the RAPL package cap the paper could set —
+    // "we used maximum power for other components" — but counts toward
+    // the node's energy, per the paper's future work).
+    energy_j += machine.sockets as f64
+        * (machine.power.p_uncore_w + machine.power.p_dram_background_w)
+        * time_s;
+    for &b in &core_busy_ns {
+        let busy_s = (b * 1e-9).min(time_s);
+        energy_j += busy_s * p_core + ((region_ns - b).max(0.0) * 1e-9)
+            * machine.power.p_core_idle_w;
+    }
+    // Serial section: the master core runs at base frequency (single
+    // active core rarely hits the cap).
+    energy_j += region.serial_s * (p_core_base - machine.power.p_core_idle_w).max(0.0);
+    // Critical section: master busy at the capped frequency (idle power for
+    // the waiting cores is already covered by the region-duration term).
+    energy_j += region.critical_s * (p_core - machine.power.p_core_idle_w).max(0.0);
+    // Cache/DRAM traffic energy.
+    let accesses = n as f64 * region.memory.accesses_per_iter;
+    energy_j += accesses * cache.energy_nj_per_access * 1e-9;
+
+    SimReport {
+        time_s,
+        energy_j,
+        f_ghz,
+        cache,
+        per_thread_busy_s: busy_ns
+            .iter()
+            .enumerate()
+            .map(|(t, &b)| (b + if t == 0 { critical_ns } else { 0.0 }) * 1e-9)
+            .collect(),
+        per_thread_wait_s: busy_ns
+            .iter()
+            .enumerate()
+            .map(|(t, &b)| {
+                (max_busy_ns - b + if t == 0 { 0.0 } else { critical_ns }) * 1e-9
+            })
+            .collect(),
+        chunks_dispatched: chunks_per_thread.iter().sum(),
+        threads,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ImbalanceProfile, MemoryProfile, StrideClass};
+
+    fn region(iters: usize, imbalance: ImbalanceProfile) -> RegionModel {
+        RegionModel {
+            name: "test".into(),
+            iterations: iters,
+            cycles_per_iter: 50_000.0,
+            imbalance,
+            memory: MemoryProfile {
+                footprint_bytes: 64.0 * 1024.0 * 1024.0,
+                accesses_per_iter: 2_000.0,
+                stride: StrideClass::Medium,
+                temporal_reuse: 0.4,
+                hot_bytes_per_thread: 32768.0,
+            },
+            serial_s: 0.0,
+            critical_s: 0.0,
+        }
+    }
+
+    fn crill() -> Machine {
+        Machine::crill()
+    }
+
+    fn cfg(threads: usize, schedule: Schedule) -> SimConfig {
+        SimConfig { threads, schedule }
+    }
+
+    #[test]
+    fn more_threads_are_faster_uncapped() {
+        let m = crill();
+        let r = region(1024, ImbalanceProfile::Uniform);
+        let t1 = simulate_region(&m, 115.0, &r, cfg(1, Schedule::static_block())).time_s;
+        let t8 = simulate_region(&m, 115.0, &r, cfg(8, Schedule::static_block())).time_s;
+        let t16 = simulate_region(&m, 115.0, &r, cfg(16, Schedule::static_block())).time_s;
+        assert!(t8 < t1 / 4.0, "t1={t1} t8={t8}");
+        assert!(t16 < t8, "t8={t8} t16={t16}");
+    }
+
+    #[test]
+    fn lower_caps_are_slower() {
+        let m = crill();
+        let r = region(1024, ImbalanceProfile::Uniform);
+        let mut prev = f64::INFINITY;
+        for cap in [55.0, 70.0, 85.0, 100.0, 115.0] {
+            let t = simulate_region(&m, cap, &r, cfg(16, Schedule::static_block())).time_s;
+            assert!(t <= prev, "time must not increase with cap: {t} at {cap}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn dynamic_balances_imbalanced_loops_better_than_static() {
+        let m = crill();
+        let r = region(4096, ImbalanceProfile::Linear { slope: 1.5 });
+        let st = simulate_region(&m, 115.0, &r, cfg(16, Schedule::static_block()));
+        let dy = simulate_region(&m, 115.0, &r, cfg(16, Schedule::dynamic(8)));
+        assert!(
+            dy.barrier_total_s() < st.barrier_total_s(),
+            "dynamic barrier {} vs static {}",
+            dy.barrier_total_s(),
+            st.barrier_total_s()
+        );
+        assert!(dy.imbalance() < st.imbalance());
+    }
+
+    #[test]
+    fn granularity_imbalance_on_coarse_loops() {
+        // 100 iterations on 32 threads: 3 vs 4 iterations per thread.
+        // SMT sibling overlap absorbs part of it but ~10–15% remains;
+        // dropping to 16 threads (6.25 → 7 iterations) shrinks it.
+        let m = crill();
+        let r = region(100, ImbalanceProfile::Uniform);
+        let st32 = simulate_region(&m, 115.0, &r, cfg(32, Schedule::static_block()));
+        let st16 = simulate_region(&m, 115.0, &r, cfg(16, Schedule::static_block()));
+        assert!(st32.imbalance() > 0.10, "static imbalance {}", st32.imbalance());
+        assert!(
+            st16.imbalance() < st32.imbalance(),
+            "16t {} vs 32t {}",
+            st16.imbalance(),
+            st32.imbalance()
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_active_cores() {
+        let m = crill();
+        let r = region(4096, ImbalanceProfile::Uniform);
+        let e4 = simulate_region(&m, 115.0, &r, cfg(4, Schedule::static_block()));
+        let e16 = simulate_region(&m, 115.0, &r, cfg(16, Schedule::static_block()));
+        // 16 threads draw more power...
+        assert!(e16.avg_power_w() > e4.avg_power_w());
+        // ...but finish faster.
+        assert!(e16.time_s < e4.time_s);
+    }
+
+    #[test]
+    fn capped_runs_use_less_power() {
+        let m = crill();
+        let r = region(4096, ImbalanceProfile::Uniform);
+        let hi = simulate_region(&m, 115.0, &r, cfg(16, Schedule::static_block()));
+        let lo = simulate_region(&m, 55.0, &r, cfg(16, Schedule::static_block()));
+        assert!(lo.avg_power_w() < hi.avg_power_w());
+        assert!(lo.f_ghz < hi.f_ghz);
+    }
+
+    #[test]
+    fn report_invariants_hold() {
+        let m = crill();
+        let r = region(1000, ImbalanceProfile::Random { cv: 0.3, seed: 1 });
+        for sched in [Schedule::static_block(), Schedule::dynamic(4), Schedule::guided(2)] {
+            let rep = simulate_region(&m, 85.0, &r, cfg(12, sched));
+            assert_eq!(rep.per_thread_busy_s.len(), 12);
+            assert!(rep.time_s > 0.0);
+            assert!(rep.energy_j > 0.0);
+            // Every thread's busy time is within the region duration.
+            for (b, w) in rep.per_thread_busy_s.iter().zip(&rep.per_thread_wait_s) {
+                assert!(*b >= 0.0 && *w >= 0.0);
+                assert!(b + w <= rep.time_s + 1e-9);
+            }
+            // All iterations dispatched.
+            assert!(rep.chunks_dispatched > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let m = crill();
+        let r = region(2000, ImbalanceProfile::Random { cv: 0.5, seed: 9 });
+        let a = simulate_region(&m, 70.0, &r, cfg(16, Schedule::guided(4)));
+        let b = simulate_region(&m, 70.0, &r, cfg(16, Schedule::guided(4)));
+        assert_eq!(a.time_s, b.time_s);
+        assert_eq!(a.energy_j, b.energy_j);
+    }
+
+    #[test]
+    fn serial_fraction_adds_time_at_one_core() {
+        let m = crill();
+        let mut r = region(1024, ImbalanceProfile::Uniform);
+        let base = simulate_region(&m, 115.0, &r, cfg(16, Schedule::static_block()));
+        r.serial_s = 0.5;
+        let with_serial = simulate_region(&m, 115.0, &r, cfg(16, Schedule::static_block()));
+        assert!((with_serial.time_s - base.time_s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscription_clamps_to_hw_threads() {
+        let m = crill();
+        let r = region(1024, ImbalanceProfile::Uniform);
+        let rep = simulate_region(&m, 115.0, &r, cfg(1000, Schedule::static_block()));
+        assert_eq!(rep.threads, 32);
+    }
+
+    #[test]
+    fn smt_helps_compute_bound_code_sublinearly() {
+        // For compute-bound regions SMT adds throughput (2 × 0.62 > 1);
+        // for memory-hungry regions the cache-contention penalty can erase
+        // it — which is exactly the paper's SP finding.
+        let m = crill();
+        let mut r = region(8192, ImbalanceProfile::Uniform);
+        r.memory.accesses_per_iter = 10.0; // essentially no memory traffic
+        let t16 = simulate_region(&m, 115.0, &r, cfg(16, Schedule::static_block())).time_s;
+        let t32 = simulate_region(&m, 115.0, &r, cfg(32, Schedule::static_block())).time_s;
+        assert!(t32 < t16, "t16={t16} t32={t32}");
+        assert!(t32 > t16 * 0.55, "t16={t16} t32={t32}");
+    }
+}

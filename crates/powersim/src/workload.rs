@@ -1,0 +1,269 @@
+//! Analytic workload descriptors.
+//!
+//! A [`RegionModel`] captures what the simulator needs to know about one
+//! parallel region: trip count, per-iteration compute cost and its
+//! variation (load imbalance), and the memory-access character that the
+//! cache model consumes. Kernels in `arcs-kernels` derive these from their
+//! real loop structure; see each kernel's `descriptor()`.
+
+use serde::{Deserialize, Serialize};
+
+/// How per-iteration cost varies across the iteration space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ImbalanceProfile {
+    /// Every iteration costs the same.
+    Uniform,
+    /// Cost ramps linearly: iteration `i` costs
+    /// `base × (1 + slope × (i/n − 1/2))` (front- or back-loaded loops;
+    /// triangular solver sweeps).
+    Linear { slope: f64 },
+    /// A contiguous block of iterations is heavier (boundary elements,
+    /// material interfaces): the first `heavy_fraction` of iterations cost
+    /// `heavy_factor ×` the rest.
+    Blocked { heavy_fraction: f64, heavy_factor: f64 },
+    /// Deterministic pseudo-random multiplicative noise with coefficient of
+    /// variation ≈ `cv` (EOS iteration counts, per-element convergence).
+    Random { cv: f64, seed: u64 },
+}
+
+impl ImbalanceProfile {
+    /// Per-iteration weight vector, mean ≈ 1.
+    pub fn weights(&self, n: usize) -> Vec<f64> {
+        match *self {
+            ImbalanceProfile::Uniform => vec![1.0; n],
+            ImbalanceProfile::Linear { slope } => (0..n)
+                .map(|i| {
+                    let x = if n > 1 { i as f64 / (n - 1) as f64 } else { 0.5 };
+                    (1.0 + slope * (x - 0.5)).max(0.05)
+                })
+                .collect(),
+            ImbalanceProfile::Blocked { heavy_fraction, heavy_factor } => {
+                let heavy = ((n as f64) * heavy_fraction).round() as usize;
+                // Normalise so the mean stays ~1.
+                let mean = (heavy as f64 * heavy_factor + (n - heavy.min(n)) as f64)
+                    / n.max(1) as f64;
+                (0..n)
+                    .map(|i| if i < heavy { heavy_factor / mean } else { 1.0 / mean })
+                    .collect()
+            }
+            ImbalanceProfile::Random { cv, seed } => {
+                let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+                (0..n)
+                    .map(|_| {
+                        // splitmix64 → uniform in [0,1).
+                        state = state.wrapping_add(0x9E3779B97F4A7C15);
+                        let mut z = state;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                        let u = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+                        // Uniform noise with mean 1, cv ≈ cv (uniform on
+                        // [1-a, 1+a] has cv = a/√3).
+                        let a = (cv * 3f64.sqrt()).min(0.95);
+                        1.0 - a + 2.0 * a * u
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Memory-access pattern class of the loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrideClass {
+    /// Unit-stride streaming (prefetch-friendly; BT/SP x_solve inner loops).
+    Unit,
+    /// Moderate strides — plane-sized jumps with some spatial reuse
+    /// (y-direction sweeps).
+    Medium,
+    /// Long strides defeating spatial locality entirely (the paper's rhsz
+    /// second-order stencil in the z direction).
+    Long,
+}
+
+impl StrideClass {
+    /// Baseline L1 miss ratio per memory access (before chunking effects).
+    pub fn l1_miss_base(self) -> f64 {
+        match self {
+            StrideClass::Unit => 0.125,  // one line fill per 8 doubles
+            StrideClass::Medium => 0.40,
+            StrideClass::Long => 0.75,
+        }
+    }
+
+    /// Fraction of miss latency hidden by prefetch/MLP (0 = fully hidden,
+    /// 1 = fully exposed).
+    pub fn latency_exposure(self) -> f64 {
+        match self {
+            StrideClass::Unit => 0.25,
+            StrideClass::Medium => 0.55,
+            StrideClass::Long => 0.85,
+        }
+    }
+}
+
+/// Memory behaviour of one region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryProfile {
+    /// Distinct bytes the whole loop touches (working set).
+    pub footprint_bytes: f64,
+    /// Memory accesses issued per iteration.
+    pub accesses_per_iter: f64,
+    pub stride: StrideClass,
+    /// Temporal reuse in [0, 1): fraction of accesses that revisit the
+    /// thread's *hot working buffer* (solver lines, stencil planes) and
+    /// can hit in cache if that buffer fits. High for line sweeps, low for
+    /// streaming.
+    pub temporal_reuse: f64,
+    /// Size of that revisited working buffer per thread, bytes (e.g. the
+    /// block-tridiagonal line arrays of one pencil).
+    pub hot_bytes_per_thread: f64,
+}
+
+/// Everything the simulator needs about one parallel region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionModel {
+    pub name: String,
+    /// Trip count of the work-shared loop.
+    pub iterations: usize,
+    /// Compute cycles per mean-weight iteration (excludes memory stalls).
+    pub cycles_per_iter: f64,
+    pub imbalance: ImbalanceProfile,
+    pub memory: MemoryProfile,
+    /// Serial (master-only) work per invocation *before the fork*, seconds
+    /// (loop setup, non-parallelised pre-processing).
+    pub serial_s: f64,
+    /// Master-only work *inside* the region, seconds: glue code between
+    /// sub-loops during which the rest of the team waits at a barrier.
+    /// This is measured as OMP_BARRIER time but is structural — no
+    /// schedule/thread-count choice removes it (LULESH's EvalEOS shape).
+    pub critical_s: f64,
+}
+
+impl RegionModel {
+    /// Per-iteration cost weights (mean ≈ 1), deterministic.
+    pub fn weights(&self) -> Vec<f64> {
+        self.imbalance.weights(self.iterations)
+    }
+}
+
+/// An application = an ordered list of regions executed repeatedly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadDescriptor {
+    pub name: String,
+    /// Regions in per-timestep execution order. The same region may appear
+    /// more than once per timestep (x/y/z sweeps).
+    pub step: Vec<RegionModel>,
+    /// Number of timesteps the application runs.
+    pub timesteps: usize,
+}
+
+impl WorkloadDescriptor {
+    /// Unique region names in first-appearance order.
+    pub fn region_names(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for r in &self.step {
+            if !seen.contains(&r.name.as_str()) {
+                seen.push(r.name.as_str());
+            }
+        }
+        seen
+    }
+
+    /// Total region invocations over the whole run.
+    pub fn total_invocations(&self) -> usize {
+        self.step.len() * self.timesteps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn uniform_weights_are_flat() {
+        let w = ImbalanceProfile::Uniform.weights(100);
+        assert!(w.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn linear_weights_ramp_and_average_to_one() {
+        let w = ImbalanceProfile::Linear { slope: 0.5 }.weights(101);
+        assert!((mean(&w) - 1.0).abs() < 1e-9);
+        assert!(w.first().unwrap() < w.last().unwrap());
+        assert!((w[0] - 0.75).abs() < 1e-9);
+        assert!((w[100] - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_weights_have_unit_mean() {
+        let w = ImbalanceProfile::Blocked { heavy_fraction: 0.25, heavy_factor: 3.0 }
+            .weights(1000);
+        assert!((mean(&w) - 1.0).abs() < 1e-6);
+        assert!(w[0] > w[999]);
+    }
+
+    #[test]
+    fn random_weights_deterministic_and_calibrated() {
+        let p = ImbalanceProfile::Random { cv: 0.2, seed: 42 };
+        let a = p.weights(10_000);
+        let b = p.weights(10_000);
+        assert_eq!(a, b, "weights must be deterministic");
+        let m = mean(&a);
+        assert!((m - 1.0).abs() < 0.02, "mean {m}");
+        let var = a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64;
+        let cv = var.sqrt() / m;
+        assert!((cv - 0.2).abs() < 0.03, "cv {cv}");
+        // Different seeds differ.
+        let c = ImbalanceProfile::Random { cv: 0.2, seed: 43 }.weights(10_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weights_never_nonpositive() {
+        for prof in [
+            ImbalanceProfile::Linear { slope: 3.0 },
+            ImbalanceProfile::Random { cv: 0.9, seed: 7 },
+            ImbalanceProfile::Blocked { heavy_fraction: 0.01, heavy_factor: 50.0 },
+        ] {
+            let w = prof.weights(1000);
+            assert!(w.iter().all(|&x| x > 0.0), "{prof:?}");
+        }
+    }
+
+    #[test]
+    fn stride_classes_are_ordered() {
+        assert!(StrideClass::Unit.l1_miss_base() < StrideClass::Medium.l1_miss_base());
+        assert!(StrideClass::Medium.l1_miss_base() < StrideClass::Long.l1_miss_base());
+        assert!(StrideClass::Unit.latency_exposure() < StrideClass::Long.latency_exposure());
+    }
+
+    #[test]
+    fn workload_region_names_dedup() {
+        let r = |name: &str| RegionModel {
+            name: name.into(),
+            iterations: 10,
+            cycles_per_iter: 100.0,
+            imbalance: ImbalanceProfile::Uniform,
+            memory: MemoryProfile {
+                footprint_bytes: 1e6,
+                accesses_per_iter: 10.0,
+                stride: StrideClass::Unit,
+                temporal_reuse: 0.5,
+                hot_bytes_per_thread: 8192.0,
+            },
+            serial_s: 0.0,
+            critical_s: 0.0,
+        };
+        let w = WorkloadDescriptor {
+            name: "app".into(),
+            step: vec![r("a"), r("b"), r("a")],
+            timesteps: 5,
+        };
+        assert_eq!(w.region_names(), vec!["a", "b"]);
+        assert_eq!(w.total_invocations(), 15);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the power-capped machine simulator: physical
+//! invariants must hold for *every* region × configuration × cap.
+
+use arcs_omprt::{Schedule, ScheduleKind};
+use arcs_powersim::{
+    simulate_region, ImbalanceProfile, Machine, MemoryProfile, Rapl, RegionModel,
+    SimConfig, StrideClass,
+};
+use proptest::prelude::*;
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    (
+        prop_oneof![
+            Just(ScheduleKind::Static),
+            Just(ScheduleKind::Dynamic),
+            Just(ScheduleKind::Guided)
+        ],
+        prop_oneof![Just(None), (1usize..128).prop_map(Some)],
+    )
+        .prop_map(|(kind, chunk)| Schedule::new(kind, chunk))
+}
+
+fn arb_imbalance() -> impl Strategy<Value = ImbalanceProfile> {
+    prop_oneof![
+        Just(ImbalanceProfile::Uniform),
+        (0.0f64..2.0).prop_map(|slope| ImbalanceProfile::Linear { slope }),
+        ((0.01f64..0.5), (1.1f64..5.0)).prop_map(|(f, h)| ImbalanceProfile::Blocked {
+            heavy_fraction: f,
+            heavy_factor: h
+        }),
+        ((0.01f64..0.8), any::<u64>())
+            .prop_map(|(cv, seed)| ImbalanceProfile::Random { cv, seed }),
+    ]
+}
+
+fn arb_region() -> impl Strategy<Value = RegionModel> {
+    (
+        1usize..2000,
+        10.0f64..1e6,
+        arb_imbalance(),
+        1e4f64..4e8,
+        1.0f64..1e4,
+        prop_oneof![Just(StrideClass::Unit), Just(StrideClass::Medium), Just(StrideClass::Long)],
+        0.0f64..0.95,
+        (256.0f64..1e6),
+        0.0f64..0.01,
+    )
+        .prop_map(
+            |(iters, cycles, imb, footprint, accesses, stride, reuse, hot, critical)| {
+                RegionModel {
+                    name: "prop".into(),
+                    iterations: iters,
+                    cycles_per_iter: cycles,
+                    imbalance: imb,
+                    memory: MemoryProfile {
+                        footprint_bytes: footprint,
+                        accesses_per_iter: accesses,
+                        stride,
+                        temporal_reuse: reuse,
+                        hot_bytes_per_thread: hot,
+                    },
+                    serial_s: 0.0,
+                    critical_s: critical,
+                }
+            },
+        )
+}
+
+fn machines() -> [Machine; 2] {
+    [Machine::crill(), Machine::minotaur()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Core physical invariants for every simulated invocation.
+    #[test]
+    fn report_invariants(
+        region in arb_region(),
+        threads in 1usize..200,
+        sched in arb_schedule(),
+        cap_frac in 0.3f64..1.0,
+    ) {
+        for m in machines() {
+            let cap = m.power.tdp_w * cap_frac;
+            let rep = simulate_region(&m, cap, &region, SimConfig { threads, schedule: sched });
+            prop_assert!(rep.time_s > 0.0 && rep.time_s.is_finite());
+            prop_assert!(rep.energy_j > 0.0 && rep.energy_j.is_finite());
+            prop_assert!(rep.threads <= m.hw_threads());
+            prop_assert_eq!(rep.per_thread_busy_s.len(), rep.threads);
+            // Busy + barrier wait never exceeds the region duration.
+            for (b, w) in rep.per_thread_busy_s.iter().zip(&rep.per_thread_wait_s) {
+                prop_assert!(*b >= 0.0 && *w >= -1e-12);
+                prop_assert!(b + w <= rep.time_s + 1e-9);
+            }
+            // Cache rates nested and bounded.
+            let c = rep.cache;
+            prop_assert!(c.l1_miss_rate <= 1.0 + 1e-12);
+            prop_assert!(c.l2_miss_rate <= c.l1_miss_rate + 1e-12);
+            prop_assert!(c.l3_miss_rate <= c.l2_miss_rate + 1e-12);
+            prop_assert!(c.l3_miss_rate >= 0.0);
+            // All chunks dispatched.
+            prop_assert!(rep.chunks_dispatched >= 1);
+            // Frequency within the machine's envelope.
+            prop_assert!(rep.f_ghz >= m.f_min_ghz - 1e-12 && rep.f_ghz <= m.f_base_ghz + 1e-12);
+        }
+    }
+
+    /// Capping never speeds a fixed configuration up, and the simulator is
+    /// deterministic.
+    #[test]
+    fn monotone_in_cap_and_deterministic(
+        region in arb_region(),
+        threads in 1usize..64,
+        sched in arb_schedule(),
+    ) {
+        let m = Machine::crill();
+        let cfg = SimConfig { threads, schedule: sched };
+        let mut prev = f64::INFINITY;
+        for cap in [40.0, 55.0, 70.0, 85.0, 100.0, 115.0] {
+            let a = simulate_region(&m, cap, &region, cfg);
+            let b = simulate_region(&m, cap, &region, cfg);
+            prop_assert_eq!(a.time_s, b.time_s, "determinism");
+            prop_assert_eq!(a.energy_j, b.energy_j);
+            prop_assert!(a.time_s <= prev + 1e-12, "time rose with cap");
+            prev = a.time_s;
+        }
+    }
+
+    /// The frequency solver respects the cap: package power at the solved
+    /// frequency never exceeds it (unless clamped at f_min).
+    #[test]
+    fn solved_frequency_respects_cap(
+        active in 1usize..9,
+        cap in 25.0f64..115.0,
+    ) {
+        let m = Machine::crill();
+        let f = m.frequency_under_cap(cap, active);
+        if f > m.f_min_ghz {
+            prop_assert!(m.package_power(active, f) <= cap + 1e-6,
+                "power {} over cap {cap} at f={f}", m.package_power(active, f));
+        }
+    }
+
+    /// The RAPL counter is monotone and conserves energy within quantum
+    /// resolution under arbitrary advance patterns.
+    #[test]
+    fn rapl_counter_conserves_energy(
+        steps in proptest::collection::vec((1e-5f64..0.01, 1.0f64..300.0), 1..60),
+    ) {
+        let m = Machine::crill();
+        let mut r = Rapl::new(&m);
+        let mut exact = 0.0;
+        let mut prev_read = 0;
+        for (dt, p) in &steps {
+            r.advance(*dt, *p);
+            exact += dt * p;
+            let now = r.read_energy_uj();
+            prop_assert!(now >= prev_read);
+            prev_read = now;
+        }
+        // Flush the final quantum and compare.
+        r.advance(0.002, 0.0);
+        let read_j = r.read_energy_uj() as f64 * 1e-6;
+        prop_assert!((read_j - exact).abs() < 0.01 * exact.max(1.0),
+            "counter {read_j} vs exact {exact}");
+    }
+}

@@ -1,0 +1,12 @@
+//! arcs-suite: the workspace umbrella crate.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`); re-exports the member crates for
+//! convenience.
+
+pub use arcs;
+pub use arcs_apex;
+pub use arcs_harmony;
+pub use arcs_kernels;
+pub use arcs_omprt;
+pub use arcs_powersim;

@@ -1,0 +1,147 @@
+//! Integration tests for the beyond-the-paper extensions: DVFS, the suite
+//! extremes (CG/EP/MG), measurement noise, and the profiler.
+
+use arcs::dvfs::{tune_region, DvfsSpace, Objective};
+use arcs::{runs, ConfigSpace, OmpConfig, RegionTuner, SimExecutor, TunerOptions};
+use arcs_harmony::StrategyKind;
+use arcs_kernels::{model, Class};
+use arcs_powersim::Machine;
+
+/// EP is the negative control: ARCS-Offline must cost less than 1% on an
+/// application with zero tuning headroom.
+#[test]
+fn ep_no_harm() {
+    let m = Machine::crill();
+    let wl = model::ep(Class::B);
+    let base = runs::default_run(&m, 115.0, &wl);
+    let (off, history) = runs::offline_run(&m, 115.0, &wl);
+    assert!(off.time_s / base.time_s < 1.01, "ratio {}", off.time_s / base.time_s);
+    // And the chosen config is (essentially) the default.
+    let cfg = history.get("ep/gaussian_pairs").unwrap().config;
+    assert_eq!(cfg.schedule.kind, arcs_omprt::ScheduleKind::Static);
+}
+
+/// MG's multi-scale regions make naive per-invocation tuning catastrophic;
+/// selective tuning must contain the damage to single digits.
+#[test]
+fn mg_selective_tuning_contains_the_multiscale_pathology() {
+    let m = Machine::crill();
+    let wl = model::mg(Class::B);
+    let base = runs::default_run(&m, 115.0, &wl);
+    let naive = runs::online_run(&m, 115.0, &wl);
+    assert!(naive.time_s / base.time_s > 2.0, "naive should blow up: {}", naive.time_s / base.time_s);
+    let space = ConfigSpace::for_machine(&m);
+    let mut tuner = RegionTuner::new(
+        TunerOptions::online(space).with_min_region_time(4.0 * m.config_change_s),
+    );
+    let selective = SimExecutor::new(m.clone(), 115.0).run_tuned(&wl, &mut tuner);
+    assert!(
+        selective.time_s / base.time_s < 1.12,
+        "selective must contain it: {}",
+        selective.time_s / base.time_s
+    );
+    assert!(tuner.stats().skipped_regions > 0);
+}
+
+/// The DVFS energy objective must dominate the plain ARCS choice on
+/// energy while the time objective never clamps below the cap frequency.
+#[test]
+fn dvfs_energy_objective_buys_real_energy() {
+    let m = Machine::crill();
+    let wl = model::sp(Class::B);
+    let space = DvfsSpace::for_machine(&m, 4);
+    let region = wl.step.iter().find(|r| r.name.ends_with("x_solve")).unwrap();
+    let t = tune_region(&m, 115.0, region, &space, Objective::Time, StrategyKind::exhaustive());
+    let e = tune_region(&m, 115.0, region, &space, Objective::Energy, StrategyKind::exhaustive());
+    assert!(e.report.energy_j < t.report.energy_j * 0.95, "energy objective must save ≥5%");
+    assert!(t.config.freq_ghz.is_none(), "time objective must not clamp");
+    assert!(e.config.freq_ghz.is_some(), "energy objective should clamp");
+}
+
+/// Under measurement noise, offline training remains effective: the
+/// trained history replayed on the clean simulator keeps ≥80% of the
+/// noise-free improvement, across seeds.
+#[test]
+fn noisy_training_keeps_most_of_the_gain() {
+    let m = Machine::crill();
+    let mut wl = model::sp(Class::B);
+    wl.timesteps = 60;
+    let base = runs::default_run(&m, 85.0, &wl);
+    let (clean_off, _) = runs::offline_run(&m, 85.0, &wl);
+    let clean_gain = 1.0 - clean_off.time_s / base.time_s;
+    let space = ConfigSpace::for_machine(&m);
+    for seed in [11u64, 77, 3021] {
+        let mut trainer = SimExecutor::new(m.clone(), 85.0).with_noise(0.15, seed);
+        let h = trainer.train_offline(
+            &wl,
+            TunerOptions::offline_train(space.clone()),
+            "noisy",
+        );
+        let mut tuner = RegionTuner::new(TunerOptions::offline_replay(space.clone(), h));
+        let rep = SimExecutor::new(m.clone(), 85.0).run_tuned(&wl, &mut tuner);
+        let gain = 1.0 - rep.time_s / base.time_s;
+        assert!(
+            gain > 0.8 * clean_gain,
+            "seed {seed}: noisy gain {gain} vs clean {clean_gain}"
+        );
+    }
+}
+
+/// The live OMPT profiler and the simulator agree on LULESH's Fig. 9
+/// ordering: EvalEOS tops the inclusive time with a dominant barrier
+/// share, and the balanced kernels show ~zero barrier.
+#[test]
+fn fig9_shape_from_the_simulated_apex_path() {
+    use arcs_apex::Apex;
+    use std::sync::Arc;
+    let m = Machine::crill();
+    let mut wl = model::lulesh(45);
+    wl.timesteps = 5;
+    let apex = Arc::new(Apex::new());
+    let mut exec = SimExecutor::new(m, 115.0).with_apex(Arc::clone(&apex));
+    let rep = exec.run_default(&wl);
+    // APEX profiles carry the same per-region means the report does.
+    for (name, summary) in &rep.per_region {
+        let task = apex.task(name);
+        let p = apex.profile(task).expect(name);
+        assert_eq!(p.count as u64, summary.invocations);
+        assert!((p.mean() - summary.mean_time_s()).abs() < 1e-12);
+    }
+    // Barrier ordering (from the report, which fig9 prints).
+    let eos = &rep.per_region["lulesh/EvalEOSForElems"];
+    let kin = &rep.per_region["lulesh/CalcKinematicsForElems"];
+    let eos_frac = eos.barrier_s / (eos.busy_s + eos.barrier_s);
+    let kin_frac = kin.barrier_s / (kin.busy_s + kin.barrier_s);
+    assert!(eos_frac > 0.5, "EvalEOS barrier share {eos_frac}");
+    assert!(kin_frac < 0.05, "Kinematics barrier share {kin_frac}");
+}
+
+/// Custom machines loaded from JSON behave like presets end to end.
+#[test]
+fn custom_machine_runs_end_to_end() {
+    let mut json = Machine::crill().to_json();
+    json = json.replace("\"l3_mib\": 20", "\"l3_mib\": 40");
+    let m = Machine::from_json(&json).unwrap();
+    let mut wl = model::sp(Class::B);
+    wl.timesteps = 15;
+    let base = runs::default_run(&m, 115.0, &wl);
+    let (off, _) = runs::offline_run(&m, 115.0, &wl);
+    // A doubled L3 shrinks SP's cache headroom, but ARCS must still win.
+    let ratio = off.time_s / base.time_s;
+    assert!(ratio < 1.0, "ratio {ratio}");
+    let crill_base = runs::default_run(&Machine::crill(), 115.0, &wl);
+    assert!(base.time_s < crill_base.time_s, "bigger L3 must help the default");
+}
+
+/// The default configuration encoded in every ConfigSpace matches the
+/// paper's definition on both machines.
+#[test]
+fn default_configs_match_paper_definition() {
+    for m in [Machine::crill(), Machine::minotaur()] {
+        let space = ConfigSpace::for_machine(&m);
+        let cfg = space.decode(&space.default_point());
+        assert_eq!(cfg, OmpConfig::default_for(&m));
+        assert_eq!(cfg.threads, m.hw_threads());
+        assert_eq!(cfg.schedule, arcs_omprt::Schedule::static_block());
+    }
+}
