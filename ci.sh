@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint/format checks. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn periodic_policy_can_drive_sampling() {
-        use crate::{PolicyTrigger};
+        use crate::PolicyTrigger;
         use std::sync::Arc;
         // The APEX idiom: a periodic policy samples the monitors.
         let apex = Arc::new(Apex::new());

@@ -96,11 +96,7 @@ impl Apex {
     /// All interned tasks in creation order.
     pub fn tasks(&self) -> Vec<(TaskId, String)> {
         let st = self.state.lock();
-        st.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (TaskId(i as u32), n.clone()))
-            .collect()
+        st.names.iter().enumerate().map(|(i, n)| (TaskId(i as u32), n.clone())).collect()
     }
 
     /// Start the wall-clock timer for `task` and fire `OnTimerStart`

@@ -63,7 +63,12 @@ impl PolicyEngine {
     }
 
     /// Register a policy; returns its index.
-    pub fn register<F>(&mut self, name: impl Into<String>, trigger: PolicyTrigger, callback: F) -> usize
+    pub fn register<F>(
+        &mut self,
+        name: impl Into<String>,
+        trigger: PolicyTrigger,
+        callback: F,
+    ) -> usize
     where
         F: FnMut(&PolicyEvent) + Send + 'static,
     {

@@ -30,7 +30,11 @@ fn main() {
         "Selective tuning, LULESH mesh 45 on Crill at TDP (time ratio vs default)",
         &["Strategy", "time ratio", "skipped regions"],
         &[
-            vec!["ARCS-Online (tune everything)".into(), f3(naive.time_s / base.time_s), "0".into()],
+            vec![
+                "ARCS-Online (tune everything)".into(),
+                f3(naive.time_s / base.time_s),
+                "0".into(),
+            ],
             vec![
                 "ARCS-Online + selective".into(),
                 f3(selective.time_s / base.time_s),
@@ -46,48 +50,48 @@ fn main() {
         (model::sp(Class::B), "sp/x_solve", 85.0),
         (model::lulesh(45), "lulesh/CalcFBHourglassForceForElems", 115.0),
     ] {
-    let (oracle_cfg, oracle) = region_oracle(&m, cap, &wl, region_name);
-    let mut rows = Vec::new();
-    for (name, mode) in [
-        ("exhaustive", TuningMode::OfflineTrain),
-        ("nelder-mead", TuningMode::Online(NmOptions::default())),
-        ("parallel-rank-order", TuningMode::OnlinePro(ProOptions::default())),
-        // Random baseline at the budget NM typically needs.
-        ("random-20", TuningMode::OnlineRandom { seed: 0xA5C5, max_evals: 20 }),
-    ] {
-        let mut exec = SimExecutor::new(m.clone(), cap);
-        let model = wl.step.iter().find(|r| r.name == region_name).unwrap().clone();
-        let mut tuner = RegionTuner::new(TunerOptions {
-            space: space.clone(),
-            mode,
-            min_region_time_s: 0.0,
-        });
-        let mut measurements = 0u64;
-        for _ in 0..1000 {
-            let d = tuner.begin(region_name);
-            let rep = exec.simulate(&model, d.config.as_sim());
-            measurements += 1;
-            tuner.end(region_name, rep.time_s);
-            if tuner.converged() {
-                break;
+        let (oracle_cfg, oracle) = region_oracle(&m, cap, &wl, region_name);
+        let mut rows = Vec::new();
+        for (name, mode) in [
+            ("exhaustive", TuningMode::OfflineTrain),
+            ("nelder-mead", TuningMode::Online(NmOptions::default())),
+            ("parallel-rank-order", TuningMode::OnlinePro(ProOptions::default())),
+            // Random baseline at the budget NM typically needs.
+            ("random-20", TuningMode::OnlineRandom { seed: 0xA5C5, max_evals: 20 }),
+        ] {
+            let mut exec = SimExecutor::new(m.clone(), cap);
+            let model = wl.step.iter().find(|r| r.name == region_name).unwrap().clone();
+            let mut tuner = RegionTuner::new(TunerOptions {
+                space: space.clone(),
+                mode,
+                min_region_time_s: 0.0,
+            });
+            let mut measurements = 0u64;
+            for _ in 0..1000 {
+                let d = tuner.begin(region_name);
+                let rep = exec.simulate(&model, d.config.as_sim());
+                measurements += 1;
+                tuner.end(region_name, rep.time_s);
+                if tuner.converged() {
+                    break;
+                }
             }
+            let best = tuner.best_configs()[region_name];
+            let best_rep = exec.simulate(&model, best.as_sim());
+            rows.push(vec![
+                name.to_string(),
+                measurements.to_string(),
+                best.to_string(),
+                f3(best_rep.time_s / oracle.time_s),
+            ]);
         }
-        let best = tuner.best_configs()[region_name];
-        let best_rep = exec.simulate(&model, best.as_sim());
-        rows.push(vec![
-            name.to_string(),
-            measurements.to_string(),
-            best.to_string(),
-            f3(best_rep.time_s / oracle.time_s),
-        ]);
-    }
-    print_table(
-        &format!(
-            "Search strategies on {region_name} @{cap:.0}W (oracle: [{}], {:.4}s)",
-            oracle_cfg, oracle.time_s
-        ),
-        &["Strategy", "invocations", "found config", "regret (time/oracle)"],
-        &rows,
-    );
+        print_table(
+            &format!(
+                "Search strategies on {region_name} @{cap:.0}W (oracle: [{}], {:.4}s)",
+                oracle_cfg, oracle.time_s
+            ),
+            &["Strategy", "invocations", "found config", "regret (time/oracle)"],
+            &rows,
+        );
     }
 }

@@ -28,27 +28,16 @@ fn main() {
         let mut e_def = 0.0;
         let mut clamped = 0usize;
         for region in &wl.step {
-            let def = simulate_region_at_freq(
-                &m,
-                cap,
-                region,
-                OmpConfig::default_for(&m).as_sim(),
-                None,
-            );
+            let def =
+                simulate_region_at_freq(&m, cap, region, OmpConfig::default_for(&m).as_sim(), None);
             t_def += def.time_s;
             e_def += def.energy_j;
             let by_time =
                 tune_region(&m, cap, region, &space, Objective::Time, StrategyKind::exhaustive());
             t_time += by_time.report.time_s;
             e_time += by_time.report.energy_j;
-            let by_energy = tune_region(
-                &m,
-                cap,
-                region,
-                &space,
-                Objective::Energy,
-                StrategyKind::exhaustive(),
-            );
+            let by_energy =
+                tune_region(&m, cap, region, &space, Objective::Energy, StrategyKind::exhaustive());
             t_energy += by_energy.report.time_s;
             e_energy += by_energy.report.energy_j;
             if by_energy.config.freq_ghz.is_some() {
@@ -66,7 +55,14 @@ fn main() {
     }
     print_table(
         "SP.B per-step totals, normalised to default (time-objective = base ARCS + freq axis)",
-        &["Power", "time (obj=time)", "energy (obj=time)", "time (obj=energy)", "energy (obj=energy)", "regions clamped"],
+        &[
+            "Power",
+            "time (obj=time)",
+            "energy (obj=time)",
+            "time (obj=energy)",
+            "energy (obj=energy)",
+            "regions clamped",
+        ],
         &rows,
     );
 }

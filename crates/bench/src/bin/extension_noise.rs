@@ -40,8 +40,7 @@ fn main() {
             &format!("noise-{seed}"),
         );
         // Replay on the *clean* simulator: the train→test gap.
-        let mut tuner =
-            RegionTuner::new(TunerOptions::offline_replay(space.clone(), hist.clone()));
+        let mut tuner = RegionTuner::new(TunerOptions::offline_replay(space.clone(), hist.clone()));
         let replay = SimExecutor::new(m.clone(), 115.0).run_tuned(&wl, &mut tuner);
         let mut row = vec![format!("seed {seed}")];
         for (i, r) in regions.iter().enumerate() {

@@ -6,8 +6,8 @@
 //! and EP (perfectly balanced, compute-only) bracket the behaviour space:
 //! CG should show SP-like headroom; EP is the negative control where a
 //! correct tuner must do (almost) no harm.
-use arcs::{ConfigSpace, RegionTuner, SimExecutor, TunerOptions};
-use arcs_bench::{compare_at, f3, power_label, preamble, print_table, POWER_LEVELS};
+use arcs::{SweepEngine, SweepGrid, SweepStrategy};
+use arcs_bench::{f3, power_label, preamble, print_table, sweep_points, POWER_LEVELS};
 use arcs_kernels::{model, Class};
 use arcs_powersim::Machine;
 
@@ -20,35 +20,52 @@ fn main() {
          at many scales: coarse levels are pure overhead under ARCS)",
     );
     let m = Machine::crill();
-    for (name, wl) in [
-        ("cg.B", model::cg(Class::B)),
-        ("ep.B", model::ep(Class::B)),
-        ("mg.B", model::mg(Class::B)),
-    ] {
-        let mut rows = Vec::new();
-        for &cap in &POWER_LEVELS {
-            let pt = compare_at(&m, cap, &wl);
-            // Selective tuning: regions cheaper than 4× the reconfiguration
-            // cost are left alone (the paper's future-work fix; for CG's
-            // 5 ms regions this is the only sane policy).
-            let space = ConfigSpace::for_machine(&m);
-            let mut tuner = RegionTuner::new(
-                TunerOptions::online(space).with_min_region_time(4.0 * m.config_change_s),
-            );
-            let selective = SimExecutor::new(m.clone(), cap).run_tuned(&wl, &mut tuner);
-            rows.push(vec![
-                power_label(cap),
-                format!("{:.1}s", pt.default.time_s),
-                f3(pt.online_time_ratio()),
-                f3(pt.offline_time_ratio()),
-                f3(selective.time_s / pt.default.time_s),
-                f3(pt.offline_energy_ratio()),
-            ]);
-        }
+    // Selective tuning: regions cheaper than 4× the reconfiguration cost
+    // are left alone (the paper's future-work fix; for CG's 5 ms regions
+    // this is the only sane policy).
+    let strategies = [
+        SweepStrategy::Default,
+        SweepStrategy::Online,
+        SweepStrategy::Offline,
+        SweepStrategy::OnlineSelective { min_region_time_s: 4.0 * m.config_change_s },
+    ];
+    let grid = SweepGrid::new(m.clone())
+        .workload(model::cg(Class::B))
+        .workload(model::ep(Class::B))
+        .workload(model::mg(Class::B))
+        .caps(&POWER_LEVELS)
+        .strategies(&strategies);
+    let report = SweepEngine::new(m).run(&grid);
+    for name in ["cg.B", "ep.B", "mg.B"] {
+        let points = sweep_points(&report, name, &POWER_LEVELS);
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|pt| {
+                let selective = &report
+                    .cell(name, pt.cap_w, "arcs-online-selective")
+                    .expect("selective cell present")
+                    .report;
+                vec![
+                    power_label(pt.cap_w),
+                    format!("{:.1}s", pt.default.time_s),
+                    f3(pt.online_time_ratio()),
+                    f3(pt.offline_time_ratio()),
+                    f3(selective.time_s / pt.default.time_s),
+                    f3(pt.offline_energy_ratio()),
+                ]
+            })
+            .collect();
         print_table(
             &format!("{name} normalised to default"),
             &["Power", "default time", "online t", "offline t", "online+selective t", "offline E"],
             &rows,
         );
     }
+    println!(
+        "\nshared memo cache over the suite: {} hits / {} misses across {} cells, {} workers",
+        report.cache.hits,
+        report.cache.misses,
+        report.cells.len(),
+        report.workers,
+    );
 }

@@ -1,6 +1,6 @@
 //! Fig. 4: SP class B application time and package energy across the five
 //! power levels, normalised to the default configuration.
-use arcs_bench::{f3, power_label, power_sweep, preamble, print_table};
+use arcs_bench::{f3, power_label, power_sweep_at, preamble, print_table, POWER_LEVELS};
 use arcs_kernels::{model, Class};
 use arcs_powersim::Machine;
 
@@ -12,7 +12,7 @@ fn main() {
     );
     let m = Machine::crill();
     let wl = model::sp(Class::B);
-    let sweep = power_sweep(&m, &wl);
+    let (sweep, cache) = power_sweep_at(&m, &POWER_LEVELS, &wl);
     let rows: Vec<Vec<String>> = sweep
         .iter()
         .map(|p| {
@@ -29,7 +29,21 @@ fn main() {
         .collect();
     print_table(
         "SP.B normalised to default (smaller is better)",
-        &["Power", "default time", "online t", "offline t", "default energy", "online E", "offline E"],
+        &[
+            "Power",
+            "default time",
+            "online t",
+            "offline t",
+            "default energy",
+            "online E",
+            "offline E",
+        ],
         &rows,
+    );
+    println!(
+        "\nshared memo cache over the 5x3 sweep: {} hits / {} misses ({:.1}% hit rate)",
+        cache.hits,
+        cache.misses,
+        100.0 * cache.hits as f64 / cache.lookups().max(1) as f64,
     );
 }

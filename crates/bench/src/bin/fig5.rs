@@ -1,5 +1,6 @@
 //! Fig. 5: SP class C execution time and energy at TDP (workload scaling).
-use arcs_bench::{compare_at, f3, preamble, print_table};
+use arcs::{SweepEngine, SweepGrid};
+use arcs_bench::{f3, preamble, print_table, sweep_points, PAPER_STRATEGIES};
 use arcs_kernels::{model, Class};
 use arcs_powersim::Machine;
 
@@ -10,8 +11,15 @@ fn main() {
          chosen configurations differ from class B (workload-dependence)",
     );
     let m = Machine::crill();
-    let wl = model::sp(Class::C);
-    let pt = compare_at(&m, 115.0, &wl);
+    // One grid covers the figure (class C) and the §V-A config comparison
+    // (class B vs C): the Offline cells carry the training histories.
+    let grid = SweepGrid::new(m.clone())
+        .workload(model::sp(Class::C))
+        .workload(model::sp(Class::B))
+        .caps(&[115.0])
+        .strategies(&PAPER_STRATEGIES);
+    let report = SweepEngine::new(m).run(&grid);
+    let pt = sweep_points(&report, "sp.C", &[115.0]).remove(0);
     print_table(
         "SP.C at TDP, normalised to default",
         &["Criterion", "default", "ARCS-Online", "ARCS-Offline"],
@@ -31,8 +39,13 @@ fn main() {
         ],
     );
     // Workload-dependence of the chosen configurations (paper §V-A).
-    let hb = arcs_bench::offline_history(&m, 115.0, &model::sp(Class::B));
-    let hc = arcs_bench::offline_history(&m, 115.0, &wl);
+    let history = |wl: &str| {
+        report
+            .cell(wl, 115.0, "arcs-offline")
+            .and_then(|c| c.history.as_ref())
+            .expect("offline cell exports its history")
+    };
+    let (hb, hc) = (history("sp.B"), history("sp.C"));
     println!("\nConfigs B vs C (workload-dependence):");
     for r in ["sp/compute_rhs", "sp/x_solve", "sp/y_solve", "sp/z_solve"] {
         println!(

@@ -28,7 +28,15 @@ fn main() {
         .collect();
     print_table(
         "BT.B normalised to default (smaller is better)",
-        &["Power", "default time", "online t", "offline t", "default energy", "online E", "offline E"],
+        &[
+            "Power",
+            "default time",
+            "online t",
+            "offline t",
+            "default energy",
+            "online E",
+            "offline E",
+        ],
         &rows,
     );
 }

@@ -1,6 +1,6 @@
 //! Fig. 8: LULESH (mesh 45) — time and energy on Crill across power levels,
 //! and execution time on Minotaur at TDP.
-use arcs_bench::{f3, power_label, power_sweep, preamble, print_table, compare_at};
+use arcs_bench::{compare_at, f3, power_label, power_sweep, preamble, print_table};
 use arcs_kernels::model;
 use arcs_powersim::Machine;
 

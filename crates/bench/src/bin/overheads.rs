@@ -33,23 +33,38 @@ fn main() {
             &|r| final_cfgs.get(r).map(|e| e.config).unwrap_or_else(|| OmpConfig::default_for(&m)),
             "oracle-replay",
         );
-        let search_overhead =
-            (online.time_s - online.total_overhead_s() - replay.time_s).max(0.0);
+        let search_overhead = (online.time_s - online.total_overhead_s() - replay.time_s).max(0.0);
         rows.push(vec![
             name.to_string(),
             format!("{:.1}s", base.time_s),
-            format!("{:.2}s ({:.1}%)", online.config_change_overhead_s,
-                100.0 * online.config_change_overhead_s / online.time_s),
-            format!("{:.2}s ({:.1}%)", online.instrumentation_overhead_s,
-                100.0 * online.instrumentation_overhead_s / online.time_s),
+            format!(
+                "{:.2}s ({:.1}%)",
+                online.config_change_overhead_s,
+                100.0 * online.config_change_overhead_s / online.time_s
+            ),
+            format!(
+                "{:.2}s ({:.1}%)",
+                online.instrumentation_overhead_s,
+                100.0 * online.instrumentation_overhead_s / online.time_s
+            ),
             format!("{:.2}s ({:.1}%)", search_overhead, 100.0 * search_overhead / online.time_s),
-            format!("{:.2}s ({:.1}%)", offline.config_change_overhead_s,
-                100.0 * offline.config_change_overhead_s / offline.time_s),
+            format!(
+                "{:.2}s ({:.1}%)",
+                offline.config_change_overhead_s,
+                100.0 * offline.config_change_overhead_s / offline.time_s
+            ),
         ]);
     }
     print_table(
         "Overheads by application (ARCS-Online unless noted)",
-        &["App", "default time", "config-change", "instrumentation", "search", "offline cfg-change"],
+        &[
+            "App",
+            "default time",
+            "config-change",
+            "instrumentation",
+            "search",
+            "offline cfg-change",
+        ],
         &rows,
     );
 }

@@ -15,10 +15,7 @@ fn fmt_threads(space: &ConfigSpace) -> String {
 }
 
 fn main() {
-    preamble(
-        "Table I",
-        "set of ARCS search parameters for OpenMP parallel regions",
-    );
+    preamble("Table I", "set of ARCS search parameters for OpenMP parallel regions");
     let crill = ConfigSpace::crill();
     let minotaur = ConfigSpace::minotaur();
     let schedules = crill

@@ -1,5 +1,6 @@
 //! §V cross-architecture results: SP and BT on the POWER8 (Minotaur) model.
-use arcs_bench::{compare_at, f3, preamble, print_table};
+use arcs::{SweepEngine, SweepGrid};
+use arcs_bench::{f3, preamble, print_table, sweep_points, PAPER_STRATEGIES};
 use arcs_kernels::{model, Class};
 use arcs_powersim::Machine;
 
@@ -11,9 +12,15 @@ fn main() {
     );
     let m = Machine::minotaur();
     let tdp = m.power.tdp_w;
+    let grid = SweepGrid::new(m.clone())
+        .workload(model::sp(Class::B))
+        .workload(model::bt(Class::B))
+        .caps(&[tdp])
+        .strategies(&PAPER_STRATEGIES);
+    let report = SweepEngine::new(m).run(&grid);
     let mut rows = Vec::new();
-    for (name, wl) in [("sp.B", model::sp(Class::B)), ("bt.B", model::bt(Class::B))] {
-        let pt = compare_at(&m, tdp, &wl);
+    for name in ["sp.B", "bt.B"] {
+        let pt = sweep_points(&report, name, &[tdp]).remove(0);
         rows.push(vec![
             name.to_string(),
             format!("{:.1}s", pt.default.time_s),

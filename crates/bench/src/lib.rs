@@ -23,12 +23,19 @@
 //! | `xarch` | §V — cross-architecture results on the POWER8 model |
 //! | `ablation` | extension — selective tuning + search-strategy ablations |
 
-use arcs::{runs, AppRunReport, ConfigSpace, OmpConfig, SimExecutor};
+use arcs::{
+    runs, AppRunReport, ConfigSpace, OmpConfig, SimExecutor, SweepEngine, SweepGrid, SweepReport,
+    SweepStrategy,
+};
 use arcs_harmony::History;
-use arcs_powersim::{Machine, SimConfig, SimReport, WorkloadDescriptor};
+use arcs_powersim::{CacheStats, Machine, SimConfig, SimReport, WorkloadDescriptor};
 
 /// The paper's Crill power levels (W); the last is the TDP.
 pub const POWER_LEVELS: [f64; 5] = [55.0, 70.0, 85.0, 100.0, 115.0];
+
+/// The paper's three measured strategies, in presentation order.
+pub const PAPER_STRATEGIES: [SweepStrategy; 3] =
+    [SweepStrategy::Default, SweepStrategy::Online, SweepStrategy::Offline];
 
 pub fn power_label(cap: f64) -> String {
     if cap >= 115.0 {
@@ -65,17 +72,52 @@ impl SweepPoint {
     }
 }
 
+/// Extract the [`SweepPoint`] series for one workload from an executed
+/// sweep (panics if any (cap, strategy) cell is missing from the report).
+pub fn sweep_points(report: &SweepReport, workload: &str, caps: &[f64]) -> Vec<SweepPoint> {
+    let pick = |cap: f64, label: &str| {
+        report
+            .cell(workload, cap, label)
+            .unwrap_or_else(|| panic!("sweep missing cell ({workload}, {cap}W, {label})"))
+            .report
+            .clone()
+    };
+    caps.iter()
+        .map(|&cap| SweepPoint {
+            cap_w: cap,
+            default: pick(cap, "default"),
+            online: pick(cap, "arcs-online"),
+            offline: pick(cap, "arcs-offline"),
+        })
+        .collect()
+}
+
 /// Run default / Online / Offline at one power cap.
 pub fn compare_at(machine: &Machine, cap_w: f64, wl: &WorkloadDescriptor) -> SweepPoint {
-    let default = runs::default_run(machine, cap_w, wl);
-    let online = runs::online_run(machine, cap_w, wl);
-    let (offline, _) = runs::offline_run(machine, cap_w, wl);
-    SweepPoint { cap_w, default, online, offline }
+    power_sweep_at(machine, &[cap_w], wl).0.pop().expect("one cap in, one point out")
 }
 
 /// Full five-level power sweep (Figs. 4, 7, 8a/8b).
 pub fn power_sweep(machine: &Machine, wl: &WorkloadDescriptor) -> Vec<SweepPoint> {
-    POWER_LEVELS.iter().map(|&cap| compare_at(machine, cap, wl)).collect()
+    power_sweep_at(machine, &POWER_LEVELS, wl).0
+}
+
+/// The paper's three-strategy comparison over arbitrary caps, run as one
+/// parallel sweep over a shared memo cache. Returns the per-cap points and
+/// the cache hit/miss counters the sweep accumulated.
+pub fn power_sweep_at(
+    machine: &Machine,
+    caps: &[f64],
+    wl: &WorkloadDescriptor,
+) -> (Vec<SweepPoint>, CacheStats) {
+    let engine = SweepEngine::new(machine.clone());
+    let grid = SweepGrid::new(machine.clone())
+        .workload(wl.clone())
+        .caps(caps)
+        .strategies(&PAPER_STRATEGIES);
+    let report = engine.run(&grid);
+    let points = sweep_points(&report, &wl.name, caps);
+    (points, report.cache)
 }
 
 /// Exhaustive oracle for a single region at one power cap: the best
@@ -182,12 +224,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let fmt_row = |cells: &[String]| {
-        cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:<w$}"))
-            .collect::<Vec<_>>()
-            .join("  ")
+        cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect::<Vec<_>>().join("  ")
     };
     println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
     for row in rows {
@@ -218,13 +255,7 @@ mod tests {
         let wl = model::bt(Class::B);
         for cap in [55.0, 115.0] {
             let (cfg, best) = region_oracle(&m, cap, &wl, "bt/x_solve");
-            let def = region_at(
-                &m,
-                cap,
-                &wl,
-                "bt/x_solve",
-                OmpConfig::default_for(&m).as_sim(),
-            );
+            let def = region_at(&m, cap, &wl, "bt/x_solve", OmpConfig::default_for(&m).as_sim());
             assert!(best.time_s <= def.time_s, "oracle worse than default at {cap}");
             assert!(cfg.threads >= 2);
         }

@@ -1,0 +1,249 @@
+//! The execution backend abstraction and the single run driver.
+//!
+//! Live and simulated execution used to duplicate the whole run loop —
+//! §III-C overhead charging, energy metering, [`AppRunReport`] assembly.
+//! This module extracts the loop once: a [`Backend`] only knows how to run
+//! one region invocation at one configuration (and how to account idle-ish
+//! overhead time), while [`run_default`], [`run_fixed`], [`run_tuned`] and
+//! [`train_offline`] implement the strategy-independent choreography for
+//! *any* backend, so the two paths cannot drift.
+//!
+//! Overheads follow §III-C: every tuned invocation pays the
+//! instrumentation cost (OMPT + APEX); every *configuration change* pays
+//! the `omp_set_num_threads`/`omp_set_schedule` cost (≈8 ms on Crill) —
+//! present in both Online and Offline strategies because ARCS applies the
+//! configuration at region entry. Overhead time is charged at near-idle
+//! package power ([`overhead_power_w`]; the paper: "these overheads are
+//! not energy hungry computation").
+
+use crate::config::OmpConfig;
+use crate::report::{AppRunReport, RegionSummary};
+use crate::tuner::{RegionTuner, TunerOptions, TuningMode};
+use arcs_harmony::History;
+use arcs_powersim::{Machine, RegionModel, WorkloadDescriptor};
+use std::collections::BTreeMap;
+
+/// Per-thread aggregates of one region invocation, unscaled by measurement
+/// noise (the profile metrics the paper reads through OMPT + TAU).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegionFeatures {
+    /// Total per-thread loop-body time (OMPT `OpenMP_LOOP`), seconds.
+    pub busy_s: f64,
+    /// Total per-thread barrier wait (OMPT `OpenMP_BARRIER`), seconds.
+    pub barrier_s: f64,
+    pub l1_miss_rate: f64,
+    pub l2_miss_rate: f64,
+    pub l3_miss_rate: f64,
+}
+
+/// What one region invocation measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Wall-clock duration as the instrumentation saw it — including
+    /// measurement noise where the backend models it, seconds.
+    pub time_s: f64,
+    /// Package energy attributed to the invocation, joules.
+    pub energy_j: f64,
+    pub features: RegionFeatures,
+}
+
+/// An execution substrate: something that can run one parallel region at
+/// one configuration and account for time and energy.
+///
+/// Implementations: [`crate::executor::SimExecutor`] (deterministic
+/// power-capped machine simulator) and [`crate::live::LiveExecutor`] (real
+/// `arcs-omprt` threads). The driver functions below own everything else.
+pub trait Backend {
+    /// The machine model being executed on (source of §III-C constants).
+    fn machine(&self) -> &Machine;
+
+    /// Effective package power cap, watts.
+    fn power_cap_w(&self) -> f64;
+
+    /// Reset per-run energy accounting; called once at run start.
+    fn begin_run(&mut self);
+
+    /// Charge `dt_s` seconds of tuning overhead at near-idle package power
+    /// (§III-C). Only called with `dt_s > 0`.
+    fn charge_overhead(&mut self, dt_s: f64);
+
+    /// Execute one invocation of `region` at `cfg`, advancing the
+    /// backend's clock and energy accounting.
+    fn run_region(&mut self, region: &RegionModel, cfg: OmpConfig) -> Measurement;
+
+    /// Cumulative package energy since [`begin_run`](Backend::begin_run),
+    /// joules. Sampled once per region invocation by the driver.
+    fn energy_j(&mut self) -> f64;
+
+    /// Introspection hook, called once per invocation after energy
+    /// sampling (the simulator routes this into APEX). Default: no-op.
+    fn record_sample(&mut self, _region: &str, _time_s: f64, _energy_total_j: f64) {}
+}
+
+/// Package power during tuning overheads: uncore + idle cores + a
+/// lightly-busy master core. The single definition shared by every
+/// backend.
+pub fn overhead_power_w(m: &Machine) -> f64 {
+    let p_core_base = m.power.c0 + m.power.c1 * m.f_base_ghz.powi(3);
+    m.sockets as f64 * m.power.p_uncore_w
+        + m.total_cores() as f64 * m.power.p_core_idle_w
+        + 0.3 * p_core_base
+}
+
+/// Run the whole application at the paper's default configuration
+/// (no instrumentation, no tuning).
+pub fn run_default<B: Backend>(b: &mut B, wl: &WorkloadDescriptor) -> AppRunReport {
+    let cfg = OmpConfig::default_for(b.machine());
+    run_fixed(b, wl, &|_| cfg, "default")
+}
+
+/// Run the whole application with a fixed per-region configuration map
+/// (no tuner, no overheads) — used for oracle/ablation comparisons.
+pub fn run_fixed<B: Backend>(
+    b: &mut B,
+    wl: &WorkloadDescriptor,
+    config_for: &dyn Fn(&str) -> OmpConfig,
+    strategy: &str,
+) -> AppRunReport {
+    let mut acc = Accum::new(b, wl, strategy);
+    for _ts in 0..wl.timesteps {
+        for region in &wl.step {
+            let cfg = config_for(&region.name);
+            let meas = b.run_region(region, cfg);
+            acc.region(b, &region.name, cfg, &meas, 0.0, 0.0);
+        }
+    }
+    acc.finish(b, None)
+}
+
+/// Run the application under an ARCS tuner (Online, Offline-train or
+/// Offline-replay, depending on the tuner's mode).
+pub fn run_tuned<B: Backend>(
+    b: &mut B,
+    wl: &WorkloadDescriptor,
+    tuner: &mut RegionTuner,
+) -> AppRunReport {
+    // Callers (runs::*) relabel with the specific strategy name.
+    let mut acc = Accum::new(b, wl, "arcs");
+    for _ts in 0..wl.timesteps {
+        for region in &wl.step {
+            let decision = tuner.begin(&region.name);
+            // The change cost fires whenever the global ICVs must move —
+            // with per-region configurations that is typically on every
+            // entry of every region whose config differs from its
+            // predecessor's, reproducing the paper's per-invocation
+            // overhead on the tiny LULESH regions (§III-C).
+            let change_s = if decision.changed { b.machine().config_change_s } else { 0.0 };
+            // Selective tuning detaches the region from measurement as
+            // well ("avoid overheads on the smaller regions").
+            let instr_s = if decision.tuned { b.machine().instrumentation_s } else { 0.0 };
+            let overhead_s = change_s + instr_s;
+            if overhead_s > 0.0 {
+                b.charge_overhead(overhead_s);
+            }
+            let meas = b.run_region(region, decision.config);
+            // The tuner optimises the region time the APEX timer saw —
+            // including the measurement noise, as on a real machine.
+            tuner.end(&region.name, meas.time_s);
+            acc.region(b, &region.name, decision.config, &meas, change_s, instr_s);
+        }
+    }
+    acc.finish(b, Some(tuner))
+}
+
+/// ARCS-Offline training: repeat the application until every region's
+/// exhaustive sweep has converged, then export the history file. The
+/// training executions are not measured (the paper measures only the
+/// second execution, which replays the saved optimum).
+pub fn train_offline<B: Backend>(
+    b: &mut B,
+    wl: &WorkloadDescriptor,
+    options: TunerOptions,
+    context: &str,
+) -> History<OmpConfig> {
+    assert!(
+        matches!(options.mode, TuningMode::OfflineTrain),
+        "train_offline requires TuningMode::OfflineTrain"
+    );
+    let mut tuner = RegionTuner::new(options);
+    // Bound the number of training executions defensively; each pass
+    // offers `timesteps` measurements per region against a 252-point
+    // space, so a handful of passes always suffices.
+    for _pass in 0..64 {
+        let _ = run_tuned(b, wl, &mut tuner);
+        if tuner.converged() {
+            break;
+        }
+    }
+    assert!(tuner.converged(), "offline training failed to converge");
+    tuner.export_history(context)
+}
+
+/// Shared accumulation for all run flavours: the ONE place overheads,
+/// per-region aggregates and report assembly live.
+struct Accum {
+    app: String,
+    strategy: String,
+    time_s: f64,
+    config_overhead_s: f64,
+    instr_overhead_s: f64,
+    per_region: BTreeMap<String, RegionSummary>,
+}
+
+impl Accum {
+    fn new<B: Backend>(b: &mut B, wl: &WorkloadDescriptor, strategy: &str) -> Self {
+        b.begin_run();
+        Accum {
+            app: wl.name.clone(),
+            strategy: strategy.to_string(),
+            time_s: 0.0,
+            config_overhead_s: 0.0,
+            instr_overhead_s: 0.0,
+            per_region: Default::default(),
+        }
+    }
+
+    fn region<B: Backend>(
+        &mut self,
+        b: &mut B,
+        name: &str,
+        cfg: OmpConfig,
+        meas: &Measurement,
+        change_s: f64,
+        instr_s: f64,
+    ) {
+        let overhead_s = change_s + instr_s;
+        self.time_s += meas.time_s + overhead_s;
+        self.config_overhead_s += change_s;
+        self.instr_overhead_s += instr_s;
+
+        let entry = self.per_region.entry(name.to_string()).or_default();
+        entry.invocations += 1;
+        entry.total_time_s += meas.time_s;
+        entry.busy_s += meas.features.busy_s;
+        entry.barrier_s += meas.features.barrier_s;
+        let k = entry.invocations as f64;
+        entry.l1_miss_rate += (meas.features.l1_miss_rate - entry.l1_miss_rate) / k;
+        entry.l2_miss_rate += (meas.features.l2_miss_rate - entry.l2_miss_rate) / k;
+        entry.l3_miss_rate += (meas.features.l3_miss_rate - entry.l3_miss_rate) / k;
+        entry.final_config = Some(cfg);
+
+        let energy_total_j = b.energy_j();
+        b.record_sample(name, meas.time_s, energy_total_j);
+    }
+
+    fn finish<B: Backend>(self, b: &mut B, tuner: Option<&RegionTuner>) -> AppRunReport {
+        AppRunReport {
+            app: self.app,
+            machine: b.machine().name.clone(),
+            power_cap_w: b.power_cap_w(),
+            strategy: self.strategy,
+            time_s: self.time_s,
+            energy_j: b.energy_j(),
+            config_change_overhead_s: self.config_overhead_s,
+            instrumentation_overhead_s: self.instr_overhead_s,
+            per_region: self.per_region,
+            tuner: tuner.map(|t| t.stats()),
+        }
+    }
+}

@@ -218,7 +218,7 @@ mod tests {
     }
 
     #[test]
-    fn every_grid_point_decodes(){
+    fn every_grid_point_decodes() {
         let c = ConfigSpace::crill();
         let space = c.to_search_space();
         assert_eq!(space.size(), c.size());

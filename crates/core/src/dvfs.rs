@@ -91,10 +91,7 @@ impl DvfsSpace {
 
     pub fn decode(&self, point: &[usize]) -> DvfsConfig {
         assert_eq!(point.len(), 4, "DVFS points are (threads, schedule, chunk, freq)");
-        DvfsConfig {
-            omp: self.base.decode(&point[..3]),
-            freq_ghz: self.freqs_ghz[point[3]],
-        }
+        DvfsConfig { omp: self.base.decode(&point[..3]), freq_ghz: self.freqs_ghz[point[3]] }
     }
 
     /// The default point: base default configuration at uncapped frequency.
@@ -151,11 +148,7 @@ mod tests {
     use arcs_kernels::{model, Class};
 
     fn z_solve() -> RegionModel {
-        model::sp(Class::B)
-            .step
-            .into_iter()
-            .find(|r| r.name.ends_with("z_solve"))
-            .unwrap()
+        model::sp(Class::B).step.into_iter().find(|r| r.name.ends_with("z_solve")).unwrap()
     }
 
     #[test]
@@ -175,22 +168,10 @@ mod tests {
         let m = Machine::crill();
         let s = DvfsSpace::for_machine(&m, 4);
         let region = z_solve();
-        let time_best = tune_region(
-            &m,
-            115.0,
-            &region,
-            &s,
-            Objective::Time,
-            StrategyKind::exhaustive(),
-        );
-        let energy_best = tune_region(
-            &m,
-            115.0,
-            &region,
-            &s,
-            Objective::Energy,
-            StrategyKind::exhaustive(),
-        );
+        let time_best =
+            tune_region(&m, 115.0, &region, &s, Objective::Time, StrategyKind::exhaustive());
+        let energy_best =
+            tune_region(&m, 115.0, &region, &s, Objective::Energy, StrategyKind::exhaustive());
         // The energy optimum uses no more energy than the time optimum...
         assert!(energy_best.report.energy_j <= time_best.report.energy_j + 1e-9);
         // ...and for this stall-dominated region it prefers a clamped clock.
@@ -241,21 +222,24 @@ mod tests {
         let s = DvfsSpace::for_machine(&m, 4);
         let region = z_solve();
         let nm = tune_region(&m, 85.0, &region, &s, Objective::Energy, StrategyKind::nelder_mead());
-        let ex =
-            tune_region(&m, 85.0, &region, &s, Objective::Energy, StrategyKind::exhaustive());
-        assert!(nm.evaluations < ex.evaluations / 3, "NM {} vs exhaustive {}", nm.evaluations, ex.evaluations);
+        let ex = tune_region(&m, 85.0, &region, &s, Objective::Energy, StrategyKind::exhaustive());
+        assert!(
+            nm.evaluations < ex.evaluations / 3,
+            "NM {} vs exhaustive {}",
+            nm.evaluations,
+            ex.evaluations
+        );
         // NM is a local method on a 4-D discrete space: it must clearly
         // beat the default configuration even if it misses the global
         // optimum by some margin.
-        let default_rep = simulate_region_at_freq(
-            &m,
-            85.0,
-            &region,
-            OmpConfig::default_for(&m).as_sim(),
-            None,
+        let default_rep =
+            simulate_region_at_freq(&m, 85.0, &region, OmpConfig::default_for(&m).as_sim(), None);
+        assert!(
+            nm.report.energy_j < default_rep.energy_j * 0.95,
+            "NM {} vs default {}",
+            nm.report.energy_j,
+            default_rep.energy_j
         );
-        assert!(nm.report.energy_j < default_rep.energy_j * 0.95,
-            "NM {} vs default {}", nm.report.energy_j, default_rep.energy_j);
         assert!(nm.report.energy_j <= ex.report.energy_j * 1.6);
     }
 }

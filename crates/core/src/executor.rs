@@ -2,31 +2,32 @@
 //!
 //! [`SimExecutor`] runs a [`WorkloadDescriptor`] on a simulated
 //! power-capped machine, either at the paper's default configuration or
-//! under an ARCS [`RegionTuner`]. Region results are memoised per
-//! (region, configuration) — the simulator is deterministic, so repeated
-//! invocations at the same configuration are identical, which makes
-//! whole-application sweeps cheap.
+//! under an ARCS [`RegionTuner`]. It implements [`Backend`], so the run
+//! loop itself — §III-C overhead charging, energy metering, report
+//! assembly — lives once in [`crate::backend`] and is shared verbatim with
+//! the live path.
 //!
-//! Overheads follow §III-C: every tuned invocation pays the
-//! instrumentation cost (OMPT + APEX); every *configuration change* pays
-//! the `omp_set_num_threads`/`omp_set_schedule` cost (≈8 ms on Crill) —
-//! present in both Online and Offline strategies because ARCS applies the
-//! configuration at region entry. Overhead time is charged at near-idle
-//! package power (the paper: "these overheads are not energy hungry
-//! computation").
+//! Region results are memoised per (region, trip count, configuration,
+//! cap) in a [`SharedSimCache`] — the simulator is deterministic, so
+//! repeated invocations at the same configuration are identical, which
+//! makes whole-application sweeps cheap. By default each executor owns a
+//! private cache; [`SimExecutor::with_shared_cache`] attaches a cache
+//! shared across executors (the sweep engine does this so concurrent
+//! cells never re-simulate a configuration another cell already priced).
 //!
 //! Simulated region durations are also pushed into an optional APEX
 //! instance so profile-based analyses (Fig. 9) read the same introspection
 //! state the live path populates.
 
+use crate::backend::{self, Backend, Measurement, RegionFeatures};
 use crate::config::OmpConfig;
-use crate::report::{AppRunReport, RegionSummary};
-use crate::tuner::{RegionTuner, TunerOptions, TuningMode};
+use crate::report::AppRunReport;
+use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_apex::Apex;
 use arcs_harmony::History;
 use arcs_powersim::{
-    simulate_region, Machine, PackageEnergy, Rapl, RegionModel, SimConfig, SimReport,
-    WorkloadDescriptor,
+    simulate_region, Machine, PackageEnergy, Rapl, RegionModel, SharedSimCache, SimConfig,
+    SimReport, WorkloadDescriptor,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -36,40 +37,53 @@ pub struct SimExecutor {
     pub machine: Machine,
     cap_w: f64,
     rapl: Rapl,
-    // Keyed by (name, trip count, config): the same region id can run at
-    // several sizes (MG invokes each operator at every grid level).
-    cache: HashMap<(String, usize, SimConfig), Arc<SimReport>>,
+    cache: Arc<SharedSimCache>,
     apex: Option<Arc<Apex>>,
     noise: Option<NoiseModel>,
+    energy_meter: PackageEnergy,
+    /// Invocation ordinal per region (feeds the stateless noise model;
+    /// persists across runs so repeated training passes see fresh noise).
+    invocations: HashMap<String, u64>,
 }
 
 /// Multiplicative measurement noise: real testbeds never return the same
 /// region time twice (OS jitter, cache state, DVFS transients). The model
-/// is deterministic given its seed — runs are reproducible — but the
-/// *tuner* sees per-invocation perturbations, which is what resolves
-/// near-tie argmins differently across power caps and workloads on the
-/// paper's machines (see EXPERIMENTS.md deviations D2/D3).
+/// is *stateless*: the factor for an invocation is a pure function of
+/// (seed, region name, invocation ordinal), so it does not depend on the
+/// order in which other regions run — two executors replaying the same
+/// region sequence agree factor-for-factor even if interleaved
+/// differently. Runs are reproducible, but the *tuner* sees
+/// per-invocation perturbations, which is what resolves near-tie argmins
+/// differently across power caps and workloads on the paper's machines
+/// (see EXPERIMENTS.md deviations D2/D3).
 #[derive(Debug, Clone, Copy)]
 pub struct NoiseModel {
     /// Coefficient of variation of the multiplicative factor.
     pub cv: f64,
     pub seed: u64,
-    state: u64,
 }
 
 impl NoiseModel {
     pub fn new(cv: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&cv));
-        NoiseModel { cv, seed, state: seed | 1 }
+        NoiseModel { cv, seed }
     }
 
-    /// Next multiplicative factor (mean 1, cv ≈ `cv`, strictly positive).
-    fn next_factor(&mut self) -> f64 {
-        self.state = self
-            .state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        let u = (self.state >> 33) as f64 / (1u64 << 31) as f64; // [0,1)
+    /// Multiplicative factor for one invocation (mean 1, cv ≈ `cv`,
+    /// strictly positive). Pure: same (seed, region, invocation) → same
+    /// factor, regardless of what ran before.
+    pub fn factor(&self, region: &str, invocation: u64) -> f64 {
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for b in region.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        h ^= invocation.wrapping_mul(0xA24B_AED4_963E_E407);
+        // splitmix64 finaliser.
+        let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
         let a = (self.cv * 3f64.sqrt()).min(0.95);
         1.0 - a + 2.0 * a * u
     }
@@ -79,7 +93,17 @@ impl SimExecutor {
     pub fn new(machine: Machine, cap_w: f64) -> Self {
         let mut rapl = Rapl::new(&machine);
         let cap_w = rapl.set_package_cap(cap_w);
-        SimExecutor { machine, cap_w, rapl, cache: HashMap::new(), apex: None, noise: None }
+        let cache = Arc::new(SharedSimCache::new(&machine.name));
+        SimExecutor {
+            machine,
+            cap_w,
+            rapl,
+            cache,
+            apex: None,
+            noise: None,
+            energy_meter: PackageEnergy::new(),
+            invocations: HashMap::new(),
+        }
     }
 
     /// Route region samples into an APEX instance as well.
@@ -95,43 +119,55 @@ impl SimExecutor {
         self
     }
 
-    fn noise_factor(&mut self) -> f64 {
-        match &mut self.noise {
-            Some(n) => n.next_factor(),
-            None => 1.0,
-        }
+    /// Attach a memo cache shared with other executors. The cache must
+    /// belong to the same machine model — reports are machine-dependent
+    /// and the machine is not part of the cache key.
+    pub fn with_shared_cache(mut self, cache: Arc<SharedSimCache>) -> Self {
+        assert_eq!(
+            cache.machine(),
+            self.machine.name,
+            "shared cache belongs to a different machine model"
+        );
+        self.cache = cache;
+        self
+    }
+
+    /// The memo cache this executor reads and writes.
+    pub fn shared_cache(&self) -> &Arc<SharedSimCache> {
+        &self.cache
     }
 
     pub fn power_cap_w(&self) -> f64 {
         self.cap_w
     }
 
-    /// Memoised single-region simulation.
+    /// Memoised single-region simulation. Looks up by `&str` — the region
+    /// name is only copied into the cache on first miss.
     pub fn simulate(&mut self, region: &RegionModel, cfg: SimConfig) -> Arc<SimReport> {
-        let key = (region.name.clone(), region.iterations, cfg);
-        if let Some(hit) = self.cache.get(&key) {
-            return Arc::clone(hit);
-        }
-        let rep = Arc::new(simulate_region(&self.machine, self.cap_w, region, cfg));
-        self.cache.insert(key, Arc::clone(&rep));
-        rep
+        let (machine, cap_w) = (&self.machine, self.cap_w);
+        self.cache.get_or_insert_with(&region.name, region.iterations, cfg, cap_w, || {
+            simulate_region(machine, cap_w, region, cfg)
+        })
     }
 
-    /// Package power during tuning overheads: uncore + idle cores + a
-    /// lightly-busy master core.
-    fn overhead_power_w(&self) -> f64 {
-        let m = &self.machine;
-        let p_core_base = m.power.c0 + m.power.c1 * m.f_base_ghz.powi(3);
-        m.sockets as f64 * m.power.p_uncore_w
-            + m.total_cores() as f64 * m.power.p_core_idle_w
-            + 0.3 * p_core_base
+    /// Next invocation ordinal for `region` (0-based).
+    fn next_invocation(&mut self, region: &str) -> u64 {
+        match self.invocations.get_mut(region) {
+            Some(n) => {
+                *n += 1;
+                *n
+            }
+            None => {
+                self.invocations.insert(region.to_string(), 0);
+                0
+            }
+        }
     }
 
     /// Run the whole application at the paper's default configuration
     /// (no instrumentation, no tuning).
     pub fn run_default(&mut self, wl: &WorkloadDescriptor) -> AppRunReport {
-        let cfg = OmpConfig::default_for(&self.machine);
-        self.run_fixed(wl, &|_| cfg, "default")
+        backend::run_default(self, wl)
     }
 
     /// Run the whole application with a fixed per-region configuration map
@@ -142,167 +178,77 @@ impl SimExecutor {
         config_for: &dyn Fn(&str) -> OmpConfig,
         strategy: &str,
     ) -> AppRunReport {
-        let mut acc = RunAccumulator::new(self, wl, strategy);
-        for _ts in 0..wl.timesteps {
-            for idx in 0..wl.step.len() {
-                let region = &wl.step[idx];
-                let cfg = config_for(&region.name);
-                let rep = self.simulate(region, cfg.as_sim());
-                let f = self.noise_factor();
-                acc.region(self, &region.name.clone(), cfg, &rep, 0.0, 0.0, f);
-            }
-        }
-        acc.finish(self, None)
+        backend::run_fixed(self, wl, config_for, strategy)
     }
 
     /// Run the application under an ARCS tuner (Online, Offline-train or
     /// Offline-replay, depending on the tuner's mode).
     pub fn run_tuned(&mut self, wl: &WorkloadDescriptor, tuner: &mut RegionTuner) -> AppRunReport {
-        // Callers (runs::*) relabel with the specific strategy name.
-        let mut acc = RunAccumulator::new(self, wl, "arcs");
-        for _ts in 0..wl.timesteps {
-            for idx in 0..wl.step.len() {
-                let region = &wl.step[idx];
-                let decision = tuner.begin(&region.name);
-                // The change cost fires whenever the global ICVs must move —
-                // with per-region configurations that is typically on every
-                // entry of every region whose config differs from its
-                // predecessor's, reproducing the paper's per-invocation
-                // overhead on the tiny LULESH regions (§III-C).
-                let change_s =
-                    if decision.changed { self.machine.config_change_s } else { 0.0 };
-                // Selective tuning detaches the region from measurement as
-                // well ("avoid overheads on the smaller regions").
-                let instr_s =
-                    if decision.tuned { self.machine.instrumentation_s } else { 0.0 };
-                let rep = self.simulate(region, decision.config.as_sim());
-                let f = self.noise_factor();
-                // The tuner optimises the region time the APEX timer saw —
-                // including the measurement noise, as on a real machine.
-                tuner.end(&region.name, rep.time_s * f);
-                acc.region(
-                    self,
-                    &region.name.clone(),
-                    decision.config,
-                    &rep,
-                    change_s,
-                    instr_s,
-                    f,
-                );
-            }
-        }
-        acc.finish(self, Some(tuner))
+        backend::run_tuned(self, wl, tuner)
     }
 
-    /// ARCS-Offline training: repeat the application until every region's
-    /// exhaustive sweep has converged, then export the history file. The
-    /// training executions are not measured (the paper measures only the
-    /// second execution, which replays the saved optimum).
+    /// ARCS-Offline training: see [`backend::train_offline`].
     pub fn train_offline(
         &mut self,
         wl: &WorkloadDescriptor,
         options: TunerOptions,
         context: &str,
     ) -> History<OmpConfig> {
-        assert!(
-            matches!(options.mode, TuningMode::OfflineTrain),
-            "train_offline requires TuningMode::OfflineTrain"
-        );
-        let mut tuner = RegionTuner::new(options);
-        // Bound the number of training executions defensively; each pass
-        // offers `timesteps` measurements per region against a 252-point
-        // space, so a handful of passes always suffices.
-        for _pass in 0..64 {
-            let _ = self.run_tuned(wl, &mut tuner);
-            if tuner.converged() {
-                break;
-            }
-        }
-        assert!(tuner.converged(), "offline training failed to converge");
-        tuner.export_history(context)
+        backend::train_offline(self, wl, options, context)
     }
 }
 
-/// Shared accumulation for all run flavours.
-struct RunAccumulator {
-    app: String,
-    strategy: String,
-    time_s: f64,
-    config_overhead_s: f64,
-    instr_overhead_s: f64,
-    per_region: std::collections::BTreeMap<String, RegionSummary>,
-    energy_meter: PackageEnergy,
-}
+impl Backend for SimExecutor {
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
 
-impl RunAccumulator {
-    fn new(exec: &mut SimExecutor, wl: &WorkloadDescriptor, strategy: &str) -> Self {
-        let mut meter = PackageEnergy::new();
-        meter.sample(&exec.rapl); // prime against the current counter
-        RunAccumulator {
-            app: wl.name.clone(),
-            strategy: strategy.to_string(),
-            time_s: 0.0,
-            config_overhead_s: 0.0,
-            instr_overhead_s: 0.0,
-            per_region: Default::default(),
-            energy_meter: meter,
+    fn power_cap_w(&self) -> f64 {
+        self.cap_w
+    }
+
+    fn begin_run(&mut self) {
+        self.energy_meter = PackageEnergy::new();
+        self.energy_meter.sample(&self.rapl); // prime against the current counter
+    }
+
+    fn charge_overhead(&mut self, dt_s: f64) {
+        let p = backend::overhead_power_w(&self.machine);
+        self.rapl.advance(dt_s, p);
+    }
+
+    fn run_region(&mut self, region: &RegionModel, cfg: OmpConfig) -> Measurement {
+        let rep = self.simulate(region, cfg.as_sim());
+        let inv = self.next_invocation(&region.name);
+        let f = match &self.noise {
+            Some(n) => n.factor(&region.name, inv),
+            None => 1.0,
+        };
+        self.rapl.advance(rep.time_s * f, rep.avg_power_w());
+        Measurement {
+            time_s: rep.time_s * f,
+            energy_j: rep.energy_j * f,
+            features: RegionFeatures {
+                busy_s: rep.busy_total_s(),
+                barrier_s: rep.barrier_total_s(),
+                l1_miss_rate: rep.cache.l1_miss_rate,
+                l2_miss_rate: rep.cache.l2_miss_rate,
+                l3_miss_rate: rep.cache.l3_miss_rate,
+            },
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn region(
-        &mut self,
-        exec: &mut SimExecutor,
-        name: &str,
-        cfg: OmpConfig,
-        rep: &SimReport,
-        change_s: f64,
-        instr_s: f64,
-        noise: f64,
-    ) {
-        let overhead_s = change_s + instr_s;
-        if overhead_s > 0.0 {
-            exec.rapl.advance(overhead_s, exec.overhead_power_w());
-        }
-        exec.rapl.advance(rep.time_s * noise, rep.avg_power_w());
-        self.energy_meter.sample(&exec.rapl);
+    fn energy_j(&mut self) -> f64 {
+        self.energy_meter.sample(&self.rapl)
+    }
 
-        self.time_s += rep.time_s * noise + overhead_s;
-        self.config_overhead_s += change_s;
-        self.instr_overhead_s += instr_s;
-
-        let entry = self.per_region.entry(name.to_string()).or_default();
-        entry.invocations += 1;
-        entry.total_time_s += rep.time_s * noise;
-        entry.busy_s += rep.busy_total_s();
-        entry.barrier_s += rep.barrier_total_s();
-        let k = entry.invocations as f64;
-        entry.l1_miss_rate += (rep.cache.l1_miss_rate - entry.l1_miss_rate) / k;
-        entry.l2_miss_rate += (rep.cache.l2_miss_rate - entry.l2_miss_rate) / k;
-        entry.l3_miss_rate += (rep.cache.l3_miss_rate - entry.l3_miss_rate) / k;
-        entry.final_config = Some(cfg);
-
-        if let Some(apex) = &exec.apex {
-            let task = apex.task(name);
-            apex.sample(task, rep.time_s * noise);
+    fn record_sample(&mut self, region: &str, time_s: f64, energy_total_j: f64) {
+        if let Some(apex) = &self.apex {
+            let task = apex.task(region);
+            apex.sample(task, time_s);
             // Energy introspection: the unwrapped RAPL reading, as a
             // periodic APEX sampler would record it.
-            apex.record_counter("rapl/package_energy_j", self.energy_meter.total_j());
-        }
-    }
-
-    fn finish(self, exec: &SimExecutor, tuner: Option<&RegionTuner>) -> AppRunReport {
-        AppRunReport {
-            app: self.app,
-            machine: exec.machine.name.clone(),
-            power_cap_w: exec.cap_w,
-            strategy: self.strategy,
-            time_s: self.time_s,
-            energy_j: self.energy_meter.total_j(),
-            config_change_overhead_s: self.config_overhead_s,
-            instrumentation_overhead_s: self.instr_overhead_s,
-            per_region: self.per_region,
-            tuner: tuner.map(|t| t.stats()),
+            apex.record_counter("rapl/package_energy_j", energy_total_j);
         }
     }
 }
@@ -315,14 +261,24 @@ pub mod runs {
 
     /// Default configuration, no ARCS.
     pub fn default_run(machine: &Machine, cap_w: f64, wl: &WorkloadDescriptor) -> AppRunReport {
-        SimExecutor::new(machine.clone(), cap_w).run_default(wl)
+        default_run_on(&mut SimExecutor::new(machine.clone(), cap_w), wl)
+    }
+
+    /// [`default_run`] on a caller-built executor (shared cache, noise…).
+    pub fn default_run_on(exec: &mut SimExecutor, wl: &WorkloadDescriptor) -> AppRunReport {
+        exec.run_default(wl)
     }
 
     /// ARCS-Online: Nelder–Mead search and execution in the same run.
     pub fn online_run(machine: &Machine, cap_w: f64, wl: &WorkloadDescriptor) -> AppRunReport {
-        let space = ConfigSpace::for_machine(machine);
+        online_run_on(&mut SimExecutor::new(machine.clone(), cap_w), wl)
+    }
+
+    /// [`online_run`] on a caller-built executor.
+    pub fn online_run_on(exec: &mut SimExecutor, wl: &WorkloadDescriptor) -> AppRunReport {
+        let space = ConfigSpace::for_machine(&exec.machine);
         let mut tuner = RegionTuner::new(TunerOptions::online(space));
-        let mut rep = SimExecutor::new(machine.clone(), cap_w).run_tuned(wl, &mut tuner);
+        let mut rep = exec.run_tuned(wl, &mut tuner);
         rep.strategy = "arcs-online".into();
         rep
     }
@@ -334,14 +290,27 @@ pub mod runs {
         cap_w: f64,
         wl: &WorkloadDescriptor,
     ) -> (AppRunReport, History<OmpConfig>) {
-        let space = ConfigSpace::for_machine(machine);
-        let context = format!("{}.{}.{}W", wl.name, machine.name, cap_w);
-        let mut trainer = SimExecutor::new(machine.clone(), cap_w);
+        offline_run_on(
+            &mut SimExecutor::new(machine.clone(), cap_w),
+            &mut SimExecutor::new(machine.clone(), cap_w),
+            wl,
+        )
+    }
+
+    /// [`offline_run`] on caller-built trainer/replayer executors (the
+    /// paper trains and measures in separate executions, so two executors;
+    /// they may share a memo cache).
+    pub fn offline_run_on(
+        trainer: &mut SimExecutor,
+        replayer: &mut SimExecutor,
+        wl: &WorkloadDescriptor,
+    ) -> (AppRunReport, History<OmpConfig>) {
+        let space = ConfigSpace::for_machine(&trainer.machine);
+        let context = format!("{}.{}.{}W", wl.name, trainer.machine.name, trainer.power_cap_w());
         let history =
             trainer.train_offline(wl, TunerOptions::offline_train(space.clone()), &context);
-        let mut tuner =
-            RegionTuner::new(TunerOptions::offline_replay(space, history.clone()));
-        let mut rep = SimExecutor::new(machine.clone(), cap_w).run_tuned(wl, &mut tuner);
+        let mut tuner = RegionTuner::new(TunerOptions::offline_replay(space, history.clone()));
+        let mut rep = replayer.run_tuned(wl, &mut tuner);
         rep.strategy = "arcs-offline".into();
         (rep, history)
     }
@@ -391,11 +360,8 @@ mod tests {
         // Cross-check against direct integration of the region reports.
         let mut exec = SimExecutor::new(m.clone(), 115.0);
         let cfg = OmpConfig::default_for(&m).as_sim();
-        let direct: f64 = wl
-            .step
-            .iter()
-            .map(|r| exec.simulate(r, cfg).energy_j * wl.timesteps as f64)
-            .sum();
+        let direct: f64 =
+            wl.step.iter().map(|r| exec.simulate(r, cfg).energy_j * wl.timesteps as f64).sum();
         let err = (rep.energy_j - direct).abs() / direct;
         assert!(err < 0.02, "counter {} vs direct {direct}", rep.energy_j);
     }
@@ -425,12 +391,7 @@ mod tests {
         wl.timesteps = 200;
         let base = default_run(&m, 85.0, &wl);
         let on = online_run(&m, 85.0, &wl);
-        assert!(
-            on.time_s < base.time_s,
-            "online {} vs default {}",
-            on.time_s,
-            base.time_s
-        );
+        assert!(on.time_s < base.time_s, "online {} vs default {}", on.time_s, base.time_s);
         assert!(on.tuner.unwrap().config_changes > 0);
     }
 
@@ -460,6 +421,35 @@ mod tests {
             assert_eq!(entry.evaluations, 252);
         }
     }
+
+    #[test]
+    fn shared_cache_is_reused_across_executors() {
+        let m = Machine::crill();
+        let cache = Arc::new(SharedSimCache::new(&m.name));
+        let wl = small_bt();
+        let a = default_run_on(
+            &mut SimExecutor::new(m.clone(), 85.0).with_shared_cache(Arc::clone(&cache)),
+            &wl,
+        );
+        let warm = cache.stats();
+        assert_eq!(warm.hits, 5 * 29); // 5 regions × (30 − first) invocations
+        let b = default_run_on(
+            &mut SimExecutor::new(m.clone(), 85.0).with_shared_cache(Arc::clone(&cache)),
+            &wl,
+        );
+        assert_eq!(a, b);
+        // The second executor never missed: all its lookups hit.
+        let after = cache.stats();
+        assert_eq!(after.misses, warm.misses);
+        assert_eq!(after.hits, warm.hits + 5 * 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine model")]
+    fn shared_cache_rejects_wrong_machine() {
+        let cache = Arc::new(SharedSimCache::new("minotaur"));
+        let _ = SimExecutor::new(Machine::crill(), 85.0).with_shared_cache(cache);
+    }
 }
 
 #[cfg(test)]
@@ -484,6 +474,32 @@ mod noise_tests {
     }
 
     #[test]
+    fn noise_factors_do_not_depend_on_interleaving() {
+        // The stateless model: a region's k-th invocation draws the same
+        // factor whether or not other regions ran in between.
+        let n = NoiseModel::new(0.2, 41);
+        let alone: Vec<f64> = (0..10).map(|i| n.factor("sp/x_solve", i)).collect();
+        let interleaved: Vec<f64> = (0..10)
+            .map(|i| {
+                let _ = n.factor("sp/y_solve", i); // unrelated draws
+                let _ = n.factor("sp/z_solve", i);
+                n.factor("sp/x_solve", i)
+            })
+            .collect();
+        assert_eq!(alone, interleaved);
+        // Distinct regions and ordinals decorrelate.
+        assert_ne!(n.factor("sp/x_solve", 0), n.factor("sp/y_solve", 0));
+        assert_ne!(n.factor("sp/x_solve", 0), n.factor("sp/x_solve", 1));
+    }
+
+    #[test]
+    fn noise_factor_mean_is_one() {
+        let n = NoiseModel::new(0.15, 3);
+        let mean: f64 = (0..10_000).map(|i| n.factor("r", i)).sum::<f64>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
     fn noisy_training_still_finds_good_configs() {
         // Offline training under 15% measurement noise must still deliver
         // most of SP's improvement when its history is replayed on the
@@ -494,11 +510,8 @@ mod noise_tests {
         let clean_base = SimExecutor::new(m.clone(), 115.0).run_default(&wl);
         let space = crate::config::ConfigSpace::for_machine(&m);
         let mut trainer = SimExecutor::new(m.clone(), 115.0).with_noise(0.15, 42);
-        let history = trainer.train_offline(
-            &wl,
-            TunerOptions::offline_train(space.clone()),
-            "noisy",
-        );
+        let history =
+            trainer.train_offline(&wl, TunerOptions::offline_train(space.clone()), "noisy");
         let mut tuner = RegionTuner::new(TunerOptions::offline_replay(space, history));
         let replay = SimExecutor::new(m.clone(), 115.0).run_tuned(&wl, &mut tuner);
         let ratio = replay.time_s / clean_base.time_s;

@@ -15,15 +15,20 @@
 //! * **ARCS-Online** — Nelder–Mead search converges within the same run
 //!   ([`executor::runs::online_run`]).
 //!
-//! Two backends:
+//! Two backends behind one [`backend::Backend`] trait and one run driver:
 //!
-//! * [`live::ArcsLive`] attaches to a real [`arcs_omprt::Runtime`] through
-//!   the OMPT-like tool interface and APEX policies — the paper's Fig. 2
-//!   wiring, adapting real executions;
 //! * [`executor::SimExecutor`] drives the deterministic power-capped
 //!   machine simulator (`arcs-powersim`), which is where the paper's
 //!   power-sweep experiments run (RAPL capping is simulated; see
-//!   DESIGN.md).
+//!   DESIGN.md);
+//! * [`live::LiveExecutor`] runs region models as calibrated spin loops on
+//!   a real [`arcs_omprt::Runtime`] — and [`live::ArcsLive`] attaches ARCS
+//!   to any runtime through the OMPT-like tool interface and APEX policies
+//!   (the paper's Fig. 2 wiring, adapting real executions).
+//!
+//! Whole experiment grids (workload × power cap × strategy) run through
+//! the [`sweep::SweepEngine`], which executes cells concurrently over a
+//! shared per-machine simulation memo cache.
 //!
 //! ## Quickstart (simulator)
 //! ```
@@ -41,18 +46,22 @@
 //! assert_eq!(history.len(), 5); // one best config per SP region
 //! ```
 
+pub mod backend;
 pub mod config;
 pub mod dvfs;
 pub mod executor;
 pub mod live;
 pub mod profiler;
 pub mod report;
+pub mod sweep;
 pub mod tuner;
 
+pub use backend::{overhead_power_w, Backend, Measurement, RegionFeatures};
 pub use config::{ChunkChoice, ConfigSpace, OmpConfig, ScheduleChoice, ThreadChoice};
-pub use executor::{runs, SimExecutor};
 pub use dvfs::{DvfsConfig, DvfsOutcome, DvfsSpace, Objective};
-pub use live::ArcsLive;
+pub use executor::{runs, NoiseModel, SimExecutor};
+pub use live::{ArcsLive, LiveExecutor};
 pub use profiler::{OmptProfiler, RegionProfile};
 pub use report::{AppRunReport, RegionSummary};
+pub use sweep::{CellResult, SweepEngine, SweepGrid, SweepReport, SweepStrategy};
 pub use tuner::{RegionTuner, TunerDecision, TunerOptions, TunerStats, TuningMode};

@@ -15,11 +15,16 @@
 //! modified OpenMP runtime. On timer stop the policy reports the measured
 //! duration back to the session.
 
+use crate::backend::{self, Backend, Measurement, RegionFeatures};
+use crate::config::OmpConfig;
 use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_apex::{Apex, PolicyEventKind, PolicyTrigger};
 use arcs_omprt::{RegionId, RegionRecord, Runtime, Tool};
+use arcs_powersim::{Machine, RegionModel};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The OMPT adapter: translates runtime events into APEX timer calls.
 struct OmptAdapter {
@@ -104,12 +109,153 @@ impl ArcsLive {
     }
 }
 
+/// [`Backend`] over the real `arcs-omprt` runtime: region models execute
+/// as calibrated spin loops on actual worker threads, so the shared driver
+/// in [`crate::backend`] exercises genuine fork/join, scheduling and
+/// barrier behaviour.
+///
+/// What the live path cannot observe it approximates honestly:
+///
+/// * **time** is real wall-clock; each iteration spins for the modelled
+///   per-iteration cost scaled by `time_scale` (keep it small — the point
+///   is relative behaviour, not seconds);
+/// * **energy** has no portable host counter, so invocations are priced
+///   through the machine's power model at the configured cap (overheads
+///   at [`backend::overhead_power_w`], like the simulator);
+/// * **cache miss rates** are not measurable portably and report as 0.
+pub struct LiveExecutor {
+    rt: Arc<Runtime>,
+    machine: Machine,
+    cap_w: f64,
+    /// Multiplier from modelled region seconds to real spin seconds.
+    time_scale: f64,
+    regions: HashMap<String, RegionId>,
+    energy_acc_j: f64,
+}
+
+impl LiveExecutor {
+    /// Wrap a runtime together with the machine model whose workloads it
+    /// will execute. The cap is clamped to the model's RAPL range.
+    pub fn new(rt: Arc<Runtime>, machine: Machine, cap_w: f64) -> Self {
+        let cap_w = cap_w.clamp(machine.power.tdp_w * 0.25, machine.power.tdp_w);
+        LiveExecutor {
+            rt,
+            machine,
+            cap_w,
+            time_scale: 1e-3,
+            regions: HashMap::new(),
+            energy_acc_j: 0.0,
+        }
+    }
+
+    /// Adjust how much real time one modelled second costs (default 1e-3).
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        self.time_scale = scale;
+        self
+    }
+
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.rt
+    }
+
+    fn region_id(&mut self, name: &str) -> RegionId {
+        match self.regions.get(name) {
+            Some(&id) => id,
+            None => {
+                let id = self.rt.register_region(name);
+                self.regions.insert(name.to_string(), id);
+                id
+            }
+        }
+    }
+
+    /// Average package power while `threads` are busy under the cap.
+    fn package_power_w(&self, threads: usize) -> f64 {
+        let m = &self.machine;
+        let active = m.active_cores_per_socket(threads);
+        let max_active = active.iter().copied().max().unwrap_or(0);
+        let f = m.frequency_under_cap(self.cap_w, max_active);
+        let p_core = m.power.c0 + m.power.c1 * f.powi(3);
+        let busy: usize = active.iter().sum();
+        m.sockets as f64 * (m.power.p_uncore_w + m.power.p_dram_background_w)
+            + busy as f64 * p_core
+            + (m.total_cores() - busy) as f64 * m.power.p_core_idle_w
+    }
+}
+
+/// Busy-wait for `ns` nanoseconds (the calibrated stand-in for loop-body
+/// work; sleeping would hide scheduling behaviour from the runtime).
+fn spin_ns(ns: f64) {
+    if ns <= 0.0 {
+        return;
+    }
+    let start = Instant::now();
+    let budget = std::time::Duration::from_nanos(ns as u64);
+    while start.elapsed() < budget {
+        std::hint::spin_loop();
+    }
+}
+
+impl Backend for LiveExecutor {
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn power_cap_w(&self) -> f64 {
+        self.cap_w
+    }
+
+    fn begin_run(&mut self) {
+        self.energy_acc_j = 0.0;
+    }
+
+    fn charge_overhead(&mut self, dt_s: f64) {
+        self.energy_acc_j += dt_s * backend::overhead_power_w(&self.machine);
+    }
+
+    fn run_region(&mut self, region: &RegionModel, cfg: OmpConfig) -> Measurement {
+        let id = self.region_id(&region.name);
+        let threads = cfg.threads.clamp(1, self.rt.max_threads());
+        self.rt.set_num_threads(threads);
+        self.rt.set_schedule(cfg.schedule);
+
+        let weights = region.weights();
+        // cycles / GHz = ns of modelled compute per unit weight.
+        let ns_per_weight = region.cycles_per_iter / self.machine.f_base_ghz * self.time_scale;
+        let start = Instant::now();
+        let rec = self.rt.parallel_for(id, 0..region.iterations, |i| {
+            spin_ns(weights[i] * ns_per_weight);
+        });
+        let wall_s = start.elapsed().as_secs_f64();
+
+        let energy_j = wall_s * self.package_power_w(rec.threads);
+        self.energy_acc_j += energy_j;
+        Measurement {
+            time_s: wall_s,
+            energy_j,
+            features: RegionFeatures {
+                busy_s: rec.total_busy().as_secs_f64(),
+                barrier_s: rec.total_barrier_wait().as_secs_f64(),
+                // No portable hardware counters on the live path.
+                l1_miss_rate: 0.0,
+                l2_miss_rate: 0.0,
+                l3_miss_rate: 0.0,
+            },
+        }
+    }
+
+    fn energy_j(&mut self) -> f64 {
+        self.energy_acc_j
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::ConfigSpace;
-    use arcs_harmony::NmOptions;
     use crate::tuner::TuningMode;
+    use arcs_harmony::NmOptions;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn small_space(default_threads: usize) -> ConfigSpace {
@@ -133,10 +279,7 @@ mod tests {
         let rt = Arc::new(Runtime::new(4));
         let options = TunerOptions {
             space: small_space(4),
-            mode: TuningMode::Online(NmOptions {
-                max_evals: 30,
-                ..NmOptions::default()
-            }),
+            mode: TuningMode::Online(NmOptions { max_evals: 30, ..NmOptions::default() }),
             min_region_time_s: 0.0,
         };
         let live = ArcsLive::attach(Arc::clone(&rt), options);
@@ -181,6 +324,54 @@ mod tests {
         let h = live.export_history("test-ctx");
         assert_eq!(h.context, "test-ctx");
         assert!(h.get("live/export").is_some());
+    }
+
+    #[test]
+    fn live_executor_runs_the_shared_driver() {
+        use arcs_powersim::{ImbalanceProfile, MemoryProfile, StrideClass, WorkloadDescriptor};
+        let region = RegionModel {
+            name: "live/kernel".into(),
+            iterations: 64,
+            cycles_per_iter: 50_000.0,
+            imbalance: ImbalanceProfile::Uniform,
+            memory: MemoryProfile {
+                footprint_bytes: 1e6,
+                accesses_per_iter: 10.0,
+                stride: StrideClass::Medium,
+                temporal_reuse: 0.5,
+                hot_bytes_per_thread: 4096.0,
+            },
+            serial_s: 0.0,
+            critical_s: 0.0,
+        };
+        let wl = WorkloadDescriptor { name: "live-smoke".into(), step: vec![region], timesteps: 6 };
+        let rt = Arc::new(Runtime::new(4));
+        let mut exec = LiveExecutor::new(Arc::clone(&rt), arcs_powersim::Machine::crill(), 85.0)
+            .with_time_scale(1e-2);
+
+        // Default run through the backend-agnostic driver: real threads,
+        // no overheads.
+        let rep = crate::backend::run_default(&mut exec, &wl);
+        assert_eq!(rep.strategy, "default");
+        assert_eq!(rep.machine, "crill");
+        assert_eq!(rep.per_region["live/kernel"].invocations, 6);
+        assert!(rep.time_s > 0.0);
+        assert!(rep.energy_j > 0.0);
+        assert_eq!(rep.config_change_overhead_s, 0.0);
+
+        // Tuned run: overheads are charged by the same driver code path
+        // the simulator uses.
+        let space = small_space(4);
+        let mut tuner = RegionTuner::new(TunerOptions {
+            space,
+            mode: TuningMode::Online(NmOptions { max_evals: 10, ..NmOptions::default() }),
+            min_region_time_s: 0.0,
+        });
+        let tuned = crate::backend::run_tuned(&mut exec, &wl, &mut tuner);
+        let m = exec.machine().clone();
+        assert!((tuned.instrumentation_overhead_s - 6.0 * m.instrumentation_s).abs() < 1e-12);
+        assert!(tuned.config_change_overhead_s > 0.0);
+        assert!(tuned.tuner.unwrap().invocations == 6);
     }
 
     #[test]

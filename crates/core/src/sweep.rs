@@ -1,0 +1,294 @@
+//! The sweep engine: declarative (workload × cap × strategy) grids run
+//! concurrently over a shared memo cache.
+//!
+//! Every paper figure is some such grid — Fig. 4 is SP × 5 caps × 3
+//! strategies, Fig. 8 adds a second machine, the extension suite adds a
+//! selective-tuning strategy. Instead of hand-rolled nested loops per
+//! figure, a [`SweepGrid`] names the axes and [`SweepEngine::run`]
+//! expands, executes and collects the cells.
+//!
+//! Determinism: each cell runs on *fresh* executors (invocation counters
+//! start at zero, noise is stateless), so a cell's [`AppRunReport`] is a
+//! pure function of (machine, workload, cap, strategy, noise) — identical
+//! whether cells run serially or on a worker pool, in any interleaving.
+//! The only shared state is the [`SharedSimCache`], whose values are
+//! deterministic and value-identical regardless of which cell computes
+//! them. `with_workers(1)` gives the serial order for direct comparison.
+
+use crate::config::OmpConfig;
+use crate::executor::{runs, SimExecutor};
+use crate::report::AppRunReport;
+use crate::tuner::{RegionTuner, TunerOptions};
+use arcs_harmony::History;
+use arcs_powersim::{CacheStats, Machine, SharedSimCache, WorkloadDescriptor};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How one sweep cell tunes (or doesn't).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SweepStrategy {
+    /// The paper's baseline configuration, untouched.
+    Default,
+    /// ARCS-Online (Nelder–Mead within the measured run).
+    Online,
+    /// ARCS-Offline (exhaustive training, then a measured replay).
+    Offline,
+    /// ARCS-Online with selective tuning: regions whose mean time falls
+    /// below the threshold are pinned to default and pay no overheads.
+    OnlineSelective { min_region_time_s: f64 },
+}
+
+impl SweepStrategy {
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepStrategy::Default => "default",
+            SweepStrategy::Online => "arcs-online",
+            SweepStrategy::Offline => "arcs-offline",
+            SweepStrategy::OnlineSelective { .. } => "arcs-online-selective",
+        }
+    }
+}
+
+/// A declarative sweep: the full cross product of the three axes, on one
+/// machine, optionally under measurement noise `(cv, seed)`.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    pub machine: Machine,
+    pub workloads: Vec<WorkloadDescriptor>,
+    pub caps_w: Vec<f64>,
+    pub strategies: Vec<SweepStrategy>,
+    pub noise: Option<(f64, u64)>,
+}
+
+impl SweepGrid {
+    pub fn new(machine: Machine) -> Self {
+        SweepGrid {
+            machine,
+            workloads: Vec::new(),
+            caps_w: Vec::new(),
+            strategies: Vec::new(),
+            noise: None,
+        }
+    }
+
+    pub fn workload(mut self, wl: WorkloadDescriptor) -> Self {
+        self.workloads.push(wl);
+        self
+    }
+
+    pub fn caps(mut self, caps_w: &[f64]) -> Self {
+        self.caps_w.extend_from_slice(caps_w);
+        self
+    }
+
+    pub fn strategies(mut self, strategies: &[SweepStrategy]) -> Self {
+        self.strategies.extend_from_slice(strategies);
+        self
+    }
+
+    pub fn with_noise(mut self, cv: f64, seed: u64) -> Self {
+        self.noise = Some((cv, seed));
+        self
+    }
+
+    pub fn cell_count(&self) -> usize {
+        self.workloads.len() * self.caps_w.len() * self.strategies.len()
+    }
+}
+
+/// One executed grid cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    pub workload: String,
+    pub cap_w: f64,
+    pub strategy: SweepStrategy,
+    pub report: AppRunReport,
+    /// The exported training history (Offline cells only).
+    pub history: Option<History<OmpConfig>>,
+}
+
+/// All cells of a sweep plus cache effectiveness over the run.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Workload-major, then cap, then strategy — the declaration order.
+    pub cells: Vec<CellResult>,
+    /// Memo-cache hits/misses accumulated by this sweep alone.
+    pub cache: CacheStats,
+    pub workers: usize,
+}
+
+impl SweepReport {
+    /// The cell for (workload, cap, strategy-label), if present.
+    pub fn cell(&self, workload: &str, cap_w: f64, strategy: &str) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.cap_w == cap_w && c.strategy.label() == strategy)
+    }
+}
+
+/// Runs sweep grids for one machine over one shared memo cache.
+pub struct SweepEngine {
+    machine: Machine,
+    cache: Arc<SharedSimCache>,
+    workers: usize,
+}
+
+impl SweepEngine {
+    pub fn new(machine: Machine) -> Self {
+        let cache = Arc::new(SharedSimCache::new(&machine.name));
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+        SweepEngine { machine, cache, workers }
+    }
+
+    /// Fix the worker-pool size (1 = serial, for determinism checks).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1);
+        self.workers = workers;
+        self
+    }
+
+    /// The cache shared by every cell this engine runs.
+    pub fn cache(&self) -> &Arc<SharedSimCache> {
+        &self.cache
+    }
+
+    /// Execute every cell of `grid` and collect the results in declaration
+    /// order. Cells are distributed over the worker pool; see the module
+    /// docs for why the outcome is identical at any worker count.
+    pub fn run(&self, grid: &SweepGrid) -> SweepReport {
+        assert_eq!(
+            grid.machine.name, self.machine.name,
+            "one engine serves one machine model (its cache is machine-specific)"
+        );
+        let mut cells: Vec<(&WorkloadDescriptor, f64, SweepStrategy)> = Vec::new();
+        for wl in &grid.workloads {
+            for &cap in &grid.caps_w {
+                for &strat in &grid.strategies {
+                    cells.push((wl, cap, strat));
+                }
+            }
+        }
+
+        let before = self.cache.stats();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CellResult>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.workers.min(cells.len()).max(1);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(wl, cap, strat)) = cells.get(idx) else {
+                        break;
+                    };
+                    let result = self.run_cell(wl, cap, strat, grid.noise);
+                    *slots[idx].lock() = Some(result);
+                });
+            }
+        });
+        let results =
+            slots.into_iter().map(|slot| slot.into_inner().expect("every cell ran")).collect();
+        SweepReport { cells: results, cache: self.cache.stats().delta_since(before), workers }
+    }
+
+    fn executor(&self, cap_w: f64, noise: Option<(f64, u64)>) -> SimExecutor {
+        let mut exec = SimExecutor::new(self.machine.clone(), cap_w)
+            .with_shared_cache(Arc::clone(&self.cache));
+        if let Some((cv, seed)) = noise {
+            exec = exec.with_noise(cv, seed);
+        }
+        exec
+    }
+
+    fn run_cell(
+        &self,
+        wl: &WorkloadDescriptor,
+        cap_w: f64,
+        strategy: SweepStrategy,
+        noise: Option<(f64, u64)>,
+    ) -> CellResult {
+        let (report, history) = match strategy {
+            SweepStrategy::Default => {
+                (runs::default_run_on(&mut self.executor(cap_w, noise), wl), None)
+            }
+            SweepStrategy::Online => {
+                (runs::online_run_on(&mut self.executor(cap_w, noise), wl), None)
+            }
+            SweepStrategy::Offline => {
+                let (rep, h) = runs::offline_run_on(
+                    &mut self.executor(cap_w, noise),
+                    &mut self.executor(cap_w, noise),
+                    wl,
+                );
+                (rep, Some(h))
+            }
+            SweepStrategy::OnlineSelective { min_region_time_s } => {
+                let space = crate::config::ConfigSpace::for_machine(&self.machine);
+                let mut tuner = RegionTuner::new(
+                    TunerOptions::online(space).with_min_region_time(min_region_time_s),
+                );
+                let mut rep = self.executor(cap_w, noise).run_tuned(wl, &mut tuner);
+                rep.strategy = strategy.label().into();
+                (rep, None)
+            }
+        };
+        CellResult { workload: wl.name.clone(), cap_w, strategy, report, history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcs_kernels::{model, Class};
+
+    fn grid(machine: Machine) -> SweepGrid {
+        let mut wl = model::sp(Class::B);
+        wl.timesteps = 8;
+        SweepGrid::new(machine)
+            .workload(wl)
+            .caps(&[85.0, 115.0])
+            .strategies(&[SweepStrategy::Default, SweepStrategy::Online])
+    }
+
+    #[test]
+    fn cells_come_back_in_declaration_order() {
+        let m = Machine::crill();
+        let rep = SweepEngine::new(m.clone()).run(&grid(m));
+        assert_eq!(rep.cells.len(), 4);
+        let labels: Vec<_> = rep.cells.iter().map(|c| (c.cap_w, c.strategy.label())).collect();
+        assert_eq!(
+            labels,
+            vec![
+                (85.0, "default"),
+                (85.0, "arcs-online"),
+                (115.0, "default"),
+                (115.0, "arcs-online"),
+            ]
+        );
+        assert!(rep.cell("sp.B", 85.0, "default").is_some());
+        assert!(rep.cell("sp.B", 85.0, "oracle").is_none());
+    }
+
+    #[test]
+    fn engine_rejects_foreign_machine_grids() {
+        let engine = SweepEngine::new(Machine::crill());
+        let foreign = grid(Machine::minotaur());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(&foreign)));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn default_cells_share_cache_work() {
+        // Two workloads share regions with the default cell of the other
+        // cap? No — but a Default cell re-invokes the same 5 configs every
+        // timestep, and the Online cell at the same cap revisits many of
+        // them. The sweep must report cross-cell hits.
+        let m = Machine::crill();
+        let engine = SweepEngine::new(m.clone());
+        let rep = engine.run(&grid(m));
+        assert!(rep.cache.hits > 0);
+        assert!(rep.cache.misses > 0);
+        assert!(rep.workers >= 1);
+    }
+}

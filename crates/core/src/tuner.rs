@@ -52,7 +52,11 @@ pub struct TunerOptions {
 
 impl TunerOptions {
     pub fn online(space: ConfigSpace) -> Self {
-        TunerOptions { space, mode: TuningMode::Online(NmOptions::default()), min_region_time_s: 0.0 }
+        TunerOptions {
+            space,
+            mode: TuningMode::Online(NmOptions::default()),
+            min_region_time_s: 0.0,
+        }
     }
 
     pub fn offline_train(space: ConfigSpace) -> Self {
@@ -209,10 +213,8 @@ impl RegionTuner {
             TuningMode::OfflineReplay(history) => {
                 // "The saved values can be used instead of repeating the
                 // search process." Unknown regions fall back to default.
-                let pinned = history
-                    .get(region)
-                    .map(|e| e.config)
-                    .unwrap_or_else(|| self.default_config());
+                let pinned =
+                    history.get(region).map(|e| e.config).unwrap_or_else(|| self.default_config());
                 RegionState {
                     session: None,
                     pinned: Some(pinned),
@@ -275,9 +277,7 @@ impl RegionTuner {
                 let cfg = st
                     .pinned
                     .or_else(|| {
-                        st.session
-                            .as_ref()
-                            .map(|s| self.options.space.decode(&s.best_point()))
+                        st.session.as_ref().map(|s| self.options.space.decode(&s.best_point()))
                     })
                     .unwrap_or_else(|| self.default_config());
                 (name.clone(), cfg)
@@ -360,7 +360,9 @@ mod tests {
         assert!(tuner.converged(), "online should converge in < 252 runs");
         let best = tuner.best_configs()["r"];
         // Near-optimal: within one thread step and a non-static schedule.
-        assert!(measure(&best) < measure(&OmpConfig::default_for(&arcs_powersim::Machine::crill())));
+        assert!(
+            measure(&best) < measure(&OmpConfig::default_for(&arcs_powersim::Machine::crill()))
+        );
     }
 
     #[test]

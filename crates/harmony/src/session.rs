@@ -146,10 +146,7 @@ impl Session {
 
     /// Best point observed, or the start point if nothing was measured.
     pub fn best_point(&self) -> Point {
-        self.search
-            .best()
-            .map(|(p, _)| p.clone())
-            .unwrap_or_else(|| self.fallback.clone())
+        self.search.best().map(|(p, _)| p.clone()).unwrap_or_else(|| self.fallback.clone())
     }
 
     /// Best (point, value) observed.
@@ -197,10 +194,7 @@ mod tests {
 
     #[test]
     fn exhaustive_session_finds_optimum() {
-        let (s, runs) = drive(
-            Session::new(space(), StrategyKind::exhaustive(), vec![5, 0]),
-            1000,
-        );
+        let (s, runs) = drive(Session::new(space(), StrategyKind::exhaustive(), vec![5, 0]), 1000);
         assert!(s.converged());
         assert_eq!(runs, 36);
         assert_eq!(s.best_point(), vec![2, 4]);
@@ -208,10 +202,7 @@ mod tests {
 
     #[test]
     fn nm_session_converges_with_cache() {
-        let (s, runs) = drive(
-            Session::new(space(), StrategyKind::nelder_mead(), vec![5, 0]),
-            1000,
-        );
+        let (s, runs) = drive(Session::new(space(), StrategyKind::nelder_mead(), vec![5, 0]), 1000);
         assert!(s.converged());
         // Caching means real runs ≤ strategy evaluations.
         assert!(runs <= s.evaluations());
@@ -221,10 +212,8 @@ mod tests {
 
     #[test]
     fn pro_session_converges() {
-        let (s, _) = drive(
-            Session::new(space(), StrategyKind::parallel_rank_order(), vec![0, 0]),
-            1000,
-        );
+        let (s, _) =
+            drive(Session::new(space(), StrategyKind::parallel_rank_order(), vec![0, 0]), 1000);
         assert!(s.converged());
         let best = s.best_point();
         assert!(objective(&best) <= 4.0, "best={best:?}");
@@ -232,10 +221,7 @@ mod tests {
 
     #[test]
     fn converged_session_replays_best_forever() {
-        let (mut s, _) = drive(
-            Session::new(space(), StrategyKind::exhaustive(), vec![0, 0]),
-            1000,
-        );
+        let (mut s, _) = drive(Session::new(space(), StrategyKind::exhaustive(), vec![0, 0]), 1000);
         let best = s.best_point();
         for _ in 0..5 {
             assert_eq!(s.next_point(), best);

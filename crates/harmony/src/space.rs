@@ -55,8 +55,7 @@ impl SearchSpace {
 
     /// Is `point` inside the grid?
     pub fn contains(&self, point: &[usize]) -> bool {
-        point.len() == self.dim()
-            && point.iter().zip(&self.params).all(|(&i, p)| i < p.levels)
+        point.len() == self.dim() && point.iter().zip(&self.params).all(|(&i, p)| i < p.levels)
     }
 
     /// Decode a flat rank in `[0, size)` into a point (row-major order:

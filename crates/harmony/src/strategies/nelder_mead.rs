@@ -154,20 +154,14 @@ impl NelderMead {
     }
 
     fn sort_simplex(&mut self) {
-        self.simplex
-            .sort_by(|a, b| a.f.partial_cmp(&b.f).unwrap_or(std::cmp::Ordering::Equal));
+        self.simplex.sort_by(|a, b| a.f.partial_cmp(&b.f).unwrap_or(std::cmp::Ordering::Equal));
     }
 
     fn diameter(&self) -> f64 {
         let best = &self.simplex[0].x;
         self.simplex[1..]
             .iter()
-            .map(|v| {
-                v.x.iter()
-                    .zip(best)
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0, f64::max)
-            })
+            .map(|v| v.x.iter().zip(best).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max))
             .fold(0.0, f64::max)
     }
 
@@ -214,11 +208,8 @@ impl NelderMead {
     fn propose(&self, centroid: &[f64], coeff: f64) -> Vec<f64> {
         // x = centroid + coeff * (centroid - worst)
         let worst = &self.simplex.last().unwrap().x;
-        let mut x: Vec<f64> = centroid
-            .iter()
-            .zip(worst)
-            .map(|(c, w)| c + coeff * (c - w))
-            .collect();
+        let mut x: Vec<f64> =
+            centroid.iter().zip(worst).map(|(c, w)| c + coeff * (c - w)).collect();
         self.space.clamp(&mut x);
         x
     }
@@ -294,17 +285,14 @@ impl Search for NelderMead {
                 if value < f_best {
                     // Try expanding further along the same direction.
                     let xe = self.propose(&centroid, self.opts.alpha * self.opts.gamma);
-                    self.pending =
-                        Some(Pending { x: xe, role: Role::Expand { xr: x, fr: value } });
+                    self.pending = Some(Pending { x: xe, role: Role::Expand { xr: x, fr: value } });
                 } else if value < f_second_worst {
                     *self.simplex.last_mut().unwrap() = Vertex { x, f: value };
                 } else if value < f_worst {
                     // Outside contraction: between centroid and reflection.
                     let xc = self.propose(&centroid, self.opts.alpha * self.opts.rho);
-                    self.pending = Some(Pending {
-                        x: xc,
-                        role: Role::ContractOutside { xr: x, fr: value },
-                    });
+                    self.pending =
+                        Some(Pending { x: xc, role: Role::ContractOutside { xr: x, fr: value } });
                 } else {
                     // Inside contraction: between centroid and worst.
                     let xc = self.propose(&centroid, -self.opts.rho);
@@ -319,10 +307,7 @@ impl Search for NelderMead {
                 if value <= fr {
                     *self.simplex.last_mut().unwrap() = Vertex { x, f: value };
                 } else {
-                    self.simplex
-                        .last_mut()
-                        .map(|w| *w = Vertex { x: xr, f: fr })
-                        .unwrap();
+                    self.simplex.last_mut().map(|w| *w = Vertex { x: xr, f: fr }).unwrap();
                     self.begin_shrink();
                 }
             }

@@ -345,10 +345,7 @@ mod tests {
         SearchSpace::new(vec![Param::new("a", 13), Param::new("b", 13)])
     }
 
-    fn run<F: FnMut(&[usize]) -> f64>(
-        mut s: ParallelRankOrder,
-        mut f: F,
-    ) -> (Point, f64, usize) {
+    fn run<F: FnMut(&[usize]) -> f64>(mut s: ParallelRankOrder, mut f: F) -> (Point, f64, usize) {
         while let Some(p) = s.ask() {
             let v = f(&p);
             s.tell(v);
@@ -360,9 +357,7 @@ mod tests {
     #[test]
     fn minimises_convex_bowl() {
         let s = ParallelRankOrder::new(space(), &[12, 12], ProOptions::default());
-        let (best, val, _) = run(s, |p| {
-            (p[0] as f64 - 4.0).powi(2) + (p[1] as f64 - 7.0).powi(2)
-        });
+        let (best, val, _) = run(s, |p| (p[0] as f64 - 4.0).powi(2) + (p[1] as f64 - 7.0).powi(2));
         assert!(val <= 2.0, "best={best:?} val={val}");
     }
 

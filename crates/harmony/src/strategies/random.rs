@@ -30,8 +30,7 @@ impl RandomSearch {
         while size > 1 && gcd(stride, size) != 1 {
             stride += 2;
         }
-        let offset =
-            (seed.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as usize % size.max(1);
+        let offset = (seed.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as usize % size.max(1);
         RandomSearch {
             space,
             next_index: 0,
@@ -81,8 +80,7 @@ impl Search for RandomSearch {
     }
 
     fn converged(&self) -> bool {
-        self.pending.is_none()
-            && (self.evals >= self.max_evals || self.evals >= self.space.size())
+        self.pending.is_none() && (self.evals >= self.max_evals || self.evals >= self.space.size())
     }
 
     fn evaluations(&self) -> usize {

@@ -2,22 +2,17 @@
 //! optimality of the exhaustive sweep, and serialisation.
 
 use arcs_harmony::{
-    History, NelderMead, NmOptions, Param, ParallelRankOrder, ProOptions, Search,
-    SearchSpace, Session, StrategyKind,
+    History, NelderMead, NmOptions, ParallelRankOrder, Param, ProOptions, Search, SearchSpace,
+    Session, StrategyKind,
 };
 use proptest::prelude::*;
 
 fn arb_space() -> impl Strategy<Value = SearchSpace> {
-    proptest::collection::vec(1usize..8, 1..4)
-        .prop_map(|levels| {
-            SearchSpace::new(
-                levels
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, l)| Param::new(format!("p{i}"), l))
-                    .collect(),
-            )
-        })
+    proptest::collection::vec(1usize..8, 1..4).prop_map(|levels| {
+        SearchSpace::new(
+            levels.into_iter().enumerate().map(|(i, l)| Param::new(format!("p{i}"), l)).collect(),
+        )
+    })
 }
 
 /// A deterministic pseudo-random objective derived from the point.

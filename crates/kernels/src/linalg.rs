@@ -113,12 +113,7 @@ pub fn invert(a: &Mat5) -> Option<Mat5> {
 /// `x_solve`/`y_solve`/`z_solve` inner line solve of BT.
 ///
 /// Returns `false` if a diagonal block became singular.
-pub fn block_tridiag_solve(
-    a: &mut [Mat5],
-    b: &mut [Mat5],
-    c: &mut [Mat5],
-    r: &mut [Vec5],
-) -> bool {
+pub fn block_tridiag_solve(a: &mut [Mat5], b: &mut [Mat5], c: &mut [Mat5], r: &mut [Vec5]) -> bool {
     let n = r.len();
     debug_assert!(a.len() == n && b.len() == n && c.len() == n);
     if n == 0 {
@@ -162,9 +157,7 @@ pub fn penta_solve(
     r: &mut [f64],
 ) -> bool {
     let n = r.len();
-    debug_assert!(
-        e.len() == n && a.len() == n && b.len() == n && c.len() == n && f.len() == n
-    );
+    debug_assert!(e.len() == n && a.len() == n && b.len() == n && c.len() == n && f.len() == n);
     if n == 0 {
         return true;
     }
@@ -369,14 +362,7 @@ mod tests {
     fn penta_solve_degenerate_sizes() {
         // n = 1
         let mut r = vec![6.0];
-        assert!(penta_solve(
-            &mut [0.0],
-            &mut [0.0],
-            &mut [2.0],
-            &mut [0.0],
-            &mut [0.0],
-            &mut r
-        ));
+        assert!(penta_solve(&mut [0.0], &mut [0.0], &mut [2.0], &mut [0.0], &mut [0.0], &mut r));
         assert!((r[0] - 3.0).abs() < 1e-12);
         // n = 2
         let mut r = vec![3.0, 5.0];

@@ -169,11 +169,7 @@ impl Lulesh {
         let p = |n: usize| self.coord[c[n]];
         let d = |a: [f64; 3], b: [f64; 3]| [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
         let cross = |a: [f64; 3], b: [f64; 3]| {
-            [
-                a[1] * b[2] - a[2] * b[1],
-                a[2] * b[0] - a[0] * b[2],
-                a[0] * b[1] - a[1] * b[0],
-            ]
+            [a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]]
         };
         let dot = |a: [f64; 3], b: [f64; 3]| a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
         // Split into five tetrahedra off corner 0.
@@ -276,9 +272,7 @@ impl Lulesh {
                 let p = self.coord[n];
                 let center = 0.5;
                 let dir = [p[0] - center, p[1] - center, p[2] - center];
-                let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2])
-                    .sqrt()
-                    .max(1e-9);
+                let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]).sqrt().max(1e-9);
                 for d in 0..3 {
                     self.force[n][d] += f * dir[d] / norm * 1e-3;
                 }
@@ -322,10 +316,9 @@ impl Lulesh {
                 // The blast centre works harder (extra damping iterations).
                 let (i, j, k) = me.elem_coords(e);
                 let cc = mesh as f64 / 2.0;
-                let r2 = ((i as f64 - cc).powi(2)
-                    + (j as f64 - cc).powi(2)
-                    + (k as f64 - cc).powi(2))
-                    / (3.0 * cc * cc);
+                let r2 =
+                    ((i as f64 - cc).powi(2) + (j as f64 - cc).powi(2) + (k as f64 - cc).powi(2))
+                        / (3.0 * cc * cc);
                 let extra = if r2 < 0.1 { 3 } else { 1 };
                 let mut damp = acc;
                 for _ in 0..extra {
@@ -398,9 +391,7 @@ impl Lulesh {
             let me = &*self;
             self.rt.parallel_for(self.regions.monotonic_q, 0..ne, |e| {
                 let (i, j, k) = me.elem_coords(e);
-                let s = |ii: usize, jj: usize, kk: usize| {
-                    strain[(kk * mesh + jj) * mesh + ii]
-                };
+                let s = |ii: usize, jj: usize, kk: usize| strain[(kk * mesh + jj) * mesh + ii];
                 let gx = if i > 0 && i + 1 < mesh {
                     (s(i + 1, j, k) - s(i - 1, j, k)) * 0.5
                 } else {
@@ -464,9 +455,7 @@ impl Lulesh {
             self.rt.parallel_for(self.regions.lagrange_elements, 0..ne, |e| {
                 // dV/dt = V · div(v); clamp to keep the element invertible.
                 let v = volume[e] * (1.0 + strain[e] * dt);
-                unsafe {
-                    *out.get_mut(e) = v.clamp(ref_volume[e] * 1e-3, ref_volume[e] * 1e3)
-                };
+                unsafe { *out.get_mut(e) = v.clamp(ref_volume[e] * 1e-3, ref_volume[e] * 1e3) };
             });
         }
         self.volume = new_vol;

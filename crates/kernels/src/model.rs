@@ -143,7 +143,11 @@ pub fn bt(class: Class) -> WorkloadDescriptor {
             4.0,
         ),
     ];
-    WorkloadDescriptor { name: format!("bt.{}", class.name()), step, timesteps: npb_timesteps(class) }
+    WorkloadDescriptor {
+        name: format!("bt.{}", class.name()),
+        step,
+        timesteps: npb_timesteps(class),
+    }
 }
 
 /// SP descriptor: same region structure as BT, lighter flops, heavier and
@@ -215,7 +219,11 @@ pub fn sp(class: Class) -> WorkloadDescriptor {
             4.0,
         ),
     ];
-    WorkloadDescriptor { name: format!("sp.{}", class.name()), step, timesteps: npb_timesteps(class) }
+    WorkloadDescriptor {
+        name: format!("sp.{}", class.name()),
+        step,
+        timesteps: npb_timesteps(class),
+    }
 }
 
 /// LULESH descriptor for an edge size of `mesh` elements. The descriptor
@@ -522,11 +530,8 @@ mod tests {
             assert!(crate::lulesh::REGION_NAMES.contains(n));
         }
         // Pressure appears three times per step.
-        let pressure_count = d
-            .step
-            .iter()
-            .filter(|r| r.name == "lulesh/CalcPressureForElems")
-            .count();
+        let pressure_count =
+            d.step.iter().filter(|r| r.name == "lulesh/CalcPressureForElems").count();
         assert_eq!(pressure_count, 3);
     }
 
@@ -544,8 +549,7 @@ mod tests {
             (0.04..0.17).contains(&t_eos),
             "EvalEOS per-call {t_eos} outside the paper's regime"
         );
-        let pres =
-            d.step.iter().find(|r| r.name.ends_with("CalcPressureForElems")).unwrap();
+        let pres = d.step.iter().find(|r| r.name.ends_with("CalcPressureForElems")).unwrap();
         let t_p = simulate_region(&m, 115.0, pres, cfg).time_s;
         assert!((0.006..0.035).contains(&t_p), "CalcPressure per-call {t_p}");
         let overhead = m.config_change_s;
@@ -560,8 +564,7 @@ mod tests {
         let m = Machine::crill();
         let d = bt(Class::B);
         let cfg = default_cfg(&m);
-        let step_time: f64 =
-            d.step.iter().map(|r| simulate_region(&m, 115.0, r, cfg).time_s).sum();
+        let step_time: f64 = d.step.iter().map(|r| simulate_region(&m, 115.0, r, cfg).time_s).sum();
         let app = step_time * d.timesteps as f64;
         assert!((10.0..400.0).contains(&app), "BT.B app time {app}s");
     }
@@ -597,8 +600,7 @@ mod tests {
     fn lulesh_fine_loops_are_balanced_by_default() {
         let m = Machine::crill();
         let d = lulesh(45);
-        let kin =
-            d.step.iter().find(|r| r.name.ends_with("CalcKinematicsForElems")).unwrap();
+        let kin = d.step.iter().find(|r| r.name.ends_with("CalcKinematicsForElems")).unwrap();
         let rep = simulate_region(&m, 115.0, kin, default_cfg(&m));
         assert!(rep.imbalance() < 0.05, "kinematics imbalance {}", rep.imbalance());
     }
@@ -642,11 +644,16 @@ mod tests {
         let _ = space;
         for threads in [2usize, 4, 8, 16, 24, 32] {
             for sched in [Schedule::static_block(), Schedule::dynamic(64), Schedule::guided(8)] {
-                let t = simulate_region(&m, 115.0, r, SimConfig { threads, schedule: sched }).time_s;
+                let t =
+                    simulate_region(&m, 115.0, r, SimConfig { threads, schedule: sched }).time_s;
                 best = best.min(t);
             }
         }
-        assert!(best >= def.time_s * 0.97, "EP should have ≤3% headroom: best {best} vs default {}", def.time_s);
+        assert!(
+            best >= def.time_s * 0.97,
+            "EP should have ≤3% headroom: best {best} vs default {}",
+            def.time_s
+        );
     }
 
     #[test]
@@ -658,12 +665,8 @@ mod tests {
         expect.sort_unstable();
         assert_eq!(names, expect);
         // The psinv region appears at several distinct trip counts.
-        let sizes: std::collections::BTreeSet<usize> = d
-            .step
-            .iter()
-            .filter(|r| r.name == "mg/psinv")
-            .map(|r| r.iterations)
-            .collect();
+        let sizes: std::collections::BTreeSet<usize> =
+            d.step.iter().filter(|r| r.name == "mg/psinv").map(|r| r.iterations).collect();
         assert!(sizes.len() >= 5, "expected multi-scale psinv, got {sizes:?}");
     }
 

@@ -279,9 +279,9 @@ impl BtSolver {
 #[inline]
 fn line_point(axis: usize, t: usize, fixed1: usize, fixed2: usize) -> (usize, usize, usize) {
     match axis {
-        0 => (t, fixed1, fixed2),  // line along i; fixed j, parallel k
-        1 => (fixed1, t, fixed2),  // line along j; fixed i, parallel k
-        _ => (fixed1, fixed2, t),  // line along k; fixed i, parallel j
+        0 => (t, fixed1, fixed2), // line along i; fixed j, parallel k
+        1 => (fixed1, t, fixed2), // line along j; fixed i, parallel k
+        _ => (fixed1, fixed2, t), // line along k; fixed i, parallel j
     }
 }
 

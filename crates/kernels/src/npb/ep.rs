@@ -81,12 +81,7 @@ impl Ep {
             },
             EpAccum::merge,
         );
-        EpResult {
-            counts: acc.counts,
-            sum_x: acc.sum_x,
-            sum_y: acc.sum_y,
-            accepted: acc.accepted,
-        }
+        EpResult { counts: acc.counts, sum_x: acc.sum_x, sum_y: acc.sum_y, accepted: acc.accepted }
     }
 }
 

@@ -159,8 +159,7 @@ impl MgSolver {
                         let cur = src.get(i, j, k);
                         // SAFETY: one writer per k-plane.
                         unsafe {
-                            *view.get_mut(view_idx(n, i, j, k)) =
-                                (1.0 - W) * cur + W * jac;
+                            *view.get_mut(view_idx(n, i, j, k)) = (1.0 - W) * cur + W * jac;
                         }
                     }
                 }
@@ -208,7 +207,9 @@ impl MgSolver {
                     for (dk, wk) in [(-1isize, 0.25f64), (0, 0.5), (1, 0.25)] {
                         for (dj, wj) in [(-1isize, 0.25f64), (0, 0.5), (1, 0.25)] {
                             for (di, wi) in [(-1isize, 0.25f64), (0, 0.5), (1, 0.25)] {
-                                s += wi * wj * wk
+                                s += wi
+                                    * wj
+                                    * wk
                                     * fine.get(
                                         (i as isize + di) as usize,
                                         (j as isize + dj) as usize,

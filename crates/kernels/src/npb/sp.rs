@@ -173,11 +173,7 @@ impl SpSolver {
                     e[t] = if t >= 2 { r_e4 } else { 0.0 };
                     a[t] = if t >= 1 { -(cm * r_adv + r_nu + 4.0 * r_e4) } else { 0.0 };
                     b[t] = 1.0 + 2.0 * r_nu + 6.0 * r_e4;
-                    c[t] = if t + 1 < interior {
-                        cm * r_adv - (r_nu + 4.0 * r_e4)
-                    } else {
-                        0.0
-                    };
+                    c[t] = if t + 1 < interior { cm * r_adv - (r_nu + 4.0 * r_e4) } else { 0.0 };
                     f[t] = if t + 2 < interior { r_e4 } else { 0.0 };
                     let (i, j, k) = line_point(axis, t + 1, fixed1, fixed2);
                     // SAFETY: lines are disjoint across threads.

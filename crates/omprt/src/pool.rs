@@ -52,12 +52,7 @@ impl Pool {
     pub fn new(max_threads: usize) -> Self {
         assert!(max_threads >= 1, "a team needs at least one thread");
         let shared = Arc::new(Shared {
-            state: Mutex::new(EpochState {
-                epoch: 0,
-                job: None,
-                nthreads: 0,
-                shutdown: false,
-            }),
+            state: Mutex::new(EpochState { epoch: 0, job: None, nthreads: 0, shutdown: false }),
             wake: Condvar::new(),
             done: Mutex::new(0),
             done_cv: Condvar::new(),

@@ -20,9 +20,7 @@ use std::time::{Duration, Instant};
 
 /// Stable identifier for a parallel region (the analogue of an OMPT
 /// `parallel_id`'s code pointer: one per static region, not per invocation).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RegionId(pub u32);
 
 impl std::fmt::Display for RegionId {
@@ -51,10 +49,7 @@ impl Runtime {
     pub fn new(max_threads: usize) -> Self {
         let pool = Pool::new(max_threads);
         Runtime {
-            icv: Mutex::new(Icv {
-                nthreads: max_threads,
-                schedule: Schedule::runtime_default(),
-            }),
+            icv: Mutex::new(Icv { nthreads: max_threads, schedule: Schedule::runtime_default() }),
             pool,
             names: RwLock::new(Vec::new()),
             by_name: Mutex::new(HashMap::new()),
@@ -133,7 +128,12 @@ impl Runtime {
     /// Work-share `range` across the current team, invoking `body` once per
     /// chunk (a contiguous sub-range). This is the preferred entry point for
     /// cache-aware kernels; [`Runtime::parallel_for`] wraps it per-iteration.
-    pub fn parallel_for_chunks<F>(&self, region: RegionId, range: Range<usize>, body: F) -> RegionRecord
+    pub fn parallel_for_chunks<F>(
+        &self,
+        region: RegionId,
+        range: Range<usize>,
+        body: F,
+    ) -> RegionRecord
     where
         F: Fn(Range<usize>) + Sync,
     {
@@ -378,10 +378,7 @@ mod tests {
             rt.parallel_for(region, 0..103, |i| {
                 hits[i].fetch_add(1, Ordering::Relaxed);
             });
-            assert!(
-                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
-                "schedule {sched}"
-            );
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "schedule {sched}");
         }
     }
 
@@ -446,11 +443,7 @@ mod tests {
     fn reduce_sums_correctly_across_schedules() {
         let rt = rt(4);
         let region = rt.register_region("reduce");
-        for sched in [
-            Schedule::static_block(),
-            Schedule::dynamic(7),
-            Schedule::guided(2),
-        ] {
+        for sched in [Schedule::static_block(), Schedule::dynamic(7), Schedule::guided(2)] {
             rt.set_schedule(sched);
             let (sum, _) = rt.parallel_reduce(region, 0..1000, 0usize, |a, i| a + i, |a, b| a + b);
             assert_eq!(sum, 499_500, "schedule {sched}");
@@ -494,8 +487,7 @@ mod tests {
         let region = rt.register_region("cfg");
         rt.set_num_threads(4);
         rt.set_schedule(Schedule::static_block());
-        let rec =
-            rt.parallel_for_chunks_cfg(region, 2, Schedule::dynamic(1), 0..10, |_c| {});
+        let rec = rt.parallel_for_chunks_cfg(region, 2, Schedule::dynamic(1), 0..10, |_c| {});
         assert_eq!(rec.threads, 2);
         assert_eq!(rt.num_threads(), 4);
         assert_eq!(rt.schedule(), Schedule::static_block());

@@ -303,12 +303,7 @@ mod tests {
     #[test]
     fn static_block_sizes_differ_by_at_most_one() {
         let sizes: Vec<usize> = (0..8)
-            .map(|t| {
-                static_chunks_for_thread(100, 8, None, t)
-                    .iter()
-                    .map(Chunk::len)
-                    .sum()
-            })
+            .map(|t| static_chunks_for_thread(100, 8, None, t).iter().map(Chunk::len).sum())
             .collect();
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();

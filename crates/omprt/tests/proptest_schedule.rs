@@ -3,8 +3,7 @@
 //! heaviest randomised coverage.
 
 use arcs_omprt::schedule::{
-    chunk_count, on_demand_chunk_sizes, static_chunks_for_thread, Dispenser, Schedule,
-    ScheduleKind,
+    chunk_count, on_demand_chunk_sizes, static_chunks_for_thread, Dispenser, Schedule, ScheduleKind,
 };
 use proptest::prelude::*;
 

@@ -66,10 +66,8 @@ pub fn analyze(
     let chunks_per_thread = (n_chunks as f64 / threads as f64).max(1.0);
 
     // SMT occupancy: siblings split private caches and L1 bandwidth.
-    let smt_k = (0..threads)
-        .map(|t| machine.threads_on_core_of(t, threads))
-        .max()
-        .unwrap_or(1) as f64;
+    let smt_k =
+        (0..threads).map(|t| machine.threads_on_core_of(t, threads)).max().unwrap_or(1) as f64;
 
     // Chunking, measured in *bytes*.
     let bytes_per_iter = (mem.footprint_bytes / iters as f64).max(1.0);
@@ -113,9 +111,9 @@ pub fn analyze(
     let socket_ws = mem.footprint_bytes * coverage;
     // Concurrent streams claim L3 for their buffers; SMT doubles pressure.
     let l3_bytes = machine.caches.l3_mib as f64 * 1024.0 * 1024.0;
-    let stream_claim = (machine.caches.stream_claim_kib * 1024.0
-        * (threads_per_socket - 1.0).max(0.0))
-    .min(machine.caches.claim_cap_frac * l3_bytes);
+    let stream_claim =
+        (machine.caches.stream_claim_kib * 1024.0 * (threads_per_socket - 1.0).max(0.0))
+            .min(machine.caches.claim_cap_frac * l3_bytes);
     let l3_eff = l3_bytes - stream_claim;
     let x3 = socket_ws / l3_eff * (1.0 + machine.caches.smt_thrash * (smt_k - 1.0));
     let cap3 = if x3 <= 1.0 { 0.02 } else { (1.0 - 1.0 / x3).max(0.02) };
@@ -127,8 +125,7 @@ pub fn analyze(
     // --- Latency and energy ------------------------------------------------
     let exposure = mem.stride.latency_exposure();
     let c = &machine.caches;
-    let stall = exposure
-        * ((l1 - l2) * c.lat_l2_ns + (l2 - l3) * c.lat_l3_ns + l3 * c.lat_mem_ns);
+    let stall = exposure * ((l1 - l2) * c.lat_l2_ns + (l2 - l3) * c.lat_l3_ns + l3 * c.lat_mem_ns);
     let energy = (l2 - l3) * machine.power.e_l3_nj + l3 * machine.power.e_mem_nj;
 
     CacheReport {
@@ -185,8 +182,10 @@ mod tests {
     #[test]
     fn long_strides_miss_more_than_unit() {
         let m = crill();
-        let unit = analyze(&m, &mem(StrideClass::Unit, 400.0, 0.3), 10_000, 16, Schedule::static_block());
-        let long = analyze(&m, &mem(StrideClass::Long, 400.0, 0.3), 10_000, 16, Schedule::static_block());
+        let unit =
+            analyze(&m, &mem(StrideClass::Unit, 400.0, 0.3), 10_000, 16, Schedule::static_block());
+        let long =
+            analyze(&m, &mem(StrideClass::Long, 400.0, 0.3), 10_000, 16, Schedule::static_block());
         assert!(long.l1_miss_rate > unit.l1_miss_rate);
         assert!(long.stall_ns_per_access > unit.stall_ns_per_access);
     }

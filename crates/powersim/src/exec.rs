@@ -26,9 +26,7 @@
 use crate::cache::{analyze, CacheReport};
 use crate::machine::Machine;
 use crate::workload::RegionModel;
-use arcs_omprt::schedule::{
-    on_demand_chunk_sizes, static_chunks_for_thread, Schedule,
-};
+use arcs_omprt::schedule::{on_demand_chunk_sizes, static_chunks_for_thread, Schedule};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -76,8 +74,7 @@ impl SimReport {
         if max <= 0.0 {
             return 0.0;
         }
-        let mean =
-            self.per_thread_busy_s.iter().sum::<f64>() / self.per_thread_busy_s.len() as f64;
+        let mean = self.per_thread_busy_s.iter().sum::<f64>() / self.per_thread_busy_s.len() as f64;
         1.0 - mean / max
     }
 
@@ -165,10 +162,10 @@ pub fn simulate_region_at_freq(
         prefix.push(prefix.last().unwrap() + w);
     }
     let cycle_ns_per_weight = region.cycles_per_iter / f_ghz; // ns per unit weight
-    // Uncore DVFS: a capped package slows its L3/memory path along with
-    // the cores, inflating miss latencies.
-    let uncore_factor = 1.0
-        + machine.caches.uncore_slowdown * (machine.f_base_ghz / f_ghz - 1.0).max(0.0);
+                                                              // Uncore DVFS: a capped package slows its L3/memory path along with
+                                                              // the cores, inflating miss latencies.
+    let uncore_factor =
+        1.0 + machine.caches.uncore_slowdown * (machine.f_base_ghz / f_ghz - 1.0).max(0.0);
     let stall_ns_per_iter =
         region.memory.accesses_per_iter * cache.stall_ns_per_access * uncore_factor;
 
@@ -185,9 +182,7 @@ pub fn simulate_region_at_freq(
             // returns its core's resources to the survivor — this is what
             // lets 32 hyper-threads absorb part of the 102-iterations-on-
             // 32-threads granularity imbalance on real hardware).
-            for (t, (work, count)) in
-                busy_ns.iter_mut().zip(&mut chunks_per_thread).enumerate()
-            {
+            for (t, (work, count)) in busy_ns.iter_mut().zip(&mut chunks_per_thread).enumerate() {
                 for ch in static_chunks_for_thread(n, threads, schedule.chunk, t) {
                     *count += 1;
                     *work += machine.chunk_setup_ns
@@ -257,8 +252,7 @@ pub fn simulate_region_at_freq(
         * region.memory.accesses_per_iter
         * cache.l3_miss_rate
         * machine.caches.line_bytes as f64;
-    let bw_floor_ns =
-        dram_bytes / (machine.caches.dram_bw_gbs * sockets_used as f64); // GB/s ⇒ B/ns
+    let bw_floor_ns = dram_bytes / (machine.caches.dram_bw_gbs * sockets_used as f64); // GB/s ⇒ B/ns
     let max_busy_raw = busy_ns.iter().cloned().fold(0.0, f64::max);
     if bw_floor_ns > max_busy_raw && max_busy_raw > 0.0 {
         let stretch = bw_floor_ns / max_busy_raw;
@@ -285,8 +279,7 @@ pub fn simulate_region_at_freq(
         core_busy_ns[idx] = core_busy_ns[idx].max(b);
     }
     let p_core = machine.power.c0 + machine.power.c1 * f_ghz.powi(3);
-    let p_core_base =
-        machine.power.c0 + machine.power.c1 * machine.f_base_ghz.powi(3);
+    let p_core_base = machine.power.c0 + machine.power.c1 * machine.f_base_ghz.powi(3);
     let region_ns = time_s * 1e9;
     let mut energy_j = 0.0;
     // Uncore and DRAM background: both packages, for the whole region
@@ -298,8 +291,8 @@ pub fn simulate_region_at_freq(
         * time_s;
     for &b in &core_busy_ns {
         let busy_s = (b * 1e-9).min(time_s);
-        energy_j += busy_s * p_core + ((region_ns - b).max(0.0) * 1e-9)
-            * machine.power.p_core_idle_w;
+        energy_j +=
+            busy_s * p_core + ((region_ns - b).max(0.0) * 1e-9) * machine.power.p_core_idle_w;
     }
     // Serial section: the master core runs at base frequency (single
     // active core rarely hits the cap).
@@ -324,9 +317,7 @@ pub fn simulate_region_at_freq(
         per_thread_wait_s: busy_ns
             .iter()
             .enumerate()
-            .map(|(t, &b)| {
-                (max_busy_ns - b + if t == 0 { 0.0 } else { critical_ns }) * 1e-9
-            })
+            .map(|(t, &b)| (max_busy_ns - b + if t == 0 { 0.0 } else { critical_ns }) * 1e-9)
             .collect(),
         chunks_dispatched: chunks_per_thread.iter().sum(),
         threads,

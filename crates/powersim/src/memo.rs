@@ -1,0 +1,223 @@
+//! Shared, thread-safe memoisation of region simulations.
+//!
+//! The simulator is deterministic: one (region, trip count, configuration,
+//! power cap) tuple always produces the same [`SimReport`]. A
+//! [`SharedSimCache`] exploits that across *executors*: concurrent sweep
+//! cells (same machine, different caps/strategies/workloads) share one
+//! cache, so a configuration priced by one cell is free for every other
+//! cell that touches it.
+//!
+//! Keys are sharded by region name and stored as `Arc<str>`, so lookups
+//! take `&str` and never allocate; the name is copied once per region on
+//! first miss. Values are computed *outside* the shard lock — two racing
+//! threads may both simulate the same tuple, but the simulator is
+//! deterministic so whichever insert lands is correct (the loser's work is
+//! discarded; hit/miss counters are informational).
+
+use crate::exec::{SimConfig, SimReport};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SHARDS: usize = 16;
+
+/// (trip count, configuration, power-cap bits): everything besides the
+/// region identity that feeds the simulator. The cap is keyed by its bit
+/// pattern — caps come from a small fixed set, not arithmetic.
+type CellKey = (usize, SimConfig, u64);
+
+type Shard = HashMap<Arc<str>, HashMap<CellKey, Arc<SimReport>>>;
+
+/// Cumulative hit/miss counters (monotone; see [`CacheStats::delta_since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Counters accumulated since an earlier snapshot.
+    pub fn delta_since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats { hits: self.hits - earlier.hits, misses: self.misses - earlier.misses }
+    }
+
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A sharded (region → config → report) memo usable from many threads.
+///
+/// Invariant: one cache serves exactly one machine model — reports depend
+/// on the machine, which is not part of the key. [`SharedSimCache::new`]
+/// records the machine name and executors attaching the cache assert it.
+pub struct SharedSimCache {
+    machine: String,
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedSimCache {
+    pub fn new(machine: impl Into<String>) -> Self {
+        SharedSimCache {
+            machine: machine.into(),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Name of the machine model this cache's reports belong to.
+    pub fn machine(&self) -> &str {
+        &self.machine
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<Shard> {
+        // FNV-1a; only shard selection, not key identity.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    /// Fetch the memoised report for `(name, iterations, cfg, cap_w)` or
+    /// compute and store it. `compute` runs without any lock held.
+    pub fn get_or_insert_with(
+        &self,
+        name: &str,
+        iterations: usize,
+        cfg: SimConfig,
+        cap_w: f64,
+        compute: impl FnOnce() -> SimReport,
+    ) -> Arc<SimReport> {
+        let key: CellKey = (iterations, cfg, cap_w.to_bits());
+        let shard = self.shard(name);
+        if let Some(rep) = shard.lock().get(name).and_then(|per| per.get(&key)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(rep);
+        }
+        let rep = Arc::new(compute());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = shard.lock();
+        let per_region = match guard.get_mut(name) {
+            Some(per) => per,
+            None => guard.entry(Arc::from(name)).or_default(),
+        };
+        // Keep the first insert if another thread raced us here; both
+        // computed the same deterministic report.
+        Arc::clone(per_region.entry(key).or_insert(rep))
+    }
+}
+
+impl std::fmt::Debug for SharedSimCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSimCache")
+            .field("machine", &self.machine)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::simulate_region;
+    use crate::machine::Machine;
+    use crate::workload::{ImbalanceProfile, MemoryProfile, RegionModel, StrideClass};
+    use arcs_omprt::Schedule;
+
+    fn region(name: &str) -> RegionModel {
+        RegionModel {
+            name: name.into(),
+            iterations: 256,
+            cycles_per_iter: 10_000.0,
+            imbalance: ImbalanceProfile::Uniform,
+            memory: MemoryProfile {
+                footprint_bytes: 1e6,
+                accesses_per_iter: 100.0,
+                stride: StrideClass::Medium,
+                temporal_reuse: 0.4,
+                hot_bytes_per_thread: 4096.0,
+            },
+            serial_s: 0.0,
+            critical_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let m = Machine::crill();
+        let cache = SharedSimCache::new(&m.name);
+        let r = region("a");
+        let cfg = SimConfig { threads: 8, schedule: Schedule::static_block() };
+        let first = cache.get_or_insert_with(&r.name, r.iterations, cfg, 85.0, || {
+            simulate_region(&m, 85.0, &r, cfg)
+        });
+        let second = cache
+            .get_or_insert_with(&r.name, r.iterations, cfg, 85.0, || panic!("must not recompute"));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn caps_and_trip_counts_key_separately() {
+        let m = Machine::crill();
+        let cache = SharedSimCache::new(&m.name);
+        let r = region("a");
+        let cfg = SimConfig { threads: 8, schedule: Schedule::static_block() };
+        for cap in [55.0, 85.0] {
+            cache.get_or_insert_with(&r.name, r.iterations, cfg, cap, || {
+                simulate_region(&m, cap, &r, cfg)
+            });
+        }
+        cache.get_or_insert_with(&r.name, 512, cfg, 55.0, || {
+            let mut r2 = region("a");
+            r2.iterations = 512;
+            simulate_region(&m, 55.0, &r2, cfg)
+        });
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3 });
+    }
+
+    #[test]
+    fn concurrent_lookups_converge() {
+        let m = Machine::crill();
+        let cache = SharedSimCache::new(&m.name);
+        let r = region("hot");
+        let cfg = SimConfig { threads: 16, schedule: Schedule::dynamic(8) };
+        let times: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        cache
+                            .get_or_insert_with(&r.name, r.iterations, cfg, 70.0, || {
+                                simulate_region(&m, 70.0, &r, cfg)
+                            })
+                            .time_s
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(times.windows(2).all(|w| w[0] == w[1]));
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 8);
+        assert!(stats.misses >= 1);
+    }
+
+    #[test]
+    fn stats_delta() {
+        let a = CacheStats { hits: 10, misses: 4 };
+        let b = CacheStats { hits: 25, misses: 5 };
+        assert_eq!(b.delta_since(a), CacheStats { hits: 15, misses: 1 });
+    }
+}

@@ -40,11 +40,9 @@ impl ImbalanceProfile {
             ImbalanceProfile::Blocked { heavy_fraction, heavy_factor } => {
                 let heavy = ((n as f64) * heavy_fraction).round() as usize;
                 // Normalise so the mean stays ~1.
-                let mean = (heavy as f64 * heavy_factor + (n - heavy.min(n)) as f64)
-                    / n.max(1) as f64;
-                (0..n)
-                    .map(|i| if i < heavy { heavy_factor / mean } else { 1.0 / mean })
-                    .collect()
+                let mean =
+                    (heavy as f64 * heavy_factor + (n - heavy.min(n)) as f64) / n.max(1) as f64;
+                (0..n).map(|i| if i < heavy { heavy_factor / mean } else { 1.0 / mean }).collect()
             }
             ImbalanceProfile::Random { cv, seed } => {
                 let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
@@ -84,7 +82,7 @@ impl StrideClass {
     /// Baseline L1 miss ratio per memory access (before chunking effects).
     pub fn l1_miss_base(self) -> f64 {
         match self {
-            StrideClass::Unit => 0.125,  // one line fill per 8 doubles
+            StrideClass::Unit => 0.125, // one line fill per 8 doubles
             StrideClass::Medium => 0.40,
             StrideClass::Long => 0.75,
         }
@@ -200,8 +198,7 @@ mod tests {
 
     #[test]
     fn blocked_weights_have_unit_mean() {
-        let w = ImbalanceProfile::Blocked { heavy_fraction: 0.25, heavy_factor: 3.0 }
-            .weights(1000);
+        let w = ImbalanceProfile::Blocked { heavy_fraction: 0.25, heavy_factor: 3.0 }.weights(1000);
         assert!((mean(&w) - 1.0).abs() < 1e-6);
         assert!(w[0] > w[999]);
     }

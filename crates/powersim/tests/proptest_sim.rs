@@ -3,8 +3,8 @@
 
 use arcs_omprt::{Schedule, ScheduleKind};
 use arcs_powersim::{
-    simulate_region, ImbalanceProfile, Machine, MemoryProfile, Rapl, RegionModel,
-    SimConfig, StrideClass,
+    simulate_region, ImbalanceProfile, Machine, MemoryProfile, Rapl, RegionModel, SimConfig,
+    StrideClass,
 };
 use proptest::prelude::*;
 
@@ -24,12 +24,9 @@ fn arb_imbalance() -> impl Strategy<Value = ImbalanceProfile> {
     prop_oneof![
         Just(ImbalanceProfile::Uniform),
         (0.0f64..2.0).prop_map(|slope| ImbalanceProfile::Linear { slope }),
-        ((0.01f64..0.5), (1.1f64..5.0)).prop_map(|(f, h)| ImbalanceProfile::Blocked {
-            heavy_fraction: f,
-            heavy_factor: h
-        }),
-        ((0.01f64..0.8), any::<u64>())
-            .prop_map(|(cv, seed)| ImbalanceProfile::Random { cv, seed }),
+        ((0.01f64..0.5), (1.1f64..5.0))
+            .prop_map(|(f, h)| ImbalanceProfile::Blocked { heavy_fraction: f, heavy_factor: h }),
+        ((0.01f64..0.8), any::<u64>()).prop_map(|(cv, seed)| ImbalanceProfile::Random { cv, seed }),
     ]
 }
 
@@ -45,25 +42,23 @@ fn arb_region() -> impl Strategy<Value = RegionModel> {
         (256.0f64..1e6),
         0.0f64..0.01,
     )
-        .prop_map(
-            |(iters, cycles, imb, footprint, accesses, stride, reuse, hot, critical)| {
-                RegionModel {
-                    name: "prop".into(),
-                    iterations: iters,
-                    cycles_per_iter: cycles,
-                    imbalance: imb,
-                    memory: MemoryProfile {
-                        footprint_bytes: footprint,
-                        accesses_per_iter: accesses,
-                        stride,
-                        temporal_reuse: reuse,
-                        hot_bytes_per_thread: hot,
-                    },
-                    serial_s: 0.0,
-                    critical_s: critical,
-                }
-            },
-        )
+        .prop_map(|(iters, cycles, imb, footprint, accesses, stride, reuse, hot, critical)| {
+            RegionModel {
+                name: "prop".into(),
+                iterations: iters,
+                cycles_per_iter: cycles,
+                imbalance: imb,
+                memory: MemoryProfile {
+                    footprint_bytes: footprint,
+                    accesses_per_iter: accesses,
+                    stride,
+                    temporal_reuse: reuse,
+                    hot_bytes_per_thread: hot,
+                },
+                serial_s: 0.0,
+                critical_s: critical,
+            }
+        })
 }
 
 fn machines() -> [Machine; 2] {

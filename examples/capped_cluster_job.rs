@@ -16,8 +16,8 @@
 //! cargo run --release --example capped_cluster_job
 //! ```
 
-use arcs::{runs, OmpConfig, RegionTuner, SimExecutor, TunerOptions};
 use arcs::ConfigSpace;
+use arcs::{runs, OmpConfig, RegionTuner, SimExecutor, TunerOptions};
 use arcs_harmony::History;
 use arcs_kernels::{model, Class};
 use arcs_powersim::Machine;
@@ -41,16 +41,17 @@ fn main() {
 
     let mut total = HashMap::from([("default", 0.0f64), ("frozen", 0.0), ("adaptive", 0.0)]);
     let mut energy = total.clone();
-    println!("{:<8} {:>6} {:>12} {:>12} {:>12}", "cap", "steps", "default[s]", "frozen[s]", "adaptive[s]");
+    println!(
+        "{:<8} {:>6} {:>12} {:>12} {:>12}",
+        "cap", "steps", "default[s]", "frozen[s]", "adaptive[s]"
+    );
     for &(cap, steps) in &phases {
         wl.timesteps = steps;
         let base = runs::default_run(&machine, cap, &wl);
 
         let run_with = |history: &History<OmpConfig>| {
-            let mut tuner = RegionTuner::new(TunerOptions::offline_replay(
-                space.clone(),
-                history.clone(),
-            ));
+            let mut tuner =
+                RegionTuner::new(TunerOptions::offline_replay(space.clone(), history.clone()));
             SimExecutor::new(machine.clone(), cap).run_tuned(&wl, &mut tuner)
         };
         let frozen_rep = run_with(&frozen);

@@ -63,6 +63,8 @@ fn main() {
         .iter()
         .filter(|(r, e)| h115.get(r).map(|x| x.config != e.config).unwrap_or(true))
         .count();
-    println!("\nregions whose optimal configuration differs between 55W and TDP: {moved}/{}",
-        h55.len());
+    println!(
+        "\nregions whose optimal configuration differs between 55W and TDP: {moved}/{}",
+        h55.len()
+    );
 }

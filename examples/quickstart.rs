@@ -45,9 +45,11 @@ fn main() {
         run_once();
     }
     let default_time = t0.elapsed().as_secs_f64() / 30.0;
-    println!("default config {}: {:.3} ms/invocation",
+    println!(
+        "default config {}: {:.3} ms/invocation",
         OmpConfig { threads, schedule: arcs_omprt::Schedule::static_block() },
-        default_time * 1e3);
+        default_time * 1e3
+    );
 
     // Attach ARCS and let it search while the application keeps running.
     let space = ConfigSpace::for_machine(&arcs_powersim::Machine::crill());
@@ -79,9 +81,11 @@ fn main() {
         run_once();
     }
     let tuned_time = t1.elapsed().as_secs_f64() / 30.0;
-    println!("tuned config: {:.3} ms/invocation ({:+.1}%)",
+    println!(
+        "tuned config: {:.3} ms/invocation ({:+.1}%)",
         tuned_time * 1e3,
-        (tuned_time / default_time - 1.0) * 100.0);
+        (tuned_time / default_time - 1.0) * 100.0
+    );
 
     let stats = live.stats();
     println!(

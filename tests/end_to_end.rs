@@ -97,8 +97,7 @@ fn history_file_roundtrip_through_disk() {
     let dir = std::env::temp_dir().join("arcs-e2e");
     let path = dir.join("bt.history.json");
     history.save(&path).unwrap();
-    let loaded: arcs_harmony::History<OmpConfig> =
-        arcs_harmony::History::load(&path).unwrap();
+    let loaded: arcs_harmony::History<OmpConfig> = arcs_harmony::History::load(&path).unwrap();
     assert_eq!(loaded.context, history.context);
     assert_eq!(loaded.len(), history.len());
     for (region, entry) in &history.entries {
@@ -119,9 +118,8 @@ fn selective_tuning_never_hurts_lulesh() {
     let wl = model::lulesh(30);
     let naive = runs::online_run(&m, 115.0, &wl);
     let space = ConfigSpace::for_machine(&m);
-    let mut tuner = RegionTuner::new(
-        TunerOptions::online(space).with_min_region_time(4.0 * m.config_change_s),
-    );
+    let mut tuner =
+        RegionTuner::new(TunerOptions::online(space).with_min_region_time(4.0 * m.config_change_s));
     let selective = SimExecutor::new(m.clone(), 115.0).run_tuned(&wl, &mut tuner);
     assert!(selective.time_s <= naive.time_s * 1.01);
     assert!(tuner.stats().skipped_regions > 0);

@@ -29,11 +29,14 @@ fn mg_selective_tuning_contains_the_multiscale_pathology() {
     let wl = model::mg(Class::B);
     let base = runs::default_run(&m, 115.0, &wl);
     let naive = runs::online_run(&m, 115.0, &wl);
-    assert!(naive.time_s / base.time_s > 2.0, "naive should blow up: {}", naive.time_s / base.time_s);
-    let space = ConfigSpace::for_machine(&m);
-    let mut tuner = RegionTuner::new(
-        TunerOptions::online(space).with_min_region_time(4.0 * m.config_change_s),
+    assert!(
+        naive.time_s / base.time_s > 2.0,
+        "naive should blow up: {}",
+        naive.time_s / base.time_s
     );
+    let space = ConfigSpace::for_machine(&m);
+    let mut tuner =
+        RegionTuner::new(TunerOptions::online(space).with_min_region_time(4.0 * m.config_change_s));
     let selective = SimExecutor::new(m.clone(), 115.0).run_tuned(&wl, &mut tuner);
     assert!(
         selective.time_s / base.time_s < 1.12,
@@ -72,18 +75,11 @@ fn noisy_training_keeps_most_of_the_gain() {
     let space = ConfigSpace::for_machine(&m);
     for seed in [11u64, 77, 3021] {
         let mut trainer = SimExecutor::new(m.clone(), 85.0).with_noise(0.15, seed);
-        let h = trainer.train_offline(
-            &wl,
-            TunerOptions::offline_train(space.clone()),
-            "noisy",
-        );
+        let h = trainer.train_offline(&wl, TunerOptions::offline_train(space.clone()), "noisy");
         let mut tuner = RegionTuner::new(TunerOptions::offline_replay(space.clone(), h));
         let rep = SimExecutor::new(m.clone(), 85.0).run_tuned(&wl, &mut tuner);
         let gain = 1.0 - rep.time_s / base.time_s;
-        assert!(
-            gain > 0.8 * clean_gain,
-            "seed {seed}: noisy gain {gain} vs clean {clean_gain}"
-        );
+        assert!(gain > 0.8 * clean_gain, "seed {seed}: noisy gain {gain} vs clean {clean_gain}");
     }
 }
 
@@ -104,7 +100,7 @@ fn fig9_shape_from_the_simulated_apex_path() {
     for (name, summary) in &rep.per_region {
         let task = apex.task(name);
         let p = apex.profile(task).expect(name);
-        assert_eq!(p.count as u64, summary.invocations);
+        assert_eq!(p.count, summary.invocations);
         assert!((p.mean() - summary.mean_time_s()).abs() < 1e-12);
     }
     // Barrier ordering (from the report, which fig9 prints).

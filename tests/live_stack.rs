@@ -1,20 +1,16 @@
 //! Integration tests for the live (real-thread) stack: runtime → OMPT →
 //! APEX → policy → Harmony, on real kernels.
 
+use arcs::TuningMode;
 use arcs::{ArcsLive, ChunkChoice, ConfigSpace, ScheduleChoice, ThreadChoice, TunerOptions};
 use arcs_harmony::NmOptions;
 use arcs_kernels::{BtSolver, Class, Lulesh, SpSolver};
 use arcs_omprt::{Runtime, ScheduleKind};
-use arcs::TuningMode;
 use std::sync::Arc;
 
 fn tiny_space(default_threads: usize) -> ConfigSpace {
     ConfigSpace {
-        threads: vec![
-            ThreadChoice::Count(1),
-            ThreadChoice::Count(2),
-            ThreadChoice::Default,
-        ],
+        threads: vec![ThreadChoice::Count(1), ThreadChoice::Count(2), ThreadChoice::Default],
         schedules: vec![
             ScheduleChoice::Kind(ScheduleKind::Dynamic),
             ScheduleChoice::Kind(ScheduleKind::Static),

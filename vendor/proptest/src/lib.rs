@@ -1,0 +1,479 @@
+//! Vendored stand-in for `proptest`, sufficient for this workspace's
+//! property tests.
+//!
+//! Differences from the real crate, by design:
+//! * no shrinking — a failing case panics with the generated inputs left
+//!   to the assertion message;
+//! * deterministic seeding derived from the test's module path and case
+//!   index, so failures reproduce exactly across runs and machines;
+//! * string strategies support only the `[class]{min,max}` regex form the
+//!   workspace uses.
+//!
+//! Supported surface: `proptest!` (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), `prop_assert!`,
+//! `prop_assert_eq!`, `prop_oneof!`, `Just`, `any::<T>()`, numeric range
+//! strategies, tuple strategies (arity ≤ 9), `.prop_map`,
+//! `collection::vec`, and `collection::btree_map`.
+
+pub mod test_runner {
+    /// Deterministic splitmix64 stream, seeded per (test, case).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            h ^= (case as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            // Multiply-shift bounded sampling; bias is negligible for the
+            // small ranges used in tests.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// Generates values of `Self::Value` from a deterministic RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies of a common value type
+    /// (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+
+        pub fn arm<S>(s: S) -> Box<dyn Strategy<Value = T>>
+        where
+            S: Strategy<Value = T> + 'static,
+        {
+            Box::new(s)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64 - self.start as i64) as u64;
+                    (self.start as i64 + rng.below(span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(isize, i64, i32, i16, i8);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.next_f64()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (self.end - self.start) * rng.next_f64() as f32
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+ ))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    }
+
+    /// `[class]{min,max}` string strategy (the only regex form used by the
+    /// workspace's tests).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (chars, min, max) = parse_class_pattern(self).unwrap_or_else(|| {
+                panic!("unsupported string strategy pattern {self:?} (need `[class]{{min,max}}`)")
+            });
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+        }
+    }
+
+    /// Parse `[a-z0-9._-]{1,12}` into (alphabet, min, max).
+    fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                for c in lo..=hi {
+                    chars.push(char::from_u32(c)?);
+                }
+                i += 3;
+            } else {
+                chars.push(class[i]);
+                i += 1;
+            }
+        }
+        let counts = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+        let (min, max) = match counts.split_once(',') {
+            Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+            None => {
+                let n = counts.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if chars.is_empty() || max < min {
+            return None;
+        }
+        Some((chars, min, max))
+    }
+
+    /// Full-domain strategies for `any::<T>()`.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        pub fn new() -> Self {
+            Any { _marker: std::marker::PhantomData }
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any::new()
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeMap;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    /// `vec(element_strategy, size_range)`.
+    pub fn vec<S: Strategy>(elem: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.sizes.clone().generate(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        sizes: std::ops::Range<usize>,
+    }
+
+    /// `btree_map(key_strategy, value_strategy, size_range)`. Key
+    /// collisions may make the generated map smaller than requested, as in
+    /// real proptest.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        sizes: std::ops::Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, sizes }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let len = self.sizes.clone().generate(rng);
+            (0..len).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+        }
+    }
+}
+
+/// Per-proptest-block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the suite fast while
+        // still exercising the domains (seeding is deterministic anyway).
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// `any::<T>()` — the full-domain strategy for `T`.
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any::new()
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Union::arm($s)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t", 0);
+        for _ in 0..1000 {
+            let x = crate::strategy::Strategy::generate(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&x));
+            let f = crate::strategy::Strategy::generate(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_generate_members() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t", 1);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::generate(&"[a-z_]{1,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 12);
+            assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()), "{s}");
+            let t = crate::strategy::Strategy::generate(&"[a-zA-Z0-9._-]{0,24}", &mut rng);
+            assert!(t.len() <= 24);
+            assert!(t.chars().all(|c| c.is_ascii_alphanumeric() || ".-_".contains(c)), "{t}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_wires_strategies(
+            a in 1usize..10,
+            b in prop_oneof![Just(0u64), 5u64..9],
+            s in "[a-c]{2,3}",
+        ) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b == 0 || (5..9).contains(&b));
+            prop_assert!(s.len() == 2 || s.len() == 3);
+        }
+    }
+}

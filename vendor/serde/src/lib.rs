@@ -1,0 +1,368 @@
+//! Vendored stand-in for `serde`, sufficient for this workspace.
+//!
+//! The build environment has no registry access, so the workspace carries a
+//! small value-tree serialisation framework under the `serde` name:
+//!
+//! * [`Serialize`] converts a type into a [`Value`] tree;
+//! * [`Deserialize`] reconstructs a type from a [`Value`] tree;
+//! * `#[derive(Serialize, Deserialize)]` (from the vendored `serde_derive`)
+//!   generates both for plain structs and enums, using the same external
+//!   data model as real serde (named structs → maps, unit variants →
+//!   strings, newtype variants → single-entry maps, newtype structs →
+//!   transparent).
+//!
+//! The vendored `serde_json` crate renders [`Value`] trees to JSON and
+//! parses them back, so on-disk artefacts (machine descriptions, tuning
+//! histories, reports) keep the exact layout real serde produced.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed or to-be-rendered data tree, mirroring the JSON data model
+/// (with integers kept exact rather than coerced through `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Key/value pairs in insertion (i.e. declaration) order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map lookup by key; `None` for missing keys or non-map values.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialisation/deserialisation error: a human-readable message, as in
+/// `serde::de::Error::custom`.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+pub mod de {
+    //! Deserialisation helpers, mirroring `serde::de`.
+
+    /// In real serde this distinguishes borrowing deserialisers; the
+    /// vendored data model is always owned, so it is a blanket alias.
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+
+    pub use super::Error;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code.
+// ---------------------------------------------------------------------------
+
+/// Extract and deserialise field `name` from a map value (missing fields
+/// are errors; unknown fields are ignored, as in serde's default).
+pub fn map_field<T: Deserialize>(v: &Value, type_name: &str, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Map(_) => match v.get(name) {
+            Some(field) => {
+                T::from_value(field).map_err(|e| Error::custom(format!("{type_name}.{name}: {e}")))
+            }
+            None => Err(Error::custom(format!("missing field `{name}` in {type_name}"))),
+        },
+        other => Err(Error::custom(format!("expected map for {type_name}, found {other:?}"))),
+    }
+}
+
+/// Extract and deserialise element `idx` of a sequence value (tuple
+/// structs / tuple variants with more than one field).
+pub fn seq_elem<T: Deserialize>(v: &Value, type_name: &str, idx: usize) -> Result<T, Error> {
+    match v {
+        Value::Seq(items) => match items.get(idx) {
+            Some(item) => T::from_value(item),
+            None => Err(Error::custom(format!("missing tuple element {idx} in {type_name}"))),
+        },
+        other => Err(Error::custom(format!("expected sequence for {type_name}, found {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive and standard-library impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match *v {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!("integer {raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 { Value::UInt(x as u64) } else { Value::Int(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw: i64 = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u).map_err(|_| {
+                        Error::custom(format!("integer {u} out of i64 range"))
+                    })?,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!("integer {raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    ref other => Err(Error::custom(format!(
+                        "expected number, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => {
+                entries.iter().map(|(k, val)| Ok((k.clone(), V::from_value(val)?))).collect()
+            }
+            other => Err(Error::custom(format!("expected map, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Arc::new)
+    }
+}
+
+/// Matches real serde's layout: `{"secs": u64, "nanos": u32}`.
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            ("nanos".to_string(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let secs: u64 = map_field(v, "Duration", "secs")?;
+        let nanos: u32 = map_field(v, "Duration", "nanos")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn duration_layout_matches_serde() {
+        let d = Duration::new(3, 250);
+        let v = d.to_value();
+        assert_eq!(v.get("secs"), Some(&Value::UInt(3)));
+        assert_eq!(v.get("nanos"), Some(&Value::UInt(250)));
+        assert_eq!(Duration::from_value(&v).unwrap(), d);
+    }
+
+    #[test]
+    fn map_field_reports_missing() {
+        let v = Value::Map(vec![("a".into(), Value::UInt(1))]);
+        assert!(map_field::<u64>(&v, "T", "b").is_err());
+        assert_eq!(map_field::<u64>(&v, "T", "a").unwrap(), 1);
+    }
+}

@@ -1,0 +1,448 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The registry is unreachable in this build environment, so `syn`/`quote`
+//! are unavailable; this crate hand-parses the derive input token stream.
+//! It supports exactly the shapes present in the workspace:
+//!
+//! * named structs (with optional plain type parameters, e.g. `History<T>`),
+//! * tuple structs (1-field = transparent newtype, n-field = sequence),
+//! * enums with unit variants, single-payload tuple variants, and struct
+//!   variants — serialised in serde's externally-tagged layout.
+//!
+//! `#[serde(...)]` attributes are NOT supported (none exist in the
+//! workspace); any attribute groups are skipped during parsing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny structural model of the derive input.
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Plain type-parameter names (`T`, `U`, ...).
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: field count.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    /// Tuple payload with this many fields.
+    Tuple(usize),
+    /// Struct payload: field names.
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive input must start with struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i);
+
+    match kind.as_str() {
+        "struct" => {
+            // Optional where-clause is not supported (none in the workspace).
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Item { name, generics, body: Body::Struct(parse_named_fields(g.stream())) }
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Item { name, generics, body: Body::Tuple(count_tuple_fields(g.stream())) }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    Item { name, generics, body: Body::Unit }
+                }
+                other => panic!("unsupported struct body: {other:?}"),
+            }
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name, generics, body: Body::Enum(parse_variants(g.stream())) }
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive for item kind `{other}`"),
+    }
+}
+
+/// Skip `#[...]` attribute groups (incl. doc comments) and `pub` /
+/// `pub(...)` visibility tokens.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<T, U>` after the type name; returns parameter names. Bounds and
+/// lifetimes are not supported (none exist in the workspace).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            *i += 1;
+            let mut depth = 1usize;
+            while depth > 0 {
+                match tokens.get(*i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                    Some(TokenTree::Ident(id)) if depth == 1 => {
+                        params.push(id.to_string());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(_) => {
+                        panic!("unsupported generics on derive target (only plain `<T>` forms)")
+                    }
+                    None => panic!("unterminated generics"),
+                }
+                *i += 1;
+            }
+        }
+        _ => {}
+    }
+    params
+}
+
+/// Field names of a `{ ... }` struct body, skipping attributes, visibility
+/// and the type after each `:` (tracking `<...>` depth so commas inside
+/// generic types don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Field count of a `( ... )` tuple body: top-level comma-separated
+/// segments.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0usize;
+    let mut last_was_comma = false;
+    for t in &tokens {
+        last_was_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if last_was_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let payload = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Payload::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Payload::Struct(parse_named_fields(g.stream()))
+            }
+            _ => Payload::Unit,
+        };
+        variants.push(Variant { name, payload });
+        // Skip discriminants are unsupported; expect `,` or end.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("expected `,` between variants, found {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed).
+// ---------------------------------------------------------------------------
+
+/// `impl<T: ::serde::Serialize> ::serde::Serialize for Name<T>` header.
+fn impl_header(item: &Item, trait_bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let bounded: Vec<String> =
+            item.generics.iter().map(|g| format!("{g}: {trait_bound}")).collect();
+        let plain = item.generics.join(", ");
+        (format!("<{}>", bounded.join(", ")), format!("{}<{plain}>", item.name))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (params, ty) = impl_header(item, "::serde::Serialize");
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))", f))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.payload {
+                        Payload::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        Payload::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Payload::Tuple(n) => {
+                            let pats: Vec<String> =
+                                (0..*n).map(|k| format!("f{k}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                                pats.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Payload::Struct(fields) => {
+                            let pats = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {pats} }} => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{params} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (params, ty) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::map_field(v, {name:?}, {f:?})?"))
+                .collect();
+            format!("::core::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Body::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::Tuple(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|k| format!("::serde::seq_elem(v, {name:?}, {k})?")).collect();
+            format!("::core::result::Result::Ok({name}({}))", elems.join(", "))
+        }
+        Body::Unit => format!("::core::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.payload, Payload::Unit))
+                .map(|v| {
+                    format!("{vn:?} => ::core::result::Result::Ok({name}::{vn}),", vn = v.name)
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.payload {
+                        Payload::Unit => None,
+                        Payload::Tuple(1) => Some(format!(
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(val)?)),"
+                        )),
+                        Payload::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::seq_elem(val, {name:?}, {k})?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => ::core::result::Result::Ok({name}::{vn}({})),",
+                                elems.join(", ")
+                            ))
+                        }
+                        Payload::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::map_field(val, {name:?}, {f:?})?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => ::core::result::Result::Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit}\n\
+                         other => ::core::result::Result::Err(::serde::Error::custom(\n\
+                             format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (k, val) = &m[0];\n\
+                         let _ = val;\n\
+                         match k.as_str() {{\n\
+                             {payload}\n\
+                             other => ::core::result::Result::Err(::serde::Error::custom(\n\
+                                 format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::core::result::Result::Err(::serde::Error::custom(\n\
+                         format!(\"invalid value for enum {name}: {{other:?}}\"))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                payload = payload_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{params} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(v: &::serde::Value)\n\
+                 -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
