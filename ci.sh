@@ -8,3 +8,14 @@ cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+# Trace smoke: a tuned run must emit JSONL that validates against the
+# published schema (--check exits non-zero otherwise) plus a Chrome trace.
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    trace --workload sp.B --cap 80 --strategy nelder-mead --timesteps 6 \
+    --out "$trace_tmp/sp.trace.jsonl" --chrome "$trace_tmp/sp.trace.chrome.json" --check
+test -s "$trace_tmp/sp.trace.jsonl"
+test -s "$trace_tmp/sp.trace.chrome.json"

@@ -179,6 +179,12 @@ impl Apex {
         self.engine.lock().register(name, trigger, callback)
     }
 
+    /// Emit a [`arcs_trace::TraceEvent::PolicyFired`] record on `sink` each
+    /// time a registered policy callback runs.
+    pub fn set_trace(&self, sink: std::sync::Arc<dyn arcs_trace::TraceSink>) {
+        self.engine.lock().set_trace(sink);
+    }
+
     pub fn policy_count(&self) -> usize {
         self.engine.lock().policy_count()
     }

@@ -9,6 +9,8 @@
 
 use crate::profile::Profile;
 use crate::TaskId;
+use arcs_trace::{TraceEvent, TraceSink};
+use std::sync::Arc;
 
 /// What fired a policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,11 +57,17 @@ pub(crate) struct PolicyEntry {
 pub struct PolicyEngine {
     policies: Vec<PolicyEntry>,
     events: u64,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl PolicyEngine {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Emit a [`TraceEvent::PolicyFired`] per policy callback invocation.
+    pub fn set_trace(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = Some(sink);
     }
 
     /// Register a policy; returns its index.
@@ -110,6 +118,17 @@ impl PolicyEngine {
                     event.clone()
                 };
                 (p.callback)(&ev);
+                if let Some(sink) = &self.trace {
+                    if sink.enabled() {
+                        sink.record(
+                            None,
+                            TraceEvent::PolicyFired {
+                                policy: p.name.clone(),
+                                task: ev.task_name.clone(),
+                            },
+                        );
+                    }
+                }
             }
         }
     }
@@ -177,6 +196,29 @@ mod tests {
         engine.dispatch(&event(PolicyEventKind::TimerStop { duration_s: 1.5 }));
         engine.dispatch(&event(PolicyEventKind::TimerStop { duration_s: 2.5 }));
         assert_eq!(*seen.lock(), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn firing_policies_emit_trace_records() {
+        use arcs_trace::VecSink;
+
+        let mut engine = PolicyEngine::new();
+        engine.register("on-stop", PolicyTrigger::OnTimerStop, |_| {});
+        engine.register("never", PolicyTrigger::OnTimerStart, |_| {});
+        let sink = Arc::new(VecSink::new());
+        engine.set_trace(sink.clone());
+
+        engine.dispatch(&event(PolicyEventKind::TimerStop { duration_s: 0.1 }));
+        engine.dispatch(&event(PolicyEventKind::TimerStop { duration_s: 0.2 }));
+
+        let records = sink.drain();
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert_eq!(
+                r.event,
+                TraceEvent::PolicyFired { policy: "on-stop".into(), task: "t".into() }
+            );
+        }
     }
 
     #[test]

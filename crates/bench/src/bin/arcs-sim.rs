@@ -14,6 +14,16 @@
 //!   --save-history PATH  write the trained history file (offline only)
 //!   --load-history PATH  replay a previously saved history
 //!   --json               emit the full AppRunReport as JSON
+//!
+//! arcs-sim trace [options]      structured event trace of one run
+//!   --workload APP[.CLASS]      bt | sp | lulesh, NPB class suffix (default sp.B)
+//!   --cap WATTS                 package power cap (default TDP)
+//!   --strategy nelder-mead|pro|exhaustive|default   (default nelder-mead)
+//!   --timesteps N               override the workload's step count
+//!   --machine crill|minotaur    (default crill)
+//!   --out PATH                  write JSONL here (default: stdout)
+//!   --chrome PATH               also export a Chrome trace (chrome://tracing)
+//!   --check                     re-validate the emitted JSONL against the schema
 //! ```
 //!
 //! Examples:
@@ -21,14 +31,20 @@
 //! cargo run --release -p arcs-bench --bin arcs-sim -- sp --class B --cap 85
 //! cargo run --release -p arcs-bench --bin arcs-sim -- lulesh --mesh 45 \
 //!     --strategy online --selective 0.03 --json
+//! cargo run --release -p arcs-bench --bin arcs-sim -- trace \
+//!     --workload sp.B --cap 80 --strategy nelder-mead --out sp.trace.jsonl
 //! ```
 
-use arcs::{runs, ConfigSpace, OmpConfig, RegionTuner, SimExecutor, TunerOptions, TuningMode};
+use arcs::{
+    runs, ConfigSpace, OmpConfig, RegionTuner, Runner, SimExecutor, TunerOptions, TuningMode,
+};
 use arcs_harmony::{History, NmOptions, ProOptions};
 use arcs_kernels::{model, Class};
 use arcs_powersim::{Machine, WorkloadDescriptor};
+use arcs_trace::{chrome_trace, to_jsonl, validate_jsonl, VecSink};
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::Arc;
 
 struct Args {
     app: String,
@@ -148,7 +164,178 @@ fn workload(args: &Args) -> WorkloadDescriptor {
     wl
 }
 
+fn trace_usage() -> ! {
+    eprintln!(
+        "usage: arcs-sim trace [--workload APP[.CLASS]] [--machine crill|minotaur] \
+         [--cap WATTS] [--strategy nelder-mead|pro|exhaustive|default] [--timesteps N] \
+         [--out PATH] [--chrome PATH] [--check]"
+    );
+    exit(2)
+}
+
+/// `arcs-sim trace`: run one (workload, cap, strategy) cell with a
+/// [`VecSink`] attached and emit the collected records as JSONL.
+fn trace_main(argv: &[String]) {
+    let mut workload_spec = "sp.B".to_string();
+    let mut machine = Machine::crill();
+    let mut cap: Option<f64> = None;
+    let mut strategy = "nelder-mead".to_string();
+    let mut timesteps: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut chrome: Option<PathBuf> = None;
+    let mut check = false;
+
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                trace_usage()
+            })
+        };
+        match flag.as_str() {
+            "--workload" => workload_spec = value("--workload"),
+            "--machine" => {
+                machine = match value("--machine").as_str() {
+                    "crill" => Machine::crill(),
+                    "minotaur" => Machine::minotaur(),
+                    other => {
+                        eprintln!("unknown machine {other}");
+                        trace_usage()
+                    }
+                }
+            }
+            "--cap" => cap = Some(value("--cap").parse().unwrap_or_else(|_| trace_usage())),
+            "--strategy" => strategy = value("--strategy"),
+            "--timesteps" => {
+                timesteps = Some(value("--timesteps").parse().unwrap_or_else(|_| trace_usage()))
+            }
+            "--out" => out = Some(value("--out").into()),
+            "--chrome" => chrome = Some(value("--chrome").into()),
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                trace_usage()
+            }
+        }
+    }
+
+    let (app, class) = workload_spec.split_once('.').unwrap_or((workload_spec.as_str(), "B"));
+    let class = match class {
+        "S" => Class::S,
+        "W" => Class::W,
+        "A" => Class::A,
+        "B" => Class::B,
+        "C" => Class::C,
+        other => {
+            eprintln!("unknown class {other}");
+            trace_usage()
+        }
+    };
+    let mut wl = match app {
+        "bt" => model::bt(class),
+        "sp" => model::sp(class),
+        "lulesh" => model::lulesh(45),
+        other => {
+            eprintln!("unknown workload {other}");
+            trace_usage()
+        }
+    };
+    if let Some(t) = timesteps {
+        wl.timesteps = t;
+    }
+
+    let cap = cap.unwrap_or(machine.power.tdp_w);
+    let space = ConfigSpace::for_machine(&machine);
+    let sink = Arc::new(VecSink::new());
+    let mut exec = SimExecutor::new(machine.clone(), cap).with_trace(sink.clone());
+    let run = match strategy.as_str() {
+        "default" => Runner::new(&mut exec).workload(&wl).run(),
+        "nelder-mead" | "pro" => {
+            let mode = if strategy == "nelder-mead" {
+                TuningMode::Online(NmOptions::default())
+            } else {
+                TuningMode::OnlinePro(ProOptions::default())
+            };
+            let mut tuner = RegionTuner::new(TunerOptions { space, mode, min_region_time_s: 0.0 });
+            Runner::new(&mut exec)
+                .workload(&wl)
+                .tuner(&mut tuner)
+                .label(format!("arcs-{strategy}"))
+                .run()
+        }
+        "exhaustive" => {
+            let mut tuner = RegionTuner::new(TunerOptions::offline_train(space));
+            Runner::new(&mut exec).workload(&wl).tuner(&mut tuner).label("arcs-exhaustive").run()
+        }
+        other => {
+            eprintln!("unknown strategy {other}");
+            trace_usage()
+        }
+    };
+    let report = run.unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        exit(1)
+    });
+
+    let records = sink.drain();
+    let jsonl = to_jsonl(&records).unwrap_or_else(|e| {
+        eprintln!("cannot serialise trace: {e}");
+        exit(1)
+    });
+
+    if check {
+        match validate_jsonl(&jsonl) {
+            Ok(parsed) => eprintln!(
+                "trace OK: {} records validate against schema v{}",
+                parsed.len(),
+                arcs_trace::SCHEMA_VERSION
+            ),
+            Err(e) => {
+                eprintln!("trace INVALID: {e}");
+                exit(1)
+            }
+        }
+    }
+
+    if let Some(path) = &chrome {
+        let json = chrome_trace(&records).unwrap_or_else(|e| {
+            eprintln!("cannot export chrome trace: {e}");
+            exit(1)
+        });
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path:?}: {e}");
+            exit(1)
+        }
+        eprintln!("chrome trace written to {path:?}");
+    }
+
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &jsonl) {
+                eprintln!("cannot write {path:?}: {e}");
+                exit(1)
+            }
+            eprintln!(
+                "{} trace records written to {:?} ({}: {:.2}s, {:.0}J)",
+                records.len(),
+                path,
+                report.strategy,
+                report.time_s,
+                report.energy_j
+            );
+        }
+        None => print!("{jsonl}"),
+    }
+}
+
 fn main() {
+    let first = std::env::args().nth(1);
+    if first.as_deref() == Some("trace") {
+        let argv: Vec<String> = std::env::args().skip(2).collect();
+        trace_main(&argv);
+        return;
+    }
     let args = parse_args();
     let wl = workload(&args);
     let cap = args.cap.unwrap_or(args.machine.power.tdp_w);

@@ -4,9 +4,11 @@
 //! §III-C overhead charging, energy metering, [`AppRunReport`] assembly.
 //! This module extracts the loop once: a [`Backend`] only knows how to run
 //! one region invocation at one configuration (and how to account idle-ish
-//! overhead time), while [`run_default`], [`run_fixed`], [`run_tuned`] and
-//! [`train_offline`] implement the strategy-independent choreography for
-//! *any* backend, so the two paths cannot drift.
+//! overhead time), while the [`Runner`] builder implements the
+//! strategy-independent choreography for *any* backend, so the two paths
+//! cannot drift. The legacy free functions ([`run_default`],
+//! [`run_fixed`], [`run_tuned`], [`train_offline`]) remain as deprecated
+//! wrappers over the builder.
 //!
 //! Overheads follow §III-C: every tuned invocation pays the
 //! instrumentation cost (OMPT + APEX); every *configuration change* pays
@@ -15,13 +17,27 @@
 //! configuration at region entry. Overhead time is charged at near-idle
 //! package power ([`overhead_power_w`]; the paper: "these overheads are
 //! not energy hungry computation").
+//!
+//! ## Tracing
+//!
+//! When a [`TraceSink`] is attached (via [`Runner::trace`] or a backend's
+//! own builder), the driver emits [`arcs_trace::TraceEvent`]s along the
+//! run's simulated timeline (the driver's accumulated time): `CapChange`
+//! once at run start, `RegionBegin`/`RegionEnd` + `PowerSample` per
+//! invocation, and `ConfigSwitch`/`OverheadCharged` when a tuner moves the
+//! ICVs. Emission is guarded by [`TraceSink::enabled`], so a
+//! [`arcs_trace::NullSink`] costs one branch per invocation and the
+//! untraced path allocates nothing.
 
 use crate::config::OmpConfig;
 use crate::report::{AppRunReport, RegionSummary};
 use crate::tuner::{RegionTuner, TunerOptions, TuningMode};
 use arcs_harmony::History;
-use arcs_powersim::{Machine, RegionModel, WorkloadDescriptor};
+use arcs_powersim::{CacheBindError, Machine, RegionModel, SharedSimCache, WorkloadDescriptor};
+use arcs_trace::{TraceEvent, TraceSink};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
 
 /// Per-thread aggregates of one region invocation, unscaled by measurement
 /// noise (the profile metrics the paper reads through OMPT + TAU).
@@ -52,13 +68,19 @@ pub struct Measurement {
 ///
 /// Implementations: [`crate::executor::SimExecutor`] (deterministic
 /// power-capped machine simulator) and [`crate::live::LiveExecutor`] (real
-/// `arcs-omprt` threads). The driver functions below own everything else.
+/// `arcs-omprt` threads). The [`Runner`] owns everything else.
 pub trait Backend {
     /// The machine model being executed on (source of §III-C constants).
     fn machine(&self) -> &Machine;
 
     /// Effective package power cap, watts.
     fn power_cap_w(&self) -> f64;
+
+    /// The cap the caller requested, before any hardware clamping.
+    /// Defaults to the effective cap.
+    fn requested_power_cap_w(&self) -> f64 {
+        self.power_cap_w()
+    }
 
     /// Reset per-run energy accounting; called once at run start.
     fn begin_run(&mut self);
@@ -78,6 +100,23 @@ pub trait Backend {
     /// Introspection hook, called once per invocation after energy
     /// sampling (the simulator routes this into APEX). Default: no-op.
     fn record_sample(&mut self, _region: &str, _time_s: f64, _energy_total_j: f64) {}
+
+    /// The trace sink attached to this backend, if any. The driver reads
+    /// it once per run to decide whether to emit events.
+    fn trace(&self) -> Option<&Arc<dyn TraceSink>> {
+        None
+    }
+
+    /// Attach a trace sink. Backends without trace support ignore the
+    /// sink; both shipped backends store it.
+    fn attach_trace(&mut self, _sink: Arc<dyn TraceSink>) {}
+
+    /// Bind a memo cache shared with other executors. Only meaningful for
+    /// simulated backends; the default reports
+    /// [`RunError::CacheUnsupported`].
+    fn bind_shared_cache(&mut self, _cache: Arc<SharedSimCache>) -> Result<(), RunError> {
+        Err(RunError::CacheUnsupported)
+    }
 }
 
 /// Package power during tuning overheads: uncore + idle cores + a
@@ -90,16 +129,266 @@ pub fn overhead_power_w(m: &Machine) -> f64 {
         + 0.3 * p_core_base
 }
 
-/// Run the whole application at the paper's default configuration
-/// (no instrumentation, no tuning).
-pub fn run_default<B: Backend>(b: &mut B, wl: &WorkloadDescriptor) -> AppRunReport {
-    let cfg = OmpConfig::default_for(b.machine());
-    run_fixed(b, wl, &|_| cfg, "default")
+/// Why a [`Runner`] could not run.
+#[derive(Debug)]
+pub enum RunError {
+    /// [`Runner::workload`] was never called.
+    MissingWorkload,
+    /// The shared memo cache belongs to a different machine model.
+    CacheBind(CacheBindError),
+    /// The backend has no memo cache to share (e.g. the live path).
+    CacheUnsupported,
+    /// [`Runner::train`] needs [`TuningMode::OfflineTrain`] options.
+    NotOfflineTrain,
 }
 
-/// Run the whole application with a fixed per-region configuration map
-/// (no tuner, no overheads) — used for oracle/ablation comparisons.
-pub fn run_fixed<B: Backend>(
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::MissingWorkload => write!(f, "no workload set on the runner"),
+            RunError::CacheBind(e) => write!(f, "{e}"),
+            RunError::CacheUnsupported => {
+                write!(f, "this backend does not support a shared simulation cache")
+            }
+            RunError::NotOfflineTrain => {
+                write!(f, "training requires TuningMode::OfflineTrain options")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::CacheBind(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CacheBindError> for RunError {
+    fn from(e: CacheBindError) -> Self {
+        RunError::CacheBind(e)
+    }
+}
+
+/// How a [`Runner`] chooses configurations.
+pub enum RunnerStrategy<'a> {
+    /// The paper's baseline configuration for the backend's machine.
+    Default,
+    /// A fixed per-region configuration map (no tuner, no overheads) —
+    /// used for oracle/ablation comparisons.
+    Fixed { config_for: Box<dyn Fn(&str) -> OmpConfig + 'a>, label: String },
+    /// An ARCS tuner (Online, Offline-train or Offline-replay, depending
+    /// on the tuner's mode).
+    Tuner(&'a mut RegionTuner),
+}
+
+/// Builder unifying every run flavour over any [`Backend`].
+///
+/// ```
+/// use arcs::backend::Runner;
+/// use arcs::executor::SimExecutor;
+/// use arcs_powersim::Machine;
+/// use arcs_kernels::{model, Class};
+///
+/// let mut wl = model::sp(Class::B);
+/// wl.timesteps = 5;
+/// let mut exec = SimExecutor::new(Machine::crill(), 85.0);
+/// let report = Runner::new(&mut exec).workload(&wl).run().unwrap();
+/// assert_eq!(report.strategy, "default");
+/// ```
+pub struct Runner<'a, B: Backend> {
+    backend: &'a mut B,
+    workload: Option<&'a WorkloadDescriptor>,
+    strategy: RunnerStrategy<'a>,
+    trace: Option<Arc<dyn TraceSink>>,
+    cache: Option<Arc<SharedSimCache>>,
+    label: Option<String>,
+}
+
+impl<'a, B: Backend> Runner<'a, B> {
+    pub fn new(backend: &'a mut B) -> Self {
+        Runner {
+            backend,
+            workload: None,
+            strategy: RunnerStrategy::Default,
+            trace: None,
+            cache: None,
+            label: None,
+        }
+    }
+
+    /// The workload to execute (required).
+    pub fn workload(mut self, wl: &'a WorkloadDescriptor) -> Self {
+        self.workload = Some(wl);
+        self
+    }
+
+    /// Select the configuration strategy (default:
+    /// [`RunnerStrategy::Default`]).
+    pub fn strategy(mut self, strategy: RunnerStrategy<'a>) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Shorthand for [`RunnerStrategy::Fixed`].
+    pub fn fixed(
+        self,
+        config_for: impl Fn(&str) -> OmpConfig + 'a,
+        label: impl Into<String>,
+    ) -> Self {
+        self.strategy(RunnerStrategy::Fixed {
+            config_for: Box::new(config_for),
+            label: label.into(),
+        })
+    }
+
+    /// Shorthand for [`RunnerStrategy::Tuner`].
+    pub fn tuner(self, tuner: &'a mut RegionTuner) -> Self {
+        self.strategy(RunnerStrategy::Tuner(tuner))
+    }
+
+    /// Attach a trace sink to the backend before running. The sink also
+    /// reaches the tuner (for `SearchIteration` events) and, on simulated
+    /// backends, the memo cache (for `CacheHit`/`CacheMiss`).
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Bind a shared memo cache before running. Machine mismatches surface
+    /// as [`RunError::CacheBind`] instead of a panic.
+    pub fn shared_cache(mut self, cache: Arc<SharedSimCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Override the report's strategy label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    fn prepare(&mut self) -> Result<&'a WorkloadDescriptor, RunError> {
+        if let Some(cache) = self.cache.take() {
+            self.backend.bind_shared_cache(cache)?;
+        }
+        if let Some(sink) = self.trace.take() {
+            self.backend.attach_trace(sink);
+        }
+        self.workload.ok_or(RunError::MissingWorkload)
+    }
+
+    /// Execute the workload and assemble the report.
+    pub fn run(mut self) -> Result<AppRunReport, RunError> {
+        let wl = self.prepare()?;
+        let b = self.backend;
+        match self.strategy {
+            RunnerStrategy::Default => {
+                let cfg = OmpConfig::default_for(b.machine());
+                let label = self.label.as_deref().unwrap_or("default");
+                Ok(drive_fixed(b, wl, &|_| cfg, label))
+            }
+            RunnerStrategy::Fixed { config_for, label } => {
+                let label = self.label.unwrap_or(label);
+                Ok(drive_fixed(b, wl, config_for.as_ref(), &label))
+            }
+            RunnerStrategy::Tuner(tuner) => {
+                if let Some(sink) = b.trace() {
+                    if sink.enabled() {
+                        tuner.set_trace(Arc::clone(sink));
+                    }
+                }
+                let label = self.label.as_deref().unwrap_or("arcs");
+                Ok(drive_tuned(b, wl, tuner, label))
+            }
+        }
+    }
+
+    /// ARCS-Offline training: repeat the application until every region's
+    /// exhaustive sweep has converged, then export the history file. The
+    /// training executions are not measured (the paper measures only the
+    /// second execution, which replays the saved optimum). Any strategy
+    /// set on the builder is ignored.
+    pub fn train(
+        mut self,
+        options: TunerOptions,
+        context: &str,
+    ) -> Result<History<OmpConfig>, RunError> {
+        if !matches!(options.mode, TuningMode::OfflineTrain) {
+            return Err(RunError::NotOfflineTrain);
+        }
+        let wl = self.prepare()?;
+        let b = self.backend;
+        let mut tuner = RegionTuner::new(options);
+        if let Some(sink) = b.trace() {
+            if sink.enabled() {
+                tuner.set_trace(Arc::clone(sink));
+            }
+        }
+        // Bound the number of training executions defensively; each pass
+        // offers `timesteps` measurements per region against a 252-point
+        // space, so a handful of passes always suffices.
+        for _pass in 0..64 {
+            let _ = drive_tuned(b, wl, &mut tuner, "arcs-offline-train");
+            if tuner.converged() {
+                break;
+            }
+        }
+        assert!(tuner.converged(), "offline training failed to converge");
+        Ok(tuner.export_history(context))
+    }
+}
+
+/// Run the whole application at the paper's default configuration
+/// (no instrumentation, no tuning).
+#[deprecated(note = "use `Runner::new(backend).workload(wl).run()`")]
+pub fn run_default<B: Backend>(b: &mut B, wl: &WorkloadDescriptor) -> AppRunReport {
+    Runner::new(b).workload(wl).run().expect("workload is set")
+}
+
+/// Run the whole application with a fixed per-region configuration map.
+#[deprecated(note = "use `Runner::new(backend).workload(wl).fixed(config_for, label).run()`")]
+pub fn run_fixed<'a, B: Backend>(
+    b: &'a mut B,
+    wl: &'a WorkloadDescriptor,
+    config_for: &'a dyn Fn(&str) -> OmpConfig,
+    strategy: &str,
+) -> AppRunReport {
+    Runner::new(b)
+        .workload(wl)
+        .fixed(|name: &str| config_for(name), strategy)
+        .run()
+        .expect("workload is set")
+}
+
+/// Run the application under an ARCS tuner.
+#[deprecated(note = "use `Runner::new(backend).workload(wl).tuner(tuner).run()`")]
+pub fn run_tuned<'a, B: Backend>(
+    b: &'a mut B,
+    wl: &'a WorkloadDescriptor,
+    tuner: &'a mut RegionTuner,
+) -> AppRunReport {
+    // Callers (runs::*) relabel with the specific strategy name.
+    Runner::new(b).workload(wl).tuner(tuner).run().expect("workload is set")
+}
+
+/// ARCS-Offline training: see [`Runner::train`].
+#[deprecated(note = "use `Runner::new(backend).workload(wl).train(options, context)`")]
+pub fn train_offline<B: Backend>(
+    b: &mut B,
+    wl: &WorkloadDescriptor,
+    options: TunerOptions,
+    context: &str,
+) -> History<OmpConfig> {
+    Runner::new(b)
+        .workload(wl)
+        .train(options, context)
+        .expect("train_offline requires TuningMode::OfflineTrain")
+}
+
+fn drive_fixed<B: Backend>(
     b: &mut B,
     wl: &WorkloadDescriptor,
     config_for: &dyn Fn(&str) -> OmpConfig,
@@ -109,6 +398,16 @@ pub fn run_fixed<B: Backend>(
     for _ts in 0..wl.timesteps {
         for region in &wl.step {
             let cfg = config_for(&region.name);
+            if let Some(sink) = &acc.sink {
+                sink.record(
+                    Some(acc.time_s),
+                    TraceEvent::RegionBegin {
+                        region: region.name.clone(),
+                        threads: cfg.threads,
+                        schedule: cfg.schedule.to_string(),
+                    },
+                );
+            }
             let meas = b.run_region(region, cfg);
             acc.region(b, &region.name, cfg, &meas, 0.0, 0.0);
         }
@@ -116,15 +415,13 @@ pub fn run_fixed<B: Backend>(
     acc.finish(b, None)
 }
 
-/// Run the application under an ARCS tuner (Online, Offline-train or
-/// Offline-replay, depending on the tuner's mode).
-pub fn run_tuned<B: Backend>(
+fn drive_tuned<B: Backend>(
     b: &mut B,
     wl: &WorkloadDescriptor,
     tuner: &mut RegionTuner,
+    strategy: &str,
 ) -> AppRunReport {
-    // Callers (runs::*) relabel with the specific strategy name.
-    let mut acc = Accum::new(b, wl, "arcs");
+    let mut acc = Accum::new(b, wl, strategy);
     for _ts in 0..wl.timesteps {
         for region in &wl.step {
             let decision = tuner.begin(&region.name);
@@ -138,6 +435,36 @@ pub fn run_tuned<B: Backend>(
             // well ("avoid overheads on the smaller regions").
             let instr_s = if decision.tuned { b.machine().instrumentation_s } else { 0.0 };
             let overhead_s = change_s + instr_s;
+            if let Some(sink) = &acc.sink {
+                if decision.changed {
+                    sink.record(
+                        Some(acc.time_s),
+                        TraceEvent::ConfigSwitch {
+                            region: region.name.clone(),
+                            threads: decision.config.threads,
+                            schedule: decision.config.schedule.to_string(),
+                        },
+                    );
+                }
+                if overhead_s > 0.0 {
+                    sink.record(
+                        Some(acc.time_s),
+                        TraceEvent::OverheadCharged {
+                            region: region.name.clone(),
+                            config_change_s: change_s,
+                            instrumentation_s: instr_s,
+                        },
+                    );
+                }
+                sink.record(
+                    Some(acc.time_s + overhead_s),
+                    TraceEvent::RegionBegin {
+                        region: region.name.clone(),
+                        threads: decision.config.threads,
+                        schedule: decision.config.schedule.to_string(),
+                    },
+                );
+            }
             if overhead_s > 0.0 {
                 b.charge_overhead(overhead_s);
             }
@@ -151,36 +478,8 @@ pub fn run_tuned<B: Backend>(
     acc.finish(b, Some(tuner))
 }
 
-/// ARCS-Offline training: repeat the application until every region's
-/// exhaustive sweep has converged, then export the history file. The
-/// training executions are not measured (the paper measures only the
-/// second execution, which replays the saved optimum).
-pub fn train_offline<B: Backend>(
-    b: &mut B,
-    wl: &WorkloadDescriptor,
-    options: TunerOptions,
-    context: &str,
-) -> History<OmpConfig> {
-    assert!(
-        matches!(options.mode, TuningMode::OfflineTrain),
-        "train_offline requires TuningMode::OfflineTrain"
-    );
-    let mut tuner = RegionTuner::new(options);
-    // Bound the number of training executions defensively; each pass
-    // offers `timesteps` measurements per region against a 252-point
-    // space, so a handful of passes always suffices.
-    for _pass in 0..64 {
-        let _ = run_tuned(b, wl, &mut tuner);
-        if tuner.converged() {
-            break;
-        }
-    }
-    assert!(tuner.converged(), "offline training failed to converge");
-    tuner.export_history(context)
-}
-
 /// Shared accumulation for all run flavours: the ONE place overheads,
-/// per-region aggregates and report assembly live.
+/// per-region aggregates, trace emission and report assembly live.
 struct Accum {
     app: String,
     strategy: String,
@@ -188,11 +487,24 @@ struct Accum {
     config_overhead_s: f64,
     instr_overhead_s: f64,
     per_region: BTreeMap<String, RegionSummary>,
+    /// Present only when the backend carries an *enabled* sink, so the
+    /// untraced and `NullSink` paths skip all event construction.
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl Accum {
     fn new<B: Backend>(b: &mut B, wl: &WorkloadDescriptor, strategy: &str) -> Self {
         b.begin_run();
+        let sink = b.trace().filter(|s| s.enabled()).map(Arc::clone);
+        if let Some(s) = &sink {
+            s.record(
+                Some(0.0),
+                TraceEvent::CapChange {
+                    requested_w: b.requested_power_cap_w(),
+                    effective_w: b.power_cap_w(),
+                },
+            );
+        }
         Accum {
             app: wl.name.clone(),
             strategy: strategy.to_string(),
@@ -200,6 +512,7 @@ impl Accum {
             config_overhead_s: 0.0,
             instr_overhead_s: 0.0,
             per_region: Default::default(),
+            sink,
         }
     }
 
@@ -230,6 +543,25 @@ impl Accum {
 
         let energy_total_j = b.energy_j();
         b.record_sample(name, meas.time_s, energy_total_j);
+        if let Some(sink) = &self.sink {
+            sink.record(
+                Some(self.time_s),
+                TraceEvent::RegionEnd {
+                    region: name.to_string(),
+                    time_s: meas.time_s,
+                    energy_j: meas.energy_j,
+                },
+            );
+            if meas.time_s > 0.0 {
+                sink.record(
+                    Some(self.time_s),
+                    TraceEvent::PowerSample {
+                        power_w: meas.energy_j / meas.time_s,
+                        energy_total_j,
+                    },
+                );
+            }
+        }
     }
 
     fn finish<B: Backend>(self, b: &mut B, tuner: Option<&RegionTuner>) -> AppRunReport {

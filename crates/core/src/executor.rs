@@ -19,16 +19,17 @@
 //! instance so profile-based analyses (Fig. 9) read the same introspection
 //! state the live path populates.
 
-use crate::backend::{self, Backend, Measurement, RegionFeatures};
+use crate::backend::{self, Backend, Measurement, RegionFeatures, RunError, Runner};
 use crate::config::OmpConfig;
 use crate::report::AppRunReport;
 use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_apex::Apex;
 use arcs_harmony::History;
 use arcs_powersim::{
-    simulate_region, Machine, PackageEnergy, Rapl, RegionModel, SharedSimCache, SimConfig,
-    SimReport, WorkloadDescriptor,
+    simulate_region, CacheBindError, Machine, PackageEnergy, Rapl, RegionModel, SharedSimCache,
+    SimConfig, SimReport, WorkloadDescriptor,
 };
+use arcs_trace::TraceSink;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -36,10 +37,13 @@ use std::sync::Arc;
 pub struct SimExecutor {
     pub machine: Machine,
     cap_w: f64,
+    /// The cap as requested, before RAPL clamping (trace `CapChange`).
+    requested_cap_w: f64,
     rapl: Rapl,
     cache: Arc<SharedSimCache>,
     apex: Option<Arc<Apex>>,
     noise: Option<NoiseModel>,
+    trace: Option<Arc<dyn TraceSink>>,
     energy_meter: PackageEnergy,
     /// Invocation ordinal per region (feeds the stateless noise model;
     /// persists across runs so repeated training passes see fresh noise).
@@ -92,15 +96,18 @@ impl NoiseModel {
 impl SimExecutor {
     pub fn new(machine: Machine, cap_w: f64) -> Self {
         let mut rapl = Rapl::new(&machine);
+        let requested_cap_w = cap_w;
         let cap_w = rapl.set_package_cap(cap_w);
         let cache = Arc::new(SharedSimCache::new(&machine.name));
         SimExecutor {
             machine,
             cap_w,
+            requested_cap_w,
             rapl,
             cache,
             apex: None,
             noise: None,
+            trace: None,
             energy_meter: PackageEnergy::new(),
             invocations: HashMap::new(),
         }
@@ -108,6 +115,9 @@ impl SimExecutor {
 
     /// Route region samples into an APEX instance as well.
     pub fn with_apex(mut self, apex: Arc<Apex>) -> Self {
+        if let Some(sink) = &self.trace {
+            apex.set_trace(Arc::clone(sink));
+        }
         self.apex = Some(apex);
         self
     }
@@ -119,17 +129,43 @@ impl SimExecutor {
         self
     }
 
-    /// Attach a memo cache shared with other executors. The cache must
-    /// belong to the same machine model — reports are machine-dependent
-    /// and the machine is not part of the cache key.
-    pub fn with_shared_cache(mut self, cache: Arc<SharedSimCache>) -> Self {
-        assert_eq!(
-            cache.machine(),
-            self.machine.name,
-            "shared cache belongs to a different machine model"
-        );
-        self.cache = cache;
+    /// Attach a trace sink: the driver's region/power events, the memo
+    /// cache's hit/miss events and APEX's policy events all flow into it.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        Backend::attach_trace(&mut self, sink);
         self
+    }
+
+    /// Attach a memo cache shared with other executors, checking that it
+    /// belongs to this executor's machine model — reports are
+    /// machine-dependent and the machine is not part of the cache key.
+    pub fn try_with_shared_cache(
+        mut self,
+        cache: Arc<SharedSimCache>,
+    ) -> Result<Self, CacheBindError> {
+        self.bind_cache(cache)?;
+        Ok(self)
+    }
+
+    /// Attach a memo cache shared with other executors. Machine mismatches
+    /// panic in debug builds; release builds keep the private cache. Use
+    /// [`SimExecutor::try_with_shared_cache`] to handle the mismatch.
+    pub fn with_shared_cache(mut self, cache: Arc<SharedSimCache>) -> Self {
+        let bound = self.bind_cache(cache);
+        debug_assert!(
+            bound.is_ok(),
+            "shared cache belongs to a different machine model: {bound:?}"
+        );
+        self
+    }
+
+    fn bind_cache(&mut self, cache: Arc<SharedSimCache>) -> Result<(), CacheBindError> {
+        cache.check_machine(&self.machine.name)?;
+        if let Some(sink) = &self.trace {
+            cache.attach_trace(Arc::clone(sink));
+        }
+        self.cache = cache;
+        Ok(())
     }
 
     /// The memo cache this executor reads and writes.
@@ -167,7 +203,7 @@ impl SimExecutor {
     /// Run the whole application at the paper's default configuration
     /// (no instrumentation, no tuning).
     pub fn run_default(&mut self, wl: &WorkloadDescriptor) -> AppRunReport {
-        backend::run_default(self, wl)
+        Runner::new(self).workload(wl).run().expect("workload is set")
     }
 
     /// Run the whole application with a fixed per-region configuration map
@@ -178,23 +214,30 @@ impl SimExecutor {
         config_for: &dyn Fn(&str) -> OmpConfig,
         strategy: &str,
     ) -> AppRunReport {
-        backend::run_fixed(self, wl, config_for, strategy)
+        Runner::new(self)
+            .workload(wl)
+            .fixed(|name: &str| config_for(name), strategy)
+            .run()
+            .expect("workload is set")
     }
 
     /// Run the application under an ARCS tuner (Online, Offline-train or
     /// Offline-replay, depending on the tuner's mode).
     pub fn run_tuned(&mut self, wl: &WorkloadDescriptor, tuner: &mut RegionTuner) -> AppRunReport {
-        backend::run_tuned(self, wl, tuner)
+        Runner::new(self).workload(wl).tuner(tuner).run().expect("workload is set")
     }
 
-    /// ARCS-Offline training: see [`backend::train_offline`].
+    /// ARCS-Offline training: see [`Runner::train`].
     pub fn train_offline(
         &mut self,
         wl: &WorkloadDescriptor,
         options: TunerOptions,
         context: &str,
     ) -> History<OmpConfig> {
-        backend::train_offline(self, wl, options, context)
+        Runner::new(self)
+            .workload(wl)
+            .train(options, context)
+            .expect("train_offline requires TuningMode::OfflineTrain")
     }
 }
 
@@ -205,6 +248,10 @@ impl Backend for SimExecutor {
 
     fn power_cap_w(&self) -> f64 {
         self.cap_w
+    }
+
+    fn requested_power_cap_w(&self) -> f64 {
+        self.requested_cap_w
     }
 
     fn begin_run(&mut self) {
@@ -250,6 +297,22 @@ impl Backend for SimExecutor {
             // periodic APEX sampler would record it.
             apex.record_counter("rapl/package_energy_j", energy_total_j);
         }
+    }
+
+    fn trace(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.trace.as_ref()
+    }
+
+    fn attach_trace(&mut self, sink: Arc<dyn TraceSink>) {
+        self.cache.attach_trace(Arc::clone(&sink));
+        if let Some(apex) = &self.apex {
+            apex.set_trace(Arc::clone(&sink));
+        }
+        self.trace = Some(sink);
+    }
+
+    fn bind_shared_cache(&mut self, cache: Arc<SharedSimCache>) -> Result<(), RunError> {
+        self.bind_cache(cache).map_err(RunError::from)
     }
 }
 
@@ -445,10 +508,111 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different machine model")]
     fn shared_cache_rejects_wrong_machine() {
         let cache = Arc::new(SharedSimCache::new("minotaur"));
+        let err = SimExecutor::new(Machine::crill(), 85.0)
+            .try_with_shared_cache(cache)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.cache_machine, "minotaur");
+        assert_eq!(err.machine, "crill");
+        assert!(err.to_string().contains("different machine model"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "different machine model")]
+    fn shared_cache_mismatch_panics_in_debug_builds() {
+        let cache = Arc::new(SharedSimCache::new("minotaur"));
         let _ = SimExecutor::new(Machine::crill(), 85.0).with_shared_cache(cache);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use arcs_kernels::{model, Class};
+    use arcs_trace::{NullSink, TraceEvent, VecSink};
+
+    fn tiny_sp() -> WorkloadDescriptor {
+        let mut wl = model::sp(Class::B);
+        wl.timesteps = 4;
+        wl
+    }
+
+    #[test]
+    fn traced_online_run_emits_the_full_event_taxonomy() {
+        let m = Machine::crill();
+        let wl = tiny_sp();
+        let sink = Arc::new(VecSink::new());
+        let mut exec = SimExecutor::new(m, 80.0).with_trace(sink.clone());
+        let _ = runs::online_run_on(&mut exec, &wl);
+
+        let records = sink.drain();
+        let count = |kind: &str| records.iter().filter(|r| r.event.kind() == kind).count();
+        assert_eq!(count("CapChange"), 1);
+        assert_eq!(count("RegionBegin"), 20); // 5 regions × 4 timesteps
+        assert_eq!(count("RegionEnd"), 20);
+        assert_eq!(count("PowerSample"), 20);
+        assert!(count("SearchIteration") > 0, "tuner must report search steps");
+        assert!(count("ConfigSwitch") > 0);
+        assert!(count("OverheadCharged") > 0);
+        assert!(count("CacheMiss") > 0);
+        // The cap is below Crill's RAPL floor? No — 80 W is in range, so
+        // requested == effective.
+        let cap = records.iter().find(|r| r.event.kind() == "CapChange").unwrap();
+        assert!(matches!(
+            cap.event,
+            TraceEvent::CapChange { requested_w, effective_w }
+                if requested_w == 80.0 && effective_w == 80.0
+        ));
+        // Sequence numbers are unique and drain() sorts them.
+        for w in records.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn null_sink_runs_bit_identical_to_untraced_runs() {
+        let m = Machine::crill();
+        let wl = tiny_sp();
+        let plain = SimExecutor::new(m.clone(), 85.0).with_noise(0.1, 9).run_default(&wl);
+        let nulled = SimExecutor::new(m.clone(), 85.0)
+            .with_noise(0.1, 9)
+            .with_trace(Arc::new(NullSink))
+            .run_default(&wl);
+        assert_eq!(plain, nulled);
+    }
+
+    #[test]
+    fn runner_surfaces_cache_bind_errors() {
+        let m = Machine::crill();
+        let wl = tiny_sp();
+        let mut exec = SimExecutor::new(m, 85.0);
+        let err = Runner::new(&mut exec)
+            .workload(&wl)
+            .shared_cache(Arc::new(SharedSimCache::new("minotaur")))
+            .run()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, RunError::CacheBind(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn runner_requires_a_workload() {
+        let mut exec = SimExecutor::new(Machine::crill(), 85.0);
+        let err = Runner::new(&mut exec).run().map(|_| ()).unwrap_err();
+        assert!(matches!(err, RunError::MissingWorkload));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_runner() {
+        let m = Machine::crill();
+        let wl = tiny_sp();
+        let old = backend::run_default(&mut SimExecutor::new(m.clone(), 85.0), &wl);
+        let new = Runner::new(&mut SimExecutor::new(m, 85.0)).workload(&wl).run().unwrap();
+        assert_eq!(old, new);
     }
 }
 

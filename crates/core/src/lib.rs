@@ -56,7 +56,9 @@ pub mod report;
 pub mod sweep;
 pub mod tuner;
 
-pub use backend::{overhead_power_w, Backend, Measurement, RegionFeatures};
+pub use backend::{
+    overhead_power_w, Backend, Measurement, RegionFeatures, RunError, Runner, RunnerStrategy,
+};
 pub use config::{ChunkChoice, ConfigSpace, OmpConfig, ScheduleChoice, ThreadChoice};
 pub use dvfs::{DvfsConfig, DvfsOutcome, DvfsSpace, Objective};
 pub use executor::{runs, NoiseModel, SimExecutor};
@@ -65,3 +67,27 @@ pub use profiler::{OmptProfiler, RegionProfile};
 pub use report::{AppRunReport, RegionSummary};
 pub use sweep::{CellResult, SweepEngine, SweepGrid, SweepReport, SweepStrategy};
 pub use tuner::{RegionTuner, TunerDecision, TunerOptions, TunerStats, TuningMode};
+
+/// One-import surface for the common simulator workflow.
+///
+/// ```
+/// use arcs::prelude::*;
+/// # use arcs_kernels::{model, Class};
+/// let mut wl = model::sp(Class::B);
+/// wl.timesteps = 3;
+/// let mut exec = SimExecutor::new(Machine::crill(), 85.0);
+/// let report = Runner::new(&mut exec).workload(&wl).run().unwrap();
+/// assert!(report.time_s > 0.0);
+/// ```
+pub mod prelude {
+    pub use crate::backend::{Backend, RunError, Runner, RunnerStrategy};
+    pub use crate::config::{ConfigSpace, OmpConfig};
+    pub use crate::executor::{runs, SimExecutor};
+    pub use crate::report::AppRunReport;
+    pub use crate::sweep::{SweepEngine, SweepGrid, SweepStrategy};
+    pub use crate::tuner::{RegionTuner, TunerOptions};
+    pub use arcs_powersim::{Machine, SharedSimCache, WorkloadDescriptor};
+    pub use arcs_trace::{
+        chrome_trace, JsonlSink, NullSink, TraceEvent, TraceRecord, TraceSink, VecSink,
+    };
+}

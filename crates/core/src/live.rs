@@ -21,6 +21,7 @@ use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_apex::{Apex, PolicyEventKind, PolicyTrigger};
 use arcs_omprt::{RegionId, RegionRecord, Runtime, Tool};
 use arcs_powersim::{Machine, RegionModel};
+use arcs_trace::TraceSink;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -131,6 +132,7 @@ pub struct LiveExecutor {
     time_scale: f64,
     regions: HashMap<String, RegionId>,
     energy_acc_j: f64,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl LiveExecutor {
@@ -145,7 +147,16 @@ impl LiveExecutor {
             time_scale: 1e-3,
             regions: HashMap::new(),
             energy_acc_j: 0.0,
+            trace: None,
         }
+    }
+
+    /// Attach a trace sink; the shared run driver emits region, power and
+    /// overhead events into it (energy figures come from the power model,
+    /// like the executor's accounting).
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
     }
 
     /// Adjust how much real time one modelled second costs (default 1e-3).
@@ -248,11 +259,20 @@ impl Backend for LiveExecutor {
     fn energy_j(&mut self) -> f64 {
         self.energy_acc_j
     }
+
+    fn trace(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.trace.as_ref()
+    }
+
+    fn attach_trace(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::Runner;
     use crate::config::ConfigSpace;
     use crate::tuner::TuningMode;
     use arcs_harmony::NmOptions;
@@ -351,7 +371,7 @@ mod tests {
 
         // Default run through the backend-agnostic driver: real threads,
         // no overheads.
-        let rep = crate::backend::run_default(&mut exec, &wl);
+        let rep = Runner::new(&mut exec).workload(&wl).run().unwrap();
         assert_eq!(rep.strategy, "default");
         assert_eq!(rep.machine, "crill");
         assert_eq!(rep.per_region["live/kernel"].invocations, 6);
@@ -367,7 +387,7 @@ mod tests {
             mode: TuningMode::Online(NmOptions { max_evals: 10, ..NmOptions::default() }),
             min_region_time_s: 0.0,
         });
-        let tuned = crate::backend::run_tuned(&mut exec, &wl, &mut tuner);
+        let tuned = Runner::new(&mut exec).workload(&wl).tuner(&mut tuner).run().unwrap();
         let m = exec.machine().clone();
         assert!((tuned.instrumentation_overhead_s - 6.0 * m.instrumentation_s).abs() < 1e-12);
         assert!(tuned.config_change_overhead_s > 0.0);

@@ -21,6 +21,7 @@ use crate::report::AppRunReport;
 use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_harmony::History;
 use arcs_powersim::{CacheStats, Machine, SharedSimCache, WorkloadDescriptor};
+use arcs_trace::TraceSink;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -132,19 +133,30 @@ pub struct SweepEngine {
     machine: Machine,
     cache: Arc<SharedSimCache>,
     workers: usize,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl SweepEngine {
     pub fn new(machine: Machine) -> Self {
         let cache = Arc::new(SharedSimCache::new(&machine.name));
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
-        SweepEngine { machine, cache, workers }
+        SweepEngine { machine, cache, workers, trace: None }
     }
 
     /// Fix the worker-pool size (1 = serial, for determinism checks).
     pub fn with_workers(mut self, workers: usize) -> Self {
         assert!(workers >= 1);
         self.workers = workers;
+        self
+    }
+
+    /// Trace every cell's execution into `sink`. Cells run concurrently,
+    /// so events from different cells interleave; order within one cell is
+    /// preserved by the sink's sequence numbers only relative to the other
+    /// cells' records.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.cache.attach_trace(Arc::clone(&sink));
+        self.trace = Some(sink);
         self
     }
 
@@ -197,6 +209,9 @@ impl SweepEngine {
             .with_shared_cache(Arc::clone(&self.cache));
         if let Some((cv, seed)) = noise {
             exec = exec.with_noise(cv, seed);
+        }
+        if let Some(sink) = &self.trace {
+            exec = exec.with_trace(Arc::clone(sink));
         }
         exec
     }

@@ -21,8 +21,10 @@
 
 use crate::config::{ConfigSpace, OmpConfig};
 use arcs_harmony::{History, NmOptions, ProOptions, Session, StrategyKind};
+use arcs_trace::{SearchCandidate, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How a tuner chooses configurations.
 #[derive(Debug, Clone)]
@@ -118,6 +120,7 @@ pub struct RegionTuner {
     /// paper's per-region-invocation overhead arises (§III-C).
     last_applied: Option<OmpConfig>,
     stats: TunerStats,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl RegionTuner {
@@ -127,7 +130,22 @@ impl RegionTuner {
             regions: HashMap::new(),
             last_applied: None,
             stats: TunerStats::default(),
+            trace: None,
         }
+    }
+
+    /// Emit a [`TraceEvent::SearchIteration`] per search step. Only
+    /// affects regions first encountered *after* the call (sessions are
+    /// created lazily and observers bind at creation); the run drivers
+    /// call this before the first invocation, so every region is covered.
+    pub fn set_trace(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Builder-style [`RegionTuner::set_trace`].
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.set_trace(sink);
+        self
     }
 
     pub fn stats(&self) -> TunerStats {
@@ -235,8 +253,36 @@ impl RegionTuner {
                     }
                     TuningMode::OfflineReplay(_) => unreachable!(),
                 };
-                let session =
+                let mut session =
                     Session::new(space.to_search_space(), strategy, space.default_point());
+                if let Some(sink) = &self.trace {
+                    if sink.enabled() {
+                        let sink = Arc::clone(sink);
+                        let region_name = region.to_owned();
+                        session = session.with_observer(move |step| {
+                            sink.record(
+                                None,
+                                TraceEvent::SearchIteration {
+                                    region: region_name.clone(),
+                                    evaluations: step.evaluations as u64,
+                                    point: step.point.clone(),
+                                    value: step.value,
+                                    best_point: step.best_point.clone(),
+                                    best_value: step.best_value,
+                                    converged: step.converged,
+                                    simplex: step
+                                        .candidates
+                                        .iter()
+                                        .map(|c| SearchCandidate {
+                                            point: c.point.clone(),
+                                            value: c.value,
+                                        })
+                                        .collect(),
+                                },
+                            );
+                        });
+                    }
+                }
                 RegionState {
                     session: Some(session),
                     pinned: None,
@@ -441,6 +487,30 @@ mod tests {
         let back: History<OmpConfig> = History::from_json(&json).unwrap();
         assert_eq!(h, back);
         assert_eq!(back.context, "app.B.crill.115W");
+    }
+
+    #[test]
+    fn traced_tuner_reports_search_iterations() {
+        use arcs_trace::{TraceEvent, VecSink};
+        use std::sync::Arc;
+
+        let sink = Arc::new(VecSink::new());
+        let mut tuner = RegionTuner::new(TunerOptions::online(space())).with_trace(sink.clone());
+        drive(&mut tuner, "r", 40);
+        let records = sink.drain();
+        assert!(!records.is_empty(), "search steps must reach the sink");
+        let mut last_evals = 0;
+        for r in &records {
+            let TraceEvent::SearchIteration { region, evaluations, best_value, value, .. } =
+                &r.event
+            else {
+                panic!("unexpected event {:?}", r.event);
+            };
+            assert_eq!(region, "r");
+            assert!(*evaluations > last_evals);
+            last_evals = *evaluations;
+            assert!(best_value <= value);
+        }
     }
 
     #[test]

@@ -32,8 +32,9 @@ pub mod space;
 pub mod strategies;
 
 pub use history::{Entry, History};
-pub use session::{Session, StrategyKind};
+pub use session::{Session, SessionObserver, StrategyKind};
 pub use space::{Param, Point, SearchSpace};
 pub use strategies::{
-    Exhaustive, NelderMead, NmOptions, ParallelRankOrder, ProOptions, RandomSearch, Search,
+    Candidate, Exhaustive, NelderMead, NmOptions, ParallelRankOrder, ProOptions, RandomSearch,
+    Search, SearchStep,
 };

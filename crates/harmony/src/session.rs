@@ -15,8 +15,13 @@
 use crate::space::{Point, SearchSpace};
 use crate::strategies::{
     Exhaustive, NelderMead, NmOptions, ParallelRankOrder, ProOptions, RandomSearch, Search,
+    SearchStep,
 };
 use std::collections::HashMap;
+
+/// Callback invoked after every measurement the strategy processes —
+/// real runs *and* cached replays — with a [`SearchStep`] snapshot.
+pub type SessionObserver = Box<dyn FnMut(&SearchStep<'_>) + Send>;
 
 /// Which search algorithm a session runs.
 #[derive(Debug, Clone)]
@@ -58,6 +63,7 @@ pub struct Session {
     cache: Option<HashMap<usize, f64>>,
     pending: Option<Point>,
     fallback: Point,
+    observer: Option<SessionObserver>,
 }
 
 impl Session {
@@ -86,7 +92,7 @@ impl Session {
             StrategyKind::Exhaustive { .. } => None,
             _ => Some(HashMap::new()),
         };
-        Session { space, search, cache, pending: None, fallback: start }
+        Session { space, search, cache, pending: None, fallback: start, observer: None }
     }
 
     /// Disable result caching (use when measurements are noisy and repeated
@@ -94,6 +100,36 @@ impl Session {
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
         self
+    }
+
+    /// Observe every measurement the strategy processes: the callback
+    /// fires after each `tell` — including cached replays, which advance
+    /// the search without a real region run — with the strategy's
+    /// post-step state (incumbent best, candidate set).
+    pub fn with_observer(mut self, observer: impl FnMut(&SearchStep<'_>) + Send + 'static) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Fire the observer for the measurement just processed for `point`.
+    fn notify(&mut self, point: &Point, value: f64) {
+        let Session { search, observer, .. } = self;
+        let Some(obs) = observer.as_mut() else {
+            return;
+        };
+        let candidates = search.candidates();
+        let Some((best_point, best_value)) = search.best() else {
+            return;
+        };
+        obs(&SearchStep {
+            point,
+            value,
+            best_point,
+            best_value,
+            evaluations: search.evaluations(),
+            converged: search.converged(),
+            candidates: &candidates,
+        });
     }
 
     /// The configuration to use for the next invocation. Before convergence
@@ -111,6 +147,7 @@ impl Session {
                             // Known point: replay the cached measurement and
                             // let the strategy advance without a real run.
                             self.search.tell(v);
+                            self.notify(&p, v);
                             continue;
                         }
                     }
@@ -133,6 +170,7 @@ impl Session {
             cache.insert(self.space.rank(&p), value);
         }
         self.search.tell(value);
+        self.notify(&p, value);
     }
 
     /// Is a measurement currently outstanding?
@@ -244,5 +282,56 @@ mod tests {
     fn fallback_point_used_when_unmeasured() {
         let s = Session::new(space(), StrategyKind::exhaustive(), vec![3, 3]);
         assert_eq!(s.best_point(), vec![3, 3]);
+    }
+
+    #[test]
+    fn observer_sees_every_tell_including_cached_replays() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let steps = Arc::new(AtomicUsize::new(0));
+        let last_best = Arc::new(parking_lot::Mutex::new(None::<(Point, f64)>));
+        let session = {
+            let steps = Arc::clone(&steps);
+            let last_best = Arc::clone(&last_best);
+            Session::new(space(), StrategyKind::nelder_mead(), vec![5, 0]).with_observer(
+                move |step| {
+                    steps.fetch_add(1, Ordering::Relaxed);
+                    assert!(step.value.is_finite());
+                    assert!(step.best_value <= step.value, "best can never exceed a told value");
+                    *last_best.lock() = Some((step.best_point.clone(), step.best_value));
+                },
+            )
+        };
+        let (s, real_runs) = drive(session, 1000);
+        assert!(s.converged());
+        // One observer step per strategy evaluation: cached replays count.
+        assert_eq!(steps.load(Ordering::Relaxed), s.evaluations());
+        assert!(real_runs <= s.evaluations());
+        let (best_point, best_value) = last_best.lock().clone().unwrap();
+        assert_eq!(s.best().unwrap(), (best_point, best_value));
+    }
+
+    #[test]
+    fn observer_receives_simplex_candidates_from_nelder_mead() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let max_candidates = Arc::new(AtomicUsize::new(0));
+        let session = {
+            let max_candidates = Arc::clone(&max_candidates);
+            Session::new(space(), StrategyKind::nelder_mead(), vec![5, 0]).with_observer(
+                move |step| {
+                    max_candidates.fetch_max(step.candidates.len(), Ordering::Relaxed);
+                    for c in step.candidates {
+                        assert!(c.value.is_finite());
+                        assert_eq!(c.point.len(), 2);
+                    }
+                },
+            )
+        };
+        let (_, _) = drive(session, 1000);
+        // Dim+1 = 3 vertices once the initial simplex is measured.
+        assert_eq!(max_candidates.load(Ordering::Relaxed), 3);
     }
 }

@@ -18,6 +18,33 @@ pub use random::RandomSearch;
 
 use crate::space::Point;
 
+/// One member of a strategy's internal candidate set — a Nelder–Mead
+/// simplex vertex, a PRO population member — rounded to the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    pub point: Point,
+    /// Objective value measured at `point`.
+    pub value: f64,
+}
+
+/// A snapshot handed to observers after each processed measurement: what
+/// was measured, the incumbent best, and the strategy's full candidate
+/// state (see [`Search::candidates`]).
+#[derive(Debug, Clone)]
+pub struct SearchStep<'a> {
+    /// The point whose measurement was just told.
+    pub point: &'a Point,
+    /// The value told for `point`.
+    pub value: f64,
+    pub best_point: &'a Point,
+    pub best_value: f64,
+    /// `tell`s processed so far, including cached replays.
+    pub evaluations: usize,
+    pub converged: bool,
+    /// The strategy's candidate set after processing the measurement.
+    pub candidates: &'a [Candidate],
+}
+
 /// Sequential ask/tell minimiser over a discrete grid.
 pub trait Search: Send {
     /// Next point to evaluate. Returns `None` once the strategy has
@@ -39,4 +66,13 @@ pub trait Search: Send {
 
     /// Number of `tell`s processed.
     fn evaluations(&self) -> usize;
+
+    /// The strategy's current candidate set — simplex vertices for the
+    /// simplex methods, measured only (unmeasured slots are omitted).
+    /// Strategies without persistent candidate state return the default
+    /// empty set. This is the observer hook the tracing layer reads to
+    /// reconstruct *how* a search converged.
+    fn candidates(&self) -> Vec<Candidate> {
+        Vec::new()
+    }
 }

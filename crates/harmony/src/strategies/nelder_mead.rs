@@ -348,6 +348,16 @@ impl Search for NelderMead {
     fn evaluations(&self) -> usize {
         self.evals
     }
+
+    /// The current simplex, measured vertices only (shrink marks vertices
+    /// awaiting re-evaluation with a non-finite value).
+    fn candidates(&self) -> Vec<super::Candidate> {
+        self.simplex
+            .iter()
+            .filter(|v| v.f.is_finite())
+            .map(|v| super::Candidate { point: self.space.round(&v.x), value: v.f })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -334,6 +334,16 @@ impl Search for ParallelRankOrder {
     fn evaluations(&self) -> usize {
         self.evals
     }
+
+    /// The current simplex population, measured vertices only (shrink
+    /// marks vertices awaiting re-evaluation with a non-finite value).
+    fn candidates(&self) -> Vec<super::Candidate> {
+        self.vertices
+            .iter()
+            .filter(|v| v.f.is_finite())
+            .map(|v| super::Candidate { point: self.space.round(&v.x), value: v.f })
+            .collect()
+    }
 }
 
 #[cfg(test)]

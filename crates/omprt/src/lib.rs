@@ -47,6 +47,7 @@ pub mod pool;
 pub mod region;
 pub mod schedule;
 pub mod stats;
+pub mod trace;
 pub mod util;
 
 pub use ompt::{Tool, ToolRegistry};
@@ -54,4 +55,5 @@ pub use pool::Pool;
 pub use region::{RegionId, Runtime};
 pub use schedule::{Chunk, Dispenser, Schedule, ScheduleKind};
 pub use stats::{RegionRecord, ThreadStats};
+pub use trace::TraceTool;
 pub use util::SyncSlice;

@@ -1,0 +1,132 @@
+//! OMPT-to-trace bridge: mirror runtime events onto a [`TraceSink`].
+//!
+//! [`TraceTool`] is a [`Tool`] that converts `parallel_begin` /
+//! `parallel_end` callbacks into [`TraceEvent::RegionBegin`] /
+//! [`TraceEvent::RegionEnd`] records, timestamped against the moment the
+//! tool was created. It is how *live* runs get region events; simulated
+//! backends emit the same events from their driver instead (where an
+//! energy model exists — the live runtime has none, so `energy_j` is 0).
+//!
+//! The tool holds the runtime weakly: the runtime owns its tool chain, so
+//! a strong reference back would form an `Arc` cycle and leak both.
+
+use crate::ompt::Tool;
+use crate::region::{RegionId, Runtime};
+use crate::stats::RegionRecord;
+use arcs_trace::{TraceEvent, TraceSink};
+use std::sync::{Arc, Weak};
+use std::time::Instant;
+
+/// A [`Tool`] that records region fork/join events on a trace sink.
+pub struct TraceTool {
+    rt: Weak<Runtime>,
+    sink: Arc<dyn TraceSink>,
+    epoch: Instant,
+}
+
+impl TraceTool {
+    /// Create a tool observing `rt`. Timestamps (`t_s`) are seconds since
+    /// this call.
+    pub fn new(rt: &Arc<Runtime>, sink: Arc<dyn TraceSink>) -> Self {
+        TraceTool { rt: Arc::downgrade(rt), sink, epoch: Instant::now() }
+    }
+
+    /// Create the tool and register it on `rt`'s tool chain in one step.
+    /// Returns the registration index.
+    pub fn attach(rt: &Arc<Runtime>, sink: Arc<dyn TraceSink>) -> usize {
+        let tool = Arc::new(TraceTool::new(rt, sink));
+        rt.tools().register(tool)
+    }
+
+    fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+impl Tool for TraceTool {
+    fn parallel_begin(&self, region: RegionId) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let Some(rt) = self.rt.upgrade() else {
+            return;
+        };
+        // ICVs read here are the values *entering* the fork; a tool later
+        // in the chain (e.g. the ARCS policy) may still change them for
+        // this invocation — the RegionEnd record carries the actual team.
+        self.sink.record(
+            Some(self.now_s()),
+            TraceEvent::RegionBegin {
+                region: rt.region_name(region),
+                threads: rt.num_threads(),
+                schedule: rt.schedule().to_string(),
+            },
+        );
+    }
+
+    fn parallel_end(&self, region: RegionId, record: &RegionRecord) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let Some(rt) = self.rt.upgrade() else {
+            return;
+        };
+        self.sink.record(
+            Some(self.now_s()),
+            TraceEvent::RegionEnd {
+                region: rt.region_name(region),
+                time_s: record.duration.as_secs_f64(),
+                energy_j: 0.0,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcs_trace::VecSink;
+
+    #[test]
+    fn regions_emit_begin_end_pairs() {
+        let rt = Arc::new(Runtime::new(2));
+        let sink = Arc::new(VecSink::new());
+        TraceTool::attach(&rt, sink.clone());
+
+        let region = rt.register_region("axpy");
+        for _ in 0..2 {
+            rt.parallel_for(region, 0..64, |_| {});
+        }
+
+        let records = sink.drain();
+        assert_eq!(records.len(), 4);
+        let kinds: Vec<&str> = records.iter().map(|r| r.event.kind()).collect();
+        assert_eq!(kinds, ["RegionBegin", "RegionEnd", "RegionBegin", "RegionEnd"]);
+        for r in &records {
+            assert!(r.t_s.is_some());
+            match &r.event {
+                TraceEvent::RegionBegin { region, threads, .. } => {
+                    assert_eq!(region, "axpy");
+                    assert_eq!(*threads, 2);
+                }
+                TraceEvent::RegionEnd { region, time_s, energy_j } => {
+                    assert_eq!(region, "axpy");
+                    assert!(*time_s >= 0.0);
+                    assert_eq!(*energy_j, 0.0);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // Timestamps are monotone along the run.
+        let ts: Vec<f64> = records.iter().map(|r| r.t_s.unwrap()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn null_sink_records_nothing() {
+        let rt = Arc::new(Runtime::new(1));
+        TraceTool::attach(&rt, Arc::new(arcs_trace::NullSink));
+        let region = rt.register_region("noop");
+        rt.parallel_for(region, 0..8, |_| {});
+    }
+}

@@ -58,6 +58,6 @@ pub mod workload;
 pub use cache::{analyze, CacheReport};
 pub use exec::{simulate_region, simulate_region_at_freq, SimConfig, SimReport};
 pub use machine::{CacheGeometry, Machine, Placement, PowerModel, SmtModel};
-pub use memo::{CacheStats, SharedSimCache};
+pub use memo::{CacheBindError, CacheStats, SharedSimCache};
 pub use rapl::{PackageEnergy, Rapl};
 pub use workload::{ImbalanceProfile, MemoryProfile, RegionModel, StrideClass, WorkloadDescriptor};

@@ -15,12 +15,37 @@
 //! discarded; hit/miss counters are informational).
 
 use crate::exec::{SimConfig, SimReport};
+use arcs_trace::{TraceEvent, TraceSink};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 const SHARDS: usize = 16;
+
+/// A cache refused to bind to an executor because it belongs to a
+/// different machine model. Reports are machine-dependent and the machine
+/// is not part of the cache key, so sharing across models would serve
+/// wrong results silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheBindError {
+    /// Machine the cache was created for.
+    pub cache_machine: String,
+    /// Machine the executor models.
+    pub machine: String,
+}
+
+impl std::fmt::Display for CacheBindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shared cache belongs to a different machine model: cache is for `{}`, executor models `{}`",
+            self.cache_machine, self.machine
+        )
+    }
+}
+
+impl std::error::Error for CacheBindError {}
 
 /// (trip count, configuration, power-cap bits): everything besides the
 /// region identity that feeds the simulator. The cap is keyed by its bit
@@ -57,6 +82,9 @@ pub struct SharedSimCache {
     shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Optional event sink; set once, read with one atomic load per
+    /// lookup (the hot path stays branch-and-load when unset).
+    trace: OnceLock<Arc<dyn TraceSink>>,
 }
 
 impl SharedSimCache {
@@ -66,12 +94,44 @@ impl SharedSimCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            trace: OnceLock::new(),
         }
     }
 
     /// Name of the machine model this cache's reports belong to.
     pub fn machine(&self) -> &str {
         &self.machine
+    }
+
+    /// Is this cache usable by an executor modelling `machine`?
+    pub fn check_machine(&self, machine: &str) -> Result<(), CacheBindError> {
+        if self.machine == machine {
+            Ok(())
+        } else {
+            Err(CacheBindError { cache_machine: self.machine.clone(), machine: machine.into() })
+        }
+    }
+
+    /// Attach a [`TraceSink`] receiving [`TraceEvent::CacheHit`] /
+    /// [`TraceEvent::CacheMiss`] per lookup. The sink can be set once per
+    /// cache (it is shared by every executor bound to it); returns `false`
+    /// if a sink was already attached.
+    pub fn attach_trace(&self, sink: Arc<dyn TraceSink>) -> bool {
+        self.trace.set(sink).is_ok()
+    }
+
+    fn trace_lookup(&self, name: &str, hit: bool) {
+        if let Some(sink) = self.trace.get() {
+            if sink.enabled() {
+                let region = name.to_string();
+                let event = if hit {
+                    TraceEvent::CacheHit { region }
+                } else {
+                    TraceEvent::CacheMiss { region }
+                };
+                sink.record(None, event);
+            }
+        }
     }
 
     pub fn stats(&self) -> CacheStats {
@@ -104,10 +164,12 @@ impl SharedSimCache {
         let shard = self.shard(name);
         if let Some(rep) = shard.lock().get(name).and_then(|per| per.get(&key)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.trace_lookup(name, true);
             return Arc::clone(rep);
         }
         let rep = Arc::new(compute());
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.trace_lookup(name, false);
         let mut guard = shard.lock();
         let per_region = match guard.get_mut(name) {
             Some(per) => per,
@@ -219,5 +281,38 @@ mod tests {
         let a = CacheStats { hits: 10, misses: 4 };
         let b = CacheStats { hits: 25, misses: 5 };
         assert_eq!(b.delta_since(a), CacheStats { hits: 15, misses: 1 });
+    }
+
+    #[test]
+    fn check_machine_returns_typed_error() {
+        let cache = SharedSimCache::new("crill");
+        assert_eq!(cache.check_machine("crill"), Ok(()));
+        let err = cache.check_machine("minotaur").unwrap_err();
+        assert_eq!(err.cache_machine, "crill");
+        assert_eq!(err.machine, "minotaur");
+        assert!(err.to_string().contains("different machine model"));
+    }
+
+    #[test]
+    fn lookups_emit_cache_events_once_a_sink_is_attached() {
+        use arcs_trace::{TraceEvent, TraceSink, VecSink};
+
+        let m = Machine::crill();
+        let cache = SharedSimCache::new(&m.name);
+        let sink = Arc::new(VecSink::new());
+        assert!(cache.attach_trace(Arc::clone(&sink) as Arc<dyn TraceSink>));
+        assert!(!cache.attach_trace(Arc::new(VecSink::new())), "sink is set once");
+
+        let r = region("a");
+        let cfg = SimConfig { threads: 8, schedule: Schedule::static_block() };
+        for _ in 0..2 {
+            cache.get_or_insert_with(&r.name, r.iterations, cfg, 85.0, || {
+                simulate_region(&m, 85.0, &r, cfg)
+            });
+        }
+        let records = sink.drain();
+        assert_eq!(records.len(), 2);
+        assert!(matches!(&records[0].event, TraceEvent::CacheMiss { region } if region == "a"));
+        assert!(matches!(&records[1].event, TraceEvent::CacheHit { region } if region == "a"));
     }
 }

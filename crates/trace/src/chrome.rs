@@ -1,0 +1,107 @@
+//! Chrome-trace export: render records as the `chrome://tracing` /
+//! Perfetto "JSON array of complete events" format.
+//!
+//! Each duration-bearing record becomes one complete (`"ph": "X"`) event
+//! with microsecond `ts`/`dur`. [`TraceEvent::RegionEnd`] carries its own
+//! duration, so the begin timestamp is recovered as `t_s - time_s`;
+//! [`TraceEvent::OverheadCharged`] spans its two §III-C components.
+//! Records without a timeline position (`t_s == None`) are skipped.
+
+use crate::event::{TraceEvent, TraceRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One `chrome://tracing` complete event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    pub name: String,
+    pub cat: String,
+    pub ph: String,
+    /// Start, microseconds.
+    pub ts: f64,
+    /// Duration, microseconds.
+    pub dur: f64,
+    pub pid: u64,
+    pub tid: u64,
+    pub args: BTreeMap<String, f64>,
+}
+
+fn complete(name: String, cat: &str, begin_s: f64, dur_s: f64) -> ChromeEvent {
+    ChromeEvent {
+        name,
+        cat: cat.to_string(),
+        ph: "X".to_string(),
+        ts: begin_s.max(0.0) * 1e6,
+        dur: dur_s * 1e6,
+        pid: 0,
+        tid: 0,
+        args: BTreeMap::new(),
+    }
+}
+
+/// Render `records` as a Chrome-trace JSON array. Returns an error only if
+/// a record carries a non-finite duration (which no backend emits).
+pub fn chrome_trace(records: &[TraceRecord]) -> Result<String, serde_json::Error> {
+    let mut events: Vec<ChromeEvent> = Vec::new();
+    for r in records {
+        let Some(t) = r.t_s else { continue };
+        match &r.event {
+            TraceEvent::RegionEnd { region, time_s, energy_j } => {
+                let mut ev = complete(region.clone(), "region", t - time_s, *time_s);
+                ev.args.insert("energy_j".to_string(), *energy_j);
+                events.push(ev);
+            }
+            TraceEvent::OverheadCharged { region, config_change_s, instrumentation_s } => {
+                let dur = config_change_s + instrumentation_s;
+                let mut ev = complete(format!("overhead:{region}"), "overhead", t, dur);
+                ev.args.insert("config_change_s".to_string(), *config_change_s);
+                ev.args.insert("instrumentation_s".to_string(), *instrumentation_s);
+                events.push(ev);
+            }
+            _ => {}
+        }
+    }
+    serde_json::to_string(&events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SCHEMA_VERSION;
+
+    fn record(seq: u64, t_s: Option<f64>, event: TraceEvent) -> TraceRecord {
+        TraceRecord { schema: SCHEMA_VERSION, seq, t_s, event }
+    }
+
+    #[test]
+    fn export_roundtrips_and_skips_untimed_records() {
+        let records = vec![
+            record(0, None, TraceEvent::CacheHit { region: "r".into() }),
+            record(
+                1,
+                Some(0.5),
+                TraceEvent::RegionEnd { region: "r".into(), time_s: 0.1, energy_j: 2.0 },
+            ),
+            record(
+                2,
+                Some(0.6),
+                TraceEvent::OverheadCharged {
+                    region: "r".into(),
+                    config_change_s: 0.008,
+                    instrumentation_s: 0.0001,
+                },
+            ),
+            record(3, Some(0.7), TraceEvent::PowerSample { power_w: 80.0, energy_total_j: 9.0 }),
+        ];
+        let json = chrome_trace(&records).unwrap();
+        let events: Vec<ChromeEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "r");
+        assert_eq!(events[0].ph, "X");
+        assert!((events[0].ts - 400_000.0).abs() < 1e-6);
+        assert!((events[0].dur - 100_000.0).abs() < 1e-6);
+        assert_eq!(events[1].name, "overhead:r");
+        assert!((events[1].dur - 8_100.0).abs() < 1e-6);
+        assert_eq!(events[1].args["config_change_s"], 0.008);
+    }
+}

@@ -1,0 +1,99 @@
+//! The typed event taxonomy and the versioned record envelope.
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the serialized record layout. Bump on ANY change to
+/// [`TraceRecord`] or [`TraceEvent`] — consumers refuse records from a
+/// different version instead of silently misreading them (see
+/// [`crate::validate_jsonl`]).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One vertex of a search strategy's candidate set (a Nelder–Mead simplex
+/// vertex, a PRO population member), as captured in
+/// [`TraceEvent::SearchIteration`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchCandidate {
+    /// Grid point in the tuner's index space.
+    pub point: Vec<usize>,
+    /// Objective value measured at `point` (region time, seconds).
+    pub value: f64,
+}
+
+/// Everything the stack can narrate. Serialized externally tagged:
+/// `{"RegionBegin": {...}}`.
+///
+/// Times inside events are durations in seconds; the position of an event
+/// on the run timeline lives in [`TraceRecord::t_s`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A parallel region is about to fork (omprt tool hook / sim driver).
+    RegionBegin { region: String, threads: usize, schedule: String },
+    /// The region joined; `time_s` is the measured duration, `energy_j`
+    /// the package energy attributed to the invocation (0 where the
+    /// backend cannot attribute energy).
+    RegionEnd { region: String, time_s: f64, energy_j: f64 },
+    /// Average package power over the last region invocation plus the
+    /// cumulative package-energy counter (the RAPL view).
+    PowerSample { power_w: f64, energy_total_j: f64 },
+    /// The package power cap moved (or was applied at run start).
+    /// `effective_w` is after RAPL clamping to the valid range.
+    CapChange { requested_w: f64, effective_w: f64 },
+    /// One ask/tell step of a region's tuning search, with the strategy's
+    /// full candidate state (simplex vertices with finite values).
+    SearchIteration {
+        region: String,
+        /// `tell`s processed so far, including cached replays.
+        evaluations: u64,
+        /// The point just measured.
+        point: Vec<usize>,
+        /// Objective value reported for `point` (seconds).
+        value: f64,
+        best_point: Vec<usize>,
+        best_value: f64,
+        converged: bool,
+        simplex: Vec<SearchCandidate>,
+    },
+    /// The tuner moved the global ICVs to a new configuration (§III-C
+    /// config-change overhead fires with this).
+    ConfigSwitch { region: String, threads: usize, schedule: String },
+    /// §III-C overhead charged before a region invocation, split into its
+    /// two components (either may be zero).
+    OverheadCharged { region: String, config_change_s: f64, instrumentation_s: f64 },
+    /// Simulation memo-cache lookup answered from the cache.
+    CacheHit { region: String },
+    /// Simulation memo-cache lookup that had to simulate.
+    CacheMiss { region: String },
+    /// An APEX policy callback fired for a task.
+    PolicyFired { policy: String, task: String },
+}
+
+impl TraceEvent {
+    /// Short variant name, for filtering and display.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RegionBegin { .. } => "RegionBegin",
+            TraceEvent::RegionEnd { .. } => "RegionEnd",
+            TraceEvent::PowerSample { .. } => "PowerSample",
+            TraceEvent::CapChange { .. } => "CapChange",
+            TraceEvent::SearchIteration { .. } => "SearchIteration",
+            TraceEvent::ConfigSwitch { .. } => "ConfigSwitch",
+            TraceEvent::OverheadCharged { .. } => "OverheadCharged",
+            TraceEvent::CacheHit { .. } => "CacheHit",
+            TraceEvent::CacheMiss { .. } => "CacheMiss",
+            TraceEvent::PolicyFired { .. } => "PolicyFired",
+        }
+    }
+}
+
+/// The envelope a sink stores: schema version, a sink-assigned sequence
+/// number (total order of arrival), the emitter's position on the run
+/// timeline (`None` for events with no meaningful timestamp, e.g. cache
+/// lookups served across threads), and the event itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    pub schema: u32,
+    pub seq: u64,
+    /// Seconds since run start on the emitting backend's clock.
+    pub t_s: Option<f64>,
+    pub event: TraceEvent,
+}

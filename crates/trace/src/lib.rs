@@ -1,0 +1,216 @@
+//! # arcs-trace — structured event tracing for the ARCS stack
+//!
+//! Every layer of the reproduction — the omprt runtime, the powersim RAPL
+//! model, the harmony search, the core run driver, the APEX policy engine
+//! — can narrate what it does as typed [`TraceEvent`]s delivered to a
+//! [`TraceSink`]. End-of-run aggregates tell you *what* a strategy
+//! achieved; the trace tells you *how*: which simplex the Nelder–Mead
+//! search held at each step, when the cap moved, where §III-C overheads
+//! were charged, which lookups the simulation memo cache answered.
+//!
+//! The contract that makes threading a sink through hot paths acceptable:
+//!
+//! * **Disabled tracing is one branch.** Call sites guard event
+//!   construction with [`TraceSink::enabled`]; [`NullSink`] answers
+//!   `false`, so the hot path pays a virtual call returning a constant and
+//!   allocates nothing. Behaviour never depends on the sink — tracing a
+//!   run and not tracing it produce bit-identical reports.
+//! * **Versioned schema.** Every serialized record carries
+//!   [`SCHEMA_VERSION`]; consumers reject records from a different
+//!   version rather than misreading them. Any change to an existing
+//!   event's fields bumps the version; purely *additive* new variants do
+//!   too (old readers cannot name them).
+//! * **Sinks are thread-safe.** Sweep cells trace concurrently into one
+//!   sink; [`VecSink`] shards its buffers and merges by sequence number
+//!   on drain.
+
+mod chrome;
+mod event;
+mod sink;
+
+pub use chrome::{chrome_trace, ChromeEvent};
+pub use event::{SearchCandidate, TraceEvent, TraceRecord, SCHEMA_VERSION};
+pub use sink::{JsonlSink, NullSink, TraceSink, VecSink};
+
+/// Serialize records as one-record-per-line JSONL — the [`JsonlSink`]
+/// on-disk format, reparsable with [`validate_jsonl`].
+pub fn to_jsonl(records: &[TraceRecord]) -> Result<String, serde_json::Error> {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&serde_json::to_string(r)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parse and validate one-record-per-line JSONL produced by a
+/// [`JsonlSink`] (or by [`to_jsonl`]). Every line must be a well-formed
+/// [`TraceRecord`] carrying the current [`SCHEMA_VERSION`]; blank lines
+/// are ignored.
+pub fn validate_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: TraceRecord = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: not a trace record: {e}", lineno + 1))?;
+        if record.schema != SCHEMA_VERSION {
+            return Err(format!(
+                "line {}: schema version {} (reader supports {})",
+                lineno + 1,
+                record.schema,
+                SCHEMA_VERSION
+            ));
+        }
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RegionBegin {
+                region: "sp/x_solve".into(),
+                threads: 16,
+                schedule: "guided,8".into(),
+            },
+            TraceEvent::RegionEnd { region: "sp/x_solve".into(), time_s: 0.012, energy_j: 1.1 },
+            TraceEvent::PowerSample { power_w: 81.5, energy_total_j: 42.0 },
+            TraceEvent::CapChange { requested_w: 80.0, effective_w: 80.0 },
+            TraceEvent::SearchIteration {
+                region: "sp/x_solve".into(),
+                evaluations: 7,
+                point: vec![3, 1, 4],
+                value: 0.013,
+                best_point: vec![3, 0, 4],
+                best_value: 0.011,
+                converged: false,
+                simplex: vec![
+                    SearchCandidate { point: vec![3, 1, 4], value: 0.013 },
+                    SearchCandidate { point: vec![3, 0, 4], value: 0.011 },
+                ],
+            },
+            TraceEvent::ConfigSwitch {
+                region: "sp/x_solve".into(),
+                threads: 12,
+                schedule: "dynamic,16".into(),
+            },
+            TraceEvent::OverheadCharged {
+                region: "sp/x_solve".into(),
+                config_change_s: 0.008,
+                instrumentation_s: 0.000_04,
+            },
+            TraceEvent::CacheHit { region: "sp/x_solve".into() },
+            TraceEvent::CacheMiss { region: "sp/y_solve".into() },
+            TraceEvent::PolicyFired { policy: "arcs-select".into(), task: "sp/x_solve".into() },
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips_through_json() {
+        for (i, event) in sample_events().into_iter().enumerate() {
+            let record =
+                TraceRecord { schema: SCHEMA_VERSION, seq: i as u64, t_s: Some(1.5), event };
+            let json = serde_json::to_string(&record).expect("record serializes");
+            let back: TraceRecord = serde_json::from_str(&json).expect("record deserializes");
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn validate_jsonl_accepts_sink_output_and_rejects_foreign_schema() {
+        let sink = VecSink::new();
+        sink.record(Some(0.0), TraceEvent::CacheHit { region: "r".into() });
+        sink.record(Some(0.1), TraceEvent::CacheMiss { region: "r".into() });
+        let jsonl = to_jsonl(&sink.drain()).unwrap();
+        let records = validate_jsonl(&jsonl).expect("sink output validates");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 0);
+
+        let foreign = jsonl.replace(
+            &format!("\"schema\":{SCHEMA_VERSION}"),
+            &format!("\"schema\":{}", SCHEMA_VERSION + 1),
+        );
+        assert!(validate_jsonl(&foreign).unwrap_err().contains("schema version"));
+    }
+
+    #[test]
+    fn vec_sink_merges_concurrent_records_in_sequence_order() {
+        let sink = Arc::new(VecSink::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let sink = Arc::clone(&sink);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        sink.record(None, TraceEvent::CacheHit { region: format!("r{t}") });
+                    }
+                });
+            }
+        });
+        let records = sink.drain();
+        assert_eq!(records.len(), 400);
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "drain must sort by seq");
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_records_nothing() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+        sink.record(Some(0.0), TraceEvent::CacheHit { region: "r".into() });
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_valid_record_per_line() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(Some(0.25), TraceEvent::CapChange { requested_w: 80.0, effective_w: 80.0 });
+        sink.record(None, TraceEvent::PolicyFired { policy: "p".into(), task: "t".into() });
+        let bytes = sink.into_inner().expect("no io errors on a Vec");
+        let text = String::from_utf8(bytes).unwrap();
+        let records = validate_jsonl(&text).expect("jsonl validates");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].t_s, Some(0.25));
+        assert_eq!(records[1].t_s, None);
+    }
+
+    #[test]
+    fn chrome_export_is_a_json_array_of_complete_events() {
+        let sink = VecSink::new();
+        sink.record(Some(0.0), TraceEvent::CapChange { requested_w: 80.0, effective_w: 80.0 });
+        sink.record(
+            Some(0.020),
+            TraceEvent::RegionEnd { region: "sp/x_solve".into(), time_s: 0.02, energy_j: 1.0 },
+        );
+        let json = chrome_trace(&sink.drain()).unwrap();
+        assert!(json.starts_with('['));
+        let events: Vec<ChromeEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(events.len(), 1, "one complete event per duration-bearing record");
+        assert_eq!(events[0].ph, "X");
+        assert_eq!(events[0].name, "sp/x_solve");
+        // The region ended at t=20 ms having taken 20 ms, so it began at 0.
+        assert_eq!(events[0].ts, 0.0);
+        assert_eq!(events[0].dur, 20_000.0);
+    }
+
+    #[test]
+    fn schema_version_is_stable() {
+        // Bumping SCHEMA_VERSION is a conscious act: it invalidates every
+        // stored trace. If this assertion fails you changed the record
+        // layout — bump the version AND this test together.
+        assert_eq!(SCHEMA_VERSION, 1);
+        let record = TraceRecord {
+            schema: SCHEMA_VERSION,
+            seq: 3,
+            t_s: Some(2.5),
+            event: TraceEvent::CacheHit { region: "r".into() },
+        };
+        let json = serde_json::to_string(&record).unwrap();
+        assert_eq!(json, r#"{"schema":1,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
+    }
+}

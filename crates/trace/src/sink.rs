@@ -1,0 +1,161 @@
+//! Sink implementations: where trace events go.
+
+use crate::event::{TraceEvent, TraceRecord, SCHEMA_VERSION};
+use parking_lot::Mutex;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A destination for trace events. Implementations must be thread-safe:
+/// concurrent sweep cells share one sink.
+///
+/// The overhead contract: call sites MUST guard event construction with
+/// [`enabled`](TraceSink::enabled) —
+///
+/// ```ignore
+/// if sink.enabled() {
+///     sink.record(Some(t), TraceEvent::CacheHit { region: name.into() });
+/// }
+/// ```
+///
+/// — so a disabled sink ([`NullSink`]) costs one branch and zero
+/// allocations on the hot path, and tracing can never perturb results.
+pub trait TraceSink: Send + Sync {
+    /// Should callers build and submit events? Constant per sink.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Store one event. `t_s` is the emitter's run clock (seconds since
+    /// run start), `None` when the event has no timeline position.
+    fn record(&self, t_s: Option<f64>, event: TraceEvent);
+}
+
+/// The no-op sink: [`enabled`](TraceSink::enabled) is `false`, so guarded
+/// call sites never even construct the event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _t_s: Option<f64>, _event: TraceEvent) {}
+}
+
+const VEC_SHARDS: usize = 8;
+
+/// An in-memory sink, lock-sharded so concurrent emitters rarely contend.
+/// [`drain`](VecSink::drain) merges the shards back into one sequence
+/// ordered by arrival.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    shards: Vec<Mutex<Vec<TraceRecord>>>,
+    seq: AtomicU64,
+}
+
+impl VecSink {
+    pub fn new() -> Self {
+        VecSink {
+            shards: (0..VEC_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of records stored so far.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove and return every stored record, sorted by sequence number
+    /// (the total order in which `record` calls arrived).
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        let mut all: Vec<TraceRecord> =
+            self.shards.iter().flat_map(|s| std::mem::take(&mut *s.lock())).collect();
+        all.sort_by_key(|r| r.seq);
+        all
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&self, t_s: Option<f64>, event: TraceEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let record = TraceRecord { schema: SCHEMA_VERSION, seq, t_s, event };
+        self.shards[(seq % VEC_SHARDS as u64) as usize].lock().push(record);
+    }
+}
+
+struct JsonlState<W: Write + Send> {
+    out: io::BufWriter<W>,
+    /// First write/serialize failure; later records are dropped and the
+    /// error surfaces from [`JsonlSink::flush`] / [`JsonlSink::into_inner`].
+    error: Option<io::Error>,
+}
+
+/// A buffered line-per-record JSON sink. Records are written as they
+/// arrive, one [`TraceRecord`] per line — the format
+/// [`crate::validate_jsonl`] checks.
+pub struct JsonlSink<W: Write + Send> {
+    state: Mutex<JsonlState<W>>,
+    seq: AtomicU64,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            state: Mutex::new(JsonlState { out: io::BufWriter::new(writer), error: None }),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Flush buffered lines, surfacing any deferred write error.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut st = self.state.lock();
+        if let Some(e) = st.error.take() {
+            return Err(e);
+        }
+        st.out.flush()
+    }
+
+    /// Flush and recover the underlying writer.
+    pub fn into_inner(self) -> io::Result<W> {
+        let st = self.state.into_inner();
+        if let Some(e) = st.error {
+            return Err(e);
+        }
+        st.out.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl JsonlSink<std::fs::File> {
+    /// Create (truncating) a `.jsonl` file sink.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, t_s: Option<f64>, event: TraceEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let record = TraceRecord { schema: SCHEMA_VERSION, seq, t_s, event };
+        let mut st = self.state.lock();
+        if st.error.is_some() {
+            return;
+        }
+        match serde_json::to_string(&record) {
+            Ok(line) => {
+                if let Err(e) = writeln!(st.out, "{line}") {
+                    st.error = Some(e);
+                }
+            }
+            Err(e) => {
+                st.error = Some(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+            }
+        }
+    }
+}

@@ -8,13 +8,15 @@
 //! depends on the power cap, and selecting it buys double-digit time *and*
 //! energy improvements at every cap.
 //!
+//! The grid runs through the [`SweepEngine`], so the fifteen cells execute
+//! concurrently over one shared simulation memo cache.
+//!
 //! ```sh
 //! cargo run --release --example power_sweep
 //! ```
 
-use arcs::runs;
+use arcs::prelude::*;
 use arcs_kernels::{model, Class};
-use arcs_powersim::Machine;
 
 fn main() {
     let machine = Machine::crill();
@@ -30,25 +32,32 @@ fn main() {
         "cap", "default[s]", "online", "offline", "default[J]", "online", "offline"
     );
 
+    let caps = [55.0, 70.0, 85.0, 100.0, 115.0];
+    let grid = SweepGrid::new(machine.clone())
+        .workload(workload.clone())
+        .caps(&caps)
+        .strategies(&[SweepStrategy::Default, SweepStrategy::Online, SweepStrategy::Offline]);
+    let report = SweepEngine::new(machine).run(&grid);
+
     let mut last_history = None;
-    for cap in [55.0, 70.0, 85.0, 100.0, 115.0] {
-        let base = runs::default_run(&machine, cap, &workload);
-        let online = runs::online_run(&machine, cap, &workload);
-        let (offline, history) = runs::offline_run(&machine, cap, &workload);
+    for cap in caps {
+        let base = &report.cell(&workload.name, cap, "default").unwrap().report;
+        let online = &report.cell(&workload.name, cap, "arcs-online").unwrap().report;
+        let offline = report.cell(&workload.name, cap, "arcs-offline").unwrap();
         println!(
             "{:<10} {:>12.1} {:>10.3} {:>10.3}   {:>12.0} {:>10.3} {:>10.3}",
             format!("{cap:.0}W"),
             base.time_s,
             online.time_s / base.time_s,
-            offline.time_s / base.time_s,
+            offline.report.time_s / base.time_s,
             base.energy_j,
             online.energy_j / base.energy_j,
-            offline.energy_j / base.energy_j,
+            offline.report.energy_j / base.energy_j,
         );
-        last_history = Some((cap, history));
+        last_history = Some((cap, offline.history.clone().expect("offline cells train")));
     }
 
-    if let Some((cap, history)) = last_history {
+    if let Some((cap, history)) = &last_history {
         println!("\nconfigurations chosen at {cap:.0}W (the TDP):");
         for (region, entry) in &history.entries {
             println!("  {:16} [{}]  ({} evaluations)", region, entry.config, entry.evaluations);
@@ -56,8 +65,10 @@ fn main() {
     }
 
     // The §II claim: the best configuration *changes* with the cap.
-    let h55 = runs::offline_run(&machine, 55.0, &workload).1;
-    let h115 = runs::offline_run(&machine, 115.0, &workload).1;
+    let history_at = |cap: f64| {
+        report.cell(&workload.name, cap, "arcs-offline").unwrap().history.as_ref().unwrap()
+    };
+    let (h55, h115) = (history_at(55.0), history_at(115.0));
     let moved = h55
         .entries
         .iter()
@@ -66,5 +77,9 @@ fn main() {
     println!(
         "\nregions whose optimal configuration differs between 55W and TDP: {moved}/{}",
         h55.len()
+    );
+    println!(
+        "memo cache over the sweep: {} hits / {} misses on {} workers",
+        report.cache.hits, report.cache.misses, report.workers
     );
 }

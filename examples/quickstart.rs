@@ -9,7 +9,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use arcs::{ArcsLive, ConfigSpace, OmpConfig, TunerOptions};
+use arcs::prelude::*;
+use arcs::{ArcsLive, ThreadChoice};
 use arcs_omprt::Runtime;
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,12 +53,12 @@ fn main() {
     );
 
     // Attach ARCS and let it search while the application keeps running.
-    let space = ConfigSpace::for_machine(&arcs_powersim::Machine::crill());
+    let space = ConfigSpace::for_machine(&Machine::crill());
     // Reduce the thread axis to what this host actually has.
     let space = ConfigSpace {
         threads: (0..=threads.ilog2())
-            .map(|p| arcs::ThreadChoice::Count(1 << p))
-            .chain([arcs::ThreadChoice::Default])
+            .map(|p| ThreadChoice::Count(1 << p))
+            .chain([ThreadChoice::Default])
             .collect(),
         default_threads: threads,
         ..space

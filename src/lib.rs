@@ -2,11 +2,14 @@
 //!
 //! Hosts the runnable examples (`examples/`) and the cross-crate
 //! integration tests (`tests/`); re-exports the member crates for
-//! convenience.
+//! convenience, plus [`arcs::prelude`] as the one-import surface for the
+//! common simulator workflow.
 
 pub use arcs;
+pub use arcs::prelude;
 pub use arcs_apex;
 pub use arcs_harmony;
 pub use arcs_kernels;
 pub use arcs_omprt;
 pub use arcs_powersim;
+pub use arcs_trace;

@@ -1,0 +1,138 @@
+//! Cross-crate contract of the arcs-trace layer: a NullSink changes no
+//! numbers on the parallel sweep path, a VecSink on a traced online run
+//! captures the whole event taxonomy, and both exporters (JSONL + Chrome
+//! trace) emit output that validates against the published schema.
+
+use arcs::prelude::*;
+use arcs_kernels::{model, Class};
+use arcs_trace::{to_jsonl, validate_jsonl, ChromeEvent, SCHEMA_VERSION};
+use std::sync::Arc;
+
+fn tiny_sp() -> arcs_powersim::WorkloadDescriptor {
+    let mut wl = model::sp(Class::B);
+    wl.timesteps = 4;
+    wl
+}
+
+fn noisy_grid(machine: &Machine) -> SweepGrid {
+    SweepGrid::new(machine.clone())
+        .workload(tiny_sp())
+        .caps(&[70.0, 100.0])
+        .strategies(&[SweepStrategy::Default, SweepStrategy::Online, SweepStrategy::Offline])
+        .with_noise(0.1, 9)
+}
+
+/// The zero-cost contract at sweep scale: attaching a NullSink to the
+/// parallel sweep engine must leave every cell — reports, histories, and
+/// the shared-cache miss count — bit-identical to an untraced sweep, even
+/// under measurement noise.
+#[test]
+fn null_sink_sweep_is_bit_identical_to_untraced() {
+    let m = Machine::crill();
+    let grid = noisy_grid(&m);
+    let plain = SweepEngine::new(m.clone()).run(&grid);
+    let nulled = SweepEngine::new(m.clone()).with_trace(Arc::new(NullSink)).run(&grid);
+
+    assert_eq!(plain.cells.len(), 6);
+    assert_eq!(plain.cells.len(), nulled.cells.len());
+    for (p, n) in plain.cells.iter().zip(&nulled.cells) {
+        assert_eq!(p.workload, n.workload);
+        assert_eq!(p.cap_w, n.cap_w);
+        assert_eq!(p.strategy.label(), n.strategy.label());
+        assert_eq!(
+            p.report,
+            n.report,
+            "{} @ {}W diverged under NullSink",
+            p.strategy.label(),
+            p.cap_w
+        );
+        assert_eq!(p.history, n.history);
+    }
+    assert_eq!(plain.cache.misses, nulled.cache.misses);
+}
+
+/// A traced sweep streams events from every layer into one sink: RAPL cap
+/// changes and region lifecycles from the simulator driver, search steps
+/// from the tuner, and cache traffic from the shared memo cache.
+#[test]
+fn traced_sweep_captures_every_layer() {
+    let m = Machine::crill();
+    let sink = Arc::new(VecSink::new());
+    let grid = noisy_grid(&m);
+    let report = SweepEngine::new(m).with_trace(sink.clone()).run(&grid);
+
+    let records = sink.drain();
+    let count = |kind: &str| records.iter().filter(|r| r.event.kind() == kind).count();
+    // At least one CapChange per cell (offline training passes each open
+    // their own run epoch), one RegionBegin/End pair per region invocation.
+    assert!(count("CapChange") >= grid.cell_count());
+    assert_eq!(count("RegionBegin"), count("RegionEnd"));
+    assert!(count("RegionBegin") > 0);
+    assert!(count("SearchIteration") > 0, "online/offline cells must report search steps");
+    assert!(count("ConfigSwitch") > 0);
+    assert!(count("OverheadCharged") > 0);
+    // Cache traffic matches the engine's own accounting.
+    assert_eq!(count("CacheHit") as u64, report.cache.hits);
+    assert_eq!(count("CacheMiss") as u64, report.cache.misses);
+    // drain() returns a total order: seq strictly increasing.
+    for w in records.windows(2) {
+        assert!(w[0].seq < w[1].seq);
+    }
+}
+
+/// JSONL round trip: every record a traced run emits serializes to one
+/// line that validates against the current schema and parses back to an
+/// equal record.
+#[test]
+fn traced_run_round_trips_through_jsonl() {
+    let m = Machine::crill();
+    let wl = tiny_sp();
+    let sink = Arc::new(VecSink::new());
+    let mut exec = SimExecutor::new(m.clone(), 80.0).with_trace(sink.clone());
+    let mut tuner = RegionTuner::new(TunerOptions::online(ConfigSpace::for_machine(&m)));
+    Runner::new(&mut exec).workload(&wl).tuner(&mut tuner).run().unwrap();
+
+    let records = sink.drain();
+    assert!(!records.is_empty());
+    let text = to_jsonl(&records).unwrap();
+    assert_eq!(text.lines().count(), records.len());
+    let parsed = validate_jsonl(&text).expect("emitted JSONL must validate against the schema");
+    assert_eq!(parsed, records);
+    assert!(records.iter().all(|r| r.schema == SCHEMA_VERSION));
+}
+
+/// The Chrome exporter renders a traced run as a valid JSON array of
+/// complete ("ph": "X") events covering every region invocation.
+#[test]
+fn chrome_export_is_a_valid_array_of_complete_events() {
+    let m = Machine::crill();
+    let wl = tiny_sp();
+    let sink = Arc::new(VecSink::new());
+    let mut exec = SimExecutor::new(m.clone(), 80.0).with_trace(sink.clone());
+    let mut tuner = RegionTuner::new(TunerOptions::online(ConfigSpace::for_machine(&m)));
+    Runner::new(&mut exec).workload(&wl).tuner(&mut tuner).run().unwrap();
+
+    let records = sink.drain();
+    let regions = records.iter().filter(|r| r.event.kind() == "RegionEnd").count();
+    let json = chrome_trace(&records).unwrap();
+    let events: Vec<ChromeEvent> = serde_json::from_str(&json).unwrap();
+    assert!(events.len() >= regions, "every RegionEnd must become a complete event");
+    for ev in &events {
+        assert_eq!(ev.ph, "X");
+        assert!(ev.ts >= 0.0 && ev.dur >= 0.0 && ev.ts.is_finite() && ev.dur.is_finite());
+    }
+    // Overhead spans ride along with their own category.
+    assert!(events.iter().any(|e| e.cat == "overhead"));
+}
+
+/// The deprecated free functions still work and agree with the Runner
+/// they now delegate to.
+#[test]
+#[allow(deprecated)]
+fn deprecated_entry_points_match_the_runner() {
+    let m = Machine::crill();
+    let wl = tiny_sp();
+    let legacy = arcs::backend::run_default(&mut SimExecutor::new(m.clone(), 85.0), &wl);
+    let modern = Runner::new(&mut SimExecutor::new(m.clone(), 85.0)).workload(&wl).run().unwrap();
+    assert_eq!(legacy, modern);
+}
