@@ -19,3 +19,33 @@ cargo run --release -q -p arcs-bench --bin arcs-sim -- \
     --out "$trace_tmp/sp.trace.jsonl" --chrome "$trace_tmp/sp.trace.chrome.json" --check
 test -s "$trace_tmp/sp.trace.jsonl"
 test -s "$trace_tmp/sp.trace.chrome.json"
+
+# Perf-regression gate smoke: the simulator is deterministic, so the same
+# fixed-seed cell run twice must produce identical analysis reports and
+# pass `compare` at a 0% threshold. Any nondeterminism, trace drift, or
+# analysis regression fails here.
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    trace --workload sp.B --cap 80 --strategy nelder-mead --timesteps 6 \
+    --out "$trace_tmp/sp.trace2.jsonl"
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    report "$trace_tmp/sp.trace.jsonl" --format json --out "$trace_tmp/base.json"
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    report "$trace_tmp/sp.trace2.jsonl" --format json --out "$trace_tmp/cand.json"
+mkdir -p results
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    compare "$trace_tmp/base.json" "$trace_tmp/cand.json" \
+    --fail-on 0 --out results/bench_smoke.json
+test -s results/bench_smoke.json
+# The gate must also *fire*: the same cell throttled to 60 W is clearly
+# slower, so comparing it against the 80 W baseline has to exit nonzero.
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    trace --workload sp.B --cap 60 --strategy nelder-mead --timesteps 6 \
+    --out "$trace_tmp/sp.slow.jsonl"
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    report "$trace_tmp/sp.slow.jsonl" --format json --out "$trace_tmp/slow.json"
+if cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    compare "$trace_tmp/base.json" "$trace_tmp/slow.json" --fail-on 5 \
+    > /dev/null 2>&1; then
+    echo "compare gate failed to flag a regression" >&2
+    exit 1
+fi

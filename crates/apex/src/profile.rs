@@ -38,6 +38,22 @@ impl Profile {
         self.sum_sq += value * value;
     }
 
+    /// Fold another profile into this one, as if every sample recorded on
+    /// `other` had been recorded here. `last` keeps `other`'s value when
+    /// it has any samples (its samples are treated as the more recent
+    /// half of the stream).
+    pub fn merge(&mut self, other: &Profile) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.last = other.last;
+        self.sum_sq += other.sum_sq;
+    }
+
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -46,9 +62,11 @@ impl Profile {
         }
     }
 
-    /// Population variance.
+    /// Population variance. Zero for fewer than two samples (a single
+    /// observation has no spread), and clamped at zero when floating-point
+    /// cancellation drives the sum-of-squares term negative.
     pub fn variance(&self) -> f64 {
-        if self.count == 0 {
+        if self.count < 2 {
             return 0.0;
         }
         let m = self.mean();
@@ -93,5 +111,46 @@ mod tests {
         p.record(5.0);
         assert_eq!(p.variance(), 0.0);
         assert_eq!(p.stddev(), 0.0);
+    }
+
+    #[test]
+    fn variance_never_goes_nan_under_cancellation() {
+        // Large offset + tiny spread: sum_sq/n - mean² cancels to a value
+        // that can land below zero in f64; stddev must stay 0, not NaN.
+        let mut p = Profile::default();
+        for _ in 0..10 {
+            p.record(1.0e9 + 0.1);
+        }
+        assert!(p.variance() >= 0.0);
+        assert!(p.stddev().is_finite());
+    }
+
+    #[test]
+    fn merge_equals_recording_the_whole_stream() {
+        let samples = [3.0, 1.5, 9.0, 2.25, 4.0, 8.5, 0.5];
+        let mut whole = Profile::default();
+        let (mut a, mut b) = (Profile::default(), Profile::default());
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            if i < 3 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut p = Profile::default();
+        p.record(2.0);
+        let before = p;
+        p.merge(&Profile::default());
+        assert_eq!(p, before);
+        let mut empty = Profile::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
     }
 }

@@ -24,6 +24,15 @@
 //!   --out PATH                  write JSONL here (default: stdout)
 //!   --chrome PATH               also export a Chrome trace (chrome://tracing)
 //!   --check                     re-validate the emitted JSONL against the schema
+//!
+//! arcs-sim report <trace.jsonl> [options]     analyse a recorded trace
+//!   --format table|json|md      output format (default table)
+//!   --out PATH                  write the report here (default: stdout)
+//!
+//! arcs-sim compare <baseline.json> <candidate.json> [options]
+//!   --fail-on PCT               exit nonzero if any region (or the total)
+//!                               slows down by strictly more than PCT percent
+//!   --out PATH                  write the comparison artifact (JSON) here
 //! ```
 //!
 //! Examples:
@@ -329,11 +338,156 @@ fn trace_main(argv: &[String]) {
     }
 }
 
+fn report_usage() -> ! {
+    eprintln!("usage: arcs-sim report <trace.jsonl> [--format table|json|md] [--out PATH]");
+    exit(2)
+}
+
+/// `arcs-sim report`: replay a recorded JSONL trace through the analysis
+/// engine and render per-region, convergence, cache and overhead views.
+fn report_main(argv: &[String]) {
+    let mut path: Option<PathBuf> = None;
+    let mut format = "table".to_string();
+    let mut out: Option<PathBuf> = None;
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                report_usage()
+            })
+        };
+        match arg.as_str() {
+            "--format" => format = value("--format"),
+            "--out" => out = Some(value("--out").into()),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                report_usage()
+            }
+            _ if path.is_none() => path = Some(arg.into()),
+            _ => report_usage(),
+        }
+    }
+    let Some(path) = path else { report_usage() };
+
+    let report = arcs_metrics::analyze_path(&path).unwrap_or_else(|e| {
+        eprintln!("cannot analyse {path:?}: {e}");
+        exit(1)
+    });
+    let rendered = match format.as_str() {
+        "table" => report.to_table(),
+        "json" => report.to_json(),
+        "md" => report.to_markdown(),
+        other => {
+            eprintln!("unknown format {other}");
+            report_usage()
+        }
+    };
+    match &out {
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, &rendered) {
+                eprintln!("cannot write {out:?}: {e}");
+                exit(1)
+            }
+            eprintln!(
+                "report ({} records, {} regions) written to {out:?}",
+                report.records,
+                report.regions.len()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    if !report.overhead_consistent() {
+        eprintln!(
+            "warning: overhead cross-check failed (residual {:+.6}s) — \
+             expected for live traces, suspicious for simulated ones",
+            report.overhead_residual_s()
+        );
+    }
+}
+
+fn compare_usage() -> ! {
+    eprintln!(
+        "usage: arcs-sim compare <baseline.json> <candidate.json> \
+         [--fail-on PCT] [--out PATH]"
+    );
+    exit(2)
+}
+
+/// `arcs-sim compare`: the perf-regression gate. Both inputs are JSON
+/// reports produced by `arcs-sim report --format json`.
+fn compare_main(argv: &[String]) {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut fail_on: f64 = 5.0;
+    let mut out: Option<PathBuf> = None;
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                compare_usage()
+            })
+        };
+        match arg.as_str() {
+            "--fail-on" => fail_on = value("--fail-on").parse().unwrap_or_else(|_| compare_usage()),
+            "--out" => out = Some(value("--out").into()),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                compare_usage()
+            }
+            _ => paths.push(arg.into()),
+        }
+    }
+    if paths.len() != 2 {
+        compare_usage()
+    }
+
+    let load = |path: &PathBuf| -> arcs_metrics::TraceReport {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path:?}: {e}");
+            exit(1)
+        });
+        arcs_metrics::TraceReport::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("{path:?} is not a JSON trace report: {e}");
+            exit(1)
+        })
+    };
+    let baseline = load(&paths[0]);
+    let candidate = load(&paths[1]);
+    let cmp = arcs_metrics::compare_reports(&baseline, &candidate, fail_on);
+
+    print!("{}", cmp.to_table());
+    if let Some(out) = &out {
+        if let Err(e) = std::fs::write(out, cmp.to_json()) {
+            eprintln!("cannot write {out:?}: {e}");
+            exit(1)
+        }
+        eprintln!("comparison artifact written to {out:?}");
+    }
+    if cmp.regressed() {
+        eprintln!("FAIL: regression beyond {fail_on}% threshold");
+        exit(1)
+    }
+    eprintln!("OK: no region regressed beyond {fail_on}%");
+}
+
 fn main() {
     let first = std::env::args().nth(1);
     if first.as_deref() == Some("trace") {
         let argv: Vec<String> = std::env::args().skip(2).collect();
         trace_main(&argv);
+        return;
+    }
+    if first.as_deref() == Some("report") {
+        let argv: Vec<String> = std::env::args().skip(2).collect();
+        report_main(&argv);
+        return;
+    }
+    if first.as_deref() == Some("compare") {
+        let argv: Vec<String> = std::env::args().skip(2).collect();
+        compare_main(&argv);
         return;
     }
     let args = parse_args();

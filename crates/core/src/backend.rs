@@ -33,6 +33,7 @@ use crate::config::OmpConfig;
 use crate::report::{AppRunReport, RegionSummary};
 use crate::tuner::{RegionTuner, TunerOptions, TuningMode};
 use arcs_harmony::History;
+use arcs_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use arcs_powersim::{CacheBindError, Machine, RegionModel, SharedSimCache, WorkloadDescriptor};
 use arcs_trace::{TraceEvent, TraceSink};
 use std::collections::BTreeMap;
@@ -110,6 +111,17 @@ pub trait Backend {
     /// Attach a trace sink. Backends without trace support ignore the
     /// sink; both shipped backends store it.
     fn attach_trace(&mut self, _sink: Arc<dyn TraceSink>) {}
+
+    /// The metrics registry attached to this backend, if any. Mirrors
+    /// [`Backend::trace`]: the driver resolves its handles once per run.
+    fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        None
+    }
+
+    /// Attach a metrics registry. Backends propagate it to their layers
+    /// (memo cache, runtime) the same way [`Backend::attach_trace`]
+    /// propagates a sink; the default ignores it.
+    fn attach_metrics(&mut self, _registry: Arc<MetricsRegistry>) {}
 
     /// Bind a memo cache shared with other executors. Only meaningful for
     /// simulated backends; the default reports
@@ -203,6 +215,7 @@ pub struct Runner<'a, B: Backend> {
     workload: Option<&'a WorkloadDescriptor>,
     strategy: RunnerStrategy<'a>,
     trace: Option<Arc<dyn TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
     cache: Option<Arc<SharedSimCache>>,
     label: Option<String>,
 }
@@ -214,6 +227,7 @@ impl<'a, B: Backend> Runner<'a, B> {
             workload: None,
             strategy: RunnerStrategy::Default,
             trace: None,
+            metrics: None,
             cache: None,
             label: None,
         }
@@ -257,6 +271,16 @@ impl<'a, B: Backend> Runner<'a, B> {
         self
     }
 
+    /// Attach a metrics registry to the backend before running. The
+    /// driver records its own counters (configs switched, overhead
+    /// charged, region times) and the backend propagates the registry to
+    /// its layers — on simulated backends the memo cache, on live ones
+    /// the omprt runtime. Tuner runs also count search evaluations.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Bind a shared memo cache before running. Machine mismatches surface
     /// as [`RunError::CacheBind`] instead of a panic.
     pub fn shared_cache(mut self, cache: Arc<SharedSimCache>) -> Self {
@@ -276,6 +300,9 @@ impl<'a, B: Backend> Runner<'a, B> {
         }
         if let Some(sink) = self.trace.take() {
             self.backend.attach_trace(sink);
+        }
+        if let Some(registry) = self.metrics.take() {
+            self.backend.attach_metrics(registry);
         }
         self.workload.ok_or(RunError::MissingWorkload)
     }
@@ -299,6 +326,9 @@ impl<'a, B: Backend> Runner<'a, B> {
                     if sink.enabled() {
                         tuner.set_trace(Arc::clone(sink));
                     }
+                }
+                if let Some(registry) = b.metrics() {
+                    tuner.set_metrics(Arc::clone(registry));
                 }
                 let label = self.label.as_deref().unwrap_or("arcs");
                 Ok(drive_tuned(b, wl, tuner, label))
@@ -326,6 +356,9 @@ impl<'a, B: Backend> Runner<'a, B> {
             if sink.enabled() {
                 tuner.set_trace(Arc::clone(sink));
             }
+        }
+        if let Some(registry) = b.metrics() {
+            tuner.set_metrics(Arc::clone(registry));
         }
         // Bound the number of training executions defensively; each pass
         // offers `timesteps` measurements per region against a 252-point
@@ -478,6 +511,18 @@ fn drive_tuned<B: Backend>(
     acc.finish(b, Some(tuner))
 }
 
+/// Driver-level handles resolved once per run from the backend's
+/// registry (mirrors the `sink: Option<_>` discipline — absent registry
+/// means zero work per invocation).
+struct DriverMetrics {
+    /// `core/configs_switched`: ICV moves the tuner requested.
+    configs_switched: Counter,
+    /// `core/overhead_s`: cumulative §III-C seconds charged.
+    overhead_s: Gauge,
+    /// `core/region_time_s`: distribution of region invocation times.
+    region_time_s: Histogram,
+}
+
 /// Shared accumulation for all run flavours: the ONE place overheads,
 /// per-region aggregates, trace emission and report assembly live.
 struct Accum {
@@ -490,12 +535,19 @@ struct Accum {
     /// Present only when the backend carries an *enabled* sink, so the
     /// untraced and `NullSink` paths skip all event construction.
     sink: Option<Arc<dyn TraceSink>>,
+    /// Present only when the backend carries a registry.
+    metrics: Option<DriverMetrics>,
 }
 
 impl Accum {
     fn new<B: Backend>(b: &mut B, wl: &WorkloadDescriptor, strategy: &str) -> Self {
         b.begin_run();
         let sink = b.trace().filter(|s| s.enabled()).map(Arc::clone);
+        let metrics = b.metrics().map(|registry| DriverMetrics {
+            configs_switched: registry.counter("core/configs_switched"),
+            overhead_s: registry.gauge("core/overhead_s"),
+            region_time_s: registry.histogram("core/region_time_s"),
+        });
         if let Some(s) = &sink {
             s.record(
                 Some(0.0),
@@ -513,6 +565,7 @@ impl Accum {
             instr_overhead_s: 0.0,
             per_region: Default::default(),
             sink,
+            metrics,
         }
     }
 
@@ -529,6 +582,15 @@ impl Accum {
         self.time_s += meas.time_s + overhead_s;
         self.config_overhead_s += change_s;
         self.instr_overhead_s += instr_s;
+        if let Some(m) = &self.metrics {
+            if change_s > 0.0 {
+                m.configs_switched.inc();
+            }
+            if overhead_s > 0.0 {
+                m.overhead_s.add(overhead_s);
+            }
+            m.region_time_s.record(meas.time_s);
+        }
 
         let entry = self.per_region.entry(name.to_string()).or_default();
         entry.invocations += 1;
@@ -550,6 +612,8 @@ impl Accum {
                     region: name.to_string(),
                     time_s: meas.time_s,
                     energy_j: meas.energy_j,
+                    busy_s: meas.features.busy_s,
+                    barrier_s: meas.features.barrier_s,
                 },
             );
             if meas.time_s > 0.0 {

@@ -25,6 +25,7 @@ use crate::report::AppRunReport;
 use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_apex::Apex;
 use arcs_harmony::History;
+use arcs_metrics::MetricsRegistry;
 use arcs_powersim::{
     simulate_region, CacheBindError, Machine, PackageEnergy, Rapl, RegionModel, SharedSimCache,
     SimConfig, SimReport, WorkloadDescriptor,
@@ -44,6 +45,7 @@ pub struct SimExecutor {
     apex: Option<Arc<Apex>>,
     noise: Option<NoiseModel>,
     trace: Option<Arc<dyn TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
     energy_meter: PackageEnergy,
     /// Invocation ordinal per region (feeds the stateless noise model;
     /// persists across runs so repeated training passes see fresh noise).
@@ -108,6 +110,7 @@ impl SimExecutor {
             apex: None,
             noise: None,
             trace: None,
+            metrics: None,
             energy_meter: PackageEnergy::new(),
             invocations: HashMap::new(),
         }
@@ -133,6 +136,14 @@ impl SimExecutor {
     /// cache's hit/miss events and APEX's policy events all flow into it.
     pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         Backend::attach_trace(&mut self, sink);
+        self
+    }
+
+    /// Attach a metrics registry: the driver's counters, the memo cache's
+    /// hit/miss/insert counters and the tuner's evaluation counters all
+    /// resolve their handles against it.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        Backend::attach_metrics(&mut self, registry);
         self
     }
 
@@ -163,6 +174,9 @@ impl SimExecutor {
         cache.check_machine(&self.machine.name)?;
         if let Some(sink) = &self.trace {
             cache.attach_trace(Arc::clone(sink));
+        }
+        if let Some(registry) = &self.metrics {
+            cache.attach_metrics(registry);
         }
         self.cache = cache;
         Ok(())
@@ -309,6 +323,15 @@ impl Backend for SimExecutor {
             apex.set_trace(Arc::clone(&sink));
         }
         self.trace = Some(sink);
+    }
+
+    fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    fn attach_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.cache.attach_metrics(&registry);
+        self.metrics = Some(registry);
     }
 
     fn bind_shared_cache(&mut self, cache: Arc<SharedSimCache>) -> Result<(), RunError> {

@@ -19,6 +19,7 @@ use crate::backend::{self, Backend, Measurement, RegionFeatures};
 use crate::config::OmpConfig;
 use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_apex::{Apex, PolicyEventKind, PolicyTrigger};
+use arcs_metrics::MetricsRegistry;
 use arcs_omprt::{RegionId, RegionRecord, Runtime, Tool};
 use arcs_powersim::{Machine, RegionModel};
 use arcs_trace::TraceSink;
@@ -133,6 +134,7 @@ pub struct LiveExecutor {
     regions: HashMap<String, RegionId>,
     energy_acc_j: f64,
     trace: Option<Arc<dyn TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl LiveExecutor {
@@ -148,6 +150,7 @@ impl LiveExecutor {
             regions: HashMap::new(),
             energy_acc_j: 0.0,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -156,6 +159,13 @@ impl LiveExecutor {
     /// like the executor's accounting).
     pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Attach a metrics registry; the wrapped runtime's region/chunk
+    /// counters and the shared driver's counters resolve against it.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        Backend::attach_metrics(&mut self, registry);
         self
     }
 
@@ -266,6 +276,15 @@ impl Backend for LiveExecutor {
 
     fn attach_trace(&mut self, sink: Arc<dyn TraceSink>) {
         self.trace = Some(sink);
+    }
+
+    fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    fn attach_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.rt.attach_metrics(&registry);
+        self.metrics = Some(registry);
     }
 }
 

@@ -99,7 +99,8 @@ impl OmptProfiler {
         }
     }
 
-    /// Profiles sorted by inclusive (`IMPLICIT_TASK`) time, descending.
+    /// Profiles sorted by region name, so report output is deterministic
+    /// across runs (inclusive times of a live run never repeat exactly).
     /// Region names are resolved through `rt`.
     pub fn report_named(&self, rt: &Runtime) -> Vec<RegionProfile> {
         let st = self.state.lock();
@@ -108,11 +109,12 @@ impl OmptProfiler {
             .iter()
             .map(|(id, p)| RegionProfile { region: rt.region_name(*id), ..p.clone() })
             .collect();
-        rows.sort_by(|a, b| b.implicit_task_s.partial_cmp(&a.implicit_task_s).unwrap());
+        rows.sort_by(|a, b| a.region.cmp(&b.region));
         rows
     }
 
-    /// Profiles with numeric region labels (no runtime handle needed).
+    /// Profiles with numeric region labels (no runtime handle needed),
+    /// sorted by label.
     pub fn report(&self) -> Vec<RegionProfile> {
         let st = self.state.lock();
         let mut rows: Vec<RegionProfile> = st
@@ -120,7 +122,7 @@ impl OmptProfiler {
             .iter()
             .map(|(id, p)| RegionProfile { region: id.to_string(), ..p.clone() })
             .collect();
-        rows.sort_by(|a, b| b.implicit_task_s.partial_cmp(&a.implicit_task_s).unwrap());
+        rows.sort_by(|a, b| a.region.cmp(&b.region));
         rows
     }
 
@@ -158,12 +160,16 @@ mod tests {
         }
         let rows = profiler.report_named(&rt);
         assert_eq!(rows.len(), 2);
+        // Rows come back sorted by region name (deterministic output).
+        assert_eq!(rows[0].region, "fast");
+        assert_eq!(rows[1].region, "slow");
         // The imbalanced region dominates inclusive time and shows barrier
         // waits (threads without the slow block finish early).
-        assert_eq!(rows[0].region, "slow");
-        assert_eq!(rows[0].invocations, 5);
-        assert!(rows[0].barrier_s > 0.0);
-        assert!(rows[0].barrier_fraction() > 0.0 && rows[0].barrier_fraction() < 1.0);
+        let slow = &rows[1];
+        assert!(slow.implicit_task_s >= rows[0].implicit_task_s);
+        assert_eq!(slow.invocations, 5);
+        assert!(slow.barrier_s > 0.0);
+        assert!(slow.barrier_fraction() > 0.0 && slow.barrier_fraction() < 1.0);
         for r in &rows {
             assert!(r.implicit_task_s + 1e-12 >= r.loop_s + r.barrier_s - 1e-9);
             assert!(r.mean_call_s() > 0.0);

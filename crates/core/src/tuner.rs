@@ -21,6 +21,7 @@
 
 use crate::config::{ConfigSpace, OmpConfig};
 use arcs_harmony::{History, NmOptions, ProOptions, Session, StrategyKind};
+use arcs_metrics::MetricsRegistry;
 use arcs_trace::{SearchCandidate, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -121,6 +122,7 @@ pub struct RegionTuner {
     last_applied: Option<OmpConfig>,
     stats: TunerStats,
     trace: Option<Arc<dyn TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl RegionTuner {
@@ -131,6 +133,7 @@ impl RegionTuner {
             last_applied: None,
             stats: TunerStats::default(),
             trace: None,
+            metrics: None,
         }
     }
 
@@ -145,6 +148,20 @@ impl RegionTuner {
     /// Builder-style [`RegionTuner::set_trace`].
     pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.set_trace(sink);
+        self
+    }
+
+    /// Count search evaluations per strategy on `registry`
+    /// (`harmony/evaluations/<strategy>`, cached replays included). Like
+    /// [`RegionTuner::set_trace`], only sessions created after the call
+    /// are counted — the run drivers attach before the first invocation.
+    pub fn set_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.metrics = Some(registry);
+    }
+
+    /// Builder-style [`RegionTuner::set_metrics`].
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.set_metrics(registry);
         self
     }
 
@@ -244,17 +261,22 @@ impl RegionTuner {
                 }
             }
             mode => {
-                let strategy = match mode {
-                    TuningMode::OfflineTrain => StrategyKind::exhaustive(),
-                    TuningMode::Online(opts) => StrategyKind::NelderMead(*opts),
-                    TuningMode::OnlinePro(opts) => StrategyKind::ParallelRankOrder(*opts),
+                let (strategy, label) = match mode {
+                    TuningMode::OfflineTrain => (StrategyKind::exhaustive(), "exhaustive"),
+                    TuningMode::Online(opts) => (StrategyKind::NelderMead(*opts), "nelder-mead"),
+                    TuningMode::OnlinePro(opts) => (StrategyKind::ParallelRankOrder(*opts), "pro"),
                     TuningMode::OnlineRandom { seed, max_evals } => {
-                        StrategyKind::random(*seed, *max_evals)
+                        (StrategyKind::random(*seed, *max_evals), "random")
                     }
                     TuningMode::OfflineReplay(_) => unreachable!(),
                 };
                 let mut session =
                     Session::new(space.to_search_space(), strategy, space.default_point());
+                if let Some(registry) = &self.metrics {
+                    session = session.with_eval_counter(
+                        registry.counter(&format!("harmony/evaluations/{label}")),
+                    );
+                }
                 if let Some(sink) = &self.trace {
                     if sink.enabled() {
                         let sink = Arc::clone(sink);
@@ -511,6 +533,24 @@ mod tests {
             last_evals = *evaluations;
             assert!(best_value <= value);
         }
+    }
+
+    #[test]
+    fn metrics_count_one_evaluation_per_search_step() {
+        use arcs_trace::VecSink;
+        use std::sync::Arc;
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(VecSink::new());
+        let mut tuner = RegionTuner::new(TunerOptions::online(space()))
+            .with_trace(sink.clone())
+            .with_metrics(Arc::clone(&registry));
+        drive(&mut tuner, "r", 40);
+        // Both channels fire once per strategy `tell` (cached replays
+        // included), so the counter must equal the SearchIteration count.
+        let evals = registry.snapshot().counter("harmony/evaluations/nelder-mead");
+        assert!(evals > 0);
+        assert_eq!(evals, sink.drain().len() as u64);
     }
 
     #[test]

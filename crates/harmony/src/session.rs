@@ -17,6 +17,7 @@ use crate::strategies::{
     Exhaustive, NelderMead, NmOptions, ParallelRankOrder, ProOptions, RandomSearch, Search,
     SearchStep,
 };
+use arcs_metrics::Counter;
 use std::collections::HashMap;
 
 /// Callback invoked after every measurement the strategy processes —
@@ -64,6 +65,7 @@ pub struct Session {
     pending: Option<Point>,
     fallback: Point,
     observer: Option<SessionObserver>,
+    eval_counter: Option<Counter>,
 }
 
 impl Session {
@@ -92,13 +94,30 @@ impl Session {
             StrategyKind::Exhaustive { .. } => None,
             _ => Some(HashMap::new()),
         };
-        Session { space, search, cache, pending: None, fallback: start, observer: None }
+        Session {
+            space,
+            search,
+            cache,
+            pending: None,
+            fallback: start,
+            observer: None,
+            eval_counter: None,
+        }
     }
 
     /// Disable result caching (use when measurements are noisy and repeated
     /// evaluation is informative).
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
+        self
+    }
+
+    /// Bump `counter` once per `tell` the strategy processes — real runs
+    /// *and* cached replays, matching [`Session::evaluations`]. Callers
+    /// typically resolve one counter per strategy kind (e.g.
+    /// `harmony/evaluations/nelder-mead`) from a metrics registry.
+    pub fn with_eval_counter(mut self, counter: Counter) -> Self {
+        self.eval_counter = Some(counter);
         self
     }
 
@@ -109,6 +128,15 @@ impl Session {
     pub fn with_observer(mut self, observer: impl FnMut(&SearchStep<'_>) + Send + 'static) -> Self {
         self.observer = Some(Box::new(observer));
         self
+    }
+
+    /// Account and announce the measurement just processed for `point`
+    /// (counter first, then observer).
+    fn after_tell(&mut self, point: &Point, value: f64) {
+        if let Some(c) = &self.eval_counter {
+            c.inc();
+        }
+        self.notify(point, value);
     }
 
     /// Fire the observer for the measurement just processed for `point`.
@@ -147,7 +175,7 @@ impl Session {
                             // Known point: replay the cached measurement and
                             // let the strategy advance without a real run.
                             self.search.tell(v);
-                            self.notify(&p, v);
+                            self.after_tell(&p, v);
                             continue;
                         }
                     }
@@ -170,7 +198,7 @@ impl Session {
             cache.insert(self.space.rank(&p), value);
         }
         self.search.tell(value);
-        self.notify(&p, value);
+        self.after_tell(&p, value);
     }
 
     /// Is a measurement currently outstanding?
@@ -310,6 +338,20 @@ mod tests {
         assert!(real_runs <= s.evaluations());
         let (best_point, best_value) = last_best.lock().clone().unwrap();
         assert_eq!(s.best().unwrap(), (best_point, best_value));
+    }
+
+    #[test]
+    fn eval_counter_counts_every_tell() {
+        let registry = arcs_metrics::MetricsRegistry::new();
+        let session = Session::new(space(), StrategyKind::nelder_mead(), vec![5, 0])
+            .with_eval_counter(registry.counter("harmony/evaluations/nelder-mead"));
+        let (s, real_runs) = drive(session, 1000);
+        assert!(s.converged());
+        let counted = registry.snapshot().counter("harmony/evaluations/nelder-mead");
+        assert_eq!(counted, s.evaluations() as u64);
+        // Cached replays are tells without runs, so the counter can exceed
+        // the number of real region invocations but never undercounts them.
+        assert!(counted >= real_runs as u64);
     }
 
     #[test]

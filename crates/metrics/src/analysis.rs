@@ -1,0 +1,967 @@
+//! The trace analysis engine: a streaming JSONL reader with integrity
+//! checks, analyzers that reconstruct run-level views (per-region
+//! profiles, per-cap energy summaries, search-convergence curves, cache
+//! hit-rate timelines, §III-C overhead accounting), and a comparator for
+//! run-to-run perf-regression gating.
+//!
+//! Everything operates on the versioned [`TraceRecord`] envelope the
+//! `arcs-trace` sinks write, one record at a time — a multi-gigabyte
+//! trace streams through [`TraceAnalysis`] in constant memory (the cache
+//! timeline decimates itself, see [`CacheReport::timeline`]).
+
+use arcs_trace::{TraceEvent, TraceRecord, SCHEMA_VERSION};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// Why a trace line could not be consumed.
+#[derive(Debug)]
+pub enum TraceReadError {
+    Io(std::io::Error),
+    /// Line `line` (1-based) is not a valid JSON record.
+    Parse {
+        line: usize,
+        source: serde_json::Error,
+    },
+    /// The record was written by a different schema version; reading on
+    /// would silently misinterpret fields.
+    SchemaMismatch {
+        line: usize,
+        found: u32,
+        expected: u32,
+    },
+    /// Sequence numbers must strictly increase within a file (sinks
+    /// assign them from one atomic counter).
+    NonMonotonicSeq {
+        line: usize,
+        prev: u64,
+        seq: u64,
+    },
+}
+
+impl fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceReadError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceReadError::Parse { line, source } => {
+                write!(f, "trace line {line}: invalid record: {source}")
+            }
+            TraceReadError::SchemaMismatch { line, found, expected } => {
+                write!(f, "trace line {line}: schema {found}, this reader expects {expected}")
+            }
+            TraceReadError::NonMonotonicSeq { line, prev, seq } => {
+                write!(f, "trace line {line}: seq {seq} after {prev} (must strictly increase)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceReadError::Io(e) => Some(e),
+            TraceReadError::Parse { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceReadError {
+    fn from(e: std::io::Error) -> Self {
+        TraceReadError::Io(e)
+    }
+}
+
+/// Streaming JSONL reader yielding validated [`TraceRecord`]s.
+///
+/// Hard failures (parse errors, schema mismatch, out-of-order sequence
+/// numbers) surface as `Err` items. *Gaps* in the sequence — legitimate
+/// when a filtering sink dropped events, suspicious otherwise — are
+/// counted ([`TraceReader::gaps`]) but do not stop the stream.
+pub struct TraceReader<R: BufRead> {
+    lines: std::io::Lines<R>,
+    line_no: usize,
+    last_seq: Option<u64>,
+    gaps: u64,
+}
+
+impl TraceReader<BufReader<File>> {
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(TraceReader::new(BufReader::new(File::open(path)?)))
+    }
+}
+
+impl<R: BufRead> TraceReader<R> {
+    pub fn new(reader: R) -> Self {
+        TraceReader { lines: reader.lines(), line_no: 0, last_seq: None, gaps: 0 }
+    }
+
+    /// Missing sequence numbers observed so far (`seq` jumped by more
+    /// than one). A complete single-sink trace has zero.
+    pub fn gaps(&self) -> u64 {
+        self.gaps
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, TraceReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => return Some(Err(e.into())),
+            };
+            self.line_no += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: TraceRecord = match serde_json::from_str(&line) {
+                Ok(r) => r,
+                Err(source) => {
+                    return Some(Err(TraceReadError::Parse { line: self.line_no, source }))
+                }
+            };
+            if rec.schema != SCHEMA_VERSION {
+                return Some(Err(TraceReadError::SchemaMismatch {
+                    line: self.line_no,
+                    found: rec.schema,
+                    expected: SCHEMA_VERSION,
+                }));
+            }
+            match self.last_seq {
+                Some(prev) if rec.seq <= prev => {
+                    return Some(Err(TraceReadError::NonMonotonicSeq {
+                        line: self.line_no,
+                        prev,
+                        seq: rec.seq,
+                    }));
+                }
+                Some(prev) => self.gaps += rec.seq - prev - 1,
+                None => self.gaps += rec.seq, // sinks number from 0
+            }
+            self.last_seq = Some(rec.seq);
+            return Some(Ok(rec));
+        }
+    }
+}
+
+/// Per-region profile reconstructed from `RegionEnd` events — the trace
+/// counterpart of the live `OmptProfiler` rows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegionBreakdown {
+    pub invocations: u64,
+    /// Σ wall-clock invocation durations.
+    pub wall_s: f64,
+    /// Σ per-thread loop-body time (OMPT `OpenMP_LOOP`).
+    pub busy_s: f64,
+    /// Σ per-thread barrier wait (OMPT `OpenMP_BARRIER`).
+    pub barrier_s: f64,
+    pub energy_j: f64,
+    /// `ConfigSwitch` events that named this region.
+    pub config_switches: u64,
+}
+
+impl RegionBreakdown {
+    /// Σ per-thread (busy + barrier) — `OpenMP_IMPLICIT_TASK`.
+    pub fn implicit_task_s(&self) -> f64 {
+        self.busy_s + self.barrier_s
+    }
+
+    pub fn mean_call_s(&self) -> f64 {
+        if self.invocations > 0 {
+            self.wall_s / self.invocations as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Time/energy attributed to one power-cap setting (caps can change
+/// mid-trace; segments with equal requested caps merge).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CapSegment {
+    pub requested_w: f64,
+    pub effective_w: f64,
+    /// Σ region wall time executed under this cap.
+    pub region_s: f64,
+    pub energy_j: f64,
+    pub invocations: u64,
+}
+
+impl CapSegment {
+    /// Energy–delay product under this cap (the paper's Fig. 10/11
+    /// objective).
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.region_s
+    }
+}
+
+/// One point of a region's search-convergence curve (from
+/// `SearchIteration` events).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    pub evaluations: u64,
+    /// Objective value of the point measured at this iteration.
+    pub value: f64,
+    /// Best objective seen so far.
+    pub best_value: f64,
+    pub converged: bool,
+}
+
+/// Running cache hit rate after a prefix of lookups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CachePoint {
+    /// Lookups processed when this point was sampled.
+    pub lookups: u64,
+    pub hit_rate: f64,
+}
+
+/// Memo-cache behaviour over the run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheReport {
+    pub hits: u64,
+    pub misses: u64,
+    /// Hit-rate curve, decimated by stride doubling to at most
+    /// [`CACHE_TIMELINE_POINTS`] points so the report stays bounded on
+    /// arbitrarily long traces.
+    pub timeline: Vec<CachePoint>,
+}
+
+/// Upper bound on [`CacheReport::timeline`] length.
+pub const CACHE_TIMELINE_POINTS: usize = 64;
+
+impl CacheReport {
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+}
+
+/// §III-C overhead as charged by the driver (`OverheadCharged` events).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverheadReport {
+    pub events: u64,
+    /// Σ `omp_set_num_threads`/`omp_set_schedule` cost.
+    pub config_change_s: f64,
+    /// Σ OMPT + APEX instrumentation cost.
+    pub instrumentation_s: f64,
+}
+
+impl OverheadReport {
+    pub fn total_s(&self) -> f64 {
+        self.config_change_s + self.instrumentation_s
+    }
+}
+
+/// Everything the analyzers reconstruct from one trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    pub schema: u32,
+    /// Records consumed.
+    pub records: u64,
+    /// Sequence gaps the reader observed (0 for a complete trace).
+    pub seq_gaps: u64,
+    /// Timeline position of the last `RegionEnd` — for sim-driver traces
+    /// this is the run's total time, Σ region + Σ overhead, because the
+    /// driver's clock advances by nothing else.
+    pub wall_s: f64,
+    /// Σ `RegionEnd` wall durations.
+    pub total_region_s: f64,
+    /// Σ `RegionEnd` attributed energy.
+    pub total_energy_j: f64,
+    pub regions: BTreeMap<String, RegionBreakdown>,
+    pub caps: Vec<CapSegment>,
+    /// Per-region convergence curves, keyed by region name.
+    pub convergence: BTreeMap<String, Vec<ConvergencePoint>>,
+    pub cache: CacheReport,
+    pub overhead: OverheadReport,
+}
+
+impl TraceReport {
+    /// `wall_s − Σ region − Σ overhead`. For traces produced by the sim
+    /// driver this must be ~0: the driver's clock advances *only* by
+    /// region time plus charged §III-C overhead, so any residual means
+    /// the trace and the driver disagree about where time went. Live
+    /// traces have real inter-region gaps — don't assert there.
+    pub fn overhead_residual_s(&self) -> f64 {
+        self.wall_s - self.total_region_s - self.overhead.total_s()
+    }
+
+    /// The overhead cross-check: is the residual negligible relative to
+    /// the run length?
+    pub fn overhead_consistent(&self) -> bool {
+        self.overhead_residual_s().abs() <= 1e-6 * self.wall_s.abs().max(1.0)
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Aligned plain-text rendering (the `arcs-sim report` default).
+    pub fn to_table(&self) -> String {
+        self.render(false)
+    }
+
+    /// GitHub-flavoured markdown rendering.
+    pub fn to_markdown(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, md: bool) -> String {
+        let mut out = String::new();
+        let h = |out: &mut String, title: &str| {
+            if md {
+                out.push_str(&format!("\n## {title}\n\n"));
+            } else {
+                out.push_str(&format!("\n=== {title} ===\n"));
+            }
+        };
+
+        out.push_str(&format!(
+            "trace: schema v{}, {} records, {} seq gap(s)\n",
+            self.schema, self.records, self.seq_gaps
+        ));
+        out.push_str(&format!(
+            "wall {:.4} s | region {:.4} s | overhead {:.4} s | energy {:.1} J\n",
+            self.wall_s,
+            self.total_region_s,
+            self.overhead.total_s(),
+            self.total_energy_j
+        ));
+
+        h(&mut out, "Regions");
+        let name_w = self.regions.keys().map(|k| k.len()).max().unwrap_or(6).max("region".len());
+        if md {
+            out.push_str(&format!(
+                "| {:<name_w$} | calls | wall s | mean s | loop s | barrier s | energy J | switches |\n",
+                "region"
+            ));
+            out.push_str(&format!(
+                "|{:-<w$}|------:|-------:|-------:|-------:|----------:|---------:|---------:|\n",
+                "",
+                w = name_w + 2
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>6}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>8}\n",
+                "region",
+                "calls",
+                "wall s",
+                "mean s",
+                "loop s",
+                "barrier s",
+                "energy J",
+                "switches"
+            ));
+        }
+        for (name, r) in &self.regions {
+            if md {
+                out.push_str(&format!(
+                    "| {:<name_w$} | {} | {:.4} | {:.6} | {:.4} | {:.4} | {:.1} | {} |\n",
+                    name,
+                    r.invocations,
+                    r.wall_s,
+                    r.mean_call_s(),
+                    r.busy_s,
+                    r.barrier_s,
+                    r.energy_j,
+                    r.config_switches
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{:<name_w$}  {:>6}  {:>10.4}  {:>10.6}  {:>10.4}  {:>10.4}  {:>10.1}  {:>8}\n",
+                    name,
+                    r.invocations,
+                    r.wall_s,
+                    r.mean_call_s(),
+                    r.busy_s,
+                    r.barrier_s,
+                    r.energy_j,
+                    r.config_switches
+                ));
+            }
+        }
+
+        h(&mut out, "Power caps");
+        for c in &self.caps {
+            out.push_str(&format!(
+                "{}cap {:.0} W (effective {:.1} W): {} invocation(s), {:.4} s, {:.1} J, EDP {:.2}\n",
+                if md { "- " } else { "" },
+                c.requested_w,
+                c.effective_w,
+                c.invocations,
+                c.region_s,
+                c.energy_j,
+                c.edp()
+            ));
+        }
+
+        if !self.convergence.is_empty() {
+            h(&mut out, "Search convergence");
+            for (region, curve) in &self.convergence {
+                let last = curve.last().expect("curves are non-empty");
+                out.push_str(&format!(
+                    "{}{region}: {} evaluation(s), best {:.6} s{}\n",
+                    if md { "- " } else { "" },
+                    last.evaluations,
+                    last.best_value,
+                    if last.converged { ", converged" } else { "" }
+                ));
+                let steps: Vec<String> = decimate(curve, 8)
+                    .iter()
+                    .map(|p| format!("{}:{:.4}", p.evaluations, p.best_value))
+                    .collect();
+                out.push_str(&format!(
+                    "{}best-so-far  {}\n",
+                    if md { "  " } else { "    " },
+                    steps.join(" → ")
+                ));
+            }
+        }
+
+        h(&mut out, "Sim cache");
+        out.push_str(&format!(
+            "{} hit(s), {} miss(es), hit rate {:.1}%\n",
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache.hit_rate()
+        ));
+
+        h(&mut out, "Overhead (§III-C)");
+        out.push_str(&format!(
+            "{} event(s): config change {:.4} s + instrumentation {:.4} s = {:.4} s\n",
+            self.overhead.events,
+            self.overhead.config_change_s,
+            self.overhead.instrumentation_s,
+            self.overhead.total_s()
+        ));
+        out.push_str(&format!(
+            "cross-check: wall − region − overhead = {:+.3e} s ({})\n",
+            self.overhead_residual_s(),
+            if self.overhead_consistent() { "consistent" } else { "INCONSISTENT" }
+        ));
+        out
+    }
+}
+
+/// Evenly sample at most `max` points from a curve, always keeping the
+/// last point.
+fn decimate<T: Copy>(curve: &[T], max: usize) -> Vec<T> {
+    if curve.len() <= max {
+        return curve.to_vec();
+    }
+    let step = curve.len().div_ceil(max);
+    let mut out: Vec<T> = curve.iter().copied().step_by(step).collect();
+    if let Some(&last) = curve.last() {
+        out.push(last);
+    }
+    out
+}
+
+/// Streaming consumer building a [`TraceReport`].
+///
+/// Feed records in file order via [`consume`](TraceAnalysis::consume);
+/// call [`finish`](TraceAnalysis::finish) once. State is O(regions +
+/// caps + iterations), independent of trace length except for the
+/// convergence curves (one point per `SearchIteration`, which the tuner
+/// bounds per region).
+#[derive(Default)]
+pub struct TraceAnalysis {
+    report: TraceReport,
+    current_cap: Option<usize>,
+    timeline_stride: u64,
+    since_last_point: u64,
+}
+
+impl TraceAnalysis {
+    pub fn new() -> Self {
+        TraceAnalysis { timeline_stride: 1, ..Default::default() }
+    }
+
+    pub fn consume(&mut self, rec: &TraceRecord) {
+        let r = &mut self.report;
+        r.records += 1;
+        r.schema = rec.schema;
+        match &rec.event {
+            TraceEvent::RegionEnd { region, time_s, energy_j, busy_s, barrier_s } => {
+                let b = r.regions.entry(region.clone()).or_default();
+                b.invocations += 1;
+                b.wall_s += time_s;
+                b.busy_s += busy_s;
+                b.barrier_s += barrier_s;
+                b.energy_j += energy_j;
+                r.total_region_s += time_s;
+                r.total_energy_j += energy_j;
+                if let Some(t) = rec.t_s {
+                    r.wall_s = r.wall_s.max(t);
+                }
+                if let Some(i) = self.current_cap {
+                    let seg = &mut r.caps[i];
+                    seg.region_s += time_s;
+                    seg.energy_j += energy_j;
+                    seg.invocations += 1;
+                }
+            }
+            TraceEvent::CapChange { requested_w, effective_w } => {
+                let existing = r.caps.iter().position(|c| c.requested_w == *requested_w);
+                self.current_cap = Some(existing.unwrap_or_else(|| {
+                    r.caps.push(CapSegment {
+                        requested_w: *requested_w,
+                        effective_w: *effective_w,
+                        ..Default::default()
+                    });
+                    r.caps.len() - 1
+                }));
+            }
+            TraceEvent::SearchIteration {
+                region,
+                evaluations,
+                value,
+                best_value,
+                converged,
+                ..
+            } => {
+                r.convergence.entry(region.clone()).or_default().push(ConvergencePoint {
+                    evaluations: *evaluations,
+                    value: *value,
+                    best_value: *best_value,
+                    converged: *converged,
+                });
+            }
+            TraceEvent::ConfigSwitch { region, .. } => {
+                r.regions.entry(region.clone()).or_default().config_switches += 1;
+            }
+            TraceEvent::OverheadCharged { config_change_s, instrumentation_s, .. } => {
+                r.overhead.events += 1;
+                r.overhead.config_change_s += config_change_s;
+                r.overhead.instrumentation_s += instrumentation_s;
+            }
+            TraceEvent::CacheHit { .. } => self.cache_lookup(true),
+            TraceEvent::CacheMiss { .. } => self.cache_lookup(false),
+            TraceEvent::RegionBegin { .. }
+            | TraceEvent::PowerSample { .. }
+            | TraceEvent::PolicyFired { .. } => {}
+        }
+    }
+
+    fn cache_lookup(&mut self, hit: bool) {
+        let c = &mut self.report.cache;
+        if hit {
+            c.hits += 1;
+        } else {
+            c.misses += 1;
+        }
+        self.since_last_point += 1;
+        if self.since_last_point >= self.timeline_stride {
+            self.since_last_point = 0;
+            c.timeline.push(CachePoint { lookups: c.lookups(), hit_rate: c.hit_rate() });
+            if c.timeline.len() >= CACHE_TIMELINE_POINTS {
+                // Stride-doubling decimation: keep every other point and
+                // sample half as often from here on.
+                let kept: Vec<CachePoint> = c.timeline.iter().copied().skip(1).step_by(2).collect();
+                c.timeline = kept;
+                self.timeline_stride *= 2;
+            }
+        }
+    }
+
+    pub fn finish(mut self, seq_gaps: u64) -> TraceReport {
+        self.report.seq_gaps = seq_gaps;
+        self.report
+    }
+}
+
+/// Read and analyze a whole trace stream.
+pub fn analyze<R: BufRead>(mut reader: TraceReader<R>) -> Result<TraceReport, TraceReadError> {
+    let mut analysis = TraceAnalysis::new();
+    for rec in reader.by_ref() {
+        analysis.consume(&rec?);
+    }
+    Ok(analysis.finish(reader.gaps()))
+}
+
+/// [`analyze`] a trace file on disk.
+pub fn analyze_path(path: impl AsRef<Path>) -> Result<TraceReport, TraceReadError> {
+    analyze(TraceReader::open(path)?)
+}
+
+/// One compared quantity in a [`Comparison`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareRow {
+    /// Region name, or `"TOTAL"` for the whole-run wall-time row.
+    pub name: String,
+    pub baseline_s: f64,
+    pub candidate_s: f64,
+    /// `100 × (candidate − baseline) / baseline`; 0 when the baseline is 0.
+    pub delta_pct: f64,
+    /// `delta_pct` strictly exceeds the threshold (so two identical runs
+    /// pass even at `--fail-on 0`).
+    pub regression: bool,
+}
+
+/// Result of gating a candidate run against a baseline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Threshold in percent: any row slower by strictly more than this
+    /// regresses.
+    pub fail_on_pct: f64,
+    /// `TOTAL` first, then regions sorted by name.
+    pub rows: Vec<CompareRow>,
+    /// Regions present only in the baseline (reported, never failed —
+    /// a renamed region should not brick CI).
+    pub missing_in_candidate: Vec<String>,
+    /// Regions present only in the candidate.
+    pub new_in_candidate: Vec<String>,
+}
+
+impl Comparison {
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.regression)
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("comparison serializes")
+    }
+
+    pub fn to_table(&self) -> String {
+        let name_w = self.rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max("name".len());
+        let mut out = format!(
+            "{:<name_w$}  {:>12}  {:>12}  {:>8}  verdict\n",
+            "name", "baseline s", "candidate s", "delta"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>12.6}  {:>12.6}  {:>+7.2}%  {}\n",
+                r.name,
+                r.baseline_s,
+                r.candidate_s,
+                r.delta_pct,
+                if r.regression { "REGRESSION" } else { "ok" }
+            ));
+        }
+        for m in &self.missing_in_candidate {
+            out.push_str(&format!("{m}: missing in candidate\n"));
+        }
+        for m in &self.new_in_candidate {
+            out.push_str(&format!("{m}: new in candidate\n"));
+        }
+        out.push_str(&format!(
+            "threshold {}%: {}\n",
+            self.fail_on_pct,
+            if self.regressed() { "FAIL" } else { "pass" }
+        ));
+        out
+    }
+}
+
+/// Gate `candidate` against `baseline`: the whole-run wall time and every
+/// shared region's mean invocation time must not be slower by strictly
+/// more than `fail_on_pct` percent.
+pub fn compare_reports(
+    baseline: &TraceReport,
+    candidate: &TraceReport,
+    fail_on_pct: f64,
+) -> Comparison {
+    let row = |name: &str, base: f64, cand: f64| {
+        let delta_pct = if base > 0.0 { 100.0 * (cand - base) / base } else { 0.0 };
+        CompareRow {
+            name: name.to_string(),
+            baseline_s: base,
+            candidate_s: cand,
+            delta_pct,
+            regression: delta_pct > fail_on_pct,
+        }
+    };
+    let mut rows = vec![row("TOTAL", baseline.wall_s, candidate.wall_s)];
+    let mut missing = Vec::new();
+    for (name, b) in &baseline.regions {
+        match candidate.regions.get(name) {
+            Some(c) => rows.push(row(name, b.mean_call_s(), c.mean_call_s())),
+            None => missing.push(name.clone()),
+        }
+    }
+    let new_in_candidate: Vec<String> =
+        candidate.regions.keys().filter(|k| !baseline.regions.contains_key(*k)).cloned().collect();
+    Comparison { fail_on_pct, rows, missing_in_candidate: missing, new_in_candidate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcs_trace::TraceEvent as E;
+
+    fn jsonl(records: &[TraceRecord]) -> String {
+        let mut out = String::new();
+        for r in records {
+            out.push_str(&serde_json::to_string(r).unwrap());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn rec(seq: u64, t_s: Option<f64>, event: E) -> TraceRecord {
+        TraceRecord { schema: SCHEMA_VERSION, seq, t_s, event }
+    }
+
+    /// A miniature driver-shaped trace: one cap, two regions, a tuning
+    /// step with overhead, cache traffic.
+    fn sample_trace() -> Vec<TraceRecord> {
+        let mut seq = 0;
+        let mut next = |t_s: Option<f64>, event: E| {
+            let r = rec(seq, t_s, event);
+            seq += 1;
+            r
+        };
+        let mut t = 0.0;
+        let mut records =
+            vec![next(Some(0.0), E::CapChange { requested_w: 80.0, effective_w: 80.0 })];
+        for i in 0..3u64 {
+            records.push(next(
+                Some(t),
+                E::ConfigSwitch { region: "rhs".into(), threads: 8, schedule: "static".into() },
+            ));
+            records.push(next(
+                Some(t),
+                E::OverheadCharged {
+                    region: "rhs".into(),
+                    config_change_s: 0.008,
+                    instrumentation_s: 0.001,
+                },
+            ));
+            records.push(next(
+                Some(t + 0.009),
+                E::RegionBegin { region: "rhs".into(), threads: 8, schedule: "static".into() },
+            ));
+            records.push(next(
+                None,
+                if i == 0 {
+                    E::CacheMiss { region: "rhs".into() }
+                } else {
+                    E::CacheHit { region: "rhs".into() }
+                },
+            ));
+            t += 0.009 + 0.5;
+            records.push(next(
+                Some(t),
+                E::RegionEnd {
+                    region: "rhs".into(),
+                    time_s: 0.5,
+                    energy_j: 40.0,
+                    busy_s: 3.6,
+                    barrier_s: 0.4,
+                },
+            ));
+            records.push(next(
+                Some(t),
+                E::SearchIteration {
+                    region: "rhs".into(),
+                    evaluations: i + 1,
+                    point: vec![i as usize, 0],
+                    value: 0.5 - 0.01 * i as f64,
+                    best_point: vec![i as usize, 0],
+                    best_value: 0.5 - 0.01 * i as f64,
+                    converged: i == 2,
+                    simplex: vec![],
+                },
+            ));
+            t += 0.25;
+            records.push(next(
+                Some(t),
+                E::RegionEnd {
+                    region: "zsolve".into(),
+                    time_s: 0.25,
+                    energy_j: 18.0,
+                    busy_s: 1.9,
+                    barrier_s: 0.1,
+                },
+            ));
+        }
+        records
+    }
+
+    #[test]
+    fn reader_validates_schema_and_sequence() {
+        let good = jsonl(&sample_trace());
+        let n = TraceReader::new(good.as_bytes()).filter(|r| r.is_ok()).count();
+        assert_eq!(n, sample_trace().len());
+
+        let bad_schema =
+            jsonl(&[TraceRecord { schema: 1, ..rec(0, None, E::CacheHit { region: "r".into() }) }]);
+        let err = TraceReader::new(bad_schema.as_bytes()).next().unwrap().unwrap_err();
+        assert!(matches!(err, TraceReadError::SchemaMismatch { found: 1, .. }), "{err}");
+
+        let out_of_order = jsonl(&[
+            rec(5, None, E::CacheHit { region: "r".into() }),
+            rec(5, None, E::CacheHit { region: "r".into() }),
+        ]);
+        let mut reader = TraceReader::new(out_of_order.as_bytes());
+        assert!(reader.next().unwrap().is_ok());
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(matches!(err, TraceReadError::NonMonotonicSeq { prev: 5, seq: 5, .. }), "{err}");
+
+        let not_json = "{nope\n";
+        let err = TraceReader::new(not_json.as_bytes()).next().unwrap().unwrap_err();
+        assert!(matches!(err, TraceReadError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn reader_counts_gaps_without_failing() {
+        let gappy = jsonl(&[
+            rec(0, None, E::CacheHit { region: "r".into() }),
+            rec(4, None, E::CacheHit { region: "r".into() }), // 1..=3 filtered out
+        ]);
+        let mut reader = TraceReader::new(gappy.as_bytes());
+        assert_eq!(reader.by_ref().filter(|r| r.is_ok()).count(), 2);
+        assert_eq!(reader.gaps(), 3);
+    }
+
+    #[test]
+    fn analyzers_reconstruct_the_run() {
+        let report = analyze(TraceReader::new(jsonl(&sample_trace()).as_bytes())).unwrap();
+        assert_eq!(report.schema, SCHEMA_VERSION);
+        assert_eq!(report.seq_gaps, 0);
+
+        let rhs = &report.regions["rhs"];
+        assert_eq!(rhs.invocations, 3);
+        assert!((rhs.wall_s - 1.5).abs() < 1e-12);
+        assert!((rhs.busy_s - 10.8).abs() < 1e-12);
+        assert!((rhs.barrier_s - 1.2).abs() < 1e-12);
+        assert!((rhs.implicit_task_s() - 12.0).abs() < 1e-12);
+        assert_eq!(rhs.config_switches, 3);
+        assert!((rhs.mean_call_s() - 0.5).abs() < 1e-12);
+        assert_eq!(report.regions["zsolve"].invocations, 3);
+
+        // Cap summary: everything ran under the single 80 W segment.
+        assert_eq!(report.caps.len(), 1);
+        let cap = &report.caps[0];
+        assert_eq!(cap.invocations, 6);
+        assert!((cap.region_s - 2.25).abs() < 1e-12);
+        assert!((cap.energy_j - (3.0 * 40.0 + 3.0 * 18.0)).abs() < 1e-9);
+        assert!((cap.edp() - cap.energy_j * cap.region_s).abs() < 1e-9);
+
+        // Convergence: best-so-far decreases, final point converged.
+        let curve = &report.convergence["rhs"];
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[1].best_value <= w[0].best_value));
+        assert!(curve.last().unwrap().converged);
+
+        // Cache: 1 miss then 2 hits.
+        assert_eq!((report.cache.hits, report.cache.misses), (2, 1));
+        assert!((report.cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.cache.timeline.len(), 3);
+
+        // Overhead cross-check: the driver clock advanced by region time
+        // plus charged overhead and nothing else.
+        assert!((report.overhead.total_s() - 3.0 * 0.009).abs() < 1e-12);
+        assert!(report.overhead_consistent(), "residual {}", report.overhead_residual_s());
+
+        // All three render formats mention the load-bearing facts.
+        for text in [report.to_table(), report.to_markdown()] {
+            assert!(text.contains("rhs"));
+            assert!(text.contains("consistent"));
+            assert!(text.contains("80 W"));
+        }
+        let back = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn inconsistent_overhead_is_flagged() {
+        // A RegionEnd whose timeline position includes 1 s the trace
+        // never accounts for.
+        let records = vec![rec(
+            0,
+            Some(1.5),
+            E::RegionEnd {
+                region: "r".into(),
+                time_s: 0.5,
+                energy_j: 1.0,
+                busy_s: 0.5,
+                barrier_s: 0.0,
+            },
+        )];
+        let report = analyze(TraceReader::new(jsonl(&records).as_bytes())).unwrap();
+        assert!(!report.overhead_consistent());
+        assert!((report.overhead_residual_s() - 1.0).abs() < 1e-12);
+        assert!(report.to_table().contains("INCONSISTENT"));
+    }
+
+    #[test]
+    fn cache_timeline_stays_bounded() {
+        let mut analysis = TraceAnalysis::new();
+        for i in 0..100_000u64 {
+            let event = if i % 4 == 0 {
+                E::CacheMiss { region: "r".into() }
+            } else {
+                E::CacheHit { region: "r".into() }
+            };
+            analysis.consume(&rec(i, None, event));
+        }
+        let report = analysis.finish(0);
+        assert!(report.cache.timeline.len() <= CACHE_TIMELINE_POINTS);
+        assert!(report.cache.timeline.len() >= CACHE_TIMELINE_POINTS / 2);
+        let last = report.cache.timeline.last().unwrap();
+        assert!((last.hit_rate - 0.75).abs() < 1e-3);
+        // Points are in lookup order and cover the tail of the stream.
+        assert!(report.cache.timeline.windows(2).all(|w| w[0].lookups < w[1].lookups));
+        assert!(last.lookups > 50_000);
+    }
+
+    #[test]
+    fn compare_passes_identical_runs_at_zero_threshold() {
+        let report = analyze(TraceReader::new(jsonl(&sample_trace()).as_bytes())).unwrap();
+        let cmp = compare_reports(&report, &report, 0.0);
+        assert!(!cmp.regressed(), "{}", cmp.to_table());
+        assert_eq!(cmp.rows[0].name, "TOTAL");
+        assert_eq!(cmp.rows.len(), 1 + report.regions.len());
+        assert!(cmp.to_table().contains("pass"));
+    }
+
+    #[test]
+    fn compare_flags_slowdowns_past_threshold() {
+        let base = analyze(TraceReader::new(jsonl(&sample_trace()).as_bytes())).unwrap();
+        let mut cand = base.clone();
+        cand.regions.get_mut("rhs").unwrap().wall_s *= 1.10; // +10 % mean
+        let lenient = compare_reports(&base, &cand, 15.0);
+        assert!(!lenient.regressed());
+        let strict = compare_reports(&base, &cand, 5.0);
+        assert!(strict.regressed());
+        let row = strict.rows.iter().find(|r| r.name == "rhs").unwrap();
+        assert!(row.regression && (row.delta_pct - 10.0).abs() < 1e-9);
+        assert!(strict.to_table().contains("REGRESSION"));
+
+        // Exactly-at-threshold is NOT a regression (strict inequality).
+        let at = compare_reports(&base, &cand, 10.0 + 1e-9);
+        assert!(!at.regressed());
+    }
+
+    #[test]
+    fn compare_reports_region_set_changes_without_failing() {
+        let base = analyze(TraceReader::new(jsonl(&sample_trace()).as_bytes())).unwrap();
+        let mut cand = base.clone();
+        let moved = cand.regions.remove("zsolve").unwrap();
+        cand.regions.insert("zsolve_v2".into(), moved);
+        let cmp = compare_reports(&base, &cand, 0.0);
+        assert_eq!(cmp.missing_in_candidate, ["zsolve"]);
+        assert_eq!(cmp.new_in_candidate, ["zsolve_v2"]);
+        assert!(!cmp.regressed());
+        let back: Comparison = serde_json::from_str(&cmp.to_json()).unwrap();
+        assert_eq!(back, cmp);
+    }
+}

@@ -10,6 +10,7 @@ use crate::ompt::ToolRegistry;
 use crate::pool::Pool;
 use crate::schedule::{static_chunks_for_thread, Dispenser, Schedule};
 use crate::stats::{RegionRecord, ThreadStats};
+use arcs_metrics::{Counter, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -35,6 +36,21 @@ struct Icv {
     schedule: Schedule,
 }
 
+/// Handles the runtime bumps once per region join (cold path — never
+/// inside the worker loop). Resolved once at [`Runtime::attach_metrics`].
+struct RuntimeMetrics {
+    /// `omprt/regions`: parallel regions executed.
+    regions: Counter,
+    /// `omprt/chunks`: loop chunks executed across all schedules.
+    chunks: Counter,
+    /// `omprt/iterations`: loop iterations executed.
+    iterations: Counter,
+    /// `omprt/dynamic_chunks`: chunks handed out by the on-demand
+    /// dispenser (`dynamic`/`guided`), i.e. dispatches that paid the
+    /// shared-counter cost.
+    dynamic_chunks: Counter,
+}
+
 /// An OpenMP-like shared-memory runtime with tunable execution knobs.
 pub struct Runtime {
     pool: Pool,
@@ -42,6 +58,7 @@ pub struct Runtime {
     names: RwLock<Vec<String>>,
     by_name: Mutex<HashMap<String, RegionId>>,
     tools: ToolRegistry,
+    metrics: OnceLock<RuntimeMetrics>,
 }
 
 impl Runtime {
@@ -54,6 +71,7 @@ impl Runtime {
             names: RwLock::new(Vec::new()),
             by_name: Mutex::new(HashMap::new()),
             tools: ToolRegistry::new(),
+            metrics: OnceLock::new(),
         }
     }
 
@@ -99,6 +117,22 @@ impl Runtime {
     /// The OMPT-like tool chain; attach observers here.
     pub fn tools(&self) -> &ToolRegistry {
         &self.tools
+    }
+
+    /// Resolve the runtime's counters (`omprt/regions`, `omprt/chunks`,
+    /// `omprt/iterations`, `omprt/dynamic_chunks`) against `registry` and
+    /// start recording. Attach-once, like a trace sink: returns `false`
+    /// (and changes nothing) if metrics were already attached. Without
+    /// this call the per-region accounting is a single `OnceLock` load.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) -> bool {
+        self.metrics
+            .set(RuntimeMetrics {
+                regions: registry.counter("omprt/regions"),
+                chunks: registry.counter("omprt/chunks"),
+                iterations: registry.counter("omprt/iterations"),
+                dynamic_chunks: registry.counter("omprt/dynamic_chunks"),
+            })
+            .is_ok()
     }
 
     /// Intern a region name, returning its stable id. Repeated calls with
@@ -239,6 +273,16 @@ impl Runtime {
             duration: total,
             per_thread,
         };
+        // Once per join, after the team has parked — off the worker path.
+        if let Some(m) = self.metrics.get() {
+            let total_chunks = record.total_chunks();
+            m.regions.inc();
+            m.chunks.add(total_chunks);
+            m.iterations.add(len as u64);
+            if dispenser.is_some() {
+                m.dynamic_chunks.add(total_chunks);
+            }
+        }
         self.tools.emit_parallel_end(region, &record);
         record
     }
@@ -429,6 +473,26 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(rt.region_name(a), "x_solve");
         assert_eq!(rt.region_count(), 2);
+    }
+
+    #[test]
+    fn metrics_count_regions_chunks_and_dispatches() {
+        let rt = rt(4);
+        let registry = arcs_metrics::MetricsRegistry::new();
+        assert!(rt.attach_metrics(&registry));
+        assert!(!rt.attach_metrics(&registry), "metrics attach once");
+        let region = rt.register_region("counted");
+        rt.set_schedule(Schedule::static_block());
+        rt.parallel_for(region, 0..100, |_| {});
+        rt.set_schedule(Schedule::dynamic(10));
+        rt.parallel_for(region, 0..100, |_| {});
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("omprt/regions"), 2);
+        assert_eq!(snap.counter("omprt/iterations"), 200);
+        // dynamic(10) over 100 iterations hands out exactly 10 chunks;
+        // static block on 4 threads adds 4 dispatch-free ones.
+        assert_eq!(snap.counter("omprt/dynamic_chunks"), 10);
+        assert_eq!(snap.counter("omprt/chunks"), 14);
     }
 
     #[test]

@@ -71,12 +71,20 @@ impl Tool for TraceTool {
         let Some(rt) = self.rt.upgrade() else {
             return;
         };
+        let mut busy_s = 0.0;
+        let mut barrier_s = 0.0;
+        for t in &record.per_thread {
+            busy_s += t.busy.as_secs_f64();
+            barrier_s += t.barrier_wait.as_secs_f64();
+        }
         self.sink.record(
             Some(self.now_s()),
             TraceEvent::RegionEnd {
                 region: rt.region_name(region),
                 time_s: record.duration.as_secs_f64(),
                 energy_j: 0.0,
+                busy_s,
+                barrier_s,
             },
         );
     }
@@ -109,10 +117,13 @@ mod tests {
                     assert_eq!(region, "axpy");
                     assert_eq!(*threads, 2);
                 }
-                TraceEvent::RegionEnd { region, time_s, energy_j } => {
+                TraceEvent::RegionEnd { region, time_s, energy_j, busy_s, barrier_s } => {
                     assert_eq!(region, "axpy");
                     assert!(*time_s >= 0.0);
                     assert_eq!(*energy_j, 0.0);
+                    // Per-thread sums from the record ride along so the
+                    // trace alone can rebuild the OMPT profile.
+                    assert!(*busy_s >= 0.0 && *barrier_s >= 0.0);
                 }
                 other => panic!("unexpected event {other:?}"),
             }

@@ -15,6 +15,7 @@
 //! discarded; hit/miss counters are informational).
 
 use crate::exec::{SimConfig, SimReport};
+use arcs_metrics::{Counter, MetricsRegistry};
 use arcs_trace::{TraceEvent, TraceSink};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -85,6 +86,19 @@ pub struct SharedSimCache {
     /// Optional event sink; set once, read with one atomic load per
     /// lookup (the hot path stays branch-and-load when unset).
     trace: OnceLock<Arc<dyn TraceSink>>,
+    /// Optional registry counters, same set-once discipline as `trace`.
+    metrics: OnceLock<CacheMetrics>,
+}
+
+/// Counters mirrored into an attached [`MetricsRegistry`].
+struct CacheMetrics {
+    /// `powersim/cache/hits`.
+    hits: Counter,
+    /// `powersim/cache/misses`.
+    misses: Counter,
+    /// `powersim/cache/inserts`: entries that actually landed (a raced
+    /// miss recomputes but does not insert, so inserts ≤ misses).
+    inserts: Counter,
 }
 
 impl SharedSimCache {
@@ -95,6 +109,7 @@ impl SharedSimCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             trace: OnceLock::new(),
+            metrics: OnceLock::new(),
         }
     }
 
@@ -118,6 +133,19 @@ impl SharedSimCache {
     /// if a sink was already attached.
     pub fn attach_trace(&self, sink: Arc<dyn TraceSink>) -> bool {
         self.trace.set(sink).is_ok()
+    }
+
+    /// Resolve `powersim/cache/{hits,misses,inserts}` counters against
+    /// `registry` and mirror every lookup into them. Set-once like the
+    /// trace sink; returns `false` if metrics were already attached.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) -> bool {
+        self.metrics
+            .set(CacheMetrics {
+                hits: registry.counter("powersim/cache/hits"),
+                misses: registry.counter("powersim/cache/misses"),
+                inserts: registry.counter("powersim/cache/inserts"),
+            })
+            .is_ok()
     }
 
     fn trace_lookup(&self, name: &str, hit: bool) {
@@ -164,11 +192,17 @@ impl SharedSimCache {
         let shard = self.shard(name);
         if let Some(rep) = shard.lock().get(name).and_then(|per| per.get(&key)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = self.metrics.get() {
+                m.hits.inc();
+            }
             self.trace_lookup(name, true);
             return Arc::clone(rep);
         }
         let rep = Arc::new(compute());
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.misses.inc();
+        }
         self.trace_lookup(name, false);
         let mut guard = shard.lock();
         let per_region = match guard.get_mut(name) {
@@ -177,7 +211,15 @@ impl SharedSimCache {
         };
         // Keep the first insert if another thread raced us here; both
         // computed the same deterministic report.
-        Arc::clone(per_region.entry(key).or_insert(rep))
+        match per_region.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if let Some(m) = self.metrics.get() {
+                    m.inserts.inc();
+                }
+                Arc::clone(v.insert(rep))
+            }
+        }
     }
 }
 
@@ -291,6 +333,29 @@ mod tests {
         assert_eq!(err.cache_machine, "crill");
         assert_eq!(err.machine, "minotaur");
         assert!(err.to_string().contains("different machine model"));
+    }
+
+    #[test]
+    fn metrics_mirror_hits_misses_and_inserts() {
+        let m = Machine::crill();
+        let cache = SharedSimCache::new(&m.name);
+        let registry = MetricsRegistry::new();
+        assert!(cache.attach_metrics(&registry));
+        assert!(!cache.attach_metrics(&registry), "metrics attach once");
+
+        let r = region("a");
+        let cfg = SimConfig { threads: 8, schedule: Schedule::static_block() };
+        for _ in 0..3 {
+            cache.get_or_insert_with(&r.name, r.iterations, cfg, 85.0, || {
+                simulate_region(&m, 85.0, &r, cfg)
+            });
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("powersim/cache/hits"), 2);
+        assert_eq!(snap.counter("powersim/cache/misses"), 1);
+        assert_eq!(snap.counter("powersim/cache/inserts"), 1);
+        // Registry counters agree with the cache's own accounting.
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
     }
 
     #[test]

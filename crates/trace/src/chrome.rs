@@ -46,7 +46,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Result<String, serde_json::Error
     for r in records {
         let Some(t) = r.t_s else { continue };
         match &r.event {
-            TraceEvent::RegionEnd { region, time_s, energy_j } => {
+            TraceEvent::RegionEnd { region, time_s, energy_j, .. } => {
                 let mut ev = complete(region.clone(), "region", t - time_s, *time_s);
                 ev.args.insert("energy_j".to_string(), *energy_j);
                 events.push(ev);
@@ -80,7 +80,13 @@ mod tests {
             record(
                 1,
                 Some(0.5),
-                TraceEvent::RegionEnd { region: "r".into(), time_s: 0.1, energy_j: 2.0 },
+                TraceEvent::RegionEnd {
+                    region: "r".into(),
+                    time_s: 0.1,
+                    energy_j: 2.0,
+                    busy_s: 0.3,
+                    barrier_s: 0.05,
+                },
             ),
             record(
                 2,

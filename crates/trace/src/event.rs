@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 /// [`TraceRecord`] or [`TraceEvent`] — consumers refuse records from a
 /// different version instead of silently misreading them (see
 /// [`crate::validate_jsonl`]).
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One vertex of a search strategy's candidate set (a Nelder–Mead simplex
 /// vertex, a PRO population member), as captured in
@@ -30,8 +30,11 @@ pub enum TraceEvent {
     RegionBegin { region: String, threads: usize, schedule: String },
     /// The region joined; `time_s` is the measured duration, `energy_j`
     /// the package energy attributed to the invocation (0 where the
-    /// backend cannot attribute energy).
-    RegionEnd { region: String, time_s: f64, energy_j: f64 },
+    /// backend cannot attribute energy). `busy_s`/`barrier_s` are the
+    /// per-thread loop-body and barrier-wait sums (OMPT `OpenMP_LOOP` /
+    /// `OpenMP_BARRIER`), so per-region profiles are reconstructible from
+    /// the trace alone.
+    RegionEnd { region: String, time_s: f64, energy_j: f64, busy_s: f64, barrier_s: f64 },
     /// Average package power over the last region invocation plus the
     /// cumulative package-energy counter (the RAPL view).
     PowerSample { power_w: f64, energy_total_j: f64 },

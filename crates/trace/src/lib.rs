@@ -80,7 +80,13 @@ mod tests {
                 threads: 16,
                 schedule: "guided,8".into(),
             },
-            TraceEvent::RegionEnd { region: "sp/x_solve".into(), time_s: 0.012, energy_j: 1.1 },
+            TraceEvent::RegionEnd {
+                region: "sp/x_solve".into(),
+                time_s: 0.012,
+                energy_j: 1.1,
+                busy_s: 0.17,
+                barrier_s: 0.022,
+            },
             TraceEvent::PowerSample { power_w: 81.5, energy_total_j: 42.0 },
             TraceEvent::CapChange { requested_w: 80.0, effective_w: 80.0 },
             TraceEvent::SearchIteration {
@@ -180,12 +186,36 @@ mod tests {
     }
 
     #[test]
+    fn dropped_jsonl_sink_flushes_to_a_valid_file() {
+        let path =
+            std::env::temp_dir().join(format!("arcs_trace_drop_{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).expect("temp file");
+            sink.record(Some(0.0), TraceEvent::CacheHit { region: "r".into() });
+            sink.record(Some(0.1), TraceEvent::CacheMiss { region: "r".into() });
+            sink.flush().expect("no io errors on a fresh file");
+            sink.record(None, TraceEvent::PolicyFired { policy: "p".into(), task: "t".into() });
+            // Dropped here with one record still buffered.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let records = validate_jsonl(&text).expect("a dropped sink leaves a valid JSONL file");
+        assert_eq!(records.len(), 3, "the final flush happens on drop");
+    }
+
+    #[test]
     fn chrome_export_is_a_json_array_of_complete_events() {
         let sink = VecSink::new();
         sink.record(Some(0.0), TraceEvent::CapChange { requested_w: 80.0, effective_w: 80.0 });
         sink.record(
             Some(0.020),
-            TraceEvent::RegionEnd { region: "sp/x_solve".into(), time_s: 0.02, energy_j: 1.0 },
+            TraceEvent::RegionEnd {
+                region: "sp/x_solve".into(),
+                time_s: 0.02,
+                energy_j: 1.0,
+                busy_s: 0.07,
+                barrier_s: 0.01,
+            },
         );
         let json = chrome_trace(&sink.drain()).unwrap();
         assert!(json.starts_with('['));
@@ -202,8 +232,9 @@ mod tests {
     fn schema_version_is_stable() {
         // Bumping SCHEMA_VERSION is a conscious act: it invalidates every
         // stored trace. If this assertion fails you changed the record
-        // layout — bump the version AND this test together.
-        assert_eq!(SCHEMA_VERSION, 1);
+        // layout — bump the version AND this test together. (v1 → v2:
+        // RegionEnd gained `busy_s`/`barrier_s`.)
+        assert_eq!(SCHEMA_VERSION, 2);
         let record = TraceRecord {
             schema: SCHEMA_VERSION,
             seq: 3,
@@ -211,6 +242,6 @@ mod tests {
             event: TraceEvent::CacheHit { region: "r".into() },
         };
         let json = serde_json::to_string(&record).unwrap();
-        assert_eq!(json, r#"{"schema":1,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
+        assert_eq!(json, r#"{"schema":2,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
     }
 }

@@ -100,22 +100,32 @@ struct JsonlState<W: Write + Send> {
 /// A buffered line-per-record JSON sink. Records are written as they
 /// arrive, one [`TraceRecord`] per line — the format
 /// [`crate::validate_jsonl`] checks.
+///
+/// Buffering never costs durability: records are complete lines, the
+/// buffer is flushed by [`flush`](JsonlSink::flush), by
+/// [`into_inner`](JsonlSink::into_inner) and on drop, so a dropped sink
+/// always leaves a valid JSONL file behind (every line that reached the
+/// writer is a whole record; at worst the tail of the stream is missing
+/// if the final flush failed — errors on drop cannot be reported).
 pub struct JsonlSink<W: Write + Send> {
-    state: Mutex<JsonlState<W>>,
+    /// `None` only after [`into_inner`](JsonlSink::into_inner) took the
+    /// writer (so `Drop` has nothing left to flush).
+    state: Mutex<Option<JsonlState<W>>>,
     seq: AtomicU64,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
     pub fn new(writer: W) -> Self {
         JsonlSink {
-            state: Mutex::new(JsonlState { out: io::BufWriter::new(writer), error: None }),
+            state: Mutex::new(Some(JsonlState { out: io::BufWriter::new(writer), error: None })),
             seq: AtomicU64::new(0),
         }
     }
 
     /// Flush buffered lines, surfacing any deferred write error.
     pub fn flush(&self) -> io::Result<()> {
-        let mut st = self.state.lock();
+        let mut guard = self.state.lock();
+        let st = guard.as_mut().expect("writer still owned by the sink");
         if let Some(e) = st.error.take() {
             return Err(e);
         }
@@ -124,11 +134,21 @@ impl<W: Write + Send> JsonlSink<W> {
 
     /// Flush and recover the underlying writer.
     pub fn into_inner(self) -> io::Result<W> {
-        let st = self.state.into_inner();
+        let st = self.state.lock().take().expect("writer still owned by the sink");
         if let Some(e) = st.error {
             return Err(e);
         }
         st.out.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Best-effort final flush: errors cannot surface from a Drop. Use
+        // `flush`/`into_inner` to observe them.
+        if let Some(st) = self.state.lock().as_mut() {
+            let _ = st.out.flush();
+        }
     }
 }
 
@@ -143,7 +163,10 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn record(&self, t_s: Option<f64>, event: TraceEvent) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let record = TraceRecord { schema: SCHEMA_VERSION, seq, t_s, event };
-        let mut st = self.state.lock();
+        let mut guard = self.state.lock();
+        let Some(st) = guard.as_mut() else {
+            return;
+        };
         if st.error.is_some() {
             return;
         }
