@@ -49,3 +49,37 @@ if cargo run --release -q -p arcs-bench --bin arcs-sim -- \
     echo "compare gate failed to flag a regression" >&2
     exit 1
 fi
+
+# Energy-objective gate smoke: the same fixed-seed cell scored by energy,
+# run twice, must produce identical reports and pass `compare --objective
+# energy` at a 0% threshold.
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    trace --workload sp.B --cap 80 --strategy nelder-mead --timesteps 6 \
+    --objective energy --out "$trace_tmp/sp.energy.jsonl"
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    trace --workload sp.B --cap 80 --strategy nelder-mead --timesteps 6 \
+    --objective energy --out "$trace_tmp/sp.energy2.jsonl"
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    report "$trace_tmp/sp.energy.jsonl" --format json --out "$trace_tmp/ebase.json"
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    report "$trace_tmp/sp.energy2.jsonl" --format json --out "$trace_tmp/ecand.json"
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    compare "$trace_tmp/ebase.json" "$trace_tmp/ecand.json" \
+    --objective energy --fail-on 0 --out results/bench_energy_smoke.json
+test -s results/bench_energy_smoke.json
+# The objective gate must also *fire*. Cap-throttling leaves package
+# energy nearly flat in this power model (power ≈ cap, time ∝ 1/cap), so
+# the throttled cell regresses on energy-delay product, not raw energy:
+# same joules drawn over a visibly longer run. Re-scoring the 60 W cell
+# against the 80 W baseline by EDP has to exit nonzero.
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    trace --workload sp.B --cap 60 --strategy nelder-mead --timesteps 6 \
+    --objective energy --out "$trace_tmp/sp.energy.slow.jsonl"
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    report "$trace_tmp/sp.energy.slow.jsonl" --format json --out "$trace_tmp/eslow.json"
+if cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    compare "$trace_tmp/ebase.json" "$trace_tmp/eslow.json" \
+    --objective edp --fail-on 5 > /dev/null 2>&1; then
+    echo "objective compare gate failed to flag an EDP regression" >&2
+    exit 1
+fi

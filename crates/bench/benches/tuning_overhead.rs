@@ -14,7 +14,7 @@ fn tuner_begin_end(c: &mut Criterion) {
         // Converge first so we measure the steady-state cost.
         for _ in 0..500 {
             let d = tuner.begin("r");
-            tuner.end("r", 1.0 + d.config.threads as f64 * 1e-3);
+            tuner.end("r", 1.0 + d.config.omp.threads as f64 * 1e-3);
             if tuner.converged() {
                 break;
             }

@@ -61,15 +61,11 @@ fn main() {
         ] {
             let mut exec = SimExecutor::new(m.clone(), cap);
             let model = wl.step.iter().find(|r| r.name == region_name).unwrap().clone();
-            let mut tuner = RegionTuner::new(TunerOptions {
-                space: space.clone(),
-                mode,
-                min_region_time_s: 0.0,
-            });
+            let mut tuner = RegionTuner::new(TunerOptions::new(space.clone(), mode));
             let mut measurements = 0u64;
             for _ in 0..1000 {
                 let d = tuner.begin(region_name);
-                let rep = exec.simulate(&model, d.config.as_sim());
+                let rep = exec.simulate(&model, d.config.omp.as_sim());
                 measurements += 1;
                 tuner.end(region_name, rep.time_s);
                 if tuner.converged() {

@@ -19,6 +19,7 @@
 //!   --workload APP[.CLASS]      bt | sp | lulesh, NPB class suffix (default sp.B)
 //!   --cap WATTS                 package power cap (default TDP)
 //!   --strategy nelder-mead|pro|exhaustive|default   (default nelder-mead)
+//!   --objective time|energy|edp score the run by this objective (default time)
 //!   --timesteps N               override the workload's step count
 //!   --machine crill|minotaur    (default crill)
 //!   --out PATH                  write JSONL here (default: stdout)
@@ -27,11 +28,15 @@
 //!
 //! arcs-sim report <trace.jsonl> [options]     analyse a recorded trace
 //!   --format table|json|md      output format (default table)
+//!   --objective time|energy|edp rank regions by this objective (default: the
+//!                               objective recorded in the trace)
 //!   --out PATH                  write the report here (default: stdout)
 //!
 //! arcs-sim compare <baseline.json> <candidate.json> [options]
 //!   --fail-on PCT               exit nonzero if any region (or the total)
-//!                               slows down by strictly more than PCT percent
+//!                               regresses by strictly more than PCT percent
+//!   --objective time|energy|edp compare by this objective (default time), so
+//!                               the gate can fail on energy/EDP regressions
 //!   --out PATH                  write the comparison artifact (JSON) here
 //! ```
 //!
@@ -45,7 +50,8 @@
 //! ```
 
 use arcs::{
-    runs, ConfigSpace, OmpConfig, RegionTuner, Runner, SimExecutor, TunerOptions, TuningMode,
+    runs, ConfigSpace, Objective, OmpConfig, RegionTuner, Runner, SimExecutor, TunerOptions,
+    TuningMode,
 };
 use arcs_harmony::{History, NmOptions, ProOptions};
 use arcs_kernels::{model, Class};
@@ -176,7 +182,8 @@ fn workload(args: &Args) -> WorkloadDescriptor {
 fn trace_usage() -> ! {
     eprintln!(
         "usage: arcs-sim trace [--workload APP[.CLASS]] [--machine crill|minotaur] \
-         [--cap WATTS] [--strategy nelder-mead|pro|exhaustive|default] [--timesteps N] \
+         [--cap WATTS] [--strategy nelder-mead|pro|exhaustive|default] \
+         [--objective time|energy|edp] [--timesteps N] \
          [--out PATH] [--chrome PATH] [--check]"
     );
     exit(2)
@@ -189,6 +196,7 @@ fn trace_main(argv: &[String]) {
     let mut machine = Machine::crill();
     let mut cap: Option<f64> = None;
     let mut strategy = "nelder-mead".to_string();
+    let mut objective = Objective::Time;
     let mut timesteps: Option<usize> = None;
     let mut out: Option<PathBuf> = None;
     let mut chrome: Option<PathBuf> = None;
@@ -216,6 +224,12 @@ fn trace_main(argv: &[String]) {
             }
             "--cap" => cap = Some(value("--cap").parse().unwrap_or_else(|_| trace_usage())),
             "--strategy" => strategy = value("--strategy"),
+            "--objective" => {
+                objective = value("--objective").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    trace_usage()
+                })
+            }
             "--timesteps" => {
                 timesteps = Some(value("--timesteps").parse().unwrap_or_else(|_| trace_usage()))
             }
@@ -259,14 +273,15 @@ fn trace_main(argv: &[String]) {
     let sink = Arc::new(VecSink::new());
     let mut exec = SimExecutor::new(machine.clone(), cap).with_trace(sink.clone());
     let run = match strategy.as_str() {
-        "default" => Runner::new(&mut exec).workload(&wl).run(),
+        "default" => Runner::new(&mut exec).workload(&wl).objective(objective).run(),
         "nelder-mead" | "pro" => {
             let mode = if strategy == "nelder-mead" {
                 TuningMode::Online(NmOptions::default())
             } else {
                 TuningMode::OnlinePro(ProOptions::default())
             };
-            let mut tuner = RegionTuner::new(TunerOptions { space, mode, min_region_time_s: 0.0 });
+            let mut tuner =
+                RegionTuner::new(TunerOptions::new(space, mode).with_objective(objective));
             Runner::new(&mut exec)
                 .workload(&wl)
                 .tuner(&mut tuner)
@@ -274,7 +289,8 @@ fn trace_main(argv: &[String]) {
                 .run()
         }
         "exhaustive" => {
-            let mut tuner = RegionTuner::new(TunerOptions::offline_train(space));
+            let mut tuner =
+                RegionTuner::new(TunerOptions::offline_train(space).with_objective(objective));
             Runner::new(&mut exec).workload(&wl).tuner(&mut tuner).label("arcs-exhaustive").run()
         }
         other => {
@@ -339,7 +355,10 @@ fn trace_main(argv: &[String]) {
 }
 
 fn report_usage() -> ! {
-    eprintln!("usage: arcs-sim report <trace.jsonl> [--format table|json|md] [--out PATH]");
+    eprintln!(
+        "usage: arcs-sim report <trace.jsonl> [--format table|json|md] \
+         [--objective time|energy|edp] [--out PATH]"
+    );
     exit(2)
 }
 
@@ -348,6 +367,7 @@ fn report_usage() -> ! {
 fn report_main(argv: &[String]) {
     let mut path: Option<PathBuf> = None;
     let mut format = "table".to_string();
+    let mut objective: Option<Objective> = None;
     let mut out: Option<PathBuf> = None;
 
     let mut it = argv.iter();
@@ -360,6 +380,12 @@ fn report_main(argv: &[String]) {
         };
         match arg.as_str() {
             "--format" => format = value("--format"),
+            "--objective" => {
+                objective = Some(value("--objective").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    report_usage()
+                }))
+            }
             "--out" => out = Some(value("--out").into()),
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag {flag}");
@@ -371,10 +397,13 @@ fn report_main(argv: &[String]) {
     }
     let Some(path) = path else { report_usage() };
 
-    let report = arcs_metrics::analyze_path(&path).unwrap_or_else(|e| {
+    let mut report = arcs_metrics::analyze_path(&path).unwrap_or_else(|e| {
         eprintln!("cannot analyse {path:?}: {e}");
         exit(1)
     });
+    if let Some(objective) = objective {
+        report.objective = objective;
+    }
     let rendered = match format.as_str() {
         "table" => report.to_table(),
         "json" => report.to_json(),
@@ -410,7 +439,7 @@ fn report_main(argv: &[String]) {
 fn compare_usage() -> ! {
     eprintln!(
         "usage: arcs-sim compare <baseline.json> <candidate.json> \
-         [--fail-on PCT] [--out PATH]"
+         [--fail-on PCT] [--objective time|energy|edp] [--out PATH]"
     );
     exit(2)
 }
@@ -420,6 +449,7 @@ fn compare_usage() -> ! {
 fn compare_main(argv: &[String]) {
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut fail_on: f64 = 5.0;
+    let mut objective = Objective::Time;
     let mut out: Option<PathBuf> = None;
 
     let mut it = argv.iter();
@@ -432,6 +462,12 @@ fn compare_main(argv: &[String]) {
         };
         match arg.as_str() {
             "--fail-on" => fail_on = value("--fail-on").parse().unwrap_or_else(|_| compare_usage()),
+            "--objective" => {
+                objective = value("--objective").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    compare_usage()
+                })
+            }
             "--out" => out = Some(value("--out").into()),
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag {flag}");
@@ -456,7 +492,7 @@ fn compare_main(argv: &[String]) {
     };
     let baseline = load(&paths[0]);
     let candidate = load(&paths[1]);
-    let cmp = arcs_metrics::compare_reports(&baseline, &candidate, fail_on);
+    let cmp = arcs_metrics::compare_reports_for(&baseline, &candidate, fail_on, objective);
 
     print!("{}", cmp.to_table());
     if let Some(out) = &out {
@@ -467,10 +503,10 @@ fn compare_main(argv: &[String]) {
         eprintln!("comparison artifact written to {out:?}");
     }
     if cmp.regressed() {
-        eprintln!("FAIL: regression beyond {fail_on}% threshold");
+        eprintln!("FAIL: {objective} regression beyond {fail_on}% threshold");
         exit(1)
     }
-    eprintln!("OK: no region regressed beyond {fail_on}%");
+    eprintln!("OK: no region regressed beyond {fail_on}% on {objective}");
 }
 
 fn main() {
@@ -507,7 +543,7 @@ fn main() {
                 } else {
                     TuningMode::OnlinePro(ProOptions::default())
                 };
-                let mut options = TunerOptions { space, mode, min_region_time_s: 0.0 };
+                let mut options = TunerOptions::new(space, mode);
                 if let Some(t) = args.selective {
                     options = options.with_min_region_time(t);
                 }

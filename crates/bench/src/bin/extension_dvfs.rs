@@ -1,10 +1,9 @@
 //! Extension experiment (paper future work §VII): per-region DVFS as a
 //! fourth knob. For each SP region at each power cap we tune with three
 //! objectives and report what the frequency axis buys on top of ARCS.
-use arcs::dvfs::{tune_region, DvfsSpace, Objective};
-use arcs::OmpConfig;
+use arcs::dvfs::{tune_region, Objective};
+use arcs::{OmpConfig, TunableSpace, TuningMode};
 use arcs_bench::{power_label, preamble, print_table, POWER_LEVELS};
-use arcs_harmony::StrategyKind;
 use arcs_kernels::{model, Class};
 use arcs_powersim::{simulate_region_at_freq, Machine};
 
@@ -16,7 +15,7 @@ fn main() {
     );
     let m = Machine::crill();
     let wl = model::sp(Class::B);
-    let space = DvfsSpace::for_machine(&m, 4);
+    let space = TunableSpace::with_dvfs(&m, 4);
 
     let mut rows = Vec::new();
     for &cap in &POWER_LEVELS {
@@ -33,11 +32,11 @@ fn main() {
             t_def += def.time_s;
             e_def += def.energy_j;
             let by_time =
-                tune_region(&m, cap, region, &space, Objective::Time, StrategyKind::exhaustive());
+                tune_region(&m, cap, region, &space, Objective::Time, TuningMode::OfflineTrain);
             t_time += by_time.report.time_s;
             e_time += by_time.report.energy_j;
             let by_energy =
-                tune_region(&m, cap, region, &space, Objective::Energy, StrategyKind::exhaustive());
+                tune_region(&m, cap, region, &space, Objective::Energy, TuningMode::OfflineTrain);
             t_energy += by_energy.report.time_s;
             e_energy += by_energy.report.energy_j;
             if by_energy.config.freq_ghz.is_some() {

@@ -6,9 +6,18 @@
 //! one region invocation at one configuration (and how to account idle-ish
 //! overhead time), while the [`Runner`] builder implements the
 //! strategy-independent choreography for *any* backend, so the two paths
-//! cannot drift. The legacy free functions ([`run_default`],
-//! [`run_fixed`], [`run_tuned`], [`train_offline`]) remain as deprecated
-//! wrappers over the builder.
+//! cannot drift.
+//!
+//! ## Energy attribution
+//!
+//! Backends expose one cumulative package meter ([`Backend::energy_j`]).
+//! The driver differences it around every invocation (and around every
+//! overhead charge), so per-region energy is attributed identically on the
+//! simulated and live paths — the [`Measurement`] a tuner scores and the
+//! `RegionEnd`/`OverheadCharged` trace events all carry meter deltas, and
+//! their sum telescopes to the run total. Scoring is objective-aware:
+//! [`Runner::objective`] selects whether sessions minimise time, energy or
+//! energy-delay ([`Objective`]).
 //!
 //! Overheads follow §III-C: every tuned invocation pays the
 //! instrumentation cost (OMPT + APEX); every *configuration change* pays
@@ -31,11 +40,12 @@
 
 use crate::config::OmpConfig;
 use crate::report::{AppRunReport, RegionSummary};
+use crate::tunable::TunedConfig;
 use crate::tuner::{RegionTuner, TunerOptions, TuningMode};
 use arcs_harmony::History;
 use arcs_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use arcs_powersim::{CacheBindError, Machine, RegionModel, SharedSimCache, WorkloadDescriptor};
-use arcs_trace::{TraceEvent, TraceSink};
+use arcs_trace::{Objective, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -53,13 +63,25 @@ pub struct RegionFeatures {
     pub l3_miss_rate: f64,
 }
 
-/// What one region invocation measured.
+/// What a [`Backend`] reports for one region invocation. Energy is *not*
+/// part of this: the driver attributes it by differencing the package
+/// meter around the call, so both backends charge identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionRun {
+    /// Wall-clock duration as the instrumentation saw it — including
+    /// measurement noise where the backend models it, seconds.
+    pub time_s: f64,
+    pub features: RegionFeatures,
+}
+
+/// What one region invocation measured, as assembled by the driver.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
     /// Wall-clock duration as the instrumentation saw it — including
     /// measurement noise where the backend models it, seconds.
     pub time_s: f64,
-    /// Package energy attributed to the invocation, joules.
+    /// Package energy attributed to the invocation: the meter delta
+    /// across the [`Backend::run_region`] call, joules.
     pub energy_j: f64,
     pub features: RegionFeatures,
 }
@@ -91,11 +113,14 @@ pub trait Backend {
     fn charge_overhead(&mut self, dt_s: f64);
 
     /// Execute one invocation of `region` at `cfg`, advancing the
-    /// backend's clock and energy accounting.
-    fn run_region(&mut self, region: &RegionModel, cfg: OmpConfig) -> Measurement;
+    /// backend's clock and energy meter. Backends without frequency
+    /// control ignore `cfg.freq_ghz`.
+    fn run_region(&mut self, region: &RegionModel, cfg: TunedConfig) -> RegionRun;
 
     /// Cumulative package energy since [`begin_run`](Backend::begin_run),
-    /// joules. Sampled once per region invocation by the driver.
+    /// joules. The driver differences this meter around every invocation
+    /// and overhead charge, so sampling must be idempotent (no time
+    /// advance).
     fn energy_j(&mut self) -> f64;
 
     /// Introspection hook, called once per invocation after energy
@@ -214,6 +239,7 @@ pub struct Runner<'a, B: Backend> {
     backend: &'a mut B,
     workload: Option<&'a WorkloadDescriptor>,
     strategy: RunnerStrategy<'a>,
+    objective: Option<Objective>,
     trace: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
     cache: Option<Arc<SharedSimCache>>,
@@ -226,6 +252,7 @@ impl<'a, B: Backend> Runner<'a, B> {
             backend,
             workload: None,
             strategy: RunnerStrategy::Default,
+            objective: None,
             trace: None,
             metrics: None,
             cache: None,
@@ -261,6 +288,14 @@ impl<'a, B: Backend> Runner<'a, B> {
     /// Shorthand for [`RunnerStrategy::Tuner`].
     pub fn tuner(self, tuner: &'a mut RegionTuner) -> Self {
         self.strategy(RunnerStrategy::Tuner(tuner))
+    }
+
+    /// Score the run (and any attached tuner) by `objective` instead of
+    /// wall-clock time. Unset, tuner runs inherit the tuner's own
+    /// objective and fixed runs report `Time`.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = Some(objective);
+        self
     }
 
     /// Attach a trace sink to the backend before running. The sink also
@@ -315,13 +350,22 @@ impl<'a, B: Backend> Runner<'a, B> {
             RunnerStrategy::Default => {
                 let cfg = OmpConfig::default_for(b.machine());
                 let label = self.label.as_deref().unwrap_or("default");
-                Ok(drive_fixed(b, wl, &|_| cfg, label))
+                Ok(drive_fixed(b, wl, &|_| cfg, label, self.objective.unwrap_or_default()))
             }
             RunnerStrategy::Fixed { config_for, label } => {
                 let label = self.label.unwrap_or(label);
-                Ok(drive_fixed(b, wl, config_for.as_ref(), &label))
+                Ok(drive_fixed(
+                    b,
+                    wl,
+                    config_for.as_ref(),
+                    &label,
+                    self.objective.unwrap_or_default(),
+                ))
             }
             RunnerStrategy::Tuner(tuner) => {
+                if let Some(objective) = self.objective {
+                    tuner.set_objective(objective);
+                }
                 if let Some(sink) = b.trace() {
                     if sink.enabled() {
                         tuner.set_trace(Arc::clone(sink));
@@ -340,7 +384,8 @@ impl<'a, B: Backend> Runner<'a, B> {
     /// exhaustive sweep has converged, then export the history file. The
     /// training executions are not measured (the paper measures only the
     /// second execution, which replays the saved optimum). Any strategy
-    /// set on the builder is ignored.
+    /// set on the builder is ignored; [`Runner::objective`] (if set)
+    /// overrides the options' objective.
     pub fn train(
         mut self,
         options: TunerOptions,
@@ -351,6 +396,10 @@ impl<'a, B: Backend> Runner<'a, B> {
         }
         let wl = self.prepare()?;
         let b = self.backend;
+        let mut options = options;
+        if let Some(objective) = self.objective {
+            options.objective = objective;
+        }
         let mut tuner = RegionTuner::new(options);
         if let Some(sink) = b.trace() {
             if sink.enabled() {
@@ -374,74 +423,35 @@ impl<'a, B: Backend> Runner<'a, B> {
     }
 }
 
-/// Run the whole application at the paper's default configuration
-/// (no instrumentation, no tuning).
-#[deprecated(note = "use `Runner::new(backend).workload(wl).run()`")]
-pub fn run_default<B: Backend>(b: &mut B, wl: &WorkloadDescriptor) -> AppRunReport {
-    Runner::new(b).workload(wl).run().expect("workload is set")
-}
-
-/// Run the whole application with a fixed per-region configuration map.
-#[deprecated(note = "use `Runner::new(backend).workload(wl).fixed(config_for, label).run()`")]
-pub fn run_fixed<'a, B: Backend>(
-    b: &'a mut B,
-    wl: &'a WorkloadDescriptor,
-    config_for: &'a dyn Fn(&str) -> OmpConfig,
-    strategy: &str,
-) -> AppRunReport {
-    Runner::new(b)
-        .workload(wl)
-        .fixed(|name: &str| config_for(name), strategy)
-        .run()
-        .expect("workload is set")
-}
-
-/// Run the application under an ARCS tuner.
-#[deprecated(note = "use `Runner::new(backend).workload(wl).tuner(tuner).run()`")]
-pub fn run_tuned<'a, B: Backend>(
-    b: &'a mut B,
-    wl: &'a WorkloadDescriptor,
-    tuner: &'a mut RegionTuner,
-) -> AppRunReport {
-    // Callers (runs::*) relabel with the specific strategy name.
-    Runner::new(b).workload(wl).tuner(tuner).run().expect("workload is set")
-}
-
-/// ARCS-Offline training: see [`Runner::train`].
-#[deprecated(note = "use `Runner::new(backend).workload(wl).train(options, context)`")]
-pub fn train_offline<B: Backend>(
-    b: &mut B,
-    wl: &WorkloadDescriptor,
-    options: TunerOptions,
-    context: &str,
-) -> History<OmpConfig> {
-    Runner::new(b)
-        .workload(wl)
-        .train(options, context)
-        .expect("train_offline requires TuningMode::OfflineTrain")
-}
-
 fn drive_fixed<B: Backend>(
     b: &mut B,
     wl: &WorkloadDescriptor,
     config_for: &dyn Fn(&str) -> OmpConfig,
     strategy: &str,
+    objective: Objective,
 ) -> AppRunReport {
-    let mut acc = Accum::new(b, wl, strategy);
+    let mut acc = Accum::new(b, wl, strategy, objective);
     for _ts in 0..wl.timesteps {
         for region in &wl.step {
-            let cfg = config_for(&region.name);
+            let cfg = TunedConfig::from(config_for(&region.name));
             if let Some(sink) = &acc.sink {
                 sink.record(
                     Some(acc.time_s),
                     TraceEvent::RegionBegin {
                         region: region.name.clone(),
-                        threads: cfg.threads,
-                        schedule: cfg.schedule.to_string(),
+                        threads: cfg.omp.threads,
+                        schedule: cfg.omp.schedule.to_string(),
                     },
                 );
             }
-            let meas = b.run_region(region, cfg);
+            let e_pre = b.energy_j();
+            let run = b.run_region(region, cfg);
+            let e_post = b.energy_j();
+            let meas = Measurement {
+                time_s: run.time_s,
+                energy_j: e_post - e_pre,
+                features: run.features,
+            };
             acc.region(b, &region.name, cfg, &meas, 0.0, 0.0);
         }
     }
@@ -454,7 +464,7 @@ fn drive_tuned<B: Backend>(
     tuner: &mut RegionTuner,
     strategy: &str,
 ) -> AppRunReport {
-    let mut acc = Accum::new(b, wl, strategy);
+    let mut acc = Accum::new(b, wl, strategy, tuner.objective());
     for _ts in 0..wl.timesteps {
         for region in &wl.step {
             let decision = tuner.begin(&region.name);
@@ -468,17 +478,29 @@ fn drive_tuned<B: Backend>(
             // well ("avoid overheads on the smaller regions").
             let instr_s = if decision.tuned { b.machine().instrumentation_s } else { 0.0 };
             let overhead_s = change_s + instr_s;
-            if let Some(sink) = &acc.sink {
-                if decision.changed {
+            if decision.changed {
+                if let Some(sink) = &acc.sink {
                     sink.record(
                         Some(acc.time_s),
                         TraceEvent::ConfigSwitch {
                             region: region.name.clone(),
-                            threads: decision.config.threads,
-                            schedule: decision.config.schedule.to_string(),
+                            threads: decision.config.omp.threads,
+                            schedule: decision.config.omp.schedule.to_string(),
                         },
                     );
                 }
+            }
+            // Overhead energy is differenced off the same package meter as
+            // region energy, so the two charge streams telescope to the
+            // run total on every backend.
+            let overhead_j = if overhead_s > 0.0 {
+                let e0 = b.energy_j();
+                b.charge_overhead(overhead_s);
+                b.energy_j() - e0
+            } else {
+                0.0
+            };
+            if let Some(sink) = &acc.sink {
                 if overhead_s > 0.0 {
                     sink.record(
                         Some(acc.time_s),
@@ -486,6 +508,7 @@ fn drive_tuned<B: Backend>(
                             region: region.name.clone(),
                             config_change_s: change_s,
                             instrumentation_s: instr_s,
+                            energy_j: overhead_j,
                         },
                     );
                 }
@@ -493,18 +516,23 @@ fn drive_tuned<B: Backend>(
                     Some(acc.time_s + overhead_s),
                     TraceEvent::RegionBegin {
                         region: region.name.clone(),
-                        threads: decision.config.threads,
-                        schedule: decision.config.schedule.to_string(),
+                        threads: decision.config.omp.threads,
+                        schedule: decision.config.omp.schedule.to_string(),
                     },
                 );
             }
-            if overhead_s > 0.0 {
-                b.charge_overhead(overhead_s);
-            }
-            let meas = b.run_region(region, decision.config);
-            // The tuner optimises the region time the APEX timer saw —
-            // including the measurement noise, as on a real machine.
-            tuner.end(&region.name, meas.time_s);
+            let e_pre = b.energy_j();
+            let run = b.run_region(region, decision.config);
+            let e_post = b.energy_j();
+            let meas = Measurement {
+                time_s: run.time_s,
+                energy_j: e_post - e_pre,
+                features: run.features,
+            };
+            // The tuner optimises what the instrumentation saw — the noisy
+            // APEX timer and the differenced package meter — scored by its
+            // objective.
+            tuner.end_measured(&region.name, meas.time_s, meas.energy_j);
             acc.region(b, &region.name, decision.config, &meas, change_s, instr_s);
         }
     }
@@ -528,6 +556,7 @@ struct DriverMetrics {
 struct Accum {
     app: String,
     strategy: String,
+    objective: Objective,
     time_s: f64,
     config_overhead_s: f64,
     instr_overhead_s: f64,
@@ -540,7 +569,12 @@ struct Accum {
 }
 
 impl Accum {
-    fn new<B: Backend>(b: &mut B, wl: &WorkloadDescriptor, strategy: &str) -> Self {
+    fn new<B: Backend>(
+        b: &mut B,
+        wl: &WorkloadDescriptor,
+        strategy: &str,
+        objective: Objective,
+    ) -> Self {
         b.begin_run();
         let sink = b.trace().filter(|s| s.enabled()).map(Arc::clone);
         let metrics = b.metrics().map(|registry| DriverMetrics {
@@ -560,6 +594,7 @@ impl Accum {
         Accum {
             app: wl.name.clone(),
             strategy: strategy.to_string(),
+            objective,
             time_s: 0.0,
             config_overhead_s: 0.0,
             instr_overhead_s: 0.0,
@@ -573,7 +608,7 @@ impl Accum {
         &mut self,
         b: &mut B,
         name: &str,
-        cfg: OmpConfig,
+        cfg: TunedConfig,
         meas: &Measurement,
         change_s: f64,
         instr_s: f64,
@@ -601,7 +636,7 @@ impl Accum {
         entry.l1_miss_rate += (meas.features.l1_miss_rate - entry.l1_miss_rate) / k;
         entry.l2_miss_rate += (meas.features.l2_miss_rate - entry.l2_miss_rate) / k;
         entry.l3_miss_rate += (meas.features.l3_miss_rate - entry.l3_miss_rate) / k;
-        entry.final_config = Some(cfg);
+        entry.final_config = Some(cfg.omp);
 
         let energy_total_j = b.energy_j();
         b.record_sample(name, meas.time_s, energy_total_j);
@@ -614,6 +649,7 @@ impl Accum {
                     energy_j: meas.energy_j,
                     busy_s: meas.features.busy_s,
                     barrier_s: meas.features.barrier_s,
+                    objective_value: Some(self.objective.score(meas.time_s, meas.energy_j)),
                 },
             );
             if meas.time_s > 0.0 {
@@ -634,6 +670,7 @@ impl Accum {
             machine: b.machine().name.clone(),
             power_cap_w: b.power_cap_w(),
             strategy: self.strategy,
+            objective: self.objective,
             time_s: self.time_s,
             energy_j: b.energy_j(),
             config_change_overhead_s: self.config_overhead_s,

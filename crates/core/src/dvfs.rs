@@ -9,98 +9,33 @@
 //! product. For memory-bound regions a frequency below what the power cap
 //! allows costs almost no time (stalls don't scale with the clock) and
 //! saves real energy — which is exactly what the tuner discovers.
+//!
+//! The encoding ([`TunableSpace`]) and the objective ([`Objective`]) are
+//! mainline abstractions shared with the base tuner; this module only
+//! keeps the DVFS-flavoured names and a convenience driver that tunes a
+//! single region through the standard [`RegionTuner`] + [`Runner`] stack,
+//! so DVFS runs emit the same trace and metrics taxonomy as everything
+//! else.
 
-use crate::config::{ConfigSpace, OmpConfig};
-use arcs_harmony::{Param, Point, SearchSpace, Session, StrategyKind};
-use arcs_powersim::{simulate_region_at_freq, Machine, RegionModel, SimReport};
-use serde::{Deserialize, Serialize};
+use crate::backend::Runner;
+use crate::executor::SimExecutor;
+use crate::tunable::TunableSpace;
+use crate::tuner::{RegionTuner, TunerOptions, TuningMode};
+use arcs_powersim::{simulate_region_at_freq, Machine, RegionModel, SimReport, WorkloadDescriptor};
+pub use arcs_trace::Objective;
 
 /// A configuration extended with an optional per-region frequency limit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct DvfsConfig {
-    pub omp: OmpConfig,
-    /// `None` = run at whatever the power cap allows (the base ARCS
-    /// behaviour); `Some(f)` = additionally clamp the cores to `f` GHz.
-    pub freq_ghz: Option<f64>,
-}
-
-impl std::fmt::Display for DvfsConfig {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.freq_ghz {
-            Some(g) => write!(f, "{}, {:.2}GHz", self.omp, g),
-            None => write!(f, "{}, fmax", self.omp),
-        }
-    }
-}
-
-/// What the extended tuner optimises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Objective {
-    /// Region execution time — the paper's objective.
-    Time,
-    /// Package + DRAM energy of the invocation.
-    Energy,
-    /// Energy × time (EDP): the usual efficiency compromise.
-    EnergyDelay,
-}
-
-impl Objective {
-    pub fn score(&self, rep: &SimReport) -> f64 {
-        match self {
-            Objective::Time => rep.time_s,
-            Objective::Energy => rep.energy_j,
-            Objective::EnergyDelay => rep.energy_j * rep.time_s,
-        }
-    }
-}
+///
+/// Alias kept for the DVFS extension's historical API; the type itself
+/// lives in [`crate::tunable`].
+pub type DvfsConfig = crate::tunable::TunedConfig;
 
 /// The extended search space: the Table I grid plus a frequency axis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct DvfsSpace {
-    pub base: ConfigSpace,
-    /// Frequency choices in GHz; `None` = uncapped (run at the cap's f).
-    pub freqs_ghz: Vec<Option<f64>>,
-}
-
-impl DvfsSpace {
-    /// Frequency steps between the machine's floor and base clock, plus
-    /// the "uncapped" choice.
-    pub fn for_machine(machine: &Machine, steps: usize) -> Self {
-        assert!(steps >= 1);
-        let base = ConfigSpace::for_machine(machine);
-        let mut freqs: Vec<Option<f64>> = (0..steps)
-            .map(|i| {
-                let t = i as f64 / steps as f64;
-                Some(machine.f_min_ghz + t * (machine.f_base_ghz - machine.f_min_ghz))
-            })
-            .collect();
-        freqs.push(None);
-        DvfsSpace { base, freqs_ghz: freqs }
-    }
-
-    pub fn to_search_space(&self) -> SearchSpace {
-        let mut params = vec![
-            Param::new("threads", self.base.threads.len()),
-            Param::new("schedule", self.base.schedules.len()),
-            Param::new("chunk", self.base.chunks.len()),
-            Param::new("freq", self.freqs_ghz.len()),
-        ];
-        params.shrink_to_fit();
-        SearchSpace::new(params)
-    }
-
-    pub fn decode(&self, point: &[usize]) -> DvfsConfig {
-        assert_eq!(point.len(), 4, "DVFS points are (threads, schedule, chunk, freq)");
-        DvfsConfig { omp: self.base.decode(&point[..3]), freq_ghz: self.freqs_ghz[point[3]] }
-    }
-
-    /// The default point: base default configuration at uncapped frequency.
-    pub fn default_point(&self) -> Point {
-        let mut p = self.base.default_point();
-        p.push(self.freqs_ghz.len() - 1);
-        p
-    }
-}
+///
+/// Alias kept for the DVFS extension's historical API; the type itself
+/// lives in [`crate::tunable`]. Build one with
+/// [`TunableSpace::with_dvfs`].
+pub type DvfsSpace = TunableSpace;
 
 /// Result of tuning one region with the extended space.
 #[derive(Debug, Clone)]
@@ -110,136 +45,49 @@ pub struct DvfsOutcome {
     pub evaluations: usize,
 }
 
-/// Exhaustively tune one region over the extended space for `objective`.
+/// Tune one region over `space` for `objective` using the mainline
+/// session machinery.
+///
+/// The region is wrapped in a single-region workload and driven through
+/// [`RegionTuner`] + [`Runner`] until the tuner converges (or a pass
+/// budget runs out), so the search emits the standard trace/metrics
+/// event taxonomy. The returned report re-simulates the winning
+/// configuration in isolation (no search overhead folded in).
 pub fn tune_region(
     machine: &Machine,
     cap_w: f64,
     region: &RegionModel,
-    space: &DvfsSpace,
+    space: &TunableSpace,
     objective: Objective,
-    strategy: StrategyKind,
+    mode: TuningMode,
 ) -> DvfsOutcome {
-    let grid = space.to_search_space();
-    let mut session = Session::new(grid, strategy, space.default_point());
-    let mut best: Option<(DvfsConfig, SimReport, f64)> = None;
-    let mut evals = 0usize;
-    let limit = space.base.size() * space.freqs_ghz.len() + 16;
-    while !session.converged() && evals < limit {
-        let p = session.next_point();
-        if !session.awaiting_report() {
+    let wl = WorkloadDescriptor {
+        name: format!("tune.{}", region.name),
+        step: vec![region.clone()],
+        timesteps: 64,
+    };
+    let mut exec = SimExecutor::new(machine.clone(), cap_w);
+    let mut tuner =
+        RegionTuner::new(TunerOptions::new(space.clone(), mode).with_objective(objective));
+    // Each pass is one simulated application run; the tuner keeps its
+    // search state across passes. 64 passes × 64 timesteps comfortably
+    // exhausts even the 4-knob grid.
+    for _ in 0..64 {
+        Runner::new(&mut exec)
+            .workload(&wl)
+            .tuner(&mut tuner)
+            .run()
+            .expect("single-region tuning run");
+        if tuner.converged() {
             break;
         }
-        let cfg = space.decode(&p);
-        let rep = simulate_region_at_freq(machine, cap_w, region, cfg.omp.as_sim(), cfg.freq_ghz);
-        let score = objective.score(&rep);
-        evals += 1;
-        if best.as_ref().is_none_or(|(_, _, b)| score < *b) {
-            best = Some((cfg, rep.clone(), score));
-        }
-        session.report(score);
     }
-    let (config, report, _) = best.expect("at least one evaluation");
-    DvfsOutcome { config, report, evaluations: evals }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use arcs_kernels::{model, Class};
-
-    fn z_solve() -> RegionModel {
-        model::sp(Class::B).step.into_iter().find(|r| r.name.ends_with("z_solve")).unwrap()
-    }
-
-    #[test]
-    fn space_has_four_axes() {
-        let m = Machine::crill();
-        let s = DvfsSpace::for_machine(&m, 4);
-        assert_eq!(s.to_search_space().dim(), 4);
-        assert_eq!(s.freqs_ghz.len(), 5);
-        assert_eq!(s.freqs_ghz[4], None);
-        let d = s.decode(&s.default_point());
-        assert_eq!(d.freq_ghz, None);
-        assert_eq!(d.omp, OmpConfig::default_for(&m));
-    }
-
-    #[test]
-    fn energy_objective_picks_lower_frequency_for_memory_bound_region() {
-        let m = Machine::crill();
-        let s = DvfsSpace::for_machine(&m, 4);
-        let region = z_solve();
-        let time_best =
-            tune_region(&m, 115.0, &region, &s, Objective::Time, StrategyKind::exhaustive());
-        let energy_best =
-            tune_region(&m, 115.0, &region, &s, Objective::Energy, StrategyKind::exhaustive());
-        // The energy optimum uses no more energy than the time optimum...
-        assert!(energy_best.report.energy_j <= time_best.report.energy_j + 1e-9);
-        // ...and for this stall-dominated region it prefers a clamped clock.
-        assert!(
-            energy_best.config.freq_ghz.is_some(),
-            "expected a DVFS clamp, got {}",
-            energy_best.config
-        );
-        // Time optimum never clocks below the energy optimum's choice.
-        assert!(time_best.report.time_s <= energy_best.report.time_s + 1e-12);
-    }
-
-    #[test]
-    fn dvfs_cannot_beat_unclamped_time() {
-        // Clamping frequency can only slow a region down; the Time
-        // objective must therefore land on "uncapped" or tie it.
-        let m = Machine::crill();
-        let s = DvfsSpace::for_machine(&m, 3);
-        let region = z_solve();
-        let best = tune_region(&m, 85.0, &region, &s, Objective::Time, StrategyKind::exhaustive());
-        let uncapped = tune_region(
-            &m,
-            85.0,
-            &region,
-            &DvfsSpace { base: s.base.clone(), freqs_ghz: vec![None] },
-            Objective::Time,
-            StrategyKind::exhaustive(),
-        );
-        assert!(best.report.time_s <= uncapped.report.time_s + 1e-12);
-    }
-
-    #[test]
-    fn edp_sits_between_time_and_energy() {
-        let m = Machine::crill();
-        let s = DvfsSpace::for_machine(&m, 4);
-        let region = z_solve();
-        let t = tune_region(&m, 115.0, &region, &s, Objective::Time, StrategyKind::exhaustive());
-        let e = tune_region(&m, 115.0, &region, &s, Objective::Energy, StrategyKind::exhaustive());
-        let edp =
-            tune_region(&m, 115.0, &region, &s, Objective::EnergyDelay, StrategyKind::exhaustive());
-        assert!(edp.report.time_s + 1e-12 >= t.report.time_s);
-        assert!(edp.report.energy_j + 1e-9 >= e.report.energy_j);
-    }
-
-    #[test]
-    fn nelder_mead_works_on_the_extended_space() {
-        let m = Machine::crill();
-        let s = DvfsSpace::for_machine(&m, 4);
-        let region = z_solve();
-        let nm = tune_region(&m, 85.0, &region, &s, Objective::Energy, StrategyKind::nelder_mead());
-        let ex = tune_region(&m, 85.0, &region, &s, Objective::Energy, StrategyKind::exhaustive());
-        assert!(
-            nm.evaluations < ex.evaluations / 3,
-            "NM {} vs exhaustive {}",
-            nm.evaluations,
-            ex.evaluations
-        );
-        // NM is a local method on a 4-D discrete space: it must clearly
-        // beat the default configuration even if it misses the global
-        // optimum by some margin.
-        let default_rep =
-            simulate_region_at_freq(&m, 85.0, &region, OmpConfig::default_for(&m).as_sim(), None);
-        assert!(
-            nm.report.energy_j < default_rep.energy_j * 0.95,
-            "NM {} vs default {}",
-            nm.report.energy_j,
-            default_rep.energy_j
-        );
-        assert!(nm.report.energy_j <= ex.report.energy_j * 1.6);
-    }
+    let evaluations = tuner.evaluations(&region.name);
+    let config = tuner
+        .best_tuned_configs()
+        .remove(&region.name)
+        .expect("tuned region has a best configuration");
+    let report =
+        simulate_region_at_freq(machine, cap_w, region, config.omp.as_sim(), config.freq_ghz);
+    DvfsOutcome { config, report, evaluations }
 }

@@ -19,16 +19,17 @@
 //! instance so profile-based analyses (Fig. 9) read the same introspection
 //! state the live path populates.
 
-use crate::backend::{self, Backend, Measurement, RegionFeatures, RunError, Runner};
+use crate::backend::{self, Backend, RegionFeatures, RegionRun, RunError, Runner};
 use crate::config::OmpConfig;
 use crate::report::AppRunReport;
+use crate::tunable::TunedConfig;
 use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_apex::Apex;
 use arcs_harmony::History;
 use arcs_metrics::MetricsRegistry;
 use arcs_powersim::{
-    simulate_region, CacheBindError, Machine, PackageEnergy, Rapl, RegionModel, SharedSimCache,
-    SimConfig, SimReport, WorkloadDescriptor,
+    simulate_region_at_freq, CacheBindError, Machine, PackageEnergy, Rapl, RegionModel,
+    SharedSimCache, SimConfig, SimReport, WorkloadDescriptor,
 };
 use arcs_trace::TraceSink;
 use std::collections::HashMap;
@@ -194,10 +195,26 @@ impl SimExecutor {
     /// Memoised single-region simulation. Looks up by `&str` — the region
     /// name is only copied into the cache on first miss.
     pub fn simulate(&mut self, region: &RegionModel, cfg: SimConfig) -> Arc<SimReport> {
+        self.simulate_at(region, cfg, None)
+    }
+
+    /// [`SimExecutor::simulate`] with an optional per-region frequency
+    /// limit (the DVFS knob); `None` is exactly the unclamped path.
+    pub fn simulate_at(
+        &mut self,
+        region: &RegionModel,
+        cfg: SimConfig,
+        freq_limit_ghz: Option<f64>,
+    ) -> Arc<SimReport> {
         let (machine, cap_w) = (&self.machine, self.cap_w);
-        self.cache.get_or_insert_with(&region.name, region.iterations, cfg, cap_w, || {
-            simulate_region(machine, cap_w, region, cfg)
-        })
+        self.cache.get_or_insert_with_freq(
+            &region.name,
+            region.iterations,
+            cfg,
+            cap_w,
+            freq_limit_ghz,
+            || simulate_region_at_freq(machine, cap_w, region, cfg, freq_limit_ghz),
+        )
     }
 
     /// Next invocation ordinal for `region` (0-based).
@@ -278,17 +295,16 @@ impl Backend for SimExecutor {
         self.rapl.advance(dt_s, p);
     }
 
-    fn run_region(&mut self, region: &RegionModel, cfg: OmpConfig) -> Measurement {
-        let rep = self.simulate(region, cfg.as_sim());
+    fn run_region(&mut self, region: &RegionModel, cfg: TunedConfig) -> RegionRun {
+        let rep = self.simulate_at(region, cfg.omp.as_sim(), cfg.freq_ghz);
         let inv = self.next_invocation(&region.name);
         let f = match &self.noise {
             Some(n) => n.factor(&region.name, inv),
             None => 1.0,
         };
         self.rapl.advance(rep.time_s * f, rep.avg_power_w());
-        Measurement {
+        RegionRun {
             time_s: rep.time_s * f,
-            energy_j: rep.energy_j * f,
             features: RegionFeatures {
                 busy_s: rep.busy_total_s(),
                 barrier_s: rep.barrier_total_s(),
@@ -629,11 +645,10 @@ mod trace_tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_runner() {
+    fn inherent_helpers_match_the_runner() {
         let m = Machine::crill();
         let wl = tiny_sp();
-        let old = backend::run_default(&mut SimExecutor::new(m.clone(), 85.0), &wl);
+        let old = SimExecutor::new(m.clone(), 85.0).run_default(&wl);
         let new = Runner::new(&mut SimExecutor::new(m, 85.0)).workload(&wl).run().unwrap();
         assert_eq!(old, new);
     }

@@ -54,19 +54,27 @@ pub mod live;
 pub mod profiler;
 pub mod report;
 pub mod sweep;
+pub mod tunable;
 pub mod tuner;
 
 pub use backend::{
-    overhead_power_w, Backend, Measurement, RegionFeatures, RunError, Runner, RunnerStrategy,
+    overhead_power_w, Backend, Measurement, RegionFeatures, RegionRun, RunError, Runner,
+    RunnerStrategy,
 };
 pub use config::{ChunkChoice, ConfigSpace, OmpConfig, ScheduleChoice, ThreadChoice};
-pub use dvfs::{DvfsConfig, DvfsOutcome, DvfsSpace, Objective};
+pub use dvfs::{DvfsConfig, DvfsOutcome, DvfsSpace};
 pub use executor::{runs, NoiseModel, SimExecutor};
 pub use live::{ArcsLive, LiveExecutor};
 pub use profiler::{OmptProfiler, RegionProfile};
 pub use report::{AppRunReport, RegionSummary};
 pub use sweep::{CellResult, SweepEngine, SweepGrid, SweepReport, SweepStrategy};
+pub use tunable::{TunableSpace, TunedConfig};
 pub use tuner::{RegionTuner, TunerDecision, TunerOptions, TunerStats, TuningMode};
+
+/// The scalar a run is scored by (time, energy, or EDP). Defined in
+/// `arcs-trace` so trace events can carry it; re-exported here as the
+/// canonical user-facing name.
+pub use arcs_trace::Objective;
 
 /// One-import surface for the common simulator workflow.
 ///
@@ -85,9 +93,10 @@ pub mod prelude {
     pub use crate::executor::{runs, SimExecutor};
     pub use crate::report::AppRunReport;
     pub use crate::sweep::{SweepEngine, SweepGrid, SweepStrategy};
+    pub use crate::tunable::{TunableSpace, TunedConfig};
     pub use crate::tuner::{RegionTuner, TunerOptions};
     pub use arcs_powersim::{Machine, SharedSimCache, WorkloadDescriptor};
     pub use arcs_trace::{
-        chrome_trace, JsonlSink, NullSink, TraceEvent, TraceRecord, TraceSink, VecSink,
+        chrome_trace, JsonlSink, NullSink, Objective, TraceEvent, TraceRecord, TraceSink, VecSink,
     };
 }

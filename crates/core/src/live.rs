@@ -15,8 +15,8 @@
 //! modified OpenMP runtime. On timer stop the policy reports the measured
 //! duration back to the session.
 
-use crate::backend::{self, Backend, Measurement, RegionFeatures};
-use crate::config::OmpConfig;
+use crate::backend::{self, Backend, RegionFeatures, RegionRun};
+use crate::tunable::TunedConfig;
 use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_apex::{Apex, PolicyEventKind, PolicyTrigger};
 use arcs_metrics::MetricsRegistry;
@@ -68,8 +68,8 @@ impl ArcsLive {
             let rt = Arc::clone(&rt);
             apex.register_policy("arcs-select", PolicyTrigger::OnTimerStart, move |ev| {
                 let decision = tuner.lock().begin(&ev.task_name);
-                rt.set_num_threads(decision.config.threads);
-                rt.set_schedule(decision.config.schedule);
+                rt.set_num_threads(decision.config.omp.threads);
+                rt.set_schedule(decision.config.omp.schedule);
             });
         }
         // Policy: on timer stop, report the measurement.
@@ -235,11 +235,15 @@ impl Backend for LiveExecutor {
         self.energy_acc_j += dt_s * backend::overhead_power_w(&self.machine);
     }
 
-    fn run_region(&mut self, region: &RegionModel, cfg: OmpConfig) -> Measurement {
+    // The frequency knob (`cfg.freq_ghz`) is ignored here: there is no
+    // portable userspace DVFS control, so live invocations always run (and
+    // are priced) at whatever the cap allows — exactly the base paper's
+    // behaviour. The simulator is the backend that honours the knob.
+    fn run_region(&mut self, region: &RegionModel, cfg: TunedConfig) -> RegionRun {
         let id = self.region_id(&region.name);
-        let threads = cfg.threads.clamp(1, self.rt.max_threads());
+        let threads = cfg.omp.threads.clamp(1, self.rt.max_threads());
         self.rt.set_num_threads(threads);
-        self.rt.set_schedule(cfg.schedule);
+        self.rt.set_schedule(cfg.omp.schedule);
 
         let weights = region.weights();
         // cycles / GHz = ns of modelled compute per unit weight.
@@ -250,11 +254,11 @@ impl Backend for LiveExecutor {
         });
         let wall_s = start.elapsed().as_secs_f64();
 
-        let energy_j = wall_s * self.package_power_w(rec.threads);
-        self.energy_acc_j += energy_j;
-        Measurement {
+        // Price the invocation on the model and bump the package meter;
+        // the driver differences the meter to attribute the energy.
+        self.energy_acc_j += wall_s * self.package_power_w(rec.threads);
+        RegionRun {
             time_s: wall_s,
-            energy_j,
             features: RegionFeatures {
                 busy_s: rec.total_busy().as_secs_f64(),
                 barrier_s: rec.total_barrier_wait().as_secs_f64(),
@@ -316,11 +320,10 @@ mod tests {
     #[test]
     fn live_tuning_drives_configs_through_the_runtime() {
         let rt = Arc::new(Runtime::new(4));
-        let options = TunerOptions {
-            space: small_space(4),
-            mode: TuningMode::Online(NmOptions { max_evals: 30, ..NmOptions::default() }),
-            min_region_time_s: 0.0,
-        };
+        let options = TunerOptions::new(
+            small_space(4),
+            TuningMode::Online(NmOptions { max_evals: 30, ..NmOptions::default() }),
+        );
         let live = ArcsLive::attach(Arc::clone(&rt), options);
 
         let region = rt.register_region("live/loop");
@@ -350,11 +353,10 @@ mod tests {
     #[test]
     fn live_history_export_roundtrips() {
         let rt = Arc::new(Runtime::new(2));
-        let options = TunerOptions {
-            space: small_space(2),
-            mode: TuningMode::Online(NmOptions { max_evals: 10, ..NmOptions::default() }),
-            min_region_time_s: 0.0,
-        };
+        let options = TunerOptions::new(
+            small_space(2),
+            TuningMode::Online(NmOptions { max_evals: 10, ..NmOptions::default() }),
+        );
         let live = ArcsLive::attach(Arc::clone(&rt), options);
         let region = rt.register_region("live/export");
         for _ in 0..12 {
@@ -400,12 +402,10 @@ mod tests {
 
         // Tuned run: overheads are charged by the same driver code path
         // the simulator uses.
-        let space = small_space(4);
-        let mut tuner = RegionTuner::new(TunerOptions {
-            space,
-            mode: TuningMode::Online(NmOptions { max_evals: 10, ..NmOptions::default() }),
-            min_region_time_s: 0.0,
-        });
+        let mut tuner = RegionTuner::new(TunerOptions::new(
+            small_space(4),
+            TuningMode::Online(NmOptions { max_evals: 10, ..NmOptions::default() }),
+        ));
         let tuned = Runner::new(&mut exec).workload(&wl).tuner(&mut tuner).run().unwrap();
         let m = exec.machine().clone();
         assert!((tuned.instrumentation_overhead_s - 6.0 * m.instrumentation_s).abs() < 1e-12);
@@ -421,11 +421,7 @@ mod tests {
         let mut h = History::new("ctx");
         let saved = crate::config::OmpConfig { threads: 2, schedule: Schedule::dynamic(16) };
         h.insert("live/replay", saved, 0.1, 9);
-        let options = TunerOptions {
-            space: small_space(4),
-            mode: TuningMode::OfflineReplay(h),
-            min_region_time_s: 0.0,
-        };
+        let options = TunerOptions::new(small_space(4), TuningMode::OfflineReplay(h));
         let _live = ArcsLive::attach(Arc::clone(&rt), options);
         let region = rt.register_region("live/replay");
         let rec = rt.parallel_for(region, 0..64, |_| {});

@@ -2,6 +2,7 @@
 
 use crate::config::OmpConfig;
 use crate::tuner::TunerStats;
+use arcs_trace::Objective;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -56,6 +57,11 @@ pub struct AppRunReport {
     pub machine: String,
     pub power_cap_w: f64,
     pub strategy: String,
+    /// The objective the run was scored by (`Time` unless the caller
+    /// selected otherwise). Absent in pre-v3 reports, which were all
+    /// time-scored.
+    #[serde(default)]
+    pub objective: Objective,
     /// End-to-end wall time including all overheads, seconds.
     pub time_s: f64,
     /// Package energy (all sockets), joules.
@@ -103,6 +109,7 @@ mod tests {
             machine: "crill".into(),
             power_cap_w: 85.0,
             strategy: "default".into(),
+            objective: Objective::Time,
             time_s: 10.0,
             energy_j: 800.0,
             config_change_overhead_s: 0.0,
@@ -122,6 +129,7 @@ mod tests {
             machine: "crill".into(),
             power_cap_w: 55.0,
             strategy: "arcs-offline".into(),
+            objective: Objective::EnergyDelay,
             time_s: 1.0,
             energy_j: 2.0,
             config_change_overhead_s: 0.1,
@@ -133,5 +141,29 @@ mod tests {
         let back: AppRunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(rep, back);
         assert!((back.total_overhead_s() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_without_an_objective_field_default_to_time() {
+        // Reports written before the objective layer carry no `objective`
+        // key; they were all time-scored.
+        let rep = AppRunReport {
+            app: "sp.B".into(),
+            machine: "crill".into(),
+            power_cap_w: 55.0,
+            strategy: "default".into(),
+            objective: Objective::EnergyDelay,
+            time_s: 1.0,
+            energy_j: 2.0,
+            config_change_overhead_s: 0.0,
+            instrumentation_overhead_s: 0.0,
+            per_region: BTreeMap::new(),
+            tuner: None,
+        };
+        let json = serde_json::to_string(&rep).unwrap();
+        let legacy = json.replace("\"objective\":\"edp\",", "");
+        assert_ne!(legacy, json, "objective key must have been present");
+        let back: AppRunReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.objective, Objective::Time);
     }
 }

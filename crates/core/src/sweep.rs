@@ -15,6 +15,7 @@
 //! deterministic and value-identical regardless of which cell computes
 //! them. `with_workers(1)` gives the serial order for direct comparison.
 
+use crate::backend::Runner;
 use crate::config::OmpConfig;
 use crate::executor::{runs, SimExecutor};
 use crate::report::AppRunReport;
@@ -22,7 +23,7 @@ use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_harmony::History;
 use arcs_metrics::MetricsRegistry;
 use arcs_powersim::{CacheStats, Machine, SharedSimCache, WorkloadDescriptor};
-use arcs_trace::TraceSink;
+use arcs_trace::{Objective, TraceSink};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -52,7 +53,7 @@ impl SweepStrategy {
     }
 }
 
-/// A declarative sweep: the full cross product of the three axes, on one
+/// A declarative sweep: the full cross product of the axes, on one
 /// machine, optionally under measurement noise `(cv, seed)`.
 #[derive(Debug, Clone)]
 pub struct SweepGrid {
@@ -60,6 +61,10 @@ pub struct SweepGrid {
     pub workloads: Vec<WorkloadDescriptor>,
     pub caps_w: Vec<f64>,
     pub strategies: Vec<SweepStrategy>,
+    /// Objectives to score each (workload, cap, strategy) cell by.
+    /// Defaults to `[Time]` — the paper's axis; an empty vector is treated
+    /// the same way.
+    pub objectives: Vec<Objective>,
     pub noise: Option<(f64, u64)>,
 }
 
@@ -70,6 +75,7 @@ impl SweepGrid {
             workloads: Vec::new(),
             caps_w: Vec::new(),
             strategies: Vec::new(),
+            objectives: vec![Objective::Time],
             noise: None,
         }
     }
@@ -89,13 +95,22 @@ impl SweepGrid {
         self
     }
 
+    /// Replace the objective axis (the default is `[Time]`).
+    pub fn objectives(mut self, objectives: &[Objective]) -> Self {
+        self.objectives = objectives.to_vec();
+        self
+    }
+
     pub fn with_noise(mut self, cv: f64, seed: u64) -> Self {
         self.noise = Some((cv, seed));
         self
     }
 
     pub fn cell_count(&self) -> usize {
-        self.workloads.len() * self.caps_w.len() * self.strategies.len()
+        self.workloads.len()
+            * self.caps_w.len()
+            * self.strategies.len()
+            * self.objectives.len().max(1)
     }
 }
 
@@ -105,6 +120,7 @@ pub struct CellResult {
     pub workload: String,
     pub cap_w: f64,
     pub strategy: SweepStrategy,
+    pub objective: Objective,
     pub report: AppRunReport,
     /// The exported training history (Offline cells only).
     pub history: Option<History<OmpConfig>>,
@@ -121,11 +137,29 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// The cell for (workload, cap, strategy-label), if present.
+    /// The cell for (workload, cap, strategy-label), if present. With a
+    /// multi-objective grid this returns the first match in declaration
+    /// order; use [`SweepReport::cell_for`] to pin the objective.
     pub fn cell(&self, workload: &str, cap_w: f64, strategy: &str) -> Option<&CellResult> {
         self.cells
             .iter()
             .find(|c| c.workload == workload && c.cap_w == cap_w && c.strategy.label() == strategy)
+    }
+
+    /// The cell for (workload, cap, strategy-label, objective), if present.
+    pub fn cell_for(
+        &self,
+        workload: &str,
+        cap_w: f64,
+        strategy: &str,
+        objective: Objective,
+    ) -> Option<&CellResult> {
+        self.cells.iter().find(|c| {
+            c.workload == workload
+                && c.cap_w == cap_w
+                && c.strategy.label() == strategy
+                && c.objective == objective
+        })
     }
 }
 
@@ -184,11 +218,17 @@ impl SweepEngine {
             grid.machine.name, self.machine.name,
             "one engine serves one machine model (its cache is machine-specific)"
         );
-        let mut cells: Vec<(&WorkloadDescriptor, f64, SweepStrategy)> = Vec::new();
+        // The objective axis is innermost so a default `[Time]` grid keeps
+        // the historical (workload, cap, strategy) declaration order.
+        let objectives: &[Objective] =
+            if grid.objectives.is_empty() { &[Objective::Time] } else { &grid.objectives };
+        let mut cells: Vec<(&WorkloadDescriptor, f64, SweepStrategy, Objective)> = Vec::new();
         for wl in &grid.workloads {
             for &cap in &grid.caps_w {
                 for &strat in &grid.strategies {
-                    cells.push((wl, cap, strat));
+                    for &objective in objectives {
+                        cells.push((wl, cap, strat, objective));
+                    }
                 }
             }
         }
@@ -202,10 +242,10 @@ impl SweepEngine {
             for _ in 0..workers {
                 s.spawn(|| loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(wl, cap, strat)) = cells.get(idx) else {
+                    let Some(&(wl, cap, strat, objective)) = cells.get(idx) else {
                         break;
                     };
-                    let result = self.run_cell(wl, cap, strat, grid.noise);
+                    let result = self.run_cell(wl, cap, strat, objective, grid.noise);
                     *slots[idx].lock() = Some(result);
                 });
             }
@@ -235,34 +275,97 @@ impl SweepEngine {
         wl: &WorkloadDescriptor,
         cap_w: f64,
         strategy: SweepStrategy,
+        objective: Objective,
         noise: Option<(f64, u64)>,
     ) -> CellResult {
-        let (report, history) = match strategy {
+        // Time cells go through the exact `runs::*` code path the paper
+        // figures use, so adding the objective axis cannot perturb them.
+        let (report, history) = if objective == Objective::Time {
+            match strategy {
+                SweepStrategy::Default => {
+                    (runs::default_run_on(&mut self.executor(cap_w, noise), wl), None)
+                }
+                SweepStrategy::Online => {
+                    (runs::online_run_on(&mut self.executor(cap_w, noise), wl), None)
+                }
+                SweepStrategy::Offline => {
+                    let (rep, h) = runs::offline_run_on(
+                        &mut self.executor(cap_w, noise),
+                        &mut self.executor(cap_w, noise),
+                        wl,
+                    );
+                    (rep, Some(h))
+                }
+                SweepStrategy::OnlineSelective { min_region_time_s } => {
+                    let space = crate::config::ConfigSpace::for_machine(&self.machine);
+                    let mut tuner = RegionTuner::new(
+                        TunerOptions::online(space).with_min_region_time(min_region_time_s),
+                    );
+                    let mut rep = self.executor(cap_w, noise).run_tuned(wl, &mut tuner);
+                    rep.strategy = strategy.label().into();
+                    (rep, None)
+                }
+            }
+        } else {
+            self.run_cell_for_objective(wl, cap_w, strategy, objective, noise)
+        };
+        CellResult { workload: wl.name.clone(), cap_w, strategy, objective, report, history }
+    }
+
+    /// The non-`Time` arm of [`SweepEngine::run_cell`]: the same four
+    /// strategies, with every tuner session scored by `objective`.
+    fn run_cell_for_objective(
+        &self,
+        wl: &WorkloadDescriptor,
+        cap_w: f64,
+        strategy: SweepStrategy,
+        objective: Objective,
+        noise: Option<(f64, u64)>,
+    ) -> (AppRunReport, Option<History<OmpConfig>>) {
+        let space = crate::config::ConfigSpace::for_machine(&self.machine);
+        match strategy {
             SweepStrategy::Default => {
-                (runs::default_run_on(&mut self.executor(cap_w, noise), wl), None)
+                let mut exec = self.executor(cap_w, noise);
+                let rep = Runner::new(&mut exec)
+                    .workload(wl)
+                    .objective(objective)
+                    .run()
+                    .expect("workload is set");
+                (rep, None)
             }
             SweepStrategy::Online => {
-                (runs::online_run_on(&mut self.executor(cap_w, noise), wl), None)
+                let mut tuner =
+                    RegionTuner::new(TunerOptions::online(space).with_objective(objective));
+                let mut rep = self.executor(cap_w, noise).run_tuned(wl, &mut tuner);
+                rep.strategy = "arcs-online".into();
+                (rep, None)
             }
             SweepStrategy::Offline => {
-                let (rep, h) = runs::offline_run_on(
-                    &mut self.executor(cap_w, noise),
-                    &mut self.executor(cap_w, noise),
+                let mut trainer = self.executor(cap_w, noise);
+                let context = format!("{}.{}.{}W.{}", wl.name, self.machine.name, cap_w, objective);
+                let history = trainer.train_offline(
                     wl,
+                    TunerOptions::offline_train(space.clone()).with_objective(objective),
+                    &context,
                 );
-                (rep, Some(h))
+                let mut tuner = RegionTuner::new(
+                    TunerOptions::offline_replay(space, history.clone()).with_objective(objective),
+                );
+                let mut rep = self.executor(cap_w, noise).run_tuned(wl, &mut tuner);
+                rep.strategy = "arcs-offline".into();
+                (rep, Some(history))
             }
             SweepStrategy::OnlineSelective { min_region_time_s } => {
-                let space = crate::config::ConfigSpace::for_machine(&self.machine);
                 let mut tuner = RegionTuner::new(
-                    TunerOptions::online(space).with_min_region_time(min_region_time_s),
+                    TunerOptions::online(space)
+                        .with_min_region_time(min_region_time_s)
+                        .with_objective(objective),
                 );
                 let mut rep = self.executor(cap_w, noise).run_tuned(wl, &mut tuner);
                 rep.strategy = strategy.label().into();
                 (rep, None)
             }
-        };
-        CellResult { workload: wl.name.clone(), cap_w, strategy, report, history }
+        }
     }
 }
 
@@ -305,6 +408,25 @@ mod tests {
         let foreign = grid(Machine::minotaur());
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(&foreign)));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn objective_axis_multiplies_cells_and_keeps_time_cells_first() {
+        let m = Machine::crill();
+        let g = grid(m.clone()).objectives(&[Objective::Time, Objective::Energy]);
+        assert_eq!(g.cell_count(), 8);
+        let rep = SweepEngine::new(m).with_workers(1).run(&g);
+        assert_eq!(rep.cells.len(), 8);
+        // Objective is the innermost axis: Time before Energy per cell.
+        assert_eq!(rep.cells[0].objective, Objective::Time);
+        assert_eq!(rep.cells[1].objective, Objective::Energy);
+        let e = rep.cell_for("sp.B", 85.0, "arcs-online", Objective::Energy).unwrap();
+        assert_eq!(e.report.objective, Objective::Energy);
+        let t = rep.cell_for("sp.B", 85.0, "arcs-online", Objective::Time).unwrap();
+        assert_eq!(t.report.objective, Objective::Time);
+        // Both cells really ran (behavioural comparisons live in
+        // tests/objectives.rs, where searches are given room to converge).
+        assert!(e.report.energy_j > 0.0 && t.report.energy_j > 0.0);
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! The tunable-knob encoding layer: one typed mapping between Harmony's
+//! index-grid [`Point`]s and concrete configurations.
+//!
+//! Historically the `OmpConfig` ↔ `Point` mapping was hand-coded in three
+//! places — `config.rs` (the Table I grid), `tuner.rs` (session wiring)
+//! and `dvfs.rs` (the same mapping plus a fourth axis). [`TunableSpace`]
+//! is that mapping, once: the Table I triple (threads × schedule × chunk)
+//! with an *optional* fourth knob, a per-region frequency limit. A space
+//! without a frequency ladder is exactly the paper's 3-knob grid; adding
+//! a ladder reproduces the DVFS extension (§VII future work) on the same
+//! tuner and backends.
+//!
+//! Decoding is total over the grid but **not injective**: `Default`
+//! choices alias explicit entries (e.g. Crill's `Count(32)` and `Default`
+//! both decode to 32 threads) and the implementation-default schedule
+//! ignores the chunk knob. [`TunableSpace::encode`] therefore guarantees
+//! only `decode(encode(cfg)) == cfg` for decodable configurations, which
+//! is the invariant the property tests pin.
+
+use crate::config::{ConfigSpace, OmpConfig};
+use arcs_harmony::{Param, Point, SearchSpace};
+use arcs_powersim::Machine;
+use serde::{Deserialize, Serialize};
+
+/// A concrete configuration across every tunable knob: the paper's OpenMP
+/// triple plus the optional frequency limit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TunedConfig {
+    pub omp: OmpConfig,
+    /// `None` = run at whatever the power cap allows (the base ARCS
+    /// behaviour); `Some(f)` = additionally clamp the cores to `f` GHz.
+    pub freq_ghz: Option<f64>,
+}
+
+impl From<OmpConfig> for TunedConfig {
+    fn from(omp: OmpConfig) -> Self {
+        TunedConfig { omp, freq_ghz: None }
+    }
+}
+
+impl std::fmt::Display for TunedConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.freq_ghz {
+            Some(g) => write!(f, "{}, {:.2}GHz", self.omp, g),
+            None => write!(f, "{}, fmax", self.omp),
+        }
+    }
+}
+
+/// The discrete grid a tuner searches: the Table I [`ConfigSpace`] plus an
+/// optional frequency axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TunableSpace {
+    pub base: ConfigSpace,
+    /// Frequency choices in GHz; `None` = uncapped (run at the cap's f).
+    /// An *empty* ladder removes the knob entirely — points are 3-long and
+    /// every decoded configuration has `freq_ghz: None`.
+    pub freqs_ghz: Vec<Option<f64>>,
+}
+
+impl From<ConfigSpace> for TunableSpace {
+    fn from(base: ConfigSpace) -> Self {
+        TunableSpace { base, freqs_ghz: Vec::new() }
+    }
+}
+
+impl TunableSpace {
+    /// The paper's 3-knob space over `base` (no frequency knob).
+    pub fn new(base: ConfigSpace) -> Self {
+        base.into()
+    }
+
+    /// The Table I row for `machine`, no frequency knob.
+    pub fn for_machine(machine: &Machine) -> Self {
+        ConfigSpace::for_machine(machine).into()
+    }
+
+    /// The DVFS-extended space: `steps` frequency limits evenly spaced
+    /// between the machine's floor and base clock, plus the "uncapped"
+    /// choice (which is also the search start point).
+    pub fn with_dvfs(machine: &Machine, steps: usize) -> Self {
+        assert!(steps >= 1);
+        let base = ConfigSpace::for_machine(machine);
+        let mut freqs: Vec<Option<f64>> = (0..steps)
+            .map(|i| {
+                let t = i as f64 / steps as f64;
+                Some(machine.f_min_ghz + t * (machine.f_base_ghz - machine.f_min_ghz))
+            })
+            .collect();
+        freqs.push(None);
+        TunableSpace { base, freqs_ghz: freqs }
+    }
+
+    /// Does this space expose the frequency knob?
+    pub fn has_freq_knob(&self) -> bool {
+        !self.freqs_ghz.is_empty()
+    }
+
+    /// Number of knobs (3, or 4 with a frequency ladder).
+    pub fn dim(&self) -> usize {
+        if self.has_freq_knob() {
+            4
+        } else {
+            3
+        }
+    }
+
+    /// Total number of grid points.
+    pub fn size(&self) -> usize {
+        self.base.size() * self.freqs_ghz.len().max(1)
+    }
+
+    /// The Harmony search space: one parameter per knob.
+    pub fn to_search_space(&self) -> SearchSpace {
+        let mut params = vec![
+            Param::new("threads", self.base.threads.len()),
+            Param::new("schedule", self.base.schedules.len()),
+            Param::new("chunk", self.base.chunks.len()),
+        ];
+        if self.has_freq_knob() {
+            params.push(Param::new("freq", self.freqs_ghz.len()));
+        }
+        SearchSpace::new(params)
+    }
+
+    /// Decode a Harmony grid point into a concrete configuration.
+    pub fn decode(&self, point: &[usize]) -> TunedConfig {
+        assert_eq!(point.len(), self.dim(), "points in this space are {}-dimensional", self.dim());
+        let omp = self.base.decode(&point[..3]);
+        let freq_ghz = if self.has_freq_knob() { self.freqs_ghz[point[3]] } else { None };
+        TunedConfig { omp, freq_ghz }
+    }
+
+    /// Encode a configuration back into a grid point, or `None` if no grid
+    /// point decodes to it. Decoding is not injective, so the round-trip
+    /// guarantee is `decode(encode(cfg)) == cfg`, not point equality; the
+    /// first matching point in grid order is returned. O(grid size).
+    pub fn encode(&self, cfg: &TunedConfig) -> Option<Point> {
+        self.to_search_space().iter_points().find(|p| self.decode(p) == *cfg)
+    }
+
+    /// The grid point encoding the paper's default configuration (default
+    /// threads / schedule / chunk, uncapped frequency) — the start point
+    /// for simplex searches.
+    pub fn default_point(&self) -> Point {
+        let mut p = self.base.default_point();
+        if self.has_freq_knob() {
+            // The ladders built here always end with the uncapped choice;
+            // hand-built ladders should follow the same convention so the
+            // search starts from the paper's baseline.
+            p.push(self.freqs_ghz.len() - 1);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_space_matches_the_config_space() {
+        let m = Machine::crill();
+        let s = TunableSpace::for_machine(&m);
+        assert!(!s.has_freq_knob());
+        assert_eq!(s.dim(), 3);
+        assert_eq!(s.size(), s.base.size());
+        assert_eq!(s.to_search_space().dim(), 3);
+        let d = s.decode(&s.default_point());
+        assert_eq!(d.freq_ghz, None);
+        assert_eq!(d.omp, OmpConfig::default_for(&m));
+        assert_eq!(d.omp, s.base.decode(&s.base.default_point()));
+    }
+
+    #[test]
+    fn dvfs_space_adds_the_fourth_axis() {
+        let m = Machine::crill();
+        let s = TunableSpace::with_dvfs(&m, 4);
+        assert!(s.has_freq_knob());
+        assert_eq!(s.to_search_space().dim(), 4);
+        assert_eq!(s.freqs_ghz.len(), 5);
+        assert_eq!(s.freqs_ghz[4], None);
+        assert_eq!(s.size(), s.base.size() * 5);
+        let d = s.decode(&s.default_point());
+        assert_eq!(d.freq_ghz, None);
+        assert_eq!(d.omp, OmpConfig::default_for(&m));
+        // Ladder frequencies stay inside the machine's DVFS range.
+        for f in s.freqs_ghz.iter().flatten() {
+            assert!(*f >= m.f_min_ghz && *f <= m.f_base_ghz);
+        }
+    }
+
+    #[test]
+    fn encode_round_trips_decoded_configs() {
+        let m = Machine::crill();
+        for s in [TunableSpace::for_machine(&m), TunableSpace::with_dvfs(&m, 2)] {
+            let grid = s.to_search_space();
+            for p in grid.iter_points() {
+                let cfg = s.decode(&p);
+                let q = s.encode(&cfg).expect("decoded configs are encodable");
+                assert_eq!(s.decode(&q), cfg, "round trip diverged at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_rejects_foreign_configs() {
+        let m = Machine::crill();
+        let s = TunableSpace::for_machine(&m);
+        let alien = TunedConfig {
+            omp: OmpConfig { threads: 7, schedule: arcs_omprt::Schedule::static_block() },
+            freq_ghz: None,
+        };
+        assert_eq!(s.encode(&alien), None);
+    }
+
+    #[test]
+    fn from_omp_config_is_uncapped() {
+        let m = Machine::crill();
+        let cfg: TunedConfig = OmpConfig::default_for(&m).into();
+        assert_eq!(cfg.freq_ghz, None);
+        assert_eq!(cfg.to_string(), format!("{}, fmax", OmpConfig::default_for(&m)));
+    }
+}

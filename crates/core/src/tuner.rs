@@ -4,13 +4,20 @@
 //! the simulator executor drive it through the same two calls —
 //! [`begin`](RegionTuner::begin) when a region is about to fork (returns
 //! the configuration to apply and whether that is a change), and
-//! [`end`](RegionTuner::end) when the region's duration is known.
+//! [`end_measured`](RegionTuner::end_measured) when the region's duration
+//! and energy are known.
 //!
 //! Per the paper (§III-B): a tuning session is created lazily the first
 //! time a region is encountered; while un-converged, each invocation runs
 //! the next configuration the search requests; after convergence the
 //! converged values are used. In replay mode (ARCS-Offline's measured
 //! run), configurations come from the history file and no search happens.
+//!
+//! The tuner searches a [`TunableSpace`] — the paper's 3-knob grid or the
+//! DVFS-extended 4-knob grid — and scores each invocation by its
+//! [`Objective`]: `Time` reproduces the paper, `Energy`/`EnergyDelay`
+//! optimise the same search machinery toward joules or the
+//! energy-delay product.
 //!
 //! The *selective tuning* extension from the paper's future work ("enable
 //! selective tuning for OpenMP regions to avoid overheads on the smaller
@@ -19,10 +26,11 @@
 //! pinned to the default configuration and excluded from tuning (and from
 //! the per-invocation configuration-change overhead).
 
-use crate::config::{ConfigSpace, OmpConfig};
+use crate::config::OmpConfig;
+use crate::tunable::{TunableSpace, TunedConfig};
 use arcs_harmony::{History, NmOptions, ProOptions, Session, StrategyKind};
 use arcs_metrics::MetricsRegistry;
-use arcs_trace::{SearchCandidate, TraceEvent, TraceSink};
+use arcs_trace::{Objective, SearchCandidate, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -46,32 +54,48 @@ pub enum TuningMode {
 /// Tuner construction options.
 #[derive(Debug, Clone)]
 pub struct TunerOptions {
-    pub space: ConfigSpace,
+    pub space: TunableSpace,
     pub mode: TuningMode,
+    /// What each invocation is scored by. `Time` is the paper's evaluated
+    /// objective and the default.
+    pub objective: Objective,
     /// Selective-tuning threshold (seconds of mean region time). 0 tunes
     /// everything — the paper's evaluated behaviour.
     pub min_region_time_s: f64,
 }
 
 impl TunerOptions {
-    pub fn online(space: ConfigSpace) -> Self {
+    /// Options from any space representation ([`crate::config::ConfigSpace`]
+    /// converts to the 3-knob [`TunableSpace`]).
+    pub fn new(space: impl Into<TunableSpace>, mode: TuningMode) -> Self {
         TunerOptions {
-            space,
-            mode: TuningMode::Online(NmOptions::default()),
+            space: space.into(),
+            mode,
+            objective: Objective::Time,
             min_region_time_s: 0.0,
         }
     }
 
-    pub fn offline_train(space: ConfigSpace) -> Self {
-        TunerOptions { space, mode: TuningMode::OfflineTrain, min_region_time_s: 0.0 }
+    pub fn online(space: impl Into<TunableSpace>) -> Self {
+        TunerOptions::new(space, TuningMode::Online(NmOptions::default()))
     }
 
-    pub fn offline_replay(space: ConfigSpace, history: History<OmpConfig>) -> Self {
-        TunerOptions { space, mode: TuningMode::OfflineReplay(history), min_region_time_s: 0.0 }
+    pub fn offline_train(space: impl Into<TunableSpace>) -> Self {
+        TunerOptions::new(space, TuningMode::OfflineTrain)
+    }
+
+    pub fn offline_replay(space: impl Into<TunableSpace>, history: History<OmpConfig>) -> Self {
+        TunerOptions::new(space, TuningMode::OfflineReplay(history))
     }
 
     pub fn with_min_region_time(mut self, seconds: f64) -> Self {
         self.min_region_time_s = seconds;
+        self
+    }
+
+    /// Score sessions by `objective` instead of wall-clock time.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
         self
     }
 }
@@ -79,7 +103,7 @@ impl TunerOptions {
 /// What `begin` tells the caller to do.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TunerDecision {
-    pub config: OmpConfig,
+    pub config: TunedConfig,
     /// Whether the configuration differs from the previously applied one.
     pub changed: bool,
     /// Whether ARCS actively manages this region. When true, the policy
@@ -102,8 +126,8 @@ pub struct TunerStats {
 struct RegionState {
     session: Option<Session>,
     /// Configuration pinned by replay/selective-skip (None while searching).
-    pinned: Option<OmpConfig>,
-    applied: Option<OmpConfig>,
+    pinned: Option<TunedConfig>,
+    applied: Option<TunedConfig>,
     awaiting: bool,
     invocations: u64,
     total_time_s: f64,
@@ -119,7 +143,7 @@ pub struct RegionTuner {
     /// region whose configuration differs from the *previously executed*
     /// region's pays the change cost on every entry — which is how the
     /// paper's per-region-invocation overhead arises (§III-C).
-    last_applied: Option<OmpConfig>,
+    last_applied: Option<TunedConfig>,
     stats: TunerStats,
     trace: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
@@ -169,11 +193,33 @@ impl RegionTuner {
         self.stats
     }
 
-    pub fn space(&self) -> &ConfigSpace {
+    pub fn space(&self) -> &TunableSpace {
         &self.options.space
     }
 
-    fn default_config(&self) -> OmpConfig {
+    /// The objective sessions are scored by.
+    pub fn objective(&self) -> Objective {
+        self.options.objective
+    }
+
+    /// Change the scoring objective. Must be called before the first
+    /// invocation: sessions already searching keep comparing values they
+    /// scored under the previous objective.
+    pub fn set_objective(&mut self, objective: Objective) {
+        self.options.objective = objective;
+    }
+
+    /// Search evaluations spent on `region` so far (0 for pinned or
+    /// unknown regions).
+    pub fn evaluations(&self, region: &str) -> usize {
+        self.regions
+            .get(region)
+            .and_then(|s| s.session.as_ref())
+            .map(|s| s.evaluations())
+            .unwrap_or(0)
+    }
+
+    fn default_config(&self) -> TunedConfig {
         self.options.space.decode(&self.options.space.default_point())
     }
 
@@ -227,16 +273,27 @@ impl RegionTuner {
         TunerDecision { config, changed, tuned }
     }
 
-    /// Called at region join with the measured duration.
+    /// Called at region join with the measured duration. Scores the
+    /// session as if the invocation consumed no energy — exact for the
+    /// `Time` objective; energy-aware callers use
+    /// [`end_measured`](RegionTuner::end_measured).
     pub fn end(&mut self, region: &str, duration_s: f64) {
+        self.end_measured(region, duration_s, 0.0);
+    }
+
+    /// Called at region join with the measured duration and the package
+    /// energy attributed to the invocation. The session is scored by
+    /// [`TunerOptions::objective`] over the pair.
+    pub fn end_measured(&mut self, region: &str, time_s: f64, energy_j: f64) {
+        let score = self.options.objective.score(time_s, energy_j);
         let Some(state) = self.regions.get_mut(region) else {
             return;
         };
         state.invocations += 1;
-        state.total_time_s += duration_s;
+        state.total_time_s += time_s;
         if state.awaiting {
             if let Some(session) = &mut state.session {
-                session.report(duration_s);
+                session.report(score);
             }
             state.awaiting = false;
         }
@@ -248,8 +305,12 @@ impl RegionTuner {
             TuningMode::OfflineReplay(history) => {
                 // "The saved values can be used instead of repeating the
                 // search process." Unknown regions fall back to default.
-                let pinned =
-                    history.get(region).map(|e| e.config).unwrap_or_else(|| self.default_config());
+                // Histories store the paper's 3 knobs; replayed configs
+                // run at the uncapped frequency.
+                let pinned = history
+                    .get(region)
+                    .map(|e| TunedConfig { omp: e.config, freq_ghz: None })
+                    .unwrap_or_else(|| self.default_config());
                 RegionState {
                     session: None,
                     pinned: Some(pinned),
@@ -281,6 +342,7 @@ impl RegionTuner {
                     if sink.enabled() {
                         let sink = Arc::clone(sink);
                         let region_name = region.to_owned();
+                        let objective = self.options.objective;
                         session = session.with_observer(move |step| {
                             sink.record(
                                 None,
@@ -300,6 +362,7 @@ impl RegionTuner {
                                             value: c.value,
                                         })
                                         .collect(),
+                                    objective,
                                 },
                             );
                         });
@@ -337,8 +400,8 @@ impl RegionTuner {
             .unwrap_or(false)
     }
 
-    /// Best configuration found (or pinned) per region.
-    pub fn best_configs(&self) -> HashMap<String, OmpConfig> {
+    /// Best configuration found (or pinned) per region, across every knob.
+    pub fn best_tuned_configs(&self) -> HashMap<String, TunedConfig> {
         self.regions
             .iter()
             .map(|(name, st)| {
@@ -353,9 +416,17 @@ impl RegionTuner {
             .collect()
     }
 
+    /// Best OpenMP triple found (or pinned) per region — the paper's view
+    /// of [`best_tuned_configs`](RegionTuner::best_tuned_configs), with
+    /// any frequency knob dropped.
+    pub fn best_configs(&self) -> HashMap<String, OmpConfig> {
+        self.best_tuned_configs().into_iter().map(|(name, cfg)| (name, cfg.omp)).collect()
+    }
+
     /// Export the per-region best configurations as a history file (the
     /// paper: "when the program completes, the policy saves the best
-    /// parameters found during the search").
+    /// parameters found during the search"). Histories keep the on-disk
+    /// 3-knob layout, so a frequency knob (if tuned) is not persisted.
     pub fn export_history(&self, context: impl Into<String>) -> History<OmpConfig> {
         let mut h = History::new(context);
         for (name, st) in &self.regions {
@@ -363,13 +434,13 @@ impl RegionTuner {
                 if let Some((point, value)) = session.best() {
                     h.insert(
                         name.clone(),
-                        self.options.space.decode(&point),
+                        self.options.space.decode(&point).omp,
                         value,
                         session.evaluations(),
                     );
                 }
             } else if let Some(pinned) = st.pinned {
-                h.insert(name.clone(), pinned, f64::NAN, 0);
+                h.insert(name.clone(), pinned.omp, f64::NAN, 0);
             }
         }
         h
@@ -379,6 +450,7 @@ impl RegionTuner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ConfigSpace;
     use arcs_omprt::Schedule;
 
     fn space() -> ConfigSpace {
@@ -399,7 +471,7 @@ mod tests {
     fn drive(tuner: &mut RegionTuner, region: &str, n: usize) {
         for _ in 0..n {
             let d = tuner.begin(region);
-            tuner.end(region, measure(&d.config));
+            tuner.end(region, measure(&d.config.omp));
         }
     }
 
@@ -420,7 +492,7 @@ mod tests {
         loop {
             let d = tuner.begin("r");
             measured += 1;
-            tuner.end("r", measure(&d.config));
+            tuner.end("r", measure(&d.config.omp));
             if tuner.converged() || measured >= 252 {
                 break;
             }
@@ -434,6 +506,33 @@ mod tests {
     }
 
     #[test]
+    fn energy_objective_minimises_energy_not_time() {
+        // Synthetic region where more threads are always faster but the
+        // energy sweet spot is 8 threads: time and energy argmins differ.
+        // With power ∝ (8 + threads), energy = 2(8 + t)/√t has its
+        // continuous minimum exactly at t = 8.
+        let time_of = |cfg: &OmpConfig| 2.0 / (cfg.threads as f64).sqrt();
+        let energy_of = |cfg: &OmpConfig| time_of(cfg) * (8.0 + cfg.threads as f64);
+
+        let run = |objective: Objective| {
+            let mut tuner =
+                RegionTuner::new(TunerOptions::offline_train(space()).with_objective(objective));
+            assert_eq!(tuner.objective(), objective);
+            for _ in 0..300 {
+                let d = tuner.begin("r");
+                tuner.end_measured("r", time_of(&d.config.omp), energy_of(&d.config.omp));
+            }
+            assert!(tuner.converged());
+            tuner.best_configs()["r"]
+        };
+
+        let by_time = run(Objective::Time);
+        let by_energy = run(Objective::Energy);
+        assert_eq!(by_time.threads, 32, "time objective wants max threads");
+        assert_eq!(by_energy.threads, 8, "energy objective wants the sweet spot");
+    }
+
+    #[test]
     fn replay_pins_saved_configs_without_searching() {
         let mut h = History::new("test");
         let saved = OmpConfig { threads: 8, schedule: Schedule::dynamic(16) };
@@ -441,13 +540,15 @@ mod tests {
         let mut tuner = RegionTuner::new(TunerOptions::offline_replay(space(), h));
         for _ in 0..10 {
             let d = tuner.begin("r");
-            assert_eq!(d.config, saved);
+            assert_eq!(d.config.omp, saved);
+            assert_eq!(d.config.freq_ghz, None);
             tuner.end("r", 0.5);
         }
         // Only the first invocation is a configuration change: the global
         // ICVs already hold the replayed value afterwards.
         assert_eq!(tuner.stats().config_changes, 1);
         assert!(tuner.converged());
+        assert_eq!(tuner.evaluations("r"), 0);
     }
 
     #[test]
@@ -455,7 +556,7 @@ mod tests {
         let h = History::new("empty");
         let mut tuner = RegionTuner::new(TunerOptions::offline_replay(space(), h));
         let d = tuner.begin("mystery");
-        assert_eq!(d.config, OmpConfig::default_for(&arcs_powersim::Machine::crill()));
+        assert_eq!(d.config.omp, OmpConfig::default_for(&arcs_powersim::Machine::crill()));
     }
 
     #[test]
@@ -481,7 +582,7 @@ mod tests {
         let before = tuner.stats().config_changes;
         for _ in 0..10 {
             let d = tuner.begin("tiny");
-            assert_eq!(d.config, tuner.best_configs()["tiny"]);
+            assert_eq!(d.config.omp, tuner.best_configs()["tiny"]);
             tuner.end("tiny", 0.001);
         }
         assert_eq!(tuner.stats().config_changes, before);
@@ -493,7 +594,7 @@ mod tests {
         let mut tuner = RegionTuner::new(opts);
         for _ in 0..30 {
             let d = tuner.begin("big");
-            tuner.end("big", measure(&d.config)); // ~1s, above threshold
+            tuner.end("big", measure(&d.config.omp)); // ~1s, above threshold
         }
         assert_eq!(tuner.stats().skipped_regions, 0);
     }
@@ -523,12 +624,19 @@ mod tests {
         assert!(!records.is_empty(), "search steps must reach the sink");
         let mut last_evals = 0;
         for r in &records {
-            let TraceEvent::SearchIteration { region, evaluations, best_value, value, .. } =
-                &r.event
+            let TraceEvent::SearchIteration {
+                region,
+                evaluations,
+                best_value,
+                value,
+                objective,
+                ..
+            } = &r.event
             else {
                 panic!("unexpected event {:?}", r.event);
             };
             assert_eq!(region, "r");
+            assert_eq!(*objective, Objective::Time);
             assert!(*evaluations > last_evals);
             last_evals = *evaluations;
             assert!(best_value <= value);

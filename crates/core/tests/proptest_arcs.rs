@@ -1,8 +1,9 @@
 //! Property tests for the ARCS core: configuration decoding, the tuner
 //! protocol under arbitrary measurement sequences, and history export.
 
-use arcs::{ConfigSpace, OmpConfig, RegionTuner, TunerOptions, TuningMode};
+use arcs::{ConfigSpace, OmpConfig, RegionTuner, TunableSpace, TunerOptions, TuningMode};
 use arcs_harmony::{History, NmOptions, ProOptions};
+use arcs_powersim::Machine;
 use proptest::prelude::*;
 
 fn spaces() -> [ConfigSpace; 2] {
@@ -43,11 +44,7 @@ proptest! {
             1 => TuningMode::Online(NmOptions::default()),
             _ => TuningMode::OnlinePro(ProOptions::default()),
         };
-        let mut tuner = RegionTuner::new(TunerOptions {
-            space: space.clone(),
-            mode,
-            min_region_time_s: 0.0,
-        });
+        let mut tuner = RegionTuner::new(TunerOptions::new(space.clone(), mode));
         let mut state = seed | 1;
         let mut rnd = move || {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -56,10 +53,10 @@ proptest! {
         let mut invocations = 0u64;
         for _ in 0..600 {
             let d = tuner.begin("prop/region");
-            prop_assert!(d.config.threads >= 1);
+            prop_assert!(d.config.omp.threads >= 1);
             invocations += 1;
             // Objective: prefers 8 threads, plus multiplicative noise.
-            let base = 1.0 + ((d.config.threads as f64).log2() - 3.0).abs() * 0.2;
+            let base = 1.0 + ((d.config.omp.threads as f64).log2() - 3.0).abs() * 0.2;
             tuner.end("prop/region", base * (1.0 + noise * (rnd() - 0.5)));
             if tuner.converged() {
                 break;
@@ -92,10 +89,10 @@ proptest! {
         let default = space.decode(&space.default_point());
         for _ in 0..n_invocations {
             let k = tuner.begin("known");
-            prop_assert_eq!(k.config, saved);
+            prop_assert_eq!(k.config.omp, saved);
             tuner.end("known", 1.0);
             let u = tuner.begin("unknown");
-            prop_assert_eq!(u.config, default);
+            prop_assert_eq!(u.config.omp, default);
             tuner.end("unknown", 1.0);
         }
         prop_assert!(tuner.converged());
@@ -125,22 +122,72 @@ proptest! {
         prop_assert!(d.tuned);
     }
 
+    /// `TunableSpace` point↔config round-trips over random spaces, with
+    /// and without the frequency knob. Encoding is non-injective
+    /// (`Default` threads aliases the machine's core count; static
+    /// schedules ignore the chunk axis), so the invariant is semantic:
+    /// the encoded point decodes back to the same configuration.
+    #[test]
+    fn tunable_space_round_trips(
+        machine_pick in 0usize..2,
+        steps in 0usize..4,
+        rank_frac in 0.0f64..1.0,
+    ) {
+        let machine =
+            if machine_pick == 0 { Machine::crill() } else { Machine::minotaur() };
+        // steps == 0 means "no frequency knob" (the base 3-axis space).
+        let space = if steps == 0 {
+            TunableSpace::for_machine(&machine)
+        } else {
+            TunableSpace::with_dvfs(&machine, steps)
+        };
+        prop_assert_eq!(space.has_freq_knob(), steps > 0);
+        let grid = space.to_search_space();
+        prop_assert_eq!(grid.dim(), space.dim());
+        prop_assert_eq!(grid.size(), space.size());
+        let rank = ((grid.size() - 1) as f64 * rank_frac) as usize;
+        let p = grid.unrank(rank);
+        let cfg = space.decode(&p);
+        let q = space.encode(&cfg).expect("decoded configs are encodable");
+        prop_assert_eq!(space.decode(&q), cfg);
+    }
+
+    /// `SearchSpace::rank` and `unrank` stay inverse for every grid the
+    /// tunable spaces can produce.
+    #[test]
+    fn rank_and_unrank_are_inverse(
+        machine_pick in 0usize..2,
+        steps in 0usize..4,
+        rank_frac in 0.0f64..1.0,
+    ) {
+        let machine =
+            if machine_pick == 0 { Machine::crill() } else { Machine::minotaur() };
+        let space = if steps == 0 {
+            TunableSpace::for_machine(&machine)
+        } else {
+            TunableSpace::with_dvfs(&machine, steps)
+        };
+        let grid = space.to_search_space();
+        let rank = ((grid.size() - 1) as f64 * rank_frac) as usize;
+        let p = grid.unrank(rank);
+        prop_assert_eq!(grid.rank(&p), rank);
+    }
+
     /// Exported histories always decode back to configurations inside the
     /// search space.
     #[test]
     fn exported_history_configs_are_in_space(seed in any::<u64>()) {
         let space = ConfigSpace::crill();
-        let mut tuner = RegionTuner::new(TunerOptions {
-            space: space.clone(),
-            mode: TuningMode::Online(NmOptions { max_evals: 40, ..NmOptions::default() }),
-            min_region_time_s: 0.0,
-        });
+        let mut tuner = RegionTuner::new(TunerOptions::new(
+            space.clone(),
+            TuningMode::Online(NmOptions { max_evals: 40, ..NmOptions::default() }),
+        ));
         let mut s = seed | 1;
         for _ in 0..80 {
             let d = tuner.begin("r");
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
             let noise = (s >> 40) as f64 / (1u64 << 24) as f64;
-            tuner.end("r", 1.0 + 0.1 * noise + d.config.threads as f64 * 0.01);
+            tuner.end("r", 1.0 + 0.1 * noise + d.config.omp.threads as f64 * 0.01);
         }
         let h = tuner.export_history("prop-ctx");
         let entry = h.get("r").expect("region exported");

@@ -9,7 +9,7 @@
 //! trace streams through [`TraceAnalysis`] in constant memory (the cache
 //! timeline decimates itself, see [`CacheReport::timeline`]).
 
-use arcs_trace::{TraceEvent, TraceRecord, SCHEMA_VERSION};
+use arcs_trace::{Objective, TraceEvent, TraceRecord, SCHEMA_VERSION};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -26,8 +26,10 @@ pub enum TraceReadError {
         line: usize,
         source: serde_json::Error,
     },
-    /// The record was written by a different schema version; reading on
-    /// would silently misinterpret fields.
+    /// The record was written by a schema this reader cannot understand
+    /// (newer than [`SCHEMA_VERSION`], or not a real version at all);
+    /// reading on would silently misinterpret fields. Older versions are
+    /// fine — fields added since deserialize to their defaults.
     SchemaMismatch {
         line: usize,
         found: u32,
@@ -50,7 +52,7 @@ impl fmt::Display for TraceReadError {
                 write!(f, "trace line {line}: invalid record: {source}")
             }
             TraceReadError::SchemaMismatch { line, found, expected } => {
-                write!(f, "trace line {line}: schema {found}, this reader expects {expected}")
+                write!(f, "trace line {line}: schema {found}, this reader expects 1..={expected}")
             }
             TraceReadError::NonMonotonicSeq { line, prev, seq } => {
                 write!(f, "trace line {line}: seq {seq} after {prev} (must strictly increase)")
@@ -125,7 +127,7 @@ impl<R: BufRead> Iterator for TraceReader<R> {
                     return Some(Err(TraceReadError::Parse { line: self.line_no, source }))
                 }
             };
-            if rec.schema != SCHEMA_VERSION {
+            if !(1..=SCHEMA_VERSION).contains(&rec.schema) {
                 return Some(Err(TraceReadError::SchemaMismatch {
                     line: self.line_no,
                     found: rec.schema,
@@ -178,6 +180,21 @@ impl RegionBreakdown {
             0.0
         }
     }
+
+    /// Mean attributed package energy per invocation (joules).
+    pub fn mean_call_j(&self) -> f64 {
+        if self.invocations > 0 {
+            self.energy_j / self.invocations as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// This region's mean per-call cost under `objective` — the quantity
+    /// [`compare_reports_for`] gates on.
+    pub fn mean_call_metric(&self, objective: Objective) -> f64 {
+        objective.score(self.mean_call_s(), self.mean_call_j())
+    }
 }
 
 /// Time/energy attributed to one power-cap setting (caps can change
@@ -201,7 +218,8 @@ impl CapSegment {
 }
 
 /// One point of a region's search-convergence curve (from
-/// `SearchIteration` events).
+/// `SearchIteration` events). Values are in the unit of the trace's
+/// [`TraceReport::objective`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ConvergencePoint {
     pub evaluations: u64,
@@ -257,6 +275,10 @@ pub struct OverheadReport {
     pub config_change_s: f64,
     /// Σ OMPT + APEX instrumentation cost.
     pub instrumentation_s: f64,
+    /// Σ package energy drawn over overhead intervals (0 in pre-v3
+    /// traces, which did not meter overhead energy).
+    #[serde(default)]
+    pub energy_j: f64,
 }
 
 impl OverheadReport {
@@ -287,6 +309,14 @@ pub struct TraceReport {
     pub convergence: BTreeMap<String, Vec<ConvergencePoint>>,
     pub cache: CacheReport,
     pub overhead: OverheadReport,
+    /// What the traced run's tuner minimised, from `SearchIteration`
+    /// events (`Time` for untuned runs and pre-v3 traces).
+    #[serde(default)]
+    pub objective: Objective,
+    /// The cumulative package-energy counter at the last `PowerSample` —
+    /// `None` for traces without a package meter (live OMPT traces).
+    #[serde(default)]
+    pub final_energy_total_j: Option<f64>,
 }
 
 impl TraceReport {
@@ -303,6 +333,35 @@ impl TraceReport {
     /// the run length?
     pub fn overhead_consistent(&self) -> bool {
         self.overhead_residual_s().abs() <= 1e-6 * self.wall_s.abs().max(1.0)
+    }
+
+    /// The energy counterpart of [`overhead_residual_s`]: package meter −
+    /// Σ region energy − Σ overhead energy. The driver differences every
+    /// invocation and overhead interval from one meter, so for sim-driver
+    /// traces this must be ~0 (float differencing does not telescope
+    /// exactly). `None` when the trace carries no `PowerSample` — live
+    /// OMPT traces have no package meter.
+    ///
+    /// [`overhead_residual_s`]: TraceReport::overhead_residual_s
+    pub fn energy_residual_j(&self) -> Option<f64> {
+        self.final_energy_total_j.map(|total| total - self.total_energy_j - self.overhead.energy_j)
+    }
+
+    /// The energy-ledger cross-check; vacuously true for meterless
+    /// traces.
+    pub fn energy_consistent(&self) -> bool {
+        match self.energy_residual_j() {
+            Some(res) => {
+                res.abs() <= 1e-6 * self.final_energy_total_j.unwrap_or(0.0).abs().max(1.0)
+            }
+            None => true,
+        }
+    }
+
+    /// The whole-run cost under `objective` — the TOTAL row of
+    /// [`compare_reports_for`].
+    pub fn total_metric(&self, objective: Objective) -> f64 {
+        objective.score(self.wall_s, self.total_energy_j)
     }
 
     pub fn to_json(&self) -> String {
@@ -334,8 +393,8 @@ impl TraceReport {
         };
 
         out.push_str(&format!(
-            "trace: schema v{}, {} records, {} seq gap(s)\n",
-            self.schema, self.records, self.seq_gaps
+            "trace: schema v{}, {} records, {} seq gap(s), objective {}\n",
+            self.schema, self.records, self.seq_gaps, self.objective
         ));
         out.push_str(&format!(
             "wall {:.4} s | region {:.4} s | overhead {:.4} s | energy {:.1} J\n",
@@ -417,10 +476,11 @@ impl TraceReport {
             for (region, curve) in &self.convergence {
                 let last = curve.last().expect("curves are non-empty");
                 out.push_str(&format!(
-                    "{}{region}: {} evaluation(s), best {:.6} s{}\n",
+                    "{}{region}: {} evaluation(s), best {:.6} {}{}\n",
                     if md { "- " } else { "" },
                     last.evaluations,
                     last.best_value,
+                    self.objective.unit(),
                     if last.converged { ", converged" } else { "" }
                 ));
                 let steps: Vec<String> = decimate(curve, 8)
@@ -456,6 +516,13 @@ impl TraceReport {
             self.overhead_residual_s(),
             if self.overhead_consistent() { "consistent" } else { "INCONSISTENT" }
         ));
+        if let Some(res) = self.energy_residual_j() {
+            out.push_str(&format!(
+                "energy ledger: meter − region − overhead = {:+.3e} J ({})\n",
+                res,
+                if self.energy_consistent() { "consistent" } else { "INCONSISTENT" }
+            ));
+        }
         out
     }
 }
@@ -499,7 +566,7 @@ impl TraceAnalysis {
         r.records += 1;
         r.schema = rec.schema;
         match &rec.event {
-            TraceEvent::RegionEnd { region, time_s, energy_j, busy_s, barrier_s } => {
+            TraceEvent::RegionEnd { region, time_s, energy_j, busy_s, barrier_s, .. } => {
                 let b = r.regions.entry(region.clone()).or_default();
                 b.invocations += 1;
                 b.wall_s += time_s;
@@ -535,8 +602,10 @@ impl TraceAnalysis {
                 value,
                 best_value,
                 converged,
+                objective,
                 ..
             } => {
+                r.objective = *objective;
                 r.convergence.entry(region.clone()).or_default().push(ConvergencePoint {
                     evaluations: *evaluations,
                     value: *value,
@@ -547,16 +616,20 @@ impl TraceAnalysis {
             TraceEvent::ConfigSwitch { region, .. } => {
                 r.regions.entry(region.clone()).or_default().config_switches += 1;
             }
-            TraceEvent::OverheadCharged { config_change_s, instrumentation_s, .. } => {
+            TraceEvent::OverheadCharged {
+                config_change_s, instrumentation_s, energy_j, ..
+            } => {
                 r.overhead.events += 1;
                 r.overhead.config_change_s += config_change_s;
                 r.overhead.instrumentation_s += instrumentation_s;
+                r.overhead.energy_j += energy_j;
+            }
+            TraceEvent::PowerSample { energy_total_j, .. } => {
+                r.final_energy_total_j = Some(*energy_total_j);
             }
             TraceEvent::CacheHit { .. } => self.cache_lookup(true),
             TraceEvent::CacheMiss { .. } => self.cache_lookup(false),
-            TraceEvent::RegionBegin { .. }
-            | TraceEvent::PowerSample { .. }
-            | TraceEvent::PolicyFired { .. } => {}
+            TraceEvent::RegionBegin { .. } | TraceEvent::PolicyFired { .. } => {}
         }
     }
 
@@ -601,10 +674,12 @@ pub fn analyze_path(path: impl AsRef<Path>) -> Result<TraceReport, TraceReadErro
     analyze(TraceReader::open(path)?)
 }
 
-/// One compared quantity in a [`Comparison`].
+/// One compared quantity in a [`Comparison`]. Despite the `_s` suffix
+/// (kept for artifact compatibility), values are in the comparison
+/// objective's unit: seconds, joules, or joule-seconds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompareRow {
-    /// Region name, or `"TOTAL"` for the whole-run wall-time row.
+    /// Region name, or `"TOTAL"` for the whole-run row.
     pub name: String,
     pub baseline_s: f64,
     pub candidate_s: f64,
@@ -628,6 +703,9 @@ pub struct Comparison {
     pub missing_in_candidate: Vec<String>,
     /// Regions present only in the candidate.
     pub new_in_candidate: Vec<String>,
+    /// What the rows measure (`Time` in pre-objective artifacts).
+    #[serde(default)]
+    pub objective: Objective,
 }
 
 impl Comparison {
@@ -641,9 +719,14 @@ impl Comparison {
 
     pub fn to_table(&self) -> String {
         let name_w = self.rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max("name".len());
+        let unit = self.objective.unit();
         let mut out = format!(
-            "{:<name_w$}  {:>12}  {:>12}  {:>8}  verdict\n",
-            "name", "baseline s", "candidate s", "delta"
+            "objective: {}\n{:<name_w$}  {:>12}  {:>12}  {:>8}  verdict\n",
+            self.objective,
+            "name",
+            format!("baseline {unit}"),
+            format!("candidate {unit}"),
+            "delta"
         );
         for r in &self.rows {
             out.push_str(&format!(
@@ -670,13 +753,27 @@ impl Comparison {
     }
 }
 
-/// Gate `candidate` against `baseline`: the whole-run wall time and every
-/// shared region's mean invocation time must not be slower by strictly
-/// more than `fail_on_pct` percent.
+/// Gate `candidate` against `baseline` on wall time: the whole-run wall
+/// time and every shared region's mean invocation time must not be slower
+/// by strictly more than `fail_on_pct` percent. Equivalent to
+/// [`compare_reports_for`] with [`Objective::Time`].
 pub fn compare_reports(
     baseline: &TraceReport,
     candidate: &TraceReport,
     fail_on_pct: f64,
+) -> Comparison {
+    compare_reports_for(baseline, candidate, fail_on_pct, Objective::Time)
+}
+
+/// Gate `candidate` against `baseline` under an explicit objective: the
+/// whole-run total (wall time / attributed energy / their product) and
+/// every shared region's mean per-invocation metric must not regress by
+/// strictly more than `fail_on_pct` percent.
+pub fn compare_reports_for(
+    baseline: &TraceReport,
+    candidate: &TraceReport,
+    fail_on_pct: f64,
+    objective: Objective,
 ) -> Comparison {
     let row = |name: &str, base: f64, cand: f64| {
         let delta_pct = if base > 0.0 { 100.0 * (cand - base) / base } else { 0.0 };
@@ -688,17 +785,20 @@ pub fn compare_reports(
             regression: delta_pct > fail_on_pct,
         }
     };
-    let mut rows = vec![row("TOTAL", baseline.wall_s, candidate.wall_s)];
+    let mut rows =
+        vec![row("TOTAL", baseline.total_metric(objective), candidate.total_metric(objective))];
     let mut missing = Vec::new();
     for (name, b) in &baseline.regions {
         match candidate.regions.get(name) {
-            Some(c) => rows.push(row(name, b.mean_call_s(), c.mean_call_s())),
+            Some(c) => {
+                rows.push(row(name, b.mean_call_metric(objective), c.mean_call_metric(objective)))
+            }
             None => missing.push(name.clone()),
         }
     }
     let new_in_candidate: Vec<String> =
         candidate.regions.keys().filter(|k| !baseline.regions.contains_key(*k)).cloned().collect();
-    Comparison { fail_on_pct, rows, missing_in_candidate: missing, new_in_candidate }
+    Comparison { fail_on_pct, rows, missing_in_candidate: missing, new_in_candidate, objective }
 }
 
 #[cfg(test)]
@@ -729,6 +829,7 @@ mod tests {
             r
         };
         let mut t = 0.0;
+        let mut etot = 0.0;
         let mut records =
             vec![next(Some(0.0), E::CapChange { requested_w: 80.0, effective_w: 80.0 })];
         for i in 0..3u64 {
@@ -736,12 +837,14 @@ mod tests {
                 Some(t),
                 E::ConfigSwitch { region: "rhs".into(), threads: 8, schedule: "static".into() },
             ));
+            etot += 0.1;
             records.push(next(
                 Some(t),
                 E::OverheadCharged {
                     region: "rhs".into(),
                     config_change_s: 0.008,
                     instrumentation_s: 0.001,
+                    energy_j: 0.1,
                 },
             ));
             records.push(next(
@@ -757,6 +860,7 @@ mod tests {
                 },
             ));
             t += 0.009 + 0.5;
+            etot += 40.0;
             records.push(next(
                 Some(t),
                 E::RegionEnd {
@@ -765,8 +869,10 @@ mod tests {
                     energy_j: 40.0,
                     busy_s: 3.6,
                     barrier_s: 0.4,
+                    objective_value: Some(0.5),
                 },
             ));
+            records.push(next(Some(t), E::PowerSample { power_w: 80.0, energy_total_j: etot }));
             records.push(next(
                 Some(t),
                 E::SearchIteration {
@@ -778,9 +884,11 @@ mod tests {
                     best_value: 0.5 - 0.01 * i as f64,
                     converged: i == 2,
                     simplex: vec![],
+                    objective: Objective::Time,
                 },
             ));
             t += 0.25;
+            etot += 18.0;
             records.push(next(
                 Some(t),
                 E::RegionEnd {
@@ -789,8 +897,10 @@ mod tests {
                     energy_j: 18.0,
                     busy_s: 1.9,
                     barrier_s: 0.1,
+                    objective_value: None,
                 },
             ));
+            records.push(next(Some(t), E::PowerSample { power_w: 72.0, energy_total_j: etot }));
         }
         records
     }
@@ -801,10 +911,25 @@ mod tests {
         let n = TraceReader::new(good.as_bytes()).filter(|r| r.is_ok()).count();
         assert_eq!(n, sample_trace().len());
 
-        let bad_schema =
+        // Older schema versions still parse (their fields are a strict
+        // subset of the current layout)...
+        let old_schema =
             jsonl(&[TraceRecord { schema: 1, ..rec(0, None, E::CacheHit { region: "r".into() }) }]);
-        let err = TraceReader::new(bad_schema.as_bytes()).next().unwrap().unwrap_err();
-        assert!(matches!(err, TraceReadError::SchemaMismatch { found: 1, .. }), "{err}");
+        assert!(TraceReader::new(old_schema.as_bytes()).next().unwrap().is_ok());
+
+        // ...while versions the reader cannot know — newer, or not a real
+        // version at all — are hard errors.
+        for bad in [0u32, SCHEMA_VERSION + 1] {
+            let bad_schema = jsonl(&[TraceRecord {
+                schema: bad,
+                ..rec(0, None, E::CacheHit { region: "r".into() })
+            }]);
+            let err = TraceReader::new(bad_schema.as_bytes()).next().unwrap().unwrap_err();
+            assert!(
+                matches!(err, TraceReadError::SchemaMismatch { found, .. } if found == bad),
+                "{err}"
+            );
+        }
 
         let out_of_order = jsonl(&[
             rec(5, None, E::CacheHit { region: "r".into() }),
@@ -871,6 +996,14 @@ mod tests {
         assert!((report.overhead.total_s() - 3.0 * 0.009).abs() < 1e-12);
         assert!(report.overhead_consistent(), "residual {}", report.overhead_residual_s());
 
+        // Energy ledger: the package meter agrees with Σ region energy +
+        // Σ overhead energy, and the run's objective was picked up from
+        // the search events.
+        assert_eq!(report.objective, Objective::Time);
+        assert!((report.overhead.energy_j - 0.3).abs() < 1e-12);
+        assert!((report.final_energy_total_j.unwrap() - 174.3).abs() < 1e-9);
+        assert!(report.energy_consistent(), "residual {:?}", report.energy_residual_j());
+
         // All three render formats mention the load-bearing facts.
         for text in [report.to_table(), report.to_markdown()] {
             assert!(text.contains("rhs"));
@@ -894,6 +1027,7 @@ mod tests {
                 energy_j: 1.0,
                 busy_s: 0.5,
                 barrier_s: 0.0,
+                objective_value: None,
             },
         )];
         let report = analyze(TraceReader::new(jsonl(&records).as_bytes())).unwrap();
@@ -949,6 +1083,31 @@ mod tests {
         // Exactly-at-threshold is NOT a regression (strict inequality).
         let at = compare_reports(&base, &cand, 10.0 + 1e-9);
         assert!(!at.regressed());
+    }
+
+    #[test]
+    fn energy_objective_gates_what_the_time_gate_misses() {
+        let base = analyze(TraceReader::new(jsonl(&sample_trace()).as_bytes())).unwrap();
+        let mut cand = base.clone();
+        // Same speed, 20 % more energy in one region (and in the total).
+        cand.regions.get_mut("rhs").unwrap().energy_j *= 1.20;
+        cand.total_energy_j += 0.20 * base.regions["rhs"].energy_j;
+
+        let time_gate = compare_reports_for(&base, &cand, 5.0, Objective::Time);
+        assert!(!time_gate.regressed(), "{}", time_gate.to_table());
+
+        let energy_gate = compare_reports_for(&base, &cand, 5.0, Objective::Energy);
+        assert!(energy_gate.regressed());
+        assert_eq!(energy_gate.objective, Objective::Energy);
+        let row = energy_gate.rows.iter().find(|r| r.name == "rhs").unwrap();
+        assert!(row.regression && (row.delta_pct - 20.0).abs() < 1e-9);
+        assert!(energy_gate.to_table().contains("baseline J"));
+
+        // EDP inherits the energy regression (time unchanged).
+        let edp_gate = compare_reports_for(&base, &cand, 5.0, Objective::EnergyDelay);
+        assert!(edp_gate.regressed());
+        let back: Comparison = serde_json::from_str(&energy_gate.to_json()).unwrap();
+        assert_eq!(back, energy_gate);
     }
 
     #[test]

@@ -23,8 +23,9 @@ pub mod analysis;
 pub mod registry;
 
 pub use analysis::{
-    analyze, analyze_path, compare_reports, CacheReport, CapSegment, Comparison, ConvergencePoint,
-    OverheadReport, RegionBreakdown, TraceAnalysis, TraceReadError, TraceReader, TraceReport,
+    analyze, analyze_path, compare_reports, compare_reports_for, CacheReport, CapSegment,
+    Comparison, ConvergencePoint, OverheadReport, RegionBreakdown, TraceAnalysis, TraceReadError,
+    TraceReader, TraceReport,
 };
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSummary, MetricValue, MetricsRegistry, Snapshot,

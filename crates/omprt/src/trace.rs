@@ -85,6 +85,7 @@ impl Tool for TraceTool {
                 energy_j: 0.0,
                 busy_s,
                 barrier_s,
+                objective_value: None,
             },
         );
     }
@@ -117,7 +118,7 @@ mod tests {
                     assert_eq!(region, "axpy");
                     assert_eq!(*threads, 2);
                 }
-                TraceEvent::RegionEnd { region, time_s, energy_j, busy_s, barrier_s } => {
+                TraceEvent::RegionEnd { region, time_s, energy_j, busy_s, barrier_s, .. } => {
                     assert_eq!(region, "axpy");
                     assert!(*time_s >= 0.0);
                     assert_eq!(*energy_j, 0.0);

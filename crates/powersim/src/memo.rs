@@ -12,7 +12,8 @@
 //! first miss. Values are computed *outside* the shard lock — two racing
 //! threads may both simulate the same tuple, but the simulator is
 //! deterministic so whichever insert lands is correct (the loser's work is
-//! discarded; hit/miss counters are informational).
+//! discarded and its lookup counts as a hit, so the miss counter equals
+//! the number of distinct cells resolved regardless of interleaving).
 
 use crate::exec::{SimConfig, SimReport};
 use arcs_metrics::{Counter, MetricsRegistry};
@@ -48,10 +49,12 @@ impl std::fmt::Display for CacheBindError {
 
 impl std::error::Error for CacheBindError {}
 
-/// (trip count, configuration, power-cap bits): everything besides the
-/// region identity that feeds the simulator. The cap is keyed by its bit
-/// pattern — caps come from a small fixed set, not arithmetic.
-type CellKey = (usize, SimConfig, u64);
+/// (trip count, configuration, power-cap bits, frequency-limit bits):
+/// everything besides the region identity that feeds the simulator. The
+/// cap and the optional DVFS frequency limit are keyed by bit pattern —
+/// both come from small fixed sets, not arithmetic. Frequency-free
+/// lookups key as `None`, so pre-DVFS entries and callers are untouched.
+type CellKey = (usize, SimConfig, u64, Option<u64>);
 
 type Shard = HashMap<Arc<str>, HashMap<CellKey, Arc<SimReport>>>;
 
@@ -96,8 +99,8 @@ struct CacheMetrics {
     hits: Counter,
     /// `powersim/cache/misses`.
     misses: Counter,
-    /// `powersim/cache/inserts`: entries that actually landed (a raced
-    /// miss recomputes but does not insert, so inserts ≤ misses).
+    /// `powersim/cache/inserts`: entries that actually landed. A raced
+    /// compute neither inserts nor counts as a miss, so inserts == misses.
     inserts: Counter,
 }
 
@@ -188,7 +191,22 @@ impl SharedSimCache {
         cap_w: f64,
         compute: impl FnOnce() -> SimReport,
     ) -> Arc<SimReport> {
-        let key: CellKey = (iterations, cfg, cap_w.to_bits());
+        self.get_or_insert_with_freq(name, iterations, cfg, cap_w, None, compute)
+    }
+
+    /// [`SharedSimCache::get_or_insert_with`] with an additional DVFS
+    /// frequency-limit knob in the key (`None` = uncapped frequency, the
+    /// same key the frequency-free entry point uses).
+    pub fn get_or_insert_with_freq(
+        &self,
+        name: &str,
+        iterations: usize,
+        cfg: SimConfig,
+        cap_w: f64,
+        freq_limit_ghz: Option<f64>,
+        compute: impl FnOnce() -> SimReport,
+    ) -> Arc<SimReport> {
+        let key: CellKey = (iterations, cfg, cap_w.to_bits(), freq_limit_ghz.map(f64::to_bits));
         let shard = self.shard(name);
         if let Some(rep) = shard.lock().get(name).and_then(|per| per.get(&key)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -199,27 +217,36 @@ impl SharedSimCache {
             return Arc::clone(rep);
         }
         let rep = Arc::new(compute());
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        if let Some(m) = self.metrics.get() {
-            m.misses.inc();
-        }
-        self.trace_lookup(name, false);
         let mut guard = shard.lock();
         let per_region = match guard.get_mut(name) {
             Some(per) => per,
             None => guard.entry(Arc::from(name)).or_default(),
         };
         // Keep the first insert if another thread raced us here; both
-        // computed the same deterministic report.
-        match per_region.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
-            std::collections::hash_map::Entry::Vacant(v) => {
-                if let Some(m) = self.metrics.get() {
-                    m.inserts.inc();
-                }
-                Arc::clone(v.insert(rep))
+        // computed the same deterministic report. Only the landing insert
+        // counts as a miss — the loser used the winner's value, so its
+        // lookup counts as a (late) hit. This keeps the miss counter equal
+        // to the number of distinct cells resolved, independent of thread
+        // interleaving: parallel sweeps report the same misses as serial.
+        let (result, landed) = match per_region.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+            std::collections::hash_map::Entry::Vacant(v) => (Arc::clone(v.insert(rep)), true),
+        };
+        drop(guard);
+        if landed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = self.metrics.get() {
+                m.misses.inc();
+                m.inserts.inc();
+            }
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = self.metrics.get() {
+                m.hits.inc();
             }
         }
+        self.trace_lookup(name, !landed);
+        result
     }
 }
 
@@ -316,6 +343,28 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.lookups(), 8);
         assert!(stats.misses >= 1);
+    }
+
+    #[test]
+    fn frequency_limits_key_separately_from_the_capless_entry() {
+        use crate::exec::simulate_region_at_freq;
+        let m = Machine::crill();
+        let cache = SharedSimCache::new(&m.name);
+        let r = region("a");
+        let cfg = SimConfig { threads: 8, schedule: Schedule::static_block() };
+        cache.get_or_insert_with(&r.name, r.iterations, cfg, 85.0, || {
+            simulate_region(&m, 85.0, &r, cfg)
+        });
+        // The frequency-free entry point and an explicit `None` limit
+        // share one cell...
+        cache.get_or_insert_with_freq(&r.name, r.iterations, cfg, 85.0, None, || {
+            panic!("must not recompute")
+        });
+        // ...while each frequency limit is its own cell.
+        cache.get_or_insert_with_freq(&r.name, r.iterations, cfg, 85.0, Some(2.1), || {
+            simulate_region_at_freq(&m, 85.0, &r, cfg, Some(2.1))
+        });
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Result<String, serde_json::Error
                 ev.args.insert("energy_j".to_string(), *energy_j);
                 events.push(ev);
             }
-            TraceEvent::OverheadCharged { region, config_change_s, instrumentation_s } => {
+            TraceEvent::OverheadCharged { region, config_change_s, instrumentation_s, .. } => {
                 let dur = config_change_s + instrumentation_s;
                 let mut ev = complete(format!("overhead:{region}"), "overhead", t, dur);
                 ev.args.insert("config_change_s".to_string(), *config_change_s);
@@ -86,6 +86,7 @@ mod tests {
                     energy_j: 2.0,
                     busy_s: 0.3,
                     barrier_s: 0.05,
+                    objective_value: None,
                 },
             ),
             record(
@@ -95,6 +96,7 @@ mod tests {
                     region: "r".into(),
                     config_change_s: 0.008,
                     instrumentation_s: 0.0001,
+                    energy_j: 0.0,
                 },
             ),
             record(3, Some(0.7), TraceEvent::PowerSample { power_w: 80.0, energy_total_j: 9.0 }),

@@ -1,12 +1,14 @@
 //! The typed event taxonomy and the versioned record envelope.
 
+use crate::Objective;
 use serde::{Deserialize, Serialize};
 
 /// Version of the serialized record layout. Bump on ANY change to
-/// [`TraceRecord`] or [`TraceEvent`] — consumers refuse records from a
-/// different version instead of silently misreading them (see
+/// [`TraceRecord`] or [`TraceEvent`] — readers accept every version from
+/// 1 up to this one (new fields carry serde defaults) and refuse newer or
+/// nonsensical versions instead of silently misreading them (see
 /// [`crate::validate_jsonl`]).
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One vertex of a search strategy's candidate set (a Nelder–Mead simplex
 /// vertex, a PRO population member), as captured in
@@ -15,7 +17,8 @@ pub const SCHEMA_VERSION: u32 = 2;
 pub struct SearchCandidate {
     /// Grid point in the tuner's index space.
     pub point: Vec<usize>,
-    /// Objective value measured at `point` (region time, seconds).
+    /// Objective value measured at `point` (seconds under the default
+    /// `Time` objective).
     pub value: f64,
 }
 
@@ -33,8 +36,18 @@ pub enum TraceEvent {
     /// backend cannot attribute energy). `busy_s`/`barrier_s` are the
     /// per-thread loop-body and barrier-wait sums (OMPT `OpenMP_LOOP` /
     /// `OpenMP_BARRIER`), so per-region profiles are reconstructible from
-    /// the trace alone.
-    RegionEnd { region: String, time_s: f64, energy_j: f64, busy_s: f64, barrier_s: f64 },
+    /// the trace alone. `objective_value` (v3) is the invocation's score
+    /// under the run's objective — `None` in untuned runs and in older
+    /// traces.
+    RegionEnd {
+        region: String,
+        time_s: f64,
+        energy_j: f64,
+        busy_s: f64,
+        barrier_s: f64,
+        #[serde(default)]
+        objective_value: Option<f64>,
+    },
     /// Average package power over the last region invocation plus the
     /// cumulative package-energy counter (the RAPL view).
     PowerSample { power_w: f64, energy_total_j: f64 },
@@ -49,19 +62,31 @@ pub enum TraceEvent {
         evaluations: u64,
         /// The point just measured.
         point: Vec<usize>,
-        /// Objective value reported for `point` (seconds).
+        /// Objective value reported for `point`, in the `objective`'s
+        /// unit (seconds under `Time`, the default in pre-v3 traces).
         value: f64,
         best_point: Vec<usize>,
         best_value: f64,
         converged: bool,
         simplex: Vec<SearchCandidate>,
+        /// What the session is minimising (v3; `Time` in older traces).
+        #[serde(default)]
+        objective: Objective,
     },
     /// The tuner moved the global ICVs to a new configuration (§III-C
     /// config-change overhead fires with this).
     ConfigSwitch { region: String, threads: usize, schedule: String },
     /// §III-C overhead charged before a region invocation, split into its
-    /// two components (either may be zero).
-    OverheadCharged { region: String, config_change_s: f64, instrumentation_s: f64 },
+    /// two components (either may be zero). `energy_j` (v3) is the
+    /// package energy drawn over the overhead interval at near-idle
+    /// power, as differenced from the meter (0 in older traces).
+    OverheadCharged {
+        region: String,
+        config_change_s: f64,
+        instrumentation_s: f64,
+        #[serde(default)]
+        energy_j: f64,
+    },
     /// Simulation memo-cache lookup answered from the cache.
     CacheHit { region: String },
     /// Simulation memo-cache lookup that had to simulate.

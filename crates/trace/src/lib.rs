@@ -26,10 +26,12 @@
 
 mod chrome;
 mod event;
+mod objective;
 mod sink;
 
 pub use chrome::{chrome_trace, ChromeEvent};
 pub use event::{SearchCandidate, TraceEvent, TraceRecord, SCHEMA_VERSION};
+pub use objective::Objective;
 pub use sink::{JsonlSink, NullSink, TraceSink, VecSink};
 
 /// Serialize records as one-record-per-line JSONL — the [`JsonlSink`]
@@ -45,8 +47,10 @@ pub fn to_jsonl(records: &[TraceRecord]) -> Result<String, serde_json::Error> {
 
 /// Parse and validate one-record-per-line JSONL produced by a
 /// [`JsonlSink`] (or by [`to_jsonl`]). Every line must be a well-formed
-/// [`TraceRecord`] carrying the current [`SCHEMA_VERSION`]; blank lines
-/// are ignored.
+/// [`TraceRecord`] carrying a schema version the reader understands —
+/// any version from 1 to the current [`SCHEMA_VERSION`] (fields added
+/// since that version take their serde defaults). Blank lines are
+/// ignored.
 pub fn validate_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
     let mut records = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -55,9 +59,9 @@ pub fn validate_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
         }
         let record: TraceRecord = serde_json::from_str(line)
             .map_err(|e| format!("line {}: not a trace record: {e}", lineno + 1))?;
-        if record.schema != SCHEMA_VERSION {
+        if !(1..=SCHEMA_VERSION).contains(&record.schema) {
             return Err(format!(
-                "line {}: schema version {} (reader supports {})",
+                "line {}: schema version {} (reader supports 1..={})",
                 lineno + 1,
                 record.schema,
                 SCHEMA_VERSION
@@ -86,6 +90,7 @@ mod tests {
                 energy_j: 1.1,
                 busy_s: 0.17,
                 barrier_s: 0.022,
+                objective_value: Some(0.012),
             },
             TraceEvent::PowerSample { power_w: 81.5, energy_total_j: 42.0 },
             TraceEvent::CapChange { requested_w: 80.0, effective_w: 80.0 },
@@ -101,6 +106,7 @@ mod tests {
                     SearchCandidate { point: vec![3, 1, 4], value: 0.013 },
                     SearchCandidate { point: vec![3, 0, 4], value: 0.011 },
                 ],
+                objective: Objective::Time,
             },
             TraceEvent::ConfigSwitch {
                 region: "sp/x_solve".into(),
@@ -111,6 +117,7 @@ mod tests {
                 region: "sp/x_solve".into(),
                 config_change_s: 0.008,
                 instrumentation_s: 0.000_04,
+                energy_j: 0.24,
             },
             TraceEvent::CacheHit { region: "sp/x_solve".into() },
             TraceEvent::CacheMiss { region: "sp/y_solve".into() },
@@ -139,11 +146,21 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].seq, 0);
 
+        // Older (but real) schema versions still parse: new fields take
+        // their serde defaults.
+        let older = jsonl
+            .replace(&format!("\"schema\":{SCHEMA_VERSION}"), "\"schema\":2")
+            .replacen("\"schema\":2", "\"schema\":1", 1);
+        let old_records = validate_jsonl(&older).expect("v1/v2 records stay readable");
+        assert_eq!(old_records.len(), 2);
+
         let foreign = jsonl.replace(
             &format!("\"schema\":{SCHEMA_VERSION}"),
             &format!("\"schema\":{}", SCHEMA_VERSION + 1),
         );
         assert!(validate_jsonl(&foreign).unwrap_err().contains("schema version"));
+        let zero = jsonl.replace(&format!("\"schema\":{SCHEMA_VERSION}"), "\"schema\":0");
+        assert!(validate_jsonl(&zero).unwrap_err().contains("schema version"));
     }
 
     #[test]
@@ -215,6 +232,7 @@ mod tests {
                 energy_j: 1.0,
                 busy_s: 0.07,
                 barrier_s: 0.01,
+                objective_value: None,
             },
         );
         let json = chrome_trace(&sink.drain()).unwrap();
@@ -230,11 +248,14 @@ mod tests {
 
     #[test]
     fn schema_version_is_stable() {
-        // Bumping SCHEMA_VERSION is a conscious act: it invalidates every
-        // stored trace. If this assertion fails you changed the record
-        // layout — bump the version AND this test together. (v1 → v2:
-        // RegionEnd gained `busy_s`/`barrier_s`.)
-        assert_eq!(SCHEMA_VERSION, 2);
+        // Bumping SCHEMA_VERSION is a conscious act: readers keep
+        // accepting every older version via serde defaults, but writers
+        // must never reuse a number. If this assertion fails you changed
+        // the record layout — bump the version AND this test together.
+        // (v1 → v2: RegionEnd gained `busy_s`/`barrier_s`. v2 → v3:
+        // SearchIteration gained `objective`, RegionEnd
+        // `objective_value`, OverheadCharged `energy_j`.)
+        assert_eq!(SCHEMA_VERSION, 3);
         let record = TraceRecord {
             schema: SCHEMA_VERSION,
             seq: 3,
@@ -242,6 +263,6 @@ mod tests {
             event: TraceEvent::CacheHit { region: "r".into() },
         };
         let json = serde_json::to_string(&record).unwrap();
-        assert_eq!(json, r#"{"schema":2,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
+        assert_eq!(json, r#"{"schema":3,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
     }
 }

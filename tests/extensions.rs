@@ -1,9 +1,10 @@
 //! Integration tests for the beyond-the-paper extensions: DVFS, the suite
 //! extremes (CG/EP/MG), measurement noise, and the profiler.
 
-use arcs::dvfs::{tune_region, DvfsSpace, Objective};
-use arcs::{runs, ConfigSpace, OmpConfig, RegionTuner, SimExecutor, TunerOptions};
-use arcs_harmony::StrategyKind;
+use arcs::dvfs::{tune_region, Objective};
+use arcs::{
+    runs, ConfigSpace, OmpConfig, RegionTuner, SimExecutor, TunableSpace, TunerOptions, TuningMode,
+};
 use arcs_kernels::{model, Class};
 use arcs_powersim::Machine;
 
@@ -52,10 +53,10 @@ fn mg_selective_tuning_contains_the_multiscale_pathology() {
 fn dvfs_energy_objective_buys_real_energy() {
     let m = Machine::crill();
     let wl = model::sp(Class::B);
-    let space = DvfsSpace::for_machine(&m, 4);
+    let space = TunableSpace::with_dvfs(&m, 4);
     let region = wl.step.iter().find(|r| r.name.ends_with("x_solve")).unwrap();
-    let t = tune_region(&m, 115.0, region, &space, Objective::Time, StrategyKind::exhaustive());
-    let e = tune_region(&m, 115.0, region, &space, Objective::Energy, StrategyKind::exhaustive());
+    let t = tune_region(&m, 115.0, region, &space, Objective::Time, TuningMode::OfflineTrain);
+    let e = tune_region(&m, 115.0, region, &space, Objective::Energy, TuningMode::OfflineTrain);
     assert!(e.report.energy_j < t.report.energy_j * 0.95, "energy objective must save ≥5%");
     assert!(t.config.freq_ghz.is_none(), "time objective must not clamp");
     assert!(e.config.freq_ghz.is_some(), "energy objective should clamp");

@@ -23,11 +23,10 @@ fn tiny_space(default_threads: usize) -> ConfigSpace {
 }
 
 fn online_options(threads: usize) -> TunerOptions {
-    TunerOptions {
-        space: tiny_space(threads),
-        mode: TuningMode::Online(NmOptions { max_evals: 40, ..NmOptions::default() }),
-        min_region_time_s: 0.0,
-    }
+    TunerOptions::new(
+        tiny_space(threads),
+        TuningMode::Online(NmOptions { max_evals: 40, ..NmOptions::default() }),
+    )
 }
 
 /// BT keeps converging to the manufactured solution while ARCS retunes it
@@ -129,11 +128,7 @@ fn live_history_drives_replay() {
     let rt2 = Arc::new(Runtime::new(2));
     let _replay = ArcsLive::attach(
         Arc::clone(&rt2),
-        TunerOptions {
-            space: tiny_space(2),
-            mode: TuningMode::OfflineReplay(history),
-            min_region_time_s: 0.0,
-        },
+        TunerOptions::new(tiny_space(2), TuningMode::OfflineReplay(history)),
     );
     let region2 = rt2.register_region("live/replayable");
     let rec = rt2.parallel_for(region2, 0..128, |_| {});

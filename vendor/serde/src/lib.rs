@@ -111,6 +111,25 @@ pub fn map_field<T: Deserialize>(v: &Value, type_name: &str, name: &str) -> Resu
     }
 }
 
+/// Like [`map_field`], but a missing key yields `Default::default()` —
+/// the behaviour of `#[serde(default)]`, used for fields added in newer
+/// schema versions so older artefacts keep deserialising.
+pub fn map_field_or_default<T: Deserialize + Default>(
+    v: &Value,
+    type_name: &str,
+    name: &str,
+) -> Result<T, Error> {
+    match v {
+        Value::Map(_) => match v.get(name) {
+            Some(field) => {
+                T::from_value(field).map_err(|e| Error::custom(format!("{type_name}.{name}: {e}")))
+            }
+            None => Ok(T::default()),
+        },
+        other => Err(Error::custom(format!("expected map for {type_name}, found {other:?}"))),
+    }
+}
+
 /// Extract and deserialise element `idx` of a sequence value (tuple
 /// structs / tuple variants with more than one field).
 pub fn seq_elem<T: Deserialize>(v: &Value, type_name: &str, idx: usize) -> Result<T, Error> {

@@ -9,18 +9,25 @@
 //! * enums with unit variants, single-payload tuple variants, and struct
 //!   variants — serialised in serde's externally-tagged layout.
 //!
-//! `#[serde(...)]` attributes are NOT supported (none exist in the
-//! workspace); any attribute groups are skipped during parsing.
+//! Two `#[serde(...)]` attributes are supported, on named fields and on
+//! unit enum variants — exactly what the workspace uses:
+//!
+//! * `#[serde(default)]` — a missing field deserialises to
+//!   `Default::default()` instead of erroring (serialisation still always
+//!   writes the field);
+//! * `#[serde(rename = "...")]` — the serialized key / variant string.
+//!
+//! Any other attribute group is skipped during parsing.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item).parse().expect("generated Serialize impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
@@ -38,8 +45,8 @@ struct Item {
 }
 
 enum Body {
-    /// Named-field struct: field names in declaration order.
-    Struct(Vec<String>),
+    /// Named-field struct: fields in declaration order.
+    Struct(Vec<Field>),
     /// Tuple struct: field count.
     Tuple(usize),
     /// Unit struct.
@@ -49,15 +56,42 @@ enum Body {
 
 struct Variant {
     name: String,
+    attrs: SerdeAttrs,
     payload: Payload,
+}
+
+impl Variant {
+    /// The serialized spelling: `rename` if given, else the Rust name.
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
 }
 
 enum Payload {
     Unit,
     /// Tuple payload with this many fields.
     Tuple(usize),
-    /// Struct payload: field names.
-    Struct(Vec<String>),
+    /// Struct payload: named fields.
+    Struct(Vec<Field>),
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+impl Field {
+    /// The serialized key: `rename` if given, else the field name.
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// The supported subset of `#[serde(...)]` options.
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    rename: Option<String>,
 }
 
 // ---------------------------------------------------------------------------
@@ -67,7 +101,7 @@ enum Payload {
 fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
-    skip_attrs_and_vis(&tokens, &mut i);
+    let _ = collect_attrs(&tokens, &mut i);
 
     let kind = match &tokens[i] {
         TokenTree::Ident(id) => id.to_string(),
@@ -109,11 +143,16 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Skip `#[...]` attribute groups (incl. doc comments) and `pub` /
-/// `pub(...)` visibility tokens.
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// `pub(...)` visibility tokens, folding any `#[serde(...)]` options seen
+/// along the way into the returned [`SerdeAttrs`].
+fn collect_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    parse_serde_attr(g.stream(), &mut attrs);
+                }
                 *i += 2; // '#' + bracket group
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -124,8 +163,45 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     }
                 }
             }
-            _ => return,
+            _ => return attrs,
         }
+    }
+}
+
+/// Parse the contents of one `[...]` attribute group; non-`serde` groups
+/// (doc comments, `derive`, ...) are ignored.
+fn parse_serde_attr(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                match &inner[j] {
+                    TokenTree::Ident(opt) if opt.to_string() == "default" => {
+                        attrs.default = true;
+                        j += 1;
+                    }
+                    TokenTree::Ident(opt) if opt.to_string() == "rename" => {
+                        match (inner.get(j + 1), inner.get(j + 2)) {
+                            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                                if eq.as_char() == '=' =>
+                            {
+                                let text = lit.to_string();
+                                attrs.rename = Some(text.trim_matches('"').to_string());
+                            }
+                            other => panic!("expected `rename = \"...\"`, found {other:?}"),
+                        }
+                        j += 3;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+                    other => panic!("unsupported serde attribute option: {other}"),
+                }
+            }
+        }
+        _ => {}
     }
 }
 
@@ -158,15 +234,15 @@ fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
     params
 }
 
-/// Field names of a `{ ... }` struct body, skipping attributes, visibility
-/// and the type after each `:` (tracking `<...>` depth so commas inside
-/// generic types don't split fields).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Fields of a `{ ... }` struct body: name plus collected serde options,
+/// skipping visibility and the type after each `:` (tracking `<...>`
+/// depth so commas inside generic types don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let attrs = collect_attrs(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -174,7 +250,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             TokenTree::Ident(id) => id.to_string(),
             other => panic!("expected field name, found {other}"),
         };
-        fields.push(name);
+        fields.push(Field { name, attrs });
         i += 1;
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
@@ -231,7 +307,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     let mut variants = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let attrs = collect_attrs(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -251,7 +327,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
             }
             _ => Payload::Unit,
         };
-        variants.push(Variant { name, payload });
+        variants.push(Variant { name, attrs, payload });
         // Skip discriminants are unsupported; expect `,` or end.
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
@@ -284,7 +360,13 @@ fn gen_serialize(item: &Item) -> String {
         Body::Struct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))", f))
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{}))",
+                        f.key(),
+                        f.name
+                    )
+                })
                 .collect();
             format!("::serde::Value::Map(vec![{}])", entries.join(", "))
         }
@@ -301,12 +383,13 @@ fn gen_serialize(item: &Item) -> String {
                 .iter()
                 .map(|v| {
                     let vn = &v.name;
+                    let vk = v.key();
                     match &v.payload {
                         Payload::Unit => format!(
-                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                            "{name}::{vn} => ::serde::Value::Str({vk:?}.to_string()),"
                         ),
                         Payload::Tuple(1) => format!(
-                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![({vk:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
                         ),
                         Payload::Tuple(n) => {
                             let pats: Vec<String> =
@@ -315,24 +398,28 @@ fn gen_serialize(item: &Item) -> String {
                                 .map(|k| format!("::serde::Serialize::to_value(f{k})"))
                                 .collect();
                             format!(
-                                "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![({vk:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),",
                                 pats.join(", "),
                                 elems.join(", ")
                             )
                         }
                         Payload::Struct(fields) => {
-                            let pats = fields.join(", ");
+                            let pats: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
                                     format!(
-                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                        "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                                        f.key(),
+                                        f.name
                                     )
                                 })
                                 .collect();
                             format!(
-                                "{name}::{vn} {{ {pats} }} => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Map(vec![{}]))]),",
-                                entries.join(", ")
+                                "{name}::{vn} {{ {pats} }} => ::serde::Value::Map(vec![({vk:?}.to_string(), ::serde::Value::Map(vec![{entries}]))]),",
+                                pats = pats.join(", "),
+                                entries = entries.join(", ")
                             )
                         }
                     }
@@ -349,15 +436,23 @@ fn gen_serialize(item: &Item) -> String {
     )
 }
 
+/// One `name: ::serde::map_field*(src, "Type", "key")?` struct-field
+/// initialiser; `#[serde(default)]` fields tolerate a missing key.
+fn field_init(f: &Field, type_name: &str, src: &str) -> String {
+    let helper = if f.attrs.default { "map_field_or_default" } else { "map_field" };
+    format!(
+        "{fname}: ::serde::{helper}({src}, {type_name:?}, {key:?})?",
+        fname = f.name,
+        key = f.key()
+    )
+}
+
 fn gen_deserialize(item: &Item) -> String {
     let (params, ty) = impl_header(item, "::serde::Deserialize");
     let name = &item.name;
     let body = match &item.body {
         Body::Struct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::map_field(v, {name:?}, {f:?})?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, name, "v")).collect();
             format!("::core::result::Result::Ok({name} {{ {} }})", inits.join(", "))
         }
         Body::Tuple(1) => {
@@ -374,17 +469,22 @@ fn gen_deserialize(item: &Item) -> String {
                 .iter()
                 .filter(|v| matches!(v.payload, Payload::Unit))
                 .map(|v| {
-                    format!("{vn:?} => ::core::result::Result::Ok({name}::{vn}),", vn = v.name)
+                    format!(
+                        "{vk:?} => ::core::result::Result::Ok({name}::{vn}),",
+                        vk = v.key(),
+                        vn = v.name
+                    )
                 })
                 .collect();
             let payload_arms: Vec<String> = variants
                 .iter()
                 .filter_map(|v| {
                     let vn = &v.name;
+                    let vk = v.key();
                     match &v.payload {
                         Payload::Unit => None,
                         Payload::Tuple(1) => Some(format!(
-                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(val)?)),"
+                            "{vk:?} => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(val)?)),"
                         )),
                         Payload::Tuple(n) => {
                             let elems: Vec<String> = (0..*n)
@@ -393,21 +493,17 @@ fn gen_deserialize(item: &Item) -> String {
                                 })
                                 .collect();
                             Some(format!(
-                                "{vn:?} => ::core::result::Result::Ok({name}::{vn}({})),",
+                                "{vk:?} => ::core::result::Result::Ok({name}::{vn}({})),",
                                 elems.join(", ")
                             ))
                         }
                         Payload::Struct(fields) => {
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::map_field(val, {name:?}, {f:?})?"
-                                    )
-                                })
+                                .map(|f| field_init(f, name, "val"))
                                 .collect();
                             Some(format!(
-                                "{vn:?} => ::core::result::Result::Ok({name}::{vn} {{ {} }}),",
+                                "{vk:?} => ::core::result::Result::Ok({name}::{vn} {{ {} }}),",
                                 inits.join(", ")
                             ))
                         }
