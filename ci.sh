@@ -83,3 +83,28 @@ if cargo run --release -q -p arcs-bench --bin arcs-sim -- \
     echo "objective compare gate failed to flag an EDP regression" >&2
     exit 1
 fi
+
+# Chaos smoke: the paper-facing fault scenario (ARCS-Online LULESH at
+# 60 W under flaky-rapl) must self-heal and complete (--check exits
+# nonzero if no fault fired), and the fault schedule is part of the
+# determinism contract — the injected count is pinned.
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    chaos --workload lulesh --cap 60 --plan flaky-rapl --seed 7 \
+    --timesteps 40 --check | tee "$trace_tmp/chaos.txt"
+grep -q "injected 216 fault(s)" "$trace_tmp/chaos.txt"
+# The negative contract must also *fire*: without an error budget a
+# hard RAPL outage is a typed run error, so the command exits nonzero.
+if cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    chaos --workload sp.B --cap 70 --plan rapl-outage --seed 3 \
+    --timesteps 20 --budget none > /dev/null 2>&1; then
+    echo "unbudgeted rapl-outage failed to surface as an error" >&2
+    exit 1
+fi
+# Determinism: two same-seed chaos runs must write byte-identical traces.
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    chaos --workload lulesh --cap 60 --plan flaky-rapl --seed 7 \
+    --timesteps 40 --out "$trace_tmp/chaos_a.jsonl" > /dev/null
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    chaos --workload lulesh --cap 60 --plan flaky-rapl --seed 7 \
+    --timesteps 40 --out "$trace_tmp/chaos_b.jsonl" > /dev/null
+cmp "$trace_tmp/chaos_a.jsonl" "$trace_tmp/chaos_b.jsonl"

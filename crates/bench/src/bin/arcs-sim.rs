@@ -26,6 +26,19 @@
 //!   --chrome PATH               also export a Chrome trace (chrome://tracing)
 //!   --check                     re-validate the emitted JSONL against the schema
 //!
+//! arcs-sim chaos [options]      run a workload under a named fault plan
+//!   --workload APP[.CLASS]      bt | sp | lulesh (default lulesh)
+//!   --machine crill|minotaur    (default crill)
+//!   --cap WATTS                 package power cap (default TDP)
+//!   --plan NAME                 flaky-rapl | rapl-outage | cap-storm
+//!   --seed N                    fault-plan seed (default 0)
+//!   --timesteps N               override the workload's step count
+//!   --budget N|none             hard-fault error budget (default 16;
+//!                               `none` makes hard faults run errors)
+//!   --out PATH                  write the run's trace JSONL here
+//!   --check                     exit nonzero unless the run completed
+//!                               (ok or degraded) with ≥1 injected fault
+//!
 //! arcs-sim report <trace.jsonl> [options]     analyse a recorded trace
 //!   --format table|json|md      output format (default table)
 //!   --objective time|energy|edp rank regions by this objective (default: the
@@ -50,13 +63,14 @@
 //! ```
 
 use arcs::{
-    runs, ConfigSpace, Objective, OmpConfig, RegionTuner, Runner, SimExecutor, TunerOptions,
-    TuningMode,
+    runs, ConfigSpace, Objective, OmpConfig, RegionTuner, ResilienceOptions, RunStatus, Runner,
+    SimExecutor, TunerOptions, TuningMode,
 };
 use arcs_harmony::{History, NmOptions, ProOptions};
 use arcs_kernels::{model, Class};
-use arcs_powersim::{Machine, WorkloadDescriptor};
-use arcs_trace::{chrome_trace, to_jsonl, validate_jsonl, VecSink};
+use arcs_powersim::{FaultPlan, Machine, WorkloadDescriptor};
+use arcs_trace::{chrome_trace, to_jsonl, validate_jsonl, TraceEvent, VecSink};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
@@ -354,6 +368,177 @@ fn trace_main(argv: &[String]) {
     }
 }
 
+fn chaos_usage() -> ! {
+    eprintln!(
+        "usage: arcs-sim chaos [--workload APP[.CLASS]] [--machine crill|minotaur] \
+         [--cap WATTS] [--plan {}] [--seed N] [--timesteps N] \
+         [--budget N|none] [--out PATH] [--check]",
+        FaultPlan::names().join("|")
+    );
+    exit(2)
+}
+
+/// `arcs-sim chaos`: run one workload under a named deterministic fault
+/// plan with the standard self-healing preset, and report what was
+/// injected and how the run recovered.
+fn chaos_main(argv: &[String]) {
+    let mut workload_spec = "lulesh".to_string();
+    let mut machine = Machine::crill();
+    let mut cap: Option<f64> = None;
+    let mut plan_name = "flaky-rapl".to_string();
+    let mut seed: u64 = 0;
+    let mut timesteps: Option<usize> = None;
+    let mut budget: Option<Option<u64>> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut check = false;
+
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                chaos_usage()
+            })
+        };
+        match flag.as_str() {
+            "--workload" => workload_spec = value("--workload"),
+            "--machine" => {
+                machine = match value("--machine").as_str() {
+                    "crill" => Machine::crill(),
+                    "minotaur" => Machine::minotaur(),
+                    other => {
+                        eprintln!("unknown machine {other}");
+                        chaos_usage()
+                    }
+                }
+            }
+            "--cap" => cap = Some(value("--cap").parse().unwrap_or_else(|_| chaos_usage())),
+            "--plan" => plan_name = value("--plan"),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| chaos_usage()),
+            "--timesteps" => {
+                timesteps = Some(value("--timesteps").parse().unwrap_or_else(|_| chaos_usage()))
+            }
+            "--budget" => {
+                let v = value("--budget");
+                budget = Some(if v == "none" {
+                    None
+                } else {
+                    Some(v.parse().unwrap_or_else(|_| chaos_usage()))
+                });
+            }
+            "--out" => out = Some(value("--out").into()),
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                chaos_usage()
+            }
+        }
+    }
+
+    let (app, class) = workload_spec.split_once('.').unwrap_or((workload_spec.as_str(), "B"));
+    let class = match class {
+        "S" => Class::S,
+        "W" => Class::W,
+        "A" => Class::A,
+        "B" => Class::B,
+        "C" => Class::C,
+        other => {
+            eprintln!("unknown class {other}");
+            chaos_usage()
+        }
+    };
+    let mut wl = match app {
+        "bt" => model::bt(class),
+        "sp" => model::sp(class),
+        "lulesh" => model::lulesh(45),
+        other => {
+            eprintln!("unknown workload {other}");
+            chaos_usage()
+        }
+    };
+    if let Some(t) = timesteps {
+        wl.timesteps = t;
+    }
+
+    let Some(plan) = FaultPlan::by_name(&plan_name, seed) else {
+        eprintln!("unknown fault plan {plan_name} (have: {})", FaultPlan::names().join(", "));
+        chaos_usage()
+    };
+    let mut res = ResilienceOptions::standard();
+    if let Some(b) = budget {
+        res.error_budget = b;
+    }
+
+    let cap = cap.unwrap_or(machine.power.tdp_w);
+    let space = ConfigSpace::for_machine(&machine);
+    let sink = Arc::new(VecSink::new());
+    let mut exec = SimExecutor::new(machine.clone(), cap).with_trace(sink.clone());
+    let mut tuner =
+        RegionTuner::new(TunerOptions::new(space, TuningMode::Online(NmOptions::default())));
+    let run = Runner::new(&mut exec)
+        .workload(&wl)
+        .tuner(&mut tuner)
+        .label("arcs-online-chaos")
+        .faults(plan)
+        .resilience(res)
+        .run();
+
+    let records = sink.drain();
+    if let Some(path) = &out {
+        let jsonl = to_jsonl(&records).unwrap_or_else(|e| {
+            eprintln!("cannot serialise trace: {e}");
+            exit(1)
+        });
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("cannot write {path:?}: {e}");
+            exit(1)
+        }
+        eprintln!("{} trace records written to {path:?}", records.len());
+    }
+
+    let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    for r in &records {
+        if let TraceEvent::FaultInjected { kind, .. } = &r.event {
+            *by_kind.entry(kind.clone()).or_default() += 1;
+        }
+    }
+    let injected: u64 = by_kind.values().sum();
+
+    println!("chaos: {} on {} at {cap:.0}W under {plan_name} (seed {seed})", wl.name, machine.name);
+    let breakdown = by_kind.iter().map(|(k, n)| format!("{k} {n}")).collect::<Vec<_>>().join(", ");
+    println!(
+        "injected {injected} fault(s){}",
+        if breakdown.is_empty() { String::new() } else { format!(" ({breakdown})") }
+    );
+
+    let report = match run {
+        Ok(report) => report,
+        Err(e) => {
+            println!("run FAILED: {e}");
+            exit(1)
+        }
+    };
+    let f = &report.faults;
+    println!(
+        "recovered: {} meter retries, {} hard faults absorbed, {} measurements rejected, \
+         {} search restarts, {} regions frozen",
+        f.meter_retries, f.hard_faults, f.rejected, f.restarts, f.frozen_regions
+    );
+    println!("status {}: {:.2}s, {:.0}J", report.status, report.time_s, report.energy_j);
+
+    if check {
+        if injected == 0 {
+            eprintln!("chaos CHECK FAILED: the plan injected no faults");
+            exit(1)
+        }
+        eprintln!(
+            "chaos OK: {injected} faults injected, run completed {} (status {})",
+            if report.status == RunStatus::Degraded { "degraded" } else { "cleanly" },
+            report.status
+        );
+    }
+}
+
 fn report_usage() -> ! {
     eprintln!(
         "usage: arcs-sim report <trace.jsonl> [--format table|json|md] \
@@ -514,6 +699,11 @@ fn main() {
     if first.as_deref() == Some("trace") {
         let argv: Vec<String> = std::env::args().skip(2).collect();
         trace_main(&argv);
+        return;
+    }
+    if first.as_deref() == Some("chaos") {
+        let argv: Vec<String> = std::env::args().skip(2).collect();
+        chaos_main(&argv);
         return;
     }
     if first.as_deref() == Some("report") {

@@ -39,12 +39,16 @@
 //! untraced path allocates nothing.
 
 use crate::config::OmpConfig;
-use crate::report::{AppRunReport, RegionSummary};
+use crate::report::{AppRunReport, FaultRecovery, RegionSummary, RunStatus};
+use crate::resilience::ResilienceOptions;
 use crate::tunable::TunedConfig;
 use crate::tuner::{RegionTuner, TunerOptions, TuningMode};
 use arcs_harmony::History;
 use arcs_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-use arcs_powersim::{CacheBindError, Machine, RegionModel, SharedSimCache, WorkloadDescriptor};
+use arcs_powersim::{
+    CacheBindError, FaultPlan, Machine, MeasureError, RegionModel, SharedSimCache,
+    WorkloadDescriptor,
+};
 use arcs_trace::{Objective, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -120,8 +124,15 @@ pub trait Backend {
     /// Cumulative package energy since [`begin_run`](Backend::begin_run),
     /// joules. The driver differences this meter around every invocation
     /// and overhead charge, so sampling must be idempotent (no time
-    /// advance).
-    fn energy_j(&mut self) -> f64;
+    /// advance). Reads are fallible: with an attached [`FaultPlan`] a
+    /// backend returns [`MeasureError`] instead of a value — the driver's
+    /// resilience layer decides whether to retry, absorb or abort.
+    fn energy_j(&mut self) -> Result<f64, MeasureError>;
+
+    /// Attach a deterministic fault plan: subsequent meter reads and
+    /// region invocations are perturbed per the plan's seeded schedule.
+    /// The default ignores the plan (the backend is then fault-free).
+    fn attach_faults(&mut self, _plan: FaultPlan) {}
 
     /// Introspection hook, called once per invocation after energy
     /// sampling (the simulator routes this into APEX). Default: no-op.
@@ -177,6 +188,9 @@ pub enum RunError {
     CacheUnsupported,
     /// [`Runner::train`] needs [`TuningMode::OfflineTrain`] options.
     NotOfflineTrain,
+    /// A package-meter read failed past the retry budget and no error
+    /// budget was configured to absorb it.
+    Measure(MeasureError),
 }
 
 impl fmt::Display for RunError {
@@ -190,6 +204,9 @@ impl fmt::Display for RunError {
             RunError::NotOfflineTrain => {
                 write!(f, "training requires TuningMode::OfflineTrain options")
             }
+            RunError::Measure(e) => {
+                write!(f, "unrecoverable measurement failure: {e}")
+            }
         }
     }
 }
@@ -198,6 +215,7 @@ impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunError::CacheBind(e) => Some(e),
+            RunError::Measure(e) => Some(e),
             _ => None,
         }
     }
@@ -206,6 +224,12 @@ impl std::error::Error for RunError {
 impl From<CacheBindError> for RunError {
     fn from(e: CacheBindError) -> Self {
         RunError::CacheBind(e)
+    }
+}
+
+impl From<MeasureError> for RunError {
+    fn from(e: MeasureError) -> Self {
+        RunError::Measure(e)
     }
 }
 
@@ -244,6 +268,8 @@ pub struct Runner<'a, B: Backend> {
     metrics: Option<Arc<MetricsRegistry>>,
     cache: Option<Arc<SharedSimCache>>,
     label: Option<String>,
+    faults: Option<FaultPlan>,
+    resilience: Option<ResilienceOptions>,
 }
 
 impl<'a, B: Backend> Runner<'a, B> {
@@ -257,6 +283,8 @@ impl<'a, B: Backend> Runner<'a, B> {
             metrics: None,
             cache: None,
             label: None,
+            faults: None,
+            resilience: None,
         }
     }
 
@@ -329,6 +357,23 @@ impl<'a, B: Backend> Runner<'a, B> {
         self
     }
 
+    /// Attach a deterministic fault plan to the backend before running
+    /// (see [`FaultPlan`]): meter reads and region invocations are
+    /// perturbed per the plan's seeded schedule.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Configure the self-healing ladder (retry, outlier rejection,
+    /// restart, degradation) the driver and any attached tuner apply.
+    /// Without this, faults surface raw: a failed meter read is a
+    /// [`RunError::Measure`].
+    pub fn resilience(mut self, options: ResilienceOptions) -> Self {
+        self.resilience = Some(options);
+        self
+    }
+
     fn prepare(&mut self) -> Result<&'a WorkloadDescriptor, RunError> {
         if let Some(cache) = self.cache.take() {
             self.backend.bind_shared_cache(cache)?;
@@ -338,6 +383,9 @@ impl<'a, B: Backend> Runner<'a, B> {
         }
         if let Some(registry) = self.metrics.take() {
             self.backend.attach_metrics(registry);
+        }
+        if let Some(plan) = self.faults.take() {
+            self.backend.attach_faults(plan);
         }
         self.workload.ok_or(RunError::MissingWorkload)
     }
@@ -350,17 +398,25 @@ impl<'a, B: Backend> Runner<'a, B> {
             RunnerStrategy::Default => {
                 let cfg = OmpConfig::default_for(b.machine());
                 let label = self.label.as_deref().unwrap_or("default");
-                Ok(drive_fixed(b, wl, &|_| cfg, label, self.objective.unwrap_or_default()))
+                drive_fixed(
+                    b,
+                    wl,
+                    &|_| cfg,
+                    label,
+                    self.objective.unwrap_or_default(),
+                    self.resilience,
+                )
             }
             RunnerStrategy::Fixed { config_for, label } => {
                 let label = self.label.unwrap_or(label);
-                Ok(drive_fixed(
+                drive_fixed(
                     b,
                     wl,
                     config_for.as_ref(),
                     &label,
                     self.objective.unwrap_or_default(),
-                ))
+                    self.resilience,
+                )
             }
             RunnerStrategy::Tuner(tuner) => {
                 if let Some(objective) = self.objective {
@@ -374,8 +430,11 @@ impl<'a, B: Backend> Runner<'a, B> {
                 if let Some(registry) = b.metrics() {
                     tuner.set_metrics(Arc::clone(registry));
                 }
+                if let Some(res) = self.resilience {
+                    tuner.set_resilience(res);
+                }
                 let label = self.label.as_deref().unwrap_or("arcs");
-                Ok(drive_tuned(b, wl, tuner, label))
+                drive_tuned(b, wl, tuner, label, self.resilience)
             }
         }
     }
@@ -409,11 +468,14 @@ impl<'a, B: Backend> Runner<'a, B> {
         if let Some(registry) = b.metrics() {
             tuner.set_metrics(Arc::clone(registry));
         }
+        if let Some(res) = self.resilience {
+            tuner.set_resilience(res);
+        }
         // Bound the number of training executions defensively; each pass
         // offers `timesteps` measurements per region against a 252-point
         // space, so a handful of passes always suffices.
         for _pass in 0..64 {
-            let _ = drive_tuned(b, wl, &mut tuner, "arcs-offline-train");
+            let _ = drive_tuned(b, wl, &mut tuner, "arcs-offline-train", self.resilience)?;
             if tuner.converged() {
                 break;
             }
@@ -423,14 +485,86 @@ impl<'a, B: Backend> Runner<'a, B> {
     }
 }
 
+/// The driver's fault-absorbing view of [`Backend::energy_j`]: retries
+/// failed reads with linear §III-C backoff, and past the retry budget
+/// either spends the error budget (answering with the last good value)
+/// or surfaces [`RunError::Measure`]. One `Meter` lives per run; its
+/// counters feed [`FaultRecovery`].
+struct Meter {
+    res: ResilienceOptions,
+    /// Last successfully-read meter value — the stand-in answer for a
+    /// budget-absorbed hard fault.
+    last_j: f64,
+    retries: u64,
+    hard_faults: u64,
+    budget_left: Option<u64>,
+    degraded: bool,
+}
+
+impl Meter {
+    fn new(res: Option<ResilienceOptions>) -> Self {
+        let res = res.unwrap_or_default();
+        Meter {
+            res,
+            last_j: 0.0,
+            retries: 0,
+            hard_faults: 0,
+            budget_left: res.error_budget,
+            degraded: false,
+        }
+    }
+
+    fn read<B: Backend>(&mut self, b: &mut B) -> Result<f64, RunError> {
+        let mut attempts: u32 = 0;
+        loop {
+            match b.energy_j() {
+                Ok(j) => {
+                    self.last_j = j;
+                    return Ok(j);
+                }
+                Err(e) => {
+                    attempts += 1;
+                    if attempts <= self.res.max_read_retries {
+                        self.retries += 1;
+                        // Linear backoff, charged as overhead *energy*
+                        // only: the driver clock does not advance, so
+                        // trace timelines stay comparable to clean runs.
+                        if self.res.retry_backoff_s > 0.0 {
+                            b.charge_overhead(self.res.retry_backoff_s * attempts as f64);
+                        }
+                        continue;
+                    }
+                    self.hard_faults += 1;
+                    return match &mut self.budget_left {
+                        Some(0) => {
+                            self.degraded = true;
+                            Ok(self.last_j)
+                        }
+                        Some(n) => {
+                            *n -= 1;
+                            if *n == 0 {
+                                self.degraded = true;
+                            }
+                            Ok(self.last_j)
+                        }
+                        None => Err(RunError::Measure(e)),
+                    };
+                }
+            }
+        }
+    }
+}
+
 fn drive_fixed<B: Backend>(
     b: &mut B,
     wl: &WorkloadDescriptor,
     config_for: &dyn Fn(&str) -> OmpConfig,
     strategy: &str,
     objective: Objective,
-) -> AppRunReport {
+    res: Option<ResilienceOptions>,
+) -> Result<AppRunReport, RunError> {
     let mut acc = Accum::new(b, wl, strategy, objective);
+    let mut meter = Meter::new(res);
     for _ts in 0..wl.timesteps {
         for region in &wl.step {
             let cfg = TunedConfig::from(config_for(&region.name));
@@ -444,18 +578,19 @@ fn drive_fixed<B: Backend>(
                     },
                 );
             }
-            let e_pre = b.energy_j();
+            let e_pre = meter.read(b)?;
             let run = b.run_region(region, cfg);
-            let e_post = b.energy_j();
+            let e_post = meter.read(b)?;
             let meas = Measurement {
                 time_s: run.time_s,
                 energy_j: e_post - e_pre,
                 features: run.features,
             };
-            acc.region(b, &region.name, cfg, &meas, 0.0, 0.0);
+            let energy_total_j = meter.read(b)?;
+            acc.region(b, &region.name, cfg, &meas, 0.0, 0.0, energy_total_j);
         }
     }
-    acc.finish(b, None)
+    acc.finish(b, None, &mut meter)
 }
 
 fn drive_tuned<B: Backend>(
@@ -463,8 +598,10 @@ fn drive_tuned<B: Backend>(
     wl: &WorkloadDescriptor,
     tuner: &mut RegionTuner,
     strategy: &str,
-) -> AppRunReport {
+    res: Option<ResilienceOptions>,
+) -> Result<AppRunReport, RunError> {
     let mut acc = Accum::new(b, wl, strategy, tuner.objective());
+    let mut meter = Meter::new(res);
     for _ts in 0..wl.timesteps {
         for region in &wl.step {
             let decision = tuner.begin(&region.name);
@@ -494,9 +631,9 @@ fn drive_tuned<B: Backend>(
             // region energy, so the two charge streams telescope to the
             // run total on every backend.
             let overhead_j = if overhead_s > 0.0 {
-                let e0 = b.energy_j();
+                let e0 = meter.read(b)?;
                 b.charge_overhead(overhead_s);
-                b.energy_j() - e0
+                meter.read(b)? - e0
             } else {
                 0.0
             };
@@ -521,9 +658,9 @@ fn drive_tuned<B: Backend>(
                     },
                 );
             }
-            let e_pre = b.energy_j();
+            let e_pre = meter.read(b)?;
             let run = b.run_region(region, decision.config);
-            let e_post = b.energy_j();
+            let e_post = meter.read(b)?;
             let meas = Measurement {
                 time_s: run.time_s,
                 energy_j: e_post - e_pre,
@@ -533,10 +670,18 @@ fn drive_tuned<B: Backend>(
             // APEX timer and the differenced package meter — scored by its
             // objective.
             tuner.end_measured(&region.name, meas.time_s, meas.energy_j);
-            acc.region(b, &region.name, decision.config, &meas, change_s, instr_s);
+            let energy_total_j = meter.read(b)?;
+            acc.region(b, &region.name, decision.config, &meas, change_s, instr_s, energy_total_j);
+            // Error budget exhausted: freeze every region to its
+            // best-known configuration and ride the run out (final rung
+            // of the degradation ladder — the run completes `Degraded`
+            // rather than erroring).
+            if meter.degraded && !tuner.degraded() {
+                tuner.freeze_all();
+            }
         }
     }
-    acc.finish(b, Some(tuner))
+    acc.finish(b, Some(tuner), &mut meter)
 }
 
 /// Driver-level handles resolved once per run from the backend's
@@ -604,6 +749,7 @@ impl Accum {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn region<B: Backend>(
         &mut self,
         b: &mut B,
@@ -612,6 +758,7 @@ impl Accum {
         meas: &Measurement,
         change_s: f64,
         instr_s: f64,
+        energy_total_j: f64,
     ) {
         let overhead_s = change_s + instr_s;
         self.time_s += meas.time_s + overhead_s;
@@ -638,7 +785,6 @@ impl Accum {
         entry.l3_miss_rate += (meas.features.l3_miss_rate - entry.l3_miss_rate) / k;
         entry.final_config = Some(cfg.omp);
 
-        let energy_total_j = b.energy_j();
         b.record_sample(name, meas.time_s, energy_total_j);
         if let Some(sink) = &self.sink {
             sink.record(
@@ -664,19 +810,36 @@ impl Accum {
         }
     }
 
-    fn finish<B: Backend>(self, b: &mut B, tuner: Option<&RegionTuner>) -> AppRunReport {
-        AppRunReport {
+    fn finish<B: Backend>(
+        self,
+        b: &mut B,
+        tuner: Option<&RegionTuner>,
+        meter: &mut Meter,
+    ) -> Result<AppRunReport, RunError> {
+        let energy_j = meter.read(b)?;
+        let tuner_stats = tuner.map(|t| t.stats());
+        let degraded = meter.degraded || tuner.is_some_and(|t| t.degraded());
+        let faults = FaultRecovery {
+            meter_retries: meter.retries,
+            hard_faults: meter.hard_faults,
+            rejected: tuner_stats.map_or(0, |s| s.rejected),
+            restarts: tuner_stats.map_or(0, |s| s.restarts),
+            frozen_regions: tuner_stats.map_or(0, |s| s.frozen_regions),
+        };
+        Ok(AppRunReport {
             app: self.app,
             machine: b.machine().name.clone(),
             power_cap_w: b.power_cap_w(),
             strategy: self.strategy,
             objective: self.objective,
             time_s: self.time_s,
-            energy_j: b.energy_j(),
+            energy_j,
             config_change_overhead_s: self.config_overhead_s,
             instrumentation_overhead_s: self.instr_overhead_s,
             per_region: self.per_region,
-            tuner: tuner.map(|t| t.stats()),
-        }
+            tuner: tuner_stats,
+            status: if degraded { RunStatus::Degraded } else { RunStatus::Ok },
+            faults,
+        })
     }
 }

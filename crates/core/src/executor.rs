@@ -28,10 +28,10 @@ use arcs_apex::Apex;
 use arcs_harmony::History;
 use arcs_metrics::MetricsRegistry;
 use arcs_powersim::{
-    simulate_region_at_freq, CacheBindError, Machine, PackageEnergy, Rapl, RegionModel,
-    SharedSimCache, SimConfig, SimReport, WorkloadDescriptor,
+    simulate_region_at_freq, CacheBindError, FaultPlan, InvocationFaults, Machine, MeasureError,
+    PackageEnergy, Rapl, RegionModel, SharedSimCache, SimConfig, SimReport, WorkloadDescriptor,
 };
-use arcs_trace::TraceSink;
+use arcs_trace::{TraceEvent, TraceSink};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -51,6 +51,22 @@ pub struct SimExecutor {
     /// Invocation ordinal per region (feeds the stateless noise model;
     /// persists across runs so repeated training passes see fresh noise).
     invocations: HashMap<String, u64>,
+    faults: Option<FaultState>,
+}
+
+/// Runtime state for an attached [`FaultPlan`]: the plan decides, this
+/// tracks the ordinals the decisions key on (reset per run so the fault
+/// schedule is a pure function of the run's event sequence).
+struct FaultState {
+    plan: FaultPlan,
+    /// Meter reads so far this run (every read attempt counts, including
+    /// driver retries — which is what turns long failure bursts into
+    /// hard faults).
+    read_ordinal: u64,
+    /// Run-wide region invocation counter (the cap schedule's key).
+    global_ordinal: u64,
+    /// Pending stale meter reads from dropped samples.
+    stale_reads: u32,
 }
 
 /// Multiplicative measurement noise: real testbeds never return the same
@@ -114,6 +130,7 @@ impl SimExecutor {
             metrics: None,
             energy_meter: PackageEnergy::new(),
             invocations: HashMap::new(),
+            faults: None,
         }
     }
 
@@ -131,6 +148,34 @@ impl SimExecutor {
     pub fn with_noise(mut self, cv: f64, seed: u64) -> Self {
         self.noise = Some(NoiseModel::new(cv, seed));
         self
+    }
+
+    /// Attach a deterministic [`FaultPlan`]: meter reads and region
+    /// invocations are perturbed per the plan's seeded schedule. Every
+    /// injected fault is traced as a `FaultInjected` event and counted
+    /// under `arcs/faults/<kind>`.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        Backend::attach_faults(&mut self, plan);
+        self
+    }
+
+    /// Emit the trace/metrics breadcrumbs for one injected fault.
+    fn note_fault(&self, kind: &str, region: &str, magnitude: f64) {
+        if let Some(sink) = &self.trace {
+            if sink.enabled() {
+                sink.record(
+                    None,
+                    TraceEvent::FaultInjected {
+                        kind: kind.to_string(),
+                        region: region.to_string(),
+                        magnitude,
+                    },
+                );
+            }
+        }
+        if let Some(registry) = &self.metrics {
+            registry.counter(&format!("arcs/faults/{kind}")).inc();
+        }
     }
 
     /// Attach a trace sink: the driver's region/power events, the memo
@@ -288,6 +333,11 @@ impl Backend for SimExecutor {
     fn begin_run(&mut self) {
         self.energy_meter = PackageEnergy::new();
         self.energy_meter.sample(&self.rapl); // prime against the current counter
+        if let Some(fs) = &mut self.faults {
+            fs.read_ordinal = 0;
+            fs.global_ordinal = 0;
+            fs.stale_reads = 0;
+        }
     }
 
     fn charge_overhead(&mut self, dt_s: f64) {
@@ -296,15 +346,61 @@ impl Backend for SimExecutor {
     }
 
     fn run_region(&mut self, region: &RegionModel, cfg: TunedConfig) -> RegionRun {
-        let rep = self.simulate_at(region, cfg.omp.as_sim(), cfg.freq_ghz);
         let inv = self.next_invocation(&region.name);
-        let f = match &self.noise {
+        let ifaults: Option<InvocationFaults> = match &mut self.faults {
+            Some(fs) => {
+                let g = fs.global_ordinal;
+                fs.global_ordinal += 1;
+                Some(fs.plan.invocation_faults(&region.name, inv, g))
+            }
+            None => None,
+        };
+        // Scheduled cap change fires *before* the invocation, so the
+        // simulation (and the memo cache key) see the new envelope.
+        if let Some(cap) = ifaults.and_then(|f| f.cap_change_w) {
+            let effective = self.rapl.set_package_cap(cap);
+            self.requested_cap_w = cap;
+            self.cap_w = effective;
+            self.note_fault("cap_change", &region.name, cap);
+            if let Some(sink) = &self.trace {
+                if sink.enabled() {
+                    sink.record(
+                        None,
+                        TraceEvent::CapChange { requested_w: cap, effective_w: effective },
+                    );
+                }
+            }
+        }
+        let mut rep = self.simulate_at(region, cfg.omp.as_sim(), cfg.freq_ghz);
+        if let Some(f) = ifaults {
+            if f.straggler_factor > 1.0 {
+                // A real slowdown: machine state (time and energy) grows,
+                // not just the observation.
+                rep = Arc::new(rep.with_straggler(&self.machine, f.straggler_factor));
+                self.note_fault("straggler", &region.name, f.straggler_factor);
+            }
+        }
+        let fnoise = match &self.noise {
             Some(n) => n.factor(&region.name, inv),
             None => 1.0,
         };
-        self.rapl.advance(rep.time_s * f, rep.avg_power_w());
+        self.rapl.advance(rep.time_s * fnoise, rep.avg_power_w());
+        let mut observed = rep.time_s * fnoise;
+        if let Some(f) = ifaults {
+            if f.spike_factor > 1.0 {
+                // Measurement-only: the timer lies, the machine doesn't.
+                observed *= f.spike_factor;
+                self.note_fault("timer_spike", &region.name, f.spike_factor);
+            }
+            if f.drop_sample {
+                if let Some(fs) = &mut self.faults {
+                    fs.stale_reads = fs.stale_reads.max(1);
+                }
+                self.note_fault("sample_drop", &region.name, 1.0);
+            }
+        }
         RegionRun {
-            time_s: rep.time_s * f,
+            time_s: observed,
             features: RegionFeatures {
                 busy_s: rep.busy_total_s(),
                 barrier_s: rep.barrier_total_s(),
@@ -315,8 +411,40 @@ impl Backend for SimExecutor {
         }
     }
 
-    fn energy_j(&mut self) -> f64 {
-        self.energy_meter.sample(&self.rapl)
+    fn energy_j(&mut self) -> Result<f64, MeasureError> {
+        enum ReadFault {
+            Fail(u64),
+            Stale,
+        }
+        let fault = match &mut self.faults {
+            Some(fs) => {
+                let ord = fs.read_ordinal;
+                fs.read_ordinal += 1;
+                if fs.plan.rapl_read_fails(ord) {
+                    Some(ReadFault::Fail(ord))
+                } else if fs.stale_reads > 0 {
+                    fs.stale_reads -= 1;
+                    Some(ReadFault::Stale)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        match fault {
+            Some(ReadFault::Fail(ord)) => {
+                self.note_fault("rapl_read", "", ord as f64);
+                Err(MeasureError::RaplRead { attempts: 1 })
+            }
+            // A dropped sample: answer with the stale counter value
+            // without resampling RAPL.
+            Some(ReadFault::Stale) => Ok(self.energy_meter.total_j()),
+            None => Ok(self.energy_meter.sample(&self.rapl)),
+        }
+    }
+
+    fn attach_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultState { plan, read_ordinal: 0, global_ordinal: 0, stale_reads: 0 });
     }
 
     fn record_sample(&mut self, region: &str, time_s: f64, energy_total_j: f64) {

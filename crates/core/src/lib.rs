@@ -53,6 +53,7 @@ pub mod executor;
 pub mod live;
 pub mod profiler;
 pub mod report;
+pub mod resilience;
 pub mod sweep;
 pub mod tunable;
 pub mod tuner;
@@ -66,7 +67,8 @@ pub use dvfs::{DvfsConfig, DvfsOutcome, DvfsSpace};
 pub use executor::{runs, NoiseModel, SimExecutor};
 pub use live::{ArcsLive, LiveExecutor};
 pub use profiler::{OmptProfiler, RegionProfile};
-pub use report::{AppRunReport, RegionSummary};
+pub use report::{AppRunReport, FaultRecovery, RegionSummary, RunStatus};
+pub use resilience::ResilienceOptions;
 pub use sweep::{CellResult, SweepEngine, SweepGrid, SweepReport, SweepStrategy};
 pub use tunable::{TunableSpace, TunedConfig};
 pub use tuner::{RegionTuner, TunerDecision, TunerOptions, TunerStats, TuningMode};
@@ -91,11 +93,12 @@ pub mod prelude {
     pub use crate::backend::{Backend, RunError, Runner, RunnerStrategy};
     pub use crate::config::{ConfigSpace, OmpConfig};
     pub use crate::executor::{runs, SimExecutor};
-    pub use crate::report::AppRunReport;
+    pub use crate::report::{AppRunReport, FaultRecovery, RunStatus};
+    pub use crate::resilience::ResilienceOptions;
     pub use crate::sweep::{SweepEngine, SweepGrid, SweepStrategy};
     pub use crate::tunable::{TunableSpace, TunedConfig};
     pub use crate::tuner::{RegionTuner, TunerOptions};
-    pub use arcs_powersim::{Machine, SharedSimCache, WorkloadDescriptor};
+    pub use arcs_powersim::{FaultPlan, Machine, SharedSimCache, WorkloadDescriptor};
     pub use arcs_trace::{
         chrome_trace, JsonlSink, NullSink, Objective, TraceEvent, TraceRecord, TraceSink, VecSink,
     };

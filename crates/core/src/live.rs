@@ -21,8 +21,8 @@ use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_apex::{Apex, PolicyEventKind, PolicyTrigger};
 use arcs_metrics::MetricsRegistry;
 use arcs_omprt::{RegionId, RegionRecord, Runtime, Tool};
-use arcs_powersim::{Machine, RegionModel};
-use arcs_trace::TraceSink;
+use arcs_powersim::{FaultPlan, InvocationFaults, Machine, MeasureError, RegionModel};
+use arcs_trace::{TraceEvent, TraceSink};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -133,8 +133,24 @@ pub struct LiveExecutor {
     time_scale: f64,
     regions: HashMap<String, RegionId>,
     energy_acc_j: f64,
+    /// Last meter value handed out — the stale answer for dropped samples.
+    last_read_j: f64,
+    /// Invocation ordinal per region (keys the fault plan's decisions,
+    /// mirroring the simulator's counter).
+    invocations: HashMap<String, u64>,
+    faults: Option<LiveFaultState>,
     trace: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
+}
+
+/// Runtime state for an attached [`FaultPlan`] on the live path — the
+/// same ordinal bookkeeping as the simulator's, so one plan perturbs
+/// both backends identically.
+struct LiveFaultState {
+    plan: FaultPlan,
+    read_ordinal: u64,
+    global_ordinal: u64,
+    stale_reads: u32,
 }
 
 impl LiveExecutor {
@@ -149,6 +165,9 @@ impl LiveExecutor {
             time_scale: 1e-3,
             regions: HashMap::new(),
             energy_acc_j: 0.0,
+            last_read_j: 0.0,
+            invocations: HashMap::new(),
+            faults: None,
             trace: None,
             metrics: None,
         }
@@ -169,11 +188,57 @@ impl LiveExecutor {
         self
     }
 
-    /// Adjust how much real time one modelled second costs (default 1e-3).
+    /// Adjust how much real time one modelled second costs (default
+    /// 1e-3). Non-positive or non-finite scales are ignored (debug
+    /// builds assert — a zero scale is a caller bug, not a runtime
+    /// condition worth panicking production over).
     pub fn with_time_scale(mut self, scale: f64) -> Self {
-        assert!(scale > 0.0);
-        self.time_scale = scale;
+        debug_assert!(scale.is_finite() && scale > 0.0, "time scale must be positive: {scale}");
+        if scale.is_finite() && scale > 0.0 {
+            self.time_scale = scale;
+        }
         self
+    }
+
+    /// Attach a deterministic [`FaultPlan`] (see the simulator's
+    /// [`SimExecutor::with_faults`](crate::executor::SimExecutor::with_faults)):
+    /// the same plan and seed perturb the live path identically.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        Backend::attach_faults(&mut self, plan);
+        self
+    }
+
+    /// Emit the trace/metrics breadcrumbs for one injected fault.
+    fn note_fault(&self, kind: &str, region: &str, magnitude: f64) {
+        if let Some(sink) = &self.trace {
+            if sink.enabled() {
+                sink.record(
+                    None,
+                    TraceEvent::FaultInjected {
+                        kind: kind.to_string(),
+                        region: region.to_string(),
+                        magnitude,
+                    },
+                );
+            }
+        }
+        if let Some(registry) = &self.metrics {
+            registry.counter(&format!("arcs/faults/{kind}")).inc();
+        }
+    }
+
+    /// Next invocation ordinal for `region` (0-based).
+    fn next_invocation(&mut self, region: &str) -> u64 {
+        match self.invocations.get_mut(region) {
+            Some(n) => {
+                *n += 1;
+                *n
+            }
+            None => {
+                self.invocations.insert(region.to_string(), 0);
+                0
+            }
+        }
     }
 
     pub fn runtime(&self) -> &Arc<Runtime> {
@@ -229,6 +294,12 @@ impl Backend for LiveExecutor {
 
     fn begin_run(&mut self) {
         self.energy_acc_j = 0.0;
+        self.last_read_j = 0.0;
+        if let Some(fs) = &mut self.faults {
+            fs.read_ordinal = 0;
+            fs.global_ordinal = 0;
+            fs.stale_reads = 0;
+        }
     }
 
     fn charge_overhead(&mut self, dt_s: f64) {
@@ -240,6 +311,30 @@ impl Backend for LiveExecutor {
     // are priced) at whatever the cap allows — exactly the base paper's
     // behaviour. The simulator is the backend that honours the knob.
     fn run_region(&mut self, region: &RegionModel, cfg: TunedConfig) -> RegionRun {
+        let inv = self.next_invocation(&region.name);
+        let ifaults: Option<InvocationFaults> = match &mut self.faults {
+            Some(fs) => {
+                let g = fs.global_ordinal;
+                fs.global_ordinal += 1;
+                Some(fs.plan.invocation_faults(&region.name, inv, g))
+            }
+            None => None,
+        };
+        // Scheduled cap change: no host RAPL to reprogram, so only the
+        // pricing envelope moves (clamped like the constructor does).
+        if let Some(cap) = ifaults.and_then(|f| f.cap_change_w) {
+            let effective = cap.clamp(self.machine.power.tdp_w * 0.25, self.machine.power.tdp_w);
+            self.cap_w = effective;
+            self.note_fault("cap_change", &region.name, cap);
+            if let Some(sink) = &self.trace {
+                if sink.enabled() {
+                    sink.record(
+                        None,
+                        TraceEvent::CapChange { requested_w: cap, effective_w: effective },
+                    );
+                }
+            }
+        }
         let id = self.region_id(&region.name);
         let threads = cfg.omp.threads.clamp(1, self.rt.max_threads());
         self.rt.set_num_threads(threads);
@@ -252,13 +347,36 @@ impl Backend for LiveExecutor {
         let rec = self.rt.parallel_for(id, 0..region.iterations, |i| {
             spin_ns(weights[i] * ns_per_weight);
         });
-        let wall_s = start.elapsed().as_secs_f64();
+        let mut wall_s = start.elapsed().as_secs_f64();
+        if let Some(f) = ifaults {
+            if f.straggler_factor > 1.0 {
+                // A real slowdown the live path cannot spin out thread-
+                // accurately: stretch the wall clock (the pricing line
+                // below then charges the stretched duration too).
+                wall_s *= f.straggler_factor;
+                self.note_fault("straggler", &region.name, f.straggler_factor);
+            }
+        }
 
         // Price the invocation on the model and bump the package meter;
         // the driver differences the meter to attribute the energy.
         self.energy_acc_j += wall_s * self.package_power_w(rec.threads);
+        let mut observed = wall_s;
+        if let Some(f) = ifaults {
+            if f.spike_factor > 1.0 {
+                // Measurement-only: the timer lies, the machine doesn't.
+                observed *= f.spike_factor;
+                self.note_fault("timer_spike", &region.name, f.spike_factor);
+            }
+            if f.drop_sample {
+                if let Some(fs) = &mut self.faults {
+                    fs.stale_reads = fs.stale_reads.max(1);
+                }
+                self.note_fault("sample_drop", &region.name, 1.0);
+            }
+        }
         RegionRun {
-            time_s: wall_s,
+            time_s: observed,
             features: RegionFeatures {
                 busy_s: rec.total_busy().as_secs_f64(),
                 barrier_s: rec.total_barrier_wait().as_secs_f64(),
@@ -270,8 +388,42 @@ impl Backend for LiveExecutor {
         }
     }
 
-    fn energy_j(&mut self) -> f64 {
-        self.energy_acc_j
+    fn energy_j(&mut self) -> Result<f64, MeasureError> {
+        enum ReadFault {
+            Fail(u64),
+            Stale,
+        }
+        let fault = match &mut self.faults {
+            Some(fs) => {
+                let ord = fs.read_ordinal;
+                fs.read_ordinal += 1;
+                if fs.plan.rapl_read_fails(ord) {
+                    Some(ReadFault::Fail(ord))
+                } else if fs.stale_reads > 0 {
+                    fs.stale_reads -= 1;
+                    Some(ReadFault::Stale)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        match fault {
+            Some(ReadFault::Fail(ord)) => {
+                self.note_fault("rapl_read", "", ord as f64);
+                Err(MeasureError::RaplRead { attempts: 1 })
+            }
+            Some(ReadFault::Stale) => Ok(self.last_read_j),
+            None => {
+                self.last_read_j = self.energy_acc_j;
+                Ok(self.energy_acc_j)
+            }
+        }
+    }
+
+    fn attach_faults(&mut self, plan: FaultPlan) {
+        self.faults =
+            Some(LiveFaultState { plan, read_ordinal: 0, global_ordinal: 0, stale_reads: 0 });
     }
 
     fn trace(&self) -> Option<&Arc<dyn TraceSink>> {

@@ -5,6 +5,52 @@ use crate::tuner::TunerStats;
 use arcs_trace::Objective;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// The run completed with no unrecovered faults.
+    #[default]
+    Ok,
+    /// The run completed, but the measurement error budget was exhausted
+    /// and the tuner froze to its best-known configurations (graceful
+    /// degradation — see DESIGN.md §3.11).
+    Degraded,
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunStatus::Ok => write!(f, "ok"),
+            RunStatus::Degraded => write!(f, "degraded"),
+        }
+    }
+}
+
+/// Fault and recovery counters accumulated by the driver and tuner over
+/// one run. All-zero for an unfaulted run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultRecovery {
+    /// Package-meter read retries the driver spent.
+    pub meter_retries: u64,
+    /// Meter reads that still failed after the retry budget (absorbed
+    /// against the error budget, or fatal without one).
+    pub hard_faults: u64,
+    /// Region measurements the tuner rejected as outliers.
+    pub rejected: u64,
+    /// Search-session restarts triggered by rejection streaks.
+    pub restarts: u64,
+    /// Regions frozen to their best-known configuration.
+    pub frozen_regions: u64,
+}
+
+impl FaultRecovery {
+    /// Did anything fire?
+    pub fn any(&self) -> bool {
+        *self != FaultRecovery::default()
+    }
+}
 
 /// Per-region aggregate over a whole application run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,6 +118,15 @@ pub struct AppRunReport {
     pub instrumentation_overhead_s: f64,
     pub per_region: BTreeMap<String, RegionSummary>,
     pub tuner: Option<TunerStats>,
+    /// Whether the run completed cleanly or degraded after exhausting
+    /// its error budget. Absent in pre-v5 reports, which had no fault
+    /// substrate and were all `Ok`.
+    #[serde(default)]
+    pub status: RunStatus,
+    /// Fault/recovery counters (all-zero without an attached fault
+    /// plan).
+    #[serde(default)]
+    pub faults: FaultRecovery,
 }
 
 impl AppRunReport {
@@ -116,6 +171,8 @@ mod tests {
             instrumentation_overhead_s: 0.0,
             per_region: BTreeMap::new(),
             tuner: None,
+            status: RunStatus::Ok,
+            faults: FaultRecovery::default(),
         };
         assert_eq!(rep.avg_power_w(), 80.0);
     }
@@ -136,6 +193,8 @@ mod tests {
             instrumentation_overhead_s: 0.05,
             per_region,
             tuner: None,
+            status: RunStatus::Degraded,
+            faults: FaultRecovery { hard_faults: 3, frozen_regions: 1, ..Default::default() },
         };
         let json = serde_json::to_string(&rep).unwrap();
         let back: AppRunReport = serde_json::from_str(&json).unwrap();
@@ -159,11 +218,49 @@ mod tests {
             instrumentation_overhead_s: 0.0,
             per_region: BTreeMap::new(),
             tuner: None,
+            status: RunStatus::Ok,
+            faults: FaultRecovery::default(),
         };
         let json = serde_json::to_string(&rep).unwrap();
         let legacy = json.replace("\"objective\":\"edp\",", "");
         assert_ne!(legacy, json, "objective key must have been present");
         let back: AppRunReport = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.objective, Objective::Time);
+    }
+
+    #[test]
+    fn reports_without_status_or_fault_fields_default_to_clean() {
+        // Reports written before the fault substrate carry neither key;
+        // they were all clean runs.
+        let rep = AppRunReport {
+            app: "sp.B".into(),
+            machine: "crill".into(),
+            power_cap_w: 55.0,
+            strategy: "default".into(),
+            objective: Objective::Time,
+            time_s: 1.0,
+            energy_j: 2.0,
+            config_change_overhead_s: 0.0,
+            instrumentation_overhead_s: 0.0,
+            per_region: BTreeMap::new(),
+            tuner: None,
+            status: RunStatus::Degraded,
+            faults: FaultRecovery { rejected: 2, ..Default::default() },
+        };
+        let json = serde_json::to_string(&rep).unwrap();
+        let legacy = json.replace("\"status\":\"Degraded\",", "").replace(
+            ",\"faults\":{\"meter_retries\":0,\"hard_faults\":0,\"rejected\":2,\"restarts\":0,\"frozen_regions\":0}",
+            "",
+        );
+        assert_ne!(legacy, json, "status/faults keys must have been present");
+        let back: AppRunReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.status, RunStatus::Ok);
+        assert!(!back.faults.any());
+    }
+
+    #[test]
+    fn status_renders_lowercase() {
+        assert_eq!(RunStatus::Ok.to_string(), "ok");
+        assert_eq!(RunStatus::Degraded.to_string(), "degraded");
     }
 }

@@ -27,13 +27,19 @@
 //! the per-invocation configuration-change overhead).
 
 use crate::config::OmpConfig;
+use crate::resilience::{median_and_mad, median_in_place, ResilienceOptions};
 use crate::tunable::{TunableSpace, TunedConfig};
 use arcs_harmony::{History, NmOptions, ProOptions, Session, StrategyKind};
 use arcs_metrics::MetricsRegistry;
 use arcs_trace::{Objective, SearchCandidate, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Accepted scores a region must hold before MAD rejection can fire —
+/// below this the median/MAD are too unstable to call anything an
+/// outlier, so the warmup measurements are always accepted.
+const MIN_WINDOW_FOR_REJECTION: usize = 5;
 
 /// How a tuner chooses configurations.
 #[derive(Debug, Clone)]
@@ -121,17 +127,95 @@ pub struct TunerStats {
     pub config_changes: u64,
     pub regions: u64,
     pub skipped_regions: u64,
+    /// Measurements discarded by MAD outlier rejection (absent — zero —
+    /// in stats recorded before the resilience layer).
+    #[serde(default)]
+    pub rejected: u64,
+    /// Search-session restarts triggered by rejection streaks.
+    #[serde(default)]
+    pub restarts: u64,
+    /// Regions frozen to their best-known configuration (by the
+    /// degradation ladder or by [`RegionTuner::freeze_all`]).
+    #[serde(default)]
+    pub frozen_regions: u64,
 }
 
 struct RegionState {
     session: Option<Session>,
-    /// Configuration pinned by replay/selective-skip (None while searching).
+    /// Configuration pinned by replay/selective-skip/freeze (None while
+    /// searching).
     pinned: Option<TunedConfig>,
     applied: Option<TunedConfig>,
     awaiting: bool,
     invocations: u64,
     total_time_s: f64,
     skipped: bool,
+    /// Window of accepted scores (resilience only): what the MAD
+    /// outlier test compares a new measurement against.
+    accepted: VecDeque<f64>,
+    /// Accepted scores for the *pending* search point (median-of-k
+    /// re-measurement buffer; resilience only).
+    pending_scores: Vec<f64>,
+    /// The score the last rejection discarded: a re-measurement that
+    /// reproduces it is accepted (consistent means real).
+    last_rejected: Option<f64>,
+    /// Rejections since the last session restart — the ladder's trigger
+    /// for restarting and eventually freezing.
+    rejections_since_restart: u32,
+}
+
+impl RegionState {
+    fn searching(session: Option<Session>, pinned: Option<TunedConfig>) -> Self {
+        RegionState {
+            session,
+            pinned,
+            applied: None,
+            awaiting: false,
+            invocations: 0,
+            total_time_s: 0.0,
+            skipped: false,
+            accepted: VecDeque::new(),
+            pending_scores: Vec::new(),
+            last_rejected: None,
+            rejections_since_restart: 0,
+        }
+    }
+}
+
+/// Pin `state` to its best-known configuration and emit
+/// [`TraceEvent::TunerDegraded`]. Free function so callers holding
+/// disjoint field borrows of [`RegionTuner`] can use it.
+fn freeze_region(
+    space: &TunableSpace,
+    trace: &Option<Arc<dyn TraceSink>>,
+    stats: &mut TunerStats,
+    region: &str,
+    state: &mut RegionState,
+) {
+    let cfg = state
+        .session
+        .as_ref()
+        .map(|s| space.decode(&s.best_point()))
+        .or(state.pinned)
+        .unwrap_or_else(|| space.decode(&space.default_point()));
+    state.pinned = Some(cfg);
+    state.session = None;
+    state.awaiting = false;
+    state.pending_scores.clear();
+    state.last_rejected = None;
+    stats.frozen_regions += 1;
+    if let Some(sink) = trace {
+        if sink.enabled() {
+            sink.record(
+                None,
+                TraceEvent::TunerDegraded {
+                    region: region.to_owned(),
+                    threads: cfg.omp.threads,
+                    schedule: cfg.omp.schedule.to_string(),
+                },
+            );
+        }
+    }
 }
 
 /// Per-region adaptive configuration selection.
@@ -147,6 +231,12 @@ pub struct RegionTuner {
     stats: TunerStats,
     trace: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    /// Self-healing policy; `None` keeps the pre-resilience behaviour
+    /// bit-for-bit (every measurement is accepted and reported).
+    resilience: Option<ResilienceOptions>,
+    /// Set by [`RegionTuner::freeze_all`] when the run's error budget
+    /// was exhausted.
+    degraded: bool,
 }
 
 impl RegionTuner {
@@ -158,6 +248,8 @@ impl RegionTuner {
             stats: TunerStats::default(),
             trace: None,
             metrics: None,
+            resilience: None,
+            degraded: false,
         }
     }
 
@@ -187,6 +279,42 @@ impl RegionTuner {
     pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.set_metrics(registry);
         self
+    }
+
+    /// Enable the self-healing ladder (outlier rejection, re-measurement,
+    /// session restart, freezing) on every region encountered from now
+    /// on. The run drivers call this before the first invocation.
+    pub fn set_resilience(&mut self, options: ResilienceOptions) {
+        self.resilience = Some(options);
+    }
+
+    /// Builder-style [`RegionTuner::set_resilience`].
+    pub fn with_resilience(mut self, options: ResilienceOptions) -> Self {
+        self.set_resilience(options);
+        self
+    }
+
+    /// Freeze every region to its best-known configuration (graceful
+    /// degradation: the measurement error budget is exhausted, so no
+    /// further search decisions can be trusted). Idempotent.
+    pub fn freeze_all(&mut self) {
+        if self.degraded {
+            return;
+        }
+        self.degraded = true;
+        for (name, state) in self.regions.iter_mut() {
+            if state.session.is_some() {
+                freeze_region(&self.options.space, &self.trace, &mut self.stats, name, state);
+            }
+        }
+        if let Some(registry) = &self.metrics {
+            registry.counter("core/degraded").inc();
+        }
+    }
+
+    /// Did [`RegionTuner::freeze_all`] fire?
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 
     pub fn stats(&self) -> TunerStats {
@@ -291,16 +419,112 @@ impl RegionTuner {
         };
         state.invocations += 1;
         state.total_time_s += time_s;
-        if state.awaiting {
+        if !state.awaiting || state.session.is_none() {
+            state.awaiting = false;
+            return;
+        }
+        state.awaiting = false;
+        let Some(res) = self.resilience else {
+            // Pre-resilience behaviour, bit for bit: every measurement
+            // is reported.
             if let Some(session) = &mut state.session {
                 session.report(score);
             }
-            state.awaiting = false;
+            return;
+        };
+
+        // Rung 2 of the ladder: MAD outlier rejection. A rejected point
+        // stays pending, so `begin` hands out the same configuration
+        // again — except that a value which *reproduces* the one just
+        // rejected is accepted: consistent across re-measurement means
+        // the configuration really is that bad, not that a timer
+        // glitched.
+        if res.mad_threshold > 0.0 && state.accepted.len() >= MIN_WINDOW_FOR_REJECTION {
+            let window: Vec<f64> = state.accepted.iter().copied().collect();
+            let (median, mad) = median_and_mad(&window);
+            let spread = (res.mad_threshold * mad).max(1e-3 * median.abs());
+            let deviant = (score - median).abs() > spread;
+            let confirmed = state
+                .last_rejected
+                .is_some_and(|r| (score - r).abs() <= 0.05 * r.abs().max(f64::MIN_POSITIVE));
+            if deviant && !confirmed {
+                state.last_rejected = Some(score);
+                state.rejections_since_restart += 1;
+                self.stats.rejected += 1;
+                if let Some(sink) = &self.trace {
+                    if sink.enabled() {
+                        sink.record(
+                            None,
+                            TraceEvent::MeasurementRejected {
+                                region: region.to_owned(),
+                                value: score,
+                                median,
+                                mad,
+                            },
+                        );
+                    }
+                }
+                if let Some(registry) = &self.metrics {
+                    registry.counter("core/measurements_rejected").inc();
+                }
+                // Rungs 3–4: a rejection streak means the search is
+                // poisoned — restart it at its best-known point, and
+                // freeze the region once the restart budget is spent.
+                if res.restart_after_rejections > 0
+                    && state.rejections_since_restart >= res.restart_after_rejections
+                {
+                    state.rejections_since_restart = 0;
+                    state.last_rejected = None;
+                    state.pending_scores.clear();
+                    let spent = state.session.as_ref().map(|s| s.restarts()).unwrap_or(0);
+                    if spent < res.max_restarts {
+                        if let Some(session) = &mut state.session {
+                            session.restart();
+                        }
+                        self.stats.restarts += 1;
+                    } else {
+                        freeze_region(
+                            &self.options.space,
+                            &self.trace,
+                            &mut self.stats,
+                            region,
+                            state,
+                        );
+                    }
+                }
+                return;
+            }
+        }
+
+        state.last_rejected = None;
+        if state.accepted.len() >= res.outlier_window.max(1) {
+            state.accepted.pop_front();
+        }
+        state.accepted.push_back(score);
+        if res.measure_k > 1 {
+            // Median-of-k re-measurement: the point stays pending until
+            // k accepted scores arrived; their median is what the
+            // session learns.
+            state.pending_scores.push(score);
+            if state.pending_scores.len() >= res.measure_k {
+                let median = median_in_place(&mut state.pending_scores);
+                state.pending_scores.clear();
+                if let Some(session) = &mut state.session {
+                    session.report(median);
+                }
+            }
+        } else if let Some(session) = &mut state.session {
+            session.report(score);
         }
     }
 
     fn new_region_state(&self, region: &str) -> RegionState {
         let space = &self.options.space;
+        if self.degraded {
+            // A frozen tuner makes no new search decisions: regions
+            // first seen after degradation run the default configuration.
+            return RegionState::searching(None, Some(self.default_config()));
+        }
         match &self.options.mode {
             TuningMode::OfflineReplay(history) => {
                 // "The saved values can be used instead of repeating the
@@ -311,15 +535,7 @@ impl RegionTuner {
                     .get(region)
                     .map(|e| TunedConfig { omp: e.config, freq_ghz: None })
                     .unwrap_or_else(|| self.default_config());
-                RegionState {
-                    session: None,
-                    pinned: Some(pinned),
-                    applied: None,
-                    awaiting: false,
-                    invocations: 0,
-                    total_time_s: 0.0,
-                    skipped: false,
-                }
+                RegionState::searching(None, Some(pinned))
             }
             mode => {
                 let (strategy, label) = match mode {
@@ -368,15 +584,7 @@ impl RegionTuner {
                         });
                     }
                 }
-                RegionState {
-                    session: Some(session),
-                    pinned: None,
-                    applied: None,
-                    awaiting: false,
-                    invocations: 0,
-                    total_time_s: 0.0,
-                    skipped: false,
-                }
+                RegionState::searching(Some(session), None)
             }
         }
     }
@@ -668,5 +876,182 @@ mod tests {
         drive(&mut tuner, "b", 10);
         assert_eq!(tuner.stats().regions, 2);
         assert!(!tuner.converged());
+    }
+}
+
+#[cfg(test)]
+mod resilience_tests {
+    use super::*;
+    use crate::config::ConfigSpace;
+    use crate::resilience::ResilienceOptions;
+    use arcs_trace::VecSink;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::crill()
+    }
+
+    fn measure(cfg: &OmpConfig) -> f64 {
+        let t_penalty = ((cfg.threads as f64).log2() - 4.0).abs() * 0.1;
+        1.0 + t_penalty
+    }
+
+    #[test]
+    fn spiked_measurements_are_rejected_and_remeasured() {
+        let sink = Arc::new(VecSink::new());
+        // Exhaustive mode keeps the session awaiting for every
+        // invocation, so the spike is guaranteed to hit a live search.
+        let mut tuner = RegionTuner::new(TunerOptions::offline_train(space()))
+            .with_resilience(ResilienceOptions::standard())
+            .with_trace(sink.clone());
+        // Warm the accepted window with consistent scores, inject one
+        // 10× timer spike, then return to clean measurements.
+        let mut spiked_config = None;
+        for i in 0..16 {
+            let d = tuner.begin("r");
+            let v = if i == 10 {
+                spiked_config = Some(d.config);
+                10.0
+            } else {
+                1.0
+            };
+            tuner.end("r", v);
+        }
+        assert_eq!(tuner.stats().rejected, 1, "exactly the spike is rejected");
+        let rejected: Vec<_> = sink
+            .drain()
+            .into_iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::MeasurementRejected { value, median, .. } => Some((value, median)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rejected, vec![(10.0, 1.0)]);
+        // The spiked point was re-measured, not skipped: invocation 11
+        // handed out the same configuration again, whose clean score was
+        // then accepted (16 invocations still report 15 evaluations).
+        assert!(spiked_config.is_some());
+        assert_eq!(tuner.evaluations("r"), 15);
+    }
+
+    #[test]
+    fn reproducible_bad_scores_are_accepted_not_rejected_forever() {
+        // A configuration that really is 10× worse keeps returning the
+        // same score: the first measurement is rejected, the identical
+        // re-measurement is accepted (consistent means real).
+        let res = ResilienceOptions { mad_threshold: 3.0, ..ResilienceOptions::standard() };
+        let mut tuner = RegionTuner::new(TunerOptions::online(space())).with_resilience(res);
+        for _ in 0..60 {
+            let d = tuner.begin("r");
+            let v = if d.config.omp.threads == 1 { 12.0 } else { measure(&d.config.omp) };
+            tuner.end("r", v);
+        }
+        // The search made progress despite the pathological corner: it
+        // converged or is still measuring, but never wedged on one point.
+        assert!(tuner.stats().rejected < 30, "rejections must not dominate the run");
+        assert!(tuner.evaluations("r") > 5, "the session kept learning");
+    }
+
+    #[test]
+    fn median_of_k_reports_once_per_k_measurements() {
+        let res =
+            ResilienceOptions { measure_k: 3, mad_threshold: 0.0, ..ResilienceOptions::default() };
+        let mut tuner = RegionTuner::new(TunerOptions::online(space())).with_resilience(res);
+        let mut points = Vec::new();
+        for _ in 0..9 {
+            let d = tuner.begin("r");
+            points.push(d.config);
+            tuner.end("r", measure(&d.config.omp));
+        }
+        // Each search point is held for 3 invocations.
+        assert_eq!(points[0], points[1]);
+        assert_eq!(points[1], points[2]);
+        assert_eq!(points[3], points[4]);
+        assert_eq!(tuner.evaluations("r"), 3, "9 invocations = 3 reported evaluations");
+    }
+
+    #[test]
+    fn rejection_streak_restarts_then_freezes() {
+        let res = ResilienceOptions {
+            mad_threshold: 2.0,
+            restart_after_rejections: 3,
+            max_restarts: 1,
+            ..ResilienceOptions::standard()
+        };
+        let sink = Arc::new(VecSink::new());
+        let mut tuner = RegionTuner::new(TunerOptions::offline_train(space()))
+            .with_resilience(res)
+            .with_trace(sink.clone());
+        // Warm the window with consistent scores, then feed garbage that
+        // never reproduces (a fresh random-looking value each time).
+        for _ in 0..8 {
+            let _ = tuner.begin("r");
+            tuner.end("r", 1.0);
+        }
+        let mut v = 50.0;
+        for _ in 0..20 {
+            let _ = tuner.begin("r");
+            tuner.end("r", v);
+            v = v * 1.37 + 3.0; // never within 5% of the last rejection
+        }
+        let st = tuner.stats();
+        assert!(st.restarts >= 1, "streak must restart the session: {st:?}");
+        assert_eq!(st.frozen_regions, 1, "then freeze the region: {st:?}");
+        assert!(tuner.region_converged("r"), "frozen regions count as converged");
+        let degraded: Vec<_> = sink
+            .drain()
+            .into_iter()
+            .filter(|r| matches!(r.event, TraceEvent::TunerDegraded { .. }))
+            .collect();
+        assert_eq!(degraded.len(), 1);
+    }
+
+    #[test]
+    fn freeze_all_pins_every_region_and_marks_degraded() {
+        let sink = Arc::new(VecSink::new());
+        let mut tuner = RegionTuner::new(TunerOptions::online(space()))
+            .with_resilience(ResilienceOptions::standard())
+            .with_trace(sink.clone());
+        for _ in 0..10 {
+            for r in ["a", "b"] {
+                let d = tuner.begin(r);
+                tuner.end(r, measure(&d.config.omp));
+            }
+        }
+        assert!(!tuner.degraded());
+        tuner.freeze_all();
+        tuner.freeze_all(); // idempotent
+        assert!(tuner.degraded());
+        assert!(tuner.converged(), "a frozen tuner is converged");
+        assert_eq!(tuner.stats().frozen_regions, 2);
+        let degraded = sink
+            .drain()
+            .into_iter()
+            .filter(|r| matches!(r.event, TraceEvent::TunerDegraded { .. }))
+            .count();
+        assert_eq!(degraded, 2);
+        // Frozen regions keep serving their pinned config; new regions
+        // run the default.
+        let before = tuner.best_configs()["a"];
+        let d = tuner.begin("a");
+        assert_eq!(d.config.omp, before);
+        let fresh = tuner.begin("new-after-freeze");
+        assert_eq!(fresh.config.omp, OmpConfig::default_for(&arcs_powersim::Machine::crill()));
+    }
+
+    #[test]
+    fn resilience_off_is_bit_identical_to_the_old_path() {
+        let run = |resilient: bool| {
+            let mut tuner = RegionTuner::new(TunerOptions::online(space()));
+            if resilient {
+                // All-off options: every rung disabled.
+                tuner.set_resilience(ResilienceOptions::default());
+            }
+            for _ in 0..60 {
+                let d = tuner.begin("r");
+                tuner.end("r", measure(&d.config.omp));
+            }
+            (tuner.best_configs()["r"], tuner.evaluations("r"))
+        };
+        assert_eq!(run(false), run(true));
     }
 }

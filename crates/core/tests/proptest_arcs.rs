@@ -1,9 +1,13 @@
 //! Property tests for the ARCS core: configuration decoding, the tuner
-//! protocol under arbitrary measurement sequences, and history export.
+//! protocol under arbitrary measurement sequences, history export, and
+//! self-healing runs under arbitrary bounded fault plans.
 
-use arcs::{ConfigSpace, OmpConfig, RegionTuner, TunableSpace, TunerOptions, TuningMode};
+use arcs::{
+    ConfigSpace, OmpConfig, RegionTuner, ResilienceOptions, Runner, SimExecutor, TunableSpace,
+    TunerOptions, TuningMode,
+};
 use arcs_harmony::{History, NmOptions, ProOptions};
-use arcs_powersim::Machine;
+use arcs_powersim::{FaultPlan, Machine};
 use proptest::prelude::*;
 
 fn spaces() -> [ConfigSpace; 2] {
@@ -195,5 +199,74 @@ proptest! {
         prop_assert!(valid_threads.contains(&entry.config.threads));
         let _roundtrip: History<OmpConfig> =
             History::from_json(&h.to_json()).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Self-healing contract under *any* bounded fault plan: a tuned run
+    /// with an error budget always terminates and never errors, and the
+    /// best configurations it lands on — evaluated on a *clean*
+    /// simulator — stay within tolerance of the clean default run (the
+    /// faults may cost search progress, but must not poison the result).
+    #[test]
+    fn any_bounded_fault_plan_is_survivable(
+        seed in any::<u64>(),
+        rapl_rate in 0.0f64..0.08,
+        burst in 0u32..4,
+        drop_rate in 0.0f64..0.10,
+        spike_rate in 0.0f64..0.15,
+        spike_factor in 1.0f64..10.0,
+        straggler_rate in 0.0f64..0.10,
+        straggler_factor in 1.0f64..2.5,
+    ) {
+        use arcs_kernels::{model, Class};
+        let plan = FaultPlan {
+            seed,
+            rapl_fault_rate: rapl_rate,
+            rapl_burst_len: burst,
+            sample_drop_rate: drop_rate,
+            spike_rate,
+            spike_factor,
+            straggler_rate,
+            straggler_factor,
+            cap_schedule: Vec::new(),
+        };
+        let m = Machine::crill();
+        let mut wl = model::sp(Class::B);
+        wl.timesteps = 12;
+        let mut res = ResilienceOptions::standard();
+        // An effectively unlimited budget: with one configured, chaos
+        // runs must complete — Ok or Degraded, never Err.
+        res.error_budget = Some(u64::MAX);
+
+        let mut exec = SimExecutor::new(m.clone(), 85.0).with_faults(plan);
+        let mut tuner = RegionTuner::new(TunerOptions::online(ConfigSpace::for_machine(&m)));
+        let rep = Runner::new(&mut exec)
+            .workload(&wl)
+            .tuner(&mut tuner)
+            .resilience(res)
+            .run()
+            .expect("budgeted chaos runs never error");
+        prop_assert!(rep.time_s.is_finite() && rep.time_s > 0.0);
+        prop_assert!(rep.energy_j.is_finite() && rep.energy_j >= 0.0);
+
+        // Replay the surviving best configs on a clean simulator.
+        let best = tuner.best_configs();
+        let default_cfg = OmpConfig::default_for(&m);
+        let mut clean = SimExecutor::new(m.clone(), 85.0);
+        let base = clean.run_default(&wl);
+        let tuned = clean.run_fixed(
+            &wl,
+            &|name: &str| best.get(name).copied().unwrap_or(default_cfg),
+            "chaos-best",
+        );
+        prop_assert!(
+            tuned.time_s <= base.time_s * 1.5,
+            "chaos-surviving configs degraded too far: {} vs default {}",
+            tuned.time_s,
+            base.time_s
+        );
     }
 }

@@ -57,15 +57,34 @@ impl StrategyKind {
     }
 }
 
+/// Build the boxed strategy `kind` describes, seeded at `start`.
+fn build_search(space: &SearchSpace, kind: &StrategyKind, start: &Point) -> Box<dyn Search> {
+    match kind {
+        StrategyKind::Exhaustive { repeats } => {
+            Box::new(Exhaustive::with_repeats(space.clone(), *repeats))
+        }
+        StrategyKind::NelderMead(opts) => Box::new(NelderMead::new(space.clone(), start, *opts)),
+        StrategyKind::ParallelRankOrder(opts) => {
+            Box::new(ParallelRankOrder::new(space.clone(), start, *opts))
+        }
+        StrategyKind::Random { seed, max_evals } => {
+            Box::new(RandomSearch::new(space.clone(), *seed, *max_evals))
+        }
+    }
+}
+
 /// A tuning session for one tunable entity (one parallel region, in ARCS).
 pub struct Session {
     space: SearchSpace,
     search: Box<dyn Search>,
+    /// Kept so [`Session::restart`] can rebuild the strategy.
+    strategy: StrategyKind,
     cache: Option<HashMap<usize, f64>>,
     pending: Option<Point>,
     fallback: Point,
     observer: Option<SessionObserver>,
     eval_counter: Option<Counter>,
+    restarts: u32,
 }
 
 impl Session {
@@ -74,20 +93,7 @@ impl Session {
     /// search converges without any measurement.
     pub fn new(space: SearchSpace, strategy: StrategyKind, start: Point) -> Self {
         assert!(space.contains(&start), "start point outside the space");
-        let search: Box<dyn Search> = match &strategy {
-            StrategyKind::Exhaustive { repeats } => {
-                Box::new(Exhaustive::with_repeats(space.clone(), *repeats))
-            }
-            StrategyKind::NelderMead(opts) => {
-                Box::new(NelderMead::new(space.clone(), &start, *opts))
-            }
-            StrategyKind::ParallelRankOrder(opts) => {
-                Box::new(ParallelRankOrder::new(space.clone(), &start, *opts))
-            }
-            StrategyKind::Random { seed, max_evals } => {
-                Box::new(RandomSearch::new(space.clone(), *seed, *max_evals))
-            }
-        };
+        let search = build_search(&space, &strategy, &start);
         // Exhaustive sweeps re-measure nothing, and repeated measurements
         // are how it averages noise; caching would defeat `repeats`.
         let cache = match strategy {
@@ -97,12 +103,35 @@ impl Session {
         Session {
             space,
             search,
+            strategy,
             cache,
             pending: None,
             fallback: start,
             observer: None,
             eval_counter: None,
+            restarts: 0,
         }
+    }
+
+    /// Throw away the current search state and reseed the strategy at the
+    /// best point measured so far (the original start if nothing was).
+    ///
+    /// This is the recovery move for a search whose candidate set was
+    /// poisoned — e.g. a Nelder–Mead simplex assembled while a fault plan
+    /// was spiking the timer. The unreported pending point is discarded.
+    /// Accepted measurements survive in the replay cache, so the fresh
+    /// strategy fast-forwards through every configuration already known
+    /// without burning real region invocations.
+    pub fn restart(&mut self) {
+        let start = self.best_point();
+        self.search = build_search(&self.space, &self.strategy, &start);
+        self.pending = None;
+        self.restarts += 1;
+    }
+
+    /// How many times [`Session::restart`] has fired.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
     }
 
     /// Disable result caching (use when measurements are noisy and repeated
@@ -310,6 +339,41 @@ mod tests {
     fn fallback_point_used_when_unmeasured() {
         let s = Session::new(space(), StrategyKind::exhaustive(), vec![3, 3]);
         assert_eq!(s.best_point(), vec![3, 3]);
+    }
+
+    #[test]
+    fn restart_reseeds_at_best_and_discards_pending() {
+        let mut s = Session::new(space(), StrategyKind::nelder_mead(), vec![5, 0]);
+        // Feed a few honest measurements.
+        for _ in 0..4 {
+            let p = s.next_point();
+            if s.awaiting_report() {
+                s.report(objective(&p));
+            }
+        }
+        let best_before = s.best();
+        // A pending ask is outstanding; a poisoned measurement was
+        // rejected upstream, so restart instead of reporting.
+        let _ = s.next_point();
+        s.restart();
+        assert_eq!(s.restarts(), 1);
+        assert!(!s.awaiting_report(), "restart discards the pending point");
+        // The restarted search still converges to a good point, replaying
+        // the cached measurements on the way.
+        let (s, _) = drive(s, 1000);
+        assert!(s.converged());
+        let best = s.best().unwrap();
+        assert!(best.1 <= best_before.map(|(_, v)| v).unwrap_or(f64::INFINITY));
+        assert!(objective(&best.0) <= 2.0, "best={best:?}");
+    }
+
+    #[test]
+    fn restart_before_any_measurement_reseeds_at_start() {
+        let mut s = Session::new(space(), StrategyKind::nelder_mead(), vec![3, 3]);
+        s.restart();
+        assert_eq!(s.best_point(), vec![3, 3]);
+        let (s, _) = drive(s, 1000);
+        assert!(s.converged());
     }
 
     #[test]

@@ -83,11 +83,20 @@ impl From<std::io::Error> for TraceReadError {
 /// numbers) surface as `Err` items. *Gaps* in the sequence — legitimate
 /// when a filtering sink dropped events, suspicious otherwise — are
 /// counted ([`TraceReader::gaps`]) but do not stop the stream.
+///
+/// One deliberate exception: a parse failure on the *final* line of the
+/// stream is treated as a crash-truncated trace (the writer died
+/// mid-record — every earlier line is still a whole record, see
+/// `JsonlSink`), so the stream ends cleanly with the lost record counted
+/// as a sequence gap instead of failing the whole analysis.
 pub struct TraceReader<R: BufRead> {
     lines: std::io::Lines<R>,
     line_no: usize,
     last_seq: Option<u64>,
     gaps: u64,
+    /// A line pulled while peeking past a parse failure, to be consumed
+    /// before the underlying iterator.
+    lookahead: Option<String>,
 }
 
 impl TraceReader<BufReader<File>> {
@@ -98,7 +107,7 @@ impl TraceReader<BufReader<File>> {
 
 impl<R: BufRead> TraceReader<R> {
     pub fn new(reader: R) -> Self {
-        TraceReader { lines: reader.lines(), line_no: 0, last_seq: None, gaps: 0 }
+        TraceReader { lines: reader.lines(), line_no: 0, last_seq: None, gaps: 0, lookahead: None }
     }
 
     /// Missing sequence numbers observed so far (`seq` jumped by more
@@ -113,18 +122,46 @@ impl<R: BufRead> Iterator for TraceReader<R> {
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            let line = match self.lines.next()? {
-                Ok(l) => l,
-                Err(e) => return Some(Err(e.into())),
+            let line = match self.lookahead.take() {
+                Some(l) => l,
+                None => {
+                    let l = match self.lines.next()? {
+                        Ok(l) => l,
+                        Err(e) => return Some(Err(e.into())),
+                    };
+                    self.line_no += 1;
+                    l
+                }
             };
-            self.line_no += 1;
             if line.trim().is_empty() {
                 continue;
             }
             let rec: TraceRecord = match serde_json::from_str(&line) {
                 Ok(r) => r,
                 Err(source) => {
-                    return Some(Err(TraceReadError::Parse { line: self.line_no, source }))
+                    let failed_line = self.line_no;
+                    // Peek: if nothing but blank lines follows, this is a
+                    // crash-truncated tail — count the half-written record
+                    // as a gap and end the stream. Anything after it means
+                    // mid-stream corruption, which stays a hard error.
+                    loop {
+                        match self.lines.next() {
+                            None => {
+                                self.gaps += 1;
+                                return None;
+                            }
+                            Some(Err(e)) => return Some(Err(e.into())),
+                            Some(Ok(l)) => {
+                                self.line_no += 1;
+                                if l.trim().is_empty() {
+                                    continue;
+                                }
+                                self.lookahead = Some(l);
+                                break;
+                            }
+                        }
+                    }
+                    return Some(Err(TraceReadError::Parse { line: failed_line, source }));
                 }
             };
             if !(1..=SCHEMA_VERSION).contains(&rec.schema) {
@@ -317,6 +354,34 @@ pub struct TraceReport {
     /// `None` for traces without a package meter (live OMPT traces).
     #[serde(default)]
     pub final_energy_total_j: Option<f64>,
+    /// Fault-injection and recovery activity (v4 traces; empty before).
+    #[serde(default)]
+    pub faults: FaultReport,
+}
+
+/// What a fault plan did to the run and how the stack recovered, from
+/// the v4 `FaultInjected`/`MeasurementRejected`/`TunerDegraded` events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// `FaultInjected` events by fault class (`rapl_read`,
+    /// `timer_spike`, …).
+    pub injected: BTreeMap<String, u64>,
+    /// Measurements the tuner rejected as outliers.
+    pub rejected: u64,
+    /// Regions the self-healing loop froze, in event order.
+    pub degraded_regions: Vec<String>,
+}
+
+impl FaultReport {
+    /// Total `FaultInjected` events across all classes.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.values().sum()
+    }
+
+    /// Did the trace record any fault or recovery activity at all?
+    pub fn any(&self) -> bool {
+        !self.injected.is_empty() || self.rejected > 0 || !self.degraded_regions.is_empty()
+    }
 }
 
 impl TraceReport {
@@ -523,6 +588,27 @@ impl TraceReport {
                 if self.energy_consistent() { "consistent" } else { "INCONSISTENT" }
             ));
         }
+
+        if self.faults.any() {
+            h(&mut out, "Faults & recovery");
+            let classes: Vec<String> =
+                self.faults.injected.iter().map(|(k, n)| format!("{k} ×{n}")).collect();
+            out.push_str(&format!(
+                "{} fault(s) injected ({}), {} measurement(s) rejected\n",
+                self.faults.injected_total(),
+                if classes.is_empty() { "none".to_string() } else { classes.join(", ") },
+                self.faults.rejected
+            ));
+            if self.faults.degraded_regions.is_empty() {
+                out.push_str("tuner degraded: no\n");
+            } else {
+                out.push_str(&format!(
+                    "tuner degraded: {} region(s) frozen ({})\n",
+                    self.faults.degraded_regions.len(),
+                    self.faults.degraded_regions.join(", ")
+                ));
+            }
+        }
         out
     }
 }
@@ -629,6 +715,13 @@ impl TraceAnalysis {
             }
             TraceEvent::CacheHit { .. } => self.cache_lookup(true),
             TraceEvent::CacheMiss { .. } => self.cache_lookup(false),
+            TraceEvent::FaultInjected { kind, .. } => {
+                *r.faults.injected.entry(kind.clone()).or_default() += 1;
+            }
+            TraceEvent::MeasurementRejected { .. } => r.faults.rejected += 1,
+            TraceEvent::TunerDegraded { region, .. } => {
+                r.faults.degraded_regions.push(region.clone());
+            }
             TraceEvent::RegionBegin { .. } | TraceEvent::PolicyFired { .. } => {}
         }
     }
@@ -940,7 +1033,10 @@ mod tests {
         let err = reader.next().unwrap().unwrap_err();
         assert!(matches!(err, TraceReadError::NonMonotonicSeq { prev: 5, seq: 5, .. }), "{err}");
 
-        let not_json = "{nope\n";
+        // A corrupt line with records after it is corruption, not
+        // truncation (the torn-tail tolerance only covers the final
+        // line — see `truncated_final_line_counts_as_a_gap`).
+        let not_json = format!("{{nope\n{}", jsonl(&sample_trace()[..1]));
         let err = TraceReader::new(not_json.as_bytes()).next().unwrap().unwrap_err();
         assert!(matches!(err, TraceReadError::Parse { line: 1, .. }), "{err}");
     }
@@ -954,6 +1050,109 @@ mod tests {
         let mut reader = TraceReader::new(gappy.as_bytes());
         assert_eq!(reader.by_ref().filter(|r| r.is_ok()).count(), 2);
         assert_eq!(reader.gaps(), 3);
+    }
+
+    #[test]
+    fn truncated_final_line_counts_as_a_gap() {
+        // A crash-consistent trace: the writer died mid-record, leaving a
+        // half-written final line. The reader ends cleanly and reports
+        // the lost record through the gap counter.
+        let mut text = jsonl(&[
+            rec(0, None, E::CacheHit { region: "r".into() }),
+            rec(1, None, E::CacheMiss { region: "r".into() }),
+        ]);
+        text.push_str("{\"schema\":4,\"seq\":2,\"t_s\":null,\"event\":{\"Cache");
+        let mut reader = TraceReader::new(text.as_bytes());
+        let results: Vec<_> = reader.by_ref().collect();
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(reader.gaps(), 1);
+
+        // The whole-stream analyzer accepts the truncated trace too.
+        let report = analyze(TraceReader::new(text.as_bytes())).unwrap();
+        assert_eq!(report.records, 2);
+        assert_eq!(report.seq_gaps, 1);
+
+        // A trailing newline (or blank lines) after the torn record
+        // changes nothing: blanks are not records.
+        let trailing = format!("{text}\n\n");
+        let mut reader = TraceReader::new(trailing.as_bytes());
+        assert_eq!(reader.by_ref().filter(|r| r.is_ok()).count(), 2);
+        assert_eq!(reader.gaps(), 1);
+    }
+
+    #[test]
+    fn mid_stream_corruption_is_still_a_hard_error() {
+        let good = jsonl(&[rec(0, None, E::CacheHit { region: "r".into() })]);
+        let text = format!("{{torn\n{good}");
+        let mut reader = TraceReader::new(text.as_bytes());
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(matches!(err, TraceReadError::Parse { line: 1, .. }), "{err}");
+        // The record after the corrupt line is still delivered.
+        assert!(reader.next().unwrap().is_ok());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn fault_events_are_counted_and_rendered() {
+        let records = vec![
+            rec(
+                0,
+                Some(0.0),
+                E::FaultInjected {
+                    kind: "timer_spike".into(),
+                    region: "rhs".into(),
+                    magnitude: 8.0,
+                },
+            ),
+            rec(
+                1,
+                Some(0.1),
+                E::FaultInjected {
+                    kind: "rapl_read".into(),
+                    region: String::new(),
+                    magnitude: 17.0,
+                },
+            ),
+            rec(
+                2,
+                Some(0.1),
+                E::FaultInjected {
+                    kind: "rapl_read".into(),
+                    region: String::new(),
+                    magnitude: 18.0,
+                },
+            ),
+            rec(
+                3,
+                Some(0.2),
+                E::MeasurementRejected { region: "rhs".into(), value: 4.0, median: 0.5, mad: 0.01 },
+            ),
+            rec(
+                4,
+                Some(0.3),
+                E::TunerDegraded { region: "rhs".into(), threads: 16, schedule: "guided,8".into() },
+            ),
+        ];
+        let report = analyze(TraceReader::new(jsonl(&records).as_bytes())).unwrap();
+        assert_eq!(report.faults.injected_total(), 3);
+        assert_eq!(report.faults.injected["rapl_read"], 2);
+        assert_eq!(report.faults.rejected, 1);
+        assert_eq!(report.faults.degraded_regions, vec!["rhs".to_string()]);
+        assert!(report.faults.any());
+        for rendered in [report.to_table(), report.to_markdown()] {
+            assert!(rendered.contains("Faults & recovery"), "{rendered}");
+            assert!(rendered.contains("3 fault(s) injected"), "{rendered}");
+            assert!(rendered.contains("rapl_read ×2"), "{rendered}");
+            assert!(rendered.contains("1 measurement(s) rejected"), "{rendered}");
+            assert!(rendered.contains("1 region(s) frozen (rhs)"), "{rendered}");
+        }
+        // Round-trips, and faultless reports stay silent about faults.
+        let back = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.faults, report.faults);
+        let clean = analyze(TraceReader::new(jsonl(&sample_trace()).as_bytes())).unwrap();
+        assert!(!clean.faults.any());
+        assert!(!clean.to_table().contains("Faults & recovery"));
     }
 
     #[test]

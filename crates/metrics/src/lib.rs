@@ -24,8 +24,8 @@ pub mod registry;
 
 pub use analysis::{
     analyze, analyze_path, compare_reports, compare_reports_for, CacheReport, CapSegment,
-    Comparison, ConvergencePoint, OverheadReport, RegionBreakdown, TraceAnalysis, TraceReadError,
-    TraceReader, TraceReport,
+    Comparison, ConvergencePoint, FaultReport, OverheadReport, RegionBreakdown, TraceAnalysis,
+    TraceReadError, TraceReader, TraceReport,
 };
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSummary, MetricValue, MetricsRegistry, Snapshot,

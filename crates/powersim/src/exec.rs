@@ -78,6 +78,44 @@ impl SimReport {
         1.0 - mean / max
     }
 
+    /// Re-price this invocation with one straggling thread (a fault-plan
+    /// perturbation): wall time stretches by `factor`, the extra time
+    /// lands on the slowest thread's busy column while everyone else
+    /// accrues barrier wait, and energy grows by the stretched interval
+    /// at one-busy-core power (the rest of the package idles at the
+    /// barrier). `factor ≤ 1` is a no-op.
+    pub fn with_straggler(&self, machine: &Machine, factor: f64) -> SimReport {
+        if factor <= 1.0 || self.time_s <= 0.0 {
+            return self.clone();
+        }
+        let dt = self.time_s * (factor - 1.0);
+        let mut out = self.clone();
+        out.time_s += dt;
+        let slow = out
+            .per_thread_busy_s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        for (t, b) in out.per_thread_busy_s.iter_mut().enumerate() {
+            if t == slow {
+                *b += dt;
+            }
+        }
+        for (t, w) in out.per_thread_wait_s.iter_mut().enumerate() {
+            if t != slow {
+                *w += dt;
+            }
+        }
+        let p_core = machine.power.c0 + machine.power.c1 * self.f_ghz.powi(3);
+        let idle_w = machine.total_cores().saturating_sub(1) as f64 * machine.power.p_core_idle_w;
+        let background_w =
+            machine.sockets as f64 * (machine.power.p_uncore_w + machine.power.p_dram_background_w);
+        out.energy_j += dt * (background_w + p_core + idle_w);
+        out
+    }
+
     pub fn avg_power_w(&self) -> f64 {
         if self.time_s > 0.0 {
             self.energy_j / self.time_s
@@ -96,9 +134,10 @@ fn smt_overlap_finish_times(solo_ns: &[f64], smt: &crate::machine::SmtModel) -> 
     if k <= 1 {
         return solo_ns.to_vec();
     }
-    // Sort by remaining work; retire the smallest first.
+    // Sort by remaining work; retire the smallest first. `total_cmp`
+    // keeps this panic-free even if a model ever produces a NaN cost.
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&a, &b| solo_ns[a].partial_cmp(&solo_ns[b]).unwrap());
+    order.sort_by(|&a, &b| solo_ns[a].total_cmp(&solo_ns[b]));
     let mut finishes = vec![0.0; k];
     let mut clock = 0.0;
     let mut done_work = 0.0; // work each surviving thread has retired
@@ -158,8 +197,10 @@ pub fn simulate_region_at_freq(
     let weights = region.weights();
     let mut prefix = Vec::with_capacity(n + 1);
     prefix.push(0.0);
+    let mut running = 0.0;
     for &w in &weights {
-        prefix.push(prefix.last().unwrap() + w);
+        running += w;
+        prefix.push(running);
     }
     let cycle_ns_per_weight = region.cycles_per_iter / f_ghz; // ns per unit weight
                                                               // Uncore DVFS: a capped package slows its L3/memory path along with
@@ -479,6 +520,27 @@ mod tests {
         let r = region(1024, ImbalanceProfile::Uniform);
         let rep = simulate_region(&m, 115.0, &r, cfg(1000, Schedule::static_block()));
         assert_eq!(rep.threads, 32);
+    }
+
+    #[test]
+    fn straggler_repricing_stretches_time_and_barrier() {
+        let m = crill();
+        let r = region(1024, ImbalanceProfile::Uniform);
+        let base = simulate_region(&m, 85.0, &r, cfg(16, Schedule::static_block()));
+        let slow = base.with_straggler(&m, 1.5);
+        assert!((slow.time_s - base.time_s * 1.5).abs() < 1e-12);
+        assert!(slow.energy_j > base.energy_j);
+        // Exactly one thread got busier; the rest wait at the barrier.
+        let busier = slow
+            .per_thread_busy_s
+            .iter()
+            .zip(&base.per_thread_busy_s)
+            .filter(|(s, b)| s > b)
+            .count();
+        assert_eq!(busier, 1);
+        assert!(slow.barrier_total_s() > base.barrier_total_s());
+        // No-op factors return the report unchanged.
+        assert_eq!(base.with_straggler(&m, 1.0).time_s, base.time_s);
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Deterministic fault injection for the measurement stack.
+//!
+//! A [`FaultPlan`] is a *seeded, stateless* description of every
+//! perturbation a run will experience: transient RAPL read failures,
+//! dropped energy samples, region-timer spikes, per-thread straggler
+//! slowdowns and scheduled mid-run cap changes. Every decision is a pure
+//! function of `(seed, fault class, key, ordinal)` using the same
+//! FNV-mix + splitmix64 construction as the executor's noise model, so
+//!
+//! * the same seed produces a bit-identical fault schedule regardless of
+//!   wall-clock time, thread interleaving or host;
+//! * the simulator and the live backend can be perturbed *identically* by
+//!   attaching the same plan to both;
+//! * replaying a run replays its faults.
+//!
+//! The plan only *decides*; injection happens in the executors (which own
+//! the clocks and meters) and recovery happens in the run driver and
+//! tuner. [`MeasureError`] is the typed failure the measurement stack
+//! returns instead of panicking; see `arcs-core`'s resilience layer for
+//! the retry/budget policy on top.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed measurement failure (the thing that used to be a panic or an
+/// impossible case in the meter path).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MeasureError {
+    /// The RAPL package-energy read failed. `attempts` is how many
+    /// consecutive reads were tried before giving up (1 for a raw,
+    /// unretried failure).
+    RaplRead { attempts: u32 },
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::RaplRead { attempts } => {
+                write!(f, "RAPL energy read failed after {attempts} attempt(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+/// A scheduled mid-run power-cap change, keyed on the global region
+/// invocation ordinal (the run driver's monotonic region counter).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapFault {
+    /// Fires just before the `at_invocation`-th region invocation
+    /// (0-based, counted across all regions).
+    pub at_invocation: u64,
+    /// Requested new package cap, watts (clamped by RAPL as usual).
+    pub cap_w: f64,
+}
+
+/// Per-invocation fault decision for one region invocation, as computed
+/// by [`FaultPlan::invocation_faults`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvocationFaults {
+    /// Real slowdown multiplier (≥ 1): one straggling thread stretches
+    /// the region, so simulated time *and* energy grow, with the extra
+    /// time showing up as barrier wait for the rest of the team.
+    pub straggler_factor: f64,
+    /// Measurement-only multiplier (≥ 1) on the reported region time: a
+    /// timer spike inflates the observation but not the machine state.
+    pub spike_factor: f64,
+    /// The energy sample bracketing this invocation is dropped: the
+    /// meter returns a stale value, so the invocation appears to cost
+    /// ~zero energy.
+    pub drop_sample: bool,
+    /// A scheduled cap change fires before this invocation.
+    pub cap_change_w: Option<f64>,
+}
+
+impl InvocationFaults {
+    /// True when this invocation is entirely unperturbed.
+    pub fn is_clean(&self) -> bool {
+        self.straggler_factor == 1.0
+            && self.spike_factor == 1.0
+            && !self.drop_sample
+            && self.cap_change_w.is_none()
+    }
+}
+
+/// Seeded, fully deterministic fault schedule. All rates are per-event
+/// probabilities in `[0, 1)`; a default plan injects nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master seed; two plans with equal fields produce identical
+    /// schedules.
+    pub seed: u64,
+    /// Probability that a given meter read *starts* a failure burst.
+    pub rapl_fault_rate: f64,
+    /// Consecutive reads that fail once a burst starts (bursts longer
+    /// than the retry budget become hard faults).
+    pub rapl_burst_len: u32,
+    /// Probability an invocation's energy sample is dropped (stale
+    /// counter read).
+    pub sample_drop_rate: f64,
+    /// Probability of a measurement-only region-timer spike.
+    pub spike_rate: f64,
+    /// Timer-spike multiplier on the reported time (> 1).
+    pub spike_factor: f64,
+    /// Probability one thread of an invocation straggles.
+    pub straggler_rate: f64,
+    /// Straggler wall-time multiplier (> 1).
+    pub straggler_factor: f64,
+    /// Scheduled mid-run cap changes, keyed on the global invocation
+    /// ordinal.
+    pub cap_schedule: Vec<CapFault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            rapl_fault_rate: 0.0,
+            rapl_burst_len: 0,
+            sample_drop_rate: 0.0,
+            spike_rate: 0.0,
+            spike_factor: 1.0,
+            straggler_rate: 0.0,
+            straggler_factor: 1.0,
+            cap_schedule: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// The reference chaos plan: recoverable RAPL read bursts (shorter
+    /// than the standard retry budget), dropped samples, timer spikes
+    /// and occasional stragglers. A self-healing run should complete
+    /// `Ok` or `Degraded` under it, never panic.
+    pub fn flaky_rapl(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rapl_fault_rate: 0.04,
+            rapl_burst_len: 2,
+            sample_drop_rate: 0.05,
+            spike_rate: 0.10,
+            spike_factor: 8.0,
+            straggler_rate: 0.06,
+            straggler_factor: 1.8,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A hard-outage plan: read bursts far longer than any reasonable
+    /// retry budget, so every burst is a hard fault. Without an error
+    /// budget this plan must surface as a run error; with one it drives
+    /// the run to `Degraded`.
+    pub fn rapl_outage(seed: u64) -> Self {
+        FaultPlan { seed, rapl_fault_rate: 0.05, rapl_burst_len: 1024, ..FaultPlan::default() }
+    }
+
+    /// Mid-run cap swings on top of light measurement noise — exercises
+    /// the tuner's reaction to a moving power envelope.
+    pub fn cap_storm(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            spike_rate: 0.05,
+            spike_factor: 5.0,
+            cap_schedule: vec![
+                CapFault { at_invocation: 8, cap_w: 45.0 },
+                CapFault { at_invocation: 24, cap_w: 90.0 },
+            ],
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Look up a named plan (`flaky-rapl`, `rapl-outage`, `cap-storm`).
+    pub fn by_name(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "flaky-rapl" => Some(Self::flaky_rapl(seed)),
+            "rapl-outage" => Some(Self::rapl_outage(seed)),
+            "cap-storm" => Some(Self::cap_storm(seed)),
+            _ => None,
+        }
+    }
+
+    /// The plan names [`FaultPlan::by_name`] accepts.
+    pub fn names() -> &'static [&'static str] {
+        &["flaky-rapl", "rapl-outage", "cap-storm"]
+    }
+
+    /// Does the meter read with this ordinal fail? A read fails when any
+    /// of the previous `rapl_burst_len - 1` ordinals (or itself) started
+    /// a burst, so failures arrive in deterministic consecutive runs.
+    pub fn rapl_read_fails(&self, read_ordinal: u64) -> bool {
+        if self.rapl_fault_rate <= 0.0 || self.rapl_burst_len == 0 {
+            return false;
+        }
+        let lo = read_ordinal.saturating_sub(u64::from(self.rapl_burst_len) - 1);
+        (lo..=read_ordinal).any(|s| unit(mix(self.seed, b'r', "", s)) < self.rapl_fault_rate)
+    }
+
+    /// Fault decision for the `invocation`-th call of `region`
+    /// (0-based), with `global_ordinal` the run-wide invocation counter
+    /// (used only for the cap schedule). Pure: independent of call
+    /// order and of which other regions ran in between.
+    pub fn invocation_faults(
+        &self,
+        region: &str,
+        invocation: u64,
+        global_ordinal: u64,
+    ) -> InvocationFaults {
+        let straggles = self.straggler_rate > 0.0
+            && unit(mix(self.seed, b's', region, invocation)) < self.straggler_rate;
+        let spikes = self.spike_rate > 0.0
+            && unit(mix(self.seed, b't', region, invocation)) < self.spike_rate;
+        let drops = self.sample_drop_rate > 0.0
+            && unit(mix(self.seed, b'd', region, invocation)) < self.sample_drop_rate;
+        InvocationFaults {
+            straggler_factor: if straggles { self.straggler_factor.max(1.0) } else { 1.0 },
+            spike_factor: if spikes { self.spike_factor.max(1.0) } else { 1.0 },
+            drop_sample: drops,
+            cap_change_w: self
+                .cap_schedule
+                .iter()
+                .find(|c| c.at_invocation == global_ordinal)
+                .map(|c| c.cap_w),
+        }
+    }
+}
+
+/// FNV-style byte mix over `(tag, key)` xor-folded with the ordinal,
+/// finished with splitmix64 — the same construction as the executor's
+/// noise model, so fault decisions share its independence properties.
+fn mix(seed: u64, tag: u8, key: &str, ordinal: u64) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    h = (h ^ u64::from(tag)).wrapping_mul(0x100_0000_01B3);
+    for b in key.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h ^= ordinal.wrapping_mul(0xA24B_AED4_963E_E407);
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to `[0, 1)` with 53 bits of precision.
+fn unit(z: u64) -> f64 {
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_clean() {
+        let p = FaultPlan::new(7);
+        for read in 0..10_000 {
+            assert!(!p.rapl_read_fails(read));
+        }
+        for inv in 0..1000 {
+            assert!(p.invocation_faults("sp/x_solve", inv, inv).is_clean());
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_across_clones() {
+        let a = FaultPlan::flaky_rapl(42);
+        let b = FaultPlan::flaky_rapl(42);
+        for read in 0..5000 {
+            assert_eq!(a.rapl_read_fails(read), b.rapl_read_fails(read));
+        }
+        for inv in 0..500 {
+            assert_eq!(
+                a.invocation_faults("lulesh/calc_fb_hourglass", inv, inv),
+                b.invocation_faults("lulesh/calc_fb_hourglass", inv, inv)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::flaky_rapl(1);
+        let b = FaultPlan::flaky_rapl(2);
+        let differs = (0..2000).any(|r| a.rapl_read_fails(r) != b.rapl_read_fails(r));
+        assert!(differs, "seeds 1 and 2 produced identical read schedules");
+    }
+
+    #[test]
+    fn read_failures_come_in_bursts() {
+        let p = FaultPlan::flaky_rapl(9);
+        // Every burst start implies `rapl_burst_len` consecutive failures.
+        for s in 0..5000u64 {
+            if unit(mix(p.seed, b'r', "", s)) < p.rapl_fault_rate {
+                for k in 0..u64::from(p.rapl_burst_len) {
+                    assert!(p.rapl_read_fails(s + k), "read {} should fail", s + k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rates_are_roughly_honoured() {
+        let p = FaultPlan::flaky_rapl(3);
+        let n = 20_000u64;
+        let spikes =
+            (0..n).filter(|&i| p.invocation_faults("r", i, i).spike_factor > 1.0).count() as f64;
+        let observed = spikes / n as f64;
+        assert!(
+            (observed - p.spike_rate).abs() < 0.01,
+            "spike rate {observed} vs configured {}",
+            p.spike_rate
+        );
+    }
+
+    #[test]
+    fn decisions_do_not_depend_on_interleaving() {
+        let p = FaultPlan::flaky_rapl(5);
+        let fwd: Vec<_> = (0..100).map(|i| p.invocation_faults("a/b", i, i)).collect();
+        let rev: Vec<_> = (0..100).rev().map(|i| p.invocation_faults("a/b", i, i)).collect();
+        for (i, f) in fwd.iter().enumerate() {
+            assert_eq!(*f, rev[99 - i]);
+        }
+    }
+
+    #[test]
+    fn cap_schedule_fires_on_global_ordinal_only() {
+        let p = FaultPlan::cap_storm(0);
+        assert_eq!(p.invocation_faults("r", 0, 8).cap_change_w, Some(45.0));
+        assert_eq!(p.invocation_faults("r", 8, 9).cap_change_w, None);
+        assert_eq!(p.invocation_faults("q", 3, 24).cap_change_w, Some(90.0));
+    }
+
+    #[test]
+    fn named_plans_resolve() {
+        for name in FaultPlan::names() {
+            assert!(FaultPlan::by_name(name, 1).is_some(), "{name} missing");
+        }
+        assert!(FaultPlan::by_name("no-such-plan", 1).is_none());
+    }
+
+    #[test]
+    fn outage_plan_exceeds_any_retry_budget() {
+        let p = FaultPlan::rapl_outage(11);
+        // Find a burst start, then confirm a long consecutive failure run.
+        let start = (0..10_000).find(|&r| p.rapl_read_fails(r)).expect("no burst");
+        for k in 0..64 {
+            assert!(p.rapl_read_fails(start + k));
+        }
+    }
+
+    #[test]
+    fn measure_error_displays_attempts() {
+        let e = MeasureError::RaplRead { attempts: 4 };
+        assert!(e.to_string().contains("4 attempt(s)"));
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let p = FaultPlan::cap_storm(77);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -50,6 +50,7 @@
 
 pub mod cache;
 pub mod exec;
+pub mod fault;
 pub mod machine;
 pub mod memo;
 pub mod rapl;
@@ -57,7 +58,8 @@ pub mod workload;
 
 pub use cache::{analyze, CacheReport};
 pub use exec::{simulate_region, simulate_region_at_freq, SimConfig, SimReport};
-pub use machine::{CacheGeometry, Machine, Placement, PowerModel, SmtModel};
+pub use fault::{CapFault, FaultPlan, InvocationFaults, MeasureError};
+pub use machine::{CacheGeometry, Machine, MachineLoadError, Placement, PowerModel, SmtModel};
 pub use memo::{CacheBindError, CacheStats, SharedSimCache};
 pub use rapl::{PackageEnergy, Rapl};
 pub use workload::{ImbalanceProfile, MemoryProfile, RegionModel, StrideClass, WorkloadDescriptor};

@@ -23,6 +23,41 @@
 //! 2. fewer active cores under the same cap ⇒ higher per-core `f`.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a machine description failed to load: either the JSON itself was
+/// malformed, or it described a machine the simulator cannot model.
+#[derive(Debug)]
+pub enum MachineLoadError {
+    /// The JSON did not parse as a [`Machine`].
+    Parse(serde_json::Error),
+    /// The JSON parsed but failed a physical-validity check.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for MachineLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineLoadError::Parse(e) => write!(f, "machine JSON did not parse: {e}"),
+            MachineLoadError::Invalid(why) => write!(f, "machine description invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineLoadError::Parse(e) => Some(e),
+            MachineLoadError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for MachineLoadError {
+    fn from(e: serde_json::Error) -> Self {
+        MachineLoadError::Parse(e)
+    }
+}
 
 /// Cache geometry and latencies. Latencies are wall-clock nanoseconds
 /// (they do not scale with the core clock — the essential reason power
@@ -244,10 +279,22 @@ impl Machine {
     /// Load a machine description from JSON (all fields of [`Machine`]).
     /// Lets downstream users model their own nodes without recompiling:
     /// start from `Machine::crill().to_json()`, edit, and load.
-    pub fn from_json(json: &str) -> Result<Machine, serde_json::Error> {
+    ///
+    /// Malformed JSON and physically impossible topologies both come
+    /// back as typed [`MachineLoadError`]s — user-supplied machine
+    /// files must never panic the library.
+    pub fn from_json(json: &str) -> Result<Machine, MachineLoadError> {
         let m: Machine = serde_json::from_str(json)?;
-        assert!(m.sockets >= 1 && m.cores_per_socket >= 1 && m.smt_per_core >= 1);
-        assert!(m.f_min_ghz > 0.0 && m.f_min_ghz <= m.f_base_ghz);
+        if m.sockets < 1 || m.cores_per_socket < 1 || m.smt_per_core < 1 {
+            return Err(MachineLoadError::Invalid(
+                "sockets, cores_per_socket and smt_per_core must all be >= 1",
+            ));
+        }
+        if !(m.f_min_ghz > 0.0 && m.f_min_ghz <= m.f_base_ghz) {
+            return Err(MachineLoadError::Invalid(
+                "frequency range must satisfy 0 < f_min_ghz <= f_base_ghz",
+            ));
+        }
         Ok(m)
     }
 
@@ -490,6 +537,20 @@ mod json_tests {
 
     #[test]
     fn invalid_json_is_an_error() {
-        assert!(Machine::from_json("{oops").is_err());
+        match Machine::from_json("{oops") {
+            Err(MachineLoadError::Parse(_)) => {}
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_topology_is_a_typed_error_not_a_panic() {
+        let json = Machine::crill().to_json().replace("\"sockets\": 2", "\"sockets\": 0");
+        match Machine::from_json(&json) {
+            Err(MachineLoadError::Invalid(why)) => assert!(why.contains("sockets")),
+            other => panic!("expected a validity error, got {other:?}"),
+        }
+        let json = Machine::crill().to_json().replace("\"f_min_ghz\": 1.2", "\"f_min_ghz\": -1.0");
+        assert!(matches!(Machine::from_json(&json), Err(MachineLoadError::Invalid(_))));
     }
 }

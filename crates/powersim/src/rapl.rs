@@ -61,8 +61,13 @@ impl Rapl {
     }
 
     /// Advance simulated time by `dt_s` at average package power `power_w`.
+    ///
+    /// Negative durations or powers are programming errors in the caller
+    /// (all call sites derive them from simulated region reports, which
+    /// are non-negative by construction), so this is a debug-only
+    /// invariant rather than a release-mode panic path.
     pub fn advance(&mut self, dt_s: f64, power_w: f64) {
-        assert!(dt_s >= 0.0 && power_w >= 0.0);
+        debug_assert!(dt_s >= 0.0 && power_w >= 0.0);
         self.exact_uj += power_w * dt_s * 1e6;
         self.now_s += dt_s;
         if self.now_s - self.last_update_s >= self.quantum_s {

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// 1 up to this one (new fields carry serde defaults) and refuse newer or
 /// nonsensical versions instead of silently misreading them (see
 /// [`crate::validate_jsonl`]).
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One vertex of a search strategy's candidate set (a Nelder–Mead simplex
 /// vertex, a PRO population member), as captured in
@@ -93,6 +93,23 @@ pub enum TraceEvent {
     CacheMiss { region: String },
     /// An APEX policy callback fired for a task.
     PolicyFired { policy: String, task: String },
+    /// A fault-plan perturbation fired (v4). `kind` names the fault
+    /// class (`rapl_read`, `sample_drop`, `timer_spike`, `straggler`,
+    /// `cap_change`); `magnitude` is class-specific — the time
+    /// multiplier for spikes/stragglers, the requested cap in watts for
+    /// cap changes, the read ordinal for RAPL read failures, 0 for
+    /// dropped samples. `region` is empty for faults not tied to a
+    /// region invocation.
+    FaultInjected { kind: String, region: String, magnitude: f64 },
+    /// The tuner rejected a measurement as an outlier (v4): `value`
+    /// fell more than the configured threshold × `mad` away from the
+    /// `median` of the region's accepted-score window, so it was not
+    /// reported to the search (the same point re-measures instead).
+    MeasurementRejected { region: String, value: f64, median: f64, mad: f64 },
+    /// The self-healing loop stopped tuning `region` and froze it to
+    /// the recorded configuration (v4) — either this region exhausted
+    /// its restart allowance or the run-wide error budget ran out.
+    TunerDegraded { region: String, threads: usize, schedule: String },
 }
 
 impl TraceEvent {
@@ -109,6 +126,9 @@ impl TraceEvent {
             TraceEvent::CacheHit { .. } => "CacheHit",
             TraceEvent::CacheMiss { .. } => "CacheMiss",
             TraceEvent::PolicyFired { .. } => "PolicyFired",
+            TraceEvent::FaultInjected { .. } => "FaultInjected",
+            TraceEvent::MeasurementRejected { .. } => "MeasurementRejected",
+            TraceEvent::TunerDegraded { .. } => "TunerDegraded",
         }
     }
 }

@@ -122,6 +122,22 @@ mod tests {
             TraceEvent::CacheHit { region: "sp/x_solve".into() },
             TraceEvent::CacheMiss { region: "sp/y_solve".into() },
             TraceEvent::PolicyFired { policy: "arcs-select".into(), task: "sp/x_solve".into() },
+            TraceEvent::FaultInjected {
+                kind: "timer_spike".into(),
+                region: "sp/x_solve".into(),
+                magnitude: 8.0,
+            },
+            TraceEvent::MeasurementRejected {
+                region: "sp/x_solve".into(),
+                value: 0.096,
+                median: 0.012,
+                mad: 0.001,
+            },
+            TraceEvent::TunerDegraded {
+                region: "sp/x_solve".into(),
+                threads: 16,
+                schedule: "guided,8".into(),
+            },
         ]
     }
 
@@ -254,8 +270,10 @@ mod tests {
         // the record layout — bump the version AND this test together.
         // (v1 → v2: RegionEnd gained `busy_s`/`barrier_s`. v2 → v3:
         // SearchIteration gained `objective`, RegionEnd
-        // `objective_value`, OverheadCharged `energy_j`.)
-        assert_eq!(SCHEMA_VERSION, 3);
+        // `objective_value`, OverheadCharged `energy_j`. v3 → v4: three
+        // additive fault/recovery variants — FaultInjected,
+        // MeasurementRejected, TunerDegraded.)
+        assert_eq!(SCHEMA_VERSION, 4);
         let record = TraceRecord {
             schema: SCHEMA_VERSION,
             seq: 3,
@@ -263,6 +281,6 @@ mod tests {
             event: TraceEvent::CacheHit { region: "r".into() },
         };
         let json = serde_json::to_string(&record).unwrap();
-        assert_eq!(json, r#"{"schema":3,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
+        assert_eq!(json, r#"{"schema":4,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
     }
 }

@@ -106,7 +106,11 @@ struct JsonlState<W: Write + Send> {
 /// [`into_inner`](JsonlSink::into_inner) and on drop, so a dropped sink
 /// always leaves a valid JSONL file behind (every line that reached the
 /// writer is a whole record; at worst the tail of the stream is missing
-/// if the final flush failed — errors on drop cannot be reported).
+/// if the final flush failed). A flush failure — or a deferred write
+/// error nobody collected — cannot be *returned* from `Drop`, so it is
+/// reported on stderr instead of being silently discarded; call
+/// [`flush`](JsonlSink::flush) or [`into_inner`](JsonlSink::into_inner)
+/// before dropping to handle it programmatically.
 pub struct JsonlSink<W: Write + Send> {
     /// `None` only after [`into_inner`](JsonlSink::into_inner) took the
     /// writer (so `Drop` has nothing left to flush).
@@ -144,10 +148,17 @@ impl<W: Write + Send> JsonlSink<W> {
 
 impl<W: Write + Send> Drop for JsonlSink<W> {
     fn drop(&mut self) {
-        // Best-effort final flush: errors cannot surface from a Drop. Use
-        // `flush`/`into_inner` to observe them.
+        // Errors cannot be returned from a Drop, but a trace that
+        // silently lost its tail is worse than a noisy one: report both
+        // an uncollected deferred write error and a failing final flush
+        // on stderr.
         if let Some(st) = self.state.lock().as_mut() {
-            let _ = st.out.flush();
+            if let Some(e) = st.error.take() {
+                eprintln!("arcs-trace: JsonlSink dropped with an unreported write error: {e}");
+            }
+            if let Err(e) = st.out.flush() {
+                eprintln!("arcs-trace: JsonlSink final flush failed on drop: {e}");
+            }
         }
     }
 }

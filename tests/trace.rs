@@ -194,3 +194,40 @@ fn schema_v2_traces_still_parse() {
     let invocations: u64 = report.regions.values().map(|r| r.invocations).sum();
     assert_eq!(invocations, 2);
 }
+
+/// Traces written before the fault substrate (schema v3) still parse:
+/// objective fields are honoured, the fault-event variants simply never
+/// appear, and the analysis pipeline reports a clean fault summary.
+#[test]
+fn schema_v3_traces_still_parse() {
+    let text = include_str!("fixtures/trace_v3.jsonl");
+    let records = validate_jsonl(text).expect("v3 fixture must stay readable");
+    assert!(records.iter().all(|r| r.schema == 3));
+    let mut scored_ends = 0;
+    for r in &records {
+        match &r.event {
+            TraceEvent::SearchIteration { objective, .. } => {
+                assert_eq!(*objective, Objective::EnergyDelay);
+            }
+            TraceEvent::RegionEnd { objective_value, .. } if objective_value.is_some() => {
+                scored_ends += 1;
+            }
+            TraceEvent::FaultInjected { .. }
+            | TraceEvent::MeasurementRejected { .. }
+            | TraceEvent::TunerDegraded { .. } => {
+                panic!("v3 traces cannot carry v4 fault events")
+            }
+            _ => {}
+        }
+    }
+    assert!(scored_ends > 0, "the fixture carries scored region ends");
+    let report = arcs_metrics::analyze(arcs_metrics::TraceReader::new(std::io::Cursor::new(
+        text.to_string(),
+    )))
+    .expect("v3 traces must flow through the analysis pipeline");
+    assert_eq!(report.objective, Objective::EnergyDelay);
+    assert_eq!(report.faults.injected_total(), 0, "pre-fault traces summarise clean");
+    assert_eq!(report.faults.rejected, 0);
+    let invocations: u64 = report.regions.values().map(|r| r.invocations).sum();
+    assert_eq!(invocations, 2);
+}
