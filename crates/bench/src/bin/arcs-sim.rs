@@ -582,10 +582,19 @@ fn report_main(argv: &[String]) {
     }
     let Some(path) = path else { report_usage() };
 
+    let started = std::time::Instant::now();
     let mut report = arcs_metrics::analyze_path(&path).unwrap_or_else(|e| {
         eprintln!("cannot analyse {path:?}: {e}");
         exit(1)
     });
+    // Stamp the wall-clock replay throughput (region invocations — sweep
+    // "cells" — per second of real time) so compare artifacts accumulate
+    // a perf trajectory in results/ (ROADMAP item 4).
+    let elapsed = started.elapsed().as_secs_f64();
+    let cells: u64 = report.regions.values().map(|r| r.invocations).sum();
+    if cells > 0 && elapsed > 0.0 {
+        report.cells_per_s = Some(cells as f64 / elapsed);
+    }
     if let Some(objective) = objective {
         report.objective = objective;
     }

@@ -38,6 +38,7 @@
 //! [`arcs_trace::NullSink`] costs one branch per invocation and the
 //! untraced path allocates nothing.
 
+use crate::cap::CapHandle;
 use crate::config::OmpConfig;
 use crate::report::{AppRunReport, FaultRecovery, RegionSummary, RunStatus};
 use crate::resilience::ResilienceOptions;
@@ -133,6 +134,14 @@ pub trait Backend {
     /// region invocations are perturbed per the plan's seeded schedule.
     /// The default ignores the plan (the backend is then fault-free).
     fn attach_faults(&mut self, _plan: FaultPlan) {}
+
+    /// Watch an externally-owned [`CapHandle`]: the handle's current
+    /// value replaces the backend's cap now, and every later
+    /// [`CapHandle::set`] is applied at the next region boundary through
+    /// the backend's cap-change path (clamped and traced like a
+    /// scheduled cap fault). The default ignores the handle — the
+    /// backend's cap then stays run-constant.
+    fn attach_cap_handle(&mut self, _handle: CapHandle) {}
 
     /// Introspection hook, called once per invocation after energy
     /// sampling (the simulator routes this into APEX). Default: no-op.
@@ -269,6 +278,7 @@ pub struct Runner<'a, B: Backend> {
     cache: Option<Arc<SharedSimCache>>,
     label: Option<String>,
     faults: Option<FaultPlan>,
+    cap: Option<CapHandle>,
     resilience: Option<ResilienceOptions>,
 }
 
@@ -284,6 +294,7 @@ impl<'a, B: Backend> Runner<'a, B> {
             cache: None,
             label: None,
             faults: None,
+            cap: None,
             resilience: None,
         }
     }
@@ -374,6 +385,16 @@ impl<'a, B: Backend> Runner<'a, B> {
         self
     }
 
+    /// Run under an externally-owned cap: the handle's current value
+    /// replaces the backend's cap at run start, and every later
+    /// [`CapHandle::set`] — from a broker reallocation, another thread,
+    /// anywhere — is applied at the next region boundary as a mid-run
+    /// `CapChange` the tuner adapts to.
+    pub fn cap(mut self, handle: CapHandle) -> Self {
+        self.cap = Some(handle);
+        self
+    }
+
     fn prepare(&mut self) -> Result<&'a WorkloadDescriptor, RunError> {
         if let Some(cache) = self.cache.take() {
             self.backend.bind_shared_cache(cache)?;
@@ -386,6 +407,9 @@ impl<'a, B: Backend> Runner<'a, B> {
         }
         if let Some(plan) = self.faults.take() {
             self.backend.attach_faults(plan);
+        }
+        if let Some(handle) = self.cap.take() {
+            self.backend.attach_cap_handle(handle);
         }
         self.workload.ok_or(RunError::MissingWorkload)
     }
@@ -841,5 +865,193 @@ impl Accum {
             status: if degraded { RunStatus::Degraded } else { RunStatus::Ok },
             faults,
         })
+    }
+}
+
+#[cfg(test)]
+mod meter_tests {
+    //! Edge cases of the [`Meter`] retry/backoff/error-budget contract
+    //! the broker leans on: a read that only succeeds on the *final*
+    //! allowed retry, a budget that runs out exactly when the last hard
+    //! fault is absorbed, and a cap reallocation arriving while the
+    //! driver is inside a retry window.
+
+    use super::*;
+    use crate::cap::{CapHandle, CapWatch};
+    use arcs_powersim::Machine;
+
+    /// Scripted backend: the meter fails for the next `fail_streak`
+    /// reads, overhead charges are logged, and an externally-owned cap is
+    /// polled at region boundaries — the same contract the real
+    /// executors implement.
+    struct FlakyBackend {
+        machine: Machine,
+        cap_w: f64,
+        cap_watch: Option<CapWatch>,
+        energy_j: f64,
+        fail_streak: u32,
+        reads_attempted: u32,
+        backoff_charges: Vec<f64>,
+        /// Set the watched handle to this value on the first backoff
+        /// charge — a broker reallocating mid-retry-window.
+        set_cap_on_backoff: Option<f64>,
+    }
+
+    impl FlakyBackend {
+        fn new() -> Self {
+            FlakyBackend {
+                machine: Machine::crill(),
+                cap_w: 80.0,
+                cap_watch: None,
+                energy_j: 10.0,
+                fail_streak: 0,
+                reads_attempted: 0,
+                backoff_charges: Vec::new(),
+                set_cap_on_backoff: None,
+            }
+        }
+    }
+
+    impl Backend for FlakyBackend {
+        fn machine(&self) -> &Machine {
+            &self.machine
+        }
+
+        fn power_cap_w(&self) -> f64 {
+            self.cap_w
+        }
+
+        fn begin_run(&mut self) {}
+
+        fn charge_overhead(&mut self, dt_s: f64) {
+            self.backoff_charges.push(dt_s);
+            if let Some(w) = self.set_cap_on_backoff.take() {
+                if let Some(watch) = &self.cap_watch {
+                    watch.handle().set(w);
+                }
+            }
+        }
+
+        fn run_region(&mut self, _region: &RegionModel, _cfg: TunedConfig) -> RegionRun {
+            if let Some(cap) = self.cap_watch.as_mut().and_then(CapWatch::poll) {
+                self.cap_w = cap.clamp(self.machine.power.tdp_w * 0.25, self.machine.power.tdp_w);
+            }
+            RegionRun { time_s: 0.1, features: RegionFeatures::default() }
+        }
+
+        fn energy_j(&mut self) -> Result<f64, MeasureError> {
+            self.reads_attempted += 1;
+            if self.fail_streak > 0 {
+                self.fail_streak -= 1;
+                return Err(MeasureError::RaplRead { attempts: 1 });
+            }
+            self.energy_j += 1.0;
+            Ok(self.energy_j)
+        }
+
+        fn attach_cap_handle(&mut self, handle: CapHandle) {
+            self.cap_w = handle.get();
+            self.cap_watch = Some(CapWatch::new(handle));
+        }
+    }
+
+    fn retrying(budget: Option<u64>) -> ResilienceOptions {
+        ResilienceOptions {
+            max_read_retries: 3,
+            retry_backoff_s: 1e-4,
+            error_budget: budget,
+            ..ResilienceOptions::default()
+        }
+    }
+
+    #[test]
+    fn success_on_the_final_retry_spends_no_error_budget() {
+        let mut b = FlakyBackend::new();
+        b.fail_streak = 3; // attempts 1–3 fail; the 3rd retry succeeds
+        let mut meter = Meter::new(Some(retrying(Some(1))));
+        let j = meter.read(&mut b).expect("final retry succeeds");
+        assert_eq!(j, 11.0);
+        assert_eq!(meter.retries, 3);
+        assert_eq!(meter.hard_faults, 0, "a recovered burst is not a hard fault");
+        assert_eq!(meter.budget_left, Some(1), "the budget is untouched");
+        assert!(!meter.degraded);
+        // Linear backoff: the n-th retry charges n × retry_backoff_s.
+        assert_eq!(b.backoff_charges, vec![1e-4, 2.0 * 1e-4, 3.0 * 1e-4]);
+    }
+
+    #[test]
+    fn budget_exactly_exhausted_on_the_final_absorbed_fault_degrades() {
+        let mut b = FlakyBackend::new();
+        let mut meter = Meter::new(Some(retrying(Some(1))));
+        let before = meter.read(&mut b).expect("clean read seeds last_j");
+
+        // One burst longer than the retry allowance: a hard fault that
+        // consumes the last budget unit. The run degrades but answers
+        // with the stand-in value instead of erroring.
+        b.fail_streak = 4; // 1 initial + 3 retries, all failing
+        let j = meter.read(&mut b).expect("budget absorbs the hard fault");
+        assert_eq!(j, before, "the stand-in answer is the last good value");
+        assert_eq!(meter.hard_faults, 1);
+        assert_eq!(meter.budget_left, Some(0));
+        assert!(meter.degraded, "hitting zero degrades immediately, not one fault later");
+
+        // Past exhaustion the meter keeps absorbing (the run completes
+        // Degraded; it does not start erroring mid-flight).
+        b.fail_streak = 4;
+        let j2 = meter.read(&mut b).expect("exhausted budget still absorbs");
+        assert_eq!(j2, before);
+        assert_eq!(meter.hard_faults, 2);
+    }
+
+    #[test]
+    fn exhausted_burst_without_budget_is_a_run_error() {
+        let mut b = FlakyBackend::new();
+        b.fail_streak = 4;
+        let mut meter = Meter::new(Some(retrying(None)));
+        let err = meter.read(&mut b).map(|_| ()).unwrap_err();
+        assert!(matches!(err, RunError::Measure(_)), "got {err:?}");
+        assert_eq!(meter.hard_faults, 1);
+    }
+
+    #[test]
+    fn cap_change_during_a_retry_window_applies_at_the_next_boundary() {
+        let mut b = FlakyBackend::new();
+        let handle = CapHandle::new(80.0);
+        b.attach_cap_handle(handle.clone());
+        assert_eq!(b.power_cap_w(), 80.0);
+
+        // The broker reallocates while the driver is inside the retry
+        // loop: the first backoff charge sets the handle to 60 W.
+        b.fail_streak = 2;
+        b.set_cap_on_backoff = Some(60.0);
+        let mut meter = Meter::new(Some(retrying(Some(4))));
+        let j = meter.read(&mut b).expect("second retry succeeds");
+        assert_eq!(j, 11.0);
+        assert_eq!(meter.retries, 2);
+
+        // The retry window neither applied the cap early nor lost it:
+        // it lands exactly at the next region boundary.
+        assert_eq!(b.power_cap_w(), 80.0, "no mid-read application");
+        let region = RegionModel {
+            name: "meter/kernel".into(),
+            iterations: 8,
+            cycles_per_iter: 1000.0,
+            imbalance: arcs_powersim::ImbalanceProfile::Uniform,
+            memory: arcs_powersim::MemoryProfile {
+                footprint_bytes: 1e4,
+                accesses_per_iter: 1.0,
+                stride: arcs_powersim::StrideClass::Unit,
+                temporal_reuse: 0.5,
+                hot_bytes_per_thread: 1024.0,
+            },
+            serial_s: 0.0,
+            critical_s: 0.0,
+        };
+        let _ = b.run_region(&region, TunedConfig::from(OmpConfig::default_for(&b.machine)));
+        assert_eq!(b.power_cap_w(), 60.0, "applied at the region boundary");
+
+        // And the meter's accounting was untouched by the cap move.
+        assert_eq!(meter.hard_faults, 0);
+        assert!(!meter.degraded);
     }
 }

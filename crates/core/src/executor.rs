@@ -20,7 +20,9 @@
 //! state the live path populates.
 
 use crate::backend::{self, Backend, RegionFeatures, RegionRun, RunError, Runner};
+use crate::cap::{CapHandle, CapWatch};
 use crate::config::OmpConfig;
+use crate::faults::{FaultClock, MeterFault};
 use crate::report::AppRunReport;
 use crate::tunable::TunedConfig;
 use crate::tuner::{RegionTuner, TunerOptions};
@@ -51,22 +53,10 @@ pub struct SimExecutor {
     /// Invocation ordinal per region (feeds the stateless noise model;
     /// persists across runs so repeated training passes see fresh noise).
     invocations: HashMap<String, u64>,
-    faults: Option<FaultState>,
-}
-
-/// Runtime state for an attached [`FaultPlan`]: the plan decides, this
-/// tracks the ordinals the decisions key on (reset per run so the fault
-/// schedule is a pure function of the run's event sequence).
-struct FaultState {
-    plan: FaultPlan,
-    /// Meter reads so far this run (every read attempt counts, including
-    /// driver retries — which is what turns long failure bursts into
-    /// hard faults).
-    read_ordinal: u64,
-    /// Run-wide region invocation counter (the cap schedule's key).
-    global_ordinal: u64,
-    /// Pending stale meter reads from dropped samples.
-    stale_reads: u32,
+    faults: Option<FaultClock>,
+    /// Externally-owned cap, polled at region boundaries (the broker's
+    /// reallocation path; `None` keeps the constructor cap for the run).
+    cap_watch: Option<CapWatch>,
 }
 
 /// Multiplicative measurement noise: real testbeds never return the same
@@ -131,7 +121,18 @@ impl SimExecutor {
             energy_meter: PackageEnergy::new(),
             invocations: HashMap::new(),
             faults: None,
+            cap_watch: None,
         }
+    }
+
+    /// Watch an externally-owned [`CapHandle`]: every `set` on the handle
+    /// is applied — clamped, traced as a `CapChange` — immediately before
+    /// the next region invocation, exactly like a scheduled cap fault.
+    /// The handle's current value replaces the constructor cap at attach
+    /// time.
+    pub fn with_cap_handle(mut self, handle: CapHandle) -> Self {
+        Backend::attach_cap_handle(&mut self, handle);
+        self
     }
 
     /// Route region samples into an APEX instance as well.
@@ -276,6 +277,23 @@ impl SimExecutor {
         }
     }
 
+    /// Apply a newly requested cap: reprogram RAPL, remember both views,
+    /// trace the move. One shared path for scheduled cap faults and
+    /// external (broker) reallocations.
+    fn apply_requested_cap(&mut self, cap: f64) {
+        let effective = self.rapl.set_package_cap(cap);
+        self.requested_cap_w = cap;
+        self.cap_w = effective;
+        if let Some(sink) = &self.trace {
+            if sink.enabled() {
+                sink.record(
+                    None,
+                    TraceEvent::CapChange { requested_w: cap, effective_w: effective },
+                );
+            }
+        }
+    }
+
     /// Run the whole application at the paper's default configuration
     /// (no instrumentation, no tuning).
     pub fn run_default(&mut self, wl: &WorkloadDescriptor) -> AppRunReport {
@@ -333,10 +351,8 @@ impl Backend for SimExecutor {
     fn begin_run(&mut self) {
         self.energy_meter = PackageEnergy::new();
         self.energy_meter.sample(&self.rapl); // prime against the current counter
-        if let Some(fs) = &mut self.faults {
-            fs.read_ordinal = 0;
-            fs.global_ordinal = 0;
-            fs.stale_reads = 0;
+        if let Some(fc) = &mut self.faults {
+            fc.begin_run();
         }
     }
 
@@ -347,29 +363,19 @@ impl Backend for SimExecutor {
 
     fn run_region(&mut self, region: &RegionModel, cfg: TunedConfig) -> RegionRun {
         let inv = self.next_invocation(&region.name);
-        let ifaults: Option<InvocationFaults> = match &mut self.faults {
-            Some(fs) => {
-                let g = fs.global_ordinal;
-                fs.global_ordinal += 1;
-                Some(fs.plan.invocation_faults(&region.name, inv, g))
-            }
-            None => None,
-        };
+        // An external cap move (broker reallocation) applies first, at
+        // the region boundary; a cap fault scheduled for the same
+        // invocation overrides it below.
+        if let Some(cap) = self.cap_watch.as_mut().and_then(|w| w.poll()) {
+            self.apply_requested_cap(cap);
+        }
+        let ifaults: Option<InvocationFaults> =
+            self.faults.as_mut().map(|fc| fc.invocation_faults(&region.name, inv));
         // Scheduled cap change fires *before* the invocation, so the
         // simulation (and the memo cache key) see the new envelope.
         if let Some(cap) = ifaults.and_then(|f| f.cap_change_w) {
-            let effective = self.rapl.set_package_cap(cap);
-            self.requested_cap_w = cap;
-            self.cap_w = effective;
             self.note_fault("cap_change", &region.name, cap);
-            if let Some(sink) = &self.trace {
-                if sink.enabled() {
-                    sink.record(
-                        None,
-                        TraceEvent::CapChange { requested_w: cap, effective_w: effective },
-                    );
-                }
-            }
+            self.apply_requested_cap(cap);
         }
         let mut rep = self.simulate_at(region, cfg.omp.as_sim(), cfg.freq_ghz);
         if let Some(f) = ifaults {
@@ -393,8 +399,8 @@ impl Backend for SimExecutor {
                 self.note_fault("timer_spike", &region.name, f.spike_factor);
             }
             if f.drop_sample {
-                if let Some(fs) = &mut self.faults {
-                    fs.stale_reads = fs.stale_reads.max(1);
+                if let Some(fc) = &mut self.faults {
+                    fc.arm_stale_read();
                 }
                 self.note_fault("sample_drop", &region.name, 1.0);
             }
@@ -412,39 +418,30 @@ impl Backend for SimExecutor {
     }
 
     fn energy_j(&mut self) -> Result<f64, MeasureError> {
-        enum ReadFault {
-            Fail(u64),
-            Stale,
-        }
-        let fault = match &mut self.faults {
-            Some(fs) => {
-                let ord = fs.read_ordinal;
-                fs.read_ordinal += 1;
-                if fs.plan.rapl_read_fails(ord) {
-                    Some(ReadFault::Fail(ord))
-                } else if fs.stale_reads > 0 {
-                    fs.stale_reads -= 1;
-                    Some(ReadFault::Stale)
-                } else {
-                    None
-                }
-            }
-            None => None,
-        };
-        match fault {
-            Some(ReadFault::Fail(ord)) => {
+        match self.faults.as_mut().and_then(FaultClock::meter_fault) {
+            Some(MeterFault::Fail(ord)) => {
                 self.note_fault("rapl_read", "", ord as f64);
                 Err(MeasureError::RaplRead { attempts: 1 })
             }
             // A dropped sample: answer with the stale counter value
             // without resampling RAPL.
-            Some(ReadFault::Stale) => Ok(self.energy_meter.total_j()),
+            Some(MeterFault::Stale) => Ok(self.energy_meter.total_j()),
             None => Ok(self.energy_meter.sample(&self.rapl)),
         }
     }
 
     fn attach_faults(&mut self, plan: FaultPlan) {
-        self.faults = Some(FaultState { plan, read_ordinal: 0, global_ordinal: 0, stale_reads: 0 });
+        self.faults = Some(FaultClock::new(plan));
+    }
+
+    fn attach_cap_handle(&mut self, handle: CapHandle) {
+        // The handle's current value replaces the constructor cap; later
+        // `set`s apply at region boundaries via `CapWatch::poll`.
+        let requested = handle.get();
+        let effective = self.rapl.set_package_cap(requested);
+        self.requested_cap_w = requested;
+        self.cap_w = effective;
+        self.cap_watch = Some(CapWatch::new(handle));
     }
 
     fn record_sample(&mut self, region: &str, time_s: f64, energy_total_j: f64) {
@@ -737,6 +734,46 @@ mod trace_tests {
         for w in records.windows(2) {
             assert!(w[0].seq < w[1].seq);
         }
+    }
+
+    #[test]
+    fn cap_handle_moves_apply_at_region_boundaries_and_trace_cap_changes() {
+        let m = Machine::crill();
+        let wl = tiny_sp();
+        let handle = crate::cap::CapHandle::new(100.0);
+        let sink = Arc::new(VecSink::new());
+        let mut exec = SimExecutor::new(m.clone(), 85.0)
+            .with_cap_handle(handle.clone())
+            .with_trace(sink.clone());
+        assert_eq!(exec.power_cap_w(), 100.0, "the handle replaces the constructor cap");
+
+        // Reallocate mid-run: the driver's next region boundary applies it.
+        handle.set(60.0);
+        let rep = exec.run_default(&wl);
+        assert_eq!(rep.power_cap_w, 60.0);
+        let records = sink.drain();
+        let caps: Vec<(f64, f64)> = records
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::CapChange { requested_w, effective_w } => {
+                    Some((requested_w, effective_w))
+                }
+                _ => None,
+            })
+            .collect();
+        // Run-start CapChange at the attach-time value, then the mid-run
+        // move traced through the same path a scheduled cap fault uses.
+        assert_eq!(caps, vec![(100.0, 100.0), (60.0, 60.0)]);
+        // No FaultInjected breadcrumb: a reallocation is not a fault.
+        assert_eq!(records.iter().filter(|r| r.event.kind() == "FaultInjected").count(), 0);
+
+        // An identical run at a fixed 60 W cap prices the post-move
+        // regions identically (the memo cache key follows the envelope).
+        let fixed = SimExecutor::new(m, 60.0).run_default(&wl);
+        assert_eq!(
+            rep.per_region["sp/x_solve"].total_time_s,
+            fixed.per_region["sp/x_solve"].total_time_s
+        );
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Shared fault-ordinal bookkeeping for [`FaultPlan`]-aware backends.
+//!
+//! A [`FaultPlan`] is stateless — every decision
+//! is a pure function of (seed, fault class, key, ordinal). What each
+//! backend must supply is the *ordinals*: how many meter reads have
+//! happened this run, which run-wide invocation is executing, and whether
+//! a dropped sample has armed a stale read. PR 5 grew that bookkeeping
+//! twice (once in `SimExecutor`, once in `LiveExecutor`), character for
+//! character; [`FaultClock`] is the single shared copy, so a third
+//! backend (the broker's per-node executors) cannot drift from the other
+//! two.
+//!
+//! The contract that keeps one plan perturbing every backend identically:
+//!
+//! * ordinals reset at `begin_run`, so the fault schedule is a pure
+//!   function of the run's event sequence, not of executor history;
+//! * *every* meter-read attempt advances the read ordinal, including
+//!   driver retries — which is what turns long failure bursts into hard
+//!   faults;
+//! * the run-wide invocation ordinal advances exactly once per region
+//!   invocation (it keys the cap schedule).
+
+use arcs_powersim::{FaultPlan, InvocationFaults};
+
+/// What the fault plan says one meter read should do: fail outright
+/// (carrying the read ordinal for the fault breadcrumb), or answer with
+/// the previous value without resampling. How a "stale" answer is
+/// produced stays per-backend — the simulator replays its unwrapped
+/// counter, the live path replays the last value handed out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeterFault {
+    /// The read fails; the payload is the read ordinal that failed.
+    Fail(u64),
+    /// The read must answer the stale (previous) meter value.
+    Stale,
+}
+
+/// Runtime state for an attached [`FaultPlan`]: the plan decides, this
+/// tracks the ordinals the decisions key on.
+#[derive(Debug, Clone)]
+pub struct FaultClock {
+    plan: FaultPlan,
+    /// Meter reads so far this run (every read attempt counts).
+    read_ordinal: u64,
+    /// Run-wide region invocation counter (the cap schedule's key).
+    global_ordinal: u64,
+    /// Pending stale meter reads from dropped samples.
+    stale_reads: u32,
+}
+
+impl FaultClock {
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultClock { plan, read_ordinal: 0, global_ordinal: 0, stale_reads: 0 }
+    }
+
+    /// Reset every ordinal so the next run replays the plan from the top.
+    pub fn begin_run(&mut self) {
+        self.read_ordinal = 0;
+        self.global_ordinal = 0;
+        self.stale_reads = 0;
+    }
+
+    /// The plan's decisions for the next region invocation. Advances the
+    /// run-wide ordinal; call exactly once per invocation.
+    pub fn invocation_faults(&mut self, region: &str, invocation: u64) -> InvocationFaults {
+        let g = self.global_ordinal;
+        self.global_ordinal += 1;
+        self.plan.invocation_faults(region, invocation, g)
+    }
+
+    /// Arm one stale meter read (a dropped sample: the next read answers
+    /// the previous value). Repeated drops before a read still arm one.
+    pub fn arm_stale_read(&mut self) {
+        self.stale_reads = self.stale_reads.max(1);
+    }
+
+    /// The plan's decision for the next meter read. Advances the read
+    /// ordinal; call exactly once per read attempt (retries included).
+    pub fn meter_fault(&mut self) -> Option<MeterFault> {
+        let ord = self.read_ordinal;
+        self.read_ordinal += 1;
+        if self.plan.rapl_read_fails(ord) {
+            Some(MeterFault::Fail(ord))
+        } else if self.stale_reads > 0 {
+            self.stale_reads -= 1;
+            Some(MeterFault::Stale)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcs_powersim::FaultPlan;
+
+    fn bursty_plan() -> FaultPlan {
+        let mut plan = FaultPlan::new(11);
+        plan.rapl_fault_rate = 0.3;
+        plan
+    }
+
+    #[test]
+    fn read_ordinals_replay_the_plan_exactly() {
+        let plan = bursty_plan();
+        let mut clock = FaultClock::new(plan.clone());
+        let direct: Vec<bool> = (0..64).map(|o| plan.rapl_read_fails(o)).collect();
+        let via_clock: Vec<bool> =
+            (0..64).map(|_| matches!(clock.meter_fault(), Some(MeterFault::Fail(_)))).collect();
+        assert_eq!(direct, via_clock);
+    }
+
+    #[test]
+    fn begin_run_resets_every_ordinal() {
+        let mut clock = FaultClock::new(bursty_plan());
+        let first: Vec<Option<MeterFault>> = (0..16).map(|_| clock.meter_fault()).collect();
+        let _ = clock.invocation_faults("r", 0);
+        clock.arm_stale_read();
+        clock.begin_run();
+        let second: Vec<Option<MeterFault>> = (0..16).map(|_| clock.meter_fault()).collect();
+        assert_eq!(first, second, "a reset clock replays the schedule from the top");
+    }
+
+    #[test]
+    fn stale_reads_arm_once_and_drain_once() {
+        // A plan that never fails reads isolates the stale path.
+        let mut clock = FaultClock::new(FaultPlan::new(5));
+        assert_eq!(clock.meter_fault(), None);
+        clock.arm_stale_read();
+        clock.arm_stale_read(); // repeated drops before a read still arm one
+        assert_eq!(clock.meter_fault(), Some(MeterFault::Stale));
+        assert_eq!(clock.meter_fault(), None);
+    }
+
+    #[test]
+    fn global_ordinal_advances_once_per_invocation() {
+        // A cap scheduled at global ordinal 2 fires on the third
+        // invocation regardless of which region runs it.
+        let mut plan = FaultPlan::new(7);
+        plan.cap_schedule.push(arcs_powersim::CapFault { at_invocation: 2, cap_w: 60.0 });
+        let mut clock = FaultClock::new(plan);
+        assert_eq!(clock.invocation_faults("a", 0).cap_change_w, None);
+        assert_eq!(clock.invocation_faults("b", 0).cap_change_w, None);
+        assert_eq!(clock.invocation_faults("a", 1).cap_change_w, Some(60.0));
+    }
+}

@@ -47,9 +47,11 @@
 //! ```
 
 pub mod backend;
+pub mod cap;
 pub mod config;
 pub mod dvfs;
 pub mod executor;
+pub mod faults;
 pub mod live;
 pub mod profiler;
 pub mod report;
@@ -62,9 +64,11 @@ pub use backend::{
     overhead_power_w, Backend, Measurement, RegionFeatures, RegionRun, RunError, Runner,
     RunnerStrategy,
 };
+pub use cap::{CapHandle, CapWatch};
 pub use config::{ChunkChoice, ConfigSpace, OmpConfig, ScheduleChoice, ThreadChoice};
 pub use dvfs::{DvfsConfig, DvfsOutcome, DvfsSpace};
 pub use executor::{runs, NoiseModel, SimExecutor};
+pub use faults::{FaultClock, MeterFault};
 pub use live::{ArcsLive, LiveExecutor};
 pub use profiler::{OmptProfiler, RegionProfile};
 pub use report::{AppRunReport, FaultRecovery, RegionSummary, RunStatus};
@@ -91,6 +95,7 @@ pub use arcs_trace::Objective;
 /// ```
 pub mod prelude {
     pub use crate::backend::{Backend, RunError, Runner, RunnerStrategy};
+    pub use crate::cap::CapHandle;
     pub use crate::config::{ConfigSpace, OmpConfig};
     pub use crate::executor::{runs, SimExecutor};
     pub use crate::report::{AppRunReport, FaultRecovery, RunStatus};

@@ -16,6 +16,8 @@
 //! duration back to the session.
 
 use crate::backend::{self, Backend, RegionFeatures, RegionRun};
+use crate::cap::{CapHandle, CapWatch};
+use crate::faults::{FaultClock, MeterFault};
 use crate::tunable::TunedConfig;
 use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_apex::{Apex, PolicyEventKind, PolicyTrigger};
@@ -138,19 +140,13 @@ pub struct LiveExecutor {
     /// Invocation ordinal per region (keys the fault plan's decisions,
     /// mirroring the simulator's counter).
     invocations: HashMap<String, u64>,
-    faults: Option<LiveFaultState>,
+    /// Shared ordinal bookkeeping — the same [`FaultClock`] the simulator
+    /// uses, so one plan perturbs both backends identically.
+    faults: Option<FaultClock>,
+    /// Externally-owned cap, polled at region boundaries.
+    cap_watch: Option<CapWatch>,
     trace: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
-}
-
-/// Runtime state for an attached [`FaultPlan`] on the live path — the
-/// same ordinal bookkeeping as the simulator's, so one plan perturbs
-/// both backends identically.
-struct LiveFaultState {
-    plan: FaultPlan,
-    read_ordinal: u64,
-    global_ordinal: u64,
-    stale_reads: u32,
 }
 
 impl LiveExecutor {
@@ -168,9 +164,18 @@ impl LiveExecutor {
             last_read_j: 0.0,
             invocations: HashMap::new(),
             faults: None,
+            cap_watch: None,
             trace: None,
             metrics: None,
         }
+    }
+
+    /// Watch an externally-owned [`CapHandle`] (see
+    /// [`SimExecutor::with_cap_handle`](crate::executor::SimExecutor::with_cap_handle)):
+    /// the live path has no host RAPL, so only the pricing envelope moves.
+    pub fn with_cap_handle(mut self, handle: CapHandle) -> Self {
+        Backend::attach_cap_handle(&mut self, handle);
+        self
     }
 
     /// Attach a trace sink; the shared run driver emits region, power and
@@ -224,6 +229,22 @@ impl LiveExecutor {
         }
         if let Some(registry) = &self.metrics {
             registry.counter(&format!("arcs/faults/{kind}")).inc();
+        }
+    }
+
+    /// Apply a newly requested cap to the pricing envelope (no host RAPL
+    /// to reprogram) and trace the move — one shared path for scheduled
+    /// cap faults and external (broker) reallocations.
+    fn apply_requested_cap(&mut self, cap: f64) {
+        let effective = cap.clamp(self.machine.power.tdp_w * 0.25, self.machine.power.tdp_w);
+        self.cap_w = effective;
+        if let Some(sink) = &self.trace {
+            if sink.enabled() {
+                sink.record(
+                    None,
+                    TraceEvent::CapChange { requested_w: cap, effective_w: effective },
+                );
+            }
         }
     }
 
@@ -295,10 +316,8 @@ impl Backend for LiveExecutor {
     fn begin_run(&mut self) {
         self.energy_acc_j = 0.0;
         self.last_read_j = 0.0;
-        if let Some(fs) = &mut self.faults {
-            fs.read_ordinal = 0;
-            fs.global_ordinal = 0;
-            fs.stale_reads = 0;
+        if let Some(fc) = &mut self.faults {
+            fc.begin_run();
         }
     }
 
@@ -312,28 +331,18 @@ impl Backend for LiveExecutor {
     // behaviour. The simulator is the backend that honours the knob.
     fn run_region(&mut self, region: &RegionModel, cfg: TunedConfig) -> RegionRun {
         let inv = self.next_invocation(&region.name);
-        let ifaults: Option<InvocationFaults> = match &mut self.faults {
-            Some(fs) => {
-                let g = fs.global_ordinal;
-                fs.global_ordinal += 1;
-                Some(fs.plan.invocation_faults(&region.name, inv, g))
-            }
-            None => None,
-        };
+        // External cap move first; a cap fault scheduled for the same
+        // invocation overrides it below.
+        if let Some(cap) = self.cap_watch.as_mut().and_then(|w| w.poll()) {
+            self.apply_requested_cap(cap);
+        }
+        let ifaults: Option<InvocationFaults> =
+            self.faults.as_mut().map(|fc| fc.invocation_faults(&region.name, inv));
         // Scheduled cap change: no host RAPL to reprogram, so only the
         // pricing envelope moves (clamped like the constructor does).
         if let Some(cap) = ifaults.and_then(|f| f.cap_change_w) {
-            let effective = cap.clamp(self.machine.power.tdp_w * 0.25, self.machine.power.tdp_w);
-            self.cap_w = effective;
             self.note_fault("cap_change", &region.name, cap);
-            if let Some(sink) = &self.trace {
-                if sink.enabled() {
-                    sink.record(
-                        None,
-                        TraceEvent::CapChange { requested_w: cap, effective_w: effective },
-                    );
-                }
-            }
+            self.apply_requested_cap(cap);
         }
         let id = self.region_id(&region.name);
         let threads = cfg.omp.threads.clamp(1, self.rt.max_threads());
@@ -369,8 +378,8 @@ impl Backend for LiveExecutor {
                 self.note_fault("timer_spike", &region.name, f.spike_factor);
             }
             if f.drop_sample {
-                if let Some(fs) = &mut self.faults {
-                    fs.stale_reads = fs.stale_reads.max(1);
+                if let Some(fc) = &mut self.faults {
+                    fc.arm_stale_read();
                 }
                 self.note_fault("sample_drop", &region.name, 1.0);
             }
@@ -389,31 +398,12 @@ impl Backend for LiveExecutor {
     }
 
     fn energy_j(&mut self) -> Result<f64, MeasureError> {
-        enum ReadFault {
-            Fail(u64),
-            Stale,
-        }
-        let fault = match &mut self.faults {
-            Some(fs) => {
-                let ord = fs.read_ordinal;
-                fs.read_ordinal += 1;
-                if fs.plan.rapl_read_fails(ord) {
-                    Some(ReadFault::Fail(ord))
-                } else if fs.stale_reads > 0 {
-                    fs.stale_reads -= 1;
-                    Some(ReadFault::Stale)
-                } else {
-                    None
-                }
-            }
-            None => None,
-        };
-        match fault {
-            Some(ReadFault::Fail(ord)) => {
+        match self.faults.as_mut().and_then(FaultClock::meter_fault) {
+            Some(MeterFault::Fail(ord)) => {
                 self.note_fault("rapl_read", "", ord as f64);
                 Err(MeasureError::RaplRead { attempts: 1 })
             }
-            Some(ReadFault::Stale) => Ok(self.last_read_j),
+            Some(MeterFault::Stale) => Ok(self.last_read_j),
             None => {
                 self.last_read_j = self.energy_acc_j;
                 Ok(self.energy_acc_j)
@@ -422,8 +412,13 @@ impl Backend for LiveExecutor {
     }
 
     fn attach_faults(&mut self, plan: FaultPlan) {
-        self.faults =
-            Some(LiveFaultState { plan, read_ordinal: 0, global_ordinal: 0, stale_reads: 0 });
+        self.faults = Some(FaultClock::new(plan));
+    }
+
+    fn attach_cap_handle(&mut self, handle: CapHandle) {
+        let requested = handle.get();
+        self.cap_w = requested.clamp(self.machine.power.tdp_w * 0.25, self.machine.power.tdp_w);
+        self.cap_watch = Some(CapWatch::new(handle));
     }
 
     fn trace(&self) -> Option<&Arc<dyn TraceSink>> {

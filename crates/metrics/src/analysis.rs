@@ -357,6 +357,109 @@ pub struct TraceReport {
     /// Fault-injection and recovery activity (v4 traces; empty before).
     #[serde(default)]
     pub faults: FaultReport,
+    /// Multi-tenant broker activity (v5 traces; empty before).
+    #[serde(default)]
+    pub broker: BrokerReport,
+    /// Wall-clock analysis throughput stamped by the producer (`arcs-sim
+    /// report`): `RegionEnd` records — sweep "cells" — replayed per
+    /// second of real time. `None` in older artifacts or when the
+    /// producer did not time itself. The first slice of the ROADMAP's
+    /// cells/sec trajectory: `arcs-sim compare` copies it into its
+    /// artifact so `results/` accumulates a perf history run over run.
+    #[serde(default)]
+    pub cells_per_s: Option<f64>,
+}
+
+/// One tenant's slice of the broker activity in a trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantBreakdown {
+    /// `JobSubmitted` events naming this tenant.
+    pub submitted: u64,
+    /// `JobScheduled` events naming this tenant.
+    pub scheduled: u64,
+    /// `JobCompleted` events naming this tenant.
+    pub completed: u64,
+    /// Jobs admission control refused.
+    pub rejected: u64,
+    /// Completions whose final status was not `ok`.
+    pub degraded: u64,
+    /// Σ completed-job run time.
+    pub time_s: f64,
+    /// Σ completed-job attributed energy.
+    pub energy_j: f64,
+    /// Σ node-level watts over every `CapReallocated` allocation owned
+    /// by this tenant (one sample per job per event).
+    pub alloc_w_sum: f64,
+    /// Allocation samples behind [`alloc_w_sum`](Self::alloc_w_sum).
+    pub alloc_samples: u64,
+}
+
+impl TenantBreakdown {
+    /// Mean node-level watts this tenant held across reallocation
+    /// points — the quantity the fairness ratio compares.
+    pub fn mean_allocated_w(&self) -> f64 {
+        if self.alloc_samples > 0 {
+            self.alloc_w_sum / self.alloc_samples as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// What the power-budget broker did over the trace, from the v5
+/// `JobSubmitted`/`JobRejected`/`JobScheduled`/`CapReallocated`/
+/// `JobCompleted` events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BrokerReport {
+    pub submitted: u64,
+    pub scheduled: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    /// `CapReallocated` events observed.
+    pub reallocations: u64,
+    /// Global budget at the last reallocation point.
+    pub budget_w: f64,
+    /// Largest Σ allocations across all reallocation points.
+    pub max_total_w: f64,
+    /// Reallocation points where Σ allocations exceeded the budget —
+    /// zero for any correct broker run (the conservation invariant).
+    pub over_budget_events: u64,
+    /// Per-tenant breakdown, keyed by tenant name.
+    pub tenants: BTreeMap<String, TenantBreakdown>,
+}
+
+impl BrokerReport {
+    /// Did the trace record any broker activity at all?
+    pub fn any(&self) -> bool {
+        self.submitted > 0 || self.rejected > 0 || self.reallocations > 0 || self.completed > 0
+    }
+
+    /// Jobs that entered the broker but neither completed nor were
+    /// rejected by the end of the trace.
+    pub fn lost_jobs(&self) -> i64 {
+        self.submitted as i64 - self.completed as i64 - self.rejected as i64
+    }
+
+    /// Max/min ratio of per-tenant mean allocated watts — 1.0 is
+    /// perfectly fair. `None` until two tenants have held allocations.
+    pub fn fairness_ratio(&self) -> Option<f64> {
+        let means: Vec<f64> = self
+            .tenants
+            .values()
+            .filter(|t| t.alloc_samples > 0)
+            .map(TenantBreakdown::mean_allocated_w)
+            .collect();
+        if means.len() < 2 {
+            return None;
+        }
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        if min > 0.0 {
+            Some(max / min)
+        } else {
+            None
+        }
+    }
 }
 
 /// What a fault plan did to the run and how the stack recovered, from
@@ -468,6 +571,9 @@ impl TraceReport {
             self.overhead.total_s(),
             self.total_energy_j
         ));
+        if let Some(cps) = self.cells_per_s {
+            out.push_str(&format!("analysis throughput: {cps:.0} cells/s (wall clock)\n"));
+        }
 
         h(&mut out, "Regions");
         let name_w = self.regions.keys().map(|k| k.len()).max().unwrap_or(6).max("region".len());
@@ -609,6 +715,46 @@ impl TraceReport {
                 ));
             }
         }
+
+        if self.broker.any() {
+            h(&mut out, "Broker");
+            out.push_str(&format!(
+                "{} submitted, {} scheduled, {} completed, {} rejected, {} lost\n",
+                self.broker.submitted,
+                self.broker.scheduled,
+                self.broker.completed,
+                self.broker.rejected,
+                self.broker.lost_jobs()
+            ));
+            out.push_str(&format!(
+                "budget {:.1} W, peak allocation {:.1} W, {} reallocation(s), {}\n",
+                self.broker.budget_w,
+                self.broker.max_total_w,
+                self.broker.reallocations,
+                if self.broker.over_budget_events == 0 {
+                    "budget conserved".to_string()
+                } else {
+                    format!("{} OVER-BUDGET event(s)", self.broker.over_budget_events)
+                }
+            ));
+            if let Some(ratio) = self.broker.fairness_ratio() {
+                out.push_str(&format!("fairness (max/min mean tenant share): {ratio:.3}\n"));
+            }
+            for (name, t) in &self.broker.tenants {
+                out.push_str(&format!(
+                    "{}{name}: {}/{} job(s) completed ({} degraded, {} rejected), \
+                     mean share {:.1} W, {:.2} s, {:.0} J\n",
+                    if md { "- " } else { "  " },
+                    t.completed,
+                    t.submitted,
+                    t.degraded,
+                    t.rejected,
+                    t.mean_allocated_w(),
+                    t.time_s,
+                    t.energy_j
+                ));
+            }
+        }
         out
     }
 }
@@ -640,6 +786,9 @@ pub struct TraceAnalysis {
     current_cap: Option<usize>,
     timeline_stride: u64,
     since_last_point: u64,
+    /// job id → tenant, learned from `JobSubmitted`/`JobScheduled`, so
+    /// `CapReallocated` allocations can be attributed per tenant.
+    job_tenants: BTreeMap<u64, String>,
 }
 
 impl TraceAnalysis {
@@ -722,6 +871,49 @@ impl TraceAnalysis {
             TraceEvent::TunerDegraded { region, .. } => {
                 r.faults.degraded_regions.push(region.clone());
             }
+            TraceEvent::JobSubmitted { job, tenant, .. } => {
+                r.broker.submitted += 1;
+                r.broker.tenants.entry(tenant.clone()).or_default().submitted += 1;
+                self.job_tenants.insert(*job, tenant.clone());
+            }
+            TraceEvent::JobRejected { job, tenant, .. } => {
+                r.broker.rejected += 1;
+                r.broker.tenants.entry(tenant.clone()).or_default().rejected += 1;
+                self.job_tenants.remove(job);
+            }
+            TraceEvent::JobScheduled { job, tenant, .. } => {
+                r.broker.scheduled += 1;
+                r.broker.tenants.entry(tenant.clone()).or_default().scheduled += 1;
+                self.job_tenants.entry(*job).or_insert_with(|| tenant.clone());
+            }
+            TraceEvent::CapReallocated { budget_w, total_w, allocations, .. } => {
+                r.broker.reallocations += 1;
+                r.broker.budget_w = *budget_w;
+                let alloc_sum: f64 = allocations.iter().map(|a| a.cap_w).sum();
+                let total = total_w.max(alloc_sum);
+                r.broker.max_total_w = r.broker.max_total_w.max(total);
+                if total > budget_w * (1.0 + 1e-9) + 1e-9 {
+                    r.broker.over_budget_events += 1;
+                }
+                for a in allocations {
+                    if let Some(tenant) = self.job_tenants.get(&a.job) {
+                        let t = r.broker.tenants.entry(tenant.clone()).or_default();
+                        t.alloc_w_sum += a.cap_w;
+                        t.alloc_samples += 1;
+                    }
+                }
+            }
+            TraceEvent::JobCompleted { job, tenant, status, time_s, energy_j, .. } => {
+                r.broker.completed += 1;
+                let t = r.broker.tenants.entry(tenant.clone()).or_default();
+                t.completed += 1;
+                if status != "ok" {
+                    t.degraded += 1;
+                }
+                t.time_s += time_s;
+                t.energy_j += energy_j;
+                self.job_tenants.remove(job);
+            }
             TraceEvent::RegionBegin { .. } | TraceEvent::PolicyFired { .. } => {}
         }
     }
@@ -799,6 +991,16 @@ pub struct Comparison {
     /// What the rows measure (`Time` in pre-objective artifacts).
     #[serde(default)]
     pub objective: Objective,
+    /// Wall-clock analysis throughput carried over from the baseline
+    /// report (`None` when the baseline artifact predates the field).
+    /// Recorded, never gated on — wall-clock numbers are too noisy to
+    /// fail CI, but the trajectory in `results/` shows wins and
+    /// regressions alike (ROADMAP item 4).
+    #[serde(default)]
+    pub baseline_cells_per_s: Option<f64>,
+    /// Wall-clock analysis throughput from the candidate report.
+    #[serde(default)]
+    pub candidate_cells_per_s: Option<f64>,
 }
 
 impl Comparison {
@@ -836,6 +1038,17 @@ impl Comparison {
         }
         for m in &self.new_in_candidate {
             out.push_str(&format!("{m}: new in candidate\n"));
+        }
+        if self.baseline_cells_per_s.is_some() || self.candidate_cells_per_s.is_some() {
+            let fmt = |v: Option<f64>| match v {
+                Some(c) => format!("{c:.0}"),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "cells/s (wall clock, informational): baseline {} → candidate {}\n",
+                fmt(self.baseline_cells_per_s),
+                fmt(self.candidate_cells_per_s)
+            ));
         }
         out.push_str(&format!(
             "threshold {}%: {}\n",
@@ -891,7 +1104,15 @@ pub fn compare_reports_for(
     }
     let new_in_candidate: Vec<String> =
         candidate.regions.keys().filter(|k| !baseline.regions.contains_key(*k)).cloned().collect();
-    Comparison { fail_on_pct, rows, missing_in_candidate: missing, new_in_candidate, objective }
+    Comparison {
+        fail_on_pct,
+        rows,
+        missing_in_candidate: missing,
+        new_in_candidate,
+        objective,
+        baseline_cells_per_s: baseline.cells_per_s,
+        candidate_cells_per_s: candidate.cells_per_s,
+    }
 }
 
 #[cfg(test)]
@@ -1153,6 +1374,204 @@ mod tests {
         let clean = analyze(TraceReader::new(jsonl(&sample_trace()).as_bytes())).unwrap();
         assert!(!clean.faults.any());
         assert!(!clean.to_table().contains("Faults & recovery"));
+    }
+
+    #[test]
+    fn broker_events_are_attributed_per_tenant() {
+        use arcs_trace::JobAllocation as A;
+        let records = vec![
+            rec(
+                0,
+                Some(0.0),
+                E::JobSubmitted {
+                    job: 1,
+                    tenant: "acme".into(),
+                    workload: "sp.W".into(),
+                    floor_w: 40.0,
+                },
+            ),
+            rec(
+                1,
+                Some(0.0),
+                E::JobScheduled { job: 1, tenant: "acme".into(), node: 0, cap_w: 100.0 },
+            ),
+            rec(
+                2,
+                Some(0.0),
+                E::CapReallocated {
+                    reason: "scheduled".into(),
+                    budget_w: 200.0,
+                    total_w: 100.0,
+                    allocations: vec![A { job: 1, node: 0, cap_w: 100.0 }],
+                },
+            ),
+            rec(
+                3,
+                Some(1.0),
+                E::JobSubmitted {
+                    job: 2,
+                    tenant: "umbrella".into(),
+                    workload: "bt.W".into(),
+                    floor_w: 40.0,
+                },
+            ),
+            rec(
+                4,
+                Some(1.0),
+                E::JobScheduled { job: 2, tenant: "umbrella".into(), node: 1, cap_w: 80.0 },
+            ),
+            rec(
+                5,
+                Some(1.0),
+                E::CapReallocated {
+                    reason: "scheduled".into(),
+                    budget_w: 200.0,
+                    total_w: 200.0,
+                    allocations: vec![
+                        A { job: 1, node: 0, cap_w: 120.0 },
+                        A { job: 2, node: 1, cap_w: 80.0 },
+                    ],
+                },
+            ),
+            rec(
+                6,
+                Some(2.0),
+                E::JobSubmitted {
+                    job: 3,
+                    tenant: "umbrella".into(),
+                    workload: "bt.W".into(),
+                    floor_w: 500.0,
+                },
+            ),
+            rec(
+                7,
+                Some(2.0),
+                E::JobRejected {
+                    job: 3,
+                    tenant: "umbrella".into(),
+                    floor_w: 500.0,
+                    reason: "floor cap exceeds the global budget".into(),
+                },
+            ),
+            rec(
+                8,
+                Some(10.0),
+                E::JobCompleted {
+                    job: 1,
+                    tenant: "acme".into(),
+                    node: 0,
+                    status: "ok".into(),
+                    time_s: 10.0,
+                    energy_j: 1000.0,
+                },
+            ),
+            rec(
+                9,
+                Some(10.0),
+                E::CapReallocated {
+                    reason: "completed".into(),
+                    budget_w: 200.0,
+                    total_w: 80.0,
+                    allocations: vec![A { job: 2, node: 1, cap_w: 80.0 }],
+                },
+            ),
+            rec(
+                10,
+                Some(12.0),
+                E::JobCompleted {
+                    job: 2,
+                    tenant: "umbrella".into(),
+                    node: 1,
+                    status: "degraded".into(),
+                    time_s: 12.0,
+                    energy_j: 900.0,
+                },
+            ),
+        ];
+        let report = analyze(TraceReader::new(jsonl(&records).as_bytes())).unwrap();
+        let b = &report.broker;
+        assert!(b.any());
+        assert_eq!((b.submitted, b.scheduled, b.completed, b.rejected), (3, 2, 2, 1));
+        assert_eq!(b.lost_jobs(), 0);
+        assert_eq!(b.reallocations, 3);
+        assert_eq!(b.budget_w, 200.0);
+        assert_eq!(b.max_total_w, 200.0);
+        assert_eq!(b.over_budget_events, 0);
+
+        let acme = &b.tenants["acme"];
+        assert_eq!((acme.submitted, acme.completed, acme.degraded, acme.rejected), (1, 1, 0, 0));
+        assert!((acme.mean_allocated_w() - 110.0).abs() < 1e-12); // (100 + 120) / 2
+        let umb = &b.tenants["umbrella"];
+        assert_eq!((umb.submitted, umb.completed, umb.degraded, umb.rejected), (2, 1, 1, 1));
+        assert!((umb.mean_allocated_w() - 80.0).abs() < 1e-12);
+        assert!((umb.time_s - 12.0).abs() < 1e-12);
+        assert!((b.fairness_ratio().unwrap() - 110.0 / 80.0).abs() < 1e-12);
+
+        for rendered in [report.to_table(), report.to_markdown()] {
+            assert!(rendered.contains("Broker"), "{rendered}");
+            assert!(rendered.contains("budget conserved"), "{rendered}");
+            assert!(rendered.contains("3 submitted, 2 scheduled, 2 completed"), "{rendered}");
+            assert!(rendered.contains("fairness"), "{rendered}");
+        }
+        let back = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.broker, report.broker);
+
+        // Broker-free traces stay silent about the broker.
+        let clean = analyze(TraceReader::new(jsonl(&sample_trace()).as_bytes())).unwrap();
+        assert!(!clean.broker.any());
+        assert!(!clean.to_table().contains("Broker"));
+    }
+
+    #[test]
+    fn over_budget_reallocations_are_flagged() {
+        let records = vec![rec(
+            0,
+            Some(0.0),
+            E::CapReallocated {
+                reason: "scheduled".into(),
+                budget_w: 200.0,
+                // total_w lies low; the allocations are what count.
+                total_w: 100.0,
+                allocations: vec![
+                    arcs_trace::JobAllocation { job: 1, node: 0, cap_w: 150.0 },
+                    arcs_trace::JobAllocation { job: 2, node: 1, cap_w: 100.0 },
+                ],
+            },
+        )];
+        let report = analyze(TraceReader::new(jsonl(&records).as_bytes())).unwrap();
+        assert_eq!(report.broker.over_budget_events, 1);
+        assert!((report.broker.max_total_w - 250.0).abs() < 1e-12);
+        assert!(report.to_table().contains("1 OVER-BUDGET event(s)"));
+    }
+
+    #[test]
+    fn compare_carries_the_cells_per_s_trajectory() {
+        let mut base = analyze(TraceReader::new(jsonl(&sample_trace()).as_bytes())).unwrap();
+        let mut cand = base.clone();
+        base.cells_per_s = Some(50_000.0);
+        cand.cells_per_s = Some(65_000.0);
+        let cmp = compare_reports(&base, &cand, 0.0);
+        assert_eq!(cmp.baseline_cells_per_s, Some(50_000.0));
+        assert_eq!(cmp.candidate_cells_per_s, Some(65_000.0));
+        assert!(!cmp.regressed(), "throughput is informational, never gated");
+        assert!(cmp.to_table().contains("cells/s"), "{}", cmp.to_table());
+        let back: Comparison = serde_json::from_str(&cmp.to_json()).unwrap();
+        assert_eq!(back, cmp);
+
+        // Artifacts from before the field existed still parse (and stay
+        // silent in the table).
+        let old =
+            r#"{"fail_on_pct":0.0,"rows":[],"missing_in_candidate":[],"new_in_candidate":[]}"#;
+        let parsed: Comparison = serde_json::from_str(old).unwrap();
+        assert_eq!(parsed.baseline_cells_per_s, None);
+        assert_eq!(parsed.candidate_cells_per_s, None);
+        assert!(!compare_reports(&base, &base, 0.0).to_table().is_empty());
+        let silent = compare_reports(
+            &TraceReport { cells_per_s: None, ..base.clone() },
+            &TraceReport { cells_per_s: None, ..base },
+            0.0,
+        );
+        assert!(!silent.to_table().contains("cells/s"));
     }
 
     #[test]

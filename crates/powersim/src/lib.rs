@@ -51,6 +51,7 @@
 pub mod cache;
 pub mod exec;
 pub mod fault;
+pub mod fleet;
 pub mod machine;
 pub mod memo;
 pub mod rapl;
@@ -59,6 +60,7 @@ pub mod workload;
 pub use cache::{analyze, CacheReport};
 pub use exec::{simulate_region, simulate_region_at_freq, SimConfig, SimReport};
 pub use fault::{CapFault, FaultPlan, InvocationFaults, MeasureError};
+pub use fleet::{Fleet, FleetNode};
 pub use machine::{CacheGeometry, Machine, MachineLoadError, Placement, PowerModel, SmtModel};
 pub use memo::{CacheBindError, CacheStats, SharedSimCache};
 pub use rapl::{PackageEnergy, Rapl};

@@ -1,0 +1,335 @@
+//! `arcs-serve-loadgen` — deterministic multi-tenant load against the
+//! broker, with built-in verification of the resulting trace.
+//!
+//! Three modes:
+//!
+//! ```text
+//! arcs-serve-loadgen [--jobs N] [--tenants N] [--nodes N] [--machine M]
+//!                    [--budget WATTS] [--seed S] [--quantum T]
+//!                    [--reject-every N] [--fault-every N]
+//!                    [--max-fairness R] --out TRACE.jsonl
+//! arcs-serve-loadgen --connect HOST:PORT [--jobs N] [--tenants N] [--seed S] ...
+//! arcs-serve-loadgen verify TRACE.jsonl
+//! ```
+//!
+//! The default (in-process) mode drives the broker directly: it replays
+//! a seeded arrival stream — same seed, same stream, byte-identical
+//! trace — then analyses the trace and **fails** (exit 1) unless every
+//! admitted job completed, Σ allocated caps ≤ budget at every
+//! reallocation point, at least one job was rejected by admission
+//! control (the stream plants inadmissible jobs on purpose), and the
+//! tenant fairness ratio stays under `--max-fairness`.
+//!
+//! `--connect` replays the same stream against a live `arcs-serve` over
+//! TCP and finishes with a draining `shutdown`; pair it with `verify`
+//! on the server's trace file.
+
+use arcs_metrics::analyze_path;
+use arcs_powersim::{Fleet, Machine};
+use arcs_serve::server::Client;
+use arcs_serve::{Broker, BrokerConfig, JobSpec, Request};
+use arcs_trace::{JsonlSink, TraceSink};
+use std::sync::Arc;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Args {
+    jobs: usize,
+    tenants: usize,
+    nodes: usize,
+    machine: String,
+    budget_w: Option<f64>,
+    seed: u64,
+    quantum: usize,
+    reject_every: usize,
+    fault_every: usize,
+    max_fairness: f64,
+    out: Option<String>,
+    connect: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: arcs-serve-loadgen [--jobs N] [--tenants N] [--nodes N] [--machine M]\n\
+         \x20                        [--budget WATTS] [--seed S] [--quantum T]\n\
+         \x20                        [--reject-every N] [--fault-every N]\n\
+         \x20                        [--max-fairness R] [--out TRACE] [--connect HOST:PORT]\n\
+         \x20      arcs-serve-loadgen verify TRACE.jsonl"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut args = Args {
+        jobs: 1000,
+        tenants: 4,
+        nodes: 8,
+        machine: "crill".into(),
+        budget_w: None,
+        seed: 42,
+        quantum: 4,
+        reject_every: 97,
+        fault_every: 16,
+        max_fairness: 3.0,
+        out: None,
+        connect: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--jobs" => args.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
+            "--tenants" => args.tenants = value("--tenants").parse().unwrap_or_else(|_| usage()),
+            "--nodes" => args.nodes = value("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--machine" => args.machine = value("--machine"),
+            "--budget" => {
+                args.budget_w = Some(value("--budget").parse().unwrap_or_else(|_| usage()))
+            }
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--quantum" => args.quantum = value("--quantum").parse().unwrap_or_else(|_| usage()),
+            "--reject-every" => {
+                args.reject_every = value("--reject-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--fault-every" => {
+                args.fault_every = value("--fault-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-fairness" => {
+                args.max_fairness = value("--max-fairness").parse().unwrap_or_else(|_| usage())
+            }
+            "--out" => args.out = Some(value("--out")),
+            "--connect" => args.connect = Some(value("--connect")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.tenants == 0 || args.jobs == 0 {
+        usage()
+    }
+    args
+}
+
+const WORKLOADS: [&str; 5] = ["sp.S", "bt.S", "cg.S", "ep.S", "mg.S"];
+
+/// The seeded arrival stream. `budget_w` is only used to size the
+/// planted-inadmissible floors; everything else is pure `seed`.
+fn arrival_stream(args: &Args, budget_w: f64) -> Vec<JobSpec> {
+    let mut rng = args.seed;
+    (0..args.jobs)
+        .map(|i| {
+            let r = splitmix64(&mut rng);
+            let tenant = format!("tenant{}", r % args.tenants as u64);
+            let workload = WORKLOADS[(r >> 8) as usize % WORKLOADS.len()];
+            let mut spec = JobSpec::new(tenant, workload).timesteps(4 + ((r >> 16) % 9) as usize);
+            if args.reject_every > 0 && (i + 1) % args.reject_every == 0 {
+                // Planted inadmissible job: its floor tops the whole
+                // budget, so admission control MUST fire.
+                spec = spec.floor_w(budget_w * 2.0);
+            }
+            if args.fault_every > 0 && (i + 1) % args.fault_every == 0 {
+                spec = spec.fault_seed(r >> 24);
+            }
+            spec
+        })
+        .collect()
+}
+
+fn verify_trace(path: &str, max_fairness: Option<f64>, expect_rejections: bool) -> i32 {
+    let report = match analyze_path(path) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("loadgen: cannot analyze {path:?}: {err}");
+            return 1;
+        }
+    };
+    let b = &report.broker;
+    if !b.any() {
+        eprintln!("loadgen: {path:?} carries no broker events");
+        return 1;
+    }
+    println!(
+        "loadgen: {} submitted, {} scheduled, {} completed, {} rejected ({} reallocation(s))",
+        b.submitted, b.scheduled, b.completed, b.rejected, b.reallocations
+    );
+    let mut failed = false;
+    if b.lost_jobs() != 0 {
+        eprintln!("loadgen: FAIL — {} job(s) lost (admitted but never completed)", b.lost_jobs());
+        failed = true;
+    }
+    if b.over_budget_events != 0 {
+        eprintln!(
+            "loadgen: FAIL — {} reallocation(s) exceeded the {:.1} W budget (peak {:.2} W)",
+            b.over_budget_events, b.budget_w, b.max_total_w
+        );
+        failed = true;
+    } else {
+        println!(
+            "loadgen: budget conserved — peak Σ allocations {:.2} W of {:.1} W",
+            b.max_total_w, b.budget_w
+        );
+    }
+    if expect_rejections && b.rejected == 0 {
+        eprintln!("loadgen: FAIL — the planted inadmissible jobs were not rejected");
+        failed = true;
+    }
+    match (b.fairness_ratio(), max_fairness) {
+        (Some(ratio), Some(limit)) => {
+            println!("loadgen: tenant fairness ratio {ratio:.3} (limit {limit:.1})");
+            if ratio > limit {
+                eprintln!("loadgen: FAIL — fairness ratio {ratio:.3} above {limit:.1}");
+                failed = true;
+            }
+        }
+        (Some(ratio), None) => println!("loadgen: tenant fairness ratio {ratio:.3}"),
+        (None, _) => println!("loadgen: fairness ratio undefined (fewer than two tenants)"),
+    }
+    if failed {
+        1
+    } else {
+        println!("loadgen: PASS");
+        0
+    }
+}
+
+fn run_in_process(args: &Args) -> i32 {
+    let machine = match args.machine.as_str() {
+        "crill" => Machine::crill(),
+        "minotaur" => Machine::minotaur(),
+        other => {
+            eprintln!("unknown machine {other:?}");
+            return 2;
+        }
+    };
+    let fleet = Fleet::homogeneous(machine, args.nodes);
+    // Default: 100 W per node — between the fleet's floor (~57.5 W/node
+    // on crill) and its maximum, so arbitration is always in play.
+    let budget_w = args.budget_w.unwrap_or(100.0 * args.nodes as f64);
+    let Some(out) = &args.out else {
+        eprintln!("in-process mode requires --out TRACE.jsonl");
+        return 2;
+    };
+    let sink = match JsonlSink::create(out) {
+        Ok(sink) => Arc::new(sink),
+        Err(err) => {
+            eprintln!("cannot open {out:?}: {err}");
+            return 1;
+        }
+    };
+
+    let mut cfg = BrokerConfig::new(budget_w);
+    cfg.quantum_timesteps = args.quantum.max(1);
+    // A deliberately brittle ladder: no read retries and a one-fault
+    // error budget, so the planted flaky-RAPL jobs actually degrade and
+    // exercise the pin-to-floor reallocation path under load.
+    let mut resilience = arcs::ResilienceOptions::standard();
+    resilience.max_read_retries = 0;
+    resilience.error_budget = Some(1);
+    cfg.resilience = Some(resilience);
+    let mut broker = Broker::new(fleet, cfg, Arc::clone(&sink) as Arc<dyn TraceSink>);
+
+    let stream = arrival_stream(args, budget_w);
+    let started = std::time::Instant::now();
+    let mut rng = args.seed ^ 0xA5A5_A5A5_A5A5_A5A5;
+    for spec in stream {
+        broker.submit(spec);
+        // Interleave arrivals with simulated progress so reallocation
+        // fires on live jobs, not just on an idle queue.
+        for _ in 0..splitmix64(&mut rng) % 3 {
+            broker.step();
+        }
+    }
+    broker.run_until_idle();
+    let virtual_s = broker.now_s();
+    let counters = broker.counters();
+    drop(broker);
+    if let Err(err) = sink.flush() {
+        eprintln!("cannot flush {out:?}: {err}");
+        return 1;
+    }
+
+    let wall = started.elapsed().as_secs_f64();
+    println!(
+        "loadgen: {} job(s), {} tenant(s), {} node(s), budget {:.1} W, seed {}",
+        args.jobs, args.tenants, args.nodes, budget_w, args.seed
+    );
+    println!(
+        "loadgen: completed {} ({} degraded) in {:.1} virtual s, {:.2} wall s ({:.0} jobs/s)",
+        counters.completed,
+        counters.degraded,
+        virtual_s,
+        wall,
+        counters.completed as f64 / wall.max(1e-9)
+    );
+    verify_trace(out, Some(args.max_fairness), args.reject_every > 0)
+}
+
+fn run_client(args: &Args, addr: &str) -> i32 {
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("cannot connect to {addr}: {err}");
+            return 1;
+        }
+    };
+    // The server owns the budget; plant rejection floors high enough
+    // for any sane deployment.
+    let stream = arrival_stream(args, 1.0e5);
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for spec in stream {
+        match client.roundtrip(&Request::submit(&spec)) {
+            Ok(resp) if resp.accepted == Some(true) => accepted += 1,
+            Ok(resp) if resp.accepted == Some(false) => rejected += 1,
+            Ok(resp) => {
+                eprintln!("submit failed: {:?}", resp.error);
+                return 1;
+            }
+            Err(err) => {
+                eprintln!("connection lost: {err}");
+                return 1;
+            }
+        }
+    }
+    println!("loadgen: submitted {accepted} accepted + {rejected} rejected to {addr}");
+    // Draining shutdown: the ack means every admitted job completed and
+    // the server's trace is ready for `verify`.
+    match client.roundtrip(&Request::op_only("shutdown")) {
+        Ok(resp) if resp.ok => {
+            println!("loadgen: server drained and shut down");
+            0
+        }
+        Ok(_) | Err(_) => {
+            eprintln!("loadgen: shutdown did not complete cleanly");
+            1
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = if argv.first().map(String::as_str) == Some("verify") {
+        match argv.get(1) {
+            Some(path) => verify_trace(path, None, false),
+            None => usage(),
+        }
+    } else {
+        let args = parse_args(&argv);
+        match &args.connect {
+            Some(addr) => run_client(&args, &addr.clone()),
+            None => run_in_process(&args),
+        }
+    };
+    std::process::exit(code)
+}

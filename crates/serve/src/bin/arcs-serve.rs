@@ -1,0 +1,118 @@
+//! `arcs-serve` — host the multi-tenant power-budget broker on TCP.
+//!
+//! ```text
+//! arcs-serve [--port N] [--nodes N] [--machine crill|minotaur]
+//!            [--budget WATTS] [--quantum TIMESTEPS] [--trace PATH]
+//!            [--pool THREADS]
+//! ```
+//!
+//! Serves newline-delimited JSON (see `arcs_serve::protocol`) until a
+//! client sends `{"op":"shutdown"}`; admitted jobs are drained before
+//! the ack, and the broker trace (schema v5) is flushed to `--trace`.
+
+use arcs_powersim::{Fleet, Machine};
+use arcs_serve::{Broker, BrokerConfig, Server};
+use arcs_trace::{JsonlSink, NullSink, TraceSink};
+use std::sync::Arc;
+
+struct Args {
+    port: u16,
+    nodes: usize,
+    machine: String,
+    budget_w: Option<f64>,
+    quantum: usize,
+    trace: Option<String>,
+    pool: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: arcs-serve [--port N] [--nodes N] [--machine crill|minotaur]\n\
+         \x20                 [--budget WATTS] [--quantum TIMESTEPS] [--trace PATH]\n\
+         \x20                 [--pool THREADS]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        port: 0,
+        nodes: 4,
+        machine: "crill".into(),
+        budget_w: None,
+        quantum: 4,
+        trace: None,
+        pool: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--port" => args.port = value("--port").parse().unwrap_or_else(|_| usage()),
+            "--nodes" => args.nodes = value("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--machine" => args.machine = value("--machine"),
+            "--budget" => {
+                args.budget_w = Some(value("--budget").parse().unwrap_or_else(|_| usage()))
+            }
+            "--quantum" => args.quantum = value("--quantum").parse().unwrap_or_else(|_| usage()),
+            "--trace" => args.trace = Some(value("--trace")),
+            "--pool" => args.pool = value("--pool").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let machine = match args.machine.as_str() {
+        "crill" => Machine::crill(),
+        "minotaur" => Machine::minotaur(),
+        other => {
+            eprintln!("unknown machine {other:?} (expected crill or minotaur)");
+            std::process::exit(2)
+        }
+    };
+    let fleet = Fleet::homogeneous(machine, args.nodes);
+    // Default budget: enough to run every node at 75 % of its maximum —
+    // tight enough that arbitration matters, loose enough to admit any
+    // single-node job.
+    let budget_w = args.budget_w.unwrap_or(fleet.total_max_cap_w() * 0.75);
+    let sink: Arc<dyn TraceSink> = match &args.trace {
+        Some(path) => Arc::new(JsonlSink::create(path).unwrap_or_else(|err| {
+            eprintln!("cannot open trace {path:?}: {err}");
+            std::process::exit(1)
+        })),
+        None => Arc::new(NullSink),
+    };
+
+    let mut cfg = BrokerConfig::new(budget_w);
+    cfg.quantum_timesteps = args.quantum.max(1);
+    let broker = Broker::new(fleet, cfg, sink);
+    let handle = match Server::start(broker, &format!("127.0.0.1:{}", args.port), args.pool) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("cannot bind 127.0.0.1:{}: {err}", args.port);
+            std::process::exit(1)
+        }
+    };
+    println!(
+        "arcs-serve listening on {} ({} × {} node(s), budget {:.1} W, quantum {})",
+        handle.addr(),
+        args.nodes,
+        args.machine,
+        budget_w,
+        args.quantum.max(1)
+    );
+    // Park until a client-initiated shutdown stops the threads.
+    handle.wait();
+}

@@ -1,0 +1,768 @@
+//! The deterministic broker core: admission, scheduling, and hierarchical
+//! power-budget arbitration over a simulated fleet.
+//!
+//! # Execution model
+//!
+//! The broker is a discrete-event simulator over *virtual* time
+//! (integer microseconds, so event ordering is exact). One job runs per
+//! node; a job executes as a sequence of *quanta* — successive
+//! [`Runner`] runs over the same persistent executor and tuner, so the
+//! tuner's search state, the fault clock and the memo cache all carry
+//! across quanta exactly as they would across the phases of one long
+//! run. Between quanta the broker may move the job's power allocation;
+//! the move travels through the job's [`CapHandle`] and lands at the
+//! next region boundary as an ordinary mid-run `CapChange` — the same
+//! path a scheduled cap fault takes, which the tuner already adapts to.
+//!
+//! # Power hierarchy
+//!
+//! The budget is arbitrated in three levels: one *global* budget (watts)
+//! owned by the broker, split into *node-level* allocations (what
+//! [`TraceEvent::CapReallocated`] records), each programmed onto the
+//! node as a *per-socket* package cap (`node watts / sockets`, see
+//! [`FleetNode::package_cap_w`](arcs_powersim::FleetNode::package_cap_w)).
+//!
+//! # Admission, fairness, conservation
+//!
+//! * **Admission**: a job is rejected at submission if no budget or node
+//!   could *ever* cover its floor cap. Anything admissible waits its
+//!   turn (FIFO) for a free node plus budget headroom.
+//! * **Fairness**: every running job is pinned at least its floor; the
+//!   surplus is water-filled proportionally to tenant weight (a
+//!   tenant's weight is split evenly across its running jobs), capped
+//!   at each node's hardware maximum. `Degraded` jobs stop receiving
+//!   surplus and hold exactly their floor.
+//! * **Conservation**: Σ allocations ≤ budget at every reallocation
+//!   point. Allocations are quantized down to [`ALLOC_QUANTUM_W`] steps
+//!   above the floor, which both preserves the invariant under float
+//!   arithmetic and keeps the per-cap memo-cache key space small.
+//!
+//! Determinism: all state lives in `BTreeMap`/`BTreeSet` (iteration
+//! order is the id order), virtual time is integral, and the simulator
+//! underneath is deterministic — the same submission sequence always
+//! produces byte-identical traces.
+
+use crate::job::{resolve_workload, JobSpec, JobState};
+use arcs::backend::Runner;
+use arcs::{
+    CapHandle, ConfigSpace, RegionTuner, ResilienceOptions, RunStatus, SimExecutor, TunerOptions,
+};
+use arcs_powersim::{FaultPlan, Fleet, WorkloadDescriptor};
+use arcs_trace::{JobAllocation, TraceEvent, TraceSink};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Node-level allocations move in steps of this many watts (above each
+/// job's floor). Coarse steps keep reallocation churn out of the
+/// simulator's per-cap memo-cache key space.
+pub const ALLOC_QUANTUM_W: f64 = 0.25;
+
+/// Tolerance for budget comparisons (float sums of quantized watts).
+const EPS_W: f64 = 1e-6;
+
+/// Broker tuning knobs beyond the budget itself.
+#[derive(Debug, Clone, Copy)]
+pub struct BrokerConfig {
+    /// The global power budget, watts.
+    pub budget_w: f64,
+    /// Application timesteps per scheduling quantum — the granularity at
+    /// which reallocations reach a running job.
+    pub quantum_timesteps: usize,
+    /// Self-healing ladder applied to every job run (faulted jobs are
+    /// always given at least [`ResilienceOptions::standard`], or they
+    /// could not degrade gracefully).
+    pub resilience: Option<ResilienceOptions>,
+}
+
+impl BrokerConfig {
+    pub fn new(budget_w: f64) -> Self {
+        BrokerConfig { budget_w, quantum_timesteps: 4, resilience: None }
+    }
+}
+
+/// A finished job's summary, kept for `status` queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedJob {
+    pub job: u64,
+    pub tenant: String,
+    pub node: u64,
+    pub status: RunStatus,
+    pub time_s: f64,
+    pub energy_j: f64,
+}
+
+/// What [`Broker::submit`] decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitOutcome {
+    /// Admitted under this job id (queued or already running).
+    Admitted(u64),
+    Rejected {
+        job: u64,
+        reason: String,
+    },
+}
+
+impl SubmitOutcome {
+    pub fn job(&self) -> u64 {
+        match self {
+            SubmitOutcome::Admitted(job) => *job,
+            SubmitOutcome::Rejected { job, .. } => *job,
+        }
+    }
+}
+
+/// Results of a quantum simulated at start time, applied when its
+/// completion event fires.
+struct QuantumResult {
+    steps: usize,
+    time_s: f64,
+    energy_j: f64,
+    degraded: bool,
+}
+
+struct RunningJob {
+    spec: JobSpec,
+    node: u64,
+    /// Effective node-level floor on the assigned node: the larger of
+    /// the job's requested floor and the node's RAPL floor.
+    floor_w: f64,
+    /// Current node-level allocation.
+    alloc_w: f64,
+    /// Node hardware maximum, cached from the fleet.
+    max_w: f64,
+    handle: CapHandle,
+    exec: SimExecutor,
+    tuner: RegionTuner,
+    wl: WorkloadDescriptor,
+    resilience: Option<ResilienceOptions>,
+    remaining: usize,
+    time_s: f64,
+    energy_j: f64,
+    degraded: bool,
+    in_flight: Option<QuantumResult>,
+}
+
+/// Aggregate counters for the `stats` op and load-generator summaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BrokerCounters {
+    pub submitted: u64,
+    pub queued: u64,
+    pub running: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub degraded: u64,
+}
+
+/// The multi-tenant power-budget broker (see module docs).
+pub struct Broker {
+    fleet: Fleet,
+    cfg: BrokerConfig,
+    trace: Arc<dyn TraceSink>,
+    next_job: u64,
+    /// Virtual clock, microseconds.
+    now_us: u64,
+    /// Pending quantum-end events, keyed `(t_us, job)` — `BTreeMap` so
+    /// the next event (and tie order) is deterministic.
+    events: BTreeMap<(u64, u64), ()>,
+    /// Admitted jobs waiting for a node + budget headroom, FIFO.
+    queue: VecDeque<u64>,
+    queued: BTreeMap<u64, JobSpec>,
+    running: BTreeMap<u64, RunningJob>,
+    completed: BTreeMap<u64, CompletedJob>,
+    rejected: BTreeMap<u64, String>,
+    /// Tenant → fair-share weight (first submission wins).
+    tenants: BTreeMap<String, f64>,
+    free_nodes: BTreeSet<u64>,
+}
+
+impl Broker {
+    pub fn new(fleet: Fleet, cfg: BrokerConfig, trace: Arc<dyn TraceSink>) -> Self {
+        let free_nodes = fleet.nodes().iter().map(|n| n.id).collect();
+        Broker {
+            fleet,
+            cfg,
+            trace,
+            next_job: 0,
+            now_us: 0,
+            events: BTreeMap::new(),
+            queue: VecDeque::new(),
+            queued: BTreeMap::new(),
+            running: BTreeMap::new(),
+            completed: BTreeMap::new(),
+            rejected: BTreeMap::new(),
+            tenants: BTreeMap::new(),
+            free_nodes,
+        }
+    }
+
+    pub fn budget_w(&self) -> f64 {
+        self.cfg.budget_w
+    }
+
+    /// Virtual time, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_us as f64 / 1e6
+    }
+
+    pub fn counters(&self) -> BrokerCounters {
+        BrokerCounters {
+            submitted: self.next_job,
+            queued: self.queue.len() as u64,
+            running: self.running.len() as u64,
+            completed: self.completed.len() as u64,
+            rejected: self.rejected.len() as u64,
+            degraded: self.completed.values().filter(|c| c.status == RunStatus::Degraded).count()
+                as u64
+                + self.running.values().filter(|r| r.degraded).count() as u64,
+        }
+    }
+
+    pub fn job_state(&self, job: u64) -> Option<JobState> {
+        if self.queued.contains_key(&job) {
+            Some(JobState::Queued)
+        } else if self.running.contains_key(&job) {
+            Some(JobState::Running)
+        } else if self.completed.contains_key(&job) {
+            Some(JobState::Completed)
+        } else if self.rejected.contains_key(&job) {
+            Some(JobState::Rejected)
+        } else {
+            None
+        }
+    }
+
+    pub fn completed_jobs(&self) -> &BTreeMap<u64, CompletedJob> {
+        &self.completed
+    }
+
+    pub fn rejection_reason(&self, job: u64) -> Option<&str> {
+        self.rejected.get(&job).map(String::as_str)
+    }
+
+    /// All internal events drained and nothing queued or running.
+    pub fn is_idle(&self) -> bool {
+        self.events.is_empty() && self.running.is_empty() && self.queue.is_empty()
+    }
+
+    /// Whether [`step`](Broker::step) has a quantum event to fire — the
+    /// server's cue to keep advancing virtual time between commands.
+    pub fn has_pending_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        if self.trace.enabled() {
+            self.trace.record(Some(self.now_s()), event);
+        }
+    }
+
+    /// Submit a job at the current virtual time. Admission control runs
+    /// here: inadmissible jobs are rejected immediately and never
+    /// schedule; everything else queues FIFO and is placed as nodes and
+    /// budget free up (placement may happen within this call).
+    pub fn submit(&mut self, spec: JobSpec) -> SubmitOutcome {
+        let job = self.next_job;
+        self.next_job += 1;
+        let weight = if spec.weight > 0.0 { spec.weight } else { 1.0 };
+        self.tenants.entry(spec.tenant.clone()).or_insert(weight);
+
+        let requested_floor = spec.floor_w.unwrap_or(0.0).max(0.0);
+        // The cheapest effective floor over nodes that could host the
+        // job at all — what admission reasons about.
+        let min_floor = self
+            .fleet
+            .nodes()
+            .iter()
+            .filter(|n| requested_floor <= n.max_cap_w() + EPS_W)
+            .map(|n| requested_floor.max(n.min_cap_w()))
+            .fold(None, |best: Option<f64>, f| Some(best.map_or(f, |b| b.min(f))));
+        let floor_w = min_floor.unwrap_or(requested_floor);
+        self.emit(TraceEvent::JobSubmitted {
+            job,
+            tenant: spec.tenant.clone(),
+            workload: spec.workload.clone(),
+            floor_w,
+        });
+
+        let reason = if self.fleet.is_empty() {
+            Some("the fleet has no nodes".to_string())
+        } else if resolve_workload(&spec.workload).is_none() {
+            Some(format!("unknown workload {:?}", spec.workload))
+        } else if min_floor.is_none() {
+            Some("floor cap exceeds every node's capacity".to_string())
+        } else if floor_w > self.cfg.budget_w + EPS_W {
+            Some("floor cap exceeds the global budget".to_string())
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            self.emit(TraceEvent::JobRejected {
+                job,
+                tenant: spec.tenant.clone(),
+                floor_w,
+                reason: reason.clone(),
+            });
+            self.rejected.insert(job, reason.clone());
+            return SubmitOutcome::Rejected { job, reason };
+        }
+
+        self.queue.push_back(job);
+        self.queued.insert(job, spec);
+        self.schedule();
+        SubmitOutcome::Admitted(job)
+    }
+
+    /// Process the next quantum-end event. Returns `false` when no
+    /// events remain (queued jobs, if any, are starved for budget or
+    /// nodes — impossible for admitted jobs unless callers never let
+    /// running jobs finish).
+    pub fn step(&mut self) -> bool {
+        let Some((&(t, job), ())) = self.events.iter().next().map(|(k, v)| (k, *v)) else {
+            return false;
+        };
+        self.events.remove(&(t, job));
+        self.now_us = self.now_us.max(t);
+
+        let rj = self.running.get_mut(&job).expect("event for a job not running");
+        let q = rj.in_flight.take().expect("an event implies an in-flight quantum");
+        rj.remaining -= q.steps;
+        rj.time_s += q.time_s;
+        rj.energy_j += q.energy_j;
+        let newly_degraded = q.degraded && !rj.degraded;
+        if newly_degraded {
+            rj.degraded = true;
+        }
+
+        if rj.remaining == 0 {
+            let rj = self.running.remove(&job).expect("present above");
+            let status = if rj.degraded { RunStatus::Degraded } else { RunStatus::Ok };
+            self.emit(TraceEvent::JobCompleted {
+                job,
+                tenant: rj.spec.tenant.clone(),
+                node: rj.node,
+                status: status.to_string(),
+                time_s: rj.time_s,
+                energy_j: rj.energy_j,
+            });
+            self.completed.insert(
+                job,
+                CompletedJob {
+                    job,
+                    tenant: rj.spec.tenant,
+                    node: rj.node,
+                    status,
+                    time_s: rj.time_s,
+                    energy_j: rj.energy_j,
+                },
+            );
+            self.free_nodes.insert(rj.node);
+            self.reallocate("completed");
+            self.schedule();
+        } else {
+            if newly_degraded {
+                // The job stops earning surplus; hand its share back.
+                self.reallocate("degraded");
+            }
+            self.start_quantum(job);
+        }
+        true
+    }
+
+    /// Drain every event — run all admitted jobs to completion.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Place queued jobs onto free nodes, FIFO (no skipping: a large job
+    /// at the head waits rather than being starved by smaller ones
+    /// slipping past it). Newly placed jobs trigger one `scheduled`
+    /// reallocation and start their first quantum.
+    fn schedule(&mut self) {
+        let mut placed = Vec::new();
+        while let Some(&job) = self.queue.front() {
+            let spec = &self.queued[&job];
+            let requested = spec.floor_w.unwrap_or(0.0).max(0.0);
+            let committed: f64 = self.running.values().map(|r| r.floor_w).sum();
+            let node = self.free_nodes.iter().copied().find(|id| {
+                let n = self.fleet.node(*id).expect("free node exists");
+                requested <= n.max_cap_w() + EPS_W
+                    && committed + requested.max(n.min_cap_w()) <= self.cfg.budget_w + EPS_W
+            });
+            let Some(node) = node else { break };
+            self.place(job, node);
+            placed.push(job);
+        }
+        if !placed.is_empty() {
+            self.reallocate("scheduled");
+            for job in placed {
+                self.start_quantum(job);
+            }
+        }
+    }
+
+    /// Bind a job to a node: build its persistent executor (shared
+    /// model cache, cap handle at the floor, optional fault plan) and
+    /// tuner. The final allocation lands in the `scheduled`
+    /// reallocation that follows.
+    fn place(&mut self, job: u64, node_id: u64) {
+        self.queue.pop_front();
+        let spec = self.queued.remove(&job).expect("queued job has a spec");
+        let node = self.fleet.node(node_id).expect("placing on a fleet node").clone();
+        let floor_w = spec.floor_w.unwrap_or(0.0).max(node.min_cap_w());
+        let mut wl = resolve_workload(&spec.workload).expect("admission resolved the workload");
+        if spec.timesteps > 0 {
+            wl.timesteps = spec.timesteps;
+        }
+        let remaining = wl.timesteps;
+
+        let handle = CapHandle::new(node.package_cap_w(floor_w));
+        let mut exec = SimExecutor::new(node.machine.clone(), node.package_cap_w(floor_w))
+            .with_shared_cache(Arc::clone(&node.cache))
+            .with_cap_handle(handle.clone());
+        let mut resilience = self.cfg.resilience;
+        if let Some(seed) = spec.fault_seed {
+            exec = exec.with_faults(FaultPlan::flaky_rapl(seed));
+            // A faulted job without a self-healing ladder would turn
+            // hard meter faults into run errors; force the standard one.
+            resilience = Some(resilience.unwrap_or_else(ResilienceOptions::standard));
+        }
+        let tuner = RegionTuner::new(TunerOptions::online(ConfigSpace::for_machine(&node.machine)));
+
+        self.emit(TraceEvent::JobScheduled {
+            job,
+            tenant: spec.tenant.clone(),
+            node: node_id,
+            cap_w: floor_w,
+        });
+        self.free_nodes.remove(&node_id);
+        self.running.insert(
+            job,
+            RunningJob {
+                spec,
+                node: node_id,
+                floor_w,
+                alloc_w: floor_w,
+                max_w: node.max_cap_w(),
+                handle,
+                exec,
+                tuner,
+                wl,
+                resilience,
+                remaining,
+                time_s: 0.0,
+                energy_j: 0.0,
+                degraded: false,
+                in_flight: None,
+            },
+        );
+    }
+
+    /// Simulate one quantum for `job` now and schedule its completion
+    /// event at `now + quantum duration` (virtual time).
+    fn start_quantum(&mut self, job: u64) {
+        let quantum = self.cfg.quantum_timesteps.max(1);
+        let rj = self.running.get_mut(&job).expect("quantum for a running job");
+        let steps = rj.remaining.min(quantum);
+        rj.wl.timesteps = steps;
+        let mut runner = Runner::new(&mut rj.exec).workload(&rj.wl).tuner(&mut rj.tuner);
+        if let Some(res) = rj.resilience {
+            runner = runner.resilience(res);
+        }
+        let report = runner.run().expect("a resilient simulated quantum cannot error");
+        let dur_us = (report.time_s * 1e6).round().max(1.0) as u64;
+        rj.in_flight = Some(QuantumResult {
+            steps,
+            time_s: report.time_s,
+            energy_j: report.energy_j,
+            degraded: report.status == RunStatus::Degraded,
+        });
+        self.events.insert((self.now_us + dur_us, job), ());
+    }
+
+    /// Redistribute the global budget across running jobs: floors
+    /// first, then weighted-fair water-filling of the surplus (see
+    /// module docs). Emits [`TraceEvent::CapReallocated`] and moves the
+    /// cap handles of every job whose allocation changed.
+    fn reallocate(&mut self, reason: &str) {
+        // Per-tenant running-job counts split each tenant's weight.
+        let mut tenant_jobs: BTreeMap<&str, f64> = BTreeMap::new();
+        for rj in self.running.values() {
+            *tenant_jobs.entry(rj.spec.tenant.as_str()).or_insert(0.0) += 1.0;
+        }
+        let mut alloc: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut weight: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut unsat: BTreeSet<u64> = BTreeSet::new();
+        for (&job, rj) in &self.running {
+            alloc.insert(job, rj.floor_w);
+            if !rj.degraded && rj.max_w > rj.floor_w + EPS_W {
+                let w = self.tenants.get(&rj.spec.tenant).copied().unwrap_or(1.0)
+                    / tenant_jobs[rj.spec.tenant.as_str()];
+                weight.insert(job, w);
+                unsat.insert(job);
+            }
+        }
+
+        // Water-fill: each round shares the remaining surplus by weight;
+        // jobs that hit their node maximum leave the pool and their
+        // leftover flows to the next round. Terminates because a round
+        // either saturates somebody or distributes everything.
+        loop {
+            let used: f64 = alloc.values().sum();
+            let surplus = self.cfg.budget_w - used;
+            if surplus <= ALLOC_QUANTUM_W / 2.0 || unsat.is_empty() {
+                break;
+            }
+            let total_weight: f64 = unsat.iter().map(|j| weight[j]).sum();
+            let mut saturated = false;
+            for job in unsat.clone() {
+                let give = surplus * weight[&job] / total_weight;
+                let max = self.running[&job].max_w;
+                let a = alloc.get_mut(&job).expect("allocated above");
+                if *a + give >= max - EPS_W {
+                    *a = max;
+                    unsat.remove(&job);
+                    saturated = true;
+                } else {
+                    *a += give;
+                }
+            }
+            if !saturated {
+                break;
+            }
+        }
+
+        // Quantize the surplus part down so Σ never creeps past the
+        // budget and per-cap cache keys stay coarse.
+        for (job, a) in alloc.iter_mut() {
+            let floor = self.running[job].floor_w;
+            *a = floor + ((*a - floor) / ALLOC_QUANTUM_W).floor() * ALLOC_QUANTUM_W;
+        }
+
+        let total_w: f64 = alloc.values().sum();
+        let allocations: Vec<JobAllocation> = alloc
+            .iter()
+            .map(|(&job, &cap_w)| JobAllocation { job, node: self.running[&job].node, cap_w })
+            .collect();
+        for (job, &cap_w) in &alloc {
+            let rj = self.running.get_mut(job).expect("allocated jobs are running");
+            if (rj.alloc_w - cap_w).abs() > EPS_W {
+                rj.alloc_w = cap_w;
+                let sockets = self.fleet.node(rj.node).expect("job node exists").machine.sockets;
+                rj.handle.set(cap_w / sockets as f64);
+            }
+        }
+        self.emit(TraceEvent::CapReallocated {
+            reason: reason.to_string(),
+            budget_w: self.cfg.budget_w,
+            total_w,
+            allocations,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcs_powersim::Machine;
+    use arcs_trace::{TraceRecord, VecSink};
+
+    fn small_broker(budget_w: f64, nodes: usize, sink: Arc<VecSink>) -> Broker {
+        let fleet = Fleet::homogeneous(Machine::crill(), nodes);
+        let mut cfg = BrokerConfig::new(budget_w);
+        cfg.quantum_timesteps = 2;
+        Broker::new(fleet, cfg, sink)
+    }
+
+    fn spec(tenant: &str) -> JobSpec {
+        JobSpec::new(tenant, "sp.S").timesteps(4)
+    }
+
+    fn conservation_holds(records: &[TraceRecord]) {
+        let mut seen = 0;
+        for r in records {
+            if let TraceEvent::CapReallocated { budget_w, total_w, allocations, .. } = &r.event {
+                let sum: f64 = allocations.iter().map(|a| a.cap_w).sum();
+                assert!((sum - total_w).abs() < 1e-6, "total_w must equal Σ allocations");
+                assert!(*total_w <= budget_w + 1e-6, "Σ {total_w} over budget {budget_w}");
+                seen += 1;
+            }
+        }
+        assert!(seen > 0, "the trace must carry reallocation points");
+    }
+
+    #[test]
+    fn jobs_complete_and_the_budget_is_conserved() {
+        let sink = Arc::new(VecSink::new());
+        let mut broker = small_broker(400.0, 2, Arc::clone(&sink));
+        let a = broker.submit(spec("acme"));
+        let b = broker.submit(spec("acme"));
+        let c = broker.submit(spec("umbrella"));
+        assert!(matches!(a, SubmitOutcome::Admitted(0)));
+        assert!(matches!(b, SubmitOutcome::Admitted(1)));
+        // Two nodes: the third job queues until one finishes.
+        assert_eq!(broker.job_state(c.job()), Some(JobState::Queued));
+
+        broker.run_until_idle();
+        assert!(broker.is_idle());
+        let counters = broker.counters();
+        assert_eq!(counters.completed, 3);
+        assert_eq!(counters.rejected, 0);
+        assert_eq!(counters.queued, 0);
+        for job in [0, 1, 2] {
+            assert_eq!(broker.job_state(job), Some(JobState::Completed));
+            let done = &broker.completed_jobs()[&job];
+            assert_eq!(done.status, RunStatus::Ok);
+            assert!(done.time_s > 0.0 && done.energy_j > 0.0);
+        }
+        conservation_holds(&sink.drain());
+    }
+
+    #[test]
+    fn inadmissible_jobs_are_rejected_with_a_reason() {
+        let sink = Arc::new(VecSink::new());
+        let mut broker = small_broker(400.0, 2, Arc::clone(&sink));
+        // Crill nodes top out at 230 W: a 500 W floor fits no node.
+        let over_node = broker.submit(spec("acme").floor_w(500.0));
+        let SubmitOutcome::Rejected { reason, .. } = &over_node else {
+            panic!("500 W floor must be rejected")
+        };
+        assert!(reason.contains("every node"), "{reason}");
+
+        // 200 W fits a node but exceeds a 150 W budget.
+        let mut tight = small_broker(150.0, 2, Arc::new(VecSink::new()));
+        let over_budget = tight.submit(spec("acme").floor_w(200.0));
+        let SubmitOutcome::Rejected { reason, .. } = &over_budget else {
+            panic!("a floor above the budget must be rejected")
+        };
+        assert!(reason.contains("global budget"), "{reason}");
+
+        let unknown = broker.submit(JobSpec::new("acme", "nope.S"));
+        assert!(matches!(unknown, SubmitOutcome::Rejected { .. }));
+
+        // Rejections are queryable and traced; admitted work is unharmed.
+        assert_eq!(broker.job_state(over_node.job()), Some(JobState::Rejected));
+        assert!(broker.rejection_reason(over_node.job()).is_some());
+        let ok = broker.submit(spec("acme"));
+        broker.run_until_idle();
+        assert_eq!(broker.job_state(ok.job()), Some(JobState::Completed));
+        let records = sink.drain();
+        let rejections =
+            records.iter().filter(|r| matches!(r.event, TraceEvent::JobRejected { .. })).count();
+        assert_eq!(rejections, 2);
+    }
+
+    #[test]
+    fn tenant_weights_shape_the_surplus_split() {
+        let sink = Arc::new(VecSink::new());
+        // Budget 300 over two crill nodes: floors 57.5 + 57.5, surplus
+        // 185 split 2:1 → heavy ≈ 180.8, light ≈ 119.2 (both < 230 max).
+        let mut broker = small_broker(300.0, 2, Arc::clone(&sink));
+        broker.submit(spec("heavy").weight(2.0));
+        broker.submit(spec("light").weight(1.0));
+        let records_mid: Vec<_> = sink.drain();
+        let last_realloc = records_mid
+            .iter()
+            .rev()
+            .find_map(|r| match &r.event {
+                TraceEvent::CapReallocated { allocations, .. } => Some(allocations.clone()),
+                _ => None,
+            })
+            .expect("scheduling reallocates");
+        assert_eq!(last_realloc.len(), 2);
+        let heavy = last_realloc.iter().find(|a| a.job == 0).unwrap().cap_w;
+        let light = last_realloc.iter().find(|a| a.job == 1).unwrap().cap_w;
+        let heavy_extra = heavy - 57.5;
+        let light_extra = light - 57.5;
+        assert!(
+            (heavy_extra / light_extra - 2.0).abs() < 0.02,
+            "surplus must split ≈2:1, got {heavy_extra}:{light_extra}"
+        );
+        assert!(heavy + light <= 300.0 + 1e-6);
+        broker.run_until_idle();
+    }
+
+    #[test]
+    fn degraded_jobs_are_pinned_to_their_floor() {
+        let sink = Arc::new(VecSink::new());
+        let mut broker = small_broker(460.0, 2, Arc::clone(&sink));
+        // Job 0 runs under a flaky meter with a zero error budget: the
+        // first absorbed hard fault degrades it.
+        let mut res = ResilienceOptions::standard();
+        res.max_read_retries = 0;
+        res.error_budget = Some(0);
+        broker.cfg.resilience = Some(res);
+        broker.submit(spec("faulty").fault_seed(7).timesteps(8));
+        broker.submit(spec("clean").timesteps(8));
+        broker.run_until_idle();
+
+        let done = broker.completed_jobs();
+        assert_eq!(done[&0].status, RunStatus::Degraded);
+        assert_eq!(done[&1].status, RunStatus::Ok);
+
+        let records = sink.drain();
+        let degraded_realloc = records
+            .iter()
+            .find_map(|r| match &r.event {
+                TraceEvent::CapReallocated { reason, allocations, .. } if reason == "degraded" => {
+                    Some(allocations.clone())
+                }
+                _ => None,
+            })
+            .expect("degradation must trigger a reallocation");
+        let pinned = degraded_realloc.iter().find(|a| a.job == 0).unwrap();
+        assert!(
+            (pinned.cap_w - 57.5).abs() < 1e-9,
+            "degraded job must hold exactly its floor, got {}",
+            pinned.cap_w
+        );
+        // The clean job inherits the freed surplus, up to its node max.
+        let clean = degraded_realloc.iter().find(|a| a.job == 1).unwrap();
+        assert!((clean.cap_w - 230.0).abs() < 1e-9, "got {}", clean.cap_w);
+        conservation_holds(&records);
+    }
+
+    #[test]
+    fn same_submissions_produce_byte_identical_traces() {
+        let run = || {
+            let sink = Arc::new(VecSink::new());
+            let mut broker = small_broker(350.0, 2, Arc::clone(&sink));
+            broker.submit(spec("acme").fault_seed(3));
+            broker.submit(spec("umbrella"));
+            broker.submit(spec("acme"));
+            broker.submit(spec("umbrella").floor_w(9000.0)); // rejected
+            broker.run_until_idle();
+            sink.drain()
+                .iter()
+                .map(|r| serde_json::to_string(r).unwrap())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let first = run();
+        assert_eq!(first, run(), "broker runs must be deterministic");
+        assert!(first.contains("JobRejected"));
+        assert!(first.contains("JobCompleted"));
+    }
+
+    #[test]
+    fn reallocations_reach_running_jobs_through_their_cap_handles() {
+        // One node, budget exactly the node max: a solo job gets the
+        // full 230 W; when a second job arrives nothing can be taken
+        // (the other node is busy)... so use two nodes and watch the
+        // first job's allocation shrink when the second schedules.
+        let sink = Arc::new(VecSink::new());
+        let mut broker = small_broker(300.0, 2, Arc::clone(&sink));
+        broker.submit(spec("acme").timesteps(8));
+        let solo_alloc = broker.running[&0].alloc_w;
+        assert!((solo_alloc - 230.0).abs() < 1e-9, "solo job takes its node max, got {solo_alloc}");
+        let solo_cap = broker.running[&0].handle.get();
+        assert!((solo_cap - 115.0).abs() < 1e-9, "package cap is node watts / sockets");
+
+        broker.submit(spec("umbrella").timesteps(8));
+        let squeezed = broker.running[&0].alloc_w;
+        assert!(squeezed < solo_alloc, "arrival must squeeze the incumbent");
+        let squeezed_cap = broker.running[&0].handle.get();
+        assert!((squeezed_cap - squeezed / 2.0).abs() < 1e-9);
+        broker.run_until_idle();
+        conservation_holds(&sink.drain());
+    }
+}

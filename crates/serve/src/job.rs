@@ -1,0 +1,141 @@
+//! Tenant job descriptions and workload resolution.
+
+use arcs_kernels::{model, Class};
+use arcs_powersim::WorkloadDescriptor;
+use serde::{Deserialize, Serialize};
+
+/// What a tenant asks the broker to run.
+///
+/// The broker reasons about a job through two numbers: `floor_w`, the
+/// lowest node-level power allocation the job will accept (admission
+/// control rejects jobs whose floor no budget or node could ever cover),
+/// and its tenant's `weight`, which sets the tenant's share of whatever
+/// budget is left above the floors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    pub tenant: String,
+    /// Workload name, `<kernel>.<class>` — e.g. `sp.W`, `cg.S` (see
+    /// [`resolve_workload`]).
+    pub workload: String,
+    /// Application timesteps to run; 0 means the workload's own default.
+    #[serde(default)]
+    pub timesteps: usize,
+    /// Lowest node-level cap (watts) the job will run under. `None`
+    /// accepts the node's own RAPL floor.
+    #[serde(default)]
+    pub floor_w: Option<f64>,
+    /// Tenant fair-share weight (first submission wins for a tenant;
+    /// values ≤ 0 mean the default of 1).
+    #[serde(default)]
+    pub weight: f64,
+    /// When set, the job runs under a deterministic
+    /// [`FaultPlan::flaky_rapl`](arcs_powersim::FaultPlan::flaky_rapl)
+    /// seeded here, plus the standard self-healing ladder — the path by
+    /// which jobs go `Degraded` and get pinned to their floor.
+    #[serde(default)]
+    pub fault_seed: Option<u64>,
+}
+
+impl JobSpec {
+    pub fn new(tenant: impl Into<String>, workload: impl Into<String>) -> Self {
+        JobSpec {
+            tenant: tenant.into(),
+            workload: workload.into(),
+            timesteps: 0,
+            floor_w: None,
+            weight: 1.0,
+            fault_seed: None,
+        }
+    }
+
+    pub fn timesteps(mut self, steps: usize) -> Self {
+        self.timesteps = steps;
+        self
+    }
+
+    pub fn floor_w(mut self, watts: f64) -> Self {
+        self.floor_w = Some(watts);
+        self
+    }
+
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
+        self
+    }
+}
+
+/// Resolve a `<kernel>.<class>` workload name to its descriptor.
+/// Kernels: `sp`, `bt`, `cg`, `ep`, `mg`; classes: `S`, `W`, `A`, `B`,
+/// `C`. Returns `None` for anything else.
+pub fn resolve_workload(name: &str) -> Option<WorkloadDescriptor> {
+    let (kernel, class) = name.split_once('.')?;
+    let class = match class {
+        "S" => Class::S,
+        "W" => Class::W,
+        "A" => Class::A,
+        "B" => Class::B,
+        "C" => Class::C,
+        _ => return None,
+    };
+    Some(match kernel {
+        "sp" => model::sp(class),
+        "bt" => model::bt(class),
+        "cg" => model::cg(class),
+        "ep" => model::ep(class),
+        "mg" => model::mg(class),
+        _ => return None,
+    })
+}
+
+/// Where a job sits in its lifecycle — the `status` op's answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Admitted, waiting for a free node and budget headroom.
+    Queued,
+    Running,
+    Completed,
+    Rejected,
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Rejected => "rejected",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_resolve() {
+        for name in ["sp.S", "bt.W", "cg.A", "ep.B", "mg.C"] {
+            let wl = resolve_workload(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert!(wl.timesteps > 0);
+            assert!(!wl.step.is_empty());
+        }
+        for bad in ["sp", "sp.X", "lu.S", "", "sp.S.extra"] {
+            assert!(resolve_workload(bad).is_none(), "{bad} must not resolve");
+        }
+    }
+
+    #[test]
+    fn spec_builder_round_trips_through_json() {
+        let spec = JobSpec::new("acme", "sp.S").timesteps(8).floor_w(70.0).weight(2.0);
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.fault_seed, None);
+    }
+}

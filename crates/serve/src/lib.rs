@@ -1,0 +1,39 @@
+//! # arcs-serve — a multi-tenant power-budget broker over the tuning stack
+//!
+//! Everything below the broker tunes *one* application under *one* cap.
+//! This crate closes the loop the other way: many tenants submit tuning
+//! jobs, the broker owns a single global power budget and arbitrates it
+//! hierarchically — global budget → per-node allocations → per-socket
+//! package caps — re-dividing on every arrival, completion and
+//! degradation. A reallocation reaches a running job as a mid-run
+//! `CapChange` through its [`arcs::CapHandle`], the same boundary-
+//! coalesced path a scheduled cap fault takes, so the per-region tuners
+//! re-adapt without restarting.
+//!
+//! Layers:
+//!
+//! * [`broker`] — the deterministic core: admission control, FIFO
+//!   scheduling onto an [`arcs_powersim::Fleet`], weighted-fair
+//!   water-filling of the budget, virtual-time quantum execution.
+//! * [`protocol`] — newline-delimited JSON request/response types for
+//!   the TCP service (`submit`, `status`, `stats`, `shutdown`).
+//! * [`server`] — the long-running service: one thread owns the broker,
+//!   a hand-rolled [`pool::ThreadPool`] serves framed connections.
+//!
+//! The `arcs-serve` binary hosts the service; `arcs-serve-loadgen`
+//! replays deterministic multi-tenant arrival streams against either the
+//! in-process broker or a live server and checks throughput, fairness
+//! and budget conservation from the emitted trace.
+
+pub mod broker;
+pub mod job;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use broker::{
+    Broker, BrokerConfig, BrokerCounters, CompletedJob, SubmitOutcome, ALLOC_QUANTUM_W,
+};
+pub use job::{resolve_workload, JobSpec, JobState};
+pub use protocol::{Request, Response};
+pub use server::{Server, ServerHandle};

@@ -1,0 +1,117 @@
+//! A small fixed-size thread pool for connection handling.
+//!
+//! Hand-rolled on `Mutex<VecDeque>` + `Condvar` (the workspace vendors
+//! no executor). Jobs are boxed closures; dropping the pool closes the
+//! queue and joins every worker, so a shut-down server cannot leak
+//! threads.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<Queue>,
+    available: Condvar,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue { jobs: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("arcs-serve-worker-{i}"))
+                    .spawn(move || worker(shared))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Queue a job; some idle worker picks it up. Returns `false` if the
+    /// pool is already shutting down (the job is dropped).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut queue = self.shared.queue.lock();
+        if queue.closed {
+            return false;
+        }
+        queue.jobs.push_back(Box::new(job));
+        drop(queue);
+        self.shared.available.notify_one();
+        true
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.queue.lock().closed = true;
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock();
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.closed {
+                    return;
+                }
+                shared.available.wait(&mut queue);
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_every_job_and_joins_on_drop() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(4);
+        for _ in 0..64 {
+            let ran = Arc::clone(&ran);
+            assert!(pool.execute(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        // Drop joins the workers, so every queued job has run after it.
+        drop(pool);
+        assert_eq!(ran.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn a_closed_pool_refuses_work() {
+        let pool = ThreadPool::new(1);
+        pool.shared.queue.lock().closed = true;
+        pool.shared.available.notify_all();
+        assert!(!pool.execute(|| {}));
+    }
+}

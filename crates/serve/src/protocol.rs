@@ -1,0 +1,203 @@
+//! The broker's wire protocol: newline-delimited JSON over TCP.
+//!
+//! One request per line, one response line back, connection stays open
+//! for pipelining. Requests carry a flat `op` discriminator plus
+//! whichever fields that op needs (the vendored serde has no adjacent
+//! tagging, and a flat shape keeps hand-written clients — `nc`, shell
+//! scripts — honest anyway).
+//!
+//! Ops:
+//!
+//! | op         | fields in                                         | fields out                          |
+//! |------------|---------------------------------------------------|-------------------------------------|
+//! | `submit`   | `tenant`, `workload`, `timesteps?`, `floor_w?`, `weight?`, `fault_seed?` | `job`, `accepted`, `reason?` |
+//! | `status`   | `job`                                             | `state`, completion detail          |
+//! | `stats`    | —                                                 | `stats` counters                    |
+//! | `shutdown` | —                                                 | ack; server drains and exits        |
+
+use crate::broker::BrokerCounters;
+use crate::job::JobSpec;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    pub op: String,
+    #[serde(default)]
+    pub tenant: Option<String>,
+    #[serde(default)]
+    pub workload: Option<String>,
+    #[serde(default)]
+    pub timesteps: Option<usize>,
+    #[serde(default)]
+    pub floor_w: Option<f64>,
+    #[serde(default)]
+    pub weight: Option<f64>,
+    #[serde(default)]
+    pub fault_seed: Option<u64>,
+    /// Target job id for `status`.
+    #[serde(default)]
+    pub job: Option<u64>,
+}
+
+impl Request {
+    pub fn submit(spec: &JobSpec) -> Self {
+        Request {
+            op: "submit".into(),
+            tenant: Some(spec.tenant.clone()),
+            workload: Some(spec.workload.clone()),
+            timesteps: (spec.timesteps > 0).then_some(spec.timesteps),
+            floor_w: spec.floor_w,
+            weight: (spec.weight > 0.0 && spec.weight != 1.0).then_some(spec.weight),
+            fault_seed: spec.fault_seed,
+            job: None,
+        }
+    }
+
+    pub fn status(job: u64) -> Self {
+        Request { job: Some(job), ..Request::op_only("status") }
+    }
+
+    pub fn op_only(op: &str) -> Self {
+        Request {
+            op: op.into(),
+            tenant: None,
+            workload: None,
+            timesteps: None,
+            floor_w: None,
+            weight: None,
+            fault_seed: None,
+            job: None,
+        }
+    }
+
+    /// Build the broker-side job spec from a `submit` request. `None`
+    /// when required fields are missing.
+    pub fn to_spec(&self) -> Option<JobSpec> {
+        let mut spec = JobSpec::new(self.tenant.clone()?, self.workload.clone()?);
+        spec.timesteps = self.timesteps.unwrap_or(0);
+        spec.floor_w = self.floor_w;
+        spec.weight = self.weight.unwrap_or(1.0);
+        spec.fault_seed = self.fault_seed;
+        Some(spec)
+    }
+}
+
+/// Wire mirror of [`BrokerCounters`] (kept separate so the core type
+/// never grows serde obligations it doesn't need).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsBody {
+    pub submitted: u64,
+    pub queued: u64,
+    pub running: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub degraded: u64,
+    pub budget_w: f64,
+    pub now_s: f64,
+}
+
+impl StatsBody {
+    pub fn from_counters(c: BrokerCounters, budget_w: f64, now_s: f64) -> Self {
+        StatsBody {
+            submitted: c.submitted,
+            queued: c.queued,
+            running: c.running,
+            completed: c.completed,
+            rejected: c.rejected,
+            degraded: c.degraded,
+            budget_w,
+            now_s,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    pub ok: bool,
+    #[serde(default)]
+    pub error: Option<String>,
+    /// `submit`: the assigned job id (also set on rejection).
+    #[serde(default)]
+    pub job: Option<u64>,
+    /// `submit`: whether admission control let the job in.
+    #[serde(default)]
+    pub accepted: Option<bool>,
+    /// `submit` rejection reason.
+    #[serde(default)]
+    pub reason: Option<String>,
+    /// `status`: `queued` / `running` / `completed` / `rejected`.
+    #[serde(default)]
+    pub state: Option<String>,
+    /// `status` of a completed job: `ok` / `degraded`.
+    #[serde(default)]
+    pub status: Option<String>,
+    #[serde(default)]
+    pub time_s: Option<f64>,
+    #[serde(default)]
+    pub energy_j: Option<f64>,
+    #[serde(default)]
+    pub stats: Option<StatsBody>,
+}
+
+impl Response {
+    pub fn empty_ok() -> Self {
+        Response {
+            ok: true,
+            error: None,
+            job: None,
+            accepted: None,
+            reason: None,
+            state: None,
+            status: None,
+            time_s: None,
+            energy_j: None,
+            stats: None,
+        }
+    }
+
+    pub fn err(message: impl Into<String>) -> Self {
+        Response { ok: false, error: Some(message.into()), ..Response::empty_ok() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_request_round_trips_and_rebuilds_the_spec() {
+        let spec = JobSpec::new("acme", "sp.W").timesteps(6).floor_w(80.0).weight(2.0);
+        let req = Request::submit(&spec);
+        let line = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.to_spec().unwrap(), spec);
+
+        // Hand-written minimal submit: optional fields default sanely.
+        let minimal: Request =
+            serde_json::from_str(r#"{"op":"submit","tenant":"t0","workload":"cg.S"}"#).unwrap();
+        let spec = minimal.to_spec().unwrap();
+        assert_eq!(spec.timesteps, 0);
+        assert_eq!(spec.weight, 1.0);
+        assert_eq!(spec.floor_w, None);
+
+        // A submit with no tenant cannot build a spec.
+        assert!(Request::op_only("submit").to_spec().is_none());
+    }
+
+    #[test]
+    fn responses_round_trip_with_sparse_fields() {
+        let mut resp = Response::empty_ok();
+        resp.job = Some(7);
+        resp.accepted = Some(false);
+        resp.reason = Some("floor cap exceeds the global budget".into());
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+
+        let err: Response = serde_json::from_str(r#"{"ok":false,"error":"bad op"}"#).unwrap();
+        assert!(!err.ok);
+        assert_eq!(err.error.as_deref(), Some("bad op"));
+        assert_eq!(err.stats, None);
+    }
+}

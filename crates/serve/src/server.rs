@@ -1,0 +1,406 @@
+//! The long-running broker service.
+//!
+//! One dedicated thread owns the [`Broker`] (it is single-threaded by
+//! design — determinism falls out of the total order of commands) and
+//! drains a command channel; between commands it advances the broker's
+//! virtual clock one quantum event at a time, so arrivals always
+//! preempt simulated work at an event boundary. Connections are framed
+//! NDJSON (see [`crate::protocol`]) served on a [`ThreadPool`].
+
+use crate::broker::{Broker, CompletedJob, SubmitOutcome};
+use crate::job::{JobSpec, JobState};
+use crate::pool::ThreadPool;
+use crate::protocol::{Request, Response, StatsBody};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Command {
+    Submit(JobSpec, Sender<SubmitOutcome>),
+    Status(u64, Sender<(Option<JobState>, Option<CompletedJob>, Option<String>)>),
+    Stats(Sender<StatsBody>),
+    /// Drain every admitted job, then acknowledge and stop.
+    Shutdown(Sender<()>),
+}
+
+fn broker_loop(mut broker: Broker, rx: Receiver<Command>) {
+    loop {
+        // While quantum events are pending, poll for commands so new
+        // arrivals land between events; otherwise block until one comes.
+        let cmd = if broker.has_pending_events() {
+            match rx.try_recv() {
+                Ok(cmd) => Some(cmd),
+                Err(TryRecvError::Empty) => None,
+                Err(TryRecvError::Disconnected) => return,
+            }
+        } else {
+            match rx.recv() {
+                Ok(cmd) => Some(cmd),
+                Err(_) => return,
+            }
+        };
+        match cmd {
+            Some(Command::Submit(spec, reply)) => {
+                let _ = reply.send(broker.submit(spec));
+            }
+            Some(Command::Status(job, reply)) => {
+                let state = broker.job_state(job);
+                let done = broker.completed_jobs().get(&job).cloned();
+                let reason = broker.rejection_reason(job).map(str::to_string);
+                let _ = reply.send((state, done, reason));
+            }
+            Some(Command::Stats(reply)) => {
+                let body =
+                    StatsBody::from_counters(broker.counters(), broker.budget_w(), broker.now_s());
+                let _ = reply.send(body);
+            }
+            Some(Command::Shutdown(reply)) => {
+                broker.run_until_idle();
+                let _ = reply.send(());
+                return;
+            }
+            None => {
+                broker.step();
+            }
+        }
+    }
+}
+
+fn handle_request(req: &Request, cmds: &Sender<Command>, stopping: &AtomicBool) -> Response {
+    let mut resp = Response::empty_ok();
+    match req.op.as_str() {
+        "submit" => {
+            let Some(spec) = req.to_spec() else {
+                return Response::err("submit requires tenant and workload");
+            };
+            let (tx, rx) = std::sync::mpsc::channel();
+            if cmds.send(Command::Submit(spec, tx)).is_err() {
+                return Response::err("broker is shut down");
+            }
+            match rx.recv() {
+                Ok(SubmitOutcome::Admitted(job)) => {
+                    resp.job = Some(job);
+                    resp.accepted = Some(true);
+                }
+                Ok(SubmitOutcome::Rejected { job, reason }) => {
+                    resp.job = Some(job);
+                    resp.accepted = Some(false);
+                    resp.reason = Some(reason);
+                }
+                Err(_) => return Response::err("broker is shut down"),
+            }
+        }
+        "status" => {
+            let Some(job) = req.job else {
+                return Response::err("status requires a job id");
+            };
+            let (tx, rx) = std::sync::mpsc::channel();
+            if cmds.send(Command::Status(job, tx)).is_err() {
+                return Response::err("broker is shut down");
+            }
+            match rx.recv() {
+                Ok((state, done, reason)) => {
+                    let Some(state) = state else {
+                        return Response::err(format!("unknown job {job}"));
+                    };
+                    resp.job = Some(job);
+                    resp.state = Some(state.to_string());
+                    resp.reason = reason;
+                    if let Some(done) = done {
+                        resp.status = Some(done.status.to_string());
+                        resp.time_s = Some(done.time_s);
+                        resp.energy_j = Some(done.energy_j);
+                    }
+                }
+                Err(_) => return Response::err("broker is shut down"),
+            }
+        }
+        "stats" => {
+            let (tx, rx) = std::sync::mpsc::channel();
+            if cmds.send(Command::Stats(tx)).is_err() {
+                return Response::err("broker is shut down");
+            }
+            match rx.recv() {
+                Ok(stats) => resp.stats = Some(stats),
+                Err(_) => return Response::err("broker is shut down"),
+            }
+        }
+        "shutdown" => {
+            let (tx, rx) = std::sync::mpsc::channel();
+            if cmds.send(Command::Shutdown(tx)).is_ok() {
+                // The ack arrives only after the broker drained all
+                // admitted jobs, so a client that waits for this
+                // response knows its work is done and traced.
+                let _ = rx.recv();
+            }
+            stopping.store(true, Ordering::SeqCst);
+        }
+        other => return Response::err(format!("unknown op {other:?}")),
+    }
+    resp
+}
+
+fn serve_connection(stream: TcpStream, cmds: Sender<Command>, stopping: Arc<AtomicBool>) {
+    // Short read timeouts keep idle keep-alive connections from pinning
+    // their pool worker past shutdown — each timeout is a chance to see
+    // the stop flag and bow out.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Persistent line buffer: a timeout mid-line keeps what was read.
+    let mut line = String::new();
+    loop {
+        if stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let resp = match serde_json::from_str::<Request>(trimmed) {
+                        Ok(req) => handle_request(&req, &cmds, &stopping),
+                        Err(err) => Response::err(format!("bad request: {err}")),
+                    };
+                    let mut out = serde_json::to_string(&resp).expect("responses always serialize");
+                    out.push('\n');
+                    if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// A running broker service bound to a TCP address.
+pub struct Server;
+
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    cmds: Sender<Command>,
+    stopping: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    broker: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve `broker`
+    /// until a client sends `shutdown`.
+    pub fn start(broker: Broker, addr: &str, pool_threads: usize) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
+        let broker_thread = std::thread::Builder::new()
+            .name("arcs-serve-broker".into())
+            .spawn(move || broker_loop(broker, cmd_rx))
+            .expect("spawning the broker thread");
+
+        let stopping = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stopping = Arc::clone(&stopping);
+            let cmd_tx = cmd_tx.clone();
+            std::thread::Builder::new()
+                .name("arcs-serve-acceptor".into())
+                .spawn(move || {
+                    let pool = ThreadPool::new(pool_threads);
+                    for stream in listener.incoming() {
+                        if stopping.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let cmds = cmd_tx.clone();
+                        let stopping = Arc::clone(&stopping);
+                        pool.execute(move || serve_connection(stream, cmds, stopping));
+                    }
+                    // Dropping the pool joins in-flight connections;
+                    // dropping cmd_tx lets an idle broker loop exit.
+                })
+                .expect("spawning the acceptor thread")
+        };
+        Ok(ServerHandle {
+            addr: local,
+            cmds: cmd_tx,
+            stopping,
+            acceptor: Some(acceptor),
+            broker: Some(broker_thread),
+        })
+    }
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Block until some client sends `shutdown`, then join the threads.
+    pub fn wait(mut self) {
+        if let Some(broker) = self.broker.take() {
+            let _ = broker.join();
+        }
+        // The handler that relayed `shutdown` also raises this flag, but
+        // possibly after we observed the broker exit — store it here so
+        // the wake-up connection below cannot race past a still-false
+        // flag and leave the acceptor parked forever.
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the acceptor if it is still parked in `incoming()`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Ask the server to drain and stop, then join its threads. Goes
+    /// straight to the broker's command channel (not over TCP), so it
+    /// works even when every pool worker is pinned by an open
+    /// connection. Safe to call after a client already sent `shutdown`.
+    pub fn shutdown(mut self) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        if self.cmds.send(Command::Shutdown(tx)).is_ok() {
+            // The broker may already be gone (client-initiated
+            // shutdown); then the reply channel just closes.
+            let _ = rx.recv();
+        }
+        self.stopping.store(true, Ordering::SeqCst);
+        if let Some(broker) = self.broker.take() {
+            let _ = broker.join();
+        }
+        // One last connection unblocks the acceptor if it is still
+        // parked in `incoming()` after the stop flag went up.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// A minimal blocking NDJSON client over one connection.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        Ok(Client::over(TcpStream::connect(addr)?))
+    }
+
+    pub fn over(stream: TcpStream) -> Self {
+        let writer = stream.try_clone().expect("cloning a TCP stream");
+        Client { writer, reader: BufReader::new(stream) }
+    }
+
+    pub fn roundtrip(&mut self, req: &Request) -> std::io::Result<Response> {
+        let mut line = serde_json::to_string(req)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply)?;
+        if reply.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(&reply)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use arcs_powersim::{Fleet, Machine};
+    use arcs_trace::{NullSink, TraceEvent, VecSink};
+
+    fn test_server(sink: Arc<VecSink>) -> ServerHandle {
+        let fleet = Fleet::homogeneous(Machine::crill(), 2);
+        let mut cfg = BrokerConfig::new(400.0);
+        cfg.quantum_timesteps = 2;
+        let broker = Broker::new(fleet, cfg, sink);
+        Server::start(broker, "127.0.0.1:0", 2).expect("binding an ephemeral port")
+    }
+
+    #[test]
+    fn submit_status_stats_shutdown_over_tcp() {
+        let sink = Arc::new(VecSink::new());
+        let handle = test_server(Arc::clone(&sink));
+        let addr = handle.addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+
+        let spec = JobSpec::new("acme", "sp.S").timesteps(4);
+        let resp = client.roundtrip(&Request::submit(&spec)).unwrap();
+        assert!(resp.ok);
+        assert_eq!(resp.accepted, Some(true));
+        let job = resp.job.unwrap();
+
+        let reject = client.roundtrip(&Request::submit(&spec.clone().floor_w(9000.0))).unwrap();
+        assert_eq!(reject.accepted, Some(false));
+        assert!(reject.reason.unwrap().contains("every node"));
+
+        // A second connection sees the same broker.
+        let mut other = Client::connect(&addr).unwrap();
+        let stats = other.roundtrip(&Request::op_only("stats")).unwrap().stats.unwrap();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.rejected, 1);
+        assert!((stats.budget_w - 400.0).abs() < 1e-9);
+
+        // Shutdown drains the admitted job before acking.
+        let bye = other.roundtrip(&Request::op_only("shutdown")).unwrap();
+        assert!(bye.ok);
+        handle.shutdown();
+
+        let records = sink.drain();
+        assert!(records
+            .iter()
+            .any(|r| matches!(&r.event, TraceEvent::JobCompleted { job: j, .. } if *j == job)));
+        assert!(records.iter().any(|r| matches!(r.event, TraceEvent::JobRejected { .. })));
+    }
+
+    #[test]
+    fn bad_lines_get_errors_not_hangups() {
+        let handle = {
+            let fleet = Fleet::homogeneous(Machine::crill(), 1);
+            let broker = Broker::new(fleet, BrokerConfig::new(230.0), Arc::new(NullSink));
+            Server::start(broker, "127.0.0.1:0", 1).unwrap()
+        };
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut client = Client::over(stream);
+
+        let garbage = {
+            client.writer.write_all(b"not json at all\n").unwrap();
+            let mut reply = String::new();
+            client.reader.read_line(&mut reply).unwrap();
+            serde_json::from_str::<Response>(&reply).unwrap()
+        };
+        assert!(!garbage.ok);
+        assert!(garbage.error.unwrap().contains("bad request"));
+
+        let unknown = client.roundtrip(&Request::op_only("dance")).unwrap();
+        assert!(!unknown.ok);
+
+        let missing = client.roundtrip(&Request::op_only("submit")).unwrap();
+        assert!(!missing.ok);
+
+        let absent = client.roundtrip(&Request::status(99)).unwrap();
+        assert!(!absent.ok);
+        handle.shutdown();
+    }
+}

@@ -8,7 +8,21 @@ use serde::{Deserialize, Serialize};
 /// 1 up to this one (new fields carry serde defaults) and refuse newer or
 /// nonsensical versions instead of silently misreading them (see
 /// [`crate::validate_jsonl`]).
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
+
+/// One running job's share of the global power budget, as carried by
+/// [`TraceEvent::CapReallocated`] (v5). `cap_w` is the *node-level*
+/// allocation; the per-socket cap each backend programs is
+/// `cap_w / sockets`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobAllocation {
+    /// Broker-assigned job id.
+    pub job: u64,
+    /// Fleet node the job runs on.
+    pub node: u64,
+    /// Node-level watts allocated to the job.
+    pub cap_w: f64,
+}
 
 /// One vertex of a search strategy's candidate set (a Nelder–Mead simplex
 /// vertex, a PRO population member), as captured in
@@ -110,6 +124,34 @@ pub enum TraceEvent {
     /// the recorded configuration (v4) — either this region exhausted
     /// its restart allowance or the run-wide error budget ran out.
     TunerDegraded { region: String, threads: usize, schedule: String },
+    /// A tenant's tuning job entered the broker (v5). `floor_w` is the
+    /// lowest node-level cap the job can run under — the unit admission
+    /// control reasons about.
+    JobSubmitted { job: u64, tenant: String, workload: String, floor_w: f64 },
+    /// Admission control refused a job (v5): no budget (or node) could
+    /// ever cover its floor cap. Rejected jobs never schedule.
+    JobRejected { job: u64, tenant: String, floor_w: f64, reason: String },
+    /// The broker placed a job on a fleet node under an initial
+    /// node-level cap (v5).
+    JobScheduled { job: u64, tenant: String, node: u64, cap_w: f64 },
+    /// The broker redistributed the global budget across running jobs
+    /// (v5): fired on every arrival, completion and degradation. The
+    /// conservation invariant is `total_w` (= Σ `allocations[].cap_w`)
+    /// ≤ `budget_w` at every such event.
+    CapReallocated {
+        /// What triggered the redistribution (`scheduled`, `completed`,
+        /// `degraded`).
+        reason: String,
+        /// The global budget at the time of the event, watts.
+        budget_w: f64,
+        /// Σ of all allocations, watts.
+        total_w: f64,
+        allocations: Vec<JobAllocation>,
+    },
+    /// A job left the broker (v5). `status` is the job's final run
+    /// status rendering (`ok`/`degraded`); `time_s`/`energy_j` are the
+    /// job's own run totals.
+    JobCompleted { job: u64, tenant: String, node: u64, status: String, time_s: f64, energy_j: f64 },
 }
 
 impl TraceEvent {
@@ -129,6 +171,11 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "FaultInjected",
             TraceEvent::MeasurementRejected { .. } => "MeasurementRejected",
             TraceEvent::TunerDegraded { .. } => "TunerDegraded",
+            TraceEvent::JobSubmitted { .. } => "JobSubmitted",
+            TraceEvent::JobRejected { .. } => "JobRejected",
+            TraceEvent::JobScheduled { .. } => "JobScheduled",
+            TraceEvent::CapReallocated { .. } => "CapReallocated",
+            TraceEvent::JobCompleted { .. } => "JobCompleted",
         }
     }
 }

@@ -30,7 +30,7 @@ mod objective;
 mod sink;
 
 pub use chrome::{chrome_trace, ChromeEvent};
-pub use event::{SearchCandidate, TraceEvent, TraceRecord, SCHEMA_VERSION};
+pub use event::{JobAllocation, SearchCandidate, TraceEvent, TraceRecord, SCHEMA_VERSION};
 pub use objective::Objective;
 pub use sink::{JsonlSink, NullSink, TraceSink, VecSink};
 
@@ -137,6 +137,36 @@ mod tests {
                 region: "sp/x_solve".into(),
                 threads: 16,
                 schedule: "guided,8".into(),
+            },
+            TraceEvent::JobSubmitted {
+                job: 7,
+                tenant: "acme".into(),
+                workload: "sp.W".into(),
+                floor_w: 57.5,
+            },
+            TraceEvent::JobRejected {
+                job: 8,
+                tenant: "acme".into(),
+                floor_w: 500.0,
+                reason: "floor cap exceeds the global budget".into(),
+            },
+            TraceEvent::JobScheduled { job: 7, tenant: "acme".into(), node: 3, cap_w: 120.0 },
+            TraceEvent::CapReallocated {
+                reason: "scheduled".into(),
+                budget_w: 400.0,
+                total_w: 350.0,
+                allocations: vec![
+                    JobAllocation { job: 6, node: 1, cap_w: 230.0 },
+                    JobAllocation { job: 7, node: 3, cap_w: 120.0 },
+                ],
+            },
+            TraceEvent::JobCompleted {
+                job: 7,
+                tenant: "acme".into(),
+                node: 3,
+                status: "ok".into(),
+                time_s: 12.5,
+                energy_j: 1400.0,
             },
         ]
     }
@@ -272,8 +302,10 @@ mod tests {
         // SearchIteration gained `objective`, RegionEnd
         // `objective_value`, OverheadCharged `energy_j`. v3 → v4: three
         // additive fault/recovery variants — FaultInjected,
-        // MeasurementRejected, TunerDegraded.)
-        assert_eq!(SCHEMA_VERSION, 4);
+        // MeasurementRejected, TunerDegraded. v4 → v5: five additive
+        // broker variants — JobSubmitted, JobRejected, JobScheduled,
+        // CapReallocated, JobCompleted.)
+        assert_eq!(SCHEMA_VERSION, 5);
         let record = TraceRecord {
             schema: SCHEMA_VERSION,
             seq: 3,
@@ -281,6 +313,6 @@ mod tests {
             event: TraceEvent::CacheHit { region: "r".into() },
         };
         let json = serde_json::to_string(&record).unwrap();
-        assert_eq!(json, r#"{"schema":4,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
+        assert_eq!(json, r#"{"schema":5,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
     }
 }

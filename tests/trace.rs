@@ -231,3 +231,39 @@ fn schema_v3_traces_still_parse() {
     let invocations: u64 = report.regions.values().map(|r| r.invocations).sum();
     assert_eq!(invocations, 2);
 }
+
+/// Traces written before the broker layer (schema v4) still parse: the
+/// fault events are honoured, the broker-event variants simply never
+/// appear, and the analysis pipeline reports a clean broker summary.
+#[test]
+fn schema_v4_traces_still_parse() {
+    let text = include_str!("fixtures/trace_v4.jsonl");
+    let records = validate_jsonl(text).expect("v4 fixture must stay readable");
+    assert!(records.iter().all(|r| r.schema == 4));
+    let mut faults = 0;
+    for r in &records {
+        match &r.event {
+            TraceEvent::FaultInjected { .. } => faults += 1,
+            TraceEvent::JobSubmitted { .. }
+            | TraceEvent::JobRejected { .. }
+            | TraceEvent::JobScheduled { .. }
+            | TraceEvent::CapReallocated { .. }
+            | TraceEvent::JobCompleted { .. } => {
+                panic!("v4 traces cannot carry v5 broker events")
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(faults, 2, "the fixture carries injected faults");
+    let report = arcs_metrics::analyze(arcs_metrics::TraceReader::new(std::io::Cursor::new(
+        text.to_string(),
+    )))
+    .expect("v4 traces must flow through the analysis pipeline");
+    assert_eq!(report.faults.injected_total(), 2);
+    assert_eq!(report.faults.rejected, 1);
+    assert_eq!(report.faults.degraded_regions, vec!["sp/y_solve".to_string()]);
+    assert!(!report.broker.any(), "pre-broker traces summarise clean");
+    assert_eq!(report.broker.lost_jobs(), 0);
+    let invocations: u64 = report.regions.values().map(|r| r.invocations).sum();
+    assert_eq!(invocations, 2);
+}
