@@ -84,6 +84,21 @@ if cargo run --release -q -p arcs-bench --bin arcs-sim -- \
     exit 1
 fi
 
+# Hot-path throughput cell: the fig. 4 sweep, best-of-3 wall clock, run
+# twice. The simulated cell times are deterministic so the compare holds
+# at 0%; wall-clock cells/sec is gated separately at a generous -30%
+# (steal-prone hosts jitter, a real hot-path regression shows anyway).
+# Each run appends a {date, cells_per_sec} point to BENCH_hotpath.json,
+# the repo's throughput trajectory.
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    bench --runs 3 --out "$trace_tmp/hot_base.json" --append BENCH_hotpath.json
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    bench --runs 3 --out "$trace_tmp/hot_cand.json"
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    compare "$trace_tmp/hot_base.json" "$trace_tmp/hot_cand.json" \
+    --fail-on 0 --fail-on-throughput 30 --out results/bench_hotpath.json
+test -s results/bench_hotpath.json
+
 # Chaos smoke: the paper-facing fault scenario (ARCS-Online LULESH at
 # 60 W under flaky-rapl) must self-heal and complete (--check exits
 # nonzero if no fault fired), and the fault schedule is part of the

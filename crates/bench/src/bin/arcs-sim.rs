@@ -48,9 +48,21 @@
 //! arcs-sim compare <baseline.json> <candidate.json> [options]
 //!   --fail-on PCT               exit nonzero if any region (or the total)
 //!                               regresses by strictly more than PCT percent
+//!   --fail-on-throughput PCT    also fail if candidate cells/s falls more
+//!                               than PCT percent below baseline (off by
+//!                               default — wall clock is noisy)
 //!   --objective time|energy|edp compare by this objective (default time), so
 //!                               the gate can fail on energy/EDP regressions
 //!   --out PATH                  write the comparison artifact (JSON) here
+//!
+//! arcs-sim bench [options]      hot-path throughput benchmark (fig. 4 sweep)
+//!   --runs N                    repetitions; keeps the fastest (default 2)
+//!   --machine crill|minotaur    (default crill)
+//!   --out PATH                  write a TraceReport artifact (JSON) usable
+//!                               as a compare baseline/candidate
+//!   --append PATH               append {date, cells_per_sec} to a JSON
+//!                               trajectory file (BENCH_hotpath.json)
+//!   --json                      print the artifact to stdout
 //! ```
 //!
 //! Examples:
@@ -66,10 +78,12 @@ use arcs::{
     runs, ConfigSpace, Objective, OmpConfig, RegionTuner, ResilienceOptions, RunStatus, Runner,
     SimExecutor, TunerOptions, TuningMode,
 };
+use arcs_bench::SweepSpec;
 use arcs_harmony::{History, NmOptions, ProOptions};
 use arcs_kernels::{model, Class};
 use arcs_powersim::{FaultPlan, Machine, WorkloadDescriptor};
-use arcs_trace::{chrome_trace, to_jsonl, validate_jsonl, TraceEvent, VecSink};
+use arcs_trace::{chrome_trace, to_jsonl, validate_jsonl, TraceEvent, TraceSink, VecSink};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::exit;
@@ -316,6 +330,20 @@ fn trace_main(argv: &[String]) {
         eprintln!("run failed: {e}");
         exit(1)
     });
+
+    // End-of-run memo-cache snapshot, so `arcs-sim report` can render
+    // occupancy and interner size alongside the streamed hit/miss events.
+    let stats = exec.shared_cache().stats();
+    sink.record(
+        None,
+        TraceEvent::CacheStats {
+            hits: stats.hits,
+            misses: stats.misses,
+            entries: stats.entries as u64,
+            shard_occupancy: stats.shard_occupancy.iter().map(|&c| c as u64).collect(),
+            interner_size: stats.interner_size as u64,
+        },
+    );
 
     let records = sink.drain();
     let jsonl = to_jsonl(&records).unwrap_or_else(|e| {
@@ -633,7 +661,8 @@ fn report_main(argv: &[String]) {
 fn compare_usage() -> ! {
     eprintln!(
         "usage: arcs-sim compare <baseline.json> <candidate.json> \
-         [--fail-on PCT] [--objective time|energy|edp] [--out PATH]"
+         [--fail-on PCT] [--fail-on-throughput PCT] \
+         [--objective time|energy|edp] [--out PATH]"
     );
     exit(2)
 }
@@ -643,6 +672,7 @@ fn compare_usage() -> ! {
 fn compare_main(argv: &[String]) {
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut fail_on: f64 = 5.0;
+    let mut fail_on_throughput: Option<f64> = None;
     let mut objective = Objective::Time;
     let mut out: Option<PathBuf> = None;
 
@@ -656,6 +686,10 @@ fn compare_main(argv: &[String]) {
         };
         match arg.as_str() {
             "--fail-on" => fail_on = value("--fail-on").parse().unwrap_or_else(|_| compare_usage()),
+            "--fail-on-throughput" => {
+                fail_on_throughput =
+                    Some(value("--fail-on-throughput").parse().unwrap_or_else(|_| compare_usage()))
+            }
             "--objective" => {
                 objective = value("--objective").parse().unwrap_or_else(|e| {
                     eprintln!("{e}");
@@ -686,7 +720,10 @@ fn compare_main(argv: &[String]) {
     };
     let baseline = load(&paths[0]);
     let candidate = load(&paths[1]);
-    let cmp = arcs_metrics::compare_reports_for(&baseline, &candidate, fail_on, objective);
+    let mut cmp = arcs_metrics::compare_reports_for(&baseline, &candidate, fail_on, objective);
+    if let Some(pct) = fail_on_throughput {
+        cmp = cmp.with_throughput_gate(pct);
+    }
 
     print!("{}", cmp.to_table());
     if let Some(out) = &out {
@@ -697,10 +734,193 @@ fn compare_main(argv: &[String]) {
         eprintln!("comparison artifact written to {out:?}");
     }
     if cmp.regressed() {
-        eprintln!("FAIL: {objective} regression beyond {fail_on}% threshold");
+        if cmp.throughput_regressed() {
+            eprintln!(
+                "FAIL: wall-clock throughput fell more than {}% below baseline",
+                fail_on_throughput.unwrap_or_default()
+            );
+        } else {
+            eprintln!("FAIL: {objective} regression beyond {fail_on}% threshold");
+        }
         exit(1)
     }
     eprintln!("OK: no region regressed beyond {fail_on}% on {objective}");
+}
+
+fn bench_usage() -> ! {
+    eprintln!(
+        "usage: arcs-sim bench [--runs N] [--machine crill|minotaur] \
+         [--out PATH] [--append PATH] [--json]"
+    );
+    exit(2)
+}
+
+/// Today as `YYYY-MM-DD` (UTC), via Howard Hinnant's days-to-civil
+/// algorithm — BENCH entries carry a date without pulling in a calendar
+/// crate.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// `arcs-sim bench`: the hot-path throughput benchmark. Runs the fig. 4
+/// sweep (sp.B × five power levels × default/online/offline) `--runs`
+/// times and keeps the fastest repetition — on a noisy host the minimum
+/// wall clock is the least-disturbed measurement. The artifact is a
+/// [`arcs_metrics::TraceReport`] with one row per sweep cell whose
+/// `wall_s` is the cell's *simulated* run time (deterministic, so
+/// `compare --fail-on 0` is meaningful); the wall-clock throughput rides
+/// along in `cells_per_s` for the separate `--fail-on-throughput` gate.
+fn bench_main(argv: &[String]) {
+    let mut runs_n = 2usize;
+    let mut machine = Machine::crill();
+    let mut out: Option<PathBuf> = None;
+    let mut append: Option<PathBuf> = None;
+    let mut json = false;
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                bench_usage()
+            })
+        };
+        match arg.as_str() {
+            "--runs" => {
+                runs_n = value("--runs").parse().unwrap_or_else(|_| bench_usage());
+                if runs_n == 0 {
+                    bench_usage()
+                }
+            }
+            "--machine" => {
+                machine = match value("--machine").as_str() {
+                    "crill" => Machine::crill(),
+                    "minotaur" => Machine::minotaur(),
+                    other => {
+                        eprintln!("unknown machine {other}");
+                        bench_usage()
+                    }
+                }
+            }
+            "--out" => out = Some(value("--out").into()),
+            "--append" => append = Some(value("--append").into()),
+            "--json" => json = true,
+            flag => {
+                eprintln!("unknown flag {flag}");
+                bench_usage()
+            }
+        }
+    }
+
+    let mut best: Option<arcs_bench::SweepRun> = None;
+    for i in 0..runs_n {
+        let run = SweepSpec::new(machine.clone())
+            .workload(model::sp(Class::B))
+            .paper_levels()
+            .paper_strategies()
+            .run();
+        eprintln!(
+            "run {}/{}: {} cells in {:.1} ms — {:.0} cells/sec",
+            i + 1,
+            runs_n,
+            run.cells_executed,
+            run.wall_s * 1e3,
+            run.cells_per_sec()
+        );
+        if best.as_ref().is_none_or(|b| run.wall_s < b.wall_s) {
+            best = Some(run);
+        }
+    }
+    let Some(best) = best else { bench_usage() };
+    let cells_per_sec = best.cells_per_sec();
+
+    let mut report =
+        arcs_metrics::TraceReport { schema: arcs_trace::SCHEMA_VERSION, ..Default::default() };
+    for cell in &best.report.cells {
+        let name = format!("{}@{:.0}W/{}", cell.workload, cell.cap_w, cell.strategy.label());
+        report.regions.insert(
+            name,
+            arcs_metrics::RegionBreakdown {
+                invocations: 1,
+                wall_s: cell.report.time_s,
+                energy_j: cell.report.energy_j,
+                ..Default::default()
+            },
+        );
+        report.wall_s += cell.report.time_s;
+        report.total_region_s += cell.report.time_s;
+        report.total_energy_j += cell.report.energy_j;
+        report.records += 1;
+    }
+    report.cells_per_s = Some(cells_per_sec);
+    report.cache.hits = best.cache.hits;
+    report.cache.misses = best.cache.misses;
+    report.cache.entries = best.cache.entries as u64;
+    report.cache.shard_occupancy = best.cache.shard_occupancy.iter().map(|&c| c as u64).collect();
+    report.cache.interner_size = best.cache.interner_size as u64;
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        println!(
+            "best of {} run(s): {} cells in {:.1} ms — {:.0} cells/sec \
+             ({} hits / {} misses, {} distinct cells)",
+            runs_n,
+            best.cells_executed,
+            best.wall_s * 1e3,
+            cells_per_sec,
+            best.cache.hits,
+            best.cache.misses,
+            best.cache.entries,
+        );
+    }
+    if let Some(out) = &out {
+        if let Err(e) = std::fs::write(out, report.to_json()) {
+            eprintln!("cannot write {out:?}: {e}");
+            exit(1)
+        }
+        eprintln!("bench artifact written to {out:?}");
+    }
+    if let Some(path) = &append {
+        let mut entries: Vec<BenchPoint> = match std::fs::read_to_string(path) {
+            Ok(text) => serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("{path:?} is not a BENCH trajectory (JSON array): {e}");
+                exit(1)
+            }),
+            Err(_) => Vec::new(),
+        };
+        entries.push(BenchPoint {
+            date: today_utc(),
+            cells_per_sec: (cells_per_sec * 10.0).round() / 10.0,
+        });
+        let text = serde_json::to_string_pretty(&entries).expect("serializable");
+        if let Err(e) = std::fs::write(path, text + "\n") {
+            eprintln!("cannot write {path:?}: {e}");
+            exit(1)
+        }
+        eprintln!("appended {:.0} cells/sec to {path:?} ({} points)", cells_per_sec, entries.len());
+    }
+}
+
+/// One point of the BENCH trajectory file (`--append`): the date the
+/// measurement was taken and the best-of-N wall-clock throughput.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchPoint {
+    date: String,
+    cells_per_sec: f64,
 }
 
 fn main() {
@@ -723,6 +943,11 @@ fn main() {
     if first.as_deref() == Some("compare") {
         let argv: Vec<String> = std::env::args().skip(2).collect();
         compare_main(&argv);
+        return;
+    }
+    if first.as_deref() == Some("bench") {
+        let argv: Vec<String> = std::env::args().skip(2).collect();
+        bench_main(&argv);
         return;
     }
     let args = parse_args();

@@ -6,8 +6,8 @@
 //! and EP (perfectly balanced, compute-only) bracket the behaviour space:
 //! CG should show SP-like headroom; EP is the negative control where a
 //! correct tuner must do (almost) no harm.
-use arcs::{SweepEngine, SweepGrid, SweepStrategy};
-use arcs_bench::{f3, power_label, preamble, print_table, sweep_points, POWER_LEVELS};
+use arcs::SweepStrategy;
+use arcs_bench::{f3, power_label, preamble, print_table, SweepSpec};
 use arcs_kernels::{model, Class};
 use arcs_powersim::Machine;
 
@@ -29,19 +29,20 @@ fn main() {
         SweepStrategy::Offline,
         SweepStrategy::OnlineSelective { min_region_time_s: 4.0 * m.config_change_s },
     ];
-    let grid = SweepGrid::new(m.clone())
+    let run = SweepSpec::new(m)
         .workload(model::cg(Class::B))
         .workload(model::ep(Class::B))
         .workload(model::mg(Class::B))
-        .caps(&POWER_LEVELS)
-        .strategies(&strategies);
-    let report = SweepEngine::new(m).run(&grid);
+        .paper_levels()
+        .strategies(&strategies)
+        .run();
     for name in ["cg.B", "ep.B", "mg.B"] {
-        let points = sweep_points(&report, name, &POWER_LEVELS);
+        let points = run.points(name);
         let rows: Vec<Vec<String>> = points
             .iter()
             .map(|pt| {
-                let selective = &report
+                let selective = &run
+                    .report
                     .cell(name, pt.cap_w, "arcs-online-selective")
                     .expect("selective cell present")
                     .report;
@@ -62,10 +63,12 @@ fn main() {
         );
     }
     println!(
-        "\nshared memo cache over the suite: {} hits / {} misses across {} cells, {} workers",
-        report.cache.hits,
-        report.cache.misses,
-        report.cells.len(),
-        report.workers,
+        "\nshared memo cache over the suite: {} hits / {} misses across {} cells, {} workers \
+         — {:.0} cells/sec",
+        run.cache.hits,
+        run.cache.misses,
+        run.report.cells.len(),
+        run.report.workers,
+        run.cells_per_sec(),
     );
 }

@@ -1,6 +1,6 @@
 //! Fig. 4: SP class B application time and package energy across the five
 //! power levels, normalised to the default configuration.
-use arcs_bench::{f3, power_label, power_sweep_at, preamble, print_table, POWER_LEVELS};
+use arcs_bench::{f3, power_label, preamble, print_table, SweepSpec};
 use arcs_kernels::{model, Class};
 use arcs_powersim::Machine;
 
@@ -12,7 +12,8 @@ fn main() {
     );
     let m = Machine::crill();
     let wl = model::sp(Class::B);
-    let (sweep, cache) = power_sweep_at(&m, &POWER_LEVELS, &wl);
+    let run = SweepSpec::new(m).workload(wl).paper_levels().paper_strategies().run();
+    let sweep = run.points("sp.B");
     let rows: Vec<Vec<String>> = sweep
         .iter()
         .map(|p| {
@@ -41,9 +42,13 @@ fn main() {
         &rows,
     );
     println!(
-        "\nshared memo cache over the 5x3 sweep: {} hits / {} misses ({:.1}% hit rate)",
-        cache.hits,
-        cache.misses,
-        100.0 * cache.hits as f64 / cache.lookups().max(1) as f64,
+        "\nshared memo cache over the 5x3 sweep: {} hits / {} misses ({:.1}% hit rate), \
+         {} cells, {} regions interned — {:.0} cells/sec",
+        run.cache.hits,
+        run.cache.misses,
+        100.0 * run.cache.hit_rate(),
+        run.cache.entries,
+        run.cache.interner_size,
+        run.cells_per_sec(),
     );
 }

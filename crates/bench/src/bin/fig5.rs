@@ -1,6 +1,5 @@
 //! Fig. 5: SP class C execution time and energy at TDP (workload scaling).
-use arcs::{SweepEngine, SweepGrid};
-use arcs_bench::{f3, preamble, print_table, sweep_points, PAPER_STRATEGIES};
+use arcs_bench::{f3, preamble, print_table, SweepSpec};
 use arcs_kernels::{model, Class};
 use arcs_powersim::Machine;
 
@@ -11,15 +10,15 @@ fn main() {
          chosen configurations differ from class B (workload-dependence)",
     );
     let m = Machine::crill();
-    // One grid covers the figure (class C) and the §V-A config comparison
+    // One sweep covers the figure (class C) and the §V-A config comparison
     // (class B vs C): the Offline cells carry the training histories.
-    let grid = SweepGrid::new(m.clone())
+    let run = SweepSpec::new(m)
         .workload(model::sp(Class::C))
         .workload(model::sp(Class::B))
         .caps(&[115.0])
-        .strategies(&PAPER_STRATEGIES);
-    let report = SweepEngine::new(m).run(&grid);
-    let pt = sweep_points(&report, "sp.C", &[115.0]).remove(0);
+        .paper_strategies()
+        .run();
+    let pt = run.point_at("sp.C", 115.0);
     print_table(
         "SP.C at TDP, normalised to default",
         &["Criterion", "default", "ARCS-Online", "ARCS-Offline"],
@@ -40,7 +39,7 @@ fn main() {
     );
     // Workload-dependence of the chosen configurations (paper §V-A).
     let history = |wl: &str| {
-        report
+        run.report
             .cell(wl, 115.0, "arcs-offline")
             .and_then(|c| c.history.as_ref())
             .expect("offline cell exports its history")

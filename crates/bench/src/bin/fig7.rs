@@ -1,5 +1,5 @@
 //! Fig. 7: BT class B application time and energy across power levels.
-use arcs_bench::{f3, power_label, power_sweep, preamble, print_table};
+use arcs_bench::{f3, power_label, preamble, print_table, SweepSpec};
 use arcs_kernels::{model, Class};
 use arcs_powersim::Machine;
 
@@ -11,7 +11,8 @@ fn main() {
     );
     let m = Machine::crill();
     let wl = model::bt(Class::B);
-    let sweep = power_sweep(&m, &wl);
+    let sweep =
+        SweepSpec::new(m).workload(wl).paper_levels().paper_strategies().run().points("bt.B");
     let rows: Vec<Vec<String>> = sweep
         .iter()
         .map(|p| {

@@ -1,6 +1,6 @@
 //! Fig. 8: LULESH (mesh 45) — time and energy on Crill across power levels,
 //! and execution time on Minotaur at TDP.
-use arcs_bench::{compare_at, f3, power_label, power_sweep, preamble, print_table};
+use arcs_bench::{f3, power_label, preamble, print_table, SweepSpec};
 use arcs_kernels::model;
 use arcs_powersim::Machine;
 
@@ -13,7 +13,12 @@ fn main() {
     );
     let crill = Machine::crill();
     let wl = model::lulesh(45);
-    let sweep = power_sweep(&crill, &wl);
+    let sweep = SweepSpec::new(crill)
+        .workload(wl.clone())
+        .paper_levels()
+        .paper_strategies()
+        .run()
+        .points(&wl.name);
     let rows: Vec<Vec<String>> = sweep
         .iter()
         .map(|p| {
@@ -34,7 +39,13 @@ fn main() {
     );
 
     let minotaur = Machine::minotaur();
-    let pt = compare_at(&minotaur, minotaur.power.tdp_w, &wl);
+    let tdp = minotaur.power.tdp_w;
+    let pt = SweepSpec::new(minotaur)
+        .workload(wl.clone())
+        .caps(&[tdp])
+        .paper_strategies()
+        .run()
+        .point_at(&wl.name, tdp);
     print_table(
         "(c) LULESH mesh 45 on Minotaur (TDP), normalised to default",
         &["Strategy", "time ratio"],

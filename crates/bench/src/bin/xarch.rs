@@ -1,6 +1,5 @@
 //! §V cross-architecture results: SP and BT on the POWER8 (Minotaur) model.
-use arcs::{SweepEngine, SweepGrid};
-use arcs_bench::{f3, preamble, print_table, sweep_points, PAPER_STRATEGIES};
+use arcs_bench::{f3, preamble, print_table, SweepSpec};
 use arcs_kernels::{model, Class};
 use arcs_powersim::Machine;
 
@@ -12,15 +11,15 @@ fn main() {
     );
     let m = Machine::minotaur();
     let tdp = m.power.tdp_w;
-    let grid = SweepGrid::new(m.clone())
+    let run = SweepSpec::new(m)
         .workload(model::sp(Class::B))
         .workload(model::bt(Class::B))
         .caps(&[tdp])
-        .strategies(&PAPER_STRATEGIES);
-    let report = SweepEngine::new(m).run(&grid);
+        .paper_strategies()
+        .run();
     let mut rows = Vec::new();
     for name in ["sp.B", "bt.B"] {
-        let pt = sweep_points(&report, name, &[tdp]).remove(0);
+        let pt = run.point_at(name, tdp);
         rows.push(vec![
             name.to_string(),
             format!("{:.1}s", pt.default.time_s),

@@ -24,11 +24,12 @@
 //! | `ablation` | extension — selective tuning + search-strategy ablations |
 
 use arcs::{
-    runs, AppRunReport, ConfigSpace, OmpConfig, SimExecutor, SweepEngine, SweepGrid, SweepReport,
-    SweepStrategy,
+    runs, AppRunReport, ConfigSpace, Objective, OmpConfig, SimExecutor, SweepEngine, SweepGrid,
+    SweepReport, SweepStrategy,
 };
 use arcs_harmony::History;
-use arcs_powersim::{CacheStats, Machine, SimConfig, SimReport, WorkloadDescriptor};
+use arcs_powersim::{CacheSnapshot, Machine, SimConfig, SimReport, WorkloadDescriptor};
+use std::time::Instant;
 
 /// The paper's Crill power levels (W); the last is the TDP.
 pub const POWER_LEVELS: [f64; 5] = [55.0, 70.0, 85.0, 100.0, 115.0];
@@ -72,52 +73,206 @@ impl SweepPoint {
     }
 }
 
-/// Extract the [`SweepPoint`] series for one workload from an executed
-/// sweep (panics if any (cap, strategy) cell is missing from the report).
-pub fn sweep_points(report: &SweepReport, workload: &str, caps: &[f64]) -> Vec<SweepPoint> {
-    let pick = |cap: f64, label: &str| {
-        report
-            .cell(workload, cap, label)
-            .unwrap_or_else(|| panic!("sweep missing cell ({workload}, {cap}W, {label})"))
-            .report
-            .clone()
-    };
-    caps.iter()
-        .map(|&cap| SweepPoint {
-            cap_w: cap,
-            default: pick(cap, "default"),
-            online: pick(cap, "arcs-online"),
-            offline: pick(cap, "arcs-offline"),
-        })
-        .collect()
+/// The one typed entry point every figure binary builds its sweep from:
+/// caps × strategies × objectives × repetitions on one machine, executed
+/// as a parallel sweep over a shared memo cache.
+///
+/// ```no_run
+/// use arcs_bench::SweepSpec;
+/// use arcs_kernels::{model, Class};
+/// use arcs_powersim::Machine;
+///
+/// let run = SweepSpec::new(Machine::crill())
+///     .workload(model::sp(Class::B))
+///     .paper_levels()
+///     .paper_strategies()
+///     .run();
+/// let points = run.points("sp.B");
+/// println!("{:.0} cells/sec", run.cells_per_sec());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    machine: Machine,
+    workloads: Vec<WorkloadDescriptor>,
+    caps: Vec<f64>,
+    strategies: Vec<SweepStrategy>,
+    objectives: Vec<Objective>,
+    reps: usize,
+    noise: Option<(f64, u64)>,
+    workers: Option<usize>,
 }
 
-/// Run default / Online / Offline at one power cap.
-pub fn compare_at(machine: &Machine, cap_w: f64, wl: &WorkloadDescriptor) -> SweepPoint {
-    power_sweep_at(machine, &[cap_w], wl).0.pop().expect("one cap in, one point out")
+impl SweepSpec {
+    pub fn new(machine: Machine) -> Self {
+        SweepSpec {
+            machine,
+            workloads: Vec::new(),
+            caps: Vec::new(),
+            strategies: Vec::new(),
+            objectives: Vec::new(),
+            reps: 1,
+            noise: None,
+            workers: None,
+        }
+    }
+
+    pub fn workload(mut self, wl: WorkloadDescriptor) -> Self {
+        self.workloads.push(wl);
+        self
+    }
+
+    pub fn caps(mut self, caps_w: &[f64]) -> Self {
+        self.caps.extend_from_slice(caps_w);
+        self
+    }
+
+    /// The paper's five Crill power levels ([`POWER_LEVELS`]).
+    pub fn paper_levels(self) -> Self {
+        self.caps(&POWER_LEVELS)
+    }
+
+    pub fn strategies(mut self, strategies: &[SweepStrategy]) -> Self {
+        self.strategies.extend_from_slice(strategies);
+        self
+    }
+
+    /// The paper's three measured strategies ([`PAPER_STRATEGIES`]).
+    pub fn paper_strategies(self) -> Self {
+        self.strategies(&PAPER_STRATEGIES)
+    }
+
+    /// Score cells by these objectives as well (default: time only).
+    pub fn objectives(mut self, objectives: &[Objective]) -> Self {
+        self.objectives.extend_from_slice(objectives);
+        self
+    }
+
+    /// Execute the whole grid `reps` times through one warm cache —
+    /// repetitions beyond the first are pure cache-read passes, which is
+    /// what the hot-path benchmarks measure.
+    pub fn reps(mut self, reps: usize) -> Self {
+        assert!(reps >= 1);
+        self.reps = reps;
+        self
+    }
+
+    /// Deterministic measurement noise for every cell.
+    pub fn with_noise(mut self, cv: f64, seed: u64) -> Self {
+        self.noise = Some((cv, seed));
+        self
+    }
+
+    /// Fix the sweep worker-pool size (1 = serial).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Cells per repetition.
+    pub fn cell_count(&self) -> usize {
+        self.workloads.len()
+            * self.caps.len()
+            * self.strategies.len()
+            * self.objectives.len().max(1)
+    }
+
+    fn grid(&self) -> SweepGrid {
+        let mut grid = SweepGrid::new(self.machine.clone());
+        for wl in &self.workloads {
+            grid = grid.workload(wl.clone());
+        }
+        grid = grid.caps(&self.caps).strategies(&self.strategies);
+        if !self.objectives.is_empty() {
+            grid = grid.objectives(&self.objectives);
+        }
+        if let Some((cv, seed)) = self.noise {
+            grid = grid.with_noise(cv, seed);
+        }
+        grid
+    }
+
+    /// Execute on a fresh [`SweepEngine`] (fresh shared cache).
+    pub fn run(&self) -> SweepRun {
+        let mut engine = SweepEngine::new(self.machine.clone());
+        if let Some(w) = self.workers {
+            engine = engine.with_workers(w);
+        }
+        self.run_on(&engine)
+    }
+
+    /// Execute on a caller-owned engine (reuses its warm cache).
+    pub fn run_on(&self, engine: &SweepEngine) -> SweepRun {
+        let grid = self.grid();
+        let before = engine.cache().stats();
+        let start = Instant::now();
+        let mut report = engine.run(&grid);
+        for _ in 1..self.reps {
+            report = engine.run(&grid);
+        }
+        let wall_s = start.elapsed().as_secs_f64();
+        let cache = engine.cache().stats().delta_since(&before);
+        SweepRun {
+            cells_executed: report.cells.len() * self.reps,
+            report,
+            caps: self.caps.clone(),
+            reps: self.reps,
+            wall_s,
+            cache,
+        }
+    }
 }
 
-/// Full five-level power sweep (Figs. 4, 7, 8a/8b).
-pub fn power_sweep(machine: &Machine, wl: &WorkloadDescriptor) -> Vec<SweepPoint> {
-    power_sweep_at(machine, &POWER_LEVELS, wl).0
+/// An executed [`SweepSpec`]: the final repetition's [`SweepReport`] plus
+/// whole-run wall-clock and cache accounting.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// The last repetition's cells (identical across repetitions — the
+    /// sweep is deterministic).
+    pub report: SweepReport,
+    /// The cap axis, in declaration order (drives [`SweepRun::points`]).
+    pub caps: Vec<f64>,
+    pub reps: usize,
+    /// Wall-clock seconds over all repetitions.
+    pub wall_s: f64,
+    /// Cells executed across all repetitions.
+    pub cells_executed: usize,
+    /// Cache activity accumulated over all repetitions.
+    pub cache: CacheSnapshot,
 }
 
-/// The paper's three-strategy comparison over arbitrary caps, run as one
-/// parallel sweep over a shared memo cache. Returns the per-cap points and
-/// the cache hit/miss counters the sweep accumulated.
-pub fn power_sweep_at(
-    machine: &Machine,
-    caps: &[f64],
-    wl: &WorkloadDescriptor,
-) -> (Vec<SweepPoint>, CacheStats) {
-    let engine = SweepEngine::new(machine.clone());
-    let grid = SweepGrid::new(machine.clone())
-        .workload(wl.clone())
-        .caps(caps)
-        .strategies(&PAPER_STRATEGIES);
-    let report = engine.run(&grid);
-    let points = sweep_points(&report, &wl.name, caps);
-    (points, report.cache)
+impl SweepRun {
+    /// Sweep throughput: executed cells per wall-clock second — the
+    /// number `BENCH_hotpath.json` tracks.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.cells_executed as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The default/online/offline comparison at one cap (panics if any of
+    /// the three cells is missing).
+    pub fn point_at(&self, workload: &str, cap_w: f64) -> SweepPoint {
+        let pick = |label: &str| {
+            self.report
+                .cell(workload, cap_w, label)
+                .unwrap_or_else(|| panic!("sweep missing cell ({workload}, {cap_w}W, {label})"))
+                .report
+                .clone()
+        };
+        SweepPoint {
+            cap_w,
+            default: pick("default"),
+            online: pick("arcs-online"),
+            offline: pick("arcs-offline"),
+        }
+    }
+
+    /// The [`SweepPoint`] series for one workload over the spec's cap axis.
+    pub fn points(&self, workload: &str) -> Vec<SweepPoint> {
+        self.caps.iter().map(|&cap| self.point_at(workload, cap)).collect()
+    }
 }
 
 /// Exhaustive oracle for a single region at one power cap: the best
@@ -266,9 +421,34 @@ mod tests {
         let m = Machine::crill();
         let mut wl = model::sp(Class::B);
         wl.timesteps = 20;
-        let pt = compare_at(&m, 85.0, &wl);
+        let run = SweepSpec::new(m).workload(wl).caps(&[85.0]).paper_strategies().run();
+        let pt = run.point_at("sp.B", 85.0);
         assert!(pt.offline_time_ratio() > 0.0);
         assert!((pt.offline.time_s / pt.default.time_s - pt.offline_time_ratio()).abs() < 1e-12);
+        assert_eq!(run.points("sp.B").len(), 1);
+        assert_eq!(run.cells_executed, 3);
+        assert!(run.cells_per_sec() > 0.0);
+        assert!(run.cache.misses > 0, "a fresh engine must simulate something");
+    }
+
+    #[test]
+    fn reps_reuse_the_warm_cache() {
+        let m = Machine::crill();
+        let mut wl = model::sp(Class::B);
+        wl.timesteps = 6;
+        let once = SweepSpec::new(m.clone()).workload(wl.clone()).caps(&[85.0]).paper_strategies();
+        let warm = once.clone().reps(3).run();
+        assert_eq!(warm.cells_executed, 9);
+        // Repetitions after the first resolve every lookup from cache, so
+        // the whole-run miss count equals a single repetition's.
+        let cold = once.run();
+        assert_eq!(warm.cache.misses, cold.cache.misses);
+        assert!(warm.cache.hits > cold.cache.hits);
+        // And the sweep itself is deterministic across repetitions.
+        assert_eq!(
+            warm.point_at("sp.B", 85.0).default.time_s,
+            cold.point_at("sp.B", 85.0).default.time_s
+        );
     }
 
     #[test]

@@ -47,11 +47,11 @@ use crate::tuner::{RegionTuner, TunerOptions, TuningMode};
 use arcs_harmony::History;
 use arcs_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use arcs_powersim::{
-    CacheBindError, FaultPlan, Machine, MeasureError, RegionModel, SharedSimCache,
+    CacheBindError, FaultPlan, FxBuildHasher, Machine, MeasureError, RegionModel, SharedSimCache,
     WorkloadDescriptor,
 };
 use arcs_trace::{Objective, TraceEvent, TraceSink};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -729,7 +729,9 @@ struct Accum {
     time_s: f64,
     config_overhead_s: f64,
     instr_overhead_s: f64,
-    per_region: BTreeMap<String, RegionSummary>,
+    /// Accumulated with a hash map (every region invocation probes it);
+    /// sorted into the report's `BTreeMap` once, at `finish`.
+    per_region: HashMap<String, RegionSummary, FxBuildHasher>,
     /// Present only when the backend carries an *enabled* sink, so the
     /// untraced and `NullSink` paths skip all event construction.
     sink: Option<Arc<dyn TraceSink>>,
@@ -798,7 +800,12 @@ impl Accum {
             m.region_time_s.record(meas.time_s);
         }
 
-        let entry = self.per_region.entry(name.to_string()).or_default();
+        // Warm invocations probe by `&str` — the name is only copied into
+        // the map the first time a region is seen.
+        if !self.per_region.contains_key(name) {
+            self.per_region.insert(name.to_string(), Default::default());
+        }
+        let entry = self.per_region.get_mut(name).expect("just ensured");
         entry.invocations += 1;
         entry.total_time_s += meas.time_s;
         entry.busy_s += meas.features.busy_s;
@@ -860,7 +867,7 @@ impl Accum {
             energy_j,
             config_change_overhead_s: self.config_overhead_s,
             instrumentation_overhead_s: self.instr_overhead_s,
-            per_region: self.per_region,
+            per_region: self.per_region.into_iter().collect::<BTreeMap<_, _>>(),
             tuner: tuner_stats,
             status: if degraded { RunStatus::Degraded } else { RunStatus::Ok },
             faults,

@@ -30,12 +30,20 @@ use arcs_apex::Apex;
 use arcs_harmony::History;
 use arcs_metrics::MetricsRegistry;
 use arcs_powersim::{
-    simulate_region_at_freq, CacheBindError, FaultPlan, InvocationFaults, Machine, MeasureError,
-    PackageEnergy, Rapl, RegionModel, SharedSimCache, SimConfig, SimReport, WorkloadDescriptor,
+    simulate_region_with, CacheBindError, CacheReader, FaultPlan, FxBuildHasher, InvocationFaults,
+    Machine, MeasureError, PackageEnergy, Rapl, RegionId, RegionModel, SharedSimCache, SimConfig,
+    SimReport, SimScratch, WorkloadDescriptor,
 };
 use arcs_trace::{TraceEvent, TraceSink};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Per-region executor state: the cache-interned id (resolved once, not
+/// per lookup) and the invocation ordinal feeding the noise model.
+struct RegionSlot {
+    id: RegionId,
+    invocations: u64,
+}
 
 /// Executes workloads on the simulated machine under a power cap.
 pub struct SimExecutor {
@@ -45,14 +53,20 @@ pub struct SimExecutor {
     requested_cap_w: f64,
     rapl: Rapl,
     cache: Arc<SharedSimCache>,
+    /// Lock-free view of `cache`'s frozen shard snapshots; rebuilt
+    /// whenever a different cache is bound.
+    reader: CacheReader,
+    /// Reusable simulation working memory (miss path only).
+    scratch: SimScratch,
     apex: Option<Arc<Apex>>,
     noise: Option<NoiseModel>,
     trace: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
     energy_meter: PackageEnergy,
-    /// Invocation ordinal per region (feeds the stateless noise model;
-    /// persists across runs so repeated training passes see fresh noise).
-    invocations: HashMap<String, u64>,
+    /// Per-region slots: interned cache id + invocation ordinal (the
+    /// ordinal feeds the stateless noise model and persists across runs so
+    /// repeated training passes see fresh noise).
+    regions: HashMap<String, RegionSlot, FxBuildHasher>,
     faults: Option<FaultClock>,
     /// Externally-owned cap, polled at region boundaries (the broker's
     /// reallocation path; `None` keeps the constructor cap for the run).
@@ -108,18 +122,21 @@ impl SimExecutor {
         let requested_cap_w = cap_w;
         let cap_w = rapl.set_package_cap(cap_w);
         let cache = Arc::new(SharedSimCache::new(&machine.name));
+        let reader = cache.reader();
         SimExecutor {
             machine,
             cap_w,
             requested_cap_w,
             rapl,
             cache,
+            reader,
+            scratch: SimScratch::default(),
             apex: None,
             noise: None,
             trace: None,
             metrics: None,
             energy_meter: PackageEnergy::new(),
-            invocations: HashMap::new(),
+            regions: HashMap::default(),
             faults: None,
             cap_watch: None,
         }
@@ -225,6 +242,10 @@ impl SimExecutor {
         if let Some(registry) = &self.metrics {
             cache.attach_metrics(registry);
         }
+        self.reader = cache.reader();
+        // Interned ids belong to the cache that issued them — re-resolve
+        // lazily against the new cache.
+        self.regions.clear();
         self.cache = cache;
         Ok(())
     }
@@ -252,28 +273,42 @@ impl SimExecutor {
         cfg: SimConfig,
         freq_limit_ghz: Option<f64>,
     ) -> Arc<SimReport> {
-        let (machine, cap_w) = (&self.machine, self.cap_w);
-        self.cache.get_or_insert_with_freq(
-            &region.name,
+        let id = self.region_id(&region.name);
+        let cap_w = self.cap_w;
+        let machine = &self.machine;
+        let scratch = &mut self.scratch;
+        self.cache.get_or_insert_id(
+            &mut self.reader,
+            id,
             region.iterations,
             cfg,
             cap_w,
             freq_limit_ghz,
-            || simulate_region_at_freq(machine, cap_w, region, cfg, freq_limit_ghz),
+            || simulate_region_with(machine, cap_w, region, cfg, freq_limit_ghz, scratch),
         )
+    }
+
+    /// The cache-interned id for `region`, resolved once per region per
+    /// cache bind (warm calls are one map probe, no allocation).
+    fn region_id(&mut self, region: &str) -> RegionId {
+        if let Some(slot) = self.regions.get(region) {
+            return slot.id;
+        }
+        let id = self.cache.intern(region);
+        self.regions.insert(region.to_string(), RegionSlot { id, invocations: 0 });
+        id
     }
 
     /// Next invocation ordinal for `region` (0-based).
     fn next_invocation(&mut self, region: &str) -> u64 {
-        match self.invocations.get_mut(region) {
-            Some(n) => {
-                *n += 1;
-                *n
-            }
-            None => {
-                self.invocations.insert(region.to_string(), 0);
-                0
-            }
+        if let Some(slot) = self.regions.get_mut(region) {
+            let inv = slot.invocations;
+            slot.invocations += 1;
+            inv
+        } else {
+            let id = self.cache.intern(region);
+            self.regions.insert(region.to_string(), RegionSlot { id, invocations: 1 });
+            0
         }
     }
 

@@ -22,7 +22,7 @@ use crate::report::AppRunReport;
 use crate::tuner::{RegionTuner, TunerOptions};
 use arcs_harmony::History;
 use arcs_metrics::MetricsRegistry;
-use arcs_powersim::{CacheStats, Machine, SharedSimCache, WorkloadDescriptor};
+use arcs_powersim::{CacheSnapshot, Machine, SharedSimCache, WorkloadDescriptor};
 use arcs_trace::{Objective, TraceSink};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -131,8 +131,9 @@ pub struct CellResult {
 pub struct SweepReport {
     /// Workload-major, then cap, then strategy — the declaration order.
     pub cells: Vec<CellResult>,
-    /// Memo-cache hits/misses accumulated by this sweep alone.
-    pub cache: CacheStats,
+    /// Memo-cache activity: hits/misses accumulated by this sweep alone,
+    /// occupancy and interner size as of its end.
+    pub cache: CacheSnapshot,
     pub workers: usize,
 }
 
@@ -252,7 +253,7 @@ impl SweepEngine {
         });
         let results =
             slots.into_iter().map(|slot| slot.into_inner().expect("every cell ran")).collect();
-        SweepReport { cells: results, cache: self.cache.stats().delta_since(before), workers }
+        SweepReport { cells: results, cache: self.cache.stats().delta_since(&before), workers }
     }
 
     fn executor(&self, cap_w: f64, noise: Option<(f64, u64)>) -> SimExecutor {

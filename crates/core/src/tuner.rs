@@ -31,6 +31,7 @@ use crate::resilience::{median_and_mad, median_in_place, ResilienceOptions};
 use crate::tunable::{TunableSpace, TunedConfig};
 use arcs_harmony::{History, NmOptions, ProOptions, Session, StrategyKind};
 use arcs_metrics::MetricsRegistry;
+use arcs_powersim::FxBuildHasher;
 use arcs_trace::{Objective, SearchCandidate, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -145,6 +146,13 @@ struct RegionState {
     /// Configuration pinned by replay/selective-skip/freeze (None while
     /// searching).
     pinned: Option<TunedConfig>,
+    /// Converged-session fast path: once the search settles, every
+    /// invocation replays the same best point, so the decoded config is
+    /// cached here instead of cloning/decoding it again per entry. Only
+    /// set when the session is converged with no report outstanding
+    /// (post-convergence `next_point` has no side effects), so serving
+    /// from the cache is observationally identical.
+    settled: Option<TunedConfig>,
     applied: Option<TunedConfig>,
     awaiting: bool,
     invocations: u64,
@@ -169,6 +177,7 @@ impl RegionState {
         RegionState {
             session,
             pinned,
+            settled: None,
             applied: None,
             awaiting: false,
             invocations: 0,
@@ -221,7 +230,10 @@ fn freeze_region(
 /// Per-region adaptive configuration selection.
 pub struct RegionTuner {
     options: TunerOptions,
-    regions: HashMap<String, RegionState>,
+    /// Decoded once at construction: `begin` needs it on every invocation
+    /// and the space never changes after the tuner is built.
+    default_cfg: TunedConfig,
+    regions: HashMap<String, RegionState, FxBuildHasher>,
     /// The configuration currently held by the runtime's global ICVs.
     /// `omp_set_num_threads`/`omp_set_schedule` are process-global, so a
     /// region whose configuration differs from the *previously executed*
@@ -241,9 +253,11 @@ pub struct RegionTuner {
 
 impl RegionTuner {
     pub fn new(options: TunerOptions) -> Self {
+        let default_cfg = options.space.decode(&options.space.default_point());
         RegionTuner {
             options,
-            regions: HashMap::new(),
+            default_cfg,
+            regions: HashMap::default(),
             last_applied: None,
             stats: TunerStats::default(),
             trace: None,
@@ -348,7 +362,7 @@ impl RegionTuner {
     }
 
     fn default_config(&self) -> TunedConfig {
-        self.options.space.decode(&self.options.space.default_point())
+        self.default_cfg
     }
 
     /// Called at region fork. Returns the configuration to apply.
@@ -379,10 +393,16 @@ impl RegionTuner {
 
         let config = if let Some(pinned) = state.pinned {
             pinned
+        } else if let Some(settled) = state.settled {
+            settled
         } else if let Some(session) = &mut state.session {
             let point = session.next_point();
             state.awaiting = session.awaiting_report();
-            self.options.space.decode(&point)
+            let cfg = self.options.space.decode(&point);
+            if !state.awaiting && session.converged() {
+                state.settled = Some(cfg);
+            }
+            cfg
         } else {
             default_cfg
         };

@@ -284,6 +284,17 @@ pub struct CacheReport {
     /// [`CACHE_TIMELINE_POINTS`] points so the report stays bounded on
     /// arbitrarily long traces.
     pub timeline: Vec<CachePoint>,
+    /// Distinct cells resolved, from the end-of-run
+    /// `TraceEvent::CacheStats` snapshot (v6; 0 in older traces).
+    #[serde(default)]
+    pub entries: u64,
+    /// Cells per shard in shard order, from the snapshot (empty in older
+    /// traces).
+    #[serde(default)]
+    pub shard_occupancy: Vec<u64>,
+    /// Distinct region names interned, from the snapshot.
+    #[serde(default)]
+    pub interner_size: u64,
 }
 
 /// Upper bound on [`CacheReport::timeline`] length.
@@ -673,6 +684,18 @@ impl TraceReport {
             self.cache.misses,
             100.0 * self.cache.hit_rate()
         ));
+        if self.cache.entries > 0 {
+            let occ = &self.cache.shard_occupancy;
+            let (min, max) =
+                (occ.iter().min().copied().unwrap_or(0), occ.iter().max().copied().unwrap_or(0));
+            out.push_str(&format!(
+                "{} distinct cell(s) across {} shard(s) (occupancy {min}–{max}), \
+                 {} region name(s) interned\n",
+                self.cache.entries,
+                occ.len(),
+                self.cache.interner_size
+            ));
+        }
 
         h(&mut out, "Overhead (§III-C)");
         out.push_str(&format!(
@@ -864,6 +887,11 @@ impl TraceAnalysis {
             }
             TraceEvent::CacheHit { .. } => self.cache_lookup(true),
             TraceEvent::CacheMiss { .. } => self.cache_lookup(false),
+            TraceEvent::CacheStats { entries, shard_occupancy, interner_size, .. } => {
+                r.cache.entries = *entries;
+                r.cache.shard_occupancy = shard_occupancy.clone();
+                r.cache.interner_size = *interner_size;
+            }
             TraceEvent::FaultInjected { kind, .. } => {
                 *r.faults.injected.entry(kind.clone()).or_default() += 1;
             }
@@ -993,23 +1021,50 @@ pub struct Comparison {
     pub objective: Objective,
     /// Wall-clock analysis throughput carried over from the baseline
     /// report (`None` when the baseline artifact predates the field).
-    /// Recorded, never gated on — wall-clock numbers are too noisy to
-    /// fail CI, but the trajectory in `results/` shows wins and
-    /// regressions alike (ROADMAP item 4).
+    /// Recorded but not gated on by default — wall-clock numbers are too
+    /// noisy to fail CI at tight thresholds — unless the caller opts in
+    /// via [`Comparison::with_throughput_gate`] with a generous margin.
     #[serde(default)]
     pub baseline_cells_per_s: Option<f64>,
     /// Wall-clock analysis throughput from the candidate report.
     #[serde(default)]
     pub candidate_cells_per_s: Option<f64>,
+    /// Optional throughput gate: the comparison regresses when the
+    /// candidate's cells/s falls strictly more than this many percent
+    /// below the baseline's. `None` (the default) keeps throughput
+    /// informational — wall-clock numbers are noisy, so gating is opt-in
+    /// and thresholds should be generous.
+    #[serde(default)]
+    pub fail_on_throughput_pct: Option<f64>,
 }
 
 impl Comparison {
     pub fn regressed(&self) -> bool {
-        self.rows.iter().any(|r| r.regression)
+        self.rows.iter().any(|r| r.regression) || self.throughput_regressed()
+    }
+
+    /// Did the candidate's wall-clock throughput fall below the gated
+    /// floor? Always false without a gate or when either report predates
+    /// the `cells_per_s` field.
+    pub fn throughput_regressed(&self) -> bool {
+        match (self.fail_on_throughput_pct, self.baseline_cells_per_s, self.candidate_cells_per_s) {
+            (Some(pct), Some(base), Some(cand)) if base > 0.0 => cand < base * (1.0 - pct / 100.0),
+            _ => false,
+        }
+    }
+
+    /// Enable the throughput gate at `pct` percent below baseline.
+    pub fn with_throughput_gate(mut self, pct: f64) -> Self {
+        self.fail_on_throughput_pct = Some(pct);
+        self
     }
 
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("comparison serializes")
+    }
+
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
     }
 
     pub fn to_table(&self) -> String {
@@ -1044,11 +1099,19 @@ impl Comparison {
                 Some(c) => format!("{c:.0}"),
                 None => "-".to_string(),
             };
-            out.push_str(&format!(
-                "cells/s (wall clock, informational): baseline {} → candidate {}\n",
-                fmt(self.baseline_cells_per_s),
-                fmt(self.candidate_cells_per_s)
-            ));
+            match self.fail_on_throughput_pct {
+                Some(pct) => out.push_str(&format!(
+                    "cells/s (wall clock, gated at -{pct}%): baseline {} → candidate {} — {}\n",
+                    fmt(self.baseline_cells_per_s),
+                    fmt(self.candidate_cells_per_s),
+                    if self.throughput_regressed() { "REGRESSION" } else { "ok" }
+                )),
+                None => out.push_str(&format!(
+                    "cells/s (wall clock, informational): baseline {} → candidate {}\n",
+                    fmt(self.baseline_cells_per_s),
+                    fmt(self.candidate_cells_per_s)
+                )),
+            }
         }
         out.push_str(&format!(
             "threshold {}%: {}\n",
@@ -1112,6 +1175,7 @@ pub fn compare_reports_for(
         objective,
         baseline_cells_per_s: baseline.cells_per_s,
         candidate_cells_per_s: candidate.cells_per_s,
+        fail_on_throughput_pct: None,
     }
 }
 
@@ -1683,6 +1747,34 @@ mod tests {
         assert_eq!(cmp.rows[0].name, "TOTAL");
         assert_eq!(cmp.rows.len(), 1 + report.regions.len());
         assert!(cmp.to_table().contains("pass"));
+    }
+
+    #[test]
+    fn throughput_gate_fires_only_when_enabled() {
+        let mut cmp = Comparison {
+            baseline_cells_per_s: Some(1000.0),
+            candidate_cells_per_s: Some(600.0),
+            ..Default::default()
+        };
+        // -40% but no gate installed: informational only.
+        assert!(!cmp.regressed());
+        assert!(!cmp.throughput_regressed());
+        cmp = cmp.with_throughput_gate(30.0);
+        assert!(cmp.throughput_regressed());
+        assert!(cmp.regressed());
+        assert!(cmp.to_table().contains("gated at -30%"), "{}", cmp.to_table());
+        assert!(cmp.to_table().contains("REGRESSION"));
+        // Within the margin: the gate stays quiet.
+        cmp.candidate_cells_per_s = Some(750.0);
+        assert!(!cmp.regressed());
+        // A baseline without the field can never fail the gate.
+        cmp.candidate_cells_per_s = Some(600.0);
+        cmp.baseline_cells_per_s = None;
+        assert!(!cmp.regressed());
+        // The gate survives the JSON round trip (ci.sh re-reads artifacts).
+        cmp.baseline_cells_per_s = Some(1000.0);
+        let back = Comparison::from_json(&cmp.to_json()).unwrap();
+        assert!(back.regressed());
     }
 
     #[test]

@@ -186,8 +186,22 @@ pub fn static_chunks_for_thread(
 /// dispenses, in dispatch order, independent of which thread grabs each
 /// chunk. Used by the simulator.
 pub fn on_demand_chunk_sizes(len: usize, nthreads: usize, schedule: Schedule) -> Vec<usize> {
-    assert!(nthreads > 0);
     let mut out = Vec::new();
+    on_demand_chunk_sizes_into(len, nthreads, schedule, &mut out);
+    out
+}
+
+/// [`on_demand_chunk_sizes`] writing into a caller-owned buffer (cleared
+/// first), so simulator hot loops can reuse one allocation across
+/// invocations.
+pub fn on_demand_chunk_sizes_into(
+    len: usize,
+    nthreads: usize,
+    schedule: Schedule,
+    out: &mut Vec<usize>,
+) {
+    assert!(nthreads > 0);
+    out.clear();
     let mut remaining = len;
     let min = schedule.min_chunk();
     while remaining > 0 {
@@ -204,7 +218,6 @@ pub fn on_demand_chunk_sizes(len: usize, nthreads: usize, schedule: Schedule) ->
         out.push(take);
         remaining -= take;
     }
-    out
 }
 
 /// Total number of chunks the schedule produces for a loop of `len`

@@ -66,8 +66,13 @@ pub fn analyze(
     let chunks_per_thread = (n_chunks as f64 / threads as f64).max(1.0);
 
     // SMT occupancy: siblings split private caches and L1 bandwidth.
-    let smt_k =
-        (0..threads).map(|t| machine.threads_on_core_of(t, threads)).max().unwrap_or(1) as f64;
+    // Closed form — the hot path calls this per distinct sweep cell, and
+    // the old per-thread scan was O(threads²).
+    debug_assert_eq!(
+        machine.max_smt_occupancy(threads),
+        (0..threads).map(|t| machine.threads_on_core_of(t, threads)).max().unwrap_or(0)
+    );
+    let smt_k = machine.max_smt_occupancy(threads).max(1) as f64;
 
     // Chunking, measured in *bytes*.
     let bytes_per_iter = (mem.footprint_bytes / iters as f64).max(1.0);
@@ -100,8 +105,8 @@ pub fn analyze(
     let l2 = (l1 * r2).clamp(0.0, 1.0);
 
     // --- L3 (shared per socket) -------------------------------------------
-    let per_socket = machine.active_cores_per_socket(threads);
-    let sockets_used = per_socket.iter().filter(|&&c| c > 0).count().max(1);
+    let (_, sockets_used) = machine.active_core_summary(threads);
+    let sockets_used = sockets_used.max(1);
     let threads_per_socket = (threads as f64 / sockets_used as f64).ceil();
     // Coverage: fraction of the footprint this socket's threads touch.
     // One contiguous block per thread ⇒ exactly its share; `c` scattered

@@ -25,8 +25,8 @@
 
 use crate::cache::{analyze, CacheReport};
 use crate::machine::Machine;
-use crate::workload::RegionModel;
-use arcs_omprt::schedule::{on_demand_chunk_sizes, static_chunks_for_thread, Schedule};
+use crate::workload::{ImbalanceProfile, RegionModel};
+use arcs_omprt::schedule::{on_demand_chunk_sizes_into, static_chunks_for_thread, Schedule};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -51,6 +51,14 @@ pub struct SimReport {
     pub per_thread_busy_s: Vec<f64>,
     /// Barrier wait: gap between a thread finishing and the join.
     pub per_thread_wait_s: Vec<f64>,
+    /// `Σ per_thread_busy_s`, cached at construction: the driver reads the
+    /// totals on every invocation and a memoised report is read far more
+    /// often than it is built.
+    #[serde(default)]
+    pub busy_sum_s: f64,
+    /// `Σ per_thread_wait_s`, cached at construction.
+    #[serde(default)]
+    pub wait_sum_s: f64,
     pub chunks_dispatched: u64,
     pub threads: usize,
     pub schedule: Schedule,
@@ -60,12 +68,12 @@ impl SimReport {
     /// Total time threads spent in the end-of-region barrier — the paper's
     /// `OMP_BARRIER` metric.
     pub fn barrier_total_s(&self) -> f64 {
-        self.per_thread_wait_s.iter().sum()
+        self.wait_sum_s
     }
 
     /// Total busy (loop body) time — the `OpenMP_LOOP` metric.
     pub fn busy_total_s(&self) -> f64 {
-        self.per_thread_busy_s.iter().sum()
+        self.busy_sum_s
     }
 
     /// Load imbalance in [0, 1): `1 − mean(busy)/max(busy)`.
@@ -113,6 +121,8 @@ impl SimReport {
         let background_w =
             machine.sockets as f64 * (machine.power.p_uncore_w + machine.power.p_dram_background_w);
         out.energy_j += dt * (background_w + p_core + idle_w);
+        out.busy_sum_s = out.per_thread_busy_s.iter().sum();
+        out.wait_sum_s = out.per_thread_wait_s.iter().sum();
         out
     }
 
@@ -127,22 +137,30 @@ impl SimReport {
 
 /// Finish times of threads sharing one core under SMT, given each thread's
 /// solo-speed work (ns). While `m` siblings are active each runs at
-/// `eff(m)`; when one finishes the survivors speed up. Returns finish times
-/// in the same order as `solo_ns`.
-fn smt_overlap_finish_times(solo_ns: &[f64], smt: &crate::machine::SmtModel) -> Vec<f64> {
+/// `eff(m)`; when one finishes the survivors speed up. Writes finish times
+/// into `finishes` in the same order as `solo_ns`; `order` is sort
+/// scratch, both reused across calls.
+fn smt_overlap_finish_times_into(
+    solo_ns: &[f64],
+    smt: &crate::machine::SmtModel,
+    order: &mut Vec<usize>,
+    finishes: &mut Vec<f64>,
+) {
     let k = solo_ns.len();
+    finishes.clear();
+    finishes.extend_from_slice(solo_ns);
     if k <= 1 {
-        return solo_ns.to_vec();
+        return;
     }
     // Sort by remaining work; retire the smallest first. `total_cmp`
     // keeps this panic-free even if a model ever produces a NaN cost.
-    let mut order: Vec<usize> = (0..k).collect();
+    order.clear();
+    order.extend(0..k);
     order.sort_by(|&a, &b| solo_ns[a].total_cmp(&solo_ns[b]));
-    let mut finishes = vec![0.0; k];
     let mut clock = 0.0;
     let mut done_work = 0.0; // work each surviving thread has retired
     let mut active = k;
-    for &idx in &order {
+    for &idx in order.iter() {
         let rate = smt.efficiency(active);
         let dt = (solo_ns[idx] - done_work) / rate;
         clock += dt.max(0.0);
@@ -150,7 +168,38 @@ fn smt_overlap_finish_times(solo_ns: &[f64], smt: &crate::machine::SmtModel) -> 
         finishes[idx] = clock;
         active -= 1;
     }
-    finishes
+}
+
+/// Reusable working memory for [`simulate_region_with`]. One scratch per
+/// executor (or per sweep worker) removes every transient allocation from
+/// the region-evaluation hot path; buffers grow to the largest region
+/// seen and are reused verbatim afterwards.
+///
+/// A scratch carries no results between calls — simulating with a fresh
+/// `SimScratch::default()` is bit-identical to simulating with a warm one.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Iteration-weight prefix sums (`prefix[i] = Σ weights[..i]`);
+    /// untouched for uniform regions, which use closed-form sums.
+    prefix: Vec<f64>,
+    /// Raw per-iteration weights feeding `prefix`.
+    weights: Vec<f64>,
+    busy_ns: Vec<f64>,
+    chunks_per_thread: Vec<u64>,
+    /// Dynamic/guided chunk sizes in dispatch order.
+    sizes: Vec<usize>,
+    /// Greedy list-scheduling queue keyed by femtosecond finish clocks.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Per-thread femtosecond clocks for the small-team argmin dispatcher.
+    clocks: Vec<u64>,
+    /// thread → flat core index during SMT grouping (entries consumed as
+    /// groups are processed).
+    core_idx: Vec<usize>,
+    group_solo: Vec<f64>,
+    group_members: Vec<usize>,
+    group_order: Vec<usize>,
+    group_finishes: Vec<f64>,
+    core_busy_ns: Vec<f64>,
 }
 
 /// Simulate one invocation of `region` with `cfg` under a per-package power
@@ -176,6 +225,19 @@ pub fn simulate_region_at_freq(
     cfg: SimConfig,
     freq_limit_ghz: Option<f64>,
 ) -> SimReport {
+    simulate_region_with(machine, cap_w, region, cfg, freq_limit_ghz, &mut SimScratch::default())
+}
+
+/// [`simulate_region_at_freq`] with caller-owned working memory: the
+/// allocation-free form executors and sweep workers call per invocation.
+pub fn simulate_region_with(
+    machine: &Machine,
+    cap_w: f64,
+    region: &RegionModel,
+    cfg: SimConfig,
+    freq_limit_ghz: Option<f64>,
+    scratch: &mut SimScratch,
+) -> SimReport {
     let threads = cfg.threads.clamp(1, machine.hw_threads());
     let schedule = cfg.schedule;
     let n = region.iterations;
@@ -183,8 +245,7 @@ pub fn simulate_region_at_freq(
     // Frequency: the busiest socket constrains the whole team (threads
     // synchronise at the barrier, so the slower socket sets the pace; both
     // sockets run the same cap).
-    let active = machine.active_cores_per_socket(threads);
-    let max_active = active.iter().copied().max().unwrap_or(0);
+    let (max_active, sockets_used) = machine.active_core_summary(threads);
     let mut f_ghz = machine.frequency_under_cap(cap_w, max_active);
     if let Some(limit) = freq_limit_ghz {
         f_ghz = f_ghz.min(limit).max(machine.f_min_ghz);
@@ -194,14 +255,31 @@ pub fn simulate_region_at_freq(
 
     // Cost of iteration i at solo speed (SMT sharing applied later):
     //   weight_i × cycles / f  +  stall (f-independent).
-    let weights = region.weights();
-    let mut prefix = Vec::with_capacity(n + 1);
-    prefix.push(0.0);
-    let mut running = 0.0;
-    for &w in &weights {
-        running += w;
-        prefix.push(running);
+    //
+    // Uniform regions take a closed form: every weight is exactly 1.0, so
+    // the prefix sums are the exact integers 0..=n and any range sum is
+    // `(b − a) as f64` — bit-identical to materialising the prefix array
+    // (integer f64 sums are exact below 2^53) without touching memory.
+    let uniform = matches!(region.imbalance, ImbalanceProfile::Uniform);
+    if !uniform {
+        region.imbalance.fill_weights(n, &mut scratch.weights);
+        scratch.prefix.clear();
+        scratch.prefix.reserve(n + 1);
+        scratch.prefix.push(0.0);
+        let mut running = 0.0;
+        for &w in &scratch.weights {
+            running += w;
+            scratch.prefix.push(running);
+        }
     }
+    let prefix = &scratch.prefix;
+    let weight_sum = move |a: usize, b: usize| -> f64 {
+        if uniform {
+            (b - a) as f64
+        } else {
+            prefix[b] - prefix[a]
+        }
+    };
     let cycle_ns_per_weight = region.cycles_per_iter / f_ghz; // ns per unit weight
                                                               // Uncore DVFS: a capped package slows its L3/memory path along with
                                                               // the cores, inflating miss latencies.
@@ -210,11 +288,13 @@ pub fn simulate_region_at_freq(
     let stall_ns_per_iter =
         region.memory.accesses_per_iter * cache.stall_ns_per_access * uncore_factor;
 
-    let weight_sum = |a: usize, b: usize| -> f64 { prefix[b] - prefix[a] };
-
     let fork_ns = machine.fork_base_ns + threads as f64 * machine.fork_per_thread_ns;
-    let mut busy_ns = vec![0.0f64; threads];
-    let mut chunks_per_thread = vec![0u64; threads];
+    scratch.busy_ns.clear();
+    scratch.busy_ns.resize(threads, 0.0);
+    scratch.chunks_per_thread.clear();
+    scratch.chunks_per_thread.resize(threads, 0);
+    let busy_ns = &mut scratch.busy_ns;
+    let chunks_per_thread = &mut scratch.chunks_per_thread;
 
     match schedule.kind {
         arcs_omprt::ScheduleKind::Static => {
@@ -223,7 +303,9 @@ pub fn simulate_region_at_freq(
             // returns its core's resources to the survivor — this is what
             // lets 32 hyper-threads absorb part of the 102-iterations-on-
             // 32-threads granularity imbalance on real hardware).
-            for (t, (work, count)) in busy_ns.iter_mut().zip(&mut chunks_per_thread).enumerate() {
+            for (t, (work, count)) in
+                busy_ns.iter_mut().zip(chunks_per_thread.iter_mut()).enumerate()
+            {
                 for ch in static_chunks_for_thread(n, threads, schedule.chunk, t) {
                     *count += 1;
                     *work += machine.chunk_setup_ns
@@ -238,46 +320,140 @@ pub fn simulate_region_at_freq(
             // dispensers do in real time. Assignment runs on solo-speed
             // clocks; SMT sharing is applied afterwards via the same
             // sibling-overlap model as the static path.
-            let sizes = on_demand_chunk_sizes(n, threads, schedule);
+            on_demand_chunk_sizes_into(n, threads, schedule, &mut scratch.sizes);
             let dispatch_ns = machine.dispatch_ns
                 + machine.dispatch_contention_ns * (threads as f64).ln().max(0.0);
-            let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
-                (0..threads).map(|t| Reverse((0u64, t))).collect();
-            let mut start = 0usize;
-            for &sz in &sizes {
-                let Reverse((clock_fp, t)) = heap.pop().expect("team is non-empty");
-                let end = start + sz;
-                let cost = dispatch_ns
-                    + weight_sum(start, end) * cycle_ns_per_weight
-                    + sz as f64 * stall_ns_per_iter;
-                start = end;
-                chunks_per_thread[t] += 1;
-                // Femtosecond integer clocks keep the heap strict-weak.
-                let clock_fp = clock_fp + (cost * 1e6) as u64;
-                heap.push(Reverse((clock_fp, t)));
-            }
-            for Reverse((clock_fp, t)) in heap.into_vec() {
-                busy_ns[t] = clock_fp as f64 * 1e-6;
+            let sizes = &scratch.sizes;
+            let nchunks = sizes.len();
+            // Equal-cost fast path (uniform weights + equal chunk sizes up
+            // to a trailing remainder — i.e. `dynamic` on a uniform
+            // region): with every pending clock tied each round, the heap
+            // pops threads in index order, so greedy dispatch IS
+            // round-robin and each thread's femtosecond clock is a
+            // closed-form multiple of the per-chunk cost. u64
+            // multiplication is exact repeated addition, so the bits match
+            // the simulated heap exactly.
+            let equal_cost = uniform
+                && nchunks > 0
+                && sizes[..nchunks - 1].iter().all(|&s| s == sizes[0])
+                && sizes[nchunks - 1] <= sizes[0];
+            if equal_cost {
+                let chunk_fp = |sz: usize| -> u64 {
+                    let cost = dispatch_ns
+                        + sz as f64 * cycle_ns_per_weight
+                        + sz as f64 * stall_ns_per_iter;
+                    (cost * 1e6) as u64
+                };
+                let step_fp = chunk_fp(sizes[0]);
+                let last_sz = sizes[nchunks - 1];
+                let last_fp = if last_sz == sizes[0] { step_fp } else { chunk_fp(last_sz) };
+                for t in 0..threads {
+                    let k = (nchunks / threads + usize::from(t < nchunks % threads)) as u64;
+                    chunks_per_thread[t] = k;
+                    let mut clock_fp = k * step_fp;
+                    if k > 0 && (nchunks - 1) % threads == t {
+                        clock_fp = clock_fp - step_fp + last_fp;
+                    }
+                    busy_ns[t] = clock_fp as f64 * 1e-6;
+                }
+            } else if threads <= 32 {
+                // Small teams: a linear argmin over the clock array beats
+                // heap maintenance per chunk. First-minimum scanning picks
+                // the lowest thread index among tied clocks — exactly the
+                // `Reverse((clock, t))` heap order — so the assignment
+                // sequence (and every femtosecond sum) is bit-identical to
+                // the heap branch below.
+                let clocks = &mut scratch.clocks;
+                clocks.clear();
+                clocks.resize(threads, 0u64);
+                let mut start = 0usize;
+                for &sz in sizes {
+                    let mut t = 0usize;
+                    let mut best = clocks[0];
+                    for (i, &c) in clocks.iter().enumerate().skip(1) {
+                        if c < best {
+                            best = c;
+                            t = i;
+                        }
+                    }
+                    let end = start + sz;
+                    let cost = dispatch_ns
+                        + weight_sum(start, end) * cycle_ns_per_weight
+                        + sz as f64 * stall_ns_per_iter;
+                    start = end;
+                    chunks_per_thread[t] += 1;
+                    clocks[t] = best + (cost * 1e6) as u64;
+                }
+                for (t, &c) in clocks.iter().enumerate() {
+                    busy_ns[t] = c as f64 * 1e-6;
+                }
+            } else {
+                let heap = &mut scratch.heap;
+                heap.clear();
+                heap.extend((0..threads).map(|t| Reverse((0u64, t))));
+                let mut start = 0usize;
+                for &sz in sizes {
+                    let Reverse((clock_fp, t)) = heap.pop().expect("team is non-empty");
+                    let end = start + sz;
+                    let cost = dispatch_ns
+                        + weight_sum(start, end) * cycle_ns_per_weight
+                        + sz as f64 * stall_ns_per_iter;
+                    start = end;
+                    chunks_per_thread[t] += 1;
+                    // Femtosecond integer clocks keep the heap strict-weak.
+                    let clock_fp = clock_fp + (cost * 1e6) as u64;
+                    heap.push(Reverse((clock_fp, t)));
+                }
+                for Reverse((clock_fp, t)) in heap.drain() {
+                    busy_ns[t] = clock_fp as f64 * 1e-6;
+                }
             }
         }
     }
 
     // SMT sharing: siblings on one core progress at eff(k) and speed up as
-    // each finishes. Both paths above stored solo-speed work.
-    {
-        let mut core_members: std::collections::HashMap<(usize, usize), Vec<usize>> =
-            std::collections::HashMap::new();
-        for t in 0..threads {
+    // each finishes. Both paths above stored solo-speed work. Threads are
+    // bucketed by flat core index in thread order — the same disjoint
+    // groups (and in-group order) the old (socket, core)-keyed map
+    // produced, without hashing; singleton groups are left untouched
+    // (overlap of one thread is the identity), so a team with every core
+    // single-occupied skips the pass outright.
+    if machine.max_smt_occupancy(threads) > 1 {
+        scratch.core_idx.clear();
+        scratch.core_idx.extend((0..threads).map(|t| {
             let p = machine.place(t, threads);
-            core_members.entry((p.socket, p.core)).or_default().push(t);
-        }
-        for members in core_members.values() {
-            let finishes = smt_overlap_finish_times(
-                &members.iter().map(|&t| busy_ns[t]).collect::<Vec<_>>(),
-                &machine.smt,
-            );
-            for (&t, &f) in members.iter().zip(&finishes) {
-                busy_ns[t] = f;
+            p.socket * machine.cores_per_socket + p.core
+        }));
+        const GROUPED: usize = usize::MAX;
+        for t in 0..threads {
+            let core = scratch.core_idx[t];
+            if core == GROUPED {
+                continue;
+            }
+            scratch.group_members.clear();
+            scratch.group_solo.clear();
+            scratch.group_members.push(t);
+            scratch.group_solo.push(busy_ns[t]);
+            // Indexed loop: `core_idx[t2]` is overwritten in-flight to
+            // mark grouped threads, which an iterator borrow would block.
+            #[allow(clippy::needless_range_loop)]
+            for t2 in (t + 1)..threads {
+                if scratch.core_idx[t2] == core {
+                    scratch.core_idx[t2] = GROUPED;
+                    scratch.group_members.push(t2);
+                    scratch.group_solo.push(busy_ns[t2]);
+                }
+            }
+            if scratch.group_members.len() > 1 {
+                smt_overlap_finish_times_into(
+                    &scratch.group_solo,
+                    &machine.smt,
+                    &mut scratch.group_order,
+                    &mut scratch.group_finishes,
+                );
+                for (&t2, &f) in scratch.group_members.iter().zip(&scratch.group_finishes) {
+                    busy_ns[t2] = f;
+                }
             }
         }
     }
@@ -288,7 +464,7 @@ pub fn simulate_region_at_freq(
     // low thread counts competitive for streaming regions: fewer threads
     // at the same (saturated) bandwidth lose nothing, and configurations
     // that *reduce traffic* win outright.
-    let sockets_used = active.iter().filter(|&&c| c > 0).count().max(1);
+    let sockets_used = sockets_used.max(1);
     let dram_bytes = n as f64
         * region.memory.accesses_per_iter
         * cache.l3_miss_rate
@@ -297,7 +473,7 @@ pub fn simulate_region_at_freq(
     let max_busy_raw = busy_ns.iter().cloned().fold(0.0, f64::max);
     if bw_floor_ns > max_busy_raw && max_busy_raw > 0.0 {
         let stretch = bw_floor_ns / max_busy_raw;
-        for b in &mut busy_ns {
+        for b in busy_ns.iter_mut() {
             *b *= stretch;
         }
     }
@@ -313,7 +489,9 @@ pub fn simulate_region_at_freq(
     // --- Energy -----------------------------------------------------------
     // Core-level busy time: a core is busy while any of its threads is.
     let total_cores = machine.total_cores();
-    let mut core_busy_ns = vec![0.0f64; total_cores];
+    let core_busy_ns = &mut scratch.core_busy_ns;
+    core_busy_ns.clear();
+    core_busy_ns.resize(total_cores, 0.0);
     for (t, &b) in busy_ns.iter().enumerate() {
         let p = machine.place(t, threads);
         let idx = p.socket * machine.cores_per_socket + p.core;
@@ -330,7 +508,7 @@ pub fn simulate_region_at_freq(
     energy_j += machine.sockets as f64
         * (machine.power.p_uncore_w + machine.power.p_dram_background_w)
         * time_s;
-    for &b in &core_busy_ns {
+    for &b in core_busy_ns.iter() {
         let busy_s = (b * 1e-9).min(time_s);
         energy_j +=
             busy_s * p_core + ((region_ns - b).max(0.0) * 1e-9) * machine.power.p_core_idle_w;
@@ -345,21 +523,25 @@ pub fn simulate_region_at_freq(
     let accesses = n as f64 * region.memory.accesses_per_iter;
     energy_j += accesses * cache.energy_nj_per_access * 1e-9;
 
+    let per_thread_busy_s: Vec<f64> = busy_ns
+        .iter()
+        .enumerate()
+        .map(|(t, &b)| (b + if t == 0 { critical_ns } else { 0.0 }) * 1e-9)
+        .collect();
+    let per_thread_wait_s: Vec<f64> = busy_ns
+        .iter()
+        .enumerate()
+        .map(|(t, &b)| (max_busy_ns - b + if t == 0 { 0.0 } else { critical_ns }) * 1e-9)
+        .collect();
     SimReport {
         time_s,
         energy_j,
         f_ghz,
         cache,
-        per_thread_busy_s: busy_ns
-            .iter()
-            .enumerate()
-            .map(|(t, &b)| (b + if t == 0 { critical_ns } else { 0.0 }) * 1e-9)
-            .collect(),
-        per_thread_wait_s: busy_ns
-            .iter()
-            .enumerate()
-            .map(|(t, &b)| (max_busy_ns - b + if t == 0 { 0.0 } else { critical_ns }) * 1e-9)
-            .collect(),
+        busy_sum_s: per_thread_busy_s.iter().sum(),
+        wait_sum_s: per_thread_wait_s.iter().sum(),
+        per_thread_busy_s,
+        per_thread_wait_s,
         chunks_dispatched: chunks_per_thread.iter().sum(),
         threads,
         schedule,

@@ -58,10 +58,16 @@ pub mod rapl;
 pub mod workload;
 
 pub use cache::{analyze, CacheReport};
-pub use exec::{simulate_region, simulate_region_at_freq, SimConfig, SimReport};
+pub use exec::{
+    simulate_region, simulate_region_at_freq, simulate_region_with, SimConfig, SimReport,
+    SimScratch,
+};
 pub use fault::{CapFault, FaultPlan, InvocationFaults, MeasureError};
 pub use fleet::{Fleet, FleetNode};
 pub use machine::{CacheGeometry, Machine, MachineLoadError, Placement, PowerModel, SmtModel};
-pub use memo::{CacheBindError, CacheStats, SharedSimCache};
+pub use memo::{
+    CacheBindError, CacheReader, CacheSnapshot, FxBuildHasher, FxHasher, RegionId, RegionInterner,
+    SharedSimCache,
+};
 pub use rapl::{PackageEnergy, Rapl};
 pub use workload::{ImbalanceProfile, MemoryProfile, RegionModel, StrideClass, WorkloadDescriptor};

@@ -228,6 +228,24 @@ impl Machine {
         }
     }
 
+    /// Largest number of team threads sharing any one core — the SMT
+    /// occupancy the cache model and sibling-overlap model key on.
+    /// Closed form for both placement policies (cross-checked against
+    /// [`Machine::threads_on_core_of`] in tests): Scatter fills every
+    /// core before reusing SMT slots, so the fullest core holds
+    /// `⌈team / total_cores⌉` threads; Compact fills a core's SMT slots
+    /// before moving on, so the first core is fullest at
+    /// `min(team, smt_per_core)`.
+    pub fn max_smt_occupancy(&self, team: usize) -> usize {
+        if team == 0 {
+            return 0;
+        }
+        match self.placement {
+            PlacementPolicy::Scatter => team.div_ceil(self.total_cores()),
+            PlacementPolicy::Compact => team.min(self.smt_per_core),
+        }
+    }
+
     /// How many of the team's threads share the core that `thread` is on.
     pub fn threads_on_core_of(&self, thread: usize, team: usize) -> usize {
         let p = self.place(thread, team);
@@ -247,6 +265,37 @@ impl Machine {
             seen[p.socket].insert(p.core);
         }
         seen.into_iter().map(|s| s.len()).collect()
+    }
+
+    /// `(max active cores on any socket, sockets with ≥1 active core)` for
+    /// a team — the two numbers the simulator needs per invocation —
+    /// without allocating. Falls back to
+    /// [`Machine::active_cores_per_socket`] for geometries too wide for
+    /// the bitmask fast path.
+    pub fn active_core_summary(&self, team: usize) -> (usize, usize) {
+        const MAX_SOCKETS: usize = 8;
+        if self.cores_per_socket <= 64 && self.sockets <= MAX_SOCKETS {
+            let mut masks = [0u64; MAX_SOCKETS];
+            for t in 0..team {
+                let p = self.place(t, team);
+                masks[p.socket] |= 1 << p.core;
+            }
+            let mut max_active = 0;
+            let mut used = 0;
+            for mask in &masks[..self.sockets] {
+                let active = mask.count_ones() as usize;
+                if active > 0 {
+                    used += 1;
+                }
+                max_active = max_active.max(active);
+            }
+            (max_active, used)
+        } else {
+            let active = self.active_cores_per_socket(team);
+            let max_active = active.iter().copied().max().unwrap_or(0);
+            let used = active.iter().filter(|&&c| c > 0).count();
+            (max_active, used)
+        }
     }
 
     /// Package power (W) with `active` busy cores at frequency `f` GHz.
@@ -485,6 +534,17 @@ mod tests {
         assert_eq!(m.active_cores_per_socket(16), vec![8, 8]);
         assert_eq!(m.active_cores_per_socket(32), vec![8, 8]);
         assert_eq!(m.active_cores_per_socket(3), vec![2, 1]);
+    }
+
+    #[test]
+    fn max_smt_occupancy_matches_per_thread_scan() {
+        for m in [Machine::crill(), Machine::minotaur()] {
+            for team in 1..=m.hw_threads() {
+                let scan = (0..team).map(|t| m.threads_on_core_of(t, team)).max().unwrap_or(0);
+                assert_eq!(m.max_smt_occupancy(team), scan, "{} team {team}", m.name);
+            }
+        }
+        assert_eq!(Machine::crill().max_smt_occupancy(0), 0);
     }
 
     #[test]

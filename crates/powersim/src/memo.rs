@@ -1,29 +1,177 @@
 //! Shared, thread-safe memoisation of region simulations.
 //!
 //! The simulator is deterministic: one (region, trip count, configuration,
-//! power cap) tuple always produces the same [`SimReport`]. A
-//! [`SharedSimCache`] exploits that across *executors*: concurrent sweep
-//! cells (same machine, different caps/strategies/workloads) share one
-//! cache, so a configuration priced by one cell is free for every other
-//! cell that touches it.
+//! power cap, frequency limit) tuple always produces the same
+//! [`SimReport`]. A [`SharedSimCache`] exploits that across *executors*:
+//! concurrent sweep cells (same machine, different caps/strategies/
+//! workloads) share one cache, so a configuration priced by one cell is
+//! free for every other cell that touches it.
 //!
-//! Keys are sharded by region name and stored as `Arc<str>`, so lookups
-//! take `&str` and never allocate; the name is copied once per region on
-//! first miss. Values are computed *outside* the shard lock — two racing
-//! threads may both simulate the same tuple, but the simulator is
-//! deterministic so whichever insert lands is correct (the loser's work is
-//! discarded and its lookup counts as a hit, so the miss counter equals
-//! the number of distinct cells resolved regardless of interleaving).
+//! ## Key layout
+//!
+//! Region names are interned once per executor bind into integer
+//! [`RegionId`]s by the cache's [`RegionInterner`]; the cell key is a flat
+//! `CellKey` of machine words (id, trip count, config, cap bits, freq
+//! bits) hashed with an Fx-style multiply hash — no string hashing and no
+//! two-level map walk on the hot path.
+//!
+//! ## Read path
+//!
+//! Each shard keeps a *frozen* `Arc<HashMap>` snapshot plus a small *hot*
+//! overlay of recent inserts. A per-executor [`CacheReader`] caches the
+//! frozen `Arc` per shard together with the shard's generation counter:
+//! while the generation is unchanged, a warm lookup is one atomic load and
+//! one probe of a reader-local map — the shard `Mutex` is never taken.
+//! Inserts land in the hot overlay under the lock and are batch-merged
+//! into a fresh frozen snapshot (generation bump, `Arc` swap) once the
+//! overlay outgrows `max(8, frozen/4)`, so the steady state is fully
+//! lock-free and the merge cost is O(n log n) amortised over inserts.
+//!
+//! Values are computed *outside* the shard lock — two racing threads may
+//! both simulate the same tuple, but the simulator is deterministic so
+//! whichever insert lands is correct (the loser's work is discarded and
+//! its lookup counts as a hit, so the miss counter equals the number of
+//! distinct cells resolved regardless of interleaving).
 
 use crate::exec::{SimConfig, SimReport};
 use arcs_metrics::{Counter, MetricsRegistry};
 use arcs_trace::{TraceEvent, TraceSink};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 const SHARDS: usize = 16;
+/// The hot overlay merges into the frozen snapshot once it reaches
+/// `max(MERGE_MIN, frozen/4)` entries: small shards freeze almost
+/// immediately, large ones amortise the snapshot clone geometrically.
+const MERGE_MIN: usize = 8;
+
+/// Multiply-rotate hasher (the Firefox/rustc "Fx" construction) for the
+/// integer-word `CellKey`. Not DoS-resistant — keys are simulator
+/// configurations, not attacker input — and several times faster than
+/// SipHash on short fixed-width keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// An interned region name: a dense integer id, valid for the
+/// [`RegionInterner`] (and therefore the [`SharedSimCache`]) that issued
+/// it. Executors resolve a name to its id once per cache bind and key
+/// every subsequent lookup by the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(u32);
+
+impl RegionId {
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Default)]
+struct InternerInner {
+    ids: HashMap<Arc<str>, u32>,
+    names: Vec<Arc<str>>,
+}
+
+/// Name → dense-id interning table, one per cache. Interning is a cold
+/// path (once per region per executor bind); lookups by id never touch
+/// the table.
+#[derive(Default)]
+pub struct RegionInterner {
+    inner: Mutex<InternerInner>,
+}
+
+impl RegionInterner {
+    /// Id for `name`, allocating one on first sight.
+    pub fn intern(&self, name: &str) -> RegionId {
+        let mut inner = self.inner.lock();
+        if let Some(&id) = inner.ids.get(name) {
+            return RegionId(id);
+        }
+        let id = u32::try_from(inner.names.len()).expect("more than 2^32 region names");
+        let shared: Arc<str> = Arc::from(name);
+        inner.names.push(Arc::clone(&shared));
+        inner.ids.insert(shared, id);
+        RegionId(id)
+    }
+
+    /// The name behind `id`, if this interner issued it.
+    pub fn resolve(&self, id: RegionId) -> Option<Arc<str>> {
+        self.inner.lock().names.get(id.index()).cloned()
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// A cache refused to bind to an executor because it belongs to a
 /// different machine model. Reports are machine-dependent and the machine
@@ -49,41 +197,163 @@ impl std::fmt::Display for CacheBindError {
 
 impl std::error::Error for CacheBindError {}
 
-/// (trip count, configuration, power-cap bits, frequency-limit bits):
-/// everything besides the region identity that feeds the simulator. The
-/// cap and the optional DVFS frequency limit are keyed by bit pattern —
-/// both come from small fixed sets, not arithmetic. Frequency-free
-/// lookups key as `None`, so pre-DVFS entries and callers are untouched.
-type CellKey = (usize, SimConfig, u64, Option<u64>);
+/// Sentinel for "no DVFS frequency limit": an all-ones NaN pattern no
+/// real limit's `f64::to_bits` can produce, so frequency-free lookups and
+/// explicit `None` limits share one cell.
+const NO_FREQ_BITS: u64 = u64::MAX;
 
-type Shard = HashMap<Arc<str>, HashMap<CellKey, Arc<SimReport>>>;
-
-/// Cumulative hit/miss counters (monotone; see [`CacheStats::delta_since`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    pub hits: u64,
-    pub misses: u64,
+/// Everything that feeds the simulator, flattened to machine words:
+/// (region id, trip count, configuration, power-cap bits, frequency-limit
+/// bits). The cap and the optional DVFS limit are keyed by bit pattern —
+/// both come from small fixed sets, not arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CellKey {
+    region: RegionId,
+    iterations: usize,
+    cfg: SimConfig,
+    cap_bits: u64,
+    freq_bits: u64,
 }
 
-impl CacheStats {
-    /// Counters accumulated since an earlier snapshot.
-    pub fn delta_since(&self, earlier: CacheStats) -> CacheStats {
-        CacheStats { hits: self.hits - earlier.hits, misses: self.misses - earlier.misses }
+impl CellKey {
+    #[inline]
+    fn new(
+        region: RegionId,
+        iterations: usize,
+        cfg: SimConfig,
+        cap_w: f64,
+        freq_limit_ghz: Option<f64>,
+    ) -> Self {
+        let freq_bits = match freq_limit_ghz {
+            Some(f) => {
+                let bits = f.to_bits();
+                debug_assert_ne!(bits, NO_FREQ_BITS, "NaN frequency limit");
+                bits
+            }
+            None => NO_FREQ_BITS,
+        };
+        CellKey { region, iterations, cfg, cap_bits: cap_w.to_bits(), freq_bits }
+    }
+
+    #[inline]
+    fn shard(&self) -> usize {
+        let mut h = FxHasher::default();
+        self.hash(&mut h);
+        (h.finish() as usize) & (SHARDS - 1)
+    }
+}
+
+type CellMap = HashMap<CellKey, Arc<SimReport>, FxBuildHasher>;
+
+struct ShardInner {
+    /// Mirrors the atomic `gen` below; authoritative under the lock.
+    gen: u64,
+    /// Immutable snapshot readers probe lock-free via [`CacheReader`].
+    frozen: Arc<CellMap>,
+    /// Recent inserts not yet merged into `frozen`; probed under the lock.
+    hot: CellMap,
+}
+
+struct Shard {
+    /// Bumped (Release) on every frozen-snapshot swap; readers check it
+    /// (Acquire) to validate their cached snapshot without locking.
+    gen: AtomicU64,
+    inner: Mutex<ShardInner>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            gen: AtomicU64::new(0),
+            inner: Mutex::new(ShardInner {
+                gen: 0,
+                frozen: Arc::new(CellMap::default()),
+                hot: CellMap::default(),
+            }),
+        }
+    }
+}
+
+/// Hit/miss counters plus structural occupancy, all captured by
+/// [`SharedSimCache::stats`] in one call. The counters are cumulative and
+/// monotone (see [`CacheSnapshot::delta_since`]); `entries`,
+/// `shard_occupancy` and `interner_size` describe the cache as of the
+/// snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    /// Distinct cells resolved (sum of `shard_occupancy`).
+    pub entries: usize,
+    /// Cells per shard, in shard order.
+    pub shard_occupancy: Vec<usize>,
+    /// Distinct region names interned.
+    pub interner_size: usize,
+}
+
+impl CacheSnapshot {
+    /// Counters accumulated since an earlier snapshot; the structural
+    /// fields (entries, occupancy, interner) stay at `self`'s values —
+    /// they describe state, not flow.
+    pub fn delta_since(&self, earlier: &CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            entries: self.entries,
+            shard_occupancy: self.shard_occupancy.clone(),
+            interner_size: self.interner_size,
+        }
     }
 
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
     }
+
+    /// Hits per lookup in [0, 1]; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Largest / mean shard occupancy — 1.0 is a perfectly even spread.
+    pub fn shard_imbalance(&self) -> f64 {
+        let max = self.shard_occupancy.iter().copied().max().unwrap_or(0);
+        if self.entries == 0 {
+            return 1.0;
+        }
+        max as f64 * self.shard_occupancy.len() as f64 / self.entries as f64
+    }
 }
 
-/// A sharded (region → config → report) memo usable from many threads.
+/// A per-executor view of the cache's frozen snapshots: one cached
+/// `(generation, Arc<map>)` pair per shard. Warm lookups through a reader
+/// never take a shard lock. Readers are cheap to create, are invalidated
+/// simply by dropping them, and must only be used with the cache that
+/// created them (checked in debug builds).
+pub struct CacheReader {
+    tag: usize,
+    snaps: Vec<Option<(u64, Arc<CellMap>)>>,
+}
+
+impl std::fmt::Debug for CacheReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cached = self.snaps.iter().filter(|s| s.is_some()).count();
+        f.debug_struct("CacheReader").field("cached_shards", &cached).finish()
+    }
+}
+
+/// A sharded (region, config, cap) → report memo usable from many threads.
 ///
 /// Invariant: one cache serves exactly one machine model — reports depend
 /// on the machine, which is not part of the key. [`SharedSimCache::new`]
 /// records the machine name and executors attaching the cache assert it.
 pub struct SharedSimCache {
     machine: String,
-    shards: Vec<Mutex<Shard>>,
+    interner: RegionInterner,
+    shards: Vec<Shard>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// Optional event sink; set once, read with one atomic load per
@@ -108,7 +378,8 @@ impl SharedSimCache {
     pub fn new(machine: impl Into<String>) -> Self {
         SharedSimCache {
             machine: machine.into(),
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            interner: RegionInterner::default(),
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             trace: OnceLock::new(),
@@ -128,6 +399,21 @@ impl SharedSimCache {
         } else {
             Err(CacheBindError { cache_machine: self.machine.clone(), machine: machine.into() })
         }
+    }
+
+    /// This cache's name-interning table.
+    pub fn interner(&self) -> &RegionInterner {
+        &self.interner
+    }
+
+    /// Intern `name`, returning the id every id-keyed lookup uses.
+    pub fn intern(&self, name: &str) -> RegionId {
+        self.interner.intern(name)
+    }
+
+    /// A fresh per-executor reader over this cache's shard snapshots.
+    pub fn reader(&self) -> CacheReader {
+        CacheReader { tag: self as *const _ as usize, snaps: vec![None; SHARDS] }
     }
 
     /// Attach a [`TraceSink`] receiving [`TraceEvent::CacheHit`] /
@@ -151,10 +437,14 @@ impl SharedSimCache {
             .is_ok()
     }
 
-    fn trace_lookup(&self, name: &str, hit: bool) {
+    fn trace_lookup(&self, region: RegionId, hit: bool) {
         if let Some(sink) = self.trace.get() {
             if sink.enabled() {
-                let region = name.to_string();
+                let region = self
+                    .interner
+                    .resolve(region)
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| format!("region#{}", region.index()));
                 let event = if hit {
                     TraceEvent::CacheHit { region }
                 } else {
@@ -165,24 +455,52 @@ impl SharedSimCache {
         }
     }
 
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+    #[inline]
+    fn note_hit(&self, region: RegionId) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.hits.inc();
         }
+        self.trace_lookup(region, true);
     }
 
-    fn shard(&self, name: &str) -> &Mutex<Shard> {
-        // FNV-1a; only shard selection, not key identity.
-        let mut h: u64 = 0xcbf29ce484222325;
-        for b in name.bytes() {
-            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    #[inline]
+    fn note_miss(&self, region: RegionId) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.misses.inc();
+            m.inserts.inc();
         }
-        &self.shards[(h % SHARDS as u64) as usize]
+        self.trace_lookup(region, false);
+    }
+
+    /// Counters and occupancy in one [`CacheSnapshot`]. Takes each shard
+    /// lock briefly — a cold path for reporting, not lookups.
+    pub fn stats(&self) -> CacheSnapshot {
+        let shard_occupancy: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let inner = s.inner.lock();
+                inner.frozen.len() + inner.hot.len()
+            })
+            .collect();
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: shard_occupancy.iter().sum(),
+            shard_occupancy,
+            interner_size: self.interner.len(),
+        }
     }
 
     /// Fetch the memoised report for `(name, iterations, cfg, cap_w)` or
     /// compute and store it. `compute` runs without any lock held.
+    ///
+    /// This is the compatibility entry point: it interns `name` per call
+    /// and probes under the shard lock. Executors on the hot path intern
+    /// once and use [`SharedSimCache::get_or_insert_id`] with a
+    /// [`CacheReader`] instead.
     pub fn get_or_insert_with(
         &self,
         name: &str,
@@ -206,46 +524,118 @@ impl SharedSimCache {
         freq_limit_ghz: Option<f64>,
         compute: impl FnOnce() -> SimReport,
     ) -> Arc<SimReport> {
-        let key: CellKey = (iterations, cfg, cap_w.to_bits(), freq_limit_ghz.map(f64::to_bits));
-        let shard = self.shard(name);
-        if let Some(rep) = shard.lock().get(name).and_then(|per| per.get(&key)) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            if let Some(m) = self.metrics.get() {
-                m.hits.inc();
+        let region = self.interner.intern(name);
+        self.lookup(None, region, iterations, cfg, cap_w, freq_limit_ghz, compute)
+    }
+
+    /// The hot-path lookup: keyed by an interned [`RegionId`], reading
+    /// through `reader`'s cached snapshots (no shard lock on warm hits).
+    /// `compute` runs without any lock held.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_or_insert_id(
+        &self,
+        reader: &mut CacheReader,
+        region: RegionId,
+        iterations: usize,
+        cfg: SimConfig,
+        cap_w: f64,
+        freq_limit_ghz: Option<f64>,
+        compute: impl FnOnce() -> SimReport,
+    ) -> Arc<SimReport> {
+        debug_assert_eq!(
+            reader.tag, self as *const _ as usize,
+            "CacheReader used with a cache other than the one that created it"
+        );
+        self.lookup(Some(reader), region, iterations, cfg, cap_w, freq_limit_ghz, compute)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lookup(
+        &self,
+        reader: Option<&mut CacheReader>,
+        region: RegionId,
+        iterations: usize,
+        cfg: SimConfig,
+        cap_w: f64,
+        freq_limit_ghz: Option<f64>,
+        compute: impl FnOnce() -> SimReport,
+    ) -> Arc<SimReport> {
+        let key = CellKey::new(region, iterations, cfg, cap_w, freq_limit_ghz);
+        let si = key.shard();
+        let shard = &self.shards[si];
+
+        // Lock-free warm path: probe the reader's cached frozen snapshot
+        // while the shard generation is unchanged.
+        let snap = reader.map(|r| &mut r.snaps[si]);
+        let mut snap_current = false;
+        if let Some(slot) = &snap {
+            if let Some((gen, map)) = slot.as_ref() {
+                if *gen == shard.gen.load(Ordering::Acquire) {
+                    snap_current = true;
+                    if let Some(rep) = map.get(&key) {
+                        self.note_hit(region);
+                        return Arc::clone(rep);
+                    }
+                }
             }
-            self.trace_lookup(name, true);
-            return Arc::clone(rep);
         }
+
+        // Locked probe: refresh a stale snapshot against the live frozen
+        // map, then check the hot overlay. Serial callers therefore always
+        // see the latest state — misses stay equal to distinct cells.
+        {
+            let inner = shard.inner.lock();
+            let mut found = None;
+            if !snap_current {
+                if let Some(slot) = snap {
+                    *slot = Some((inner.gen, Arc::clone(&inner.frozen)));
+                }
+                found = inner.frozen.get(&key).cloned();
+            }
+            if found.is_none() {
+                found = inner.hot.get(&key).cloned();
+            }
+            drop(inner);
+            if let Some(rep) = found {
+                self.note_hit(region);
+                return rep;
+            }
+        }
+
+        // Genuine miss: simulate outside any lock, then publish. Keep the
+        // first insert if another thread raced us here; both computed the
+        // same deterministic report. Only the landing insert counts as a
+        // miss — the loser used the winner's value, so its lookup counts
+        // as a (late) hit. This keeps the miss counter equal to the number
+        // of distinct cells resolved, independent of thread interleaving:
+        // parallel sweeps report the same misses as serial.
         let rep = Arc::new(compute());
-        let mut guard = shard.lock();
-        let per_region = match guard.get_mut(name) {
-            Some(per) => per,
-            None => guard.entry(Arc::from(name)).or_default(),
+        let mut inner = shard.inner.lock();
+        let existing = inner.hot.get(&key).or_else(|| inner.frozen.get(&key)).cloned();
+        let (result, landed) = match existing {
+            Some(winner) => (winner, false),
+            None => {
+                inner.hot.insert(key, Arc::clone(&rep));
+                if inner.hot.len() >= MERGE_MIN.max(inner.frozen.len() / 4) {
+                    let mut merged = CellMap::with_capacity_and_hasher(
+                        inner.frozen.len() + inner.hot.len(),
+                        FxBuildHasher::default(),
+                    );
+                    merged.extend(inner.frozen.iter().map(|(k, v)| (*k, Arc::clone(v))));
+                    merged.extend(inner.hot.drain());
+                    inner.frozen = Arc::new(merged);
+                    inner.gen += 1;
+                    shard.gen.store(inner.gen, Ordering::Release);
+                }
+                (rep, true)
+            }
         };
-        // Keep the first insert if another thread raced us here; both
-        // computed the same deterministic report. Only the landing insert
-        // counts as a miss — the loser used the winner's value, so its
-        // lookup counts as a (late) hit. This keeps the miss counter equal
-        // to the number of distinct cells resolved, independent of thread
-        // interleaving: parallel sweeps report the same misses as serial.
-        let (result, landed) = match per_region.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
-            std::collections::hash_map::Entry::Vacant(v) => (Arc::clone(v.insert(rep)), true),
-        };
-        drop(guard);
+        drop(inner);
         if landed {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            if let Some(m) = self.metrics.get() {
-                m.misses.inc();
-                m.inserts.inc();
-            }
+            self.note_miss(region);
         } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            if let Some(m) = self.metrics.get() {
-                m.hits.inc();
-            }
+            self.note_hit(region);
         }
-        self.trace_lookup(name, !landed);
         result
     }
 }
@@ -285,6 +675,11 @@ mod tests {
         }
     }
 
+    fn counters(cache: &SharedSimCache) -> (u64, u64) {
+        let s = cache.stats();
+        (s.hits, s.misses)
+    }
+
     #[test]
     fn second_lookup_hits() {
         let m = Machine::crill();
@@ -297,7 +692,7 @@ mod tests {
         let second = cache
             .get_or_insert_with(&r.name, r.iterations, cfg, 85.0, || panic!("must not recompute"));
         assert!(Arc::ptr_eq(&first, &second));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(counters(&cache), (1, 1));
     }
 
     #[test]
@@ -316,7 +711,7 @@ mod tests {
             r2.iterations = 512;
             simulate_region(&m, 55.0, &r2, cfg)
         });
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3 });
+        assert_eq!(counters(&cache), (0, 3));
     }
 
     #[test]
@@ -346,6 +741,61 @@ mod tests {
     }
 
     #[test]
+    fn id_keyed_reads_through_a_reader_match_string_lookups() {
+        let m = Machine::crill();
+        let cache = SharedSimCache::new(&m.name);
+        let r = region("a");
+        let cfg = SimConfig { threads: 8, schedule: Schedule::static_block() };
+        let by_name = cache.get_or_insert_with(&r.name, r.iterations, cfg, 85.0, || {
+            simulate_region(&m, 85.0, &r, cfg)
+        });
+        let id = cache.intern(&r.name);
+        let mut reader = cache.reader();
+        let by_id = cache.get_or_insert_id(&mut reader, id, r.iterations, cfg, 85.0, None, || {
+            panic!("must not recompute")
+        });
+        assert!(Arc::ptr_eq(&by_name, &by_id));
+        assert_eq!(counters(&cache), (1, 1));
+    }
+
+    #[test]
+    fn reader_fast_path_survives_snapshot_swaps() {
+        // Enough distinct cells to force hot→frozen merges (generation
+        // bumps) with a stale reader in hand; every re-read must still
+        // resolve to the original Arc.
+        let m = Machine::crill();
+        let cache = SharedSimCache::new(&m.name);
+        let r = region("a");
+        let id = cache.intern(&r.name);
+        let mut reader = cache.reader();
+        let mut firsts = Vec::new();
+        for threads in 1..=32 {
+            let cfg = SimConfig { threads, schedule: Schedule::static_block() };
+            firsts.push(cache.get_or_insert_id(
+                &mut reader,
+                id,
+                r.iterations,
+                cfg,
+                85.0,
+                None,
+                || simulate_region(&m, 85.0, &r, cfg),
+            ));
+        }
+        let mut stale = cache.reader();
+        for (i, threads) in (1..=32).enumerate() {
+            let cfg = SimConfig { threads, schedule: Schedule::static_block() };
+            let again =
+                cache.get_or_insert_id(&mut stale, id, r.iterations, cfg, 85.0, None, || {
+                    panic!("must not recompute")
+                });
+            assert!(Arc::ptr_eq(&firsts[i], &again));
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (32, 32));
+        assert_eq!(stats.entries, 32);
+    }
+
+    #[test]
     fn frequency_limits_key_separately_from_the_capless_entry() {
         use crate::exec::simulate_region_at_freq;
         let m = Machine::crill();
@@ -364,14 +814,39 @@ mod tests {
         cache.get_or_insert_with_freq(&r.name, r.iterations, cfg, 85.0, Some(2.1), || {
             simulate_region_at_freq(&m, 85.0, &r, cfg, Some(2.1))
         });
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(counters(&cache), (1, 2));
     }
 
     #[test]
-    fn stats_delta() {
-        let a = CacheStats { hits: 10, misses: 4 };
-        let b = CacheStats { hits: 25, misses: 5 };
-        assert_eq!(b.delta_since(a), CacheStats { hits: 15, misses: 1 });
+    fn snapshot_delta_and_occupancy() {
+        let a = CacheSnapshot { hits: 10, misses: 4, ..Default::default() };
+        let b = CacheSnapshot {
+            hits: 25,
+            misses: 5,
+            entries: 5,
+            shard_occupancy: vec![5; 1],
+            interner_size: 2,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!((d.hits, d.misses), (15, 1));
+        assert_eq!(d.entries, 5, "structural fields report current state");
+        assert_eq!(d.interner_size, 2);
+        assert_eq!(d.lookups(), 16);
+
+        let m = Machine::crill();
+        let cache = SharedSimCache::new(&m.name);
+        let r = region("occ");
+        for threads in [4usize, 8, 16] {
+            let cfg = SimConfig { threads, schedule: Schedule::static_block() };
+            cache.get_or_insert_with(&r.name, r.iterations, cfg, 85.0, || {
+                simulate_region(&m, 85.0, &r, cfg)
+            });
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.shard_occupancy.iter().sum::<usize>(), 3);
+        assert_eq!(s.interner_size, 1);
+        assert!(s.hit_rate() == 0.0 && s.shard_imbalance() >= 1.0);
     }
 
     #[test]
@@ -382,6 +857,18 @@ mod tests {
         assert_eq!(err.cache_machine, "crill");
         assert_eq!(err.machine, "minotaur");
         assert!(err.to_string().contains("different machine model"));
+    }
+
+    #[test]
+    fn interner_is_stable_and_resolvable() {
+        let cache = SharedSimCache::new("crill");
+        let a = cache.intern("sp/x_solve");
+        let b = cache.intern("sp/y_solve");
+        assert_ne!(a, b);
+        assert_eq!(cache.intern("sp/x_solve"), a, "interning is idempotent");
+        assert_eq!(cache.interner().resolve(a).as_deref(), Some("sp/x_solve"));
+        assert_eq!(cache.interner().resolve(RegionId(99)), None);
+        assert_eq!(cache.interner().len(), 2);
     }
 
     #[test]
@@ -404,7 +891,7 @@ mod tests {
         assert_eq!(snap.counter("powersim/cache/misses"), 1);
         assert_eq!(snap.counter("powersim/cache/inserts"), 1);
         // Registry counters agree with the cache's own accounting.
-        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(counters(&cache), (2, 1));
     }
 
     #[test]

@@ -29,37 +29,43 @@ pub enum ImbalanceProfile {
 impl ImbalanceProfile {
     /// Per-iteration weight vector, mean ≈ 1.
     pub fn weights(&self, n: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.fill_weights(n, &mut out);
+        out
+    }
+
+    /// [`ImbalanceProfile::weights`] into a caller-owned buffer (cleared
+    /// first) so the simulator can reuse one allocation per invocation.
+    pub fn fill_weights(&self, n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(n);
         match *self {
-            ImbalanceProfile::Uniform => vec![1.0; n],
-            ImbalanceProfile::Linear { slope } => (0..n)
-                .map(|i| {
-                    let x = if n > 1 { i as f64 / (n - 1) as f64 } else { 0.5 };
-                    (1.0 + slope * (x - 0.5)).max(0.05)
-                })
-                .collect(),
+            ImbalanceProfile::Uniform => out.resize(n, 1.0),
+            ImbalanceProfile::Linear { slope } => out.extend((0..n).map(|i| {
+                let x = if n > 1 { i as f64 / (n - 1) as f64 } else { 0.5 };
+                (1.0 + slope * (x - 0.5)).max(0.05)
+            })),
             ImbalanceProfile::Blocked { heavy_fraction, heavy_factor } => {
                 let heavy = ((n as f64) * heavy_fraction).round() as usize;
                 // Normalise so the mean stays ~1.
                 let mean =
                     (heavy as f64 * heavy_factor + (n - heavy.min(n)) as f64) / n.max(1) as f64;
-                (0..n).map(|i| if i < heavy { heavy_factor / mean } else { 1.0 / mean }).collect()
+                out.extend((0..n).map(|i| if i < heavy { heavy_factor / mean } else { 1.0 / mean }))
             }
             ImbalanceProfile::Random { cv, seed } => {
                 let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-                (0..n)
-                    .map(|_| {
-                        // splitmix64 → uniform in [0,1).
-                        state = state.wrapping_add(0x9E3779B97F4A7C15);
-                        let mut z = state;
-                        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-                        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-                        let u = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
-                        // Uniform noise with mean 1, cv ≈ cv (uniform on
-                        // [1-a, 1+a] has cv = a/√3).
-                        let a = (cv * 3f64.sqrt()).min(0.95);
-                        1.0 - a + 2.0 * a * u
-                    })
-                    .collect()
+                out.extend((0..n).map(|_| {
+                    // splitmix64 → uniform in [0,1).
+                    state = state.wrapping_add(0x9E3779B97F4A7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                    let u = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+                    // Uniform noise with mean 1, cv ≈ cv (uniform on
+                    // [1-a, 1+a] has cv = a/√3).
+                    let a = (cv * 3f64.sqrt()).min(0.95);
+                    1.0 - a + 2.0 * a * u
+                }))
             }
         }
     }

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// 1 up to this one (new fields carry serde defaults) and refuse newer or
 /// nonsensical versions instead of silently misreading them (see
 /// [`crate::validate_jsonl`]).
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// One running job's share of the global power budget, as carried by
 /// [`TraceEvent::CapReallocated`] (v5). `cap_w` is the *node-level*
@@ -105,6 +105,18 @@ pub enum TraceEvent {
     CacheHit { region: String },
     /// Simulation memo-cache lookup that had to simulate.
     CacheMiss { region: String },
+    /// End-of-run structural snapshot of the simulation memo cache (v6):
+    /// cumulative hit/miss counters (cache lifetime, which may span
+    /// several runs sharing the cache) plus occupancy — distinct cells
+    /// resolved, cells per shard in shard order, and how many region
+    /// names the interner holds.
+    CacheStats {
+        hits: u64,
+        misses: u64,
+        entries: u64,
+        shard_occupancy: Vec<u64>,
+        interner_size: u64,
+    },
     /// An APEX policy callback fired for a task.
     PolicyFired { policy: String, task: String },
     /// A fault-plan perturbation fired (v4). `kind` names the fault
@@ -167,6 +179,7 @@ impl TraceEvent {
             TraceEvent::OverheadCharged { .. } => "OverheadCharged",
             TraceEvent::CacheHit { .. } => "CacheHit",
             TraceEvent::CacheMiss { .. } => "CacheMiss",
+            TraceEvent::CacheStats { .. } => "CacheStats",
             TraceEvent::PolicyFired { .. } => "PolicyFired",
             TraceEvent::FaultInjected { .. } => "FaultInjected",
             TraceEvent::MeasurementRejected { .. } => "MeasurementRejected",

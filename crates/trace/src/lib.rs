@@ -304,8 +304,9 @@ mod tests {
         // additive fault/recovery variants — FaultInjected,
         // MeasurementRejected, TunerDegraded. v4 → v5: five additive
         // broker variants — JobSubmitted, JobRejected, JobScheduled,
-        // CapReallocated, JobCompleted.)
-        assert_eq!(SCHEMA_VERSION, 5);
+        // CapReallocated, JobCompleted. v5 → v6: one additive cache
+        // variant — CacheStats, the end-of-run memo-cache snapshot.)
+        assert_eq!(SCHEMA_VERSION, 6);
         let record = TraceRecord {
             schema: SCHEMA_VERSION,
             seq: 3,
@@ -313,6 +314,6 @@ mod tests {
             event: TraceEvent::CacheHit { region: "r".into() },
         };
         let json = serde_json::to_string(&record).unwrap();
-        assert_eq!(json, r#"{"schema":5,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
+        assert_eq!(json, r#"{"schema":6,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
     }
 }
