@@ -88,10 +88,13 @@ fi
 # twice. The simulated cell times are deterministic so the compare holds
 # at 0%; wall-clock cells/sec is gated separately at a generous -30%
 # (steal-prone hosts jitter, a real hot-path regression shows anyway).
-# Each run appends a {date, cells_per_sec} point to BENCH_hotpath.json,
-# the repo's throughput trajectory.
+# Each run appends a {date, cells_per_sec, git_rev, label} point to
+# BENCH_hotpath.json, the repo's throughput trajectory (exact duplicates
+# are refused, so a retried job cannot pad the file).
+GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 cargo run --release -q -p arcs-bench --bin arcs-sim -- \
-    bench --runs 3 --out "$trace_tmp/hot_base.json" --append BENCH_hotpath.json
+    bench --runs 3 --out "$trace_tmp/hot_base.json" --append BENCH_hotpath.json \
+    --label ci
 cargo run --release -q -p arcs-bench --bin arcs-sim -- \
     bench --runs 3 --out "$trace_tmp/hot_cand.json"
 cargo run --release -q -p arcs-bench --bin arcs-sim -- \
@@ -148,6 +151,58 @@ cargo run --release -q -p arcs-serve --bin arcs-serve-loadgen -- \
     verify "$trace_tmp/broker.trace.jsonl" | tee "$trace_tmp/broker.txt"
 grep -q "3 submitted, 3 scheduled, 3 completed, 0 rejected" "$trace_tmp/broker.txt"
 grep -q "budget conserved" "$trace_tmp/broker.txt"
+
+# Telemetry plane smoke: a live server on loopback, 3 jobs from 2
+# tenants, then the `stats` op must return well-formed JSON whose
+# telemetry snapshot shows every placement in the queue-wait histogram,
+# and `arcs-serve-top --once --check-budget` must confirm Σ allocated
+# watts ≤ budget from both the live `watch` stream and a replay.
+telemetry_port=47614
+cargo run --release -q -p arcs-serve --bin arcs-serve -- \
+    --port "$telemetry_port" --nodes 2 --machine crill --budget 300 \
+    --trace "$trace_tmp/telemetry.trace.jsonl" &
+telemetry_pid=$!
+for _ in $(seq 1 50); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$telemetry_port") 2>/dev/null; then
+        exec 3>&- 3<&-
+        break
+    fi
+    sleep 0.2
+done
+exec 3<>"/dev/tcp/127.0.0.1/$telemetry_port"
+printf '{"op":"submit","tenant":"acme","workload":"sp.S","timesteps":4,"weight":2}\n' >&3; read -r _ <&3
+printf '{"op":"submit","tenant":"umbrella","workload":"cg.S","timesteps":4}\n' >&3; read -r _ <&3
+printf '{"op":"submit","tenant":"acme","workload":"ep.S","timesteps":4}\n' >&3; read -r _ <&3
+stats_line=""
+for _ in $(seq 1 50); do
+    printf '{"op":"stats"}\n' >&3; read -r stats_line <&3
+    if grep -q '"completed":3' <<< "$stats_line"; then break; fi
+    sleep 0.2
+done
+echo "$stats_line" > "$trace_tmp/stats.json"
+grep -q '"ok":true' "$trace_tmp/stats.json"
+grep -q '"queue_wait":{"count":3' "$trace_tmp/stats.json"
+printf '{"op":"metrics"}\n' >&3; read -r metrics_line <&3
+grep -q 'serve_queue_wait_s_bucket' <<< "$metrics_line"
+# One live frame over `watch`; --check-budget exits nonzero if any frame
+# allocates more than the budget.
+cargo run --release -q -p arcs-serve --bin arcs-serve-top -- \
+    --connect "127.0.0.1:$telemetry_port" --once --format json --check-budget \
+    > "$trace_tmp/top_live.json"
+grep -q '"budget_w":300' "$trace_tmp/top_live.json"
+printf '{"op":"shutdown"}\n' >&3; read -r _ <&3
+exec 3>&- 3<&-
+wait "$telemetry_pid"
+
+# Replay dashboard golden: reconstructing the dashboard from the pinned
+# v5 broker fixture is a pure function of the file — run it twice and
+# both outputs must match the checked-in golden byte-for-byte.
+for i in 1 2; do
+    cargo run --release -q -p arcs-serve --bin arcs-serve-top -- \
+        --replay tests/fixtures/trace_v5_broker.jsonl --once --format json \
+        --check-budget > "$trace_tmp/top_replay_$i.json"
+    cmp "$trace_tmp/top_replay_$i.json" tests/fixtures/serve_top_v5.golden.json
+done
 
 # Admission control must *fire*: the in-process loadgen plants jobs whose
 # floor cap tops the whole budget and fails unless they were rejected —

@@ -25,6 +25,8 @@
 //!   --out PATH                  write JSONL here (default: stdout)
 //!   --chrome PATH               also export a Chrome trace (chrome://tracing)
 //!   --check                     re-validate the emitted JSONL against the schema
+//!   --self-profile              emit a DriverPhases span summary into the
+//!                               trace so `report` prints a self-profile
 //!
 //! arcs-sim chaos [options]      run a workload under a named fault plan
 //!   --workload APP[.CLASS]      bt | sp | lulesh (default lulesh)
@@ -60,8 +62,11 @@
 //!   --machine crill|minotaur    (default crill)
 //!   --out PATH                  write a TraceReport artifact (JSON) usable
 //!                               as a compare baseline/candidate
-//!   --append PATH               append {date, cells_per_sec} to a JSON
-//!                               trajectory file (BENCH_hotpath.json)
+//!   --append PATH               append {date, cells_per_sec, git_rev, label}
+//!                               to a JSON trajectory file (BENCH_hotpath.json);
+//!                               exact duplicates are refused. git_rev comes
+//!                               from the GIT_REV env var (`unknown` if unset)
+//!   --label TEXT                free-form provenance label for --append
 //!   --json                      print the artifact to stdout
 //! ```
 //!
@@ -212,7 +217,7 @@ fn trace_usage() -> ! {
         "usage: arcs-sim trace [--workload APP[.CLASS]] [--machine crill|minotaur] \
          [--cap WATTS] [--strategy nelder-mead|pro|exhaustive|default] \
          [--objective time|energy|edp] [--timesteps N] \
-         [--out PATH] [--chrome PATH] [--check]"
+         [--out PATH] [--chrome PATH] [--check] [--self-profile]"
     );
     exit(2)
 }
@@ -229,6 +234,7 @@ fn trace_main(argv: &[String]) {
     let mut out: Option<PathBuf> = None;
     let mut chrome: Option<PathBuf> = None;
     let mut check = false;
+    let mut self_profile = false;
 
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -264,6 +270,7 @@ fn trace_main(argv: &[String]) {
             "--out" => out = Some(value("--out").into()),
             "--chrome" => chrome = Some(value("--chrome").into()),
             "--check" => check = true,
+            "--self-profile" => self_profile = true,
             other => {
                 eprintln!("unknown flag {other}");
                 trace_usage()
@@ -301,7 +308,11 @@ fn trace_main(argv: &[String]) {
     let sink = Arc::new(VecSink::new());
     let mut exec = SimExecutor::new(machine.clone(), cap).with_trace(sink.clone());
     let run = match strategy.as_str() {
-        "default" => Runner::new(&mut exec).workload(&wl).objective(objective).run(),
+        "default" => Runner::new(&mut exec)
+            .workload(&wl)
+            .objective(objective)
+            .self_profile(self_profile)
+            .run(),
         "nelder-mead" | "pro" => {
             let mode = if strategy == "nelder-mead" {
                 TuningMode::Online(NmOptions::default())
@@ -314,12 +325,18 @@ fn trace_main(argv: &[String]) {
                 .workload(&wl)
                 .tuner(&mut tuner)
                 .label(format!("arcs-{strategy}"))
+                .self_profile(self_profile)
                 .run()
         }
         "exhaustive" => {
             let mut tuner =
                 RegionTuner::new(TunerOptions::offline_train(space).with_objective(objective));
-            Runner::new(&mut exec).workload(&wl).tuner(&mut tuner).label("arcs-exhaustive").run()
+            Runner::new(&mut exec)
+                .workload(&wl)
+                .tuner(&mut tuner)
+                .label("arcs-exhaustive")
+                .self_profile(self_profile)
+                .run()
         }
         other => {
             eprintln!("unknown strategy {other}");
@@ -750,7 +767,7 @@ fn compare_main(argv: &[String]) {
 fn bench_usage() -> ! {
     eprintln!(
         "usage: arcs-sim bench [--runs N] [--machine crill|minotaur] \
-         [--out PATH] [--append PATH] [--json]"
+         [--out PATH] [--append PATH] [--label TEXT] [--json]"
     );
     exit(2)
 }
@@ -788,6 +805,7 @@ fn bench_main(argv: &[String]) {
     let mut machine = Machine::crill();
     let mut out: Option<PathBuf> = None;
     let mut append: Option<PathBuf> = None;
+    let mut label = String::new();
     let mut json = false;
 
     let mut it = argv.iter();
@@ -817,6 +835,7 @@ fn bench_main(argv: &[String]) {
             }
             "--out" => out = Some(value("--out").into()),
             "--append" => append = Some(value("--append").into()),
+            "--label" => label = value("--label"),
             "--json" => json = true,
             flag => {
                 eprintln!("unknown flag {flag}");
@@ -902,10 +921,24 @@ fn bench_main(argv: &[String]) {
             }),
             Err(_) => Vec::new(),
         };
-        entries.push(BenchPoint {
+        let point = BenchPoint {
             date: today_utc(),
             cells_per_sec: (cells_per_sec * 10.0).round() / 10.0,
-        });
+            git_rev: std::env::var("GIT_REV").unwrap_or_else(|_| "unknown".into()),
+            label: label.clone(),
+        };
+        // Re-running the same bench at the same commit on the same day
+        // tells the trajectory nothing — refuse the exact duplicate so
+        // retried CI jobs cannot pad the file.
+        if entries.contains(&point) {
+            eprintln!(
+                "refusing duplicate append to {path:?}: identical point already recorded \
+                 ({} @ {} rev {})",
+                point.cells_per_sec, point.date, point.git_rev
+            );
+            return;
+        }
+        entries.push(point);
         let text = serde_json::to_string_pretty(&entries).expect("serializable");
         if let Err(e) = std::fs::write(path, text + "\n") {
             eprintln!("cannot write {path:?}: {e}");
@@ -916,11 +949,18 @@ fn bench_main(argv: &[String]) {
 }
 
 /// One point of the BENCH trajectory file (`--append`): the date the
-/// measurement was taken and the best-of-N wall-clock throughput.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// measurement was taken, the best-of-N wall-clock throughput, and
+/// where it came from — the commit under test (`GIT_REV` env, `unknown`
+/// outside CI) plus a free-form `--label`. Both provenance fields
+/// default empty/`unknown` so pre-existing trajectories still parse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct BenchPoint {
     date: String,
     cells_per_sec: f64,
+    #[serde(default)]
+    git_rev: String,
+    #[serde(default)]
+    label: String,
 }
 
 fn main() {

@@ -54,6 +54,7 @@ use arcs_trace::{Objective, TraceEvent, TraceSink};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Per-thread aggregates of one region invocation, unscaled by measurement
 /// noise (the profile metrics the paper reads through OMPT + TAU).
@@ -280,6 +281,7 @@ pub struct Runner<'a, B: Backend> {
     faults: Option<FaultPlan>,
     cap: Option<CapHandle>,
     resilience: Option<ResilienceOptions>,
+    self_profile: bool,
 }
 
 impl<'a, B: Backend> Runner<'a, B> {
@@ -296,6 +298,7 @@ impl<'a, B: Backend> Runner<'a, B> {
             faults: None,
             cap: None,
             resilience: None,
+            self_profile: false,
         }
     }
 
@@ -385,6 +388,20 @@ impl<'a, B: Backend> Runner<'a, B> {
         self
     }
 
+    /// Self-profile the driver itself: time the tool's own phases
+    /// (tuning bookkeeping, region execution, overhead charging, meter
+    /// reads) with the wall clock and emit a
+    /// [`TraceEvent::DriverPhases`] summary at run end when a trace sink
+    /// is attached. Off by default — the spans are real elapsed times
+    /// that vary run to run, so deterministic byte-compared traces must
+    /// not opt in. Phase histograms (`core/phase/*`) are recorded
+    /// whenever a metrics registry is attached, independent of this
+    /// switch.
+    pub fn self_profile(mut self, on: bool) -> Self {
+        self.self_profile = on;
+        self
+    }
+
     /// Run under an externally-owned cap: the handle's current value
     /// replaces the backend's cap at run start, and every later
     /// [`CapHandle::set`] — from a broker reallocation, another thread,
@@ -429,6 +446,7 @@ impl<'a, B: Backend> Runner<'a, B> {
                     label,
                     self.objective.unwrap_or_default(),
                     self.resilience,
+                    self.self_profile,
                 )
             }
             RunnerStrategy::Fixed { config_for, label } => {
@@ -440,6 +458,7 @@ impl<'a, B: Backend> Runner<'a, B> {
                     &label,
                     self.objective.unwrap_or_default(),
                     self.resilience,
+                    self.self_profile,
                 )
             }
             RunnerStrategy::Tuner(tuner) => {
@@ -458,7 +477,7 @@ impl<'a, B: Backend> Runner<'a, B> {
                     tuner.set_resilience(res);
                 }
                 let label = self.label.as_deref().unwrap_or("arcs");
-                drive_tuned(b, wl, tuner, label, self.resilience)
+                drive_tuned(b, wl, tuner, label, self.resilience, self.self_profile)
             }
         }
     }
@@ -499,7 +518,7 @@ impl<'a, B: Backend> Runner<'a, B> {
         // offers `timesteps` measurements per region against a 252-point
         // space, so a handful of passes always suffices.
         for _pass in 0..64 {
-            let _ = drive_tuned(b, wl, &mut tuner, "arcs-offline-train", self.resilience)?;
+            let _ = drive_tuned(b, wl, &mut tuner, "arcs-offline-train", self.resilience, false)?;
             if tuner.converged() {
                 break;
             }
@@ -586,8 +605,9 @@ fn drive_fixed<B: Backend>(
     strategy: &str,
     objective: Objective,
     res: Option<ResilienceOptions>,
+    self_profile: bool,
 ) -> Result<AppRunReport, RunError> {
-    let mut acc = Accum::new(b, wl, strategy, objective);
+    let mut acc = Accum::new(b, wl, strategy, objective, self_profile);
     let mut meter = Meter::new(res);
     for _ts in 0..wl.timesteps {
         for region in &wl.step {
@@ -602,8 +622,13 @@ fn drive_fixed<B: Backend>(
                     },
                 );
             }
+            let t0 = acc.span();
             let e_pre = meter.read(b)?;
+            acc.span_end(t0, Phase::Meter);
+            let t0 = acc.span();
             let run = b.run_region(region, cfg);
+            acc.span_end(t0, Phase::Measure);
+            let t0 = acc.span();
             let e_post = meter.read(b)?;
             let meas = Measurement {
                 time_s: run.time_s,
@@ -611,6 +636,7 @@ fn drive_fixed<B: Backend>(
                 features: run.features,
             };
             let energy_total_j = meter.read(b)?;
+            acc.span_end(t0, Phase::Meter);
             acc.region(b, &region.name, cfg, &meas, 0.0, 0.0, energy_total_j);
         }
     }
@@ -623,12 +649,15 @@ fn drive_tuned<B: Backend>(
     tuner: &mut RegionTuner,
     strategy: &str,
     res: Option<ResilienceOptions>,
+    self_profile: bool,
 ) -> Result<AppRunReport, RunError> {
-    let mut acc = Accum::new(b, wl, strategy, tuner.objective());
+    let mut acc = Accum::new(b, wl, strategy, tuner.objective(), self_profile);
     let mut meter = Meter::new(res);
     for _ts in 0..wl.timesteps {
         for region in &wl.step {
+            let t0 = acc.span();
             let decision = tuner.begin(&region.name);
+            acc.span_end(t0, Phase::Tune);
             // The change cost fires whenever the global ICVs must move —
             // with per-region configurations that is typically on every
             // entry of every region whose config differs from its
@@ -655,9 +684,12 @@ fn drive_tuned<B: Backend>(
             // region energy, so the two charge streams telescope to the
             // run total on every backend.
             let overhead_j = if overhead_s > 0.0 {
+                let t0 = acc.span();
                 let e0 = meter.read(b)?;
                 b.charge_overhead(overhead_s);
-                meter.read(b)? - e0
+                let j = meter.read(b)? - e0;
+                acc.span_end(t0, Phase::Overhead);
+                j
             } else {
                 0.0
             };
@@ -682,9 +714,15 @@ fn drive_tuned<B: Backend>(
                     },
                 );
             }
+            let t0 = acc.span();
             let e_pre = meter.read(b)?;
+            acc.span_end(t0, Phase::Meter);
+            let t0 = acc.span();
             let run = b.run_region(region, decision.config);
+            acc.span_end(t0, Phase::Measure);
+            let t0 = acc.span();
             let e_post = meter.read(b)?;
+            acc.span_end(t0, Phase::Meter);
             let meas = Measurement {
                 time_s: run.time_s,
                 energy_j: e_post - e_pre,
@@ -693,8 +731,12 @@ fn drive_tuned<B: Backend>(
             // The tuner optimises what the instrumentation saw — the noisy
             // APEX timer and the differenced package meter — scored by its
             // objective.
+            let t0 = acc.span();
             tuner.end_measured(&region.name, meas.time_s, meas.energy_j);
+            acc.span_end(t0, Phase::Tune);
+            let t0 = acc.span();
             let energy_total_j = meter.read(b)?;
+            acc.span_end(t0, Phase::Meter);
             acc.region(b, &region.name, decision.config, &meas, change_s, instr_s, energy_total_j);
             // Error budget exhausted: freeze every region to its
             // best-known configuration and ride the run out (final rung
@@ -718,6 +760,48 @@ struct DriverMetrics {
     overhead_s: Gauge,
     /// `core/region_time_s`: distribution of region invocation times.
     region_time_s: Histogram,
+    /// `core/phase/{tune,measure,overhead,meter}_s`: per-run wall-clock
+    /// totals of the driver's own phases — one sample per run, so the
+    /// histogram reads as a distribution over runs.
+    phase_tune_s: Histogram,
+    phase_measure_s: Histogram,
+    phase_overhead_s: Histogram,
+    phase_meter_s: Histogram,
+}
+
+/// Which driver phase a wall-clock span belongs to.
+#[derive(Clone, Copy)]
+enum Phase {
+    /// Tuner bookkeeping: `begin` decisions and `end_measured` scoring.
+    Tune,
+    /// The backend's region execution ([`Backend::run_region`]).
+    Measure,
+    /// §III-C overhead charging ([`Backend::charge_overhead`]).
+    Overhead,
+    /// Package-meter reads, including retry backoff.
+    Meter,
+}
+
+/// Wall-clock totals of the driver's own phases for one run. Present only
+/// when a metrics registry is attached or the run self-profiles — the
+/// plain path never calls [`Instant::now`].
+#[derive(Default)]
+struct Spans {
+    tune_s: f64,
+    measure_s: f64,
+    overhead_s: f64,
+    meter_s: f64,
+}
+
+impl Spans {
+    fn add(&mut self, phase: Phase, dt_s: f64) {
+        match phase {
+            Phase::Tune => self.tune_s += dt_s,
+            Phase::Measure => self.measure_s += dt_s,
+            Phase::Overhead => self.overhead_s += dt_s,
+            Phase::Meter => self.meter_s += dt_s,
+        }
+    }
 }
 
 /// Shared accumulation for all run flavours: the ONE place overheads,
@@ -737,6 +821,12 @@ struct Accum {
     sink: Option<Arc<dyn TraceSink>>,
     /// Present only when the backend carries a registry.
     metrics: Option<DriverMetrics>,
+    /// Wall-clock phase accounting; `None` unless metrics or
+    /// self-profiling ask for it.
+    spans: Option<Spans>,
+    /// Emit [`TraceEvent::DriverPhases`] at `finish` (explicit opt-in:
+    /// wall-clock spans would break byte-compared deterministic traces).
+    self_profile: bool,
 }
 
 impl Accum {
@@ -745,6 +835,7 @@ impl Accum {
         wl: &WorkloadDescriptor,
         strategy: &str,
         objective: Objective,
+        self_profile: bool,
     ) -> Self {
         b.begin_run();
         let sink = b.trace().filter(|s| s.enabled()).map(Arc::clone);
@@ -752,7 +843,13 @@ impl Accum {
             configs_switched: registry.counter("core/configs_switched"),
             overhead_s: registry.gauge("core/overhead_s"),
             region_time_s: registry.histogram("core/region_time_s"),
+            phase_tune_s: registry.histogram("core/phase/tune_s"),
+            phase_measure_s: registry.histogram("core/phase/measure_s"),
+            phase_overhead_s: registry.histogram("core/phase/overhead_s"),
+            phase_meter_s: registry.histogram("core/phase/meter_s"),
         });
+        let self_profile = self_profile && sink.is_some();
+        let spans = (metrics.is_some() || self_profile).then(Spans::default);
         if let Some(s) = &sink {
             s.record(
                 Some(0.0),
@@ -772,6 +869,21 @@ impl Accum {
             per_region: Default::default(),
             sink,
             metrics,
+            spans,
+            self_profile,
+        }
+    }
+
+    /// Open a wall-clock span: `Some(now)` only when phase accounting is
+    /// on, so the plain path pays one branch and never reads the clock.
+    fn span(&self) -> Option<Instant> {
+        self.spans.as_ref().map(|_| Instant::now())
+    }
+
+    /// Close a span opened by [`Accum::span`] into `phase`.
+    fn span_end(&mut self, start: Option<Instant>, phase: Phase) {
+        if let (Some(spans), Some(t0)) = (&mut self.spans, start) {
+            spans.add(phase, t0.elapsed().as_secs_f64());
         }
     }
 
@@ -848,6 +960,30 @@ impl Accum {
         meter: &mut Meter,
     ) -> Result<AppRunReport, RunError> {
         let energy_j = meter.read(b)?;
+        if let Some(spans) = &self.spans {
+            if let Some(m) = &self.metrics {
+                m.phase_tune_s.record(spans.tune_s);
+                m.phase_measure_s.record(spans.measure_s);
+                m.phase_overhead_s.record(spans.overhead_s);
+                m.phase_meter_s.record(spans.meter_s);
+            }
+            if self.self_profile {
+                if let Some(sink) = &self.sink {
+                    let invocations = self.per_region.values().map(|r| r.invocations).sum();
+                    sink.record(
+                        None,
+                        TraceEvent::DriverPhases {
+                            workload: self.app.clone(),
+                            invocations,
+                            tune_s: spans.tune_s,
+                            measure_s: spans.measure_s,
+                            overhead_s: spans.overhead_s,
+                            meter_s: spans.meter_s,
+                        },
+                    );
+                }
+            }
+        }
         let tuner_stats = tuner.map(|t| t.stats());
         let degraded = meter.degraded || tuner.is_some_and(|t| t.degraded());
         let faults = FaultRecovery {

@@ -379,6 +379,36 @@ pub struct TraceReport {
     /// artifact so `results/` accumulates a perf history run over run.
     #[serde(default)]
     pub cells_per_s: Option<f64>,
+    /// The driver's wall-clock self-profile, summed over every v7
+    /// `DriverPhases` event in the trace — `None` when the traced run
+    /// did not self-profile (the default: the spans are real elapsed
+    /// times and would break byte-identical traces).
+    #[serde(default)]
+    pub self_profile: Option<SelfProfile>,
+}
+
+/// Where the *tool's own* time went while driving a run — tuner
+/// bookkeeping, backend region execution, §III-C overhead charging and
+/// meter reads — accumulated from [`TraceEvent::DriverPhases`]. This is
+/// the ROADMAP item-4 "re-measure on real hardware" instrument: the
+/// spans profile the driver, not the simulated application.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SelfProfile {
+    /// `DriverPhases` events folded in (one per self-profiled run).
+    pub runs: u64,
+    /// Region invocations those runs drove.
+    pub invocations: u64,
+    pub tune_s: f64,
+    pub measure_s: f64,
+    pub overhead_s: f64,
+    pub meter_s: f64,
+}
+
+impl SelfProfile {
+    /// Σ of all phase spans.
+    pub fn total_s(&self) -> f64 {
+        self.tune_s + self.measure_s + self.overhead_s + self.meter_s
+    }
 }
 
 /// One tenant's slice of the broker activity in a trace.
@@ -718,6 +748,36 @@ impl TraceReport {
             ));
         }
 
+        if let Some(p) = &self.self_profile {
+            h(&mut out, "Self-profile (where did the time go)");
+            let total = p.total_s();
+            out.push_str(&format!(
+                "{} run(s), {} invocation(s): driver wall {:.4} s\n",
+                p.runs, p.invocations, total
+            ));
+            let pct = |s: f64| if total > 0.0 { 100.0 * s / total } else { 0.0 };
+            for (name, s) in [
+                ("measure", p.measure_s),
+                ("tune", p.tune_s),
+                ("overhead", p.overhead_s),
+                ("meter", p.meter_s),
+            ] {
+                out.push_str(&format!(
+                    "{}{:<8}  {:>10.6} s  ({:>5.1}%)\n",
+                    if md { "- " } else { "  " },
+                    name,
+                    s,
+                    pct(s)
+                ));
+            }
+            if p.invocations > 0 {
+                out.push_str(&format!(
+                    "per invocation: {:.1} µs\n",
+                    1e6 * total / p.invocations as f64
+                ));
+            }
+        }
+
         if self.faults.any() {
             h(&mut out, "Faults & recovery");
             let classes: Vec<String> =
@@ -941,6 +1001,22 @@ impl TraceAnalysis {
                 t.time_s += time_s;
                 t.energy_j += energy_j;
                 self.job_tenants.remove(job);
+            }
+            TraceEvent::DriverPhases {
+                invocations,
+                tune_s,
+                measure_s,
+                overhead_s,
+                meter_s,
+                ..
+            } => {
+                let p = r.self_profile.get_or_insert_with(SelfProfile::default);
+                p.runs += 1;
+                p.invocations += invocations;
+                p.tune_s += tune_s;
+                p.measure_s += measure_s;
+                p.overhead_s += overhead_s;
+                p.meter_s += meter_s;
             }
             TraceEvent::RegionBegin { .. } | TraceEvent::PolicyFired { .. } => {}
         }
@@ -1452,6 +1528,7 @@ mod tests {
                     tenant: "acme".into(),
                     workload: "sp.W".into(),
                     floor_w: 40.0,
+                    weight: 1.0,
                 },
             ),
             rec(
@@ -1477,6 +1554,7 @@ mod tests {
                     tenant: "umbrella".into(),
                     workload: "bt.W".into(),
                     floor_w: 40.0,
+                    weight: 1.0,
                 },
             ),
             rec(
@@ -1505,6 +1583,7 @@ mod tests {
                     tenant: "umbrella".into(),
                     workload: "bt.W".into(),
                     floor_w: 500.0,
+                    weight: 1.0,
                 },
             ),
             rec(

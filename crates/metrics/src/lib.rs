@@ -24,11 +24,12 @@ pub mod registry;
 
 pub use analysis::{
     analyze, analyze_path, compare_reports, compare_reports_for, CacheReport, CapSegment,
-    Comparison, ConvergencePoint, FaultReport, OverheadReport, RegionBreakdown, TraceAnalysis,
-    TraceReadError, TraceReader, TraceReport,
+    Comparison, ConvergencePoint, FaultReport, OverheadReport, RegionBreakdown, SelfProfile,
+    TraceAnalysis, TraceReadError, TraceReader, TraceReport,
 };
 pub use registry::{
-    Counter, Gauge, Histogram, HistogramSummary, MetricValue, MetricsRegistry, Snapshot,
+    BucketCount, Counter, CounterFamily, Gauge, GaugeFamily, Histogram, HistogramFamily,
+    HistogramSummary, LabelId, MetricValue, MetricsRegistry, Snapshot, Timer,
 };
 
 #[cfg(test)]
@@ -67,6 +68,30 @@ mod proptests {
             prop_assert_eq!(ours.p50, theirs.p50);
             prop_assert_eq!(ours.p90, theirs.p90);
             prop_assert_eq!(ours.p99, theirs.p99);
+        }
+
+        /// Exposition buckets are cumulative: counts never decrease as
+        /// `le` rises, the bounds strictly ascend, and the final bucket
+        /// accounts for every sample except the +Inf remainder (`count`).
+        #[test]
+        fn prometheus_buckets_are_cumulative_and_monotone(
+            samples in proptest::collection::vec(-1e3f64..1e6, 0..300),
+        ) {
+            let h = Histogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            let s = h.summary();
+            for pair in s.buckets.windows(2) {
+                prop_assert!(pair[0].le < pair[1].le, "le must ascend");
+                prop_assert!(pair[0].count <= pair[1].count, "counts must be cumulative");
+            }
+            if let Some(last) = s.buckets.last() {
+                prop_assert!(last.count <= s.count);
+                prop_assert_eq!(last.count, s.count, "finite samples all fall under the last bound");
+            } else {
+                prop_assert_eq!(s.count, 0);
+            }
         }
     }
 }

@@ -12,9 +12,10 @@
 use arcs_apex::Profile;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A monotone event count. Clones share state; `inc`/`add` are single
 /// relaxed atomics, safe on any hot path.
@@ -36,6 +37,14 @@ impl Counter {
 
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+
+    /// The shared cell behind this handle, for bridging into layers that
+    /// cannot depend on `arcs-metrics` (e.g. `JsonlSink`'s write-error
+    /// count lives in `arcs-trace`, below this crate in the dependency
+    /// order, but should still surface through a registry counter).
+    pub fn shared(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.0)
     }
 }
 
@@ -154,6 +163,33 @@ impl HistogramState {
         &self.summary
     }
 
+    /// Cumulative buckets at octave granularity: one `(le, count)` pair
+    /// per power-of-two upper bound that has samples at or below it, with
+    /// `count` counting every sample ≤ `le` (zeros included, Prometheus
+    /// style). The final implicit `+Inf` bucket is the total count.
+    fn cumulative_octaves(&self) -> Vec<BucketCount> {
+        let mut out = Vec::new();
+        let mut running = self.zeros;
+        let mut octave = i32::MIN;
+        for (&i, &n) in &self.buckets {
+            let k = i.div_euclid(BUCKETS_PER_OCTAVE as i32);
+            if k != octave {
+                if octave != i32::MIN {
+                    out.push(BucketCount { le: ((octave + 1) as f64).exp2(), count: running });
+                }
+                octave = k;
+            }
+            running += n;
+        }
+        if octave != i32::MIN {
+            out.push(BucketCount { le: ((octave + 1) as f64).exp2(), count: running });
+        } else if self.zeros > 0 {
+            // Only non-positive samples: a single le=1 bucket holds them.
+            out.push(BucketCount { le: 1.0, count: running });
+        }
+        out
+    }
+
     fn summarize(&self) -> HistogramSummary {
         let p = &self.summary;
         HistogramSummary {
@@ -166,6 +202,7 @@ impl HistogramState {
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            buckets: self.cumulative_octaves(),
         }
     }
 }
@@ -206,12 +243,52 @@ impl Histogram {
     pub fn summary(&self) -> HistogramSummary {
         self.0.lock().summarize()
     }
+
+    /// Start a wall-clock span that records its elapsed seconds into this
+    /// histogram when dropped (or explicitly via [`Timer::stop`]).
+    pub fn start_timer(&self) -> Timer {
+        Timer { hist: self.clone(), start: Instant::now(), armed: true }
+    }
+}
+
+/// A guard that times a span and records it into a [`Histogram`] in
+/// seconds. Dropping the guard records; [`Timer::stop`] records and
+/// returns the measured duration; [`Timer::discard`] abandons the span.
+#[derive(Debug)]
+pub struct Timer {
+    hist: Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl Timer {
+    /// Record the elapsed seconds now and return them.
+    pub fn stop(mut self) -> f64 {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        self.armed = false;
+        self.hist.record(elapsed);
+        elapsed
+    }
+
+    /// Drop the span without recording anything.
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.start.elapsed().as_secs_f64());
+        }
+    }
 }
 
 /// Scalar summary of a histogram at snapshot time. `count`…`stddev` are
 /// exact (from the embedded [`Profile`]); the quantiles are log-bucket
-/// estimates good to one bucket (~9 %).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+/// estimates good to one bucket (~9 %). `buckets` carries cumulative
+/// counts at power-of-two upper bounds for exposition renderers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSummary {
     pub count: u64,
     pub total: f64,
@@ -222,6 +299,17 @@ pub struct HistogramSummary {
     pub p50: f64,
     pub p90: f64,
     pub p99: f64,
+    /// Cumulative `(le, count)` pairs, ascending in `le`; absent in
+    /// snapshots written before this field existed.
+    #[serde(default)]
+    pub buckets: Vec<BucketCount>,
+}
+
+/// One cumulative histogram bucket: `count` samples had values ≤ `le`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BucketCount {
+    pub le: f64,
+    pub count: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -294,6 +382,21 @@ impl MetricsRegistry {
         }
     }
 
+    /// Resolve a per-label counter family (see [`CounterFamily`]).
+    pub fn counter_family(self: &Arc<Self>, name: &str, label_key: &str) -> CounterFamily {
+        CounterFamily { inner: Family::new(self, name, label_key) }
+    }
+
+    /// Resolve a per-label gauge family (see [`GaugeFamily`]).
+    pub fn gauge_family(self: &Arc<Self>, name: &str, label_key: &str) -> GaugeFamily {
+        GaugeFamily { inner: Family::new(self, name, label_key) }
+    }
+
+    /// Resolve a per-label histogram family (see [`HistogramFamily`]).
+    pub fn histogram_family(self: &Arc<Self>, name: &str, label_key: &str) -> HistogramFamily {
+        HistogramFamily { inner: Family::new(self, name, label_key) }
+    }
+
     /// A point-in-time copy of every metric, sorted by name.
     pub fn snapshot(&self) -> Snapshot {
         let mut metrics: Vec<MetricSample> = Vec::new();
@@ -319,6 +422,101 @@ fn kind_of(m: &Metric) -> &'static str {
         Metric::Histogram(_) => "histogram",
     }
 }
+
+/// A dense id for one label value inside a family — the labeled analogue
+/// of the sweep engine's interned `RegionId`s. Intern once (cold), then
+/// emit through the resolved handle with zero allocation per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelId(u32);
+
+impl LabelId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Shared machinery behind the typed families: a label-value interner
+/// plus the dense vector of resolved handles. The registry name for a
+/// member is `name{key="value"}`, so family members land in snapshots
+/// (and the Prometheus renderer) like any other metric.
+struct Family<H> {
+    registry: Arc<MetricsRegistry>,
+    name: String,
+    label_key: String,
+    state: Mutex<FamilyState<H>>,
+}
+
+#[derive(Default)]
+struct FamilyState<H> {
+    ids: HashMap<String, u32>,
+    handles: Vec<H>,
+}
+
+impl<H: Clone> Family<H> {
+    fn new(registry: &Arc<MetricsRegistry>, name: &str, label_key: &str) -> Self {
+        Family {
+            registry: Arc::clone(registry),
+            name: name.to_string(),
+            label_key: label_key.to_string(),
+            state: Mutex::new(FamilyState { ids: HashMap::new(), handles: Vec::new() }),
+        }
+    }
+
+    fn member_name(&self, label: &str) -> String {
+        let escaped = label.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+        format!("{}{{{}=\"{}\"}}", self.name, self.label_key, escaped)
+    }
+
+    fn intern(&self, label: &str, resolve: impl Fn(&MetricsRegistry, &str) -> H) -> LabelId {
+        let mut state = self.state.lock();
+        if let Some(&id) = state.ids.get(label) {
+            return LabelId(id);
+        }
+        let handle = resolve(&self.registry, &self.member_name(label));
+        let id = state.handles.len() as u32;
+        state.handles.push(handle);
+        state.ids.insert(label.to_string(), id);
+        LabelId(id)
+    }
+
+    fn get(&self, id: LabelId) -> H {
+        self.state.lock().handles[id.index()].clone()
+    }
+}
+
+macro_rules! family_type {
+    ($family:ident, $handle:ident, $resolve:ident, $doc:literal) => {
+        #[doc = $doc]
+        /// Label values are interned to dense [`LabelId`]s; `intern` +
+        /// `get` resolve a shared handle that callers hold across
+        /// samples, so the emission path allocates nothing.
+        pub struct $family {
+            inner: Family<$handle>,
+        }
+
+        impl $family {
+            /// Intern `label`, creating the member metric on first sight.
+            pub fn intern(&self, label: &str) -> LabelId {
+                self.inner.intern(label, |reg, name| reg.$resolve(name))
+            }
+
+            /// The resolved handle for an interned label.
+            pub fn get(&self, id: LabelId) -> $handle {
+                self.inner.get(id)
+            }
+
+            /// Intern-and-resolve in one call (cold paths, tests).
+            pub fn with_label(&self, label: &str) -> $handle {
+                let id = self.intern(label);
+                self.get(id)
+            }
+        }
+    };
+}
+
+family_type!(CounterFamily, Counter, counter, "A `name{key=\"value\"}` counter family.");
+family_type!(GaugeFamily, Gauge, gauge, "A `name{key=\"value\"}` gauge family.");
+family_type!(HistogramFamily, Histogram, histogram, "A `name{key=\"value\"}` histogram family.");
 
 /// One named metric inside a [`Snapshot`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -356,8 +554,64 @@ impl Snapshot {
         }
     }
 
+    /// Histogram summary by name (`None` when absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Render in the Prometheus text exposition format.
+    ///
+    /// Registry names are slash-separated (`arcs/serve/queue_wait_s`) and
+    /// family members carry a `{key="value"}` suffix; the renderer
+    /// sanitizes the base name to `[a-zA-Z0-9_:]`, emits one `# TYPE`
+    /// line per base name, and expands histograms into cumulative
+    /// `_bucket{le="..."}` series plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: HashSet<String> = HashSet::new();
+        for m in &self.metrics {
+            let (raw_base, labels) = match m.name.find('{') {
+                Some(at) => (&m.name[..at], &m.name[at..]),
+                None => (m.name.as_str(), ""),
+            };
+            let base = sanitize_metric_name(raw_base);
+            let kind = match &m.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            if typed.insert(base.clone()) {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+            }
+            match &m.value {
+                MetricValue::Counter(n) => out.push_str(&format!("{base}{labels} {n}\n")),
+                MetricValue::Gauge(v) => out.push_str(&format!("{base}{labels} {v}\n")),
+                MetricValue::Histogram(h) => {
+                    for b in &h.buckets {
+                        out.push_str(&format!(
+                            "{base}_bucket{} {}\n",
+                            merge_le_label(labels, &format!("{}", b.le)),
+                            b.count
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{base}_bucket{} {}\n",
+                        merge_le_label(labels, "+Inf"),
+                        h.count
+                    ));
+                    out.push_str(&format!("{base}_sum{labels} {}\n", h.total));
+                    out.push_str(&format!("{base}_count{labels} {}\n", h.count));
+                }
+            }
+        }
+        out
     }
 
     pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
@@ -388,6 +642,31 @@ impl Snapshot {
             }
         }
         out
+    }
+}
+
+/// Prometheus metric names are `[a-zA-Z_:][a-zA-Z0-9_:]*`; everything
+/// else (the registry's `/` separators, dashes, dots) becomes `_`.
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok || (i == 0 && c.is_ascii_digit()) { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Splice an `le="..."` pair into an existing (possibly empty) label set.
+fn merge_le_label(labels: &str, le: &str) -> String {
+    match labels.strip_suffix('}') {
+        Some(head) if !head.is_empty() && head != "{" => format!("{head},le=\"{le}\"}}"),
+        _ => format!("{{le=\"{le}\"}}"),
     }
 }
 
@@ -493,6 +772,113 @@ mod tests {
         let clone = h.clone(); // same underlying state
         h.merge(&clone);
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn histogram_single_sample_quantiles_sit_in_its_bucket() {
+        let h = Histogram::new();
+        h.record(10.0);
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max), (1, 10.0, 10.0));
+        let tol = 2f64.powf(1.0 / 8.0);
+        for (q, name) in [(s.p50, "p50"), (s.p90, "p90"), (s.p99, "p99")] {
+            assert!(q >= 10.0 / tol && q <= 10.0 * tol, "{name}={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_all_equal_samples_collapse_to_one_bucket() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(7.5);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, s.p99, "every quantile reads the same bucket midpoint");
+        let tol = 2f64.powf(1.0 / 8.0);
+        assert!(s.p50 >= 7.5 / tol && s.p50 <= 7.5 * tol, "p50={}", s.p50);
+        assert_eq!(h.state().buckets().len(), 1);
+    }
+
+    #[test]
+    fn histogram_merge_of_disjoint_octaves_keeps_both_tails() {
+        let (a, b, whole) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for _ in 0..1000 {
+            a.record(0.25);
+            whole.record(0.25);
+        }
+        for _ in 0..10 {
+            b.record(1024.0);
+            whole.record(1024.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.state(), whole.state());
+        let s = a.summary();
+        assert_eq!((s.count, s.min, s.max), (1010, 0.25, 1024.0));
+        let tol = 2f64.powf(1.0 / 8.0);
+        assert!(s.p50 <= 0.25 * tol, "p50={} stays in the low octave", s.p50);
+        // The top 10 of 1010 samples start above rank 1000, so p99 still
+        // reads the low octave while max records the far tail exactly.
+        assert!(s.p99 <= 0.25 * tol, "p99={}", s.p99);
+    }
+
+    #[test]
+    fn timer_records_elapsed_seconds() {
+        let h = Histogram::new();
+        let t = h.start_timer();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let elapsed = t.stop();
+        assert!(elapsed >= 0.002);
+        {
+            let _implicit = h.start_timer();
+        }
+        h.start_timer().discard();
+        let s = h.summary();
+        assert_eq!(s.count, 2, "stop + drop record, discard does not");
+        assert_eq!(s.max, elapsed.max(s.max));
+    }
+
+    #[test]
+    fn families_intern_labels_and_share_state() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let jobs = reg.counter_family("serve/jobs", "tenant");
+        let acme = jobs.intern("acme");
+        assert_eq!(jobs.intern("acme"), acme, "re-interning is stable");
+        jobs.get(acme).add(3);
+        jobs.with_label("acme").inc();
+        jobs.with_label("umbrella").inc();
+
+        let waits = reg.histogram_family("serve/wait_s", "tenant");
+        waits.with_label("acme").record(0.5);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve/jobs{tenant=\"acme\"}"), 4);
+        assert_eq!(snap.counter("serve/jobs{tenant=\"umbrella\"}"), 1);
+        assert_eq!(snap.histogram("serve/wait_s{tenant=\"acme\"}").unwrap().count, 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_matches_the_golden_file() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.gauge("arcs/demo/energy_j").set(2.5);
+        reg.counter("arcs/demo/evals").add(5);
+        reg.counter_family("arcs/demo/jobs", "tenant").with_label("acme").add(3);
+        let lat = reg.histogram("arcs/demo/lat_s");
+        lat.record(1.0);
+        lat.record(3.0);
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(text, include_str!("../testdata/prometheus_golden.txt"));
+    }
+
+    #[test]
+    fn prometheus_renders_zero_only_and_labeled_histograms() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.histogram("only/zeros").record(0.0);
+        reg.histogram_family("fam/lat_s", "tenant").with_label("a\"b").record(2.0);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("only_zeros_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("fam_lat_s_bucket{tenant=\"a\\\"b\",le=\"4\"} 1\n"), "{text}");
+        assert!(text.contains("fam_lat_s_count{tenant=\"a\\\"b\"} 1\n"), "{text}");
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //!
 //! Serves newline-delimited JSON (see `arcs_serve::protocol`) until a
 //! client sends `{"op":"shutdown"}`; admitted jobs are drained before
-//! the ack, and the broker trace (schema v5) is flushed to `--trace`.
+//! the ack, and the broker trace (schema v7) is flushed to `--trace`.
+//! Live telemetry is available over the same port: `{"op":"stats"}` for
+//! one snapshot, `{"op":"metrics"}` for a Prometheus scrape, and
+//! `{"op":"watch"}` for a continuous NDJSON stream (see `arcs-serve-top`
+//! for a terminal dashboard over it).
 
 use arcs_powersim::{Fleet, Machine};
 use arcs_serve::{Broker, BrokerConfig, Server};
@@ -87,17 +91,27 @@ fn main() {
     // tight enough that arbitration matters, loose enough to admit any
     // single-node job.
     let budget_w = args.budget_w.unwrap_or(fleet.total_max_cap_w() * 0.75);
-    let sink: Arc<dyn TraceSink> = match &args.trace {
-        Some(path) => Arc::new(JsonlSink::create(path).unwrap_or_else(|err| {
+    // Kept concrete (not just `dyn TraceSink`) so the write-error
+    // counter bridge below can reach the sink after broker attach.
+    let jsonl: Option<Arc<JsonlSink<std::fs::File>>> = args.trace.as_ref().map(|path| {
+        Arc::new(JsonlSink::create(path).unwrap_or_else(|err| {
             eprintln!("cannot open trace {path:?}: {err}");
             std::process::exit(1)
-        })),
+        }))
+    });
+    let sink: Arc<dyn TraceSink> = match &jsonl {
+        Some(sink) => Arc::clone(sink) as Arc<dyn TraceSink>,
         None => Arc::new(NullSink),
     };
 
     let mut cfg = BrokerConfig::new(budget_w);
     cfg.quantum_timesteps = args.quantum.max(1);
     let broker = Broker::new(fleet, cfg, sink);
+    if let Some(sink) = &jsonl {
+        // A dying trace file now shows up in `metrics` scrapes as
+        // `arcs/trace/write_errors`, not just on stderr at exit.
+        sink.set_write_error_counter(broker.registry().counter("arcs/trace/write_errors").shared());
+    }
     let handle = match Server::start(broker, &format!("127.0.0.1:{}", args.port), args.pool) {
         Ok(handle) => handle,
         Err(err) => {

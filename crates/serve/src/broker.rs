@@ -43,13 +43,16 @@
 //! produces byte-identical traces.
 
 use crate::job::{resolve_workload, JobSpec, JobState};
+use crate::telemetry::{self, event_line, push_event, Digest, TelemetrySnapshot, TenantTelemetry};
 use arcs::backend::Runner;
 use arcs::{
     CapHandle, ConfigSpace, RegionTuner, ResilienceOptions, RunStatus, SimExecutor, TunerOptions,
 };
+use arcs_metrics::{Counter, Gauge, GaugeFamily, Histogram, HistogramFamily, MetricsRegistry};
 use arcs_powersim::{FaultPlan, Fleet, WorkloadDescriptor};
 use arcs_trace::{JobAllocation, TraceEvent, TraceSink};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
 /// Node-level allocations move in steps of this many watts (above each
@@ -153,6 +156,80 @@ pub struct BrokerCounters {
     pub degraded: u64,
 }
 
+/// Per-tenant handles resolved once (at the tenant's first submission)
+/// from the broker's label families, so steady-state emission allocates
+/// nothing.
+struct TenantHandles {
+    wait: Histogram,
+    turnaround: Histogram,
+    alloc_w: Gauge,
+}
+
+/// The broker's always-on SLO instrumentation. The registry is created
+/// in [`Broker::new`] (not attached) so `stats`, `watch` and the
+/// Prometheus `metrics` op are always rich — the broker is a service,
+/// not a hot loop, and its emission points are coarse (submission,
+/// placement, reallocation, completion).
+struct BrokerMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// `serve/queue_wait_s`: submission → placement, virtual seconds.
+    queue_wait_s: Histogram,
+    /// `serve/turnaround_s`: submission → completion, virtual seconds.
+    turnaround_s: Histogram,
+    /// `serve/realloc_churn_w`: Σ |Δ allocation| per reallocation.
+    realloc_churn_w: Histogram,
+    /// `serve/reallocations`: how many times the budget was re-divided.
+    reallocations: Counter,
+    /// `serve/admission{outcome="admitted"|"rejected"}`.
+    admitted: Counter,
+    rejected: Counter,
+    wait_by_tenant: HistogramFamily,
+    turnaround_by_tenant: HistogramFamily,
+    alloc_by_tenant: GaugeFamily,
+    tenants: BTreeMap<String, TenantHandles>,
+}
+
+impl BrokerMetrics {
+    fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let admission = registry.counter_family("serve/admission", "outcome");
+        BrokerMetrics {
+            queue_wait_s: registry.histogram("serve/queue_wait_s"),
+            turnaround_s: registry.histogram("serve/turnaround_s"),
+            realloc_churn_w: registry.histogram("serve/realloc_churn_w"),
+            reallocations: registry.counter("serve/reallocations"),
+            admitted: admission.with_label("admitted"),
+            rejected: admission.with_label("rejected"),
+            wait_by_tenant: registry.histogram_family("serve/queue_wait_s", "tenant"),
+            turnaround_by_tenant: registry.histogram_family("serve/turnaround_s", "tenant"),
+            alloc_by_tenant: registry.gauge_family("serve/alloc_w", "tenant"),
+            tenants: BTreeMap::new(),
+            registry,
+        }
+    }
+
+    /// Resolve (or create) the per-tenant handles for `name`.
+    fn tenant(&mut self, name: &str) -> &TenantHandles {
+        if !self.tenants.contains_key(name) {
+            let handles = TenantHandles {
+                wait: self.wait_by_tenant.with_label(name),
+                turnaround: self.turnaround_by_tenant.with_label(name),
+                alloc_w: self.alloc_by_tenant.with_label(name),
+            };
+            self.tenants.insert(name.to_string(), handles);
+        }
+        &self.tenants[name]
+    }
+}
+
+/// One `watch` subscriber: a channel plus its push period in quantum
+/// events. Dropped silently when the receiver goes away.
+struct Watcher {
+    tx: Sender<TelemetrySnapshot>,
+    every: u64,
+    seen: u64,
+}
+
 /// The multi-tenant power-budget broker (see module docs).
 pub struct Broker {
     fleet: Fleet,
@@ -172,7 +249,16 @@ pub struct Broker {
     rejected: BTreeMap<u64, String>,
     /// Tenant → fair-share weight (first submission wins).
     tenants: BTreeMap<String, f64>,
+    /// Tenant → rejected-job count (for telemetry rows).
+    tenant_rejected: BTreeMap<String, u64>,
     free_nodes: BTreeSet<u64>,
+    /// Submission time (virtual µs) of every live job, for queue-wait
+    /// and turnaround attribution; entries die with the job.
+    submit_us: BTreeMap<u64, u64>,
+    metrics: BrokerMetrics,
+    /// Rolling narrative for the dashboard's events pane.
+    event_pane: VecDeque<String>,
+    watchers: Vec<Watcher>,
 }
 
 impl Broker {
@@ -191,12 +277,24 @@ impl Broker {
             completed: BTreeMap::new(),
             rejected: BTreeMap::new(),
             tenants: BTreeMap::new(),
+            tenant_rejected: BTreeMap::new(),
             free_nodes,
+            submit_us: BTreeMap::new(),
+            metrics: BrokerMetrics::new(),
+            event_pane: VecDeque::new(),
+            watchers: Vec::new(),
         }
     }
 
     pub fn budget_w(&self) -> f64 {
         self.cfg.budget_w
+    }
+
+    /// The broker's own metrics registry — always present (every broker
+    /// owns one from birth). The server wires its thread-pool gauges here;
+    /// the `arcs-serve` binary bridges trace write errors into it.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics.registry)
     }
 
     /// Virtual time, seconds.
@@ -282,7 +380,12 @@ impl Broker {
             tenant: spec.tenant.clone(),
             workload: spec.workload.clone(),
             floor_w,
+            weight,
         });
+        self.metrics.tenant(&spec.tenant);
+        let line =
+            event_line(self.now_s(), telemetry::fmt_submitted(job, &spec.tenant, &spec.workload));
+        push_event(&mut self.event_pane, line);
 
         let reason = if self.fleet.is_empty() {
             Some("the fleet has no nodes".to_string())
@@ -302,10 +405,17 @@ impl Broker {
                 floor_w,
                 reason: reason.clone(),
             });
+            self.metrics.rejected.inc();
+            *self.tenant_rejected.entry(spec.tenant.clone()).or_insert(0) += 1;
+            let line =
+                event_line(self.now_s(), telemetry::fmt_rejected(job, &spec.tenant, &reason));
+            push_event(&mut self.event_pane, line);
             self.rejected.insert(job, reason.clone());
             return SubmitOutcome::Rejected { job, reason };
         }
 
+        self.metrics.admitted.inc();
+        self.submit_us.insert(job, self.now_us);
         self.queue.push_back(job);
         self.queued.insert(job, spec);
         self.schedule();
@@ -344,6 +454,18 @@ impl Broker {
                 time_s: rj.time_s,
                 energy_j: rj.energy_j,
             });
+            if let Some(at) = self.submit_us.remove(&job) {
+                // Seconds-differenced to match trace replay bitwise (see
+                // the queue-wait sample in `place`).
+                let turn_s = (self.now_us as f64 / 1e6 - at as f64 / 1e6).max(0.0);
+                self.metrics.turnaround_s.record(turn_s);
+                self.metrics.tenant(&rj.spec.tenant).turnaround.record(turn_s);
+            }
+            let line = event_line(
+                self.now_s(),
+                telemetry::fmt_completed(job, &rj.spec.tenant, &status.to_string(), rj.time_s),
+            );
+            push_event(&mut self.event_pane, line);
             self.completed.insert(
                 job,
                 CompletedJob {
@@ -365,6 +487,7 @@ impl Broker {
             }
             self.start_quantum(job);
         }
+        self.notify_watchers();
         true
     }
 
@@ -434,6 +557,17 @@ impl Broker {
             node: node_id,
             cap_w: floor_w,
         });
+        if let Some(&at) = self.submit_us.get(&job) {
+            // Differenced in seconds (not µs) so the sample is bitwise
+            // identical to what a trace replay reconstructs from the
+            // emitted `t_s` timestamps.
+            let wait_s = (self.now_us as f64 / 1e6 - at as f64 / 1e6).max(0.0);
+            self.metrics.queue_wait_s.record(wait_s);
+            self.metrics.tenant(&spec.tenant).wait.record(wait_s);
+        }
+        let line =
+            event_line(self.now_s(), telemetry::fmt_scheduled(job, &spec.tenant, node_id, floor_w));
+        push_event(&mut self.event_pane, line);
         self.free_nodes.remove(&node_id);
         self.running.insert(
             job,
@@ -543,20 +677,134 @@ impl Broker {
             .iter()
             .map(|(&job, &cap_w)| JobAllocation { job, node: self.running[&job].node, cap_w })
             .collect();
+        let mut churn_w = 0.0;
         for (job, &cap_w) in &alloc {
             let rj = self.running.get_mut(job).expect("allocated jobs are running");
             if (rj.alloc_w - cap_w).abs() > EPS_W {
+                churn_w += (rj.alloc_w - cap_w).abs();
                 rj.alloc_w = cap_w;
                 let sockets = self.fleet.node(rj.node).expect("job node exists").machine.sockets;
                 rj.handle.set(cap_w / sockets as f64);
             }
         }
+        self.metrics.reallocations.inc();
+        self.metrics.realloc_churn_w.record(churn_w);
+        // Per-tenant allocated-watts gauges: recompute every tenant's sum
+        // (tenants with nothing running drop to 0).
+        let mut by_tenant: BTreeMap<&str, f64> = BTreeMap::new();
+        for rj in self.running.values() {
+            *by_tenant.entry(rj.spec.tenant.as_str()).or_insert(0.0) += rj.alloc_w;
+        }
+        for (name, handles) in &self.metrics.tenants {
+            handles.alloc_w.set(by_tenant.get(name.as_str()).copied().unwrap_or(0.0));
+        }
+        let line = event_line(
+            self.now_s(),
+            telemetry::fmt_realloc(reason, total_w, self.cfg.budget_w, allocations.len()),
+        );
+        push_event(&mut self.event_pane, line);
         self.emit(TraceEvent::CapReallocated {
             reason: reason.to_string(),
             budget_w: self.cfg.budget_w,
             total_w,
             allocations,
         });
+    }
+
+    /// One dashboard frame of the broker's current state (see
+    /// [`TelemetrySnapshot`]). SLO digests read the same registry series
+    /// the Prometheus exposition renders.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut tenants: BTreeMap<String, TenantTelemetry> = BTreeMap::new();
+        for (name, &weight) in &self.tenants {
+            let handles = self.metrics.tenants.get(name);
+            tenants.insert(
+                name.clone(),
+                TenantTelemetry {
+                    weight,
+                    queued: 0,
+                    running: 0,
+                    completed: 0,
+                    degraded: 0,
+                    rejected: self.tenant_rejected.get(name).copied().unwrap_or(0),
+                    alloc_w: 0.0,
+                    fair_share_w: 0.0,
+                    queue_wait: handles.map(|h| Digest::from(&h.wait)).unwrap_or_default(),
+                    turnaround: handles.map(|h| Digest::from(&h.turnaround)).unwrap_or_default(),
+                },
+            );
+        }
+        for spec in self.queued.values() {
+            if let Some(t) = tenants.get_mut(&spec.tenant) {
+                t.queued += 1;
+            }
+        }
+        for rj in self.running.values() {
+            if let Some(t) = tenants.get_mut(&rj.spec.tenant) {
+                t.running += 1;
+                t.alloc_w += rj.alloc_w;
+                if rj.degraded {
+                    t.degraded += 1;
+                }
+            }
+        }
+        for done in self.completed.values() {
+            if let Some(t) = tenants.get_mut(&done.tenant) {
+                t.completed += 1;
+                if done.status == RunStatus::Degraded {
+                    t.degraded += 1;
+                }
+            }
+        }
+        let c = self.counters();
+        let mut snap = TelemetrySnapshot {
+            now_s: self.now_s(),
+            budget_w: self.cfg.budget_w,
+            // `+ 0.0` normalises the empty sum's `-0.0` so idle frames
+            // serialize as `0`, matching the replay reconstruction.
+            allocated_w: self.running.values().map(|r| r.alloc_w).sum::<f64>() + 0.0,
+            submitted: c.submitted,
+            queued: c.queued,
+            running: c.running,
+            completed: c.completed,
+            rejected: c.rejected,
+            degraded: c.degraded,
+            queue_wait: Digest::from(&self.metrics.queue_wait_s),
+            turnaround: Digest::from(&self.metrics.turnaround_s),
+            realloc_churn_w: Digest::from(&self.metrics.realloc_churn_w),
+            tenants,
+            events: self.event_pane.iter().cloned().collect(),
+        };
+        snap.compute_fair_shares();
+        snap
+    }
+
+    /// Subscribe to telemetry frames: one immediately, then one every
+    /// `every` quantum events (clamped to ≥ 1). The subscription dies
+    /// silently when the receiver hangs up.
+    pub fn watch(&mut self, every: u64, tx: Sender<TelemetrySnapshot>) {
+        let every = every.max(1);
+        if tx.send(self.telemetry()).is_ok() {
+            self.watchers.push(Watcher { tx, every, seen: 0 });
+        }
+    }
+
+    fn notify_watchers(&mut self) {
+        if self.watchers.is_empty() {
+            return;
+        }
+        let mut due = false;
+        for w in &mut self.watchers {
+            w.seen += 1;
+            if w.seen % w.every == 0 {
+                due = true;
+            }
+        }
+        if !due {
+            return;
+        }
+        let snap = self.telemetry();
+        self.watchers.retain(|w| w.seen % w.every != 0 || w.tx.send(snap.clone()).is_ok());
     }
 }
 

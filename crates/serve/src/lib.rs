@@ -16,20 +16,29 @@
 //!   scheduling onto an [`arcs_powersim::Fleet`], weighted-fair
 //!   water-filling of the budget, virtual-time quantum execution.
 //! * [`protocol`] — newline-delimited JSON request/response types for
-//!   the TCP service (`submit`, `status`, `stats`, `shutdown`).
+//!   the TCP service (`submit`, `status`, `stats`, `metrics`, `watch`,
+//!   `shutdown`).
 //! * [`server`] — the long-running service: one thread owns the broker,
 //!   a hand-rolled [`pool::ThreadPool`] serves framed connections.
+//! * [`telemetry`] — the live telemetry plane: one
+//!   [`TelemetrySnapshot`] frame type shared by the `stats`/`watch`
+//!   ops, the `arcs-serve-top` dashboard, and the [`TraceTelemetry`]
+//!   replay builder that reconstructs frames from a broker trace
+//!   (schema v5+), deterministically.
 //!
 //! The `arcs-serve` binary hosts the service; `arcs-serve-loadgen`
 //! replays deterministic multi-tenant arrival streams against either the
 //! in-process broker or a live server and checks throughput, fairness
-//! and budget conservation from the emitted trace.
+//! and budget conservation from the emitted trace; `arcs-serve-top`
+//! renders the telemetry plane as a live (or replayed) terminal
+//! dashboard.
 
 pub mod broker;
 pub mod job;
 pub mod pool;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use broker::{
     Broker, BrokerConfig, BrokerCounters, CompletedJob, SubmitOutcome, ALLOC_QUANTUM_W,
@@ -37,3 +46,4 @@ pub use broker::{
 pub use job::{resolve_workload, JobSpec, JobState};
 pub use protocol::{Request, Response};
 pub use server::{Server, ServerHandle};
+pub use telemetry::{Digest, TelemetrySnapshot, TenantTelemetry, TraceTelemetry};

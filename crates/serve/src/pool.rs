@@ -5,6 +5,7 @@
 //! queue and joins every worker, so a shut-down server cannot leak
 //! threads.
 
+use arcs_metrics::{Counter, Gauge, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -12,9 +13,31 @@ use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Instrumentation handles for a pool: queue depth behind the workers,
+/// how many workers are mid-job, and a lifetime job counter. Cloned
+/// atomics, so updating them never takes the queue lock longer.
+#[derive(Clone)]
+pub struct PoolMetrics {
+    pub queue_depth: Gauge,
+    pub busy: Gauge,
+    pub jobs: Counter,
+}
+
+impl PoolMetrics {
+    /// Resolve the pool's standard series in `registry`.
+    pub fn resolve(registry: &MetricsRegistry) -> Self {
+        PoolMetrics {
+            queue_depth: registry.gauge("serve/pool/queue_depth"),
+            busy: registry.gauge("serve/pool/busy"),
+            jobs: registry.counter("serve/pool/jobs"),
+        }
+    }
+}
+
 struct Shared {
     queue: Mutex<Queue>,
     available: Condvar,
+    metrics: Option<PoolMetrics>,
 }
 
 struct Queue {
@@ -29,9 +52,16 @@ pub struct ThreadPool {
 
 impl ThreadPool {
     pub fn new(threads: usize) -> Self {
+        ThreadPool::with_metrics(threads, None)
+    }
+
+    /// Like [`ThreadPool::new`], but every queue/busy transition also
+    /// updates the given metric handles.
+    pub fn with_metrics(threads: usize, metrics: Option<PoolMetrics>) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue { jobs: VecDeque::new(), closed: false }),
             available: Condvar::new(),
+            metrics,
         });
         let workers = (0..threads.max(1))
             .map(|i| {
@@ -53,7 +83,11 @@ impl ThreadPool {
             return false;
         }
         queue.jobs.push_back(Box::new(job));
+        let depth = queue.jobs.len();
         drop(queue);
+        if let Some(m) = &self.shared.metrics {
+            m.queue_depth.set(depth as f64);
+        }
         self.shared.available.notify_one();
         true
     }
@@ -71,11 +105,11 @@ impl Drop for ThreadPool {
 
 fn worker(shared: Arc<Shared>) {
     loop {
-        let job = {
+        let (job, depth) = {
             let mut queue = shared.queue.lock();
             loop {
                 if let Some(job) = queue.jobs.pop_front() {
-                    break job;
+                    break (job, queue.jobs.len());
                 }
                 if queue.closed {
                     return;
@@ -83,7 +117,15 @@ fn worker(shared: Arc<Shared>) {
                 shared.available.wait(&mut queue);
             }
         };
+        if let Some(m) = &shared.metrics {
+            m.queue_depth.set(depth as f64);
+            m.busy.add(1.0);
+            m.jobs.inc();
+        }
         job();
+        if let Some(m) = &shared.metrics {
+            m.busy.add(-1.0);
+        }
     }
 }
 

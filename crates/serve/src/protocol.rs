@@ -12,11 +12,19 @@
 //! |------------|---------------------------------------------------|-------------------------------------|
 //! | `submit`   | `tenant`, `workload`, `timesteps?`, `floor_w?`, `weight?`, `fault_seed?` | `job`, `accepted`, `reason?` |
 //! | `status`   | `job`                                             | `state`, completion detail          |
-//! | `stats`    | —                                                 | `stats` counters                    |
+//! | `stats`    | —                                                 | `stats` counters + `telemetry` snapshot |
+//! | `metrics`  | —                                                 | `metrics`: Prometheus text exposition |
+//! | `watch`    | `every?` (virtual-time quanta, default 1)         | stream: one NDJSON telemetry snapshot line per interval (no `Response` wrapper) |
 //! | `shutdown` | —                                                 | ack; server drains and exits        |
+//!
+//! `watch` is the one op that changes the framing contract: after the
+//! request line the server stops speaking `Response` and pushes raw
+//! [`TelemetrySnapshot`] lines until the client hangs up or the server
+//! drains. Everything else stays strict request/response.
 
 use crate::broker::BrokerCounters;
 use crate::job::JobSpec;
+use crate::telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,6 +45,9 @@ pub struct Request {
     /// Target job id for `status`.
     #[serde(default)]
     pub job: Option<u64>,
+    /// `watch`: push a snapshot every N virtual-time quanta (default 1).
+    #[serde(default)]
+    pub every: Option<u64>,
 }
 
 impl Request {
@@ -50,6 +61,7 @@ impl Request {
             weight: (spec.weight > 0.0 && spec.weight != 1.0).then_some(spec.weight),
             fault_seed: spec.fault_seed,
             job: None,
+            every: None,
         }
     }
 
@@ -67,6 +79,7 @@ impl Request {
             weight: None,
             fault_seed: None,
             job: None,
+            every: None,
         }
     }
 
@@ -137,6 +150,13 @@ pub struct Response {
     pub energy_j: Option<f64>,
     #[serde(default)]
     pub stats: Option<StatsBody>,
+    /// `stats`: one telemetry snapshot taken at the same instant as the
+    /// counters, so the two cannot disagree about queue depths.
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySnapshot>,
+    /// `metrics`: the full registry in Prometheus text exposition format.
+    #[serde(default)]
+    pub metrics: Option<String>,
 }
 
 impl Response {
@@ -152,6 +172,8 @@ impl Response {
             time_s: None,
             energy_j: None,
             stats: None,
+            telemetry: None,
+            metrics: None,
         }
     }
 

@@ -9,19 +9,25 @@
 
 use crate::broker::{Broker, CompletedJob, SubmitOutcome};
 use crate::job::{JobSpec, JobState};
-use crate::pool::ThreadPool;
+use crate::pool::{PoolMetrics, ThreadPool};
 use crate::protocol::{Request, Response, StatsBody};
+use crate::telemetry::TelemetrySnapshot;
+use arcs_metrics::MetricsRegistry;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 enum Command {
     Submit(JobSpec, Sender<SubmitOutcome>),
     Status(u64, Sender<(Option<JobState>, Option<CompletedJob>, Option<String>)>),
-    Stats(Sender<StatsBody>),
+    /// Counters and a telemetry snapshot taken at the same broker
+    /// instant, so they can never disagree about queue depths.
+    Stats(Sender<(StatsBody, TelemetrySnapshot)>),
+    /// Subscribe to a snapshot push every N virtual-time quanta.
+    Watch(Sender<TelemetrySnapshot>, u64),
     /// Drain every admitted job, then acknowledge and stop.
     Shutdown(Sender<()>),
 }
@@ -55,7 +61,10 @@ fn broker_loop(mut broker: Broker, rx: Receiver<Command>) {
             Some(Command::Stats(reply)) => {
                 let body =
                     StatsBody::from_counters(broker.counters(), broker.budget_w(), broker.now_s());
-                let _ = reply.send(body);
+                let _ = reply.send((body, broker.telemetry()));
+            }
+            Some(Command::Watch(tx, every)) => {
+                broker.watch(every, tx);
             }
             Some(Command::Shutdown(reply)) => {
                 broker.run_until_idle();
@@ -69,7 +78,12 @@ fn broker_loop(mut broker: Broker, rx: Receiver<Command>) {
     }
 }
 
-fn handle_request(req: &Request, cmds: &Sender<Command>, stopping: &AtomicBool) -> Response {
+fn handle_request(
+    req: &Request,
+    cmds: &Sender<Command>,
+    stopping: &AtomicBool,
+    registry: &MetricsRegistry,
+) -> Response {
     let mut resp = Response::empty_ok();
     match req.op.as_str() {
         "submit" => {
@@ -124,10 +138,16 @@ fn handle_request(req: &Request, cmds: &Sender<Command>, stopping: &AtomicBool) 
                 return Response::err("broker is shut down");
             }
             match rx.recv() {
-                Ok(stats) => resp.stats = Some(stats),
+                Ok((stats, telemetry)) => {
+                    resp.stats = Some(stats);
+                    resp.telemetry = Some(telemetry);
+                }
                 Err(_) => return Response::err("broker is shut down"),
             }
         }
+        // Rendered straight from the shared registry — no broker
+        // roundtrip, so scrapes stay cheap even mid-quantum.
+        "metrics" => resp.metrics = Some(registry.snapshot().to_prometheus()),
         "shutdown" => {
             let (tx, rx) = std::sync::mpsc::channel();
             if cmds.send(Command::Shutdown(tx)).is_ok() {
@@ -143,7 +163,40 @@ fn handle_request(req: &Request, cmds: &Sender<Command>, stopping: &AtomicBool) 
     resp
 }
 
-fn serve_connection(stream: TcpStream, cmds: Sender<Command>, stopping: Arc<AtomicBool>) {
+/// Stream telemetry snapshots to one `watch` subscriber as raw NDJSON
+/// lines. Returns when the client hangs up, the broker goes away, or
+/// the server starts stopping.
+fn stream_watch(writer: &mut TcpStream, cmds: &Sender<Command>, stopping: &AtomicBool, every: u64) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    if cmds.send(Command::Watch(tx, every)).is_err() {
+        return;
+    }
+    loop {
+        if stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        match rx.recv_timeout(std::time::Duration::from_millis(200)) {
+            Ok(snap) => {
+                let mut line = serde_json::to_string(&snap).expect("snapshots always serialize");
+                line.push('\n');
+                if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
+                    // Dropping `rx` makes the broker's next push fail,
+                    // which unsubscribes this watcher.
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    cmds: Sender<Command>,
+    stopping: Arc<AtomicBool>,
+    registry: Arc<MetricsRegistry>,
+) {
     // Short read timeouts keep idle keep-alive connections from pinning
     // their pool worker past shutdown — each timeout is a chance to see
     // the stop flag and bow out.
@@ -165,7 +218,15 @@ fn serve_connection(stream: TcpStream, cmds: Sender<Command>, stopping: Arc<Atom
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
                     let resp = match serde_json::from_str::<Request>(trimmed) {
-                        Ok(req) => handle_request(&req, &cmds, &stopping),
+                        Ok(req) if req.op == "watch" => {
+                            // `watch` flips the connection into push mode:
+                            // from here on the server writes raw snapshot
+                            // lines, never `Response` frames.
+                            let every = req.every.unwrap_or(1).max(1);
+                            stream_watch(&mut writer, &cmds, &stopping, every);
+                            return;
+                        }
+                        Ok(req) => handle_request(&req, &cmds, &stopping, &registry),
                         Err(err) => Response::err(format!("bad request: {err}")),
                     };
                     let mut out = serde_json::to_string(&resp).expect("responses always serialize");
@@ -204,6 +265,10 @@ impl Server {
     pub fn start(broker: Broker, addr: &str, pool_threads: usize) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // The broker thread owns the broker, but the registry is shared:
+        // `metrics` scrapes and pool instrumentation read/write it
+        // without a broker roundtrip.
+        let registry = broker.registry();
         let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
         let broker_thread = std::thread::Builder::new()
             .name("arcs-serve-broker".into())
@@ -214,10 +279,14 @@ impl Server {
         let acceptor = {
             let stopping = Arc::clone(&stopping);
             let cmd_tx = cmd_tx.clone();
+            let registry = Arc::clone(&registry);
             std::thread::Builder::new()
                 .name("arcs-serve-acceptor".into())
                 .spawn(move || {
-                    let pool = ThreadPool::new(pool_threads);
+                    let pool = ThreadPool::with_metrics(
+                        pool_threads,
+                        Some(PoolMetrics::resolve(&registry)),
+                    );
                     for stream in listener.incoming() {
                         if stopping.load(Ordering::SeqCst) {
                             break;
@@ -225,7 +294,8 @@ impl Server {
                         let Ok(stream) = stream else { continue };
                         let cmds = cmd_tx.clone();
                         let stopping = Arc::clone(&stopping);
-                        pool.execute(move || serve_connection(stream, cmds, stopping));
+                        let registry = Arc::clone(&registry);
+                        pool.execute(move || serve_connection(stream, cmds, stopping, registry));
                     }
                     // Dropping the pool joins in-flight connections;
                     // dropping cmd_tx lets an idle broker loop exit.

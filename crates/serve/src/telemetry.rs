@@ -1,0 +1,471 @@
+//! The broker's live telemetry plane: one serializable snapshot type
+//! shared by the `stats`/`watch` protocol ops, `arcs-serve-top`, and the
+//! trace-replay reconstruction.
+//!
+//! A [`TelemetrySnapshot`] is everything a dashboard frame needs: global
+//! budget utilisation, per-tenant SLO digests (queue wait, turnaround),
+//! per-tenant allocation vs fair share, and a rolling pane of recent
+//! events. The live broker builds it from its own state; the
+//! [`TraceTelemetry`] builder reconstructs the same shape from a broker
+//! trace (schema v5+), so `arcs-serve-top --replay` is a pure function of
+//! the trace file — deterministic, byte-identical across runs.
+//!
+//! Serialization notes: the vendored serde writes fields in declaration
+//! order and `BTreeMap`s sorted by key, so `serde_json::to_string` of a
+//! snapshot is deterministic given equal contents.
+
+use arcs_metrics::{Histogram, HistogramSummary};
+use arcs_trace::{TraceEvent, TraceRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// How many event lines a snapshot's rolling pane keeps.
+pub const EVENT_PANE: usize = 64;
+
+/// A compact distribution digest — the SLO view of a histogram. Units
+/// follow the source series (seconds for waits, watts for churn).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Digest {
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+impl From<&HistogramSummary> for Digest {
+    fn from(s: &HistogramSummary) -> Self {
+        Digest { count: s.count, mean: s.mean, p50: s.p50, p99: s.p99, max: s.max }
+    }
+}
+
+impl From<&Histogram> for Digest {
+    fn from(h: &Histogram) -> Self {
+        Digest::from(&h.summary())
+    }
+}
+
+/// One tenant's row in the dashboard.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantTelemetry {
+    /// Fair-share weight (first submission wins; 1 when unknown).
+    pub weight: f64,
+    pub queued: u64,
+    pub running: u64,
+    pub completed: u64,
+    /// Jobs that finished `Degraded` plus running jobs currently
+    /// degraded (replay only sees the former).
+    pub degraded: u64,
+    pub rejected: u64,
+    /// Node-level watts currently allocated to this tenant's jobs.
+    pub alloc_w: f64,
+    /// The tenant's weighted fair share of the budget across tenants
+    /// with running jobs (0 when idle) — the dashboard's "vs fair
+    /// share" reference line.
+    pub fair_share_w: f64,
+    /// Submission → placement, virtual seconds.
+    pub queue_wait: Digest,
+    /// Submission → completion, virtual seconds.
+    pub turnaround: Digest,
+}
+
+/// One dashboard frame. See the module docs for determinism notes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Virtual time of the frame, seconds.
+    pub now_s: f64,
+    pub budget_w: f64,
+    /// Σ node-level allocations across running jobs. The conservation
+    /// invariant: `allocated_w ≤ budget_w` in every frame.
+    pub allocated_w: f64,
+    pub submitted: u64,
+    pub queued: u64,
+    pub running: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub degraded: u64,
+    /// Global submission → placement digest, virtual seconds.
+    pub queue_wait: Digest,
+    /// Global submission → completion digest, virtual seconds.
+    pub turnaround: Digest,
+    /// Watts moved per reallocation (Σ |Δ allocation| over jobs).
+    pub realloc_churn_w: Digest,
+    pub tenants: BTreeMap<String, TenantTelemetry>,
+    /// The most recent [`EVENT_PANE`] event lines, oldest first.
+    pub events: Vec<String>,
+}
+
+impl TelemetrySnapshot {
+    /// Fill every tenant's `fair_share_w` from the budget and the
+    /// weights of tenants with running jobs.
+    pub fn compute_fair_shares(&mut self) {
+        let active: f64 =
+            self.tenants.values().filter(|t| t.running > 0).map(|t| t.weight.max(0.0)).sum();
+        for t in self.tenants.values_mut() {
+            t.fair_share_w = if t.running > 0 && active > 0.0 {
+                self.budget_w * t.weight.max(0.0) / active
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Budget utilisation in `[0, 1]` (0 when the budget is 0).
+    pub fn utilization(&self) -> f64 {
+        if self.budget_w > 0.0 {
+            (self.allocated_w / self.budget_w).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Format one event-pane line. Both the live broker and the replay
+/// builder narrate through these helpers so the two panes read the same.
+pub fn event_line(t_s: f64, text: impl std::fmt::Display) -> String {
+    format!("[{t_s:9.3}s] {text}")
+}
+
+pub fn fmt_submitted(job: u64, tenant: &str, workload: &str) -> String {
+    format!("job {job} ({tenant}) submitted {workload}")
+}
+
+pub fn fmt_rejected(job: u64, tenant: &str, reason: &str) -> String {
+    format!("job {job} ({tenant}) rejected: {reason}")
+}
+
+pub fn fmt_scheduled(job: u64, tenant: &str, node: u64, cap_w: f64) -> String {
+    format!("job {job} ({tenant}) scheduled on node {node} @ {cap_w:.2} W")
+}
+
+pub fn fmt_realloc(reason: &str, total_w: f64, budget_w: f64, jobs: usize) -> String {
+    format!("reallocated ({reason}): {total_w:.2} / {budget_w:.2} W over {jobs} job(s)")
+}
+
+pub fn fmt_completed(job: u64, tenant: &str, status: &str, time_s: f64) -> String {
+    format!("job {job} ({tenant}) completed {status} in {time_s:.3}s")
+}
+
+/// Push onto a rolling event pane, keeping the last [`EVENT_PANE`] lines.
+pub fn push_event(pane: &mut VecDeque<String>, line: String) {
+    if pane.len() == EVENT_PANE {
+        pane.pop_front();
+    }
+    pane.push_back(line);
+}
+
+/// Per-tenant accumulation shared by nothing but this builder — the
+/// histograms give the same log-bucket quantile estimates the live
+/// broker's registry computes.
+#[derive(Default)]
+struct TenantAccum {
+    weight: f64,
+    completed: u64,
+    degraded: u64,
+    rejected: u64,
+    wait: Histogram,
+    turnaround: Histogram,
+}
+
+/// Reconstructs [`TelemetrySnapshot`]s from a broker trace (schema v5+:
+/// `JobSubmitted` … `CapReallocated` events). Feed it records in order
+/// via [`consume`](TraceTelemetry::consume), then take
+/// [`snapshot`](TraceTelemetry::snapshot) at any point — `arcs-serve-top
+/// --replay` takes one at end of trace.
+///
+/// Pre-v7 traces carry no tenant weight on `JobSubmitted` (the field
+/// defaults to 0); the builder maps that to the broker's default of 1.
+#[derive(Default)]
+pub struct TraceTelemetry {
+    now_s: f64,
+    budget_w: f64,
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    degraded: u64,
+    job_tenant: BTreeMap<u64, String>,
+    job_submit_s: BTreeMap<u64, f64>,
+    queued: BTreeSet<u64>,
+    /// Running job → current node-level allocation.
+    running: BTreeMap<u64, f64>,
+    tenants: BTreeMap<String, TenantAccum>,
+    wait: Histogram,
+    turnaround: Histogram,
+    churn: Histogram,
+    events: VecDeque<String>,
+}
+
+impl TraceTelemetry {
+    pub fn new() -> Self {
+        TraceTelemetry::default()
+    }
+
+    fn tenant(&mut self, name: &str) -> &mut TenantAccum {
+        if !self.tenants.contains_key(name) {
+            self.tenants.insert(name.to_string(), TenantAccum::default());
+        }
+        self.tenants.get_mut(name).expect("just ensured")
+    }
+
+    pub fn consume(&mut self, rec: &TraceRecord) {
+        let t = rec.t_s.unwrap_or(self.now_s);
+        self.now_s = self.now_s.max(t);
+        match &rec.event {
+            TraceEvent::JobSubmitted { job, tenant, workload, weight, .. } => {
+                self.submitted += 1;
+                self.queued.insert(*job);
+                self.job_tenant.insert(*job, tenant.clone());
+                self.job_submit_s.insert(*job, t);
+                let weight = if *weight > 0.0 { *weight } else { 1.0 };
+                let acc = self.tenant(tenant);
+                if acc.weight == 0.0 {
+                    acc.weight = weight;
+                }
+                push_event(&mut self.events, event_line(t, fmt_submitted(*job, tenant, workload)));
+            }
+            TraceEvent::JobRejected { job, tenant, reason, .. } => {
+                self.rejected += 1;
+                self.queued.remove(job);
+                self.job_submit_s.remove(job);
+                self.tenant(tenant).rejected += 1;
+                push_event(&mut self.events, event_line(t, fmt_rejected(*job, tenant, reason)));
+            }
+            TraceEvent::JobScheduled { job, tenant, node, cap_w } => {
+                self.queued.remove(job);
+                self.running.insert(*job, *cap_w);
+                if let Some(&at) = self.job_submit_s.get(job) {
+                    let wait = (t - at).max(0.0);
+                    self.wait.record(wait);
+                    self.tenant(tenant).wait.record(wait);
+                }
+                push_event(
+                    &mut self.events,
+                    event_line(t, fmt_scheduled(*job, tenant, *node, *cap_w)),
+                );
+            }
+            TraceEvent::CapReallocated { reason, budget_w, total_w, allocations } => {
+                self.budget_w = *budget_w;
+                let mut moved = 0.0;
+                for a in allocations {
+                    let old = self.running.get(&a.job).copied().unwrap_or(0.0);
+                    moved += (a.cap_w - old).abs();
+                    self.running.insert(a.job, a.cap_w);
+                }
+                self.churn.record(moved);
+                push_event(
+                    &mut self.events,
+                    event_line(t, fmt_realloc(reason, *total_w, *budget_w, allocations.len())),
+                );
+            }
+            TraceEvent::JobCompleted { job, tenant, status, time_s, .. } => {
+                self.completed += 1;
+                self.running.remove(job);
+                if status == "degraded" {
+                    self.degraded += 1;
+                    self.tenant(tenant).degraded += 1;
+                }
+                if let Some(at) = self.job_submit_s.remove(job) {
+                    let turn = (t - at).max(0.0);
+                    self.turnaround.record(turn);
+                    self.tenant(tenant).turnaround.record(turn);
+                }
+                self.tenant(tenant).completed += 1;
+                push_event(
+                    &mut self.events,
+                    event_line(t, fmt_completed(*job, tenant, status, *time_s)),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// The reconstructed frame at the current point in the trace.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut tenants: BTreeMap<String, TenantTelemetry> = BTreeMap::new();
+        for (name, acc) in &self.tenants {
+            tenants.insert(
+                name.clone(),
+                TenantTelemetry {
+                    weight: if acc.weight > 0.0 { acc.weight } else { 1.0 },
+                    queued: 0,
+                    running: 0,
+                    completed: acc.completed,
+                    degraded: acc.degraded,
+                    rejected: acc.rejected,
+                    alloc_w: 0.0,
+                    fair_share_w: 0.0,
+                    queue_wait: Digest::from(&acc.wait),
+                    turnaround: Digest::from(&acc.turnaround),
+                },
+            );
+        }
+        for job in &self.queued {
+            if let Some(tenant) = self.job_tenant.get(job) {
+                if let Some(t) = tenants.get_mut(tenant) {
+                    t.queued += 1;
+                }
+            }
+        }
+        for (job, &alloc) in &self.running {
+            if let Some(tenant) = self.job_tenant.get(job) {
+                if let Some(t) = tenants.get_mut(tenant) {
+                    t.running += 1;
+                    t.alloc_w += alloc;
+                }
+            }
+        }
+        let mut snap = TelemetrySnapshot {
+            now_s: self.now_s,
+            budget_w: self.budget_w,
+            // `+ 0.0` turns the empty sum's `-0.0` into plain `0`.
+            allocated_w: self.running.values().sum::<f64>() + 0.0,
+            submitted: self.submitted,
+            queued: self.queued.len() as u64,
+            running: self.running.len() as u64,
+            completed: self.completed,
+            rejected: self.rejected,
+            degraded: self.degraded,
+            queue_wait: Digest::from(&self.wait),
+            turnaround: Digest::from(&self.turnaround),
+            realloc_churn_w: Digest::from(&self.churn),
+            tenants,
+            events: self.events.iter().cloned().collect(),
+        };
+        snap.compute_fair_shares();
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcs_trace::JobAllocation;
+
+    fn rec(seq: u64, t_s: f64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { schema: arcs_trace::SCHEMA_VERSION, seq, t_s: Some(t_s), event }
+    }
+
+    #[test]
+    fn replay_reconstructs_waits_allocations_and_fair_shares() {
+        let mut tt = TraceTelemetry::new();
+        let events = vec![
+            rec(
+                0,
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tenant: "acme".into(),
+                    workload: "sp.S".into(),
+                    floor_w: 57.5,
+                    weight: 2.0,
+                },
+            ),
+            rec(
+                1,
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    tenant: "umbrella".into(),
+                    workload: "sp.S".into(),
+                    floor_w: 57.5,
+                    weight: 0.0, // pre-v7 trace: unknown weight reads as 1
+                },
+            ),
+            rec(
+                2,
+                0.0,
+                TraceEvent::JobScheduled { job: 0, tenant: "acme".into(), node: 0, cap_w: 57.5 },
+            ),
+            rec(
+                3,
+                0.0,
+                TraceEvent::CapReallocated {
+                    reason: "scheduled".into(),
+                    budget_w: 300.0,
+                    total_w: 230.0,
+                    allocations: vec![JobAllocation { job: 0, node: 0, cap_w: 230.0 }],
+                },
+            ),
+            rec(
+                4,
+                2.5,
+                TraceEvent::JobScheduled {
+                    job: 1,
+                    tenant: "umbrella".into(),
+                    node: 1,
+                    cap_w: 57.5,
+                },
+            ),
+            rec(
+                5,
+                2.5,
+                TraceEvent::CapReallocated {
+                    reason: "scheduled".into(),
+                    budget_w: 300.0,
+                    total_w: 297.5,
+                    allocations: vec![
+                        JobAllocation { job: 0, node: 0, cap_w: 180.0 },
+                        JobAllocation { job: 1, node: 1, cap_w: 117.5 },
+                    ],
+                },
+            ),
+            rec(
+                6,
+                9.0,
+                TraceEvent::JobCompleted {
+                    job: 0,
+                    tenant: "acme".into(),
+                    node: 0,
+                    status: "ok".into(),
+                    time_s: 9.0,
+                    energy_j: 800.0,
+                },
+            ),
+        ];
+        for e in &events {
+            tt.consume(e);
+        }
+        let snap = tt.snapshot();
+        assert_eq!((snap.submitted, snap.running, snap.completed), (2, 1, 1));
+        assert_eq!(snap.budget_w, 300.0);
+        assert_eq!(snap.allocated_w, 117.5);
+        assert!(snap.allocated_w <= snap.budget_w);
+        // Job 1 waited 2.5 virtual seconds; job 0 was placed instantly.
+        assert_eq!(snap.queue_wait.count, 2);
+        assert!(snap.queue_wait.max >= 2.5 / 2f64.powf(1.0 / 8.0));
+        assert_eq!(snap.turnaround.count, 1);
+        // Churn: 57.5→230 (+172.5), then |180−230| + |117.5−57.5| = 110.
+        assert_eq!(snap.realloc_churn_w.count, 2);
+        let acme = &snap.tenants["acme"];
+        let umbrella = &snap.tenants["umbrella"];
+        assert_eq!(acme.weight, 2.0);
+        assert_eq!(umbrella.weight, 1.0, "weight 0 in old traces reads as 1");
+        assert_eq!(acme.completed, 1);
+        assert_eq!(umbrella.running, 1);
+        assert_eq!(umbrella.alloc_w, 117.5);
+        // Only umbrella is running, so it owns the whole fair share.
+        assert_eq!(umbrella.fair_share_w, 300.0);
+        assert_eq!(acme.fair_share_w, 0.0);
+        assert!(snap.events.iter().any(|l| l.contains("completed ok")));
+
+        // Replay is a pure function: same records, byte-identical frame.
+        let mut again = TraceTelemetry::new();
+        for e in &events {
+            again.consume(e);
+        }
+        assert_eq!(
+            serde_json::to_string(&snap).unwrap(),
+            serde_json::to_string(&again.snapshot()).unwrap()
+        );
+    }
+
+    #[test]
+    fn event_pane_is_bounded() {
+        let mut pane = VecDeque::new();
+        for i in 0..(EVENT_PANE + 10) {
+            push_event(&mut pane, format!("line {i}"));
+        }
+        assert_eq!(pane.len(), EVENT_PANE);
+        assert_eq!(pane.front().unwrap(), "line 10");
+    }
+}

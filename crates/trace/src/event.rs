@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// 1 up to this one (new fields carry serde defaults) and refuse newer or
 /// nonsensical versions instead of silently misreading them (see
 /// [`crate::validate_jsonl`]).
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// One running job's share of the global power budget, as carried by
 /// [`TraceEvent::CapReallocated`] (v5). `cap_w` is the *node-level*
@@ -138,8 +138,17 @@ pub enum TraceEvent {
     TunerDegraded { region: String, threads: usize, schedule: String },
     /// A tenant's tuning job entered the broker (v5). `floor_w` is the
     /// lowest node-level cap the job can run under — the unit admission
-    /// control reasons about.
-    JobSubmitted { job: u64, tenant: String, workload: String, floor_w: f64 },
+    /// control reasons about. `weight` (v7) is the tenant's fair-share
+    /// weight; 0 in older traces means "unknown" and readers treat it
+    /// as 1.
+    JobSubmitted {
+        job: u64,
+        tenant: String,
+        workload: String,
+        floor_w: f64,
+        #[serde(default)]
+        weight: f64,
+    },
     /// Admission control refused a job (v5): no budget (or node) could
     /// ever cover its floor cap. Rejected jobs never schedule.
     JobRejected { job: u64, tenant: String, floor_w: f64, reason: String },
@@ -164,6 +173,22 @@ pub enum TraceEvent {
     /// status rendering (`ok`/`degraded`); `time_s`/`energy_j` are the
     /// job's own run totals.
     JobCompleted { job: u64, tenant: String, node: u64, status: String, time_s: f64, energy_j: f64 },
+    /// End-of-run wall-clock self-profile of the run driver (v7): where
+    /// the tool's own time went while driving `invocations` region
+    /// invocations. Emitted only when the driver runs with self-profiling
+    /// enabled — the spans are real elapsed times, so they vary run to
+    /// run and deliberately stay out of deterministic traces. `tune_s`
+    /// covers tuner begin/measured-end bookkeeping, `measure_s` the
+    /// backend's region execution, `overhead_s` the §III-C overhead
+    /// charging, `meter_s` energy-meter reads.
+    DriverPhases {
+        workload: String,
+        invocations: u64,
+        tune_s: f64,
+        measure_s: f64,
+        overhead_s: f64,
+        meter_s: f64,
+    },
 }
 
 impl TraceEvent {
@@ -189,6 +214,7 @@ impl TraceEvent {
             TraceEvent::JobScheduled { .. } => "JobScheduled",
             TraceEvent::CapReallocated { .. } => "CapReallocated",
             TraceEvent::JobCompleted { .. } => "JobCompleted",
+            TraceEvent::DriverPhases { .. } => "DriverPhases",
         }
     }
 }

@@ -143,6 +143,7 @@ mod tests {
                 tenant: "acme".into(),
                 workload: "sp.W".into(),
                 floor_w: 57.5,
+                weight: 2.0,
             },
             TraceEvent::JobRejected {
                 job: 8,
@@ -167,6 +168,14 @@ mod tests {
                 status: "ok".into(),
                 time_s: 12.5,
                 energy_j: 1400.0,
+            },
+            TraceEvent::DriverPhases {
+                workload: "sp.W".into(),
+                invocations: 20,
+                tune_s: 0.002,
+                measure_s: 0.011,
+                overhead_s: 0.0004,
+                meter_s: 0.0001,
             },
         ]
     }
@@ -267,6 +276,44 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_sink_surfaces_write_errors_without_being_consumed() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        struct FailingWriter;
+        impl std::io::Write for FailingWriter {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+
+        let sink = JsonlSink::new(FailingWriter);
+        let bridged = Arc::new(AtomicU64::new(0));
+        sink.set_write_error_counter(Arc::clone(&bridged));
+        assert_eq!(sink.last_error(), None, "healthy until a write actually fails");
+
+        // Enough records to overflow the BufWriter and hit the failing
+        // writer on the record path itself.
+        for i in 0..300 {
+            sink.record(Some(i as f64), TraceEvent::CacheHit { region: "r".into() });
+        }
+        let msg = sink.last_error().expect("the first failure is retained");
+        assert!(msg.contains("disk on fire"), "{msg}");
+        let dropped = sink.write_errors();
+        assert!(dropped > 0, "the failing record and later drops are counted");
+        assert_eq!(bridged.load(Ordering::Relaxed), dropped, "bridge mirrors the count");
+
+        // flush() returns the typed error exactly once; last_error stays
+        // readable afterwards for monitoring paths.
+        assert!(sink.flush().is_err());
+        assert!(sink.last_error().is_some());
+        let _ = sink.into_inner();
+    }
+
+    #[test]
     fn chrome_export_is_a_json_array_of_complete_events() {
         let sink = VecSink::new();
         sink.record(Some(0.0), TraceEvent::CapChange { requested_w: 80.0, effective_w: 80.0 });
@@ -305,8 +352,11 @@ mod tests {
         // MeasurementRejected, TunerDegraded. v4 → v5: five additive
         // broker variants — JobSubmitted, JobRejected, JobScheduled,
         // CapReallocated, JobCompleted. v5 → v6: one additive cache
-        // variant — CacheStats, the end-of-run memo-cache snapshot.)
-        assert_eq!(SCHEMA_VERSION, 6);
+        // variant — CacheStats, the end-of-run memo-cache snapshot.
+        // v6 → v7: JobSubmitted gained `weight` and one additive
+        // self-profile variant — DriverPhases, the driver's wall-clock
+        // phase spans.)
+        assert_eq!(SCHEMA_VERSION, 7);
         let record = TraceRecord {
             schema: SCHEMA_VERSION,
             seq: 3,
@@ -314,6 +364,6 @@ mod tests {
             event: TraceEvent::CacheHit { region: "r".into() },
         };
         let json = serde_json::to_string(&record).unwrap();
-        assert_eq!(json, r#"{"schema":6,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
+        assert_eq!(json, r#"{"schema":7,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
     }
 }

@@ -97,6 +97,31 @@ struct JsonlState<W: Write + Send> {
     error: Option<io::Error>,
 }
 
+#[derive(Default)]
+struct JsonlErrors {
+    /// Records dropped because of a write/serialize failure (the failing
+    /// record itself included). Mirrored into `bridge` when set.
+    dropped: AtomicU64,
+    /// Rendered message of the first failure; unlike the `io::Error` in
+    /// [`JsonlState`], never consumed — `last_error` stays readable after
+    /// `flush` took the typed error.
+    message: Mutex<Option<String>>,
+    /// An externally owned cell to mirror the drop count into — the
+    /// `arcs/trace/write_errors` registry counter, bridged as a raw
+    /// `Arc<AtomicU64>` because `arcs-trace` sits below `arcs-metrics`
+    /// in the dependency order.
+    bridge: Mutex<Option<std::sync::Arc<AtomicU64>>>,
+}
+
+impl JsonlErrors {
+    fn count_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(cell) = self.bridge.lock().as_ref() {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A buffered line-per-record JSON sink. Records are written as they
 /// arrive, one [`TraceRecord`] per line — the format
 /// [`crate::validate_jsonl`] checks.
@@ -116,6 +141,7 @@ pub struct JsonlSink<W: Write + Send> {
     /// writer (so `Drop` has nothing left to flush).
     state: Mutex<Option<JsonlState<W>>>,
     seq: AtomicU64,
+    errors: JsonlErrors,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
@@ -123,6 +149,7 @@ impl<W: Write + Send> JsonlSink<W> {
         JsonlSink {
             state: Mutex::new(Some(JsonlState { out: io::BufWriter::new(writer), error: None })),
             seq: AtomicU64::new(0),
+            errors: JsonlErrors::default(),
         }
     }
 
@@ -133,7 +160,32 @@ impl<W: Write + Send> JsonlSink<W> {
         if let Some(e) = st.error.take() {
             return Err(e);
         }
-        st.out.flush()
+        st.out.flush().inspect_err(|e| {
+            *self.errors.message.lock() = Some(e.to_string());
+            self.errors.count_drop();
+        })
+    }
+
+    /// The first write/serialize failure, rendered — `None` while the
+    /// sink is healthy. Unlike [`flush`](JsonlSink::flush), reading this
+    /// does not consume the typed error, so a monitoring path can poll it
+    /// while the owning path still collects the `io::Error`.
+    pub fn last_error(&self) -> Option<String> {
+        self.errors.message.lock().clone()
+    }
+
+    /// Records dropped because the sink is in the failed state (the
+    /// record that hit the first failure included).
+    pub fn write_errors(&self) -> u64 {
+        self.errors.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Mirror the dropped-record count into an external cell — pass
+    /// `registry.counter("arcs/trace/write_errors").shared()` so a dying
+    /// trace file surfaces in metrics snapshots, not just on stderr.
+    pub fn set_write_error_counter(&self, cell: std::sync::Arc<AtomicU64>) {
+        cell.fetch_add(self.errors.dropped.load(Ordering::Relaxed), Ordering::Relaxed);
+        *self.errors.bridge.lock() = Some(cell);
     }
 
     /// Flush and recover the underlying writer.
@@ -179,17 +231,18 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
             return;
         };
         if st.error.is_some() {
+            self.errors.count_drop();
             return;
         }
-        match serde_json::to_string(&record) {
-            Ok(line) => {
-                if let Err(e) = writeln!(st.out, "{line}") {
-                    st.error = Some(e);
-                }
-            }
-            Err(e) => {
-                st.error = Some(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
-            }
-        }
+        let failure = match serde_json::to_string(&record) {
+            Ok(line) => match writeln!(st.out, "{line}") {
+                Ok(()) => return,
+                Err(e) => e,
+            },
+            Err(e) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        };
+        *self.errors.message.lock() = Some(failure.to_string());
+        st.error = Some(failure);
+        self.errors.count_drop();
     }
 }
