@@ -102,6 +102,21 @@ cargo run --release -q -p arcs-bench --bin arcs-sim -- \
     --fail-on 0 --fail-on-throughput 30 --out results/bench_hotpath.json
 test -s results/bench_hotpath.json
 
+# Scheduling-policy portfolio cell: on the Monte-Carlo workload the
+# adaptive ladder must actually fire and land between the fixed-policy
+# extremes (--check exits nonzero unless adaptive switched, is within 10%
+# of the best fixed policy, and beats the worst by ≥10%) — and the ladder
+# decisions are deterministic, so two same-spec adaptive traces must be
+# byte-identical.
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    schedule --workload mc.B --cap 115 --check \
+    --out "$trace_tmp/sched_a.jsonl" | tee "$trace_tmp/sched.txt"
+grep -q "mc/cycle_tracking: static -> trapezoid" "$trace_tmp/sched.txt"
+cargo run --release -q -p arcs-bench --bin arcs-sim -- \
+    schedule --workload mc.B --cap 115 \
+    --out "$trace_tmp/sched_b.jsonl" > /dev/null
+cmp "$trace_tmp/sched_a.jsonl" "$trace_tmp/sched_b.jsonl"
+
 # Chaos smoke: the paper-facing fault scenario (ARCS-Online LULESH at
 # 60 W under flaky-rapl) must self-heal and complete (--check exits
 # nonzero if no fault fired), and the fault schedule is part of the

@@ -37,7 +37,9 @@ pub mod policy;
 pub mod profile;
 
 pub use introspection::{sample_monitors, GaugeMonitor, Monitor, ProcessMonitor};
-pub use policy::{PolicyEngine, PolicyEvent, PolicyEventKind, PolicyTrigger};
+pub use policy::{
+    AdaptiveLadder, ArmSwitch, PolicyEngine, PolicyEvent, PolicyEventKind, PolicyTrigger,
+};
 pub use profile::Profile;
 
 use parking_lot::Mutex;

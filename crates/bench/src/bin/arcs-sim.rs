@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! arcs-sim <app> [options]
-//!   <app>                bt | sp | lulesh
-//!   --class S|W|A|B|C    NPB class (bt/sp; default B)
+//!   <app>                bt | sp | lulesh | mc
+//!   --class S|W|A|B|C    NPB class (bt/sp/mc; default B)
 //!   --mesh N             LULESH edge elements (default 45)
 //!   --machine crill|minotaur   (default crill)
 //!   --machine-file PATH  load a custom machine JSON (see Machine::to_json)
@@ -16,7 +16,7 @@
 //!   --json               emit the full AppRunReport as JSON
 //!
 //! arcs-sim trace [options]      structured event trace of one run
-//!   --workload APP[.CLASS]      bt | sp | lulesh, NPB class suffix (default sp.B)
+//!   --workload APP[.CLASS]      bt | sp | lulesh | mc, class suffix (default sp.B)
 //!   --cap WATTS                 package power cap (default TDP)
 //!   --strategy nelder-mead|pro|exhaustive|default   (default nelder-mead)
 //!   --objective time|energy|edp score the run by this objective (default time)
@@ -28,8 +28,22 @@
 //!   --self-profile              emit a DriverPhases span summary into the
 //!                               trace so `report` prints a self-profile
 //!
+//! arcs-sim schedule [options]   scheduling-policy portfolio bake-off
+//!   --workload APP[.CLASS]      bt | sp | lulesh | mc (default mc.B)
+//!   --machine crill|minotaur    (default crill)
+//!   --cap WATTS                 package power cap (default TDP)
+//!   --threads N                 thread count for the fixed-policy runs
+//!                               (default: all hardware threads)
+//!   --timesteps N               override the workload's step count
+//!   --out PATH                  write the adaptive run's trace JSONL here
+//!   --json                      emit the bake-off artifact as JSON
+//!   --check                     exit nonzero unless the adaptive run
+//!                               switched at least once, landed within 10%
+//!                               of the best fixed policy, and beat the
+//!                               worst fixed policy by ≥10%
+//!
 //! arcs-sim chaos [options]      run a workload under a named fault plan
-//!   --workload APP[.CLASS]      bt | sp | lulesh (default lulesh)
+//!   --workload APP[.CLASS]      bt | sp | lulesh | mc (default lulesh)
 //!   --machine crill|minotaur    (default crill)
 //!   --cap WATTS                 package power cap (default TDP)
 //!   --plan NAME                 flaky-rapl | rapl-outage | cap-storm
@@ -110,7 +124,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: arcs-sim <bt|sp|lulesh> [--class S|W|A|B|C] [--mesh N] \
+        "usage: arcs-sim <bt|sp|lulesh|mc> [--class S|W|A|B|C] [--mesh N] \
          [--machine crill|minotaur] [--machine-file PATH] [--cap WATTS] \
          [--strategy default|online|offline|offline-pro] [--timesteps N] \
          [--selective SECONDS] [--save-history PATH] [--load-history PATH] [--json]"
@@ -121,7 +135,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut argv = std::env::args().skip(1);
     let Some(app) = argv.next() else { usage() };
-    if !["bt", "sp", "lulesh"].contains(&app.as_str()) {
+    if !["bt", "sp", "lulesh", "mc"].contains(&app.as_str()) {
         usage();
     }
     let mut args = Args {
@@ -204,12 +218,34 @@ fn workload(args: &Args) -> WorkloadDescriptor {
     let mut wl = match args.app.as_str() {
         "bt" => model::bt(args.class),
         "sp" => model::sp(args.class),
+        "mc" => model::mc(args.class),
         _ => model::lulesh(args.mesh),
     };
     if let Some(t) = args.timesteps {
         wl.timesteps = t;
     }
     wl
+}
+
+/// Parse an `APP[.CLASS]` workload spec (class defaults to B); the shared
+/// parser behind the `trace`, `chaos` and `schedule` subcommands.
+fn workload_from_spec(spec: &str) -> Result<WorkloadDescriptor, String> {
+    let (app, class) = spec.split_once('.').unwrap_or((spec, "B"));
+    let class = match class {
+        "S" => Class::S,
+        "W" => Class::W,
+        "A" => Class::A,
+        "B" => Class::B,
+        "C" => Class::C,
+        other => return Err(format!("unknown class {other}")),
+    };
+    Ok(match app {
+        "bt" => model::bt(class),
+        "sp" => model::sp(class),
+        "lulesh" => model::lulesh(45),
+        "mc" => model::mc(class),
+        other => return Err(format!("unknown workload {other}")),
+    })
 }
 
 fn trace_usage() -> ! {
@@ -278,27 +314,10 @@ fn trace_main(argv: &[String]) {
         }
     }
 
-    let (app, class) = workload_spec.split_once('.').unwrap_or((workload_spec.as_str(), "B"));
-    let class = match class {
-        "S" => Class::S,
-        "W" => Class::W,
-        "A" => Class::A,
-        "B" => Class::B,
-        "C" => Class::C,
-        other => {
-            eprintln!("unknown class {other}");
-            trace_usage()
-        }
-    };
-    let mut wl = match app {
-        "bt" => model::bt(class),
-        "sp" => model::sp(class),
-        "lulesh" => model::lulesh(45),
-        other => {
-            eprintln!("unknown workload {other}");
-            trace_usage()
-        }
-    };
+    let mut wl = workload_from_spec(&workload_spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        trace_usage()
+    });
     if let Some(t) = timesteps {
         wl.timesteps = t;
     }
@@ -413,6 +432,260 @@ fn trace_main(argv: &[String]) {
     }
 }
 
+fn schedule_usage() -> ! {
+    eprintln!(
+        "usage: arcs-sim schedule [--workload APP[.CLASS]] [--machine crill|minotaur] \
+         [--cap WATTS] [--threads N] [--timesteps N] [--out PATH] [--json] [--check]"
+    );
+    exit(2)
+}
+
+/// `arcs-sim schedule`: the scheduling-policy portfolio bake-off. Runs
+/// the workload once per fixed policy in [`arcs_omprt::ScheduleKind::ALL`]
+/// (Table-I order, default chunk), then once from the default configuration
+/// with [`arcs::Runner::adaptive_schedule`] switching mid-run, and prints one row
+/// per run plus every ladder decision. The adaptive trace (`--out`) is
+/// deterministic, so CI byte-compares two same-spec runs; `--check`
+/// gates the adaptive result against the fixed portfolio.
+fn schedule_main(argv: &[String]) {
+    use arcs_omprt::{Schedule, ScheduleKind};
+
+    let mut workload_spec = "mc.B".to_string();
+    let mut machine = Machine::crill();
+    let mut cap: Option<f64> = None;
+    let mut threads: Option<usize> = None;
+    let mut timesteps: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut json = false;
+    let mut check = false;
+
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                schedule_usage()
+            })
+        };
+        match flag.as_str() {
+            "--workload" => workload_spec = value("--workload"),
+            "--machine" => {
+                machine = match value("--machine").as_str() {
+                    "crill" => Machine::crill(),
+                    "minotaur" => Machine::minotaur(),
+                    other => {
+                        eprintln!("unknown machine {other}");
+                        schedule_usage()
+                    }
+                }
+            }
+            "--cap" => cap = Some(value("--cap").parse().unwrap_or_else(|_| schedule_usage())),
+            "--threads" => {
+                threads = Some(value("--threads").parse().unwrap_or_else(|_| schedule_usage()))
+            }
+            "--timesteps" => {
+                timesteps = Some(value("--timesteps").parse().unwrap_or_else(|_| schedule_usage()))
+            }
+            "--out" => out = Some(value("--out").into()),
+            "--json" => json = true,
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                schedule_usage()
+            }
+        }
+    }
+
+    let mut wl = workload_from_spec(&workload_spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        schedule_usage()
+    });
+    if let Some(t) = timesteps {
+        wl.timesteps = t;
+    }
+    let cap = cap.unwrap_or(machine.power.tdp_w);
+    let threads = threads.unwrap_or_else(|| machine.hw_threads());
+
+    let fixed: Vec<(ScheduleKind, arcs::AppRunReport)> = ScheduleKind::ALL
+        .iter()
+        .map(|&kind| {
+            let cfg = OmpConfig { threads, schedule: Schedule::new(kind, None) };
+            let rep = Runner::new(&mut SimExecutor::new(machine.clone(), cap))
+                .workload(&wl)
+                .fixed(move |_| cfg, kind.name())
+                .run()
+                .unwrap_or_else(|e| {
+                    eprintln!("fixed {} run failed: {e}", kind.name());
+                    exit(1)
+                });
+            (kind, rep)
+        })
+        .collect();
+
+    let sink = Arc::new(VecSink::new());
+    let mut exec = SimExecutor::new(machine.clone(), cap).with_trace(sink.clone());
+    let adaptive = Runner::new(&mut exec)
+        .workload(&wl)
+        .adaptive_schedule(true)
+        .label("adaptive")
+        .run()
+        .unwrap_or_else(|e| {
+            eprintln!("adaptive run failed: {e}");
+            exit(1)
+        });
+    let records = sink.drain();
+    let switches: Vec<(String, String, String, u64, f64)> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::PolicySwitched { region, from, to, invocation, imbalance } => {
+                Some((region.clone(), from.clone(), to.clone(), *invocation, *imbalance))
+            }
+            _ => None,
+        })
+        .collect();
+
+    let edp = |rep: &arcs::AppRunReport| rep.energy_j * rep.time_s;
+    if json {
+        let artifact = ScheduleArtifact {
+            workload: wl.name.clone(),
+            machine: machine.name.clone(),
+            cap_w: cap,
+            threads,
+            fixed: fixed
+                .iter()
+                .map(|(k, rep)| SchedulePoint {
+                    policy: k.name().to_string(),
+                    time_s: rep.time_s,
+                    energy_j: rep.energy_j,
+                    edp: edp(rep),
+                })
+                .collect(),
+            adaptive: AdaptivePoint {
+                time_s: adaptive.time_s,
+                energy_j: adaptive.energy_j,
+                edp: edp(&adaptive),
+                config_change_overhead_s: adaptive.config_change_overhead_s,
+                switches: switches
+                    .iter()
+                    .map(|(region, from, to, invocation, imbalance)| ScheduleSwitch {
+                        region: region.clone(),
+                        from: from.clone(),
+                        to: to.clone(),
+                        invocation: *invocation,
+                        imbalance: *imbalance,
+                    })
+                    .collect(),
+            },
+        };
+        println!("{}", serde_json::to_string_pretty(&artifact).expect("artifact serialises"));
+    } else {
+        println!(
+            "schedule portfolio: {} on {} at {cap:.0}W, {threads} threads",
+            wl.name, machine.name
+        );
+        for (kind, rep) in &fixed {
+            println!(
+                "  {:10} {:9.3}s {:9.0}J  edp {:11.1}",
+                kind.name(),
+                rep.time_s,
+                rep.energy_j,
+                edp(rep)
+            );
+        }
+        println!(
+            "  {:10} {:9.3}s {:9.0}J  edp {:11.1}  ({} switch(es), {:.3}s overhead)",
+            "adaptive",
+            adaptive.time_s,
+            adaptive.energy_j,
+            edp(&adaptive),
+            switches.len(),
+            adaptive.config_change_overhead_s
+        );
+        for (region, from, to, inv, imb) in &switches {
+            println!("    {region}: {from} -> {to} at invocation {inv} (imbalance {imb:.3})");
+        }
+    }
+
+    if let Some(path) = &out {
+        let jsonl = to_jsonl(&records).unwrap_or_else(|e| {
+            eprintln!("cannot serialise trace: {e}");
+            exit(1)
+        });
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("cannot write {path:?}: {e}");
+            exit(1)
+        }
+        eprintln!("{} adaptive trace records written to {path:?}", records.len());
+    }
+
+    if check {
+        let best = fixed.iter().map(|(_, r)| r.time_s).fold(f64::INFINITY, f64::min);
+        let worst = fixed.iter().map(|(_, r)| r.time_s).fold(0.0, f64::max);
+        if switches.is_empty() {
+            eprintln!("schedule CHECK FAILED: the adaptive ladder never switched");
+            exit(1)
+        }
+        if adaptive.time_s > best * 1.10 {
+            eprintln!(
+                "schedule CHECK FAILED: adaptive {:.3}s misses best fixed {best:.3}s by >10%",
+                adaptive.time_s
+            );
+            exit(1)
+        }
+        if adaptive.time_s > worst * 0.90 {
+            eprintln!(
+                "schedule CHECK FAILED: adaptive {:.3}s within 10% of worst fixed {worst:.3}s",
+                adaptive.time_s
+            );
+            exit(1)
+        }
+        eprintln!(
+            "schedule OK: adaptive {:.3}s vs fixed best {best:.3}s / worst {worst:.3}s, \
+             {} switch(es)",
+            adaptive.time_s,
+            switches.len()
+        );
+    }
+}
+
+/// The `schedule --json` artifact: one row per fixed policy plus the
+/// adaptive run with its ladder decisions.
+#[derive(Serialize)]
+struct ScheduleArtifact {
+    workload: String,
+    machine: String,
+    cap_w: f64,
+    threads: usize,
+    fixed: Vec<SchedulePoint>,
+    adaptive: AdaptivePoint,
+}
+
+#[derive(Serialize)]
+struct SchedulePoint {
+    policy: String,
+    time_s: f64,
+    energy_j: f64,
+    edp: f64,
+}
+
+#[derive(Serialize)]
+struct AdaptivePoint {
+    time_s: f64,
+    energy_j: f64,
+    edp: f64,
+    config_change_overhead_s: f64,
+    switches: Vec<ScheduleSwitch>,
+}
+
+#[derive(Serialize)]
+struct ScheduleSwitch {
+    region: String,
+    from: String,
+    to: String,
+    invocation: u64,
+    imbalance: f64,
+}
+
 fn chaos_usage() -> ! {
     eprintln!(
         "usage: arcs-sim chaos [--workload APP[.CLASS]] [--machine crill|minotaur] \
@@ -480,27 +753,10 @@ fn chaos_main(argv: &[String]) {
         }
     }
 
-    let (app, class) = workload_spec.split_once('.').unwrap_or((workload_spec.as_str(), "B"));
-    let class = match class {
-        "S" => Class::S,
-        "W" => Class::W,
-        "A" => Class::A,
-        "B" => Class::B,
-        "C" => Class::C,
-        other => {
-            eprintln!("unknown class {other}");
-            chaos_usage()
-        }
-    };
-    let mut wl = match app {
-        "bt" => model::bt(class),
-        "sp" => model::sp(class),
-        "lulesh" => model::lulesh(45),
-        other => {
-            eprintln!("unknown workload {other}");
-            chaos_usage()
-        }
-    };
+    let mut wl = workload_from_spec(&workload_spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        chaos_usage()
+    });
     if let Some(t) = timesteps {
         wl.timesteps = t;
     }
@@ -968,6 +1224,11 @@ fn main() {
     if first.as_deref() == Some("trace") {
         let argv: Vec<String> = std::env::args().skip(2).collect();
         trace_main(&argv);
+        return;
+    }
+    if first.as_deref() == Some("schedule") {
+        let argv: Vec<String> = std::env::args().skip(2).collect();
+        schedule_main(&argv);
         return;
     }
     if first.as_deref() == Some("chaos") {

@@ -3,7 +3,7 @@
 //! the full chain (application → runtime → OMPT → APEX timers → policy
 //! engine → Active Harmony session → runtime knobs) and asserts every hop
 //! fired, then prints the verified diagram.
-use arcs::{ArcsLive, ChunkChoice, ConfigSpace, ScheduleChoice, ThreadChoice, TunerOptions};
+use arcs::{ArcsLive, ChunkChoice, ConfigSpace, ThreadChoice, TunerOptions};
 use arcs_bench::preamble;
 use arcs_omprt::{Runtime, ScheduleKind};
 use std::sync::Arc;
@@ -14,11 +14,9 @@ fn main() {
     let rt = Arc::new(Runtime::new(2));
     let space = ConfigSpace {
         threads: vec![ThreadChoice::Count(1), ThreadChoice::Default],
-        schedules: vec![
-            ScheduleChoice::Kind(ScheduleKind::Dynamic),
-            ScheduleChoice::Kind(ScheduleKind::Static),
-            ScheduleChoice::Default,
-        ],
+        // Schedule axis from the centralized portfolio listing (first two
+        // classic families — the 2-thread demo pool keeps the space tiny).
+        schedules: ConfigSpace::schedule_choices(&ScheduleKind::CLASSIC[..2]),
         chunks: vec![ChunkChoice::Size(8), ChunkChoice::Default],
         default_threads: 2,
     };

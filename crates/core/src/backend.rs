@@ -44,8 +44,10 @@ use crate::report::{AppRunReport, FaultRecovery, RegionSummary, RunStatus};
 use crate::resilience::ResilienceOptions;
 use crate::tunable::TunedConfig;
 use crate::tuner::{RegionTuner, TunerOptions, TuningMode};
+use arcs_apex::{AdaptiveLadder, Apex, ArmSwitch};
 use arcs_harmony::History;
 use arcs_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use arcs_omprt::{Schedule, ScheduleKind};
 use arcs_powersim::{
     CacheBindError, FaultPlan, FxBuildHasher, Machine, MeasureError, RegionModel, SharedSimCache,
     WorkloadDescriptor,
@@ -282,6 +284,7 @@ pub struct Runner<'a, B: Backend> {
     cap: Option<CapHandle>,
     resilience: Option<ResilienceOptions>,
     self_profile: bool,
+    adaptive_schedule: bool,
 }
 
 impl<'a, B: Backend> Runner<'a, B> {
@@ -299,6 +302,7 @@ impl<'a, B: Backend> Runner<'a, B> {
             cap: None,
             resilience: None,
             self_profile: false,
+            adaptive_schedule: false,
         }
     }
 
@@ -402,6 +406,23 @@ impl<'a, B: Backend> Runner<'a, B> {
         self
     }
 
+    /// Adapt each region's chunk policy *within* the run: a deterministic
+    /// APEX policy (`adaptive-schedule`, an [`AdaptiveLadder`]) watches
+    /// the per-invocation imbalance signal `barrier/(busy+barrier)` and,
+    /// when its EWMA persists above threshold, escalates the region one
+    /// rung up the portfolio ladder — configured policy → trapezoid →
+    /// factoring → awf — starting from the next invocation. Each knob
+    /// move fires the usual `ConfigSwitch` + §III-C config-change
+    /// overhead, plus a [`TraceEvent::PolicySwitched`] record explaining
+    /// the decision. Applies to the `Default` and `Fixed` strategies;
+    /// tuner runs already adapt through the search and ignore the flag.
+    /// Decisions are pure functions of the (deterministic) imbalance
+    /// stream, so same-seed adaptive runs remain byte-reproducible.
+    pub fn adaptive_schedule(mut self, on: bool) -> Self {
+        self.adaptive_schedule = on;
+        self
+    }
+
     /// Run under an externally-owned cap: the handle's current value
     /// replaces the backend's cap at run start, and every later
     /// [`CapHandle::set`] — from a broker reallocation, another thread,
@@ -447,6 +468,7 @@ impl<'a, B: Backend> Runner<'a, B> {
                     self.objective.unwrap_or_default(),
                     self.resilience,
                     self.self_profile,
+                    self.adaptive_schedule,
                 )
             }
             RunnerStrategy::Fixed { config_for, label } => {
@@ -459,6 +481,7 @@ impl<'a, B: Backend> Runner<'a, B> {
                     self.objective.unwrap_or_default(),
                     self.resilience,
                     self.self_profile,
+                    self.adaptive_schedule,
                 )
             }
             RunnerStrategy::Tuner(tuner) => {
@@ -598,6 +621,51 @@ impl Meter {
     }
 }
 
+/// The intra-run adaptive scheduler's driver-side state: a private APEX
+/// instance carrying per-region *imbalance* profiles, the
+/// [`AdaptiveLadder`] registered on it as the `adaptive-schedule` policy,
+/// the decision queue the policy fills, and the last schedule actually
+/// applied per region (the reference a knob move is detected against).
+struct AdaptiveState {
+    apex: Apex,
+    ladder: Arc<parking_lot::Mutex<AdaptiveLadder>>,
+    decisions: Arc<parking_lot::Mutex<Vec<(String, ArmSwitch)>>>,
+    applied: HashMap<String, Schedule, FxBuildHasher>,
+}
+
+impl AdaptiveState {
+    fn new(sink: Option<&Arc<dyn TraceSink>>) -> Self {
+        let apex = Apex::new();
+        let arms = 1 + ScheduleKind::SELF_SCHEDULING.len();
+        let ladder = Arc::new(parking_lot::Mutex::new(AdaptiveLadder::new(arms)));
+        let decisions = AdaptiveLadder::attach(&apex, Arc::clone(&ladder));
+        if let Some(sink) = sink {
+            // Policy firings (one per invocation) become PolicyFired
+            // records — the APEX hop is visible in the trace, and stays
+            // deterministic because the samples are simulated imbalances.
+            apex.set_trace(Arc::clone(sink));
+        }
+        AdaptiveState { apex, ladder, decisions, applied: Default::default() }
+    }
+
+    /// The schedule arm `arm` of the ladder maps to for a region whose
+    /// configured schedule is `base`: arm 0 is `base` itself, higher arms
+    /// walk [`ScheduleKind::SELF_SCHEDULING`] with `base`'s chunk kept as
+    /// the minimum-chunk parameter.
+    fn rung(base: Schedule, arm: usize) -> Schedule {
+        if arm == 0 {
+            return base;
+        }
+        Schedule::new(ScheduleKind::SELF_SCHEDULING[arm - 1], base.chunk)
+    }
+
+    /// The region's effective schedule at its current ladder arm.
+    fn effective(&self, region: &str, base: Schedule) -> Schedule {
+        Self::rung(base, self.ladder.lock().arm(region))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn drive_fixed<B: Backend>(
     b: &mut B,
     wl: &WorkloadDescriptor,
@@ -606,19 +674,66 @@ fn drive_fixed<B: Backend>(
     objective: Objective,
     res: Option<ResilienceOptions>,
     self_profile: bool,
+    adaptive: bool,
 ) -> Result<AppRunReport, RunError> {
     let mut acc = Accum::new(b, wl, strategy, objective, self_profile);
     let mut meter = Meter::new(res);
+    let mut adaptive = adaptive.then(|| AdaptiveState::new(acc.sink.as_ref()));
     for _ts in 0..wl.timesteps {
         for region in &wl.step {
-            let cfg = TunedConfig::from(config_for(&region.name));
+            let mut cfg = TunedConfig::from(config_for(&region.name));
+            let base_schedule = cfg.omp.schedule;
+            // The adaptive ladder overrides the schedule; a changed knob
+            // pays the same §III-C config-change cost a tuner move does.
+            let mut change_s = 0.0;
+            if let Some(ad) = &mut adaptive {
+                cfg.omp.schedule = ad.effective(&region.name, base_schedule);
+                if let Some(prev) = ad.applied.get(&region.name) {
+                    if *prev != cfg.omp.schedule {
+                        change_s = b.machine().config_change_s;
+                        if let Some(sink) = &acc.sink {
+                            sink.record(
+                                Some(acc.time_s),
+                                TraceEvent::ConfigSwitch {
+                                    region: region.name.clone(),
+                                    threads: cfg.omp.threads,
+                                    schedule: cfg.omp.schedule.to_string(),
+                                },
+                            );
+                        }
+                    }
+                }
+                ad.applied.insert(region.name.clone(), cfg.omp.schedule);
+            }
+            let overhead_j = if change_s > 0.0 {
+                let t0 = acc.span();
+                let e0 = meter.read(b)?;
+                b.charge_overhead(change_s);
+                let j = meter.read(b)? - e0;
+                acc.span_end(t0, Phase::Overhead);
+                j
+            } else {
+                0.0
+            };
             if let Some(sink) = &acc.sink {
+                if change_s > 0.0 {
+                    sink.record(
+                        Some(acc.time_s),
+                        TraceEvent::OverheadCharged {
+                            region: region.name.clone(),
+                            config_change_s: change_s,
+                            instrumentation_s: 0.0,
+                            energy_j: overhead_j,
+                        },
+                    );
+                }
                 sink.record(
-                    Some(acc.time_s),
+                    Some(acc.time_s + change_s),
                     TraceEvent::RegionBegin {
                         region: region.name.clone(),
                         threads: cfg.omp.threads,
                         schedule: cfg.omp.schedule.to_string(),
+                        chunk_policy: cfg.omp.schedule.kind.name().to_string(),
                     },
                 );
             }
@@ -637,7 +752,36 @@ fn drive_fixed<B: Backend>(
             };
             let energy_total_j = meter.read(b)?;
             acc.span_end(t0, Phase::Meter);
-            acc.region(b, &region.name, cfg, &meas, 0.0, 0.0, energy_total_j);
+            acc.region(b, &region.name, cfg, &meas, change_s, 0.0, energy_total_j);
+            if let Some(ad) = &mut adaptive {
+                // Feed the watcher: the imbalance sample rides the APEX
+                // duration field, the policy observes it synchronously,
+                // and any escalation applies from the next invocation.
+                let denom = meas.features.busy_s + meas.features.barrier_s;
+                let imbalance = if denom > 0.0 { meas.features.barrier_s / denom } else { 0.0 };
+                let task = ad.apex.task(&region.name);
+                ad.apex.sample(task, imbalance);
+                for (name, sw) in ad.decisions.lock().drain(..) {
+                    if let Some(sink) = &acc.sink {
+                        sink.record(
+                            Some(acc.time_s),
+                            TraceEvent::PolicySwitched {
+                                region: name,
+                                from: AdaptiveState::rung(base_schedule, sw.from)
+                                    .kind
+                                    .name()
+                                    .to_string(),
+                                to: AdaptiveState::rung(base_schedule, sw.to)
+                                    .kind
+                                    .name()
+                                    .to_string(),
+                                invocation: sw.invocation,
+                                imbalance: sw.imbalance,
+                            },
+                        );
+                    }
+                }
+            }
         }
     }
     acc.finish(b, None, &mut meter)
@@ -711,6 +855,7 @@ fn drive_tuned<B: Backend>(
                         region: region.name.clone(),
                         threads: decision.config.omp.threads,
                         schedule: decision.config.omp.schedule.to_string(),
+                        chunk_policy: decision.config.omp.schedule.kind.name().to_string(),
                     },
                 );
             }

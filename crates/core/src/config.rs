@@ -113,12 +113,7 @@ impl ConfigSpace {
         threads.push(ThreadChoice::Default);
         ConfigSpace {
             threads,
-            schedules: vec![
-                ScheduleChoice::Kind(ScheduleKind::Dynamic),
-                ScheduleChoice::Kind(ScheduleKind::Static),
-                ScheduleChoice::Kind(ScheduleKind::Guided),
-                ScheduleChoice::Default,
-            ],
+            schedules: Self::schedule_choices(&ScheduleKind::CLASSIC),
             chunks: vec![
                 ChunkChoice::Size(1),
                 ChunkChoice::Size(8),
@@ -132,6 +127,27 @@ impl ConfigSpace {
             ],
             default_threads,
         }
+    }
+
+    /// The schedule axis for a list of policy families, `Default` last —
+    /// the single source for the Table-I listing, so figure bins and sweep
+    /// specs pick up new families without per-bin edits.
+    pub fn schedule_choices(kinds: &[ScheduleKind]) -> Vec<ScheduleChoice> {
+        kinds
+            .iter()
+            .map(|&k| ScheduleChoice::Kind(k))
+            .chain(std::iter::once(ScheduleChoice::Default))
+            .collect()
+    }
+
+    /// Widen the schedule axis to the full portfolio: the classic Table I
+    /// families plus the self-scheduling extensions (trapezoid, factoring,
+    /// awf), `Default` still last so [`default_point`](Self::default_point)
+    /// keeps decoding to the paper's baseline. Crill grows 252 → 441
+    /// points; the stock [`crill`](Self::crill) grid is unchanged.
+    pub fn with_portfolio(mut self) -> Self {
+        self.schedules = Self::schedule_choices(&ScheduleKind::ALL);
+        self
     }
 
     /// The Harmony search space: one parameter per knob.
@@ -226,6 +242,23 @@ mod tests {
             let cfg = c.decode(&p);
             assert!(cfg.threads >= 2 && cfg.threads <= 32);
         }
+    }
+
+    #[test]
+    fn portfolio_widens_only_the_schedule_axis() {
+        let c = ConfigSpace::crill().with_portfolio();
+        assert_eq!(c.threads.len(), 7);
+        assert_eq!(c.schedules.len(), 7);
+        assert_eq!(c.chunks.len(), 9);
+        assert_eq!(c.size(), 441);
+        // Default stays last: the search still starts at the baseline.
+        assert_eq!(*c.schedules.last().unwrap(), ScheduleChoice::Default);
+        let m = Machine::crill();
+        assert_eq!(c.decode(&c.default_point()), OmpConfig::default_for(&m));
+        // The new families decode; trapezoid is axis index 3 (Table-I
+        // order first, then the survey extensions).
+        let cfg = c.decode(&[2, 3, 3]);
+        assert_eq!(cfg.schedule, Schedule::trapezoid(32));
     }
 
     #[test]

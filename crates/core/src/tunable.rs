@@ -91,6 +91,14 @@ impl TunableSpace {
         TunableSpace { base, freqs_ghz: freqs }
     }
 
+    /// The widened portfolio space for `machine`: the Table I grid with
+    /// the schedule axis extended to the self-scheduling families
+    /// (trapezoid, factoring, awf), no frequency knob. Opt-in — the stock
+    /// `for_machine` grid stays the paper's 252-point Table I.
+    pub fn with_portfolio(machine: &Machine) -> Self {
+        ConfigSpace::for_machine(machine).with_portfolio().into()
+    }
+
     /// Does this space expose the frequency knob?
     pub fn has_freq_knob(&self) -> bool {
         !self.freqs_ghz.is_empty()
@@ -187,6 +195,24 @@ mod tests {
         // Ladder frequencies stay inside the machine's DVFS range.
         for f in s.freqs_ghz.iter().flatten() {
             assert!(*f >= m.f_min_ghz && *f <= m.f_base_ghz);
+        }
+    }
+
+    #[test]
+    fn portfolio_space_covers_the_new_families() {
+        let m = Machine::crill();
+        let s = TunableSpace::with_portfolio(&m);
+        assert_eq!(s.dim(), 3);
+        assert_eq!(s.size(), 441);
+        assert_eq!(s.decode(&s.default_point()).omp, OmpConfig::default_for(&m));
+        // Every self-scheduling family is reachable from the grid.
+        for kind in arcs_omprt::ScheduleKind::SELF_SCHEDULING {
+            let want = TunedConfig {
+                omp: OmpConfig { threads: 8, schedule: arcs_omprt::Schedule::new(kind, Some(16)) },
+                freq_ghz: None,
+            };
+            let p = s.encode(&want).expect("portfolio configs are encodable");
+            assert_eq!(s.decode(&p), want);
         }
     }
 

@@ -9,7 +9,9 @@
 //! * [`npb::cg`] — sparse conjugate-gradient kernel (irregular, NPB CG shape);
 //! * [`npb::ep`] — embarrassingly-parallel Gaussian pairs (NPB EP shape);
 //! * [`npb::mg`] — multigrid V-cycle Poisson solver (NPB MG shape);
-//! * [`lulesh`] — shock-hydro proxy with LULESH 2.0's named regions.
+//! * [`lulesh`] — shock-hydro proxy with LULESH 2.0's named regions;
+//! * [`quicksilver`] — Monte-Carlo particle transport (Quicksilver shape):
+//!   dynamic front-loaded imbalance, the self-scheduling stress case.
 //!
 //! The solvers carry built-in verification (manufactured-solution
 //! convergence for BT/SP; sanity invariants for LULESH) and are
@@ -26,6 +28,7 @@ pub mod linalg;
 pub mod lulesh;
 pub mod model;
 pub mod npb;
+pub mod quicksilver;
 
 pub use lulesh::Lulesh;
 pub use npb::bt::BtSolver;
@@ -34,3 +37,4 @@ pub use npb::ep::Ep;
 pub use npb::mg::MgSolver;
 pub use npb::sp::SpSolver;
 pub use npb::Class;
+pub use quicksilver::Quicksilver;

@@ -496,6 +496,53 @@ pub fn mg(class: Class) -> WorkloadDescriptor {
     WorkloadDescriptor { name: format!("mg.{}", class.name()), step, timesteps: 20 }
 }
 
+/// Quicksilver-style Monte-Carlo descriptor (see [`crate::quicksilver`]):
+/// one heavy tracking region with *front-loaded* imbalance — the source
+/// particles in the first 15% of the index space track ~6× the segments
+/// of the streaming tail — plus a cheap, perfectly balanced population-
+/// control companion. Per-particle state is small (fine-grained
+/// iterations), so tiny chunks pay real locality costs: `dynamic,1`'s
+/// perfect balance loses to the self-scheduling families' few large
+/// chunks, `guided`'s huge front chunk strands the heavy block on one
+/// thread, and a block partition drowns in the source imbalance. This is
+/// the workload where the scheduling-policy portfolio separates.
+pub fn mc(class: Class) -> WorkloadDescriptor {
+    let particles = crate::quicksilver::mc_particles(class);
+    // The work-shared loop is over *segment batches*, not particles: the
+    // live kernel tracks ~128 segments per source particle, and segment
+    // processing is the fine-grained unit (one table lookup bundle each).
+    let n = particles * 128;
+    let nf = n as f64;
+    // Particle state + tally arrays + cross-section tables, ~100 B per
+    // in-flight segment slot.
+    let state_mb = nf * 100.0 / MB;
+    let step = vec![
+        region(
+            "mc/cycle_tracking",
+            n,
+            1_500.0,
+            ImbalanceProfile::Blocked { heavy_fraction: 0.15, heavy_factor: 2.2 },
+            state_mb,
+            10.0,
+            StrideClass::Long,
+            0.45,
+            4.0,
+        ),
+        region(
+            "mc/population_control",
+            particles,
+            900.0,
+            ImbalanceProfile::Uniform,
+            nf * 8.0 / MB,
+            6.0,
+            StrideClass::Unit,
+            0.2,
+            2.0,
+        ),
+    ];
+    WorkloadDescriptor { name: format!("mc.{}", class.name()), step, timesteps: 30 }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,6 +715,57 @@ mod tests {
         let sizes: std::collections::BTreeSet<usize> =
             d.step.iter().filter(|r| r.name == "mg/psinv").map(|r| r.iterations).collect();
         assert!(sizes.len() >= 5, "expected multi-scale psinv, got {sizes:?}");
+    }
+
+    #[test]
+    fn mc_descriptor_matches_kernel_regions() {
+        let d = mc(Class::B);
+        assert_eq!(d.region_names(), crate::quicksilver::Quicksilver::region_names().to_vec());
+        // Segment-batch granularity: the tracking trip count is the live
+        // kernel's particle census × ~128 segments.
+        assert_eq!(d.step[0].iterations, crate::quicksilver::mc_particles(Class::B) * 128);
+    }
+
+    #[test]
+    fn self_scheduling_beats_every_classic_config_on_mc_tracking() {
+        // The portfolio's reason to exist, pinned: on the front-loaded MC
+        // tracking region the *worst* self-scheduling family still beats
+        // the *best* classic {static, dynamic, guided} configuration over
+        // the full Table-I chunk axis, on time (and hence on EDP at the
+        // same cap). The classic families are squeezed from both sides —
+        // small chunks destroy locality (every thread streams the whole
+        // footprint), large static/dynamic chunks quantise the heavy
+        // source block, and guided strands its huge front chunk on one
+        // thread — while the decreasing self-scheduling streams get both
+        // ends right.
+        use arcs_omprt::ScheduleKind;
+        let m = Machine::crill();
+        let d = mc(Class::B);
+        let track = d.step.iter().find(|r| r.name.ends_with("cycle_tracking")).unwrap();
+        let chunks =
+            [None, Some(1), Some(8), Some(16), Some(32), Some(64), Some(128), Some(256), Some(512)];
+        let time = |kind, chunk| {
+            let cfg = SimConfig { threads: 32, schedule: Schedule::new(kind, chunk) };
+            simulate_region(&m, 115.0, track, cfg).time_s
+        };
+        let over = |kinds: &[ScheduleKind], pick: fn(f64, f64) -> f64, init: f64| {
+            kinds.iter().flat_map(|&k| chunks.iter().map(move |&c| time(k, c))).fold(init, pick)
+        };
+        let best_classic = over(&ScheduleKind::CLASSIC, f64::min, f64::INFINITY);
+        let worst_self = over(&ScheduleKind::SELF_SCHEDULING, f64::max, 0.0);
+        let best_self = over(&ScheduleKind::SELF_SCHEDULING, f64::min, f64::INFINITY);
+        assert!(
+            worst_self < best_classic,
+            "worst self-scheduling {worst_self} should beat best classic {best_classic}"
+        );
+        assert!(
+            best_self < best_classic * 0.97,
+            "best self-scheduling {best_self} needs ≥3% on best classic {best_classic}"
+        );
+        // The default (static block) drowns in the source imbalance — the
+        // signal the adaptive ladder keys on.
+        let rep = simulate_region(&m, 115.0, track, default_cfg(&m));
+        assert!(rep.imbalance() > 0.2, "default imbalance {}", rep.imbalance());
     }
 
     #[test]

@@ -335,6 +335,44 @@ impl OverheadReport {
     }
 }
 
+/// One run of consecutive invocations a region spent under a single chunk
+/// policy, reconstructed from `RegionBegin` events (v8 `chunk_policy`,
+/// with a fallback to the schedule clause's family prefix in older
+/// traces). A region that never switches has exactly one segment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicySegment {
+    /// Policy family name (`static`, `dynamic`, …, `awf`).
+    pub policy: String,
+    /// 1-based invocation index of the region's first call under this
+    /// policy.
+    pub from_invocation: u64,
+    /// Calls executed under this policy before the next switch (or run
+    /// end).
+    pub invocations: u64,
+}
+
+/// Time/energy a trace spent under one chunk policy, across all regions
+/// — the per-policy slice of the region totals.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicyBreakdown {
+    pub invocations: u64,
+    /// Σ wall-clock durations of invocations run under this policy.
+    pub wall_s: f64,
+    pub energy_j: f64,
+    /// `PolicySwitched` events that landed *on* this policy.
+    pub switches_in: u64,
+}
+
+impl PolicyBreakdown {
+    pub fn mean_call_s(&self) -> f64 {
+        if self.invocations > 0 {
+            self.wall_s / self.invocations as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Everything the analyzers reconstruct from one trace.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TraceReport {
@@ -385,6 +423,16 @@ pub struct TraceReport {
     /// times and would break byte-identical traces).
     #[serde(default)]
     pub self_profile: Option<SelfProfile>,
+    /// Per-region chunk-policy timeline (segments in invocation order).
+    /// Empty for traces without `RegionBegin` events.
+    #[serde(default)]
+    pub policy_timeline: BTreeMap<String, Vec<PolicySegment>>,
+    /// Per-policy time/energy totals across all regions.
+    #[serde(default)]
+    pub policies: BTreeMap<String, PolicyBreakdown>,
+    /// `PolicySwitched` events observed (v8; 0 before).
+    #[serde(default)]
+    pub policy_switches: u64,
 }
 
 /// Where the *tool's own* time went while driving a run — tuner
@@ -669,6 +717,43 @@ impl TraceReport {
             }
         }
 
+        if !self.policies.is_empty() {
+            h(&mut out, "Scheduling policies");
+            if self.policy_switches > 0 {
+                out.push_str(&format!("{} intra-run policy switch(es)\n", self.policy_switches));
+            }
+            for (policy, p) in &self.policies {
+                out.push_str(&format!(
+                    "{}{policy}: {} invocation(s), {:.4} s ({:.6} s/call), {:.1} J{}\n",
+                    if md { "- " } else { "  " },
+                    p.invocations,
+                    p.wall_s,
+                    p.mean_call_s(),
+                    p.energy_j,
+                    if p.switches_in > 0 {
+                        format!(", switched-to {}×", p.switches_in)
+                    } else {
+                        String::new()
+                    }
+                ));
+            }
+            // Timeline lines only for regions that actually switched —
+            // single-policy regions are fully described by the table above.
+            for (region, segs) in &self.policy_timeline {
+                if segs.len() > 1 {
+                    let spans: Vec<String> = segs
+                        .iter()
+                        .map(|s| format!("{}@{}..+{}", s.policy, s.from_invocation, s.invocations))
+                        .collect();
+                    out.push_str(&format!(
+                        "{}{region}: {}\n",
+                        if md { "- timeline " } else { "  timeline " },
+                        spans.join(" → ")
+                    ));
+                }
+            }
+        }
+
         h(&mut out, "Power caps");
         for c in &self.caps {
             out.push_str(&format!(
@@ -872,6 +957,9 @@ pub struct TraceAnalysis {
     /// job id → tenant, learned from `JobSubmitted`/`JobScheduled`, so
     /// `CapReallocated` allocations can be attributed per tenant.
     job_tenants: BTreeMap<u64, String>,
+    /// region → chunk policy announced by its latest `RegionBegin`, so
+    /// `RegionEnd` totals can be attributed per policy.
+    region_policy: BTreeMap<String, String>,
 }
 
 impl TraceAnalysis {
@@ -901,6 +989,12 @@ impl TraceAnalysis {
                     seg.region_s += time_s;
                     seg.energy_j += energy_j;
                     seg.invocations += 1;
+                }
+                if let Some(policy) = self.region_policy.get(region) {
+                    let p = r.policies.entry(policy.clone()).or_default();
+                    p.invocations += 1;
+                    p.wall_s += time_s;
+                    p.energy_j += energy_j;
                 }
             }
             TraceEvent::CapChange { requested_w, effective_w } => {
@@ -1018,7 +1112,34 @@ impl TraceAnalysis {
                 p.overhead_s += overhead_s;
                 p.meter_s += meter_s;
             }
-            TraceEvent::RegionBegin { .. } | TraceEvent::PolicyFired { .. } => {}
+            TraceEvent::RegionBegin { region, schedule, chunk_policy, .. } => {
+                // v8 traces carry the family name; older traces fall back
+                // to the schedule clause's `family,chunk` prefix.
+                let policy = if chunk_policy.is_empty() {
+                    schedule.split(',').next().unwrap_or_default().to_string()
+                } else {
+                    chunk_policy.clone()
+                };
+                if policy.is_empty() {
+                    return;
+                }
+                let timeline = r.policy_timeline.entry(region.clone()).or_default();
+                let invocation = timeline.iter().map(|s| s.invocations).sum::<u64>() + 1;
+                match timeline.last_mut() {
+                    Some(seg) if seg.policy == policy => seg.invocations += 1,
+                    _ => timeline.push(PolicySegment {
+                        policy: policy.clone(),
+                        from_invocation: invocation,
+                        invocations: 1,
+                    }),
+                }
+                self.region_policy.insert(region.clone(), policy);
+            }
+            TraceEvent::PolicySwitched { to, .. } => {
+                r.policy_switches += 1;
+                r.policies.entry(to.clone()).or_default().switches_in += 1;
+            }
+            TraceEvent::PolicyFired { .. } => {}
         }
     }
 
@@ -1303,7 +1424,12 @@ mod tests {
             ));
             records.push(next(
                 Some(t + 0.009),
-                E::RegionBegin { region: "rhs".into(), threads: 8, schedule: "static".into() },
+                E::RegionBegin {
+                    region: "rhs".into(),
+                    threads: 8,
+                    schedule: "static".into(),
+                    chunk_policy: "static".into(),
+                },
             ));
             records.push(next(
                 None,
@@ -1773,6 +1899,85 @@ mod tests {
         }
         let back = TraceReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back, report);
+
+        // Policy attribution: rhs announced `static` on every begin, so
+        // its ends land on the static row; zsolve never emitted a begin
+        // and stays unattributed.
+        assert_eq!(report.policy_timeline["rhs"].len(), 1);
+        assert_eq!(report.policy_timeline["rhs"][0].policy, "static");
+        assert_eq!(report.policy_timeline["rhs"][0].invocations, 3);
+        let st = &report.policies["static"];
+        assert_eq!(st.invocations, 3);
+        assert!((st.wall_s - 1.5).abs() < 1e-12);
+        assert_eq!(report.policy_switches, 0);
+    }
+
+    #[test]
+    fn policy_switches_build_the_timeline() {
+        let mut records = Vec::new();
+        let mut seq = 0;
+        let policies = ["static", "static", "factoring", "factoring", "awf"];
+        for (i, policy) in policies.iter().enumerate() {
+            if i > 0 && policies[i - 1] != *policy {
+                records.push(rec(
+                    seq,
+                    Some(i as f64),
+                    E::PolicySwitched {
+                        region: "mc/track".into(),
+                        from: policies[i - 1].into(),
+                        to: policy.to_string(),
+                        invocation: i as u64,
+                        imbalance: 0.4,
+                    },
+                ));
+                seq += 1;
+            }
+            records.push(rec(
+                seq,
+                Some(i as f64),
+                E::RegionBegin {
+                    region: "mc/track".into(),
+                    threads: 8,
+                    schedule: format!("{policy},16"),
+                    // Half the begins rely on the pre-v8 fallback path.
+                    chunk_policy: if i % 2 == 0 { policy.to_string() } else { String::new() },
+                },
+            ));
+            seq += 1;
+            records.push(rec(
+                seq,
+                Some(i as f64 + 0.5),
+                E::RegionEnd {
+                    region: "mc/track".into(),
+                    time_s: 0.5,
+                    energy_j: 10.0,
+                    busy_s: 3.0,
+                    barrier_s: 1.0,
+                    objective_value: None,
+                },
+            ));
+            seq += 1;
+        }
+        let report = analyze(TraceReader::new(jsonl(&records).as_bytes())).unwrap();
+        let timeline = &report.policy_timeline["mc/track"];
+        assert_eq!(timeline.len(), 3);
+        assert_eq!(
+            timeline
+                .iter()
+                .map(|s| (s.policy.as_str(), s.from_invocation, s.invocations))
+                .collect::<Vec<_>>(),
+            vec![("static", 1, 2), ("factoring", 3, 2), ("awf", 5, 1)]
+        );
+        assert_eq!(report.policy_switches, 2);
+        assert_eq!(report.policies["factoring"].invocations, 2);
+        assert_eq!(report.policies["factoring"].switches_in, 1);
+        assert_eq!(report.policies["awf"].switches_in, 1);
+        assert!((report.policies["static"].wall_s - 1.0).abs() < 1e-12);
+        // The rendered report narrates the switches and the timeline.
+        let text = report.to_table();
+        assert!(text.contains("Scheduling policies"), "{text}");
+        assert!(text.contains("2 intra-run policy switch(es)"), "{text}");
+        assert!(text.contains("static@1..+2 → factoring@3..+2 → awf@5..+1"), "{text}");
     }
 
     #[test]

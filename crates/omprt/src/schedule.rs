@@ -1,8 +1,11 @@
 //! Loop scheduling policies and chunk arithmetic.
 //!
-//! This module implements the three OpenMP work-sharing schedules the ARCS
-//! paper tunes — `static`, `dynamic` and `guided` — with an optional chunk
-//! parameter, following the OpenMP 4.0 semantics:
+//! This module implements the scheduling-policy portfolio as one policy
+//! engine: every family is defined by the chunk-size stream it emits
+//! ([`ChunkStream`]), and the live dispenser, the chunk-count accounting and
+//! the power simulator all consume that single stream.
+//!
+//! The classic OpenMP 4.0 families the ARCS paper tunes:
 //!
 //! * **static** without a chunk: the iteration space is divided into at most
 //!   one contiguous block per thread (block partition, sizes differing by at
@@ -14,6 +17,21 @@
 //!   iterations (default minimum chunk 1), so chunk sizes decrease
 //!   exponentially towards the minimum.
 //!
+//! The self-scheduling families from the scheduling-selection survey
+//! (Korndörfer et al.), which win on irregular loads:
+//!
+//! * **trapezoid** (TSS): chunk sizes decrease *linearly* from
+//!   `ceil(N / 2T)` to the minimum chunk — cheaper per-grab arithmetic than
+//!   guided and a gentler front chunk on front-loaded imbalance.
+//! * **factoring** (FAC2): work is dispensed in rounds of `T` equal chunks;
+//!   each round sizes its chunks at `ceil(remaining / 2T)`, halving the
+//!   outstanding work per round.
+//! * **awf** (adaptive weighted factoring): factoring whose per-round batch
+//!   fraction adapts with round index — later rounds take a larger share of
+//!   the remaining work (`(r+1)/(r+2)·remaining/T` per chunk), a
+//!   deterministic stand-in for AWF-B's measured-weight adaptation that
+//!   keeps the stream a pure function of `(N, T, chunk)` for memoisation.
+//!
 //! The same arithmetic is reused by the `arcs-powersim` simulator so that the
 //! simulated machine dispatches *exactly* the chunk sequence the live runtime
 //! would.
@@ -21,8 +39,13 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The scheduling policy family.
+///
+/// New variants are appended after `Guided`: the derived `Hash` feeds the
+/// simulator's memo keys and serialized traces pin the variant names, so
+/// declaration order is part of the stable surface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ScheduleKind {
     /// Compile-time block/round-robin assignment; zero dispatch cost.
@@ -31,12 +54,34 @@ pub enum ScheduleKind {
     Dynamic,
     /// On-demand grab with exponentially decreasing chunk sizes.
     Guided,
+    /// Trapezoid self-scheduling: linearly decreasing chunk sizes.
+    Trapezoid,
+    /// Factoring (FAC2): rounds of `T` equal chunks, halving per round.
+    Factoring,
+    /// Adaptive weighted factoring: factoring with a round-adaptive fraction.
+    AdaptiveWeightedFactoring,
 }
 
 impl ScheduleKind {
-    /// All policy families, in the order the paper's Table I lists them.
-    pub const ALL: [ScheduleKind; 3] =
+    /// The classic OpenMP families, in the order the paper's Table I lists
+    /// them. This is the portfolio `ConfigSpace::crill()` searches.
+    pub const CLASSIC: [ScheduleKind; 3] =
         [ScheduleKind::Dynamic, ScheduleKind::Static, ScheduleKind::Guided];
+
+    /// The self-scheduling extensions from the survey portfolio.
+    pub const SELF_SCHEDULING: [ScheduleKind; 3] =
+        [ScheduleKind::Trapezoid, ScheduleKind::Factoring, ScheduleKind::AdaptiveWeightedFactoring];
+
+    /// Every policy family: Table-I order first, then the self-scheduling
+    /// extensions. Sweep bins derive their rows from this single listing.
+    pub const ALL: [ScheduleKind; 6] = [
+        ScheduleKind::Dynamic,
+        ScheduleKind::Static,
+        ScheduleKind::Guided,
+        ScheduleKind::Trapezoid,
+        ScheduleKind::Factoring,
+        ScheduleKind::AdaptiveWeightedFactoring,
+    ];
 
     /// Lower-case OpenMP spelling (`OMP_SCHEDULE` style).
     pub fn name(self) -> &'static str {
@@ -44,7 +89,15 @@ impl ScheduleKind {
             ScheduleKind::Static => "static",
             ScheduleKind::Dynamic => "dynamic",
             ScheduleKind::Guided => "guided",
+            ScheduleKind::Trapezoid => "trapezoid",
+            ScheduleKind::Factoring => "factoring",
+            ScheduleKind::AdaptiveWeightedFactoring => "awf",
         }
+    }
+
+    /// Inverse of [`name`](Self::name), for CLI and trace-field parsing.
+    pub fn from_name(name: &str) -> Option<ScheduleKind> {
+        ScheduleKind::ALL.into_iter().find(|k| k.name() == name)
     }
 }
 
@@ -89,6 +142,18 @@ impl Schedule {
 
     pub const fn guided(chunk: usize) -> Self {
         Schedule { kind: ScheduleKind::Guided, chunk: Some(chunk) }
+    }
+
+    pub const fn trapezoid(min_chunk: usize) -> Self {
+        Schedule { kind: ScheduleKind::Trapezoid, chunk: Some(min_chunk) }
+    }
+
+    pub const fn factoring(min_chunk: usize) -> Self {
+        Schedule { kind: ScheduleKind::Factoring, chunk: Some(min_chunk) }
+    }
+
+    pub const fn awf(min_chunk: usize) -> Self {
+        Schedule { kind: ScheduleKind::AdaptiveWeightedFactoring, chunk: Some(min_chunk) }
     }
 
     /// Effective minimum chunk for on-demand policies.
@@ -182,9 +247,134 @@ pub fn static_chunks_for_thread(
     }
 }
 
-/// The chunk-size sequence an on-demand (`dynamic`/`guided`) schedule
-/// dispenses, in dispatch order, independent of which thread grabs each
-/// chunk. Used by the simulator.
+/// Per-policy generator state inside a [`ChunkStream`].
+#[derive(Debug, Clone)]
+enum StreamState {
+    /// `static` block partition: one chunk per thread, in thread order.
+    StaticBlock {
+        base: usize,
+        rem: usize,
+        tid: usize,
+    },
+    /// Fixed-size grabs: `static,c` (round-robin ownership does not change
+    /// the start-order sizes) and `dynamic,c`.
+    FixedSize,
+    Guided,
+    Trapezoid {
+        next: usize,
+        delta: usize,
+    },
+    Factoring {
+        left: usize,
+        size: usize,
+    },
+    Awf {
+        left: usize,
+        size: usize,
+        round: usize,
+    },
+}
+
+/// The policy engine: one iterator that emits, for *any* schedule, the
+/// chunk sizes in dispatch (start) order. The stream is a pure function of
+/// `(len, nthreads, schedule)` — it partitions `0..len` exactly and never
+/// emits a zero-size chunk. The live [`Dispenser`], [`chunk_count`] and the
+/// power simulator's greedy dispatcher all consume this one generator.
+#[derive(Debug, Clone)]
+pub struct ChunkStream {
+    remaining: usize,
+    nthreads: usize,
+    min: usize,
+    state: StreamState,
+}
+
+impl ChunkStream {
+    pub fn new(len: usize, nthreads: usize, schedule: Schedule) -> Self {
+        assert!(nthreads > 0, "nthreads must be positive");
+        let min = schedule.min_chunk();
+        let state = match schedule.kind {
+            ScheduleKind::Static => match schedule.chunk {
+                None => {
+                    StreamState::StaticBlock { base: len / nthreads, rem: len % nthreads, tid: 0 }
+                }
+                Some(_) => StreamState::FixedSize,
+            },
+            ScheduleKind::Dynamic => StreamState::FixedSize,
+            ScheduleKind::Guided => StreamState::Guided,
+            ScheduleKind::Trapezoid => {
+                // Classic TSS: first chunk ceil(N/2T), last chunk the
+                // minimum, linear decrement sized so the ramp sums to ~N.
+                let first = len.div_ceil(2 * nthreads).max(min);
+                let count = (2 * len).div_ceil(first + min).max(1);
+                let delta = if count > 1 { (first - min) / (count - 1) } else { 0 };
+                StreamState::Trapezoid { next: first, delta }
+            }
+            ScheduleKind::Factoring => StreamState::Factoring { left: 0, size: 0 },
+            ScheduleKind::AdaptiveWeightedFactoring => {
+                StreamState::Awf { left: 0, size: 0, round: 0 }
+            }
+        };
+        ChunkStream { remaining: len, nthreads, min, state }
+    }
+}
+
+impl Iterator for ChunkStream {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let take = match &mut self.state {
+            StreamState::StaticBlock { base, rem, tid } => {
+                // First `rem` threads get base+1. When base == 0 the
+                // trailing threads own nothing, but then `remaining`
+                // exhausts before this cursor reaches them.
+                let sz = if *tid < *rem { *base + 1 } else { *base };
+                *tid += 1;
+                sz
+            }
+            StreamState::FixedSize => self.min.min(self.remaining),
+            StreamState::Guided => {
+                self.remaining.div_ceil(self.nthreads).max(self.min).min(self.remaining)
+            }
+            StreamState::Trapezoid { next, delta } => {
+                let take = (*next).min(self.remaining);
+                *next = next.saturating_sub(*delta).max(self.min);
+                take
+            }
+            StreamState::Factoring { left, size } => {
+                if *left == 0 {
+                    *size = self.remaining.div_ceil(2 * self.nthreads).max(self.min);
+                    *left = self.nthreads;
+                }
+                *left -= 1;
+                (*size).min(self.remaining)
+            }
+            StreamState::Awf { left, size, round } => {
+                if *left == 0 {
+                    // Round r takes (r+1)/(r+2) of remaining/T per chunk:
+                    // 1/2 (like FAC2), then 2/3, 3/4, … — u128 keeps the
+                    // product exact for any practical N.
+                    let r = *round as u128;
+                    let num = self.remaining as u128 * (r + 1);
+                    let den = self.nthreads as u128 * (r + 2);
+                    *size = (num.div_ceil(den) as usize).max(self.min);
+                    *left = self.nthreads;
+                    *round += 1;
+                }
+                *left -= 1;
+                (*size).min(self.remaining)
+            }
+        };
+        self.remaining -= take;
+        Some(take)
+    }
+}
+
+/// The chunk-size sequence an on-demand schedule dispenses, in dispatch
+/// order, independent of which thread grabs each chunk. Used by the
+/// simulator.
 pub fn on_demand_chunk_sizes(len: usize, nthreads: usize, schedule: Schedule) -> Vec<usize> {
     let mut out = Vec::new();
     on_demand_chunk_sizes_into(len, nthreads, schedule, &mut out);
@@ -193,7 +383,8 @@ pub fn on_demand_chunk_sizes(len: usize, nthreads: usize, schedule: Schedule) ->
 
 /// [`on_demand_chunk_sizes`] writing into a caller-owned buffer (cleared
 /// first), so simulator hot loops can reuse one allocation across
-/// invocations.
+/// invocations. A thin wrapper over [`ChunkStream`] — the simulator and the
+/// live runtime consume the same generator.
 pub fn on_demand_chunk_sizes_into(
     len: usize,
     nthreads: usize,
@@ -201,28 +392,14 @@ pub fn on_demand_chunk_sizes_into(
     out: &mut Vec<usize>,
 ) {
     assert!(nthreads > 0);
+    debug_assert!(len == 0 || schedule.has_dispatch_cost(), "static schedules are not on-demand");
     out.clear();
-    let mut remaining = len;
-    let min = schedule.min_chunk();
-    while remaining > 0 {
-        let take = match schedule.kind {
-            ScheduleKind::Dynamic => min.min(remaining),
-            ScheduleKind::Guided => {
-                let prop = remaining.div_ceil(nthreads);
-                prop.max(min).min(remaining)
-            }
-            ScheduleKind::Static => {
-                unreachable!("static schedules are not on-demand")
-            }
-        };
-        out.push(take);
-        remaining -= take;
-    }
+    out.extend(ChunkStream::new(len, nthreads, schedule));
 }
 
 /// Total number of chunks the schedule produces for a loop of `len`
 /// iterations on `nthreads` threads. This is the number of dispatch events
-/// (and, for dynamic/guided, atomic operations) the loop incurs.
+/// (and, for on-demand policies, shared-counter operations) the loop incurs.
 pub fn chunk_count(len: usize, nthreads: usize, schedule: Schedule) -> usize {
     if len == 0 {
         return 0;
@@ -232,7 +409,7 @@ pub fn chunk_count(len: usize, nthreads: usize, schedule: Schedule) -> usize {
             None => nthreads.min(len),
             Some(c) => len.div_ceil(c.max(1)),
         },
-        _ => on_demand_chunk_sizes(len, nthreads, schedule).len(),
+        _ => ChunkStream::new(len, nthreads, schedule).count(),
     }
 }
 
@@ -240,18 +417,34 @@ pub fn chunk_count(len: usize, nthreads: usize, schedule: Schedule) -> usize {
 ///
 /// `dynamic` uses a single fetch-add. `guided` uses a CAS loop because the
 /// grab size depends on the remaining count; this matches libgomp's
-/// implementation strategy.
+/// implementation strategy. The self-scheduling policies carry round state
+/// no single CAS can update, so they serialise grabs through a mutex-guarded
+/// [`ChunkStream`] cursor — the same stream the simulator prices.
 pub struct Dispenser {
     next: AtomicUsize,
     len: usize,
     nthreads: usize,
     schedule: Schedule,
+    stream: Option<Mutex<StreamCursor>>,
+}
+
+struct StreamCursor {
+    stream: ChunkStream,
+    pos: usize,
 }
 
 impl Dispenser {
     pub fn new(len: usize, nthreads: usize, schedule: Schedule) -> Self {
         debug_assert!(schedule.has_dispatch_cost());
-        Dispenser { next: AtomicUsize::new(0), len, nthreads: nthreads.max(1), schedule }
+        let nthreads = nthreads.max(1);
+        let stream = match schedule.kind {
+            ScheduleKind::Static | ScheduleKind::Dynamic | ScheduleKind::Guided => None,
+            _ => Some(Mutex::new(StreamCursor {
+                stream: ChunkStream::new(len, nthreads, schedule),
+                pos: 0,
+            })),
+        };
+        Dispenser { next: AtomicUsize::new(0), len, nthreads, schedule, stream }
     }
 
     /// Grab the next chunk, or `None` when the iteration space is exhausted.
@@ -286,6 +479,19 @@ impl Dispenser {
                 }
             }
             ScheduleKind::Static => unreachable!("static schedules use static_chunks_for_thread"),
+            _ => {
+                let mut cursor =
+                    self.stream.as_ref().expect("stream cursor").lock().unwrap_or_else(
+                        // A panic while holding the lock cannot leave the
+                        // cursor mid-update: `next()` commits size and
+                        // position together, so the poisoned state is valid.
+                        |poisoned| poisoned.into_inner(),
+                    );
+                let take = cursor.stream.next()?;
+                let start = cursor.pos;
+                cursor.pos += take;
+                Some(Chunk { start, end: start + take })
+            }
         }
     }
 }
@@ -434,5 +640,126 @@ mod tests {
     fn display_formats() {
         assert_eq!(Schedule::guided(8).to_string(), "guided,8");
         assert_eq!(Schedule::runtime_default().to_string(), "static,default");
+        assert_eq!(Schedule::trapezoid(4).to_string(), "trapezoid,4");
+        assert_eq!(Schedule::factoring(2).to_string(), "factoring,2");
+        assert_eq!(Schedule::awf(1).to_string(), "awf,1");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ScheduleKind::ALL {
+            assert_eq!(ScheduleKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ScheduleKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn stream_matches_legacy_on_demand_arithmetic() {
+        // The stream IS the legacy formulas for dynamic/guided.
+        for &(len, nt) in &[(0, 4), (1, 1), (100, 4), (1000, 4), (997, 13)] {
+            for sched in [Schedule::dynamic(8), Schedule::guided(16), Schedule::guided(1)] {
+                let stream: Vec<usize> = ChunkStream::new(len, nt, sched).collect();
+                assert_eq!(stream, on_demand_chunk_sizes(len, nt, sched), "{sched} {len}/{nt}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_static_block_matches_per_thread_sizes() {
+        for &(len, nt) in &[(0, 4), (5, 8), (100, 8), (33, 32), (7, 3)] {
+            let stream: Vec<usize> = ChunkStream::new(len, nt, Schedule::static_block()).collect();
+            let per_thread: Vec<usize> = (0..nt)
+                .filter_map(|t| {
+                    let chs = static_chunks_for_thread(len, nt, None, t);
+                    chs.first().map(|c| c.len())
+                })
+                .collect();
+            assert_eq!(stream, per_thread, "len={len} nt={nt}");
+        }
+    }
+
+    #[test]
+    fn trapezoid_decreases_linearly_and_partitions() {
+        let sizes: Vec<usize> = ChunkStream::new(1000, 4, Schedule::trapezoid(8)).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        // First chunk is ceil(N/2T) = 125; sizes never increase and step
+        // down by a constant delta until the minimum.
+        assert_eq!(sizes[0], 125);
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "trapezoid sizes must be non-increasing: {sizes:?}");
+        }
+        let deltas: Vec<i64> = sizes.windows(2).map(|w| w[0] as i64 - w[1] as i64).collect();
+        // All interior steps equal (the final remainder chunk may truncate).
+        assert!(deltas[..deltas.len() - 1].windows(2).all(|d| d[0] == d[1]), "{deltas:?}");
+    }
+
+    #[test]
+    fn factoring_halves_per_round() {
+        let sizes: Vec<usize> = ChunkStream::new(1600, 4, Schedule::factoring(1)).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 1600);
+        // Round 0: ceil(1600/8) = 200 ×4; round 1: ceil(800/8) = 100 ×4 …
+        assert_eq!(&sizes[..8], &[200, 200, 200, 200, 100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn awf_diverges_from_factoring_after_round_zero() {
+        let fac: Vec<usize> = ChunkStream::new(1600, 4, Schedule::factoring(1)).collect();
+        let awf: Vec<usize> = ChunkStream::new(1600, 4, Schedule::awf(1)).collect();
+        assert_eq!(awf.iter().sum::<usize>(), 1600);
+        // Same opening round (fraction 1/2), larger grabs afterwards.
+        assert_eq!(&awf[..4], &fac[..4]);
+        assert!(awf[4] > fac[4], "awf {awf:?} vs fac {fac:?}");
+        assert!(awf.len() < fac.len());
+    }
+
+    #[test]
+    fn self_scheduling_streams_partition_exactly() {
+        for kind in ScheduleKind::SELF_SCHEDULING {
+            for &(len, nt, min) in &[(0, 4, 1), (1, 1, 1), (97, 3, 2), (5000, 32, 16), (10, 8, 4)] {
+                let sched = Schedule::new(kind, Some(min));
+                let sizes: Vec<usize> = ChunkStream::new(len, nt, sched).collect();
+                assert_eq!(sizes.iter().sum::<usize>(), len, "{sched} {len}/{nt}");
+                assert!(sizes.iter().all(|&s| s > 0), "{sched} emitted a zero chunk");
+                assert_eq!(chunk_count(len, nt, sched), sizes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn dispenser_self_scheduling_matches_stream() {
+        for kind in ScheduleKind::SELF_SCHEDULING {
+            let sched = Schedule::new(kind, Some(3));
+            let d = Dispenser::new(700, 8, sched);
+            let mut sizes = Vec::new();
+            let mut next_expected = 0;
+            while let Some(ch) = d.next_chunk() {
+                assert_eq!(ch.start, next_expected);
+                next_expected = ch.end;
+                sizes.push(ch.len());
+            }
+            assert_eq!(next_expected, 700);
+            let expected: Vec<usize> = ChunkStream::new(700, 8, sched).collect();
+            assert_eq!(sizes, expected, "{sched}");
+        }
+    }
+
+    #[test]
+    fn dispenser_trapezoid_is_safe_under_contention() {
+        use std::sync::Arc;
+        let d = Arc::new(Dispenser::new(100_000, 8, Schedule::trapezoid(1)));
+        let counters: Vec<_> = (0..8)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    let mut total = 0usize;
+                    while let Some(ch) = d.next_chunk() {
+                        total += ch.len();
+                    }
+                    total
+                })
+            })
+            .collect();
+        let total: usize = counters.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100_000);
     }
 }

@@ -60,6 +60,7 @@ impl Tool for TraceTool {
                 region: rt.region_name(region),
                 threads: rt.num_threads(),
                 schedule: rt.schedule().to_string(),
+                chunk_policy: rt.schedule().kind.name().to_string(),
             },
         );
     }

@@ -3,20 +3,38 @@
 //! heaviest randomised coverage.
 
 use arcs_omprt::schedule::{
-    chunk_count, on_demand_chunk_sizes, static_chunks_for_thread, Dispenser, Schedule, ScheduleKind,
+    chunk_count, on_demand_chunk_sizes, static_chunks_for_thread, ChunkStream, Dispenser, Schedule,
+    ScheduleKind,
 };
 use proptest::prelude::*;
 
 fn arb_schedule() -> impl Strategy<Value = Schedule> {
     (
-        prop_oneof![
-            Just(ScheduleKind::Static),
-            Just(ScheduleKind::Dynamic),
-            Just(ScheduleKind::Guided)
-        ],
+        (0usize..ScheduleKind::ALL.len()).prop_map(|i| ScheduleKind::ALL[i]),
         prop_oneof![Just(None), (1usize..600).prop_map(Some)],
     )
         .prop_map(|(kind, chunk)| Schedule::new(kind, chunk))
+}
+
+/// The chunk-size arithmetic the classic on-demand policies used *before*
+/// they were folded into the [`ChunkStream`] generator, inlined verbatim:
+/// `dynamic` grabs a fixed `c` from a shared counter, `guided` grabs
+/// `max(c, ceil(remaining / nthreads))`. The refactor's contract is that
+/// the shared stream reproduces these sequences bit-for-bit.
+fn pre_refactor_classic_sizes(len: usize, nthreads: usize, sched: Schedule) -> Vec<usize> {
+    let c = sched.chunk.unwrap_or(1).max(1);
+    let mut sizes = Vec::new();
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = match sched.kind {
+            ScheduleKind::Dynamic => c.min(remaining),
+            ScheduleKind::Guided => remaining.div_ceil(nthreads).max(c).min(remaining),
+            _ => unreachable!("oracle covers the classic on-demand policies"),
+        };
+        sizes.push(take);
+        remaining -= take;
+    }
+    sizes
 }
 
 proptest! {
@@ -91,6 +109,76 @@ proptest! {
         }
         prop_assert_eq!(next_expected, len);
         prop_assert_eq!(sizes, on_demand_chunk_sizes(len, nthreads, sched));
+    }
+
+    /// Partition exactness for *every* policy family: the shared chunk
+    /// stream sums to the iteration count, never emits a zero-size chunk,
+    /// and agrees with the chunk-count accounting.
+    #[test]
+    fn every_policy_stream_partitions_exactly(
+        len in 0usize..5000,
+        nthreads in 1usize..64,
+        sched in arb_schedule(),
+    ) {
+        let sizes: Vec<usize> = ChunkStream::new(len, nthreads, sched).collect();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), len);
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+        prop_assert_eq!(sizes.len(), chunk_count(len, nthreads, sched));
+    }
+
+    /// The refactor's bit-identity contract: for the classic on-demand
+    /// policies the shared stream reproduces the pre-refactor inline
+    /// arithmetic exactly.
+    #[test]
+    fn classic_streams_match_pre_refactor_arithmetic(
+        len in 0usize..5000,
+        nthreads in 1usize..64,
+        kind in prop_oneof![Just(ScheduleKind::Dynamic), Just(ScheduleKind::Guided)],
+        chunk in prop_oneof![Just(None), (1usize..600).prop_map(Some)],
+    ) {
+        let sched = Schedule::new(kind, chunk);
+        let stream: Vec<usize> = ChunkStream::new(len, nthreads, sched).collect();
+        prop_assert_eq!(stream, pre_refactor_classic_sizes(len, nthreads, sched));
+    }
+
+    /// Trapezoid is the linear analogue of guided: chunk sizes never
+    /// increase along the stream.
+    #[test]
+    fn trapezoid_chunks_decrease_linearly(
+        len in 1usize..5000,
+        nthreads in 1usize..64,
+        min in prop_oneof![Just(None), (1usize..64).prop_map(Some)],
+    ) {
+        let sizes: Vec<usize> =
+            ChunkStream::new(len, nthreads, Schedule::new(ScheduleKind::Trapezoid, min)).collect();
+        for w in sizes.windows(2) {
+            prop_assert!(w[0] >= w[1], "sizes must be non-increasing: {:?}", sizes);
+        }
+    }
+
+    /// Factoring dispenses rounds of `T` equal-size chunks (the final
+    /// round may run short), and round sizes never increase.
+    #[test]
+    fn factoring_rounds_are_flat_and_shrinking(
+        len in 1usize..5000,
+        nthreads in 1usize..64,
+        min in prop_oneof![Just(None), (1usize..64).prop_map(Some)],
+    ) {
+        let sizes: Vec<usize> =
+            ChunkStream::new(len, nthreads, Schedule::new(ScheduleKind::Factoring, min)).collect();
+        let rounds: Vec<&[usize]> = sizes.chunks(nthreads).collect();
+        for (i, round) in rounds.iter().enumerate() {
+            let lead = round[0];
+            let last_round = i + 1 == rounds.len();
+            for &s in round.iter().skip(1) {
+                // Within a round every chunk matches the leader; only the
+                // stream's tail may come up short on remaining work.
+                prop_assert!(s == lead || last_round, "uneven round {}: {:?}", i, sizes);
+            }
+            if i > 0 {
+                prop_assert!(rounds[i - 1][0] >= lead, "rounds must shrink: {:?}", sizes);
+            }
+        }
     }
 
     /// chunk_count is positive iff the range is non-empty, and no schedule

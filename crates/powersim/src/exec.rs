@@ -26,7 +26,7 @@
 use crate::cache::{analyze, CacheReport};
 use crate::machine::Machine;
 use crate::workload::{ImbalanceProfile, RegionModel};
-use arcs_omprt::schedule::{on_demand_chunk_sizes_into, static_chunks_for_thread, Schedule};
+use arcs_omprt::schedule::{static_chunks_for_thread, ChunkStream, Schedule};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -186,7 +186,7 @@ pub struct SimScratch {
     weights: Vec<f64>,
     busy_ns: Vec<f64>,
     chunks_per_thread: Vec<u64>,
-    /// Dynamic/guided chunk sizes in dispatch order.
+    /// On-demand chunk sizes in dispatch order (any non-static policy).
     sizes: Vec<usize>,
     /// Greedy list-scheduling queue keyed by femtosecond finish clocks.
     heap: BinaryHeap<Reverse<(u64, usize)>>,
@@ -317,10 +317,13 @@ pub fn simulate_region_with(
         _ => {
             // Greedy list scheduling: each chunk (in dispatch order) goes to
             // the thread that becomes free first — what the shared-counter
-            // dispensers do in real time. Assignment runs on solo-speed
-            // clocks; SMT sharing is applied afterwards via the same
-            // sibling-overlap model as the static path.
-            on_demand_chunk_sizes_into(n, threads, schedule, &mut scratch.sizes);
+            // dispensers do in real time. The sizes come from the same
+            // ChunkStream generator the live runtime dispenses from, for
+            // every on-demand policy in the portfolio. Assignment runs on
+            // solo-speed clocks; SMT sharing is applied afterwards via the
+            // same sibling-overlap model as the static path.
+            scratch.sizes.clear();
+            scratch.sizes.extend(ChunkStream::new(n, threads, schedule));
             let dispatch_ns = machine.dispatch_ns
                 + machine.dispatch_contention_ns * (threads as f64).ln().max(0.0);
             let sizes = &scratch.sizes;
@@ -661,7 +664,14 @@ mod tests {
     fn report_invariants_hold() {
         let m = crill();
         let r = region(1000, ImbalanceProfile::Random { cv: 0.3, seed: 1 });
-        for sched in [Schedule::static_block(), Schedule::dynamic(4), Schedule::guided(2)] {
+        for sched in [
+            Schedule::static_block(),
+            Schedule::dynamic(4),
+            Schedule::guided(2),
+            Schedule::trapezoid(4),
+            Schedule::factoring(2),
+            Schedule::awf(2),
+        ] {
             let rep = simulate_region(&m, 85.0, &r, cfg(12, sched));
             assert_eq!(rep.per_thread_busy_s.len(), 12);
             assert!(rep.time_s > 0.0);

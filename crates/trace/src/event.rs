@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// 1 up to this one (new fields carry serde defaults) and refuse newer or
 /// nonsensical versions instead of silently misreading them (see
 /// [`crate::validate_jsonl`]).
-pub const SCHEMA_VERSION: u32 = 7;
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// One running job's share of the global power budget, as carried by
 /// [`TraceEvent::CapReallocated`] (v5). `cap_w` is the *node-level*
@@ -44,7 +44,17 @@ pub struct SearchCandidate {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// A parallel region is about to fork (omprt tool hook / sim driver).
-    RegionBegin { region: String, threads: usize, schedule: String },
+    /// `chunk_policy` (v8) is the schedule's policy-family name
+    /// (`static`/`dynamic`/`guided`/`trapezoid`/`factoring`/`awf`) — the
+    /// key the per-region policy timeline is built on; empty in older
+    /// traces, where readers fall back to parsing the `schedule` clause.
+    RegionBegin {
+        region: String,
+        threads: usize,
+        schedule: String,
+        #[serde(default)]
+        chunk_policy: String,
+    },
     /// The region joined; `time_s` is the measured duration, `energy_j`
     /// the package energy attributed to the invocation (0 where the
     /// backend cannot attribute energy). `busy_s`/`barrier_s` are the
@@ -173,6 +183,13 @@ pub enum TraceEvent {
     /// status rendering (`ok`/`degraded`); `time_s`/`energy_j` are the
     /// job's own run totals.
     JobCompleted { job: u64, tenant: String, node: u64, status: String, time_s: f64, energy_j: f64 },
+    /// The adaptive scheduler switched a region's chunk policy mid-run
+    /// (v8): the imbalance watcher saw `imbalance` (EWMA of
+    /// `barrier/(busy+barrier)`, in [0, 1]) persist past its threshold at
+    /// the region's `invocation`-th call and moved the ladder from policy
+    /// `from` to `to`. The knob change itself still fires the usual
+    /// `ConfigSwitch` + §III-C overhead; this event records *why*.
+    PolicySwitched { region: String, from: String, to: String, invocation: u64, imbalance: f64 },
     /// End-of-run wall-clock self-profile of the run driver (v7): where
     /// the tool's own time went while driving `invocations` region
     /// invocations. Emitted only when the driver runs with self-profiling
@@ -214,6 +231,7 @@ impl TraceEvent {
             TraceEvent::JobScheduled { .. } => "JobScheduled",
             TraceEvent::CapReallocated { .. } => "CapReallocated",
             TraceEvent::JobCompleted { .. } => "JobCompleted",
+            TraceEvent::PolicySwitched { .. } => "PolicySwitched",
             TraceEvent::DriverPhases { .. } => "DriverPhases",
         }
     }

@@ -83,6 +83,14 @@ mod tests {
                 region: "sp/x_solve".into(),
                 threads: 16,
                 schedule: "guided,8".into(),
+                chunk_policy: "guided".into(),
+            },
+            TraceEvent::PolicySwitched {
+                region: "sp/x_solve".into(),
+                from: "static".into(),
+                to: "factoring".into(),
+                invocation: 12,
+                imbalance: 0.31,
             },
             TraceEvent::RegionEnd {
                 region: "sp/x_solve".into(),
@@ -355,8 +363,11 @@ mod tests {
         // variant — CacheStats, the end-of-run memo-cache snapshot.
         // v6 → v7: JobSubmitted gained `weight` and one additive
         // self-profile variant — DriverPhases, the driver's wall-clock
-        // phase spans.)
-        assert_eq!(SCHEMA_VERSION, 7);
+        // phase spans. v7 → v8: RegionBegin gained `chunk_policy` (the
+        // schedule's policy-family name, serde-defaulted to empty) and
+        // one additive scheduling variant — PolicySwitched, the adaptive
+        // scheduler's mid-run policy change.)
+        assert_eq!(SCHEMA_VERSION, 8);
         let record = TraceRecord {
             schema: SCHEMA_VERSION,
             seq: 3,
@@ -364,6 +375,6 @@ mod tests {
             event: TraceEvent::CacheHit { region: "r".into() },
         };
         let json = serde_json::to_string(&record).unwrap();
-        assert_eq!(json, r#"{"schema":7,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
+        assert_eq!(json, r#"{"schema":8,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
     }
 }
