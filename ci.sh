@@ -232,3 +232,70 @@ cargo run --release -q -p arcs-serve --bin arcs-serve-loadgen -- \
     --jobs 200 --tenants 4 --nodes 4 --budget 400 --seed 42 \
     --out "$trace_tmp/loadgen_b.jsonl" > /dev/null
 cmp "$trace_tmp/loadgen_a.jsonl" "$trace_tmp/loadgen_b.jsonl"
+
+# Broker chaos: 1000 jobs under the node-flap preset with a bounded
+# admission queue. The loadgen exits nonzero unless every submitted job
+# reached a terminal state (zero lost), at least one node failed AND one
+# victim was requeued (the chaos must actually bite), shedding fired,
+# and Σ allocations never topped the budget — and the same seed must
+# still write a byte-identical trace with the fault schedule on.
+cargo run --release -q -p arcs-serve --bin arcs-serve-loadgen -- \
+    --jobs 1000 --tenants 4 --nodes 4 --budget 400 --seed 42 \
+    --node-faults node-flap:7 --shed-target 64 \
+    --out "$trace_tmp/chaos_a.jsonl" | tee "$trace_tmp/chaos.txt"
+grep -q "loadgen: PASS" "$trace_tmp/chaos.txt"
+cargo run --release -q -p arcs-serve --bin arcs-serve-loadgen -- \
+    --jobs 1000 --tenants 4 --nodes 4 --budget 400 --seed 42 \
+    --node-faults node-flap:7 --shed-target 64 \
+    --out "$trace_tmp/chaos_b.jsonl" > /dev/null
+cmp "$trace_tmp/chaos_a.jsonl" "$trace_tmp/chaos_b.jsonl"
+
+# Crash recovery over the wire: run a journaled arcs-serve under node
+# faults, kill it mid-run (no draining shutdown), restart with --recover,
+# and the recovered server must answer stats with the pre-kill counters
+# and carry the CheckpointRecovered lineage marker in its new journal.
+recover_port=47615
+cargo run --release -q -p arcs-serve --bin arcs-serve -- \
+    --port "$recover_port" --nodes 2 --machine crill --budget 300 \
+    --node-faults node-flap:7 --journal "$trace_tmp/broker.journal.jsonl" &
+recover_pid=$!
+for _ in $(seq 1 50); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$recover_port") 2>/dev/null; then
+        exec 3>&- 3<&-
+        break
+    fi
+    sleep 0.2
+done
+exec 3<>"/dev/tcp/127.0.0.1/$recover_port"
+printf '{"op":"submit","tenant":"acme","workload":"sp.S","timesteps":6}\n' >&3; read -r _ <&3
+printf '{"op":"submit","tenant":"umbrella","workload":"cg.S","timesteps":6}\n' >&3; read -r _ <&3
+printf '{"op":"stats"}\n' >&3; read -r pre_kill <&3
+exec 3>&- 3<&-
+# `cargo run` wraps the server in a parent process: kill the whole
+# command line, or the orphaned broker keeps the journal growing.
+pkill -9 -f "arcs-serve --port $recover_port --nodes" || true
+kill -9 "$recover_pid" 2>/dev/null || true
+wait "$recover_pid" 2>/dev/null || true
+pre_submitted="$(grep -o '"submitted":[0-9]*' <<< "$pre_kill" | head -1)"
+test -n "$pre_submitted"
+# A fresh port for the restart: the killed listener may leave the old
+# one in TIME_WAIT.
+recover_port2=47616
+cargo run --release -q -p arcs-serve --bin arcs-serve -- \
+    --port "$recover_port2" --recover "$trace_tmp/broker.journal.jsonl" \
+    --journal "$trace_tmp/broker.journal2.jsonl" &
+recover_pid=$!
+for _ in $(seq 1 50); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$recover_port2") 2>/dev/null; then
+        exec 3>&- 3<&-
+        break
+    fi
+    sleep 0.2
+done
+exec 3<>"/dev/tcp/127.0.0.1/$recover_port2"
+printf '{"op":"stats"}\n' >&3; read -r post_recover <&3
+grep -q "$pre_submitted" <<< "$post_recover"
+printf '{"op":"shutdown"}\n' >&3; read -r _ <&3
+exec 3>&- 3<&-
+wait "$recover_pid"
+grep -q "CheckpointRecovered" "$trace_tmp/broker.journal2.jsonl"

@@ -409,6 +409,10 @@ pub struct TraceReport {
     /// Multi-tenant broker activity (v5 traces; empty before).
     #[serde(default)]
     pub broker: BrokerReport,
+    /// Node outages, requeues and crash recovery (v9 traces; empty
+    /// before).
+    #[serde(default)]
+    pub recovery: RecoveryReport,
     /// Wall-clock analysis throughput stamped by the producer (`arcs-sim
     /// report`): `RegionEnd` records — sweep "cells" — replayed per
     /// second of real time. `None` in older artifacts or when the
@@ -472,6 +476,15 @@ pub struct TenantBreakdown {
     pub rejected: u64,
     /// Completions whose final status was not `ok`.
     pub degraded: u64,
+    /// Jobs that exhausted their retry budget (v9; 0 before).
+    #[serde(default)]
+    pub failed: u64,
+    /// Jobs load-shedding turned away (v9; 0 before).
+    #[serde(default)]
+    pub shed: u64,
+    /// Times this tenant's jobs were requeued off failed nodes (v9).
+    #[serde(default)]
+    pub requeued: u64,
     /// Σ completed-job run time.
     pub time_s: f64,
     /// Σ completed-job attributed energy.
@@ -504,6 +517,13 @@ pub struct BrokerReport {
     pub scheduled: u64,
     pub completed: u64,
     pub rejected: u64,
+    /// Jobs whose retry budget ran out, or that no surviving node could
+    /// host (v9 `JobFailed`; 0 before).
+    #[serde(default)]
+    pub failed: u64,
+    /// Jobs the bounded admission queue shed (v9 `JobShed`; 0 before).
+    #[serde(default)]
+    pub shed: u64,
     /// `CapReallocated` events observed.
     pub reallocations: u64,
     /// Global budget at the last reallocation point.
@@ -520,13 +540,33 @@ pub struct BrokerReport {
 impl BrokerReport {
     /// Did the trace record any broker activity at all?
     pub fn any(&self) -> bool {
-        self.submitted > 0 || self.rejected > 0 || self.reallocations > 0 || self.completed > 0
+        self.submitted > 0
+            || self.rejected > 0
+            || self.reallocations > 0
+            || self.completed > 0
+            || self.failed > 0
+            || self.shed > 0
     }
 
-    /// Jobs that entered the broker but neither completed nor were
-    /// rejected by the end of the trace.
+    /// Jobs that entered the broker but reached no terminal state —
+    /// completed, rejected, failed (typed) or shed — by the end of the
+    /// trace. Zero for any run the broker drained: every job must land
+    /// somewhere, even under node faults.
     pub fn lost_jobs(&self) -> i64 {
-        self.submitted as i64 - self.completed as i64 - self.rejected as i64
+        self.submitted as i64
+            - self.completed as i64
+            - self.rejected as i64
+            - self.failed as i64
+            - self.shed as i64
+    }
+
+    /// Fraction of submissions turned away by load shedding.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted > 0 {
+            self.shed as f64 / self.submitted as f64
+        } else {
+            0.0
+        }
     }
 
     /// Max/min ratio of per-tenant mean allocated watts — 1.0 is
@@ -573,6 +613,44 @@ impl FaultReport {
     /// Did the trace record any fault or recovery activity at all?
     pub fn any(&self) -> bool {
         !self.injected.is_empty() || self.rejected > 0 || !self.degraded_regions.is_empty()
+    }
+}
+
+/// What node faults did to the fleet and how the broker recovered, from
+/// the v9 `NodeFailed`/`NodeRecovered`/`JobRequeued`/
+/// `CheckpointRecovered` events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// `NodeFailed` events observed.
+    pub node_failures: u64,
+    /// Failures by class label (`crash`, `drain`).
+    pub failures_by_class: BTreeMap<String, u64>,
+    /// Failures flagged permanent — those nodes never recover.
+    pub permanent_failures: u64,
+    /// `NodeRecovered` events observed.
+    pub node_recoveries: u64,
+    /// Σ outage durations over all recoveries, virtual seconds.
+    pub total_down_s: f64,
+    /// `JobRequeued` events observed.
+    pub requeues: u64,
+    /// Broker restarts reconstructed by journal replay.
+    pub checkpoint_recoveries: u64,
+}
+
+impl RecoveryReport {
+    /// Did the trace record any node-fault activity at all?
+    pub fn any(&self) -> bool {
+        self.node_failures > 0 || self.requeues > 0 || self.checkpoint_recoveries > 0
+    }
+
+    /// Mean time to recovery over observed outages — `None` until a
+    /// node has actually come back.
+    pub fn mttr_s(&self) -> Option<f64> {
+        if self.node_recoveries > 0 {
+            Some(self.total_down_s / self.node_recoveries as f64)
+        } else {
+            None
+        }
     }
 }
 
@@ -887,11 +965,14 @@ impl TraceReport {
         if self.broker.any() {
             h(&mut out, "Broker");
             out.push_str(&format!(
-                "{} submitted, {} scheduled, {} completed, {} rejected, {} lost\n",
+                "{} submitted, {} scheduled, {} completed, {} rejected, {} failed, {} shed, \
+                 {} lost\n",
                 self.broker.submitted,
                 self.broker.scheduled,
                 self.broker.completed,
                 self.broker.rejected,
+                self.broker.failed,
+                self.broker.shed,
                 self.broker.lost_jobs()
             ));
             out.push_str(&format!(
@@ -922,6 +1003,29 @@ impl TraceReport {
                     t.energy_j
                 ));
             }
+        }
+
+        if self.recovery.any() {
+            h(&mut out, "Resilience");
+            let classes: Vec<String> =
+                self.recovery.failures_by_class.iter().map(|(k, n)| format!("{k} ×{n}")).collect();
+            out.push_str(&format!(
+                "{} node failure(s) ({}), {} permanent, {} recover(ies)\n",
+                self.recovery.node_failures,
+                if classes.is_empty() { "none".to_string() } else { classes.join(", ") },
+                self.recovery.permanent_failures,
+                self.recovery.node_recoveries
+            ));
+            match self.recovery.mttr_s() {
+                Some(mttr) => out.push_str(&format!("MTTR: {mttr:.3} s (virtual)\n")),
+                None => out.push_str("MTTR: n/a (no recoveries observed)\n"),
+            }
+            out.push_str(&format!(
+                "{} requeue(s), shed rate {:.1}%, {} checkpoint recover(ies)\n",
+                self.recovery.requeues,
+                100.0 * self.broker.shed_rate(),
+                self.recovery.checkpoint_recoveries
+            ));
         }
         out
     }
@@ -1139,7 +1243,38 @@ impl TraceAnalysis {
                 r.policy_switches += 1;
                 r.policies.entry(to.clone()).or_default().switches_in += 1;
             }
-            TraceEvent::PolicyFired { .. } => {}
+            TraceEvent::NodeFailed { class, permanent, .. } => {
+                r.recovery.node_failures += 1;
+                *r.recovery.failures_by_class.entry(class.clone()).or_default() += 1;
+                if *permanent {
+                    r.recovery.permanent_failures += 1;
+                }
+            }
+            TraceEvent::NodeRecovered { down_s, .. } => {
+                r.recovery.node_recoveries += 1;
+                r.recovery.total_down_s += down_s;
+            }
+            TraceEvent::JobRequeued { tenant, .. } => {
+                r.recovery.requeues += 1;
+                r.broker.tenants.entry(tenant.clone()).or_default().requeued += 1;
+            }
+            TraceEvent::JobFailed { job, tenant, .. } => {
+                r.broker.failed += 1;
+                r.broker.tenants.entry(tenant.clone()).or_default().failed += 1;
+                self.job_tenants.remove(job);
+            }
+            TraceEvent::JobShed { job, tenant, .. } => {
+                r.broker.shed += 1;
+                r.broker.tenants.entry(tenant.clone()).or_default().shed += 1;
+                self.job_tenants.remove(job);
+            }
+            TraceEvent::CheckpointRecovered { .. } => {
+                r.recovery.checkpoint_recoveries += 1;
+            }
+            TraceEvent::BrokerConfigured { budget_w, .. } => {
+                r.broker.budget_w = *budget_w;
+            }
+            TraceEvent::PolicyFired { .. } | TraceEvent::BrokerStep {} => {}
         }
     }
 
@@ -1655,6 +1790,9 @@ mod tests {
                     workload: "sp.W".into(),
                     floor_w: 40.0,
                     weight: 1.0,
+                    timesteps: 0,
+                    fault_seed: None,
+                    requested_floor_w: None,
                 },
             ),
             rec(
@@ -1681,6 +1819,9 @@ mod tests {
                     workload: "bt.W".into(),
                     floor_w: 40.0,
                     weight: 1.0,
+                    timesteps: 0,
+                    fault_seed: None,
+                    requested_floor_w: None,
                 },
             ),
             rec(
@@ -1710,6 +1851,9 @@ mod tests {
                     workload: "bt.W".into(),
                     floor_w: 500.0,
                     weight: 1.0,
+                    timesteps: 0,
+                    fault_seed: None,
+                    requested_floor_w: None,
                 },
             ),
             rec(

@@ -23,9 +23,10 @@ pub mod analysis;
 pub mod registry;
 
 pub use analysis::{
-    analyze, analyze_path, compare_reports, compare_reports_for, CacheReport, CapSegment,
-    Comparison, ConvergencePoint, FaultReport, OverheadReport, RegionBreakdown, SelfProfile,
-    TraceAnalysis, TraceReadError, TraceReader, TraceReport,
+    analyze, analyze_path, compare_reports, compare_reports_for, BrokerReport, CacheReport,
+    CapSegment, Comparison, ConvergencePoint, FaultReport, OverheadReport, RecoveryReport,
+    RegionBreakdown, SelfProfile, TenantBreakdown, TraceAnalysis, TraceReadError, TraceReader,
+    TraceReport,
 };
 pub use registry::{
     BucketCount, Counter, CounterFamily, Gauge, GaugeFamily, Histogram, HistogramFamily,

@@ -230,6 +230,213 @@ impl FaultPlan {
     }
 }
 
+/// How a node leaves service, as decided by a [`NodeFaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeFaultClass {
+    /// Immediate loss: whatever quantum was in flight on the node is
+    /// discarded and its job pays a retry.
+    Crash,
+    /// Graceful exit: the in-flight quantum finishes, the job requeues
+    /// for free, then the node goes down.
+    Drain,
+}
+
+impl NodeFaultClass {
+    /// Short lowercase label, as carried by `NodeFailed` trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NodeFaultClass::Crash => "crash",
+            NodeFaultClass::Drain => "drain",
+        }
+    }
+}
+
+/// One scheduled outage of one fleet node, in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFault {
+    /// Nominal failure instant, virtual seconds from broker start.
+    pub at_s: f64,
+    pub class: NodeFaultClass,
+    /// Outage duration; `None` means the node never comes back.
+    pub down_s: Option<f64>,
+}
+
+/// Seeded, stateless outage schedule for a whole fleet — the
+/// [`FaultPlan`] idea lifted one layer up, from meter reads to nodes.
+/// Every decision is a pure hash of `(seed, class, node, ordinal)`
+/// through the same FNV-mix + splitmix64 construction, so the same seed
+/// produces a bit-identical fault schedule (and therefore bit-identical
+/// broker traces) on any host. A default plan fails nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NodeFaultPlan {
+    /// Master seed; equal plans produce identical schedules.
+    pub seed: u64,
+    /// Warmup before the first outage can fire, virtual seconds.
+    pub start_s: f64,
+    /// Mean virtual seconds between a node's outages (uniform in
+    /// `[0.5, 1.5) ×` this). `0` disables the plan.
+    pub mtbf_s: f64,
+    /// Mean outage duration (uniform in `[0.5, 1.5) ×` this).
+    pub mttr_s: f64,
+    /// Probability an outage is a graceful drain rather than a crash.
+    pub drain_rate: f64,
+    /// Probability an outage is permanent — the node never recovers and
+    /// schedules no further faults.
+    pub permanent_rate: f64,
+    /// Hard bound on outages per node, so every schedule is finite.
+    pub max_faults_per_node: u32,
+}
+
+// Hand-written so sparse inline specs (the `--node-faults` JSON form)
+// fill every unnamed field from `NodeFaultPlan::default()` — the derive's
+// per-field `#[serde(default)]` would zero them instead, which disables
+// recovery (`mttr_s: 0`) and outage bounds (`max_faults_per_node: 0`).
+impl Deserialize for NodeFaultPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if !matches!(v, serde::Value::Map(_)) {
+            return Err(serde::Error::custom(format!(
+                "expected map for NodeFaultPlan, found {v:?}"
+            )));
+        }
+        fn field<T: Deserialize>(
+            v: &serde::Value,
+            name: &str,
+            fallback: T,
+        ) -> Result<T, serde::Error> {
+            match v.get(name) {
+                Some(f) => T::from_value(f)
+                    .map_err(|e| serde::Error::custom(format!("NodeFaultPlan.{name}: {e}"))),
+                None => Ok(fallback),
+            }
+        }
+        let d = NodeFaultPlan::default();
+        Ok(NodeFaultPlan {
+            seed: field(v, "seed", d.seed)?,
+            start_s: field(v, "start_s", d.start_s)?,
+            mtbf_s: field(v, "mtbf_s", d.mtbf_s)?,
+            mttr_s: field(v, "mttr_s", d.mttr_s)?,
+            drain_rate: field(v, "drain_rate", d.drain_rate)?,
+            permanent_rate: field(v, "permanent_rate", d.permanent_rate)?,
+            max_faults_per_node: field(v, "max_faults_per_node", d.max_faults_per_node)?,
+        })
+    }
+}
+
+impl Default for NodeFaultPlan {
+    fn default() -> Self {
+        NodeFaultPlan {
+            seed: 0,
+            start_s: 0.5,
+            mtbf_s: 0.0,
+            mttr_s: 2.0,
+            drain_rate: 0.0,
+            permanent_rate: 0.0,
+            max_faults_per_node: 8,
+        }
+    }
+}
+
+impl NodeFaultPlan {
+    /// An empty plan (no outages) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        NodeFaultPlan { seed, ..NodeFaultPlan::default() }
+    }
+
+    /// Occasional crashes with outages long enough to force requeues,
+    /// and a small chance a node is lost for good.
+    pub fn node_crash(seed: u64) -> Self {
+        NodeFaultPlan {
+            seed,
+            mtbf_s: 6.0,
+            mttr_s: 2.0,
+            permanent_rate: 0.15,
+            max_faults_per_node: 8,
+            ..NodeFaultPlan::default()
+        }
+    }
+
+    /// Rapid up/down cycling: short mean time between crashes, short
+    /// outages, many cycles — the reference chaos preset for broker
+    /// runs (retries and backoff get exercised hard, nothing may be
+    /// lost).
+    pub fn node_flap(seed: u64) -> Self {
+        NodeFaultPlan {
+            seed,
+            mtbf_s: 2.0,
+            mttr_s: 0.6,
+            max_faults_per_node: 64,
+            ..NodeFaultPlan::default()
+        }
+    }
+
+    /// Graceful drains only: in-flight quanta finish, jobs requeue for
+    /// free, nodes come back after maintenance-sized outages.
+    pub fn node_drain(seed: u64) -> Self {
+        NodeFaultPlan {
+            seed,
+            mtbf_s: 5.0,
+            mttr_s: 2.5,
+            drain_rate: 1.0,
+            max_faults_per_node: 8,
+            ..NodeFaultPlan::default()
+        }
+    }
+
+    /// Look up a named plan (`node-crash`, `node-flap`, `node-drain`).
+    pub fn by_name(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "node-crash" => Some(Self::node_crash(seed)),
+            "node-flap" => Some(Self::node_flap(seed)),
+            "node-drain" => Some(Self::node_drain(seed)),
+            _ => None,
+        }
+    }
+
+    /// The plan names [`NodeFaultPlan::by_name`] accepts.
+    pub fn names() -> &'static [&'static str] {
+        &["node-crash", "node-flap", "node-drain"]
+    }
+
+    /// True when this plan can ever take a node down.
+    pub fn is_active(&self) -> bool {
+        self.mtbf_s > 0.0 && self.max_faults_per_node > 0
+    }
+
+    /// The node's complete outage schedule, generated eagerly — pure in
+    /// `(plan, node)`, independent of call order and of every other
+    /// node. Nominal failure instants advance past each outage, so a
+    /// node's scheduled outages never overlap; a permanent outage ends
+    /// the schedule.
+    pub fn schedule_for(&self, node: u64) -> Vec<NodeFault> {
+        if !self.is_active() {
+            return Vec::new();
+        }
+        let key = format!("node{node}");
+        let mut out = Vec::new();
+        let mut t = self.start_s.max(0.0);
+        for k in 0..u64::from(self.max_faults_per_node) {
+            t += self.mtbf_s * (0.5 + unit(mix(self.seed, b'G', &key, k)));
+            let class = if unit(mix(self.seed, b'C', &key, k)) < self.drain_rate {
+                NodeFaultClass::Drain
+            } else {
+                NodeFaultClass::Crash
+            };
+            let permanent = unit(mix(self.seed, b'P', &key, k)) < self.permanent_rate;
+            let down_s = self.mttr_s.max(0.0) * (0.5 + unit(mix(self.seed, b'M', &key, k)));
+            out.push(NodeFault {
+                at_s: t,
+                class,
+                down_s: if permanent { None } else { Some(down_s) },
+            });
+            if permanent {
+                break;
+            }
+            t += down_s;
+        }
+        out
+    }
+}
+
 /// FNV-style byte mix over `(tag, key)` xor-folded with the ordinal,
 /// finished with splitmix64 — the same construction as the executor's
 /// noise model, so fault decisions share its independence properties.
@@ -364,5 +571,87 @@ mod tests {
         let json = serde_json::to_string(&p).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn default_node_plan_fails_nothing() {
+        let p = NodeFaultPlan::new(4);
+        assert!(!p.is_active());
+        for node in 0..64 {
+            assert!(p.schedule_for(node).is_empty());
+        }
+    }
+
+    #[test]
+    fn node_schedules_are_deterministic_and_per_node_independent() {
+        let a = NodeFaultPlan::node_flap(42);
+        let b = NodeFaultPlan::node_flap(42);
+        for node in 0..16 {
+            assert_eq!(a.schedule_for(node), b.schedule_for(node));
+        }
+        // Reverse generation order changes nothing (pure in (plan, node)).
+        let fwd: Vec<_> = (0..16).map(|n| a.schedule_for(n)).collect();
+        let rev: Vec<_> = (0..16).rev().map(|n| a.schedule_for(n)).collect();
+        for (n, s) in fwd.iter().enumerate() {
+            assert_eq!(*s, rev[15 - n]);
+        }
+        // Different nodes (and different seeds) diverge.
+        assert_ne!(a.schedule_for(0), a.schedule_for(1));
+        assert_ne!(a.schedule_for(0), NodeFaultPlan::node_flap(43).schedule_for(0));
+    }
+
+    #[test]
+    fn node_outages_are_bounded_ordered_and_non_overlapping() {
+        for seed in [1, 9, 77] {
+            let p = NodeFaultPlan::node_crash(seed);
+            for node in 0..8 {
+                let sched = p.schedule_for(node);
+                assert!(sched.len() <= p.max_faults_per_node as usize);
+                assert!(!sched.is_empty());
+                let mut up_since = p.start_s;
+                for f in &sched {
+                    assert!(f.at_s >= up_since + 0.5 * p.mtbf_s - 1e-9, "outages overlap");
+                    assert!(f.at_s.is_finite());
+                    match f.down_s {
+                        Some(d) => {
+                            assert!(d >= 0.5 * p.mttr_s - 1e-9 && d < 1.5 * p.mttr_s + 1e-9);
+                            up_since = f.at_s + d;
+                        }
+                        None => up_since = f64::INFINITY,
+                    }
+                }
+                // A permanent outage, if any, is the last entry.
+                for f in &sched[..sched.len() - 1] {
+                    assert!(f.down_s.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_fault_presets_have_their_shapes() {
+        let drain = NodeFaultPlan::node_drain(3);
+        assert!(drain.schedule_for(2).iter().all(|f| f.class == NodeFaultClass::Drain));
+        let flap = NodeFaultPlan::node_flap(3);
+        assert!(flap.schedule_for(2).len() > NodeFaultPlan::node_crash(3).schedule_for(2).len());
+        for name in NodeFaultPlan::names() {
+            assert!(NodeFaultPlan::by_name(name, 1).unwrap().is_active(), "{name}");
+        }
+        assert!(NodeFaultPlan::by_name("flaky-rapl", 1).is_none());
+    }
+
+    #[test]
+    fn node_plan_round_trips_through_json_with_defaults() {
+        let p = NodeFaultPlan::node_flap(11);
+        let back: NodeFaultPlan =
+            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(p, back);
+        // Sparse inline specs (the `--node-faults` JSON form) fill in
+        // defaults for everything unnamed.
+        let sparse: NodeFaultPlan = serde_json::from_str(r#"{"seed":7,"mtbf_s":3.0}"#).unwrap();
+        assert_eq!(sparse.seed, 7);
+        assert_eq!(sparse.mtbf_s, 3.0);
+        assert_eq!(sparse.max_faults_per_node, NodeFaultPlan::default().max_faults_per_node);
+        assert!(sparse.is_active());
     }
 }

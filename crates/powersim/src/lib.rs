@@ -62,7 +62,9 @@ pub use exec::{
     simulate_region, simulate_region_at_freq, simulate_region_with, SimConfig, SimReport,
     SimScratch,
 };
-pub use fault::{CapFault, FaultPlan, InvocationFaults, MeasureError};
+pub use fault::{
+    CapFault, FaultPlan, InvocationFaults, MeasureError, NodeFault, NodeFaultClass, NodeFaultPlan,
+};
 pub use fleet::{Fleet, FleetNode};
 pub use machine::{CacheGeometry, Machine, MachineLoadError, Placement, PowerModel, SmtModel};
 pub use memo::{

@@ -7,6 +7,7 @@
 //! arcs-serve-loadgen [--jobs N] [--tenants N] [--nodes N] [--machine M]
 //!                    [--budget WATTS] [--seed S] [--quantum T]
 //!                    [--reject-every N] [--fault-every N]
+//!                    [--node-faults PRESET[:SEED]|JSON] [--shed-target N]
 //!                    [--max-fairness R] --out TRACE.jsonl
 //! arcs-serve-loadgen --connect HOST:PORT [--jobs N] [--tenants N] [--seed S] ...
 //! arcs-serve-loadgen verify TRACE.jsonl
@@ -15,17 +16,25 @@
 //! The default (in-process) mode drives the broker directly: it replays
 //! a seeded arrival stream — same seed, same stream, byte-identical
 //! trace — then analyses the trace and **fails** (exit 1) unless every
-//! admitted job completed, Σ allocated caps ≤ budget at every
-//! reallocation point, at least one job was rejected by admission
-//! control (the stream plants inadmissible jobs on purpose), and the
-//! tenant fairness ratio stays under `--max-fairness`.
+//! admitted job reached a terminal state (completed, or typed failed /
+//! shed under chaos), Σ allocated caps ≤ budget at every reallocation
+//! point, at least one job was rejected by admission control (the
+//! stream plants inadmissible jobs on purpose), and the tenant fairness
+//! ratio stays under `--max-fairness`.
+//!
+//! `--node-faults` injects a deterministic node-outage schedule (same
+//! presets as `arcs-serve`) and turns on the chaos must-fire checks: at
+//! least one node must fail and at least one victim job must be
+//! requeued, or the run did not actually exercise the recovery path.
+//! `--shed-target N` bounds the admission queue at N and requires load
+//! shedding to fire.
 //!
 //! `--connect` replays the same stream against a live `arcs-serve` over
 //! TCP and finishes with a draining `shutdown`; pair it with `verify`
 //! on the server's trace file.
 
 use arcs_metrics::analyze_path;
-use arcs_powersim::{Fleet, Machine};
+use arcs_powersim::{Fleet, Machine, NodeFaultPlan};
 use arcs_serve::server::Client;
 use arcs_serve::{Broker, BrokerConfig, JobSpec, Request};
 use arcs_trace::{JsonlSink, TraceSink};
@@ -52,6 +61,8 @@ struct Args {
     max_fairness: f64,
     out: Option<String>,
     connect: Option<String>,
+    node_faults: Option<String>,
+    shed_target: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -59,10 +70,36 @@ fn usage() -> ! {
         "usage: arcs-serve-loadgen [--jobs N] [--tenants N] [--nodes N] [--machine M]\n\
          \x20                        [--budget WATTS] [--seed S] [--quantum T]\n\
          \x20                        [--reject-every N] [--fault-every N]\n\
+         \x20                        [--node-faults PRESET[:SEED]|JSON] [--shed-target N]\n\
          \x20                        [--max-fairness R] [--out TRACE] [--connect HOST:PORT]\n\
          \x20      arcs-serve-loadgen verify TRACE.jsonl"
     );
     std::process::exit(2)
+}
+
+/// Parse `--node-faults`: a JSON `NodeFaultPlan` if the value starts
+/// with `{`, otherwise a preset name with an optional `:SEED` suffix.
+fn parse_node_faults(spec: &str) -> NodeFaultPlan {
+    if spec.trim_start().starts_with('{') {
+        return serde_json::from_str(spec).unwrap_or_else(|err| {
+            eprintln!("bad --node-faults JSON: {err}");
+            std::process::exit(2)
+        });
+    }
+    let (name, seed) = match spec.split_once(':') {
+        Some((name, seed)) => (
+            name,
+            seed.parse().unwrap_or_else(|_| {
+                eprintln!("bad --node-faults seed {seed:?}");
+                std::process::exit(2)
+            }),
+        ),
+        None => (spec, 0),
+    };
+    NodeFaultPlan::by_name(name, seed).unwrap_or_else(|| {
+        eprintln!("unknown node-fault preset {name:?} (node-crash, node-flap, node-drain)");
+        std::process::exit(2)
+    })
 }
 
 fn parse_args(argv: &[String]) -> Args {
@@ -79,6 +116,8 @@ fn parse_args(argv: &[String]) -> Args {
         max_fairness: 3.0,
         out: None,
         connect: None,
+        node_faults: None,
+        shed_target: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -109,6 +148,10 @@ fn parse_args(argv: &[String]) -> Args {
             }
             "--out" => args.out = Some(value("--out")),
             "--connect" => args.connect = Some(value("--connect")),
+            "--node-faults" => args.node_faults = Some(value("--node-faults")),
+            "--shed-target" => {
+                args.shed_target = Some(value("--shed-target").parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -147,7 +190,28 @@ fn arrival_stream(args: &Args, budget_w: f64) -> Vec<JobSpec> {
         .collect()
 }
 
-fn verify_trace(path: &str, max_fairness: Option<f64>, expect_rejections: bool) -> i32 {
+struct VerifyExpectations {
+    max_fairness: Option<f64>,
+    rejections: bool,
+    /// Node faults were injected: node failures AND job requeues must
+    /// both appear, or the chaos schedule never actually bit.
+    requeues: bool,
+    /// The admission queue was bounded: shedding must fire.
+    shedding: bool,
+}
+
+impl VerifyExpectations {
+    fn none() -> Self {
+        VerifyExpectations {
+            max_fairness: None,
+            rejections: false,
+            requeues: false,
+            shedding: false,
+        }
+    }
+}
+
+fn verify_trace(path: &str, expect: &VerifyExpectations) -> i32 {
     let report = match analyze_path(path) {
         Ok(report) => report,
         Err(err) => {
@@ -161,12 +225,23 @@ fn verify_trace(path: &str, max_fairness: Option<f64>, expect_rejections: bool) 
         return 1;
     }
     println!(
-        "loadgen: {} submitted, {} scheduled, {} completed, {} rejected ({} reallocation(s))",
-        b.submitted, b.scheduled, b.completed, b.rejected, b.reallocations
+        "loadgen: {} submitted, {} scheduled, {} completed, {} rejected, \
+         {} failed, {} shed ({} reallocation(s))",
+        b.submitted, b.scheduled, b.completed, b.rejected, b.failed, b.shed, b.reallocations
     );
+    let r = &report.recovery;
+    if r.any() {
+        println!(
+            "loadgen: {} node failure(s) ({} permanent), {} recoveries, {} requeue(s)",
+            r.node_failures, r.permanent_failures, r.node_recoveries, r.requeues
+        );
+    }
     let mut failed = false;
     if b.lost_jobs() != 0 {
-        eprintln!("loadgen: FAIL — {} job(s) lost (admitted but never completed)", b.lost_jobs());
+        eprintln!(
+            "loadgen: FAIL — {} job(s) lost (admitted but reached no terminal state)",
+            b.lost_jobs()
+        );
         failed = true;
     }
     if b.over_budget_events != 0 {
@@ -181,11 +256,25 @@ fn verify_trace(path: &str, max_fairness: Option<f64>, expect_rejections: bool) 
             b.max_total_w, b.budget_w
         );
     }
-    if expect_rejections && b.rejected == 0 {
+    if expect.rejections && b.rejected == 0 {
         eprintln!("loadgen: FAIL — the planted inadmissible jobs were not rejected");
         failed = true;
     }
-    match (b.fairness_ratio(), max_fairness) {
+    if expect.requeues {
+        if r.node_failures == 0 {
+            eprintln!("loadgen: FAIL — node faults requested but no node ever failed");
+            failed = true;
+        }
+        if r.requeues == 0 {
+            eprintln!("loadgen: FAIL — node faults fired but no victim job was requeued");
+            failed = true;
+        }
+    }
+    if expect.shedding && b.shed == 0 {
+        eprintln!("loadgen: FAIL — the admission queue was bounded but nothing was shed");
+        failed = true;
+    }
+    match (b.fairness_ratio(), expect.max_fairness) {
         (Some(ratio), Some(limit)) => {
             println!("loadgen: tenant fairness ratio {ratio:.3} (limit {limit:.1})");
             if ratio > limit {
@@ -238,6 +327,9 @@ fn run_in_process(args: &Args) -> i32 {
     resilience.max_read_retries = 0;
     resilience.error_budget = Some(1);
     cfg.resilience = Some(resilience);
+    cfg.node_faults = args.node_faults.as_deref().map(parse_node_faults);
+    cfg.max_queue = args.shed_target;
+    let chaos = cfg.node_faults.as_ref().is_some_and(|plan| plan.is_active());
     let mut broker = Broker::new(fleet, cfg, Arc::clone(&sink) as Arc<dyn TraceSink>);
 
     let stream = arrival_stream(args, budget_w);
@@ -273,7 +365,15 @@ fn run_in_process(args: &Args) -> i32 {
         wall,
         counters.completed as f64 / wall.max(1e-9)
     );
-    verify_trace(out, Some(args.max_fairness), args.reject_every > 0)
+    verify_trace(
+        out,
+        &VerifyExpectations {
+            max_fairness: Some(args.max_fairness),
+            rejections: args.reject_every > 0,
+            requeues: chaos,
+            shedding: args.shed_target.is_some(),
+        },
+    )
 }
 
 fn run_client(args: &Args, addr: &str) -> i32 {
@@ -321,7 +421,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = if argv.first().map(String::as_str) == Some("verify") {
         match argv.get(1) {
-            Some(path) => verify_trace(path, None, false),
+            Some(path) => verify_trace(path, &VerifyExpectations::none()),
             None => usage(),
         }
     } else {

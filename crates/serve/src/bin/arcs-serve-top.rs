@@ -131,6 +131,10 @@ fn render_table(snap: &TelemetrySnapshot) -> String {
         snap.submitted, snap.queued, snap.running, snap.completed, snap.rejected, snap.degraded
     ));
     out.push_str(&format!(
+        "resilience: failed {}  shed {}  requeued {}  nodes down {}\n",
+        snap.failed, snap.shed, snap.requeued, snap.nodes_down
+    ));
+    out.push_str(&format!(
         "wait p50/p99 {:.3}/{:.3} s   turnaround p50/p99 {:.3}/{:.3} s   churn mean {:.2} W\n\n",
         snap.queue_wait.p50,
         snap.queue_wait.p99,
@@ -139,7 +143,7 @@ fn render_table(snap: &TelemetrySnapshot) -> String {
         snap.realloc_churn_w.mean
     ));
     out.push_str(&format!(
-        "{:<12} {:>6} {:>4} {:>5} {:>5} {:>5} {:>4} {:>9} {:>9} {:>9} {:>9}\n",
+        "{:<12} {:>6} {:>4} {:>5} {:>5} {:>5} {:>4} {:>4} {:>4} {:>9} {:>9} {:>9} {:>9}\n",
         "tenant",
         "weight",
         "run",
@@ -147,6 +151,8 @@ fn render_table(snap: &TelemetrySnapshot) -> String {
         "done",
         "degr",
         "rej",
+        "fail",
+        "shed",
         "alloc W",
         "fair W",
         "wait p50",
@@ -154,7 +160,7 @@ fn render_table(snap: &TelemetrySnapshot) -> String {
     ));
     for (name, t) in &snap.tenants {
         out.push_str(&format!(
-            "{:<12} {:>6.2} {:>4} {:>5} {:>5} {:>5} {:>4} {:>9.2} {:>9.2} {:>9.3} {:>9.3}\n",
+            "{:<12} {:>6.2} {:>4} {:>5} {:>5} {:>5} {:>4} {:>4} {:>4} {:>9.2} {:>9.2} {:>9.3} {:>9.3}\n",
             name,
             t.weight,
             t.running,
@@ -162,6 +168,8 @@ fn render_table(snap: &TelemetrySnapshot) -> String {
             t.completed,
             t.degraded,
             t.rejected,
+            t.failed,
+            t.shed,
             t.alloc_w,
             t.fair_share_w,
             t.queue_wait.p50,

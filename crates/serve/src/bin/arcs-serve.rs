@@ -3,20 +3,30 @@
 //! ```text
 //! arcs-serve [--port N] [--nodes N] [--machine crill|minotaur]
 //!            [--budget WATTS] [--quantum TIMESTEPS] [--trace PATH]
-//!            [--pool THREADS]
+//!            [--pool THREADS] [--journal PATH] [--recover PATH]
+//!            [--max-queue N] [--max-retries N]
+//!            [--node-faults PRESET[:SEED]|JSON]
 //! ```
 //!
 //! Serves newline-delimited JSON (see `arcs_serve::protocol`) until a
 //! client sends `{"op":"shutdown"}`; admitted jobs are drained before
-//! the ack, and the broker trace (schema v7) is flushed to `--trace`.
+//! the ack, and the broker trace (schema v9) is flushed to `--trace`.
 //! Live telemetry is available over the same port: `{"op":"stats"}` for
 //! one snapshot, `{"op":"metrics"}` for a Prometheus scrape, and
 //! `{"op":"watch"}` for a continuous NDJSON stream (see `arcs-serve-top`
 //! for a terminal dashboard over it).
+//!
+//! `--journal` write-ahead-logs every submission and step; after a
+//! crash, `--recover <journal>` rebuilds the exact broker by replaying
+//! it (fleet shape, budget, and fault plan come from the journal header,
+//! so the fleet flags are ignored in that mode). `--node-faults` injects
+//! a deterministic node-outage schedule: a preset name (`node-crash`,
+//! `node-flap`, `node-drain`, optionally `:SEED`) or a full JSON plan.
 
-use arcs_powersim::{Fleet, Machine};
-use arcs_serve::{Broker, BrokerConfig, Server};
+use arcs_powersim::{Fleet, Machine, NodeFaultPlan};
+use arcs_serve::{Broker, BrokerConfig, BrokerJournal, Server};
 use arcs_trace::{JsonlSink, NullSink, TraceSink};
+use std::path::Path;
 use std::sync::Arc;
 
 struct Args {
@@ -27,15 +37,47 @@ struct Args {
     quantum: usize,
     trace: Option<String>,
     pool: usize,
+    journal: Option<String>,
+    recover: Option<String>,
+    max_queue: Option<usize>,
+    max_retries: Option<u64>,
+    node_faults: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: arcs-serve [--port N] [--nodes N] [--machine crill|minotaur]\n\
          \x20                 [--budget WATTS] [--quantum TIMESTEPS] [--trace PATH]\n\
-         \x20                 [--pool THREADS]"
+         \x20                 [--pool THREADS] [--journal PATH] [--recover PATH]\n\
+         \x20                 [--max-queue N] [--max-retries N]\n\
+         \x20                 [--node-faults PRESET[:SEED]|JSON]"
     );
     std::process::exit(2)
+}
+
+/// Parse `--node-faults`: a JSON `NodeFaultPlan` if the value starts
+/// with `{`, otherwise a preset name with an optional `:SEED` suffix.
+fn parse_node_faults(spec: &str) -> NodeFaultPlan {
+    if spec.trim_start().starts_with('{') {
+        return serde_json::from_str(spec).unwrap_or_else(|err| {
+            eprintln!("bad --node-faults JSON: {err}");
+            std::process::exit(2)
+        });
+    }
+    let (name, seed) = match spec.split_once(':') {
+        Some((name, seed)) => (
+            name,
+            seed.parse().unwrap_or_else(|_| {
+                eprintln!("bad --node-faults seed {seed:?}");
+                std::process::exit(2)
+            }),
+        ),
+        None => (spec, 0),
+    };
+    NodeFaultPlan::by_name(name, seed).unwrap_or_else(|| {
+        eprintln!("unknown node-fault preset {name:?} (node-crash, node-flap, node-drain)");
+        std::process::exit(2)
+    })
 }
 
 fn parse_args() -> Args {
@@ -47,6 +89,11 @@ fn parse_args() -> Args {
         quantum: 4,
         trace: None,
         pool: 4,
+        journal: None,
+        recover: None,
+        max_queue: None,
+        max_retries: None,
+        node_faults: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,6 +113,15 @@ fn parse_args() -> Args {
             "--quantum" => args.quantum = value("--quantum").parse().unwrap_or_else(|_| usage()),
             "--trace" => args.trace = Some(value("--trace")),
             "--pool" => args.pool = value("--pool").parse().unwrap_or_else(|_| usage()),
+            "--journal" => args.journal = Some(value("--journal")),
+            "--recover" => args.recover = Some(value("--recover")),
+            "--max-queue" => {
+                args.max_queue = Some(value("--max-queue").parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-retries" => {
+                args.max_retries = Some(value("--max-retries").parse().unwrap_or_else(|_| usage()))
+            }
+            "--node-faults" => args.node_faults = Some(value("--node-faults")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -78,19 +134,6 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let machine = match args.machine.as_str() {
-        "crill" => Machine::crill(),
-        "minotaur" => Machine::minotaur(),
-        other => {
-            eprintln!("unknown machine {other:?} (expected crill or minotaur)");
-            std::process::exit(2)
-        }
-    };
-    let fleet = Fleet::homogeneous(machine, args.nodes);
-    // Default budget: enough to run every node at 75 % of its maximum —
-    // tight enough that arbitration matters, loose enough to admit any
-    // single-node job.
-    let budget_w = args.budget_w.unwrap_or(fleet.total_max_cap_w() * 0.75);
     // Kept concrete (not just `dyn TraceSink`) so the write-error
     // counter bridge below can reach the sink after broker attach.
     let jsonl: Option<Arc<JsonlSink<std::fs::File>>> = args.trace.as_ref().map(|path| {
@@ -103,10 +146,65 @@ fn main() {
         Some(sink) => Arc::clone(sink) as Arc<dyn TraceSink>,
         None => Arc::new(NullSink),
     };
+    let new_journal = args.journal.as_ref().map(|path| {
+        BrokerJournal::create(Path::new(path)).unwrap_or_else(|err| {
+            eprintln!("cannot open journal {path:?}: {err}");
+            std::process::exit(1)
+        })
+    });
 
-    let mut cfg = BrokerConfig::new(budget_w);
-    cfg.quantum_timesteps = args.quantum.max(1);
-    let broker = Broker::new(fleet, cfg, sink);
+    let broker = if let Some(old) = &args.recover {
+        // Recovery mode: the journal header carries the fleet shape,
+        // budget, and fault plan — the fleet flags are ignored.
+        match Broker::recover(Path::new(old), sink, new_journal) {
+            Ok(broker) => {
+                let c = broker.counters();
+                println!(
+                    "arcs-serve recovered from {old:?}: {} submitted, {} completed, {} failed",
+                    c.submitted, c.completed, c.failed
+                );
+                broker
+            }
+            Err(err) => {
+                eprintln!("cannot recover from {old:?}: {err}");
+                std::process::exit(1)
+            }
+        }
+    } else {
+        let machine = match args.machine.as_str() {
+            "crill" => Machine::crill(),
+            "minotaur" => Machine::minotaur(),
+            other => {
+                eprintln!("unknown machine {other:?} (expected crill or minotaur)");
+                std::process::exit(2)
+            }
+        };
+        let fleet = Fleet::homogeneous(machine, args.nodes);
+        // Default budget: enough to run every node at 75 % of its
+        // maximum — tight enough that arbitration matters, loose enough
+        // to admit any single-node job.
+        let budget_w = args.budget_w.unwrap_or(fleet.total_max_cap_w() * 0.75);
+        let mut cfg = BrokerConfig::new(budget_w);
+        cfg.quantum_timesteps = args.quantum.max(1);
+        cfg.max_queue = args.max_queue;
+        if let Some(retries) = args.max_retries {
+            cfg.max_retries = retries;
+        }
+        cfg.node_faults = args.node_faults.as_deref().map(parse_node_faults);
+        let mut broker = Broker::new(fleet, cfg, sink);
+        if let Some(journal) = new_journal {
+            broker.attach_journal(journal);
+        }
+        println!(
+            "arcs-serve fleet: {} × {} node(s), budget {:.1} W, quantum {}",
+            args.nodes,
+            args.machine,
+            budget_w,
+            args.quantum.max(1)
+        );
+        broker
+    };
+
     if let Some(sink) = &jsonl {
         // A dying trace file now shows up in `metrics` scrapes as
         // `arcs/trace/write_errors`, not just on stderr at exit.
@@ -119,14 +217,7 @@ fn main() {
             std::process::exit(1)
         }
     };
-    println!(
-        "arcs-serve listening on {} ({} × {} node(s), budget {:.1} W, quantum {})",
-        handle.addr(),
-        args.nodes,
-        args.machine,
-        budget_w,
-        args.quantum.max(1)
-    );
+    println!("arcs-serve listening on {}", handle.addr());
     // Park until a client-initiated shutdown stops the threads.
     handle.wait();
 }

@@ -43,15 +43,17 @@
 //! produces byte-identical traces.
 
 use crate::job::{resolve_workload, JobSpec, JobState};
+use crate::journal::{load_journal, BrokerJournal, JournalError};
 use crate::telemetry::{self, event_line, push_event, Digest, TelemetrySnapshot, TenantTelemetry};
 use arcs::backend::Runner;
 use arcs::{
     CapHandle, ConfigSpace, RegionTuner, ResilienceOptions, RunStatus, SimExecutor, TunerOptions,
 };
 use arcs_metrics::{Counter, Gauge, GaugeFamily, Histogram, HistogramFamily, MetricsRegistry};
-use arcs_powersim::{FaultPlan, Fleet, WorkloadDescriptor};
+use arcs_powersim::{FaultPlan, Fleet, Machine, NodeFaultClass, NodeFaultPlan, WorkloadDescriptor};
 use arcs_trace::{JobAllocation, TraceEvent, TraceSink};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::Path;
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
@@ -75,12 +77,57 @@ pub struct BrokerConfig {
     /// always given at least [`ResilienceOptions::standard`], or they
     /// could not degrade gracefully).
     pub resilience: Option<ResilienceOptions>,
+    /// Deterministic node-outage schedule for the fleet; `None` (or an
+    /// inactive plan) keeps every node immortal.
+    pub node_faults: Option<NodeFaultPlan>,
+    /// Bound on the admission queue: submissions beyond it are *shed*
+    /// with a typed reason and a backpressure hint instead of growing
+    /// the queue without bound. `None` keeps the queue unbounded.
+    pub max_queue: Option<usize>,
+    /// How many times a job may be re-placed after losing its node to a
+    /// crash before it fails typed. Graceful drains cost no retry.
+    pub max_retries: u64,
+    /// Base of the deterministic exponential backoff a crash-requeued
+    /// job sits out before becoming placeable again, virtual seconds
+    /// (doubles per crash, capped at 64×).
+    pub backoff_base_s: f64,
 }
 
 impl BrokerConfig {
     pub fn new(budget_w: f64) -> Self {
-        BrokerConfig { budget_w, quantum_timesteps: 4, resilience: None }
+        BrokerConfig {
+            budget_w,
+            quantum_timesteps: 4,
+            resilience: None,
+            node_faults: None,
+            max_queue: None,
+            max_retries: 3,
+            backoff_base_s: 0.05,
+        }
     }
+}
+
+/// Event-class codes ordering simultaneous events deterministically:
+/// capacity returns first, parked jobs release next, quanta complete,
+/// and outages strike last — so a quantum ending at the same instant a
+/// node fails narrowly escapes, always.
+const EV_RECOVER: u8 = 0;
+const EV_RELEASE: u8 = 1;
+const EV_QUANTUM: u8 = 2;
+const EV_FAIL: u8 = 3;
+
+/// Payload of one pending discrete event (keyed `(t_us, class, id)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// The node keyed by `id` rejoins the pool.
+    Recover,
+    /// The job keyed by `id` finished its retry backoff and requeues.
+    Release,
+    /// The job keyed by `id` finishes its in-flight quantum.
+    Quantum,
+    /// The node keyed by `id` leaves service; `down_us` is the outage
+    /// length (`None` = permanent).
+    NodeFail { class: NodeFaultClass, down_us: Option<u64> },
 }
 
 /// A finished job's summary, kept for `status` queries.
@@ -103,6 +150,15 @@ pub enum SubmitOutcome {
         job: u64,
         reason: String,
     },
+    /// Turned away by load shedding: the bounded admission queue is
+    /// full. `retry_after_s` is the backpressure hint (virtual seconds
+    /// until capacity can next change) the submit response carries.
+    Shed {
+        job: u64,
+        reason: String,
+        retry_after_s: f64,
+        queue_depth: u64,
+    },
 }
 
 impl SubmitOutcome {
@@ -110,6 +166,7 @@ impl SubmitOutcome {
         match self {
             SubmitOutcome::Admitted(job) => *job,
             SubmitOutcome::Rejected { job, .. } => *job,
+            SubmitOutcome::Shed { job, .. } => *job,
         }
     }
 }
@@ -143,6 +200,30 @@ struct RunningJob {
     energy_j: f64,
     degraded: bool,
     in_flight: Option<QuantumResult>,
+    /// Virtual instant of the pending quantum event, so a crash can
+    /// cancel it.
+    event_at: Option<u64>,
+    /// Placements so far, this one included — what the retry budget
+    /// compares against.
+    attempts: u64,
+}
+
+/// An admitted job waiting (or waiting again) for a node: the spec plus
+/// whatever progress survived earlier placements. A crash discards the
+/// in-flight quantum but keeps every *completed* quantum's timesteps,
+/// time and energy — the job resumes where its last boundary left it
+/// (with a fresh executor and tuner on the new node).
+struct QueuedJob {
+    spec: JobSpec,
+    remaining: usize,
+    time_s: f64,
+    energy_j: f64,
+    degraded: bool,
+    /// Placements consumed so far (0 for a never-placed job).
+    attempts: u64,
+    /// True once the job has been requeued at least once — queue-wait
+    /// is sampled only on first placement.
+    requeued: bool,
 }
 
 /// Aggregate counters for the `stats` op and load-generator summaries.
@@ -154,6 +235,14 @@ pub struct BrokerCounters {
     pub completed: u64,
     pub rejected: u64,
     pub degraded: u64,
+    /// Terminal failures: retry budget exhausted or stranded (v9).
+    pub failed: u64,
+    /// Turned away by load shedding at admission (v9).
+    pub shed: u64,
+    /// Requeue events so far (crash and drain requeues both).
+    pub requeued: u64,
+    /// Nodes currently out of service (down or draining).
+    pub nodes_down: u64,
 }
 
 /// Per-tenant handles resolved once (at the tenant's first submission)
@@ -180,9 +269,16 @@ struct BrokerMetrics {
     realloc_churn_w: Histogram,
     /// `serve/reallocations`: how many times the budget was re-divided.
     reallocations: Counter,
-    /// `serve/admission{outcome="admitted"|"rejected"}`.
+    /// `serve/admission{outcome="admitted"|"rejected"|"shed"}`.
     admitted: Counter,
     rejected: Counter,
+    shed: Counter,
+    /// `serve/requeues`: jobs put back in the queue after losing a node.
+    requeues: Counter,
+    /// `serve/node_failures`: fleet outages (crash and drain alike).
+    node_failures: Counter,
+    /// `serve/job_failures`: jobs that failed terminally.
+    failed: Counter,
     wait_by_tenant: HistogramFamily,
     turnaround_by_tenant: HistogramFamily,
     alloc_by_tenant: GaugeFamily,
@@ -200,6 +296,10 @@ impl BrokerMetrics {
             reallocations: registry.counter("serve/reallocations"),
             admitted: admission.with_label("admitted"),
             rejected: admission.with_label("rejected"),
+            shed: admission.with_label("shed"),
+            requeues: registry.counter("serve/requeues"),
+            node_failures: registry.counter("serve/node_failures"),
+            failed: registry.counter("serve/job_failures"),
             wait_by_tenant: registry.histogram_family("serve/queue_wait_s", "tenant"),
             turnaround_by_tenant: registry.histogram_family("serve/turnaround_s", "tenant"),
             alloc_by_tenant: registry.gauge_family("serve/alloc_w", "tenant"),
@@ -238,19 +338,39 @@ pub struct Broker {
     next_job: u64,
     /// Virtual clock, microseconds.
     now_us: u64,
-    /// Pending quantum-end events, keyed `(t_us, job)` — `BTreeMap` so
-    /// the next event (and tie order) is deterministic.
-    events: BTreeMap<(u64, u64), ()>,
+    /// Pending discrete events, keyed `(t_us, class, id)` — `BTreeMap`
+    /// so the next event is deterministic and simultaneous events fire
+    /// in the [`EV_RECOVER`]..[`EV_FAIL`] class order.
+    events: BTreeMap<(u64, u8, u64), Ev>,
     /// Admitted jobs waiting for a node + budget headroom, FIFO.
     queue: VecDeque<u64>,
-    queued: BTreeMap<u64, JobSpec>,
+    queued: BTreeMap<u64, QueuedJob>,
+    /// Crash-requeued jobs sitting out their retry backoff; each owns a
+    /// pending [`Ev::Release`] event.
+    parked: BTreeMap<u64, QueuedJob>,
     running: BTreeMap<u64, RunningJob>,
     completed: BTreeMap<u64, CompletedJob>,
     rejected: BTreeMap<u64, String>,
+    /// Terminally failed jobs → typed reason (v9).
+    failed: BTreeMap<u64, String>,
+    /// Load-shed jobs → typed reason (v9).
+    shed: BTreeMap<u64, String>,
+    /// Node → virtual instant (µs) it went down.
+    down_nodes: BTreeMap<u64, u64>,
+    /// Draining nodes (victim still finishing its quantum) → outage
+    /// length once the drain completes (`None` = permanent).
+    draining: BTreeMap<u64, Option<u64>>,
     /// Tenant → fair-share weight (first submission wins).
     tenants: BTreeMap<String, f64>,
     /// Tenant → rejected-job count (for telemetry rows).
     tenant_rejected: BTreeMap<String, u64>,
+    tenant_failed: BTreeMap<String, u64>,
+    tenant_shed: BTreeMap<String, u64>,
+    tenant_requeued: BTreeMap<String, u64>,
+    requeues: u64,
+    /// Write-ahead journal; when attached, every submit and step is
+    /// recorded (and flushed) before it is applied.
+    journal: Option<BrokerJournal>,
     free_nodes: BTreeSet<u64>,
     /// Submission time (virtual µs) of every live job, for queue-wait
     /// and turnaround attribution; entries die with the job.
@@ -263,27 +383,196 @@ pub struct Broker {
 
 impl Broker {
     pub fn new(fleet: Fleet, cfg: BrokerConfig, trace: Arc<dyn TraceSink>) -> Self {
-        let free_nodes = fleet.nodes().iter().map(|n| n.id).collect();
+        let free_nodes: BTreeSet<u64> = fleet.nodes().iter().map(|n| n.id).collect();
+        // Seed the fleet's entire outage schedule up front: every fault
+        // is a pure function of (seed, node, ordinal), so the schedule
+        // is fixed at birth and identical across replays.
+        let mut events = BTreeMap::new();
+        if let Some(plan) = cfg.node_faults.filter(|p| p.is_active()) {
+            for &node in &free_nodes {
+                for fault in plan.schedule_for(node) {
+                    let t_us = (fault.at_s * 1e6).round().max(0.0) as u64;
+                    let down_us = fault.down_s.map(|s| (s * 1e6).round().max(1.0) as u64);
+                    events.insert(
+                        (t_us, EV_FAIL, node),
+                        Ev::NodeFail { class: fault.class, down_us },
+                    );
+                }
+            }
+        }
         Broker {
             fleet,
             cfg,
             trace,
             next_job: 0,
             now_us: 0,
-            events: BTreeMap::new(),
+            events,
             queue: VecDeque::new(),
             queued: BTreeMap::new(),
+            parked: BTreeMap::new(),
             running: BTreeMap::new(),
             completed: BTreeMap::new(),
             rejected: BTreeMap::new(),
+            failed: BTreeMap::new(),
+            shed: BTreeMap::new(),
+            down_nodes: BTreeMap::new(),
+            draining: BTreeMap::new(),
             tenants: BTreeMap::new(),
             tenant_rejected: BTreeMap::new(),
+            tenant_failed: BTreeMap::new(),
+            tenant_shed: BTreeMap::new(),
+            tenant_requeued: BTreeMap::new(),
+            requeues: 0,
+            journal: None,
             free_nodes,
             submit_us: BTreeMap::new(),
             metrics: BrokerMetrics::new(),
             event_pane: VecDeque::new(),
             watchers: Vec::new(),
         }
+    }
+
+    /// Attach a write-ahead journal. Must be called on a *fresh* broker
+    /// (before any submit or step): the journal's first record is a
+    /// [`TraceEvent::BrokerConfigured`] header describing how to rebuild
+    /// this broker, and recovery replays every op recorded after it.
+    pub fn attach_journal(&mut self, journal: BrokerJournal) {
+        journal.append(
+            self.now_s(),
+            TraceEvent::BrokerConfigured {
+                budget_w: self.cfg.budget_w,
+                quantum_timesteps: self.cfg.quantum_timesteps as u64,
+                machines: self.fleet.nodes().iter().map(|n| n.machine.name.clone()).collect(),
+                max_queue: self.cfg.max_queue.map(|q| q as u64),
+                max_retries: self.cfg.max_retries,
+                backoff_base_s: self.cfg.backoff_base_s,
+                resilience: serde_json::to_string(&self.cfg.resilience)
+                    .expect("resilience options serialize"),
+                node_faults: serde_json::to_string(&self.cfg.node_faults)
+                    .expect("node-fault plans serialize"),
+            },
+        );
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal's first absorbed write error, if any.
+    pub fn journal_error(&self) -> Option<String> {
+        self.journal.as_ref().and_then(|j| j.last_error())
+    }
+
+    fn journal_op(&self, event: TraceEvent) {
+        if let Some(j) = &self.journal {
+            j.append(self.now_s(), event);
+        }
+    }
+
+    /// Reconstruct a broker from its journal by deterministic replay.
+    ///
+    /// The journal header rebuilds the fleet and config; every recorded
+    /// op (submission or step) is then re-applied in order. Because the
+    /// broker is deterministic, the recovered broker reaches the exact
+    /// state the original had when it last flushed — and with `trace`
+    /// emission on during replay, the recovered trace file is
+    /// byte-identical to the uninterrupted run's.
+    ///
+    /// `new_journal`, when given, is attached *before* replay so the new
+    /// journal re-records the header and every replayed op — recovery
+    /// from a recovery works. A [`TraceEvent::CheckpointRecovered`]
+    /// marker is appended to the new journal (never to the trace, whose
+    /// bytes must not shift) once replay finishes.
+    pub fn recover(
+        journal_path: &Path,
+        trace: Arc<dyn TraceSink>,
+        new_journal: Option<BrokerJournal>,
+    ) -> Result<Broker, JournalError> {
+        let records = load_journal(journal_path)?;
+        let mut it = records.into_iter();
+        let header = it.next().ok_or_else(|| JournalError::Header("empty journal".into()))?;
+        let TraceEvent::BrokerConfigured {
+            budget_w,
+            quantum_timesteps,
+            machines,
+            max_queue,
+            max_retries,
+            backoff_base_s,
+            resilience,
+            node_faults,
+        } = header.event
+        else {
+            return Err(JournalError::Header(
+                "journal must start with a BrokerConfigured record".into(),
+            ));
+        };
+        let mut fleet = Fleet::new();
+        for name in &machines {
+            let machine = match name.as_str() {
+                "crill" => Machine::crill(),
+                "minotaur" => Machine::minotaur(),
+                other => {
+                    return Err(JournalError::Header(format!("unknown machine model {other:?}")))
+                }
+            };
+            fleet.push(machine);
+        }
+        let resilience: Option<ResilienceOptions> = serde_json::from_str(&resilience)
+            .map_err(|e| JournalError::Header(format!("bad resilience options: {e}")))?;
+        let node_faults: Option<NodeFaultPlan> = serde_json::from_str(&node_faults)
+            .map_err(|e| JournalError::Header(format!("bad node-fault plan: {e}")))?;
+        let cfg = BrokerConfig {
+            budget_w,
+            quantum_timesteps: quantum_timesteps as usize,
+            resilience,
+            node_faults,
+            max_queue: max_queue.map(|q| q as usize),
+            max_retries,
+            backoff_base_s,
+        };
+        let mut broker = Broker::new(fleet, cfg, trace);
+        if let Some(journal) = new_journal {
+            broker.attach_journal(journal);
+        }
+        let mut ops = 0u64;
+        for rec in it {
+            match rec.event {
+                TraceEvent::JobSubmitted {
+                    tenant,
+                    workload,
+                    weight,
+                    timesteps,
+                    fault_seed,
+                    requested_floor_w,
+                    ..
+                } => {
+                    broker.submit(JobSpec {
+                        tenant,
+                        workload,
+                        timesteps: timesteps as usize,
+                        floor_w: requested_floor_w,
+                        weight,
+                        fault_seed,
+                    });
+                }
+                TraceEvent::BrokerStep {} => {
+                    broker.step();
+                }
+                // Marker left by an earlier recovery of this lineage.
+                TraceEvent::CheckpointRecovered { .. } => continue,
+                other => {
+                    return Err(JournalError::Header(format!(
+                        "unexpected journal record {:?}",
+                        other.kind()
+                    )))
+                }
+            }
+            ops += 1;
+        }
+        let c = broker.counters();
+        broker.journal_op(TraceEvent::CheckpointRecovered {
+            ops,
+            submitted: c.submitted,
+            completed: c.completed,
+        });
+        Ok(broker)
     }
 
     pub fn budget_w(&self) -> f64 {
@@ -305,18 +594,22 @@ impl Broker {
     pub fn counters(&self) -> BrokerCounters {
         BrokerCounters {
             submitted: self.next_job,
-            queued: self.queue.len() as u64,
+            queued: (self.queue.len() + self.parked.len()) as u64,
             running: self.running.len() as u64,
             completed: self.completed.len() as u64,
             rejected: self.rejected.len() as u64,
             degraded: self.completed.values().filter(|c| c.status == RunStatus::Degraded).count()
                 as u64
                 + self.running.values().filter(|r| r.degraded).count() as u64,
+            failed: self.failed.len() as u64,
+            shed: self.shed.len() as u64,
+            requeued: self.requeues,
+            nodes_down: (self.down_nodes.len() + self.draining.len()) as u64,
         }
     }
 
     pub fn job_state(&self, job: u64) -> Option<JobState> {
-        if self.queued.contains_key(&job) {
+        if self.queued.contains_key(&job) || self.parked.contains_key(&job) {
             Some(JobState::Queued)
         } else if self.running.contains_key(&job) {
             Some(JobState::Running)
@@ -324,6 +617,10 @@ impl Broker {
             Some(JobState::Completed)
         } else if self.rejected.contains_key(&job) {
             Some(JobState::Rejected)
+        } else if self.failed.contains_key(&job) {
+            Some(JobState::Failed)
+        } else if self.shed.contains_key(&job) {
+            Some(JobState::Shed)
         } else {
             None
         }
@@ -333,19 +630,32 @@ impl Broker {
         &self.completed
     }
 
+    /// Why a terminal job ended the way it did: the rejection, failure
+    /// or shed reason (whichever state the job is in).
     pub fn rejection_reason(&self, job: u64) -> Option<&str> {
-        self.rejected.get(&job).map(String::as_str)
+        self.rejected
+            .get(&job)
+            .or_else(|| self.failed.get(&job))
+            .or_else(|| self.shed.get(&job))
+            .map(String::as_str)
     }
 
-    /// All internal events drained and nothing queued or running.
+    /// All internal events drained and nothing queued, parked or
+    /// running. (Seeded fleet faults count as events: an idle broker has
+    /// lived its whole outage schedule.)
     pub fn is_idle(&self) -> bool {
-        self.events.is_empty() && self.running.is_empty() && self.queue.is_empty()
+        self.events.is_empty()
+            && self.running.is_empty()
+            && self.queue.is_empty()
+            && self.parked.is_empty()
     }
 
-    /// Whether [`step`](Broker::step) has a quantum event to fire — the
-    /// server's cue to keep advancing virtual time between commands.
+    /// Whether [`step`](Broker::step) has work — a pending event, or
+    /// stranded queued jobs to sweep once no event can ever free
+    /// capacity for them. The server's cue to keep advancing virtual
+    /// time between commands.
     pub fn has_pending_events(&self) -> bool {
-        !self.events.is_empty()
+        !self.events.is_empty() || !self.queue.is_empty()
     }
 
     fn emit(&self, event: TraceEvent) {
@@ -375,13 +685,20 @@ impl Broker {
             .map(|n| requested_floor.max(n.min_cap_w()))
             .fold(None, |best: Option<f64>, f| Some(best.map_or(f, |b| b.min(f))));
         let floor_w = min_floor.unwrap_or(requested_floor);
-        self.emit(TraceEvent::JobSubmitted {
+        // The submitted event doubles as the journal's op record, so it
+        // carries everything needed to rebuild the spec on replay.
+        let submitted = TraceEvent::JobSubmitted {
             job,
             tenant: spec.tenant.clone(),
             workload: spec.workload.clone(),
             floor_w,
             weight,
-        });
+            timesteps: spec.timesteps as u64,
+            fault_seed: spec.fault_seed,
+            requested_floor_w: spec.floor_w,
+        };
+        self.journal_op(submitted.clone());
+        self.emit(submitted);
         self.metrics.tenant(&spec.tenant);
         let line =
             event_line(self.now_s(), telemetry::fmt_submitted(job, &spec.tenant, &spec.workload));
@@ -414,26 +731,100 @@ impl Broker {
             return SubmitOutcome::Rejected { job, reason };
         }
 
+        // Load shedding: checked after the JobSubmitted emission (shed
+        // jobs count as submitted — the conservation identity needs
+        // them) and after rejection (a job that could never run gets the
+        // more specific answer).
+        if let Some(max_queue) = self.cfg.max_queue {
+            let depth = self.queue.len() + self.parked.len();
+            if depth >= max_queue {
+                let reason = format!("admission queue full ({depth}/{max_queue})");
+                let retry_after_s = self.retry_hint_s();
+                let queue_depth = depth as u64;
+                self.emit(TraceEvent::JobShed {
+                    job,
+                    tenant: spec.tenant.clone(),
+                    reason: reason.clone(),
+                    queue_depth,
+                    retry_after_s,
+                });
+                self.metrics.shed.inc();
+                *self.tenant_shed.entry(spec.tenant.clone()).or_insert(0) += 1;
+                let line =
+                    event_line(self.now_s(), telemetry::fmt_shed(job, &spec.tenant, queue_depth));
+                push_event(&mut self.event_pane, line);
+                self.shed.insert(job, reason.clone());
+                return SubmitOutcome::Shed { job, reason, retry_after_s, queue_depth };
+            }
+        }
+
         self.metrics.admitted.inc();
         self.submit_us.insert(job, self.now_us);
         self.queue.push_back(job);
-        self.queued.insert(job, spec);
+        self.queued.insert(
+            job,
+            QueuedJob {
+                spec,
+                remaining: 0,
+                time_s: 0.0,
+                energy_j: 0.0,
+                degraded: false,
+                attempts: 0,
+                requeued: false,
+            },
+        );
         self.schedule();
         SubmitOutcome::Admitted(job)
     }
 
-    /// Process the next quantum-end event. Returns `false` when no
-    /// events remain (queued jobs, if any, are starved for budget or
-    /// nodes — impossible for admitted jobs unless callers never let
-    /// running jobs finish).
-    pub fn step(&mut self) -> bool {
-        let Some((&(t, job), ())) = self.events.iter().next().map(|(k, v)| (k, *v)) else {
-            return false;
-        };
-        self.events.remove(&(t, job));
-        self.now_us = self.now_us.max(t);
+    /// Backpressure hint for shed submissions: virtual seconds until the
+    /// next pending event — before it, capacity cannot change.
+    fn retry_hint_s(&self) -> f64 {
+        match self.events.keys().next() {
+            Some(&(t, _, _)) => {
+                ((t.max(self.now_us) - self.now_us) as f64 / 1e6).max(self.cfg.backoff_base_s)
+            }
+            None => self.cfg.backoff_base_s,
+        }
+    }
 
+    /// Process the next discrete event (quantum end, node fail/recover,
+    /// retry release). When no event remains but jobs are still queued,
+    /// nothing can ever free capacity for them — they are swept to
+    /// typed failures so the conservation identity closes at idle.
+    /// Returns `false` only when there is nothing left to do.
+    pub fn step(&mut self) -> bool {
+        if self.events.is_empty() {
+            if self.queue.is_empty() {
+                return false;
+            }
+            self.journal_op(TraceEvent::BrokerStep {});
+            self.starve_stranded();
+            self.notify_watchers();
+            return true;
+        }
+        // Write-ahead: the op is durable before any of its effects are.
+        self.journal_op(TraceEvent::BrokerStep {});
+        let (&(t, class, id), &ev) = self.events.iter().next().expect("checked non-empty");
+        self.events.remove(&(t, class, id));
+        self.now_us = self.now_us.max(t);
+        match ev {
+            Ev::Quantum => self.finish_quantum(id),
+            Ev::NodeFail { class, down_us } => self.node_fail(id, class, down_us),
+            Ev::Recover => self.node_recover(id),
+            Ev::Release => self.release(id),
+        }
+        self.notify_watchers();
+        true
+    }
+
+    /// Apply a finished quantum: bank its progress, then complete the
+    /// job, continue it, or — when its node is draining — requeue it
+    /// (free: a graceful drain costs no retry, no backoff) and take the
+    /// node down.
+    fn finish_quantum(&mut self, job: u64) {
         let rj = self.running.get_mut(&job).expect("event for a job not running");
+        rj.event_at = None;
         let q = rj.in_flight.take().expect("an event implies an in-flight quantum");
         rj.remaining -= q.steps;
         rj.time_s += q.time_s;
@@ -442,6 +833,8 @@ impl Broker {
         if newly_degraded {
             rj.degraded = true;
         }
+        let node = rj.node;
+        let draining = self.draining.contains_key(&node);
 
         if rj.remaining == 0 {
             let rj = self.running.remove(&job).expect("present above");
@@ -477,8 +870,44 @@ impl Broker {
                     energy_j: rj.energy_j,
                 },
             );
-            self.free_nodes.insert(rj.node);
-            self.reallocate("completed");
+            if draining {
+                self.node_goes_down(node);
+                self.reallocate("node-drained");
+            } else {
+                self.free_nodes.insert(node);
+                self.reallocate("completed");
+            }
+            self.schedule();
+        } else if draining {
+            let rj = self.running.remove(&job).expect("present above");
+            self.emit(TraceEvent::JobRequeued {
+                job,
+                tenant: rj.spec.tenant.clone(),
+                node,
+                attempt: rj.attempts,
+                backoff_s: 0.0,
+            });
+            self.requeues += 1;
+            self.metrics.requeues.inc();
+            *self.tenant_requeued.entry(rj.spec.tenant.clone()).or_insert(0) += 1;
+            let line =
+                event_line(self.now_s(), telemetry::fmt_requeued(job, &rj.spec.tenant, node, 0.0));
+            push_event(&mut self.event_pane, line);
+            self.queue.push_back(job);
+            self.queued.insert(
+                job,
+                QueuedJob {
+                    spec: rj.spec,
+                    remaining: rj.remaining,
+                    time_s: rj.time_s,
+                    energy_j: rj.energy_j,
+                    degraded: rj.degraded,
+                    attempts: rj.attempts,
+                    requeued: true,
+                },
+            );
+            self.node_goes_down(node);
+            self.reallocate("node-drained");
             self.schedule();
         } else {
             if newly_degraded {
@@ -487,8 +916,170 @@ impl Broker {
             }
             self.start_quantum(job);
         }
-        self.notify_watchers();
-        true
+    }
+
+    /// A scheduled fleet outage strikes `node`. A crash evicts the
+    /// victim mid-quantum (its in-flight progress is lost and a retry is
+    /// spent); a drain lets the victim finish its quantum first. Either
+    /// way the node leaves the pool until its recovery event — if any —
+    /// fires.
+    fn node_fail(&mut self, node: u64, class: NodeFaultClass, down_us: Option<u64>) {
+        // A drain's real outage starts at the victim's quantum end, so
+        // it can outlive the plan's nominal window and overlap the next
+        // scheduled fault: a node already out just absorbs the hit.
+        if self.down_nodes.contains_key(&node) || self.draining.contains_key(&node) {
+            return;
+        }
+        let victim = self.running.iter().find(|(_, rj)| rj.node == node).map(|(&j, _)| j);
+        self.emit(TraceEvent::NodeFailed {
+            node,
+            class: class.label().to_string(),
+            permanent: down_us.is_none(),
+            victim,
+        });
+        self.metrics.node_failures.inc();
+        let line = event_line(
+            self.now_s(),
+            telemetry::fmt_node_failed(node, class.label(), down_us.is_none(), victim),
+        );
+        push_event(&mut self.event_pane, line);
+
+        match (victim, class) {
+            (None, _) => {
+                // The node was free: it just leaves the pool.
+                self.free_nodes.remove(&node);
+                self.down_nodes.insert(node, self.now_us);
+                if let Some(d) = down_us {
+                    self.events.insert((self.now_us + d, EV_RECOVER, node), Ev::Recover);
+                }
+            }
+            (Some(_), NodeFaultClass::Drain) => {
+                // Graceful: the victim finishes its quantum, then
+                // requeues free; the node goes down at that boundary.
+                self.draining.insert(node, down_us);
+            }
+            (Some(job), NodeFaultClass::Crash) => {
+                let mut rj = self.running.remove(&job).expect("victim is running");
+                if let Some(at) = rj.event_at.take() {
+                    self.events.remove(&(at, EV_QUANTUM, job));
+                }
+                // The in-flight quantum dies with the node: completed
+                // quanta stay banked, this one is re-run elsewhere.
+                rj.in_flight = None;
+                self.down_nodes.insert(node, self.now_us);
+                if let Some(d) = down_us {
+                    self.events.insert((self.now_us + d, EV_RECOVER, node), Ev::Recover);
+                }
+                if rj.attempts > self.cfg.max_retries {
+                    self.fail_job(
+                        job,
+                        rj.spec.tenant.clone(),
+                        format!(
+                            "retry budget exhausted: {} placements all lost their node",
+                            rj.attempts
+                        ),
+                        rj.attempts,
+                    );
+                } else {
+                    // Deterministic exponential backoff, doubling per
+                    // consumed placement, capped at 64× the base.
+                    let backoff_s = self.cfg.backoff_base_s
+                        * 2f64.powi((rj.attempts.saturating_sub(1)).min(6) as i32);
+                    self.emit(TraceEvent::JobRequeued {
+                        job,
+                        tenant: rj.spec.tenant.clone(),
+                        node,
+                        attempt: rj.attempts,
+                        backoff_s,
+                    });
+                    self.requeues += 1;
+                    self.metrics.requeues.inc();
+                    *self.tenant_requeued.entry(rj.spec.tenant.clone()).or_insert(0) += 1;
+                    let line = event_line(
+                        self.now_s(),
+                        telemetry::fmt_requeued(job, &rj.spec.tenant, node, backoff_s),
+                    );
+                    push_event(&mut self.event_pane, line);
+                    let release_us = self.now_us + (backoff_s * 1e6).round().max(1.0) as u64;
+                    self.events.insert((release_us, EV_RELEASE, job), Ev::Release);
+                    self.parked.insert(
+                        job,
+                        QueuedJob {
+                            spec: rj.spec,
+                            remaining: rj.remaining,
+                            time_s: rj.time_s,
+                            energy_j: rj.energy_j,
+                            degraded: rj.degraded,
+                            attempts: rj.attempts,
+                            requeued: true,
+                        },
+                    );
+                }
+                self.reallocate("node-failed");
+                self.schedule();
+            }
+        }
+    }
+
+    /// A temporary outage ends: the node rejoins the fair-share pool.
+    fn node_recover(&mut self, node: u64) {
+        let since = self.down_nodes.remove(&node).expect("recovery for a node not down");
+        // Seconds-differenced like every duration the replay rebuilds.
+        let down_s = (self.now_us as f64 / 1e6 - since as f64 / 1e6).max(0.0);
+        self.emit(TraceEvent::NodeRecovered { node, down_s });
+        let line = event_line(self.now_s(), telemetry::fmt_node_recovered(node, down_s));
+        push_event(&mut self.event_pane, line);
+        self.free_nodes.insert(node);
+        self.schedule();
+    }
+
+    /// A crash-requeued job finished its backoff: back into the FIFO.
+    fn release(&mut self, job: u64) {
+        let qj = self.parked.remove(&job).expect("release for a job not parked");
+        self.queue.push_back(job);
+        self.queued.insert(job, qj);
+        self.schedule();
+    }
+
+    /// No event can ever fire again, yet jobs are queued: every node
+    /// they could run on is permanently gone. Fail them typed so
+    /// `submitted == completed + failed + shed + rejected` still holds.
+    fn starve_stranded(&mut self) {
+        while let Some(job) = self.queue.pop_front() {
+            let qj = self.queued.remove(&job).expect("queued job has a spec");
+            self.fail_job(
+                job,
+                qj.spec.tenant,
+                "no surviving node can host the job".to_string(),
+                qj.attempts,
+            );
+        }
+    }
+
+    fn fail_job(&mut self, job: u64, tenant: String, reason: String, attempts: u64) {
+        self.emit(TraceEvent::JobFailed {
+            job,
+            tenant: tenant.clone(),
+            reason: reason.clone(),
+            attempts,
+        });
+        self.metrics.failed.inc();
+        *self.tenant_failed.entry(tenant.clone()).or_insert(0) += 1;
+        self.submit_us.remove(&job);
+        let line = event_line(self.now_s(), telemetry::fmt_failed(job, &tenant, &reason));
+        push_event(&mut self.event_pane, line);
+        self.failed.insert(job, reason);
+    }
+
+    /// A drain completes: the victim's quantum ended, the node actually
+    /// leaves service now (its recovery clock starts here, not at the
+    /// nominal fault time).
+    fn node_goes_down(&mut self, node: u64) {
+        let down_us = self.draining.remove(&node).expect("node was draining");
+        self.down_nodes.insert(node, self.now_us);
+        if let Some(d) = down_us {
+            self.events.insert((self.now_us + d, EV_RECOVER, node), Ev::Recover);
+        }
     }
 
     /// Drain every event — run all admitted jobs to completion.
@@ -503,7 +1094,7 @@ impl Broker {
     fn schedule(&mut self) {
         let mut placed = Vec::new();
         while let Some(&job) = self.queue.front() {
-            let spec = &self.queued[&job];
+            let spec = &self.queued[&job].spec;
             let requested = spec.floor_w.unwrap_or(0.0).max(0.0);
             let committed: f64 = self.running.values().map(|r| r.floor_w).sum();
             let node = self.free_nodes.iter().copied().find(|id| {
@@ -529,14 +1120,17 @@ impl Broker {
     /// reallocation that follows.
     fn place(&mut self, job: u64, node_id: u64) {
         self.queue.pop_front();
-        let spec = self.queued.remove(&job).expect("queued job has a spec");
+        let qj = self.queued.remove(&job).expect("queued job has a spec");
+        let spec = qj.spec;
         let node = self.fleet.node(node_id).expect("placing on a fleet node").clone();
         let floor_w = spec.floor_w.unwrap_or(0.0).max(node.min_cap_w());
         let mut wl = resolve_workload(&spec.workload).expect("admission resolved the workload");
         if spec.timesteps > 0 {
             wl.timesteps = spec.timesteps;
         }
-        let remaining = wl.timesteps;
+        // A requeued job resumes at its last completed quantum boundary;
+        // a fresh one starts from the workload's full length.
+        let remaining = if qj.requeued { qj.remaining } else { wl.timesteps };
 
         let handle = CapHandle::new(node.package_cap_w(floor_w));
         let mut exec = SimExecutor::new(node.machine.clone(), node.package_cap_w(floor_w))
@@ -557,13 +1151,17 @@ impl Broker {
             node: node_id,
             cap_w: floor_w,
         });
-        if let Some(&at) = self.submit_us.get(&job) {
-            // Differenced in seconds (not µs) so the sample is bitwise
-            // identical to what a trace replay reconstructs from the
-            // emitted `t_s` timestamps.
-            let wait_s = (self.now_us as f64 / 1e6 - at as f64 / 1e6).max(0.0);
-            self.metrics.queue_wait_s.record(wait_s);
-            self.metrics.tenant(&spec.tenant).wait.record(wait_s);
+        if !qj.requeued {
+            // Queue wait is the *first* placement's wait — a requeued
+            // job already paid it (replay applies the same rule).
+            if let Some(&at) = self.submit_us.get(&job) {
+                // Differenced in seconds (not µs) so the sample is
+                // bitwise identical to what a trace replay reconstructs
+                // from the emitted `t_s` timestamps.
+                let wait_s = (self.now_us as f64 / 1e6 - at as f64 / 1e6).max(0.0);
+                self.metrics.queue_wait_s.record(wait_s);
+                self.metrics.tenant(&spec.tenant).wait.record(wait_s);
+            }
         }
         let line =
             event_line(self.now_s(), telemetry::fmt_scheduled(job, &spec.tenant, node_id, floor_w));
@@ -583,10 +1181,12 @@ impl Broker {
                 wl,
                 resilience,
                 remaining,
-                time_s: 0.0,
-                energy_j: 0.0,
-                degraded: false,
+                time_s: qj.time_s,
+                energy_j: qj.energy_j,
+                degraded: qj.degraded,
                 in_flight: None,
+                event_at: None,
+                attempts: qj.attempts + 1,
             },
         );
     }
@@ -610,7 +1210,9 @@ impl Broker {
             energy_j: report.energy_j,
             degraded: report.status == RunStatus::Degraded,
         });
-        self.events.insert((self.now_us + dur_us, job), ());
+        let at = self.now_us + dur_us;
+        rj.event_at = Some(at);
+        self.events.insert((at, EV_QUANTUM, job), Ev::Quantum);
     }
 
     /// Redistribute the global budget across running jobs: floors
@@ -727,6 +1329,9 @@ impl Broker {
                     completed: 0,
                     degraded: 0,
                     rejected: self.tenant_rejected.get(name).copied().unwrap_or(0),
+                    failed: self.tenant_failed.get(name).copied().unwrap_or(0),
+                    shed: self.tenant_shed.get(name).copied().unwrap_or(0),
+                    requeued: self.tenant_requeued.get(name).copied().unwrap_or(0),
                     alloc_w: 0.0,
                     fair_share_w: 0.0,
                     queue_wait: handles.map(|h| Digest::from(&h.wait)).unwrap_or_default(),
@@ -734,8 +1339,8 @@ impl Broker {
                 },
             );
         }
-        for spec in self.queued.values() {
-            if let Some(t) = tenants.get_mut(&spec.tenant) {
+        for qj in self.queued.values().chain(self.parked.values()) {
+            if let Some(t) = tenants.get_mut(&qj.spec.tenant) {
                 t.queued += 1;
             }
         }
@@ -769,6 +1374,10 @@ impl Broker {
             completed: c.completed,
             rejected: c.rejected,
             degraded: c.degraded,
+            failed: c.failed,
+            shed: c.shed,
+            requeued: c.requeued,
+            nodes_down: c.nodes_down,
             queue_wait: Digest::from(&self.metrics.queue_wait_s),
             turnaround: Digest::from(&self.metrics.turnaround_s),
             realloc_churn_w: Digest::from(&self.metrics.realloc_churn_w),
@@ -989,6 +1598,236 @@ mod tests {
         assert_eq!(first, run(), "broker runs must be deterministic");
         assert!(first.contains("JobRejected"));
         assert!(first.contains("JobCompleted"));
+    }
+
+    /// The conservation identity every run must close with:
+    /// `submitted == completed + failed + shed + rejected` at idle.
+    fn zero_lost(broker: &Broker) {
+        let c = broker.counters();
+        assert!(broker.is_idle(), "identity only holds at idle");
+        assert_eq!(c.submitted, c.completed + c.failed + c.shed + c.rejected, "jobs lost: {c:?}");
+    }
+
+    /// How long one `spec("t")` job takes alone on a crill node — used
+    /// to time fault injection relative to real quantum durations.
+    fn probe_runtime_s(timesteps: usize) -> f64 {
+        let mut broker = small_broker(230.0, 1, Arc::new(VecSink::new()));
+        broker.submit(spec("probe").timesteps(timesteps));
+        broker.run_until_idle();
+        broker.completed_jobs()[&0].time_s
+    }
+
+    #[test]
+    fn a_crash_requeues_the_victim_and_it_still_completes() {
+        let total = probe_runtime_s(8);
+        let run = |sink: Arc<VecSink>| {
+            let fleet = Fleet::homogeneous(Machine::crill(), 1);
+            let mut cfg = BrokerConfig::new(230.0);
+            cfg.quantum_timesteps = 2;
+            // One crash ≈ 30% into the job, healed well before the end.
+            cfg.node_faults = Some(NodeFaultPlan {
+                seed: 11,
+                start_s: total * 0.3,
+                mtbf_s: 1e-3,
+                mttr_s: total * 0.1,
+                max_faults_per_node: 1,
+                ..NodeFaultPlan::default()
+            });
+            let mut broker = Broker::new(fleet, cfg, sink);
+            broker.submit(spec("acme").timesteps(8));
+            broker.run_until_idle();
+            broker
+        };
+        let sink = Arc::new(VecSink::new());
+        let broker = run(sink.clone());
+        zero_lost(&broker);
+        let c = broker.counters();
+        assert_eq!(c.completed, 1, "the victim must finish after requeue: {c:?}");
+        assert!(c.requeued >= 1, "the crash must have requeued the victim");
+        let records = sink.drain();
+        let kinds: Vec<&str> = records.iter().map(|r| r.event.kind()).collect();
+        assert!(kinds.contains(&"NodeFailed"));
+        assert!(kinds.contains(&"NodeRecovered"));
+        assert!(kinds.contains(&"JobRequeued"));
+        let crash_pos = kinds.iter().position(|k| *k == "NodeFailed").unwrap();
+        let done_pos = kinds.iter().rposition(|k| *k == "JobCompleted").unwrap();
+        assert!(crash_pos < done_pos, "completion happens after the crash");
+        conservation_holds(&records);
+
+        // And the whole faulted run is deterministic, byte for byte.
+        let to_text = |records: &[TraceRecord]| {
+            records.iter().map(|r| serde_json::to_string(r).unwrap()).collect::<Vec<_>>().join("\n")
+        };
+        let again = Arc::new(VecSink::new());
+        run(again.clone());
+        assert_eq!(to_text(&records), to_text(&again.drain()));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_typed() {
+        let total = probe_runtime_s(8);
+        let sink = Arc::new(VecSink::new());
+        let fleet = Fleet::homogeneous(Machine::crill(), 1);
+        let mut cfg = BrokerConfig::new(230.0);
+        cfg.quantum_timesteps = 2;
+        cfg.max_retries = 0; // the first crash is fatal
+        cfg.node_faults = Some(NodeFaultPlan {
+            seed: 5,
+            start_s: total * 0.3,
+            mtbf_s: 1e-3,
+            mttr_s: total * 0.1,
+            max_faults_per_node: 1,
+            ..NodeFaultPlan::default()
+        });
+        let mut broker = Broker::new(fleet, cfg, sink.clone());
+        broker.submit(spec("acme").timesteps(8));
+        broker.run_until_idle();
+        zero_lost(&broker);
+        let c = broker.counters();
+        assert_eq!((c.completed, c.failed), (0, 1), "{c:?}");
+        assert_eq!(broker.job_state(0), Some(JobState::Failed));
+        assert!(broker.rejection_reason(0).unwrap().contains("retry budget"));
+        let records = sink.drain();
+        assert!(records
+            .iter()
+            .any(|r| matches!(&r.event, TraceEvent::JobFailed { job: 0, attempts: 1, .. })));
+    }
+
+    #[test]
+    fn stranded_jobs_fail_typed_when_no_node_survives() {
+        let sink = Arc::new(VecSink::new());
+        let fleet = Fleet::homogeneous(Machine::crill(), 1);
+        let mut cfg = BrokerConfig::new(230.0);
+        cfg.quantum_timesteps = 2;
+        // The only node dies permanently before any work is submitted.
+        cfg.node_faults = Some(NodeFaultPlan {
+            seed: 3,
+            start_s: 0.0,
+            mtbf_s: 1e-3,
+            permanent_rate: 1.0,
+            max_faults_per_node: 1,
+            ..NodeFaultPlan::default()
+        });
+        let mut broker = Broker::new(fleet, cfg, sink.clone());
+        broker.step(); // the permanent outage fires
+        broker.submit(spec("acme"));
+        broker.submit(spec("umbrella"));
+        broker.run_until_idle();
+        zero_lost(&broker);
+        let c = broker.counters();
+        assert_eq!(c.failed, 2, "{c:?}");
+        for job in [0, 1] {
+            assert_eq!(broker.job_state(job), Some(JobState::Failed));
+            assert!(broker.rejection_reason(job).unwrap().contains("no surviving node"));
+        }
+        let records = sink.drain();
+        assert!(records
+            .iter()
+            .any(|r| matches!(&r.event, TraceEvent::NodeFailed { permanent: true, .. })));
+    }
+
+    #[test]
+    fn a_full_queue_sheds_with_a_backpressure_hint() {
+        let sink = Arc::new(VecSink::new());
+        let fleet = Fleet::homogeneous(Machine::crill(), 1);
+        let mut cfg = BrokerConfig::new(230.0);
+        cfg.quantum_timesteps = 2;
+        cfg.max_queue = Some(1);
+        let mut broker = Broker::new(fleet, cfg, sink.clone());
+        broker.submit(spec("acme")); // runs
+        broker.submit(spec("acme")); // queues (depth 1 = max)
+        let third = broker.submit(spec("late"));
+        let SubmitOutcome::Shed { job, reason, retry_after_s, queue_depth } = third else {
+            panic!("the third job must be shed, got {third:?}")
+        };
+        assert_eq!(job, 2);
+        assert_eq!(queue_depth, 1);
+        assert!(reason.contains("queue full"), "{reason}");
+        assert!(retry_after_s > 0.0, "the hint must be actionable");
+        assert_eq!(broker.job_state(2), Some(JobState::Shed));
+        broker.run_until_idle();
+        zero_lost(&broker);
+        let c = broker.counters();
+        assert_eq!((c.completed, c.shed), (2, 1), "{c:?}");
+        let records = sink.drain();
+        assert!(records.iter().any(|r| matches!(r.event, TraceEvent::JobShed { job: 2, .. })));
+        // Shed jobs still count as submitted in the trace.
+        let submitted =
+            records.iter().filter(|r| matches!(r.event, TraceEvent::JobSubmitted { .. })).count();
+        assert_eq!(submitted, 3);
+    }
+
+    #[test]
+    fn journal_replay_reconstructs_the_exact_broker() {
+        let dir = std::env::temp_dir().join(format!("arcs-serve-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("broker.journal.jsonl");
+
+        // Drive a faulted broker through an explicit op sequence,
+        // journaling every op.
+        let ops = |broker: &mut Broker| {
+            broker.submit(spec("acme").timesteps(8));
+            broker.submit(spec("umbrella"));
+            for _ in 0..3 {
+                broker.step();
+            }
+            broker.submit(spec("acme").fault_seed(9));
+            while broker.step() {}
+        };
+        let sink = Arc::new(VecSink::new());
+        let fleet = Fleet::homogeneous(Machine::crill(), 2);
+        let mut cfg = BrokerConfig::new(400.0);
+        cfg.quantum_timesteps = 2;
+        cfg.node_faults = Some(NodeFaultPlan::node_flap(7));
+        let mut original = Broker::new(fleet, cfg, sink.clone());
+        original.attach_journal(BrokerJournal::create(&journal_path).unwrap());
+        ops(&mut original);
+        assert!(original.journal_error().is_none());
+
+        // Recover from the journal alone: same counters, and the
+        // replayed trace is record-for-record identical.
+        let rec_sink = Arc::new(VecSink::new());
+        let recovered = Broker::recover(&journal_path, rec_sink.clone(), None).unwrap();
+        assert_eq!(recovered.counters(), original.counters());
+        assert_eq!(recovered.now_s(), original.now_s());
+        let to_text = |records: &[TraceRecord]| {
+            records.iter().map(|r| serde_json::to_string(r).unwrap()).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(to_text(&sink.drain()), to_text(&rec_sink.drain()));
+        assert_eq!(
+            recovered.completed_jobs().keys().collect::<Vec<_>>(),
+            original.completed_jobs().keys().collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_rejects_garbage_journals() {
+        let dir =
+            std::env::temp_dir().join(format!("arcs-serve-badjournal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("nope.jsonl");
+        assert!(matches!(
+            Broker::recover(&missing, Arc::new(VecSink::new()), None),
+            Err(JournalError::Open(_))
+        ));
+        // A journal that does not start with a header is refused.
+        let headerless = dir.join("headerless.jsonl");
+        let sink = Arc::new(VecSink::new());
+        let mut broker = small_broker(230.0, 1, Arc::clone(&sink));
+        broker.submit(spec("acme"));
+        broker.run_until_idle();
+        let text = sink
+            .drain()
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap() + "\n")
+            .collect::<String>();
+        std::fs::write(&headerless, text).unwrap();
+        assert!(matches!(
+            Broker::recover(&headerless, Arc::new(VecSink::new()), None),
+            Err(JournalError::Header(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -95,11 +95,19 @@ pub fn resolve_workload(name: &str) -> Option<WorkloadDescriptor> {
 /// Where a job sits in its lifecycle — the `status` op's answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobState {
-    /// Admitted, waiting for a free node and budget headroom.
+    /// Admitted, waiting for a free node and budget headroom (including
+    /// requeued jobs sitting out a retry backoff).
     Queued,
     Running,
     Completed,
     Rejected,
+    /// Terminal: the job's retry budget ran out, or no surviving node
+    /// could ever host it (v9 resilience layer).
+    Failed,
+    /// Terminal: load shedding turned the job away at admission because
+    /// the bounded queue was full. The submit response carries a
+    /// `retry_after_s` backpressure hint.
+    Shed,
 }
 
 impl std::fmt::Display for JobState {
@@ -109,6 +117,8 @@ impl std::fmt::Display for JobState {
             JobState::Running => "running",
             JobState::Completed => "completed",
             JobState::Rejected => "rejected",
+            JobState::Failed => "failed",
+            JobState::Shed => "shed",
         };
         write!(f, "{s}")
     }

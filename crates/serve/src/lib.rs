@@ -35,6 +35,7 @@
 
 pub mod broker;
 pub mod job;
+pub mod journal;
 pub mod pool;
 pub mod protocol;
 pub mod server;
@@ -44,6 +45,7 @@ pub use broker::{
     Broker, BrokerConfig, BrokerCounters, CompletedJob, SubmitOutcome, ALLOC_QUANTUM_W,
 };
 pub use job::{resolve_workload, JobSpec, JobState};
+pub use journal::{load_journal, BrokerJournal, JournalError};
 pub use protocol::{Request, Response};
 pub use server::{Server, ServerHandle};
 pub use telemetry::{Digest, TelemetrySnapshot, TenantTelemetry, TraceTelemetry};

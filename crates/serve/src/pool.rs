@@ -21,6 +21,8 @@ pub struct PoolMetrics {
     pub queue_depth: Gauge,
     pub busy: Gauge,
     pub jobs: Counter,
+    /// Jobs that panicked inside a worker (contained, never fatal).
+    pub panics: Counter,
 }
 
 impl PoolMetrics {
@@ -30,6 +32,7 @@ impl PoolMetrics {
             queue_depth: registry.gauge("serve/pool/queue_depth"),
             busy: registry.gauge("serve/pool/busy"),
             jobs: registry.counter("serve/pool/jobs"),
+            panics: registry.counter("serve/pool/panics"),
         }
     }
 }
@@ -68,7 +71,7 @@ impl ThreadPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("arcs-serve-worker-{i}"))
-                    .spawn(move || worker(shared))
+                    .spawn(move || worker(shared, i))
                     .expect("spawning a pool worker")
             })
             .collect();
@@ -103,7 +106,30 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker(shared: Arc<Shared>) {
+/// Sentinel that respawns a replacement worker if this one dies to a
+/// panic that somehow escaped [`catch_unwind`](std::panic::catch_unwind)
+/// (e.g. a payload that panics on drop) — pool capacity never decays.
+/// Respawned workers are not in the pool's join list; they exit with the
+/// queue like any other worker, just unjoined.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.shared.queue.lock().closed {
+            let shared = Arc::clone(&self.shared);
+            let index = self.index;
+            let _ = std::thread::Builder::new()
+                .name(format!("arcs-serve-worker-{index}"))
+                .spawn(move || worker(shared, index));
+        }
+    }
+}
+
+fn worker(shared: Arc<Shared>, index: usize) {
+    let _guard = RespawnGuard { shared: Arc::clone(&shared), index };
     loop {
         let (job, depth) = {
             let mut queue = shared.queue.lock();
@@ -122,9 +148,15 @@ fn worker(shared: Arc<Shared>) {
             m.busy.add(1.0);
             m.jobs.inc();
         }
-        job();
+        // Contain the job: one panicking connection handler must not
+        // take its worker (or the whole process, under panic=abort-free
+        // builds) with it.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
         if let Some(m) = &shared.metrics {
             m.busy.add(-1.0);
+            if outcome.is_err() {
+                m.panics.inc();
+            }
         }
     }
 }
@@ -147,6 +179,28 @@ mod tests {
         // Drop joins the workers, so every queued job has run after it.
         drop(pool);
         assert_eq!(ran.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn panicking_jobs_are_contained_and_counted() {
+        let registry = MetricsRegistry::new();
+        let metrics = PoolMetrics::resolve(&registry);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::with_metrics(1, Some(metrics.clone()));
+        // One worker: if the panic killed it, nothing after could run.
+        for i in 0..8 {
+            let ran = Arc::clone(&ran);
+            assert!(pool.execute(move || {
+                if i % 2 == 0 {
+                    panic!("connection handler blew up");
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool);
+        assert_eq!(ran.load(Ordering::SeqCst), 4, "surviving jobs all ran");
+        assert_eq!(metrics.panics.get(), 4, "every panic was counted");
+        assert_eq!(metrics.jobs.get(), 8);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!
 //! | op         | fields in                                         | fields out                          |
 //! |------------|---------------------------------------------------|-------------------------------------|
-//! | `submit`   | `tenant`, `workload`, `timesteps?`, `floor_w?`, `weight?`, `fault_seed?` | `job`, `accepted`, `reason?` |
+//! | `submit`   | `tenant`, `workload`, `timesteps?`, `floor_w?`, `weight?`, `fault_seed?` | `job`, `accepted`, `reason?`; on shed also `retry_after_s`, `queue_depth` |
 //! | `status`   | `job`                                             | `state`, completion detail          |
 //! | `stats`    | —                                                 | `stats` counters + `telemetry` snapshot |
 //! | `metrics`  | —                                                 | `metrics`: Prometheus text exposition |
@@ -105,6 +105,18 @@ pub struct StatsBody {
     pub completed: u64,
     pub rejected: u64,
     pub degraded: u64,
+    /// Terminal failures — retry budget exhausted or stranded (v9).
+    #[serde(default)]
+    pub failed: u64,
+    /// Jobs shed at admission by the bounded queue (v9).
+    #[serde(default)]
+    pub shed: u64,
+    /// Requeue events so far (v9).
+    #[serde(default)]
+    pub requeued: u64,
+    /// Nodes currently out of service (v9).
+    #[serde(default)]
+    pub nodes_down: u64,
     pub budget_w: f64,
     pub now_s: f64,
 }
@@ -118,6 +130,10 @@ impl StatsBody {
             completed: c.completed,
             rejected: c.rejected,
             degraded: c.degraded,
+            failed: c.failed,
+            shed: c.shed,
+            requeued: c.requeued,
+            nodes_down: c.nodes_down,
             budget_w,
             now_s,
         }
@@ -135,10 +151,19 @@ pub struct Response {
     /// `submit`: whether admission control let the job in.
     #[serde(default)]
     pub accepted: Option<bool>,
-    /// `submit` rejection reason.
+    /// `submit` rejection or shed reason.
     #[serde(default)]
     pub reason: Option<String>,
-    /// `status`: `queued` / `running` / `completed` / `rejected`.
+    /// `submit` under load shedding: backpressure hint — virtual
+    /// seconds before resubmitting has any chance (v9).
+    #[serde(default)]
+    pub retry_after_s: Option<f64>,
+    /// `submit` under load shedding: admission-queue depth at the
+    /// moment the job was turned away (v9).
+    #[serde(default)]
+    pub queue_depth: Option<u64>,
+    /// `status`: `queued` / `running` / `completed` / `rejected` /
+    /// `failed` / `shed`.
     #[serde(default)]
     pub state: Option<String>,
     /// `status` of a completed job: `ok` / `degraded`.
@@ -167,6 +192,8 @@ impl Response {
             job: None,
             accepted: None,
             reason: None,
+            retry_after_s: None,
+            queue_depth: None,
             state: None,
             status: None,
             time_s: None,

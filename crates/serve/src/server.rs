@@ -13,7 +13,7 @@ use crate::pool::{PoolMetrics, ThreadPool};
 use crate::protocol::{Request, Response, StatsBody};
 use crate::telemetry::TelemetrySnapshot;
 use arcs_metrics::MetricsRegistry;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -104,6 +104,13 @@ fn handle_request(
                     resp.accepted = Some(false);
                     resp.reason = Some(reason);
                 }
+                Ok(SubmitOutcome::Shed { job, reason, retry_after_s, queue_depth }) => {
+                    resp.job = Some(job);
+                    resp.accepted = Some(false);
+                    resp.reason = Some(reason);
+                    resp.retry_after_s = Some(retry_after_s);
+                    resp.queue_depth = Some(queue_depth);
+                }
                 Err(_) => return Response::err("broker is shut down"),
             }
         }
@@ -191,6 +198,18 @@ fn stream_watch(writer: &mut TcpStream, cmds: &Sender<Command>, stopping: &Atomi
     }
 }
 
+/// Longest request line the server will buffer. Every legitimate op
+/// fits in a few hundred bytes; anything near this bound is a broken or
+/// hostile client, and an unbounded `read_until` would let one
+/// connection grow the buffer without limit.
+pub const MAX_LINE_BYTES: usize = 256 * 1024;
+
+fn write_response(writer: &mut TcpStream, resp: &Response) -> bool {
+    let mut out = serde_json::to_string(resp).expect("responses always serialize");
+    out.push('\n');
+    writer.write_all(out.as_bytes()).is_ok() && writer.flush().is_ok()
+}
+
 fn serve_connection(
     stream: TcpStream,
     cmds: Sender<Command>,
@@ -206,18 +225,61 @@ fn serve_connection(
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    // Persistent line buffer: a timeout mid-line keeps what was read.
-    let mut line = String::new();
+    // Persistent byte buffer: a timeout mid-line keeps what was read.
+    // Bytes (not `String`) so a line that is not valid UTF-8 becomes a
+    // typed error response instead of a dropped connection.
+    let mut buf: Vec<u8> = Vec::new();
     loop {
         if stopping.load(Ordering::SeqCst) {
             return;
         }
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client hung up
+        // Read at most one byte past the cap: hitting the limit without
+        // a newline is the oversized-line signal.
+        let budget = (MAX_LINE_BYTES + 1 - buf.len()) as u64;
+        match reader.by_ref().take(budget).read_until(b'\n', &mut buf) {
+            Ok(0) => return, // client hung up (possibly mid-line)
             Ok(_) => {
-                let trimmed = line.trim();
-                if !trimmed.is_empty() {
-                    let resp = match serde_json::from_str::<Request>(trimmed) {
+                let complete = buf.ends_with(b"\n");
+                if buf.len() > MAX_LINE_BYTES {
+                    // Resync by discarding to the next newline. The tail
+                    // is thrown away chunk by chunk, so memory stays
+                    // bounded no matter how long the line runs.
+                    let mut synced = complete;
+                    while !synced {
+                        buf.clear();
+                        match reader.by_ref().take(64 * 1024).read_until(b'\n', &mut buf) {
+                            Ok(0) => return,
+                            Ok(_) => synced = buf.ends_with(b"\n"),
+                            Err(err)
+                                if err.kind() == std::io::ErrorKind::WouldBlock
+                                    || err.kind() == std::io::ErrorKind::TimedOut =>
+                            {
+                                if stopping.load(Ordering::SeqCst) {
+                                    return;
+                                }
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                    buf.clear();
+                    let resp =
+                        Response::err(format!("bad request: line exceeds {MAX_LINE_BYTES} bytes"));
+                    if !write_response(&mut writer, &resp) {
+                        return;
+                    }
+                    continue;
+                }
+                if !complete {
+                    // EOF with a truncated final line: the request was
+                    // never finished, so there is nothing to answer.
+                    return;
+                }
+                let resp = match std::str::from_utf8(&buf) {
+                    Ok(text) if text.trim().is_empty() => {
+                        buf.clear();
+                        continue;
+                    }
+                    Ok(text) => match serde_json::from_str::<Request>(text.trim()) {
                         Ok(req) if req.op == "watch" => {
                             // `watch` flips the connection into push mode:
                             // from here on the server writes raw snapshot
@@ -228,14 +290,13 @@ fn serve_connection(
                         }
                         Ok(req) => handle_request(&req, &cmds, &stopping, &registry),
                         Err(err) => Response::err(format!("bad request: {err}")),
-                    };
-                    let mut out = serde_json::to_string(&resp).expect("responses always serialize");
-                    out.push('\n');
-                    if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
-                        return;
-                    }
+                    },
+                    Err(_) => Response::err("bad request: line is not valid UTF-8"),
+                };
+                if !write_response(&mut writer, &resp) {
+                    return;
                 }
-                line.clear();
+                buf.clear();
             }
             Err(err)
                 if err.kind() == std::io::ErrorKind::WouldBlock
@@ -471,6 +532,65 @@ mod tests {
 
         let absent = client.roundtrip(&Request::status(99)).unwrap();
         assert!(!absent.ok);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_bytes_get_typed_errors_and_the_connection_survives() {
+        let handle = {
+            let fleet = Fleet::homogeneous(Machine::crill(), 1);
+            let broker = Broker::new(fleet, BrokerConfig::new(230.0), Arc::new(NullSink));
+            Server::start(broker, "127.0.0.1:0", 1).unwrap()
+        };
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut client = Client::over(stream);
+
+        // A line that is not valid UTF-8 gets a typed error line, not a
+        // hangup.
+        client.writer.write_all(b"\xff\xfe{\"op\":\"stats\"}\n").unwrap();
+        let mut reply = String::new();
+        client.reader.read_line(&mut reply).unwrap();
+        let bad: Response = serde_json::from_str(&reply).unwrap();
+        assert!(!bad.ok);
+        assert!(bad.error.unwrap().contains("not valid UTF-8"));
+
+        // An oversized but newline-terminated line: typed error, stream
+        // stays synced, and the next request still works.
+        let mut big = vec![b'x'; MAX_LINE_BYTES + 10];
+        big.push(b'\n');
+        client.writer.write_all(&big).unwrap();
+        let mut reply = String::new();
+        client.reader.read_line(&mut reply).unwrap();
+        let oversized: Response = serde_json::from_str(&reply).unwrap();
+        assert!(!oversized.ok);
+        assert!(oversized.error.unwrap().contains("exceeds"));
+
+        let stats = client.roundtrip(&Request::op_only("stats")).unwrap();
+        assert!(stats.ok, "the connection must survive both bad lines");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shed_submissions_carry_backpressure_hints_over_the_wire() {
+        let handle = {
+            let fleet = Fleet::homogeneous(Machine::crill(), 1);
+            let mut cfg = BrokerConfig::new(230.0);
+            cfg.quantum_timesteps = 2;
+            cfg.max_queue = Some(1); // one waiter beyond the running job
+            let broker = Broker::new(fleet, cfg, Arc::new(NullSink));
+            Server::start(broker, "127.0.0.1:0", 1).unwrap()
+        };
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        let spec = JobSpec::new("acme", "sp.S").timesteps(4);
+        let first = client.roundtrip(&Request::submit(&spec)).unwrap();
+        assert_eq!(first.accepted, Some(true), "an empty broker admits");
+        let second = client.roundtrip(&Request::submit(&spec)).unwrap();
+        assert_eq!(second.accepted, Some(true), "one waiter fits the queue");
+        let third = client.roundtrip(&Request::submit(&spec)).unwrap();
+        assert_eq!(third.accepted, Some(false));
+        assert!(third.reason.unwrap().contains("queue full"));
+        assert!(third.retry_after_s.unwrap() > 0.0);
+        assert_eq!(third.queue_depth, Some(1));
         handle.shutdown();
     }
 }

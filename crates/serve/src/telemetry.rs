@@ -57,6 +57,16 @@ pub struct TenantTelemetry {
     /// degraded (replay only sees the former).
     pub degraded: u64,
     pub rejected: u64,
+    /// Jobs that failed terminally: retry budget exhausted or stranded
+    /// (v9).
+    #[serde(default)]
+    pub failed: u64,
+    /// Jobs turned away by load shedding at admission (v9).
+    #[serde(default)]
+    pub shed: u64,
+    /// Requeue events charged to this tenant's jobs (v9).
+    #[serde(default)]
+    pub requeued: u64,
     /// Node-level watts currently allocated to this tenant's jobs.
     pub alloc_w: f64,
     /// The tenant's weighted fair share of the budget across tenants
@@ -84,6 +94,18 @@ pub struct TelemetrySnapshot {
     pub completed: u64,
     pub rejected: u64,
     pub degraded: u64,
+    /// Terminal failures (retry budget exhausted / stranded, v9).
+    #[serde(default)]
+    pub failed: u64,
+    /// Jobs shed at admission (v9).
+    #[serde(default)]
+    pub shed: u64,
+    /// Requeue events so far (v9).
+    #[serde(default)]
+    pub requeued: u64,
+    /// Nodes currently out of service — down or draining (v9).
+    #[serde(default)]
+    pub nodes_down: u64,
     /// Global submission → placement digest, virtual seconds.
     pub queue_wait: Digest,
     /// Global submission → completion digest, virtual seconds.
@@ -146,6 +168,30 @@ pub fn fmt_completed(job: u64, tenant: &str, status: &str, time_s: f64) -> Strin
     format!("job {job} ({tenant}) completed {status} in {time_s:.3}s")
 }
 
+pub fn fmt_requeued(job: u64, tenant: &str, node: u64, backoff_s: f64) -> String {
+    format!("job {job} ({tenant}) requeued off node {node} (backoff {backoff_s:.3}s)")
+}
+
+pub fn fmt_failed(job: u64, tenant: &str, reason: &str) -> String {
+    format!("job {job} ({tenant}) failed: {reason}")
+}
+
+pub fn fmt_shed(job: u64, tenant: &str, queue_depth: u64) -> String {
+    format!("job {job} ({tenant}) shed: queue full at depth {queue_depth}")
+}
+
+pub fn fmt_node_failed(node: u64, class: &str, permanent: bool, victim: Option<u64>) -> String {
+    let perm = if permanent { " permanently" } else { "" };
+    match victim {
+        Some(job) => format!("node {node} {class}ed{perm} (victim job {job})"),
+        None => format!("node {node} {class}ed{perm} (idle)"),
+    }
+}
+
+pub fn fmt_node_recovered(node: u64, down_s: f64) -> String {
+    format!("node {node} recovered after {down_s:.3}s down")
+}
+
 /// Push onto a rolling event pane, keeping the last [`EVENT_PANE`] lines.
 pub fn push_event(pane: &mut VecDeque<String>, line: String) {
     if pane.len() == EVENT_PANE {
@@ -163,6 +209,9 @@ struct TenantAccum {
     completed: u64,
     degraded: u64,
     rejected: u64,
+    failed: u64,
+    shed: u64,
+    requeued: u64,
     wait: Histogram,
     turnaround: Histogram,
 }
@@ -183,9 +232,17 @@ pub struct TraceTelemetry {
     rejected: u64,
     completed: u64,
     degraded: u64,
+    failed: u64,
+    shed: u64,
+    requeued: u64,
     job_tenant: BTreeMap<u64, String>,
     job_submit_s: BTreeMap<u64, f64>,
     queued: BTreeSet<u64>,
+    /// Jobs seen requeued at least once: their later placements record
+    /// no queue-wait sample (the live broker applies the same rule).
+    requeued_jobs: BTreeSet<u64>,
+    /// Nodes currently out of service (down or draining).
+    down: BTreeSet<u64>,
     /// Running job → current node-level allocation.
     running: BTreeMap<u64, f64>,
     tenants: BTreeMap<String, TenantAccum>,
@@ -233,10 +290,12 @@ impl TraceTelemetry {
             TraceEvent::JobScheduled { job, tenant, node, cap_w } => {
                 self.queued.remove(job);
                 self.running.insert(*job, *cap_w);
-                if let Some(&at) = self.job_submit_s.get(job) {
-                    let wait = (t - at).max(0.0);
-                    self.wait.record(wait);
-                    self.tenant(tenant).wait.record(wait);
+                if !self.requeued_jobs.contains(job) {
+                    if let Some(&at) = self.job_submit_s.get(job) {
+                        let wait = (t - at).max(0.0);
+                        self.wait.record(wait);
+                        self.tenant(tenant).wait.record(wait);
+                    }
                 }
                 push_event(
                     &mut self.events,
@@ -275,6 +334,43 @@ impl TraceTelemetry {
                     event_line(t, fmt_completed(*job, tenant, status, *time_s)),
                 );
             }
+            TraceEvent::JobRequeued { job, tenant, node, backoff_s, .. } => {
+                self.requeued += 1;
+                self.requeued_jobs.insert(*job);
+                self.running.remove(job);
+                self.queued.insert(*job);
+                self.tenant(tenant).requeued += 1;
+                push_event(
+                    &mut self.events,
+                    event_line(t, fmt_requeued(*job, tenant, *node, *backoff_s)),
+                );
+            }
+            TraceEvent::JobFailed { job, tenant, reason, .. } => {
+                self.failed += 1;
+                self.queued.remove(job);
+                self.running.remove(job);
+                self.job_submit_s.remove(job);
+                self.tenant(tenant).failed += 1;
+                push_event(&mut self.events, event_line(t, fmt_failed(*job, tenant, reason)));
+            }
+            TraceEvent::JobShed { job, tenant, queue_depth, .. } => {
+                self.shed += 1;
+                self.queued.remove(job);
+                self.job_submit_s.remove(job);
+                self.tenant(tenant).shed += 1;
+                push_event(&mut self.events, event_line(t, fmt_shed(*job, tenant, *queue_depth)));
+            }
+            TraceEvent::NodeFailed { node, class, permanent, victim } => {
+                self.down.insert(*node);
+                push_event(
+                    &mut self.events,
+                    event_line(t, fmt_node_failed(*node, class, *permanent, *victim)),
+                );
+            }
+            TraceEvent::NodeRecovered { node, down_s } => {
+                self.down.remove(node);
+                push_event(&mut self.events, event_line(t, fmt_node_recovered(*node, *down_s)));
+            }
             _ => {}
         }
     }
@@ -292,6 +388,9 @@ impl TraceTelemetry {
                     completed: acc.completed,
                     degraded: acc.degraded,
                     rejected: acc.rejected,
+                    failed: acc.failed,
+                    shed: acc.shed,
+                    requeued: acc.requeued,
                     alloc_w: 0.0,
                     fair_share_w: 0.0,
                     queue_wait: Digest::from(&acc.wait),
@@ -325,6 +424,10 @@ impl TraceTelemetry {
             completed: self.completed,
             rejected: self.rejected,
             degraded: self.degraded,
+            failed: self.failed,
+            shed: self.shed,
+            requeued: self.requeued,
+            nodes_down: self.down.len() as u64,
             queue_wait: Digest::from(&self.wait),
             turnaround: Digest::from(&self.turnaround),
             realloc_churn_w: Digest::from(&self.churn),
@@ -358,6 +461,9 @@ mod tests {
                     workload: "sp.S".into(),
                     floor_w: 57.5,
                     weight: 2.0,
+                    timesteps: 0,
+                    fault_seed: None,
+                    requested_floor_w: None,
                 },
             ),
             rec(
@@ -369,6 +475,9 @@ mod tests {
                     workload: "sp.S".into(),
                     floor_w: 57.5,
                     weight: 0.0, // pre-v7 trace: unknown weight reads as 1
+                    timesteps: 0,
+                    fault_seed: None,
+                    requested_floor_w: None,
                 },
             ),
             rec(

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// 1 up to this one (new fields carry serde defaults) and refuse newer or
 /// nonsensical versions instead of silently misreading them (see
 /// [`crate::validate_jsonl`]).
-pub const SCHEMA_VERSION: u32 = 8;
+pub const SCHEMA_VERSION: u32 = 9;
 
 /// One running job's share of the global power budget, as carried by
 /// [`TraceEvent::CapReallocated`] (v5). `cap_w` is the *node-level*
@@ -150,7 +150,11 @@ pub enum TraceEvent {
     /// lowest node-level cap the job can run under — the unit admission
     /// control reasons about. `weight` (v7) is the tenant's fair-share
     /// weight; 0 in older traces means "unknown" and readers treat it
-    /// as 1.
+    /// as 1. The v9 fields carry the rest of the submitted spec so a
+    /// journal replay can reconstruct it exactly: `timesteps` (0 = the
+    /// workload's default), `fault_seed`, and `requested_floor_w` (the
+    /// raw submitted floor, where `floor_w` is the effective minimum
+    /// over admissible nodes).
     JobSubmitted {
         job: u64,
         tenant: String,
@@ -158,6 +162,12 @@ pub enum TraceEvent {
         floor_w: f64,
         #[serde(default)]
         weight: f64,
+        #[serde(default)]
+        timesteps: u64,
+        #[serde(default)]
+        fault_seed: Option<u64>,
+        #[serde(default)]
+        requested_floor_w: Option<f64>,
     },
     /// Admission control refused a job (v5): no budget (or node) could
     /// ever cover its floor cap. Rejected jobs never schedule.
@@ -206,6 +216,49 @@ pub enum TraceEvent {
         overhead_s: f64,
         meter_s: f64,
     },
+    /// A fleet node left service (v9). `class` is the fault class from
+    /// the node-fault plan (`crash` loses the victim's in-flight
+    /// quantum; `drain` lets it finish first). `permanent` nodes never
+    /// emit a matching [`NodeRecovered`](TraceEvent::NodeRecovered).
+    /// `victim` is the job that was running there, if any.
+    NodeFailed { node: u64, class: String, permanent: bool, victim: Option<u64> },
+    /// A failed node rejoined the fair-share pool (v9). `down_s` is the
+    /// virtual outage duration — what MTTR summaries aggregate.
+    NodeRecovered { node: u64, down_s: f64 },
+    /// A job lost its node and went back to the admission queue (v9).
+    /// `attempt` counts placements so far; `backoff_s` is the virtual
+    /// delay before the job is eligible to place again (0 for graceful
+    /// drains, which cost no retry).
+    JobRequeued { job: u64, tenant: String, node: u64, attempt: u64, backoff_s: f64 },
+    /// A job exhausted its retry budget, or no surviving node can ever
+    /// host it (v9). Terminal, typed, queryable — never silent.
+    JobFailed { job: u64, tenant: String, reason: String, attempts: u64 },
+    /// Admission shed a job because the bounded queue was full (v9).
+    /// `retry_after_s` is the backpressure hint returned to the tenant.
+    JobShed { job: u64, tenant: String, reason: String, queue_depth: u64, retry_after_s: f64 },
+    /// Broker state was reconstructed by deterministic journal replay
+    /// (v9, journal-only): `ops` journal operations replayed, yielding
+    /// `submitted`/`completed` jobs at the recovery point.
+    CheckpointRecovered { ops: u64, submitted: u64, completed: u64 },
+    /// Journal header (v9, journal-only): everything needed to rebuild
+    /// the broker a journal describes. `machines` is the fleet's model
+    /// name per node, in node-id order; `resilience` and `node_faults`
+    /// are JSON blobs (empty string = unset) so the trace schema stays
+    /// decoupled from the broker's option types.
+    BrokerConfigured {
+        budget_w: f64,
+        quantum_timesteps: u64,
+        machines: Vec<String>,
+        max_queue: Option<u64>,
+        max_retries: u64,
+        backoff_base_s: f64,
+        resilience: String,
+        node_faults: String,
+    },
+    /// Journal op marker (v9, journal-only): the broker processed one
+    /// discrete-event step. Replaying submissions and steps in journal
+    /// order reconstructs the exact state (the broker is deterministic).
+    BrokerStep {},
 }
 
 impl TraceEvent {
@@ -233,6 +286,14 @@ impl TraceEvent {
             TraceEvent::JobCompleted { .. } => "JobCompleted",
             TraceEvent::PolicySwitched { .. } => "PolicySwitched",
             TraceEvent::DriverPhases { .. } => "DriverPhases",
+            TraceEvent::NodeFailed { .. } => "NodeFailed",
+            TraceEvent::NodeRecovered { .. } => "NodeRecovered",
+            TraceEvent::JobRequeued { .. } => "JobRequeued",
+            TraceEvent::JobFailed { .. } => "JobFailed",
+            TraceEvent::JobShed { .. } => "JobShed",
+            TraceEvent::CheckpointRecovered { .. } => "CheckpointRecovered",
+            TraceEvent::BrokerConfigured { .. } => "BrokerConfigured",
+            TraceEvent::BrokerStep {} => "BrokerStep",
         }
     }
 }

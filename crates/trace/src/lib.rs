@@ -152,6 +152,9 @@ mod tests {
                 workload: "sp.W".into(),
                 floor_w: 57.5,
                 weight: 2.0,
+                timesteps: 16,
+                fault_seed: Some(9),
+                requested_floor_w: Some(60.0),
             },
             TraceEvent::JobRejected {
                 job: 8,
@@ -185,6 +188,45 @@ mod tests {
                 overhead_s: 0.0004,
                 meter_s: 0.0001,
             },
+            TraceEvent::NodeFailed {
+                node: 3,
+                class: "crash".into(),
+                permanent: false,
+                victim: Some(7),
+            },
+            TraceEvent::NodeRecovered { node: 3, down_s: 4.5 },
+            TraceEvent::JobRequeued {
+                job: 7,
+                tenant: "acme".into(),
+                node: 3,
+                attempt: 2,
+                backoff_s: 0.1,
+            },
+            TraceEvent::JobFailed {
+                job: 7,
+                tenant: "acme".into(),
+                reason: "retry budget exhausted after 4 placement(s)".into(),
+                attempts: 4,
+            },
+            TraceEvent::JobShed {
+                job: 9,
+                tenant: "acme".into(),
+                reason: "admission queue full (8 waiting)".into(),
+                queue_depth: 8,
+                retry_after_s: 0.4,
+            },
+            TraceEvent::CheckpointRecovered { ops: 120, submitted: 40, completed: 31 },
+            TraceEvent::BrokerConfigured {
+                budget_w: 400.0,
+                quantum_timesteps: 4,
+                machines: vec!["crill".into(), "crill".into()],
+                max_queue: Some(8),
+                max_retries: 3,
+                backoff_base_s: 0.05,
+                resilience: String::new(),
+                node_faults: "{\"seed\":42}".into(),
+            },
+            TraceEvent::BrokerStep {},
         ]
     }
 
@@ -366,8 +408,13 @@ mod tests {
         // phase spans. v7 → v8: RegionBegin gained `chunk_policy` (the
         // schedule's policy-family name, serde-defaulted to empty) and
         // one additive scheduling variant — PolicySwitched, the adaptive
-        // scheduler's mid-run policy change.)
-        assert_eq!(SCHEMA_VERSION, 8);
+        // scheduler's mid-run policy change. v8 → v9: JobSubmitted
+        // gained the rest of the submitted spec (`timesteps`,
+        // `fault_seed`, `requested_floor_w`, serde-defaulted) and eight
+        // additive resilience variants — NodeFailed, NodeRecovered,
+        // JobRequeued, JobFailed, JobShed, CheckpointRecovered, plus the
+        // journal-only BrokerConfigured and BrokerStep.)
+        assert_eq!(SCHEMA_VERSION, 9);
         let record = TraceRecord {
             schema: SCHEMA_VERSION,
             seq: 3,
@@ -375,6 +422,6 @@ mod tests {
             event: TraceEvent::CacheHit { region: "r".into() },
         };
         let json = serde_json::to_string(&record).unwrap();
-        assert_eq!(json, r#"{"schema":8,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
+        assert_eq!(json, r#"{"schema":9,"seq":3,"t_s":2.5,"event":{"CacheHit":{"region":"r"}}}"#);
     }
 }

@@ -144,7 +144,9 @@ fn replay_agrees_with_live_telemetry() {
             spec = spec.floor_w(9_000.0); // planted inadmissible job
         }
         match broker.submit(spec) {
-            SubmitOutcome::Admitted(_) | SubmitOutcome::Rejected { .. } => {}
+            SubmitOutcome::Admitted(_)
+            | SubmitOutcome::Rejected { .. }
+            | SubmitOutcome::Shed { .. } => {}
         }
         broker.step();
     }

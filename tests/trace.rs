@@ -267,3 +267,62 @@ fn schema_v4_traces_still_parse() {
     let invocations: u64 = report.regions.values().map(|r| r.invocations).sum();
     assert_eq!(invocations, 2);
 }
+
+/// Backward compatibility with schema 8 (pre-resilience: unified chunk
+/// policy events, no node-fault vocabulary). Pinned fixture from a
+/// v8-era MC policy run; the v9 reader must keep parsing it and the
+/// analysis pipeline must summarise it with empty recovery activity.
+#[test]
+fn schema_v8_traces_still_parse() {
+    let text = include_str!("fixtures/trace_v8.jsonl");
+    let records = validate_jsonl(text).expect("v8 fixture must stay readable");
+    assert!(records.iter().all(|r| r.schema == 8));
+    let mut policy_fired = 0;
+    for r in &records {
+        match &r.event {
+            TraceEvent::PolicyFired { .. } => policy_fired += 1,
+            TraceEvent::NodeFailed { .. }
+            | TraceEvent::NodeRecovered { .. }
+            | TraceEvent::JobRequeued { .. }
+            | TraceEvent::JobFailed { .. }
+            | TraceEvent::JobShed { .. }
+            | TraceEvent::CheckpointRecovered { .. }
+            | TraceEvent::BrokerConfigured { .. }
+            | TraceEvent::BrokerStep {} => {
+                panic!("v8 traces cannot carry v9 resilience events")
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(policy_fired, 16, "the fixture carries per-region policy decisions");
+    let report = arcs_metrics::analyze(arcs_metrics::TraceReader::new(std::io::Cursor::new(
+        text.to_string(),
+    )))
+    .expect("v8 traces must flow through the analysis pipeline");
+    assert!(!report.recovery.any(), "pre-resilience traces report no node faults");
+    assert_eq!(report.broker.lost_jobs(), 0);
+    assert!(report.regions.values().map(|r| r.invocations).sum::<u64>() > 0);
+}
+
+/// A trace file torn mid-record by a dying writer (the serve-top
+/// `--replay` case after a broker crash) still replays: the reader
+/// drops the unfinished final line and the dashboard reconstructs from
+/// every intact record.
+#[test]
+fn replaying_a_truncated_trace_tail_still_reconstructs_the_dashboard() {
+    let text = include_str!("fixtures/trace_v5_broker.jsonl");
+    let cut = &text[..text.len() - 9]; // tear the final record mid-JSON
+    assert!(!cut.ends_with('\n'), "the tear must land mid-line");
+
+    let reader = arcs_metrics::TraceReader::new(std::io::Cursor::new(cut.to_string()));
+    let mut tt = arcs_serve::TraceTelemetry::new();
+    let mut intact = 0;
+    for rec in reader {
+        tt.consume(&rec.expect("every non-final record is intact"));
+        intact += 1;
+    }
+    assert_eq!(intact, text.lines().count() - 1, "only the torn record is dropped");
+    let snap = tt.snapshot();
+    assert!(snap.submitted > 0, "the dashboard still reflects the intact prefix");
+    assert!(snap.budget_w > 0.0);
+}
